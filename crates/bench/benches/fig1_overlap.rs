@@ -1,0 +1,81 @@
+//! Fig. 1 regeneration: Yin-Yang grid geometry, coverage and overlap.
+//!
+//! Prints the analytic and Monte-Carlo overlap fractions at a sweep of
+//! resolutions (the "~6 % overlap" discussion) and benchmarks grid
+//! construction, overset-table construction and the coverage scan.
+//!
+//! Run with: `cargo bench -p yy-bench --bench fig1_overlap`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yy_mesh::coverage::{
+    nominal_overlap_fraction, nominal_patch_area_fraction, scan_discrete_coverage,
+    scan_nominal_coverage,
+};
+use yy_mesh::{build_overset_columns, PatchGrid, PatchSpec};
+
+fn print_fig1_data() {
+    println!("\n================ FIG. 1 DATA (regenerated) ================");
+    println!(
+        "analytic: patch area fraction {:.4}, nominal overlap {:.4} (paper: 'about 6%')",
+        nominal_patch_area_fraction(),
+        nominal_overlap_fraction()
+    );
+    let nominal = scan_nominal_coverage(400_000, 42);
+    println!(
+        "Monte-Carlo nominal: coverage {:.5}, overlap {:.5}",
+        nominal.coverage_fraction(),
+        nominal.overlap_fraction()
+    );
+    println!("discrete grids (extension ext = 2):");
+    println!("  nth    coverage   overlap   overset columns");
+    for nth in [9_usize, 17, 33, 65, 129] {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(4, nth, 0.35, 1.0));
+        let rep = scan_discrete_coverage(&grid, 200_000, 7);
+        let cols = build_overset_columns(&grid).expect("valid overset");
+        println!(
+            "  {:4}   {:.5}    {:.5}   {}",
+            nth,
+            rep.coverage_fraction(),
+            rep.overlap_fraction(),
+            cols.len()
+        );
+        assert_eq!(rep.covered, rep.samples, "sphere must be fully covered at nth={nth}");
+    }
+    // Ablation (DESIGN.md): the extension width trades donor-validity
+    // margin against wasted (double-solved) area.
+    println!("extension ablation at nth = 33:");
+    println!("  ext   overlap    overset build");
+    for ext in [1_usize, 2, 3] {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(4, 33, 0.35, 1.0).with_ext(ext));
+        let rep = scan_discrete_coverage(&grid, 200_000, 7);
+        let ok = build_overset_columns(&grid).is_ok();
+        println!("  {:3}   {:.5}    {}", ext, rep.overlap_fraction(), if ok { "valid" } else { "INVALID" });
+    }
+    let grid0 = PatchGrid::new(PatchSpec::equal_spacing(4, 33, 0.35, 1.0).with_ext(0));
+    println!(
+        "  ext 0: overset construction fails as designed ({})",
+        build_overset_columns(&grid0).is_err()
+    );
+    println!("===========================================================\n");
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_fig1_data();
+
+    c.bench_function("grid_construction_nth33", |b| {
+        b.iter(|| black_box(PatchGrid::new(PatchSpec::equal_spacing(16, 33, 0.35, 1.0))))
+    });
+
+    let grid = PatchGrid::new(PatchSpec::equal_spacing(16, 33, 0.35, 1.0));
+    c.bench_function("overset_table_nth33", |b| {
+        b.iter(|| black_box(build_overset_columns(&grid).expect("valid")))
+    });
+
+    c.bench_function("coverage_scan_100k", |b| {
+        b.iter(|| black_box(scan_discrete_coverage(&grid, 100_000, 3)))
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Fig. 2 regeneration: columnar convection structure and the §V energy
+//! development.
+//!
+//! Runs a short rotating-convection simulation, reports the detected
+//! convection-column count and the kinetic/magnetic energy trajectory,
+//! and benchmarks the visualization pipeline (axial vorticity +
+//! equatorial composition) that produces the figure.
+//!
+//! Run with: `cargo bench -p yy-bench --bench fig2_convection`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yy_mesh::{Metric, Panel};
+use yycore::snapshots::{axial_vorticity, count_convection_columns, sample_equatorial};
+use yycore::{RunConfig, SerialSim};
+
+fn convection_sim(steps: u64) -> SerialSim {
+    let mut cfg = RunConfig::small();
+    cfg.params = yy_mhd::PhysParams::convection_only();
+    cfg.params.omega = 6.0;
+    cfg.init.perturb_amplitude = 8e-2;
+    cfg.init.seed_amplitude = 0.0;
+    let mut sim = SerialSim::new(cfg);
+    sim.run(steps, 0);
+    sim
+}
+
+fn print_fig2_data() {
+    println!("\n================ FIG. 2 / §V DATA (regenerated) ================");
+    let mut cfg = RunConfig::small();
+    cfg.params.omega = 3.0;
+    cfg.params.eta = 1e-3;
+    cfg.init.perturb_amplitude = 5e-2;
+    cfg.init.seed_amplitude = 1e-4;
+    let mut sim = SerialSim::new(cfg);
+    let report = sim.run(120, 20);
+    println!("energy development (kinetic and magnetic, as in §V):");
+    println!("  step    time        E_kin        E_mag");
+    for p in &report.series {
+        println!(
+            "  {:4}   {:.4e}   {:.4e}   {:.4e}",
+            p.step, p.time, p.diag.kinetic, p.diag.magnetic
+        );
+    }
+
+    let metric = Metric::full(&sim.grid);
+    let wz_yin = axial_vorticity(&sim.yin, &sim.grid, &metric, Panel::Yin);
+    let wz_yang = axial_vorticity(&sim.yang, &sim.grid, &metric, Panel::Yang);
+    let eq = sample_equatorial(&wz_yin, &wz_yang, &sim.grid, 256);
+    let columns = count_convection_columns(eq.mid_shell_ring(), 0.2);
+    let mode = yy_mhd::spectra::dominant_mode(eq.mid_shell_ring(), 40);
+    println!(
+        "equatorial axial-vorticity columns at mid-shell: {columns} \
+         (dominant azimuthal mode m = {mode})"
+    );
+    println!("(run `cargo run --release --example convection_columns` for the disk images)");
+    println!("================================================================\n");
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_fig2_data();
+
+    let sim = convection_sim(20);
+    let metric = Metric::full(&sim.grid);
+
+    c.bench_function("axial_vorticity_one_panel", |b| {
+        b.iter(|| black_box(axial_vorticity(&sim.yin, &sim.grid, &metric, Panel::Yin)))
+    });
+
+    let wz_yin = axial_vorticity(&sim.yin, &sim.grid, &metric, Panel::Yin);
+    let wz_yang = axial_vorticity(&sim.yang, &sim.grid, &metric, Panel::Yang);
+    c.bench_function("equatorial_composition_256", |b| {
+        b.iter(|| black_box(sample_equatorial(&wz_yin, &wz_yang, &sim.grid, 256)))
+    });
+
+    let eq = sample_equatorial(&wz_yin, &wz_yang, &sim.grid, 256);
+    c.bench_function("column_counting", |b| {
+        b.iter(|| black_box(count_convection_columns(eq.mid_shell_ring(), 0.2)))
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

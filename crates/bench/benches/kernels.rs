@@ -1,0 +1,218 @@
+//! Microbenchmarks of the numerical kernels: the per-point costs that
+//! feed the Earth Simulator projection.
+//!
+//! Groups:
+//! * `rhs`        — one full MHD right-hand-side evaluation
+//! * `overset`    — interpolating one panel's complete frame
+//! * `halo_pack`  — packing/unpacking one tile perimeter (8 fields)
+//! * `rk4_step`   — one complete serial two-panel RK4 step
+//! * `wave_speed` — the CFL speed scan
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use yy_field::{pack_region, unpack_region, FlopMeter, Region};
+use yy_mesh::{apply_scalar, build_overset_columns, Metric, Panel};
+use yy_mhd::rhs::{InteriorRange, RhsScratch};
+use yy_mhd::tables::rotation_axis;
+use yy_mhd::{compute_rhs, initialize, wave_speed_max, ForceTables, State};
+use yycore::{RunConfig, SerialSim};
+
+fn cfg() -> RunConfig {
+    let mut cfg = RunConfig::medium();
+    cfg.init.perturb_amplitude = 1e-2;
+    cfg
+}
+
+fn bench_rhs(c: &mut Criterion) {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let metric = Metric::full(&grid);
+    let (_, nth, nph) = grid.dims();
+    let forces = ForceTables::new(
+        &metric,
+        nth,
+        nph,
+        1,
+        cfg.params.g0,
+        cfg.params.omega,
+        rotation_axis(Panel::Yin),
+    );
+    let shape = grid.full_shape();
+    let mut state = State::zeros(shape);
+    initialize(&mut state, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
+    let range = InteriorRange::full_panel(&grid);
+    let mut scratch = RhsScratch::new(shape);
+    let mut out = State::zeros(shape);
+    let mut meter = FlopMeter::new();
+    let points = range.points();
+
+    let mut group = c.benchmark_group("rhs");
+    group.throughput(criterion::Throughput::Elements(points as u64));
+    group.bench_function(format!("full_panel_{points}_points"), |b| {
+        b.iter(|| {
+            compute_rhs(
+                black_box(&state),
+                &metric,
+                &forces,
+                &cfg.params,
+                &range,
+                &mut scratch,
+                &mut out,
+                &mut meter,
+            );
+            black_box(&out);
+        })
+    });
+    group.finish();
+    eprintln!(
+        "rhs kernel: {} interior points, {} counted flops/point",
+        points,
+        yy_mhd::RHS_FLOPS_PER_POINT
+    );
+}
+
+fn bench_overset(c: &mut Criterion) {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let cols = build_overset_columns(&grid).expect("valid grid");
+    let shape = grid.full_shape();
+    let mut donor = State::zeros(shape);
+    initialize(&mut donor, &grid, None, &cfg.params, &cfg.init, Panel::Yang);
+    let mut target = State::zeros(shape);
+
+    let mut group = c.benchmark_group("overset");
+    group.throughput(criterion::Throughput::Elements(cols.len() as u64));
+    group.bench_function(format!("frame_fill_{}_columns", cols.len()), |b| {
+        b.iter(|| {
+            for col in &cols {
+                apply_scalar(col, black_box(&donor.rho), &mut target.rho);
+                apply_scalar(col, &donor.press, &mut target.press);
+            }
+            black_box(&target);
+        })
+    });
+    group.finish();
+}
+
+fn bench_halo_pack(c: &mut Criterion) {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let shape = grid.full_shape();
+    let mut state = State::zeros(shape);
+    initialize(&mut state, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
+    let region = Region { i0: 0, i1: shape.nr, j0: 0, j1: 1, k0: 0, k1: shape.nph as isize };
+
+    let mut group = c.benchmark_group("halo_pack");
+    group.throughput(criterion::Throughput::Bytes((region.len() * 8 * 8) as u64));
+    group.bench_function("pack_unpack_8_fields_one_edge", |b| {
+        b.iter_batched(
+            || (Vec::with_capacity(region.len() * 8), state.clone()),
+            |(mut buf, mut tmp)| {
+                for arr in state.arrays() {
+                    pack_region(arr, region, &mut buf);
+                }
+                let mut rest: &[f64] = &buf;
+                for arr in tmp.arrays_mut() {
+                    rest = unpack_region(arr, region, rest);
+                }
+                black_box(tmp);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rk4_step(c: &mut Criterion) {
+    let mut sim = SerialSim::new(cfg());
+    let dt = sim.auto_dt() * 0.1; // tiny step: benchmark cost, not physics
+    let points = sim.grid.total_points();
+    let mut group = c.benchmark_group("rk4_step");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(points as u64));
+    group.bench_function(format!("serial_two_panel_{points}_points"), |b| {
+        b.iter(|| {
+            sim.advance(black_box(dt));
+        })
+    });
+    group.finish();
+    eprintln!(
+        "rk4 step: measured {:.0} flops/point/step (meter), grid {} points",
+        sim.meter.flops() as f64 / sim.step.max(1) as f64 / points as f64,
+        points
+    );
+}
+
+/// The local analogue of the Earth Simulator's vector-length effect: RHS
+/// throughput (points/s) as a function of the radial (unit-stride) length.
+/// Longer radial runs amortize per-column setup exactly as longer vector
+/// lengths amortized pipeline startup on the ES — the mechanism behind
+/// Table II's 255-vs-511 rows.
+fn bench_radial_length_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rhs_radial_sweep");
+    group.sample_size(10);
+    for nr in [16_usize, 32, 64, 128] {
+        let mut cfg = RunConfig::small();
+        cfg.nr = nr;
+        let grid = cfg.grid();
+        let metric = Metric::full(&grid);
+        let (_, nth, nph) = grid.dims();
+        let forces = ForceTables::new(
+            &metric,
+            nth,
+            nph,
+            1,
+            cfg.params.g0,
+            cfg.params.omega,
+            rotation_axis(Panel::Yin),
+        );
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        initialize(&mut state, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut out = State::zeros(shape);
+        let mut meter = FlopMeter::new();
+        group.throughput(criterion::Throughput::Elements(range.points() as u64));
+        group.bench_function(format!("nr_{nr}"), |b| {
+            b.iter(|| {
+                compute_rhs(
+                    black_box(&state),
+                    &metric,
+                    &forces,
+                    &cfg.params,
+                    &range,
+                    &mut scratch,
+                    &mut out,
+                    &mut meter,
+                );
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wave_speed(c: &mut Criterion) {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let metric = Metric::full(&grid);
+    let shape = grid.full_shape();
+    let mut state = State::zeros(shape);
+    initialize(&mut state, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
+    let range = InteriorRange::full_panel(&grid);
+    c.bench_function("wave_speed_max", |b| {
+        b.iter(|| wave_speed_max(black_box(&state), &metric, &cfg.params, &range))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rhs,
+    bench_overset,
+    bench_halo_pack,
+    bench_rk4_step,
+    bench_radial_length_sweep,
+    bench_wave_speed
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerate Table I, Table II, Table III and List 1 of the paper.
+//!
+//! The harness measures the real solver's kernel intensity (flops per
+//! interior grid point per step, from the instrumented run), feeds it to
+//! the calibrated Earth Simulator model, prints all four artifacts, and
+//! benchmarks the projection function itself so regressions in the model
+//! code surface here.
+//!
+//! Run with: `cargo bench -p yy-bench --bench tables`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yy_esmodel::model::{project, RunShape};
+use yy_esmodel::mpiproginf::{list1_text, ReportShape};
+use yy_esmodel::{
+    table1_text, table2_rows, table2_text, table3_text, EsMachine, EsModelParams, KernelProfile,
+};
+use yycore::{RunConfig, SerialSim};
+
+/// Measure the solver's kernel intensity from a short instrumented run.
+fn measured_profile() -> KernelProfile {
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 1e-2;
+    let mut sim = SerialSim::new(cfg);
+    let interior = sim.interior_points();
+    let report = sim.run(3, 0);
+    let measured = report.flops as f64 / report.steps as f64 / interior as f64;
+    KernelProfile::yycore_default().with_measured_flops(measured)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let profile = measured_profile();
+    println!("\n================ PAPER ARTIFACTS (regenerated) ================\n");
+    println!("{}", table1_text());
+    println!("{}", table2_text(&profile));
+    println!("{}", table3_text(&profile));
+    let projection = project(
+        &EsMachine::earth_simulator(),
+        &EsModelParams::calibrated(),
+        &profile,
+        &RunShape { procs: 4096, nr: 511, nth: 514, nph: 1538 },
+    );
+    println!("List 1 (projected MPIPROGINF of the flagship run):");
+    println!("{}", list1_text(&ReportShape::paper_window(projection)));
+    println!("===============================================================\n");
+
+    // Verify paper-vs-model agreement inside the bench too, so a model
+    // regression fails loudly here.
+    for row in table2_rows(&profile) {
+        let rel = (row.projection.tflops() - row.paper_tflops).abs() / row.paper_tflops;
+        assert!(
+            rel < 0.15,
+            "Table II row ({} procs, nr {}) drifted: model {:.2} vs paper {:.2}",
+            row.procs,
+            row.nr,
+            row.projection.tflops(),
+            row.paper_tflops
+        );
+    }
+
+    let machine = EsMachine::earth_simulator();
+    let params = EsModelParams::calibrated();
+    c.bench_function("table2_projection_six_rows", |b| {
+        b.iter(|| {
+            for &(procs, nr, _, _) in &yy_esmodel::TABLE2_PAPER {
+                black_box(project(
+                    &machine,
+                    &params,
+                    &profile,
+                    &RunShape { procs, nr, nth: 514, nph: 1538 },
+                ));
+            }
+        })
+    });
+    c.bench_function("list1_generation", |b| {
+        b.iter(|| black_box(list1_text(&ReportShape::paper_window(projection))))
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

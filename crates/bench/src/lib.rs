@@ -1,0 +1,1 @@
+//! Benchmark harness crate. The interesting code lives in `benches/`.

@@ -1,0 +1,232 @@
+//! `yycore` — command-line driver for the Yin-Yang geodynamo code.
+//!
+//! ```text
+//! yycore run      [key=value ...]      run a simulation (see options)
+//! yycore resume   <ckpt> [key=value]   continue from a checkpoint
+//! yycore slice    <ckpt> [out_dir]     equatorial/meridional slices from a checkpoint
+//! yycore parallel [key=value ...]      run the flat-MPI-style parallel driver
+//! yycore tables                        print Tables I-III and List 1
+//!
+//! common keys: any RunConfig key (nr, nth, mu, omega, ...) plus
+//!   steps=N        total steps                     [default 200]
+//!   sample=N       diagnostics every N steps       [default 10]
+//!   ckpt=PATH      write a checkpoint here at the end
+//!   series=PATH    write the CSV time series here
+//!   pth=N pph=N    process grid (parallel only)    [default 1x2]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use yycore::checkpoint::Checkpoint;
+use yycore::{run_parallel, RunConfig, SerialSim};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: yycore <run|resume|slice|parallel|tables> [args]");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "resume" => cmd_resume(rest),
+        "slice" => cmd_slice(rest),
+        "parallel" => cmd_parallel(rest),
+        "tables" => cmd_tables(),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Harness options shared by run/resume/parallel.
+struct Opts {
+    cfg: RunConfig,
+    steps: u64,
+    sample: u64,
+    ckpt: Option<PathBuf>,
+    series: Option<PathBuf>,
+    pth: usize,
+    pph: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        cfg: RunConfig::small(),
+        steps: 200,
+        sample: 10,
+        ckpt: None,
+        series: None,
+        pth: 1,
+        pph: 2,
+    };
+    o.cfg.init.perturb_amplitude = 3e-2;
+    for arg in args {
+        let Some((k, v)) = arg.split_once('=') else {
+            return Err(format!("expected key=value, got '{arg}'"));
+        };
+        match k {
+            "steps" => o.steps = v.parse().map_err(|e| format!("steps: {e}"))?,
+            "sample" => o.sample = v.parse().map_err(|e| format!("sample: {e}"))?,
+            "ckpt" => o.ckpt = Some(PathBuf::from(v)),
+            "series" => o.series = Some(PathBuf::from(v)),
+            "pth" => o.pth = v.parse().map_err(|e| format!("pth: {e}"))?,
+            "pph" => o.pph = v.parse().map_err(|e| format!("pph: {e}"))?,
+            _ => o.cfg.apply_override(k, v)?,
+        }
+    }
+    Ok(o)
+}
+
+fn finish(report: &yycore::RunReport, o: &Opts) -> Result<(), String> {
+    if let Some(path) = &o.series {
+        std::fs::write(path, report.series_csv()).map_err(|e| format!("writing series: {e}"))?;
+        eprintln!("wrote series to {}", path.display());
+    } else {
+        print!("{}", report.series_csv());
+    }
+    eprintln!(
+        "done: t = {:.5}, {} steps, {:.1} MFLOPS, {:.0} flops/point/step",
+        report.time,
+        report.steps,
+        report.mflops(),
+        report.flops_per_point_step()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let grid = o.cfg.grid();
+    eprintln!(
+        "grid {}x{}x{}x2 = {} points; Ra-like {:.2e}, Ekman {:.2e}",
+        o.cfg.nr,
+        grid.dims().1,
+        grid.dims().2,
+        grid.total_points(),
+        o.cfg.params.rayleigh(),
+        o.cfg.params.ekman()
+    );
+    let mut sim = SerialSim::new(o.cfg.clone());
+    let report = sim.run(o.steps, o.sample);
+    if let Some(path) = &o.ckpt {
+        Checkpoint::capture(&sim).save(path).map_err(|e| format!("writing checkpoint: {e}"))?;
+        eprintln!("wrote checkpoint to {}", path.display());
+    }
+    finish(&report, &o)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("resume needs a checkpoint path".into());
+    };
+    let o = parse_opts(&args[1..])?;
+    let ck = Checkpoint::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let mut sim = SerialSim::new(o.cfg.clone());
+    ck.restore(&mut sim);
+    eprintln!("resumed at step {}, t = {:.5}", sim.step, sim.time);
+    let report = sim.run(o.steps, o.sample);
+    if let Some(out) = &o.ckpt {
+        Checkpoint::capture(&sim).save(out).map_err(|e| format!("writing checkpoint: {e}"))?;
+        eprintln!("wrote checkpoint to {}", out.display());
+    }
+    finish(&report, &o)
+}
+
+fn cmd_slice(args: &[String]) -> Result<(), String> {
+    use yy_mesh::{Metric, Panel};
+    use yycore::snapshots::*;
+    let Some(path) = args.first() else {
+        return Err("slice needs a checkpoint path".into());
+    };
+    let out_dir = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("out"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    // Reconstruct a config whose grid matches the checkpoint geometry.
+    let ck = Checkpoint::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let mut cfg = RunConfig::small();
+    cfg.nr = ck.shape.nr;
+    // nth owned = nominal + 2 ext → invert with the default ext.
+    cfg.nth_nominal = ck.shape.nth - 2 * cfg.ext;
+    let grid = cfg.grid();
+    if grid.full_shape() != ck.shape {
+        return Err(format!(
+            "checkpoint geometry {:?} does not match a default-spec grid; \
+             pass matching nr/nth via a run config instead",
+            ck.shape
+        ));
+    }
+    let metric = Metric::full(&grid);
+
+    let t_yin = temperature(&ck.yin);
+    let t_yang = temperature(&ck.yang);
+    let eq_t = sample_equatorial(&t_yin, &t_yang, &grid, 512);
+    equatorial_disk_ppm(&eq_t, &out_dir.join("slice_eq_t.ppm"), 512)
+        .map_err(|e| format!("ppm: {e}"))?;
+
+    let wz_yin = axial_vorticity(&ck.yin, &grid, &metric, Panel::Yin);
+    let wz_yang = axial_vorticity(&ck.yang, &grid, &metric, Panel::Yang);
+    let eq_wz = sample_equatorial(&wz_yin, &wz_yang, &grid, 512);
+    equatorial_disk_ppm(&eq_wz, &out_dir.join("slice_eq_wz.ppm"), 512)
+        .map_err(|e| format!("ppm: {e}"))?;
+    std::fs::write(out_dir.join("slice_eq_wz.csv"), eq_wz.to_csv())
+        .map_err(|e| format!("csv: {e}"))?;
+
+    let mer_t = sample_meridional(&t_yin, &t_yang, &grid, 512, 0.0);
+    std::fs::write(out_dir.join("slice_mer_t.csv"), mer_t.to_csv())
+        .map_err(|e| format!("csv: {e}"))?;
+
+    let columns = count_convection_columns(eq_wz.mid_shell_ring(), 0.2);
+    let mode = yy_mhd::spectra::dominant_mode(eq_wz.mid_shell_ring(), 40);
+    println!(
+        "step {} (t = {:.5}): {} vorticity columns (dominant azimuthal mode m = {})",
+        ck.step, ck.time, columns, mode
+    );
+    println!("wrote slices to {}", out_dir.display());
+    Ok(())
+}
+
+fn cmd_parallel(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    eprintln!(
+        "{} ranks: 2 panels x {}x{} tiles",
+        2 * o.pth * o.pph,
+        o.pth,
+        o.pph
+    );
+    let rep = run_parallel(&o.cfg, o.pth, o.pph, o.steps, o.sample, false);
+    eprintln!(
+        "traffic: halo {} KiB, overset {} KiB",
+        rep.report.halo_bytes / 1024,
+        rep.report.overset_bytes / 1024
+    );
+    finish(&rep.report, &o)
+}
+
+fn cmd_tables() -> Result<(), String> {
+    use yy_esmodel::model::{project, RunShape};
+    use yy_esmodel::mpiproginf::{list1_text, ReportShape};
+    use yy_esmodel::*;
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 1e-2;
+    let mut sim = SerialSim::new(cfg);
+    let interior = sim.interior_points();
+    let report = sim.run(3, 0);
+    let measured = report.flops as f64 / report.steps as f64 / interior as f64;
+    let profile = KernelProfile::yycore_default().with_measured_flops(measured);
+    println!("{}", table1_text());
+    println!("{}", table2_text(&profile));
+    println!("{}", table3_text(&profile));
+    let projection = project(
+        &EsMachine::earth_simulator(),
+        &EsModelParams::calibrated(),
+        &profile,
+        &RunShape { procs: 4096, nr: 511, nth: 514, nph: 1538 },
+    );
+    println!("{}", list1_text(&ReportShape::paper_window(projection)));
+    Ok(())
+}

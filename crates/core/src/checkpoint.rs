@@ -1,0 +1,233 @@
+//! Binary checkpoint / restart.
+//!
+//! A checkpoint stores both panels' full state plus the simulation clock
+//! in a self-describing little-endian binary format:
+//!
+//! ```text
+//! magic "YYCORE\0\1"  (8 bytes)
+//! nr, nth, nph, gth, gph : u64 × 5       (padded array geometry)
+//! step : u64 ; time : f64
+//! 16 arrays (8 per panel, canonical order), each the full padded
+//! storage as f64 little-endian
+//! ```
+//!
+//! Restart is bit-exact: a run continued from a checkpoint produces the
+//! same trajectory as one that never stopped (verified by an integration
+//! test), because the ghost/frame values are stored too.
+
+use crate::serial::SerialSim;
+use std::io::{self, Read, Write};
+use yy_field::{Array3, Shape};
+use yy_mhd::State;
+
+const MAGIC: &[u8; 8] = b"YYCORE\0\x01";
+
+/// Checkpoint payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Padded array geometry of both panels.
+    pub shape: Shape,
+    /// Step counter at capture time.
+    pub step: u64,
+    /// Simulated time at capture.
+    pub time: f64,
+    /// Cached CFL step (restored so a resumed run recomputes dt at
+    /// exactly the same step numbers as an uninterrupted one).
+    pub dt_cache: f64,
+    /// The Yin panel's full state (ghosts included).
+    pub yin: State,
+    /// The Yang panel's full state.
+    pub yang: State,
+}
+
+impl Checkpoint {
+    /// Capture a serial simulation's restartable state.
+    pub fn capture(sim: &SerialSim) -> Checkpoint {
+        Checkpoint {
+            shape: sim.yin.shape(),
+            step: sim.step,
+            time: sim.time,
+            dt_cache: sim.dt_cache,
+            yin: sim.yin.clone(),
+            yang: sim.yang.clone(),
+        }
+    }
+
+    /// Restore into a freshly constructed simulation (whose configuration
+    /// must produce the same shape).
+    pub fn restore(&self, sim: &mut SerialSim) {
+        assert_eq!(
+            sim.yin.shape(),
+            self.shape,
+            "checkpoint shape {:?} does not match the simulation",
+            self.shape
+        );
+        sim.yin.copy_from(&self.yin);
+        sim.yang.copy_from(&self.yang);
+        sim.step = self.step;
+        sim.time = self.time;
+        sim.dt_cache = self.dt_cache;
+    }
+
+    /// Serialize to a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        for v in [
+            self.shape.nr as u64,
+            self.shape.nth as u64,
+            self.shape.nph as u64,
+            self.shape.gth as u64,
+            self.shape.gph as u64,
+            self.step,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&self.time.to_le_bytes())?;
+        w.write_all(&self.dt_cache.to_le_bytes())?;
+        for panel in [&self.yin, &self.yang] {
+            for arr in panel.arrays() {
+                write_array(w, arr)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Checkpoint> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a yycore checkpoint"));
+        }
+        let mut u = [0u8; 8];
+        let mut next_u64 = |r: &mut R| -> io::Result<u64> {
+            r.read_exact(&mut u)?;
+            Ok(u64::from_le_bytes(u))
+        };
+        let nr = next_u64(r)? as usize;
+        let nth = next_u64(r)? as usize;
+        let nph = next_u64(r)? as usize;
+        let gth = next_u64(r)? as usize;
+        let gph = next_u64(r)? as usize;
+        let step = next_u64(r)?;
+        let mut f = [0u8; 8];
+        r.read_exact(&mut f)?;
+        let time = f64::from_le_bytes(f);
+        r.read_exact(&mut f)?;
+        let dt_cache = f64::from_le_bytes(f);
+        let shape = Shape::new(nr, nth, nph, gth, gph);
+        let mut yin = State::zeros(shape);
+        let mut yang = State::zeros(shape);
+        for panel in [&mut yin, &mut yang] {
+            for arr in panel.arrays_mut() {
+                read_array(r, arr)?;
+            }
+        }
+        Ok(Checkpoint { shape, step, time, dt_cache, yin, yang })
+    }
+
+    /// Write to a file path.
+    pub fn save(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Read from a file path.
+    pub fn load(path: &std::path::Path) -> io::Result<Checkpoint> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        Checkpoint::read_from(&mut r)
+    }
+}
+
+fn write_array<W: Write>(w: &mut W, a: &Array3) -> io::Result<()> {
+    // One bulk conversion per array keeps the writer syscall-friendly.
+    let mut bytes = Vec::with_capacity(a.data().len() * 8);
+    for v in a.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+fn read_array<R: Read>(r: &mut R, a: &mut Array3) -> io::Result<()> {
+    let n = a.data().len();
+    let mut bytes = vec![0u8; n * 8];
+    r.read_exact(&mut bytes)?;
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        a.data_mut()[i] = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mut sim = SerialSim::new(RunConfig::small());
+        sim.run(2, 0);
+        let ck = Checkpoint::capture(&sim);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut sim = SerialSim::new(RunConfig::small());
+        sim.run(1, 0);
+        let ck = Checkpoint::capture(&sim);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(Checkpoint::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut sim = SerialSim::new(RunConfig::small());
+        sim.run(1, 0);
+        let ck = Checkpoint::capture(&sim);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Checkpoint::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restart_is_bit_exact() {
+        // Continuous run vs checkpoint-restart run.
+        let cfg = RunConfig::small();
+        let mut continuous = SerialSim::new(cfg.clone());
+        continuous.run(4, 0);
+
+        let mut first = SerialSim::new(cfg.clone());
+        first.run(2, 0);
+        let ck = Checkpoint::capture(&first);
+        let mut resumed = SerialSim::new(cfg);
+        ck.restore(&mut resumed);
+        resumed.run(2, 0);
+
+        assert_eq!(continuous.step, resumed.step);
+        assert_eq!(continuous.time, resumed.time);
+        assert_eq!(continuous.yin, resumed.yin);
+        assert_eq!(continuous.yang, resumed.yang);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("yycore_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ck");
+        let mut sim = SerialSim::new(RunConfig::small());
+        sim.run(1, 0);
+        let ck = Checkpoint::capture(&sim);
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
+    }
+}

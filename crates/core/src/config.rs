@@ -1,0 +1,137 @@
+//! Run configuration for the geodynamo drivers.
+
+use yy_mesh::{PatchGrid, PatchSpec};
+use yy_mhd::{init::InitOptions, MagneticBc, PhysParams};
+
+/// Everything needed to set up a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Radial node count.
+    pub nr: usize,
+    /// Nodes across the nominal 90° colatitude span.
+    pub nth_nominal: usize,
+    /// Patch extension cells (see `yy_mesh::PatchSpec`).
+    pub ext: usize,
+    /// Physics.
+    pub params: PhysParams,
+    /// Magnetic wall condition.
+    pub mag_bc: MagneticBc,
+    /// Initial perturbation controls.
+    pub init: InitOptions,
+    /// Advective CFL safety factor.
+    pub cfl: f64,
+    /// Recompute dt every this many steps (1 = every step).
+    pub dt_every: usize,
+}
+
+impl RunConfig {
+    /// A quick, well-conditioned default for tests and examples.
+    pub fn small() -> Self {
+        RunConfig {
+            nr: 16,
+            nth_nominal: 13,
+            ext: 2,
+            params: PhysParams::default_laptop(),
+            mag_bc: MagneticBc::ConductingWall,
+            init: InitOptions::default(),
+            cfl: 0.3,
+            dt_every: 5,
+        }
+    }
+
+    /// A medium resolution for the convection/ dynamo examples.
+    pub fn medium() -> Self {
+        RunConfig { nr: 24, nth_nominal: 25, ..Self::small() }
+    }
+
+    /// Build the patch grid for this configuration.
+    pub fn grid(&self) -> PatchGrid {
+        PatchGrid::new(
+            PatchSpec::equal_spacing(self.nr, self.nth_nominal, self.params.ri, 1.0)
+                .with_ext(self.ext),
+        )
+    }
+
+    /// Apply `key=value` overrides (the examples' tiny CLI):
+    /// `nr`, `nth`, `ext`, `cfl`, `steps`-unrelated physics keys
+    /// `mu`, `kappa`, `eta`, `omega`, `g0`, `t_inner`, `gamma`,
+    /// `perturb`, `seed_amp`, `seed`.
+    pub fn apply_override(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let fv = || value.parse::<f64>().map_err(|e| format!("bad float for {key}: {e}"));
+        let uv = || value.parse::<usize>().map_err(|e| format!("bad integer for {key}: {e}"));
+        match key {
+            "nr" => self.nr = uv()?,
+            "nth" => self.nth_nominal = uv()?,
+            "ext" => self.ext = uv()?,
+            "cfl" => self.cfl = fv()?,
+            "dt_every" => self.dt_every = uv()?,
+            "mu" => self.params.mu = fv()?,
+            "kappa" => self.params.kappa = fv()?,
+            "eta" => self.params.eta = fv()?,
+            "omega" => self.params.omega = fv()?,
+            "g0" => self.params.g0 = fv()?,
+            "t_inner" => self.params.t_inner = fv()?,
+            "gamma" => self.params.gamma = fv()?,
+            "ri" => self.params.ri = fv()?,
+            "perturb" => self.init.perturb_amplitude = fv()?,
+            "seed_amp" => self.init.seed_amplitude = fv()?,
+            "seed" => {
+                self.init.seed =
+                    value.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?
+            }
+            "mag_bc" => {
+                self.mag_bc = match value {
+                    "conducting" => MagneticBc::ConductingWall,
+                    "zero_gradient" => MagneticBc::ZeroGradient,
+                    other => return Err(format!("unknown mag_bc '{other}'")),
+                }
+            }
+            other => return Err(format!("unknown config key '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Parse a list of `key=value` arguments (e.g. from `std::env::args`).
+    pub fn apply_args<I: IntoIterator<Item = String>>(&mut self, args: I) -> Result<(), String> {
+        for arg in args {
+            let Some((k, v)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            self.apply_override(k.trim(), v.trim())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_builds_a_grid() {
+        let cfg = RunConfig::small();
+        let g = cfg.grid();
+        let (nr, nth, nph) = g.dims();
+        assert_eq!(nr, 16);
+        assert_eq!(nth, 13 + 2 * cfg.ext);
+        assert!(nph > 3 * nth / 2);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut cfg = RunConfig::small();
+        cfg.apply_args(["nr=20".to_string(), "mu=0.5".to_string(), "mag_bc=zero_gradient".into()])
+            .unwrap();
+        assert_eq!(cfg.nr, 20);
+        assert_eq!(cfg.params.mu, 0.5);
+        assert_eq!(cfg.mag_bc, MagneticBc::ZeroGradient);
+    }
+
+    #[test]
+    fn bad_overrides_are_reported() {
+        let mut cfg = RunConfig::small();
+        assert!(cfg.apply_override("nr", "abc").is_err());
+        assert!(cfg.apply_override("nope", "1").is_err());
+        assert!(cfg.apply_args(["noequals".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,552 @@
+//! The parallel driver: the paper's flat-MPI parallelization, run on the
+//! in-process message-passing substrate.
+//!
+//! Process layout (paper §IV):
+//!
+//! 1. the world communicator is split into two *panels* — the Yin group
+//!    and the Yang group (`MPI_COMM_SPLIT`, color = panel);
+//! 2. inside each panel, a 2-D Cartesian process grid over (θ, φ)
+//!    (`MPI_CART_CREATE`); each process owns the full radial extent of a
+//!    horizontal tile and exchanges halos with its ≤ 4 neighbours
+//!    (`MPI_SEND` / `MPI_IRECV` with `MPI_CART_SHIFT` ranks);
+//! 3. overset interpolation data flows between the panels under the world
+//!    communicator: the rank owning the donor cell interpolates (and
+//!    rotates vector components) and sends finished radial columns.
+//!
+//! Every boundary synchronisation performs: (a) a two-phase halo exchange
+//! (θ first, then φ over the θ-extended rows, so corner ghosts fill
+//! without diagonal messages), (b) the overset exchange, (c) the physical
+//! wall conditions. The two-phase trick is the standard way real codes
+//! avoid 8-neighbour communication.
+//!
+//! The result is bitwise identical to [`crate::serial::SerialSim`] — an
+//! integration test asserts exactly that.
+
+use crate::config::RunConfig;
+use crate::report::{RunReport, TimeSeriesPoint};
+use std::time::Instant;
+use yy_field::{pack_region, unpack_region, Array3, FlopMeter, Region};
+use yy_mesh::routing::{build_schedule, panel_of_world, OversetExchange};
+use yy_mesh::{
+    build_overset_columns, interp::interp_scalar_column, interp::interp_vector_column, Decomp2D,
+    Metric, OversetColumn, PatchGrid, Tile,
+};
+use yy_mhd::rhs::{InteriorRange, RhsScratch};
+use yy_mhd::tables::rotation_axis;
+use yy_mhd::{
+    apply_physical_bc, cfl_timestep, compute_rhs, initialize, timestep::rho_min_owned,
+    wave_speed_max, Diagnostics, ForceTables, State,
+};
+use yy_parcomm::stats::TrafficClass;
+use yy_parcomm::{CartComm, Comm, ReduceOp, Universe};
+
+/// User-tag space for the solver's point-to-point traffic.
+const TAG_HALO_THETA: u64 = 11;
+const TAG_HALO_PHI: u64 = 12;
+const TAG_OVERSET: u64 = 13;
+const TAG_GATHER: u64 = 14;
+
+/// Result of a parallel run (assembled on world rank 0).
+pub struct ParallelReport {
+    /// Run metrics and the diagnostic series.
+    pub report: RunReport,
+    /// Gathered full Yin panel (owned values; ghosts zero) when requested.
+    pub yin: Option<State>,
+    /// Gathered full Yang panel.
+    pub yang: Option<State>,
+}
+
+/// Execute a parallel run with `pth × pph` tiles per panel
+/// (world size = `2 · pth · pph` rank threads).
+pub fn run_parallel(
+    cfg: &RunConfig,
+    pth: usize,
+    pph: usize,
+    steps: u64,
+    sample_every: u64,
+    gather_state: bool,
+) -> ParallelReport {
+    cfg.params.validate();
+    let tiles = pth * pph;
+    let nprocs = 2 * tiles;
+    let cfg = cfg.clone();
+    let results = Universe::run(nprocs, move |world| {
+        rank_main(&cfg, world, pth, pph, steps, sample_every, gather_state)
+    });
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 must produce the report")
+}
+
+/// Per-rank solver instance. The evolving `State` lives outside this
+/// struct (in `rank_main`) so boundary synchronisation can borrow the
+/// solver immutably while mutating the state.
+struct RankSolver<'a> {
+    world: &'a Comm,
+    cart: CartComm,
+    grid: PatchGrid,
+    tile: Tile,
+    metric: Metric,
+    forces: ForceTables,
+    exchange: OversetExchange,
+    range: InteriorRange,
+    cfg: RunConfig,
+    y0: State,
+    k: State,
+    stage: State,
+    scratch: RhsScratch,
+    meter: FlopMeter,
+    time: f64,
+    step: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    cfg: &RunConfig,
+    world: Comm,
+    pth: usize,
+    pph: usize,
+    steps: u64,
+    sample_every: u64,
+    gather_state: bool,
+) -> Option<ParallelReport> {
+    let tiles = pth * pph;
+    let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
+    // The paper's MPI_COMM_SPLIT: color = panel, key = world rank, so the
+    // panel communicator preserves world order and panel_rank == cart rank.
+    let panel_comm = world.split(panel.index() as u64, world.rank() as i64);
+    assert_eq!(panel_comm.rank(), panel_rank);
+    let cart = CartComm::new(panel_comm, [pth, pph], [false, false]);
+
+    let grid = cfg.grid();
+    let decomp = Decomp2D::new(pth, pph, &grid);
+    let tile = decomp.tile(panel_rank);
+    let metric = Metric::new(&grid, &tile);
+    let halo = grid.spec().halo;
+    let forces = ForceTables::new(
+        &metric,
+        tile.nth,
+        tile.nph,
+        halo,
+        cfg.params.g0,
+        cfg.params.omega,
+        rotation_axis(panel),
+    );
+    let cols: Vec<OversetColumn> = build_overset_columns(&grid)
+        .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
+    let mut schedule = build_schedule(&grid, &decomp, &cols);
+    let exchange = std::mem::take(&mut schedule[world.rank()]);
+    let range = InteriorRange::for_tile(&grid, &tile);
+
+    let shape = tile.shape(&grid);
+    let mut state = State::zeros(shape);
+    initialize(&mut state, &grid, Some(&tile), &cfg.params, &cfg.init, panel);
+
+    let mut solver = RankSolver {
+        world: &world,
+        cart,
+        grid,
+        tile,
+        metric,
+        forces,
+        exchange,
+        range,
+        cfg: cfg.clone(),
+        y0: State::zeros(shape),
+        k: State::zeros(shape),
+        stage: State::zeros(shape),
+        scratch: RhsScratch::new(shape),
+        meter: FlopMeter::new(),
+        time: 0.0,
+        step: 0,
+    };
+    solver.sync(&mut state);
+
+    let started = Instant::now();
+    let mut series = Vec::new();
+    let record = |solver: &RankSolver, state: &State, dt: f64, series: &mut Vec<TimeSeriesPoint>| {
+        let d = solver.reduce_diag(state);
+        if solver.world.rank() == 0 {
+            series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt, diag: d });
+        }
+    };
+    record(&solver, &state, 0.0, &mut series);
+
+    let mut dt_cache = 0.0_f64;
+    for n in 0..steps {
+        if dt_cache == 0.0 || solver.step % solver.cfg.dt_every as u64 == 0 {
+            dt_cache = solver.global_dt(&state);
+        }
+        solver.advance(&mut state, dt_cache);
+        assert!(
+            !state.has_non_finite(),
+            "rank {}: solution became non-finite at step {}",
+            world.rank(),
+            solver.step
+        );
+        assert!(
+            state.is_physical(),
+            "rank {}: solution became unphysical (non-positive density/pressure) at step {}",
+            world.rank(),
+            solver.step
+        );
+        if sample_every > 0 && (n + 1) % sample_every == 0 {
+            record(&solver, &state, dt_cache, &mut series);
+        }
+    }
+    // Final sample (every rank joins the collective; rank 0 records only
+    // if the last loop iteration did not already sample this step).
+    let d = solver.reduce_diag(&state);
+    if world.rank() == 0 && series.last().map(|p| p.step) != Some(solver.step) {
+        series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
+    }
+
+    // Aggregate counters.
+    let stats = world.stats();
+    let flops = world.allreduce_f64(solver.meter.flops() as f64, ReduceOp::Sum) as u64;
+    let halo_bytes = world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
+    let overset_bytes = world.allreduce_f64(stats.bytes_overset as f64, ReduceOp::Sum) as u64;
+
+    // Optionally gather the full panels at rank 0.
+    let (yin, yang) = if gather_state {
+        solver.gather_panels(&state, tiles)
+    } else {
+        (None, None)
+    };
+
+    if world.rank() == 0 {
+        Some(ParallelReport {
+            report: RunReport {
+                time: solver.time,
+                steps,
+                flops,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                grid_points: solver.grid.total_points(),
+                halo_bytes,
+                overset_bytes,
+                series,
+            },
+            yin,
+            yang,
+        })
+    } else {
+        None
+    }
+}
+
+impl RankSolver<'_> {
+    /// Halo exchange + overset exchange + physical walls on `s`.
+    fn sync(&self, s: &mut State) {
+        self.halo_exchange(s);
+        self.overset_exchange(s);
+        apply_physical_bc(s, self.cfg.params.t_inner, self.cfg.mag_bc);
+    }
+
+    /// Two-phase nearest-neighbour halo exchange (θ, then φ over the
+    /// θ-extended rows so corners fill without diagonal messages).
+    fn halo_exchange(&self, s: &mut State) {
+        let h = self.grid.spec().halo as isize;
+        let (nth, nph) = (self.tile.nth as isize, self.tile.nph as isize);
+        let nr = self.grid.spec().nr;
+        let [north, south, west, east] = self.cart.neighbors4();
+
+        // --- phase θ ------------------------------------------------------
+        let send_n = Region { i0: 0, i1: nr, j0: 0, j1: h, k0: 0, k1: nph };
+        let send_s = Region { i0: 0, i1: nr, j0: nth - h, j1: nth, k0: 0, k1: nph };
+        let recv_n = Region { i0: 0, i1: nr, j0: -h, j1: 0, k0: 0, k1: nph };
+        let recv_s = Region { i0: 0, i1: nr, j0: nth, j1: nth + h, k0: 0, k1: nph };
+        self.exchange_bands(s, north, south, send_n, send_s, recv_n, recv_s, TAG_HALO_THETA);
+
+        // --- phase φ (rows extended into the θ ghosts) ---------------------
+        let send_w = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: 0, k1: h };
+        let send_e = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph - h, k1: nph };
+        let recv_w = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: -h, k1: 0 };
+        let recv_e = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph, k1: nph + h };
+        self.exchange_bands(s, west, east, send_w, send_e, recv_w, recv_e, TAG_HALO_PHI);
+    }
+
+    /// Symmetric exchange with the (lo, hi) neighbour pair along one
+    /// dimension: all eight state arrays packed into a single message per
+    /// neighbour, as the real code batches its halo traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_bands(
+        &self,
+        s: &mut State,
+        lo: Option<usize>,
+        hi: Option<usize>,
+        send_lo: Region,
+        send_hi: Region,
+        recv_lo: Region,
+        recv_hi: Region,
+        tag: u64,
+    ) {
+        let comm = self.cart.comm();
+        // Post sends first (buffered): no deadlock in symmetric exchange.
+        for (peer, region) in [(lo, send_lo), (hi, send_hi)] {
+            if let Some(dst) = peer {
+                let mut buf = Vec::with_capacity(region.len() * 8);
+                for arr in s.arrays() {
+                    pack_region(arr, region, &mut buf);
+                }
+                comm.send_f64s(dst, tag, buf, TrafficClass::Halo);
+            }
+        }
+        for (peer, region) in [(lo, recv_lo), (hi, recv_hi)] {
+            if let Some(src) = peer {
+                let buf = comm.recv_f64s(src, tag);
+                let mut rest: &[f64] = &buf;
+                for arr in s.arrays_mut() {
+                    rest = unpack_region(arr, region, rest);
+                }
+                assert!(rest.is_empty(), "halo message size mismatch from rank {src}");
+            }
+        }
+    }
+
+    /// Overset exchange: donate interpolated columns to partner-panel
+    /// ranks and fill my frame slots from theirs.
+    fn overset_exchange(&self, s: &mut State) {
+        let nr = self.grid.spec().nr;
+        // Donate.
+        for send in &self.exchange.sends {
+            let mut buf = Vec::with_capacity(send.jobs.len() * 8 * nr);
+            let mut row = vec![0.0; nr];
+            let (mut vr, mut vt, mut vp) = (vec![0.0; nr], vec![0.0; nr], vec![0.0; nr]);
+            for job in &send.jobs {
+                let col = OversetColumn {
+                    tgt_j: 0,
+                    tgt_k: 0,
+                    don_j: job.dj as usize,
+                    don_k: job.dk as usize,
+                    w: job.w,
+                    rot: job.rot,
+                };
+                interp_scalar_column(&col, &s.rho, &mut row);
+                buf.extend_from_slice(&row);
+                interp_scalar_column(&col, &s.press, &mut row);
+                buf.extend_from_slice(&row);
+                interp_vector_column(&col, &s.f.r, &s.f.t, &s.f.p, &mut vr, &mut vt, &mut vp);
+                buf.extend_from_slice(&vr);
+                buf.extend_from_slice(&vt);
+                buf.extend_from_slice(&vp);
+                interp_vector_column(&col, &s.a.r, &s.a.t, &s.a.p, &mut vr, &mut vt, &mut vp);
+                buf.extend_from_slice(&vr);
+                buf.extend_from_slice(&vt);
+                buf.extend_from_slice(&vp);
+            }
+            self.world.send_f64s(send.to_world, TAG_OVERSET, buf, TrafficClass::Overset);
+        }
+        // Receive and place.
+        for recv in &self.exchange.recvs {
+            let buf = self.world.recv_f64s(recv.from_world, TAG_OVERSET);
+            assert_eq!(
+                buf.len(),
+                recv.slots.len() * 8 * nr,
+                "overset message size mismatch from rank {}",
+                recv.from_world
+            );
+            let mut pos = 0;
+            for slot in &recv.slots {
+                let mut take = |arr: &mut Array3| {
+                    arr.row_mut(slot.tj, slot.tk).copy_from_slice(&buf[pos..pos + nr]);
+                    pos += nr;
+                };
+                take(&mut s.rho);
+                take(&mut s.press);
+                take(&mut s.f.r);
+                take(&mut s.f.t);
+                take(&mut s.f.p);
+                take(&mut s.a.r);
+                take(&mut s.a.t);
+                take(&mut s.a.p);
+            }
+        }
+    }
+
+    /// Globally reduced CFL time step.
+    ///
+    /// The *ingredients* (max speed, min spacing, min density) are reduced
+    /// globally and the formula is then evaluated identically on every
+    /// rank — reducing per-tile `dt`s instead would give
+    /// `min(dxᵢ/speedᵢ) ≠ min(dx)/max(speed)` whenever the smallest cell
+    /// and the fastest signal live on different tiles, and would break the
+    /// bitwise equivalence with the serial reference.
+    fn global_dt(&self, state: &State) -> f64 {
+        let speed = wave_speed_max(state, &self.metric, &self.cfg.params, &self.range);
+        let max_speed = self.world.allreduce_f64(speed, ReduceOp::Max);
+        let min_dx = self.world.allreduce_f64(self.metric.min_spacing(), ReduceOp::Min);
+        let min_rho = self.world.allreduce_f64(rho_min_owned(state), ReduceOp::Min);
+        cfl_timestep(max_speed, min_dx, min_rho, &self.cfg.params, self.cfg.cfl)
+    }
+
+    /// One RK4 step (mirrors `SerialSim::advance`).
+    fn advance(&mut self, state: &mut State, dt: f64) {
+        let weights = geomath::rk4::RK4_WEIGHTS;
+        let nodes = [0.5, 0.5, 1.0];
+        self.y0.copy_from(state);
+        self.stage.copy_from(state);
+        for s in 0..4 {
+            compute_rhs(
+                &self.stage,
+                &self.metric,
+                &self.forces,
+                &self.cfg.params,
+                &self.range,
+                &mut self.scratch,
+                &mut self.k,
+                &mut self.meter,
+            );
+            state.axpy(dt * weights[s], &self.k);
+            if s < 3 {
+                self.stage.assign_axpy(&self.y0, dt * nodes[s], &self.k);
+                let mut stage = std::mem::replace(&mut self.stage, State::zeros(state.shape()));
+                self.sync(&mut stage);
+                self.stage = stage;
+            }
+        }
+        self.sync(state);
+        // RK4 combine arithmetic (4 axpy + 3 assign_axpy, 2 flops/element,
+        // 8 arrays) — kept identical to the serial driver's accounting.
+        let combine_flops = 2 * (4 + 3) * 8 * state.shape().len() as u64;
+        self.meter.add(combine_flops);
+        self.time += dt;
+        self.step += 1;
+    }
+
+    /// Globally reduced diagnostics (sums for energies, max for maxima).
+    fn reduce_diag(&self, state: &State) -> Diagnostics {
+        let local = yy_mhd::energy::compute_diagnostics(
+            state,
+            &self.grid,
+            &self.metric,
+            Some(&self.tile),
+            &self.cfg.params,
+            &self.range,
+        );
+        let v = local.to_vec();
+        let sums = self.world.allreduce_vec(&v[..4], ReduceOp::Sum);
+        let maxs = self.world.allreduce_vec(&v[4..], ReduceOp::Max);
+        Diagnostics::from_slice(&[sums[0], sums[1], sums[2], sums[3], maxs[0], maxs[1]])
+    }
+
+    /// Gather owned blocks of both panels at world rank 0.
+    fn gather_panels(&self, state: &State, tiles: usize) -> (Option<State>, Option<State>) {
+        let nr = self.grid.spec().nr;
+        // Pack my owned block.
+        let owned = Region {
+            i0: 0,
+            i1: nr,
+            j0: 0,
+            j1: self.tile.nth as isize,
+            k0: 0,
+            k1: self.tile.nph as isize,
+        };
+        let mut buf = Vec::with_capacity(owned.len() * 8);
+        for arr in state.arrays() {
+            pack_region(arr, owned, &mut buf);
+        }
+        if self.world.rank() == 0 {
+            let decomp = Decomp2D::new(self.cart.dims()[0], self.cart.dims()[1], &self.grid);
+            let mut panels =
+                [State::zeros(self.grid.full_shape()), State::zeros(self.grid.full_shape())];
+            for world_rank in 0..2 * tiles {
+                let data = if world_rank == 0 {
+                    std::mem::take(&mut buf)
+                } else {
+                    self.world.recv_f64s(world_rank, TAG_GATHER)
+                };
+                let (panel, pr) = panel_of_world(world_rank, tiles);
+                let t = decomp.tile(pr);
+                let region = Region {
+                    i0: 0,
+                    i1: nr,
+                    j0: t.j0 as isize,
+                    j1: (t.j0 + t.nth) as isize,
+                    k0: t.k0 as isize,
+                    k1: (t.k0 + t.nph) as isize,
+                };
+                let mut rest: &[f64] = &data;
+                for arr in panels[panel.index()].arrays_mut() {
+                    rest = unpack_region(arr, region, rest);
+                }
+                assert!(rest.is_empty());
+            }
+            let [yin, yang] = panels;
+            (Some(yin), Some(yang))
+        } else {
+            self.world.send_f64s(0, TAG_GATHER, buf, TrafficClass::Control);
+            (None, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialSim;
+
+    fn quick_cfg() -> RunConfig {
+        let mut cfg = RunConfig::small();
+        cfg.init.perturb_amplitude = 1e-2;
+        cfg
+    }
+
+    #[test]
+    fn parallel_runs_and_reports() {
+        let rep = run_parallel(&quick_cfg(), 1, 2, 3, 1, false);
+        assert_eq!(rep.report.steps, 3);
+        assert!(rep.report.flops > 0);
+        assert!(rep.report.halo_bytes > 0, "1x2 decomposition must exchange halos");
+        assert!(rep.report.overset_bytes > 0);
+        assert!(rep.yin.is_none());
+    }
+
+    /// The central correctness property: any decomposition produces the
+    /// same owned values as the serial reference, bitwise.
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let cfg = quick_cfg();
+        let mut serial = SerialSim::new(cfg.clone());
+        serial.run(3, 0);
+        for (pth, pph) in [(1, 2), (2, 2)] {
+            let rep = run_parallel(&cfg, pth, pph, 3, 0, true);
+            let yin = rep.yin.expect("gathered yin");
+            let yang = rep.yang.expect("gathered yang");
+            let (_, nth, nph) = serial.grid.dims();
+            let mut checked = 0usize;
+            for (ser, par) in [(&serial.yin, &yin), (&serial.yang, &yang)] {
+                for (sa, pa) in ser.arrays().into_iter().zip(par.arrays()) {
+                    for k in 0..nph as isize {
+                        for j in 0..nth as isize {
+                            for i in 0..serial.grid.spec().nr {
+                                assert_eq!(
+                                    sa.at(i, j, k),
+                                    pa.at(i, j, k),
+                                    "mismatch at panel array node ({i},{j},{k}) under {pth}x{pph}"
+                                );
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(checked > 100_000, "comparison actually covered the grid");
+        }
+    }
+
+    #[test]
+    fn diagnostics_agree_with_serial_to_roundoff() {
+        let cfg = quick_cfg();
+        let mut serial = SerialSim::new(cfg.clone());
+        let s_rep = serial.run(2, 1);
+        let p_rep = run_parallel(&cfg, 2, 1, 2, 1, false);
+        let s_last = s_rep.series.last().unwrap().diag;
+        let p_last = p_rep.report.series.last().unwrap().diag;
+        assert!(geomath::approx_eq(s_last.kinetic, p_last.kinetic, 1e-12));
+        assert!(geomath::approx_eq(s_last.thermal, p_last.thermal, 1e-12));
+        assert!(geomath::approx_eq(s_last.mass, p_last.mass, 1e-12));
+        assert_eq!(s_last.max_speed, p_last.max_speed); // max is exact
+    }
+}

@@ -1,0 +1,118 @@
+//! Run reports: diagnostic time series and performance counters.
+
+use yy_mhd::Diagnostics;
+
+/// One sample of the diagnostic time series (§V's energy curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Step index of the sample.
+    pub step: u64,
+    /// Simulated time.
+    pub time: f64,
+    /// Time step in use when sampled.
+    pub dt: f64,
+    /// Reduced diagnostics (both panels / all ranks).
+    pub diag: Diagnostics,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Total simulated time.
+    pub time: f64,
+    /// Steps taken.
+    pub steps: u64,
+    /// Total floating-point operations (all ranks/panels).
+    pub flops: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Total grid points (both panels).
+    pub grid_points: usize,
+    /// Field bytes sent between ranks (halo), 0 for serial runs.
+    pub halo_bytes: u64,
+    /// Field bytes sent between panels (overset interpolation).
+    pub overset_bytes: u64,
+    /// Diagnostic series sampled during the run.
+    pub series: Vec<TimeSeriesPoint>,
+}
+
+impl RunReport {
+    /// Measured MFLOPS over the run.
+    pub fn mflops(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.wall_seconds / 1e6
+    }
+
+    /// FLOPs per grid point per step — the workload intensity the paper's
+    /// Table III compares across codes ("Flops/g.p." is this times the
+    /// step rate).
+    pub fn flops_per_point_step(&self) -> f64 {
+        if self.steps == 0 || self.grid_points == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.steps as f64 / self.grid_points as f64
+    }
+
+    /// Render the series as CSV (`step,time,dt,kinetic,magnetic,thermal,
+    /// mass,max_speed,max_b`).
+    pub fn series_csv(&self) -> String {
+        let mut out =
+            String::from("step,time,dt,kinetic,magnetic,thermal,mass,max_speed,max_b\n");
+        for p in &self.series {
+            out.push_str(&format!(
+                "{},{:.8e},{:.4e},{:.8e},{:.8e},{:.8e},{:.8e},{:.4e},{:.4e}\n",
+                p.step,
+                p.time,
+                p.dt,
+                p.diag.kinetic,
+                p.diag.magnetic,
+                p.diag.thermal,
+                p.diag.mass,
+                p.diag.max_speed,
+                p.diag.max_b
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let r = RunReport::default();
+        assert_eq!(r.mflops(), 0.0);
+        assert_eq!(r.flops_per_point_step(), 0.0);
+    }
+
+    #[test]
+    fn flops_per_point_step_is_intensity() {
+        let r = RunReport {
+            flops: 1000,
+            steps: 10,
+            grid_points: 10,
+            wall_seconds: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(r.flops_per_point_step(), 10.0);
+        assert_eq!(r.mflops(), 1e-3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut r = RunReport::default();
+        r.series.push(TimeSeriesPoint {
+            step: 1,
+            time: 0.1,
+            dt: 0.01,
+            diag: Diagnostics::default(),
+        });
+        let csv = r.series_csv();
+        assert!(csv.starts_with("step,time,dt"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

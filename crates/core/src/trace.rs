@@ -1,0 +1,307 @@
+//! Streamline and tracer-particle integration on the Yin-Yang pair.
+//!
+//! The paper's group pioneered visualization of geodynamo fields —
+//! Fig. 2c/d renders the convection columns in 3-D. The primitive under
+//! such renderings is evaluating a vector field at arbitrary points of
+//! the shell, which on an overset grid means: pick the covering panel,
+//! interpolate trilinearly in that panel's coordinates, and return the
+//! vector in the *global* frame. Streamlines and tracers then follow by
+//! RK4 in physical space, hopping seamlessly between panels as they go —
+//! a stringent end-to-end test of the whole geometry stack.
+
+use geomath::spherical::SphericalBasis;
+use geomath::{SphericalPoint, Vec3, YinYangMap};
+use yy_field::VectorField;
+use yy_mesh::{Panel, PatchGrid};
+use yy_mhd::State;
+
+/// A vector field sampled on both panels (panel-local spherical
+/// components, padded arrays), evaluable at any point of the shell.
+pub struct GlobalVectorField<'a> {
+    grid: &'a PatchGrid,
+    yin: &'a VectorField,
+    yang: &'a VectorField,
+    map: YinYangMap,
+}
+
+impl<'a> GlobalVectorField<'a> {
+    /// Wrap a sampled pair of panel fields for point evaluation.
+    pub fn new(grid: &'a PatchGrid, yin: &'a VectorField, yang: &'a VectorField) -> Self {
+        GlobalVectorField { grid, yin, yang, map: YinYangMap::new() }
+    }
+
+    /// Shell radii `(ri, ro)`.
+    pub fn shell(&self) -> (f64, f64) {
+        (self.grid.r().min(), self.grid.r().max())
+    }
+
+    /// Evaluate at a global Cartesian point. Returns `None` outside the
+    /// shell (beyond a half-cell tolerance).
+    pub fn eval(&self, x: Vec3) -> Option<Vec3> {
+        let p = SphericalPoint::from_cartesian(x);
+        if !self.grid.r().contains(p.r, 0.5) {
+            return None;
+        }
+        // Pick the panel covering this direction.
+        let (panel, local) = if PatchGrid::in_nominal_span(p.theta, p.phi) {
+            (Panel::Yin, p)
+        } else {
+            (Panel::Yang, self.map.transform_point(p))
+        };
+        let field = match panel {
+            Panel::Yin => self.yin,
+            Panel::Yang => self.yang,
+        };
+        let (i0, fr) = self.grid.r().locate(local.r, 0.5)?;
+        let (j0, ft) = self.grid.theta().locate(local.theta, 1e-9)?;
+        let (k0, fp) = self.grid.phi().locate(local.phi, 1e-9)?;
+        // Trilinear interpolation of the three spherical components.
+        let tri = |arr: &yy_field::Array3| -> f64 {
+            let mut acc = 0.0;
+            for (di, wi) in [(0usize, 1.0 - fr), (1, fr)] {
+                for (dj, wj) in [(0isize, 1.0 - ft), (1, ft)] {
+                    for (dk, wk) in [(0isize, 1.0 - fp), (1, fp)] {
+                        acc += wi
+                            * wj
+                            * wk
+                            * arr.at(i0 + di, j0 as isize + dj, k0 as isize + dk);
+                    }
+                }
+            }
+            acc
+        };
+        let vr = tri(&field.r);
+        let vt = tri(&field.t);
+        let vp = tri(&field.p);
+        // Components → local Cartesian at the *interpolation* point,
+        // then to the global frame.
+        let basis = SphericalBasis::at(local.theta, local.phi);
+        let v_local = basis.to_cartesian(vr, vt, vp);
+        Some(match panel {
+            Panel::Yin => v_local,
+            Panel::Yang => geomath::yinyang::yinyang_cartesian(v_local),
+        })
+    }
+}
+
+/// Velocity in panel-local spherical components over the padded region
+/// (`v = f/ρ`), ready for [`GlobalVectorField`].
+pub fn velocity_field(state: &State) -> VectorField {
+    let shape = state.shape();
+    let mut v = VectorField::zeros(shape);
+    let (gth, gph) = (shape.gth as isize, shape.gph as isize);
+    for k in -gph..(shape.nph as isize + gph) {
+        for j in -gth..(shape.nth as isize + gth) {
+            let rho = state.rho.row(j, k);
+            for (dst, src) in [
+                (v.r.row_mut(j, k), state.f.r.row(j, k)),
+                (v.t.row_mut(j, k), state.f.t.row(j, k)),
+                (v.p.row_mut(j, k), state.f.p.row(j, k)),
+            ] {
+                for i in 0..rho.len() {
+                    dst[i] = src[i] / rho[i];
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Integrate a streamline of `field` from `start` with arc-length step
+/// `ds`: `dx/ds = v/|v|`. Stops at the shell walls, on a stagnant point,
+/// or after `max_steps`. Returns the polyline (including `start`).
+pub fn trace_streamline(
+    field: &GlobalVectorField,
+    start: Vec3,
+    ds: f64,
+    max_steps: usize,
+) -> Vec<Vec3> {
+    let mut pts = vec![start];
+    let mut x = start;
+    for _ in 0..max_steps {
+        let dir = |p: Vec3| -> Option<Vec3> {
+            let v = field.eval(p)?;
+            let n = v.norm();
+            if n < 1e-14 {
+                None
+            } else {
+                Some(v / n)
+            }
+        };
+        // Classical RK4 with early exit if any stage leaves the shell.
+        let Some(k1) = dir(x) else { break };
+        let Some(k2) = dir(x + k1 * (0.5 * ds)) else { break };
+        let Some(k3) = dir(x + k2 * (0.5 * ds)) else { break };
+        let Some(k4) = dir(x + k3 * ds) else { break };
+        x += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (ds / 6.0);
+        pts.push(x);
+    }
+    pts
+}
+
+/// Advect tracer particles through `field` for `steps` RK4 steps of size
+/// `dt` (`dx/dt = v`). Particles that leave the shell freeze in place.
+pub fn advect_particles(
+    field: &GlobalVectorField,
+    particles: &mut [Vec3],
+    dt: f64,
+    steps: usize,
+) {
+    for _ in 0..steps {
+        for p in particles.iter_mut() {
+            let x = *p;
+            let Some(k1) = field.eval(x) else { continue };
+            let Some(k2) = field.eval(x + k1 * (0.5 * dt)) else { continue };
+            let Some(k3) = field.eval(x + k2 * (0.5 * dt)) else { continue };
+            let Some(k4) = field.eval(x + k3 * dt) else { continue };
+            *p = x + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (dt / 6.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+    use yy_mhd::tables::rotation_axis;
+
+    /// Build a solid-body-rotation velocity (about `axis_global`, Ω = 1)
+    /// on both panels in their local components.
+    fn solid_rotation_pair(grid: &PatchGrid, axis_global: Vec3) -> (VectorField, VectorField) {
+        let map = YinYangMap::new();
+        let build = |panel: Panel| -> VectorField {
+            let shape = grid.full_shape();
+            let mut v = VectorField::zeros(shape);
+            // Axis in this panel's local frame.
+            let axis = match panel {
+                Panel::Yin => axis_global,
+                Panel::Yang => geomath::yinyang::yinyang_cartesian(axis_global),
+            };
+            let (gth, gph) = (shape.gth as isize, shape.gph as isize);
+            for k in -gph..(shape.nph as isize + gph) {
+                for j in -gth..(shape.nth as isize + gth) {
+                    let theta = grid.theta().coord_signed(j);
+                    let phi = grid.phi().coord_signed(k);
+                    let basis = SphericalBasis::at(theta, phi);
+                    for i in 0..shape.nr {
+                        let pos =
+                            SphericalPoint::new(grid.r().coord(i), theta, phi).to_cartesian();
+                        let vel = axis.cross(pos);
+                        let (vr, vt, vp) = basis.from_cartesian(vel);
+                        v.r.set(i, j, k, vr);
+                        v.t.set(i, j, k, vt);
+                        v.p.set(i, j, k, vp);
+                    }
+                }
+            }
+            let _ = &map;
+            v
+        };
+        (build(Panel::Yin), build(Panel::Yang))
+    }
+
+    fn grid() -> PatchGrid {
+        RunConfig::small().grid()
+    }
+
+    #[test]
+    fn eval_matches_analytic_rotation_everywhere() {
+        let grid = grid();
+        let (yin, yang) = solid_rotation_pair(&grid, Vec3::new(0.0, 0.0, 1.0));
+        let field = GlobalVectorField::new(&grid, &yin, &yang);
+        // Probe points all over the shell, including the polar caps only
+        // Yang covers.
+        for &(x, y, z) in &[
+            (0.7, 0.0, 0.0),
+            (0.0, 0.6, 0.3),
+            (0.01, 0.02, 0.8),   // near north pole
+            (-0.01, 0.0, -0.75), // near south pole
+            (-0.4, -0.4, 0.2),
+        ] {
+            let p = Vec3::new(x, y, z);
+            let v = field.eval(p).expect("inside shell");
+            let expect = Vec3::new(0.0, 0.0, 1.0).cross(p);
+            assert!(
+                (v - expect).norm() < 5e-3,
+                "at {p:?}: got {v:?}, expected {expect:?}"
+            );
+        }
+        // Outside the shell.
+        assert!(field.eval(Vec3::new(0.0, 0.0, 0.1)).is_none());
+        assert!(field.eval(Vec3::new(2.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn advected_particle_orbits_the_axis() {
+        let grid = grid();
+        let (yin, yang) = solid_rotation_pair(&grid, Vec3::new(0.0, 0.0, 1.0));
+        let field = GlobalVectorField::new(&grid, &yin, &yang);
+        let start = Vec3::new(0.7, 0.0, 0.1);
+        let mut particles = [start];
+        // Integrate one full revolution: T = 2π for Ω = 1.
+        let steps = 400;
+        advect_particles(&field, &mut particles, std::f64::consts::TAU / steps as f64, steps);
+        let end = particles[0];
+        // Returns to start (RK4 + trilinear error), never changed z or r.
+        assert!((end - start).norm() < 2e-2, "end {end:?}");
+        assert!((end.z - start.z).abs() < 1e-3);
+        assert!((end.norm() - start.norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn particle_crosses_panels_smoothly() {
+        // Rotation about the x-axis carries a particle over the poles —
+        // territory only the Yang panel covers — and back.
+        let grid = grid();
+        let axis = Vec3::new(1.0, 0.0, 0.0);
+        let (yin, yang) = solid_rotation_pair(&grid, axis);
+        let field = GlobalVectorField::new(&grid, &yin, &yang);
+        let start = Vec3::new(0.1, 0.7, 0.0);
+        let mut particles = [start];
+        let steps = 600;
+        advect_particles(&field, &mut particles, std::f64::consts::TAU / steps as f64, steps);
+        let end = particles[0];
+        assert!((end - start).norm() < 3e-2, "orbit did not close: {end:?}");
+        // Conserved quantities of rotation about x̂: radius and x.
+        assert!((end.norm() - start.norm()).abs() < 2e-3);
+        assert!((end.x - start.x).abs() < 2e-3);
+    }
+
+    #[test]
+    fn streamline_of_rotation_is_a_circle() {
+        let grid = grid();
+        let (yin, yang) = solid_rotation_pair(&grid, Vec3::new(0.0, 0.0, 1.0));
+        let field = GlobalVectorField::new(&grid, &yin, &yang);
+        let start = Vec3::new(0.6, 0.0, 0.2);
+        let line = trace_streamline(&field, start, 0.02, 500);
+        assert!(line.len() > 100, "streamline stopped early: {} points", line.len());
+        let r0 = (start.x * start.x + start.y * start.y).sqrt();
+        for p in &line {
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            assert!((r - r0).abs() < 5e-3, "streamline left the circle: {p:?}");
+            assert!((p.z - start.z).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn stagnant_field_stops_the_streamline() {
+        let grid = grid();
+        let shape = grid.full_shape();
+        let yin = VectorField::zeros(shape);
+        let yang = VectorField::zeros(shape);
+        let field = GlobalVectorField::new(&grid, &yin, &yang);
+        let line = trace_streamline(&field, Vec3::new(0.7, 0.0, 0.0), 0.02, 100);
+        assert_eq!(line.len(), 1);
+    }
+
+    #[test]
+    fn velocity_field_divides_by_rho() {
+        let cfg = RunConfig::small();
+        let sim = crate::serial::SerialSim::new(cfg);
+        let v = velocity_field(&sim.yin);
+        let (i, j, k) = (3, 2, 5);
+        let expect = sim.yin.f.p.at(i, j, k) / sim.yin.rho.at(i, j, k);
+        assert_eq!(v.p.at(i, j, k), expect);
+        let _ = rotation_axis(Panel::Yin);
+    }
+}

@@ -1,0 +1,149 @@
+//! Packing/unpacking rectangular sub-regions into flat buffers.
+//!
+//! Halo exchange and overset interpolation both move rectangular slabs of
+//! field data between ranks. These helpers serialize a slab into a `Vec`
+//! (to become a message payload) and write one back, in a fixed `(k, j, i)`
+//! loop order so sender and receiver agree without extra metadata.
+
+use crate::array3::Array3;
+
+/// A rectangular sub-region in owned-relative signed indices:
+/// `i ∈ [i0, i1)`, `j ∈ [j0, j1)`, `k ∈ [k0, k1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First radial index (inclusive).
+    pub i0: usize,
+    /// One past the last radial index.
+    pub i1: usize,
+    /// First colatitude index (inclusive, owned-relative signed).
+    pub j0: isize,
+    /// One past the last colatitude index.
+    pub j1: isize,
+    /// First longitude index (inclusive, owned-relative signed).
+    pub k0: isize,
+    /// One past the last longitude index.
+    pub k1: isize,
+}
+
+impl Region {
+    /// Number of nodes in the region.
+    pub fn len(&self) -> usize {
+        (self.i1 - self.i0) * (self.j1 - self.j0) as usize * (self.k1 - self.k0) as usize
+    }
+
+    /// `true` iff the region holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.i1 <= self.i0 || self.j1 <= self.j0 || self.k1 <= self.k0
+    }
+}
+
+/// Append the slab `region` of `a` to `out` in `(k, j, i)` order.
+pub fn pack_region(a: &Array3, region: Region, out: &mut Vec<f64>) {
+    out.reserve(region.len());
+    for k in region.k0..region.k1 {
+        for j in region.j0..region.j1 {
+            let row = a.row(j, k);
+            out.extend_from_slice(&row[region.i0..region.i1]);
+        }
+    }
+}
+
+/// Write `buf` into the slab `region` of `a`, consuming exactly
+/// `region.len()` values from the front of `buf`; returns the rest.
+pub fn unpack_region<'b>(a: &mut Array3, region: Region, buf: &'b [f64]) -> &'b [f64] {
+    let mut pos = 0;
+    let width = region.i1 - region.i0;
+    for k in region.k0..region.k1 {
+        for j in region.j0..region.j1 {
+            let row = a.row_mut(j, k);
+            row[region.i0..region.i1].copy_from_slice(&buf[pos..pos + width]);
+            pos += width;
+        }
+    }
+    &buf[pos..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array3::Shape;
+
+    fn labeled() -> Array3 {
+        Array3::from_fn(Shape::new(4, 3, 3, 1, 1), |i, j, k| {
+            i as f64 + 10.0 * j as f64 + 100.0 * k as f64
+        })
+    }
+
+    #[test]
+    fn region_len() {
+        let r = Region { i0: 1, i1: 3, j0: -1, j1: 2, k0: 0, k1: 2 };
+        assert_eq!(r.len(), 2 * 3 * 2);
+        assert!(!r.is_empty());
+        assert!(Region { i0: 0, i1: 0, j0: 0, j1: 1, k0: 0, k1: 1 }.is_empty());
+    }
+
+    #[test]
+    fn pack_then_unpack_round_trips() {
+        let src = labeled();
+        let region = Region { i0: 0, i1: 4, j0: 0, j1: 2, k0: -1, k1: 1 };
+        let mut buf = Vec::new();
+        pack_region(&src, region, &mut buf);
+        assert_eq!(buf.len(), region.len());
+
+        let mut dst = Array3::zeros(src.shape());
+        let rest = unpack_region(&mut dst, region, &buf);
+        assert!(rest.is_empty());
+        for k in region.k0..region.k1 {
+            for j in region.j0..region.j1 {
+                for i in region.i0..region.i1 {
+                    assert_eq!(dst.at(i, j, k), src.at(i, j, k));
+                }
+            }
+        }
+        // Outside the region stays zero.
+        assert_eq!(dst.at(0, 2, 1), 0.0);
+    }
+
+    #[test]
+    fn pack_order_is_k_j_i() {
+        let src = labeled();
+        let region = Region { i0: 0, i1: 2, j0: 0, j1: 2, k0: 0, k1: 2 };
+        let mut buf = Vec::new();
+        pack_region(&src, region, &mut buf);
+        // First entries: k=0, j=0, i=0..2
+        assert_eq!(buf[0], src.at(0, 0, 0));
+        assert_eq!(buf[1], src.at(1, 0, 0));
+        // then k=0, j=1
+        assert_eq!(buf[2], src.at(0, 1, 0));
+        // second half: k=1
+        assert_eq!(buf[4], src.at(0, 0, 1));
+    }
+
+    #[test]
+    fn unpack_consumes_prefix_and_returns_rest() {
+        let mut dst = Array3::zeros(Shape::new(2, 2, 2, 0, 0));
+        let region = Region { i0: 0, i1: 2, j0: 0, j1: 1, k0: 0, k1: 1 };
+        let buf = [5.0, 6.0, 99.0];
+        let rest = unpack_region(&mut dst, region, &buf);
+        assert_eq!(rest, &[99.0]);
+        assert_eq!(dst.at(0, 0, 0), 5.0);
+        assert_eq!(dst.at(1, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn multiple_regions_concatenate() {
+        let src = labeled();
+        let r1 = Region { i0: 0, i1: 4, j0: -1, j1: 0, k0: 0, k1: 3 }; // low-θ ghost band
+        let r2 = Region { i0: 0, i1: 4, j0: 3, j1: 4, k0: 0, k1: 3 }; // high-θ ghost band
+        let mut buf = Vec::new();
+        pack_region(&src, r1, &mut buf);
+        pack_region(&src, r2, &mut buf);
+        assert_eq!(buf.len(), r1.len() + r2.len());
+        let mut dst = Array3::zeros(src.shape());
+        let rest = unpack_region(&mut dst, r1, &buf);
+        let rest = unpack_region(&mut dst, r2, rest);
+        assert!(rest.is_empty());
+        assert_eq!(dst.at(2, -1, 1), src.at(2, -1, 1));
+        assert_eq!(dst.at(1, 3, 2), src.at(1, 3, 2));
+    }
+}

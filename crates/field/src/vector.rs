@@ -1,0 +1,145 @@
+//! A spherical-component vector field: three [`Array3`]s `(r, θ, φ)`.
+
+use crate::array3::{Array3, Shape};
+
+/// Vector field with spherical components, struct-of-arrays layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorField {
+    /// Radial component.
+    pub r: Array3,
+    /// Colatitude component.
+    pub t: Array3,
+    /// Longitude component.
+    pub p: Array3,
+}
+
+impl VectorField {
+    /// Zero-initialized vector field.
+    pub fn zeros(shape: Shape) -> Self {
+        VectorField {
+            r: Array3::zeros(shape),
+            t: Array3::zeros(shape),
+            p: Array3::zeros(shape),
+        }
+    }
+
+    /// Shared shape of the three component arrays.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.r.shape()
+    }
+
+    /// Component arrays in fixed order `(r, θ, φ)`.
+    pub fn components(&self) -> [&Array3; 3] {
+        [&self.r, &self.t, &self.p]
+    }
+
+    /// Mutable component arrays in fixed order `(r, θ, φ)`.
+    pub fn components_mut(&mut self) -> [&mut Array3; 3] {
+        [&mut self.r, &mut self.t, &mut self.p]
+    }
+
+    /// `self ← self + c * other` on every component.
+    pub fn axpy(&mut self, c: f64, other: &VectorField) {
+        self.r.axpy(c, &other.r);
+        self.t.axpy(c, &other.t);
+        self.p.axpy(c, &other.p);
+    }
+
+    /// `self ← other + c * delta` on every component.
+    pub fn assign_axpy(&mut self, other: &VectorField, c: f64, delta: &VectorField) {
+        self.r.assign_axpy(&other.r, c, &delta.r);
+        self.t.assign_axpy(&other.t, c, &delta.t);
+        self.p.assign_axpy(&other.p, c, &delta.p);
+    }
+
+    /// Copy all three components from `other`.
+    pub fn copy_from(&mut self, other: &VectorField) {
+        self.r.copy_from(&other.r);
+        self.t.copy_from(&other.t);
+        self.p.copy_from(&other.p);
+    }
+
+    /// Maximum pointwise magnitude `max √(vr² + vθ² + vφ²)` over the owned
+    /// region (used for CFL estimates).
+    pub fn max_magnitude_owned(&self) -> f64 {
+        let s = self.shape();
+        let mut m2: f64 = 0.0;
+        for k in 0..s.nph as isize {
+            for j in 0..s.nth as isize {
+                let rr = self.r.row(j, k);
+                let tt = self.t.row(j, k);
+                let pp = self.p.row(j, k);
+                for i in 0..s.nr {
+                    let v2 = rr[i] * rr[i] + tt[i] * tt[i] + pp[i] * pp[i];
+                    m2 = m2.max(v2);
+                }
+            }
+        }
+        m2.sqrt()
+    }
+
+    /// `true` iff any component holds a NaN/inf anywhere.
+    pub fn has_non_finite(&self) -> bool {
+        self.r.has_non_finite() || self.t.has_non_finite() || self.p.has_non_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Shape {
+        Shape::new(3, 4, 5, 1, 1)
+    }
+
+    #[test]
+    fn axpy_applies_to_all_components() {
+        let mut v = VectorField::zeros(shape());
+        let mut w = VectorField::zeros(shape());
+        w.r.fill(1.0);
+        w.t.fill(2.0);
+        w.p.fill(3.0);
+        v.axpy(2.0, &w);
+        assert_eq!(v.r.at(0, 0, 0), 2.0);
+        assert_eq!(v.t.at(1, 1, 1), 4.0);
+        assert_eq!(v.p.at(2, 3, 4), 6.0);
+    }
+
+    #[test]
+    fn max_magnitude_is_euclidean() {
+        let mut v = VectorField::zeros(shape());
+        v.r.set(0, 0, 0, 3.0);
+        v.t.set(0, 0, 0, 4.0);
+        // Larger single component elsewhere but smaller magnitude.
+        v.p.set(1, 2, 3, 4.5);
+        assert!((v.max_magnitude_owned() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ghost_values_do_not_affect_max_magnitude() {
+        let mut v = VectorField::zeros(shape());
+        v.r.set(0, -1, 0, 99.0);
+        assert_eq!(v.max_magnitude_owned(), 0.0);
+    }
+
+    #[test]
+    fn components_order_is_r_theta_phi() {
+        let mut v = VectorField::zeros(shape());
+        v.r.fill(1.0);
+        v.t.fill(2.0);
+        v.p.fill(3.0);
+        let c = v.components();
+        assert_eq!(c[0].at(0, 0, 0), 1.0);
+        assert_eq!(c[1].at(0, 0, 0), 2.0);
+        assert_eq!(c[2].at(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn non_finite_detection_spans_components() {
+        let mut v = VectorField::zeros(shape());
+        assert!(!v.has_non_finite());
+        v.p.set(0, 0, 0, f64::INFINITY);
+        assert!(v.has_non_finite());
+    }
+}

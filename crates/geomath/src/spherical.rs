@@ -1,0 +1,179 @@
+//! Spherical polar coordinates `(r, θ, φ)` and the local orthonormal basis.
+//!
+//! Conventions follow the paper: `r` is the radius, `θ ∈ [0, π]` the
+//! colatitude measured from the +z axis, `φ ∈ (−π, π]` the longitude
+//! measured from the +x axis. The local right-handed orthonormal basis is
+//! `(r̂, θ̂, φ̂)`.
+
+use crate::vec3::Vec3;
+
+/// A point in spherical polar coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphericalPoint {
+    /// Radius.
+    pub r: f64,
+    /// Colatitude in `[0, π]`.
+    pub theta: f64,
+    /// Longitude in `(−π, π]`.
+    pub phi: f64,
+}
+
+impl SphericalPoint {
+    /// Construct from radius, colatitude and longitude.
+    #[inline]
+    pub const fn new(r: f64, theta: f64, phi: f64) -> Self {
+        SphericalPoint { r, theta, phi }
+    }
+
+    /// Convert to Cartesian coordinates.
+    #[inline]
+    pub fn to_cartesian(self) -> Vec3 {
+        let (st, ct) = self.theta.sin_cos();
+        let (sp, cp) = self.phi.sin_cos();
+        Vec3::new(self.r * st * cp, self.r * st * sp, self.r * ct)
+    }
+
+    /// Convert a Cartesian point to spherical coordinates.
+    ///
+    /// At the poles (`x = y = 0`) the longitude is conventionally 0.
+    #[inline]
+    pub fn from_cartesian(v: Vec3) -> Self {
+        let r = v.norm();
+        if r == 0.0 {
+            return SphericalPoint::new(0.0, 0.0, 0.0);
+        }
+        let theta = (v.z / r).clamp(-1.0, 1.0).acos();
+        let phi = if v.x == 0.0 && v.y == 0.0 { 0.0 } else { v.y.atan2(v.x) };
+        SphericalPoint::new(r, theta, phi)
+    }
+
+    /// The local orthonormal basis `(r̂, θ̂, φ̂)` at this point, expressed in
+    /// Cartesian components.
+    #[inline]
+    pub fn basis(self) -> SphericalBasis {
+        SphericalBasis::at(self.theta, self.phi)
+    }
+}
+
+/// The orthonormal spherical basis at a direction `(θ, φ)` on the sphere,
+/// expressed in Cartesian components. Independent of radius.
+#[derive(Debug, Clone, Copy)]
+pub struct SphericalBasis {
+    /// Radial unit vector r̂.
+    pub e_r: Vec3,
+    /// Colatitude unit vector θ̂ (southward).
+    pub e_theta: Vec3,
+    /// Longitude unit vector φ̂ (eastward).
+    pub e_phi: Vec3,
+}
+
+impl SphericalBasis {
+    /// Basis at colatitude `theta`, longitude `phi`.
+    #[inline]
+    pub fn at(theta: f64, phi: f64) -> Self {
+        let (st, ct) = theta.sin_cos();
+        let (sp, cp) = phi.sin_cos();
+        SphericalBasis {
+            e_r: Vec3::new(st * cp, st * sp, ct),
+            e_theta: Vec3::new(ct * cp, ct * sp, -st),
+            e_phi: Vec3::new(-sp, cp, 0.0),
+        }
+    }
+
+    /// Express a vector with spherical components `(vr, vθ, vφ)` at this
+    /// basis point as a Cartesian vector.
+    #[inline]
+    pub fn to_cartesian(&self, vr: f64, vtheta: f64, vphi: f64) -> Vec3 {
+        self.e_r * vr + self.e_theta * vtheta + self.e_phi * vphi
+    }
+
+    /// Project a Cartesian vector onto this basis, returning spherical
+    /// components `(vr, vθ, vφ)`.
+    #[inline]
+    pub fn from_cartesian(&self, v: Vec3) -> (f64, f64, f64) {
+        (v.dot(self.e_r), v.dot(self.e_theta), v.dot(self.e_phi))
+    }
+}
+
+/// Wrap a longitude into the canonical interval `(−π, π]`.
+#[inline]
+pub fn wrap_longitude(phi: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut p = phi % two_pi;
+    if p <= -std::f64::consts::PI {
+        p += two_pi;
+    } else if p > std::f64::consts::PI {
+        p -= two_pi;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn cartesian_round_trip() {
+        for &(r, t, p) in &[
+            (1.0, FRAC_PI_2, 0.0),
+            (2.5, FRAC_PI_4, 1.0),
+            (0.35, 3.0, -2.5),
+            (1.0, 0.1, PI - 1e-6),
+        ] {
+            let s = SphericalPoint::new(r, t, p);
+            let back = SphericalPoint::from_cartesian(s.to_cartesian());
+            assert!(approx_eq(back.r, r, 1e-12), "r mismatch at {t},{p}");
+            assert!(approx_eq(back.theta, t, 1e-10));
+            assert!(approx_eq(back.phi, p, 1e-10));
+        }
+    }
+
+    #[test]
+    fn poles_and_origin_are_handled() {
+        let north = SphericalPoint::from_cartesian(Vec3::new(0.0, 0.0, 2.0));
+        assert!(approx_eq(north.theta, 0.0, 1e-15));
+        assert_eq!(north.phi, 0.0);
+        let south = SphericalPoint::from_cartesian(Vec3::new(0.0, 0.0, -1.0));
+        assert!(approx_eq(south.theta, PI, 1e-15));
+        let origin = SphericalPoint::from_cartesian(Vec3::ZERO);
+        assert_eq!(origin.r, 0.0);
+    }
+
+    #[test]
+    fn basis_is_orthonormal_and_right_handed() {
+        for &(t, p) in &[(FRAC_PI_2, 0.0), (0.3, 2.0), (2.8, -3.0), (FRAC_PI_4, FRAC_PI_4)] {
+            let b = SphericalBasis::at(t, p);
+            assert!(approx_eq(b.e_r.norm(), 1.0, 1e-14));
+            assert!(approx_eq(b.e_theta.norm(), 1.0, 1e-14));
+            assert!(approx_eq(b.e_phi.norm(), 1.0, 1e-14));
+            assert!(approx_eq(b.e_r.dot(b.e_theta), 0.0, 1e-14));
+            assert!(approx_eq(b.e_r.dot(b.e_phi), 0.0, 1e-14));
+            assert!(approx_eq(b.e_theta.dot(b.e_phi), 0.0, 1e-14));
+            // Right-handed: r̂ × θ̂ = φ̂.
+            let c = b.e_r.cross(b.e_theta);
+            assert!((c - b.e_phi).norm() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn basis_round_trips_vectors() {
+        let b = SphericalBasis::at(1.1, -0.7);
+        let v = b.to_cartesian(0.5, -1.25, 2.0);
+        let (vr, vt, vp) = b.from_cartesian(v);
+        assert!(approx_eq(vr, 0.5, 1e-13));
+        assert!(approx_eq(vt, -1.25, 1e-13));
+        assert!(approx_eq(vp, 2.0, 1e-13));
+    }
+
+    #[test]
+    fn wrap_longitude_canonical_interval() {
+        assert!(approx_eq(wrap_longitude(3.0 * PI), PI, 1e-12));
+        assert!(approx_eq(wrap_longitude(-3.0 * PI), PI, 1e-12));
+        assert!(approx_eq(wrap_longitude(0.5), 0.5, 1e-15));
+        assert!(approx_eq(wrap_longitude(PI + 0.1), -PI + 0.1, 1e-12));
+        let w = wrap_longitude(-PI);
+        assert!(w > -PI - 1e-15 && approx_eq(w.abs(), PI, 1e-12));
+    }
+}

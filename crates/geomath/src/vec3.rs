@@ -1,0 +1,193 @@
+//! Minimal 3-component Cartesian vector used throughout the geometry layer.
+//!
+//! Deliberately a plain `Copy` struct of three `f64`s: the hot numerical
+//! kernels in `yy-mhd` work on flat arrays, so this type only appears in
+//! setup-time geometry (transforms, interpolation tables) where clarity
+//! beats micro-optimization.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A Cartesian 3-vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Construct from Cartesian components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product `self × other`.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm (avoids the square root when only comparisons matter).
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the vector is numerically zero; the
+    /// geometry layer never normalizes degenerate directions.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing a zero vector");
+        self / n
+    }
+
+    /// Component-wise maximum absolute value.
+    #[inline]
+    pub fn max_abs(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dot_and_cross_orthogonality() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(approx_eq(c.dot(a), 0.0, 1e-12));
+        assert!(approx_eq(c.dot(b), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn cross_of_axes() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        assert_eq!(y.cross(x), -z);
+    }
+
+    #[test]
+    fn norm_and_normalized() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!(approx_eq(v.norm(), 5.0, 1e-15));
+        assert!(approx_eq(v.normalized().norm(), 1.0, 1e-15));
+        assert!(approx_eq(v.norm2(), 25.0, 1e-15));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, -2.0, 0.25);
+        assert_eq!(a + Vec3::ZERO, a);
+        assert_eq!(a - a, Vec3::ZERO);
+        assert_eq!(a * 2.0, a + a);
+        assert_eq!(2.0 * a, a + a);
+        assert_eq!((a * 2.0) / 2.0, a);
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a * 2.0);
+        b -= a;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn max_abs_picks_largest_component() {
+        assert_eq!(Vec3::new(-3.0, 2.0, 1.0).max_abs(), 3.0);
+        assert_eq!(Vec3::new(0.0, -7.5, 1.0).max_abs(), 7.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! The Yin↔Yang coordinate transform (eq. 1 of the paper).
+//!
+//! The Yang grid's virtual north-south axis lies on the equator of the Yin
+//! grid's coordinates. In Cartesian components the relation is
+//!
+//! ```text
+//! (xe, ye, ze) = (−xn, zn, yn)        and        (xn, yn, zn) = (−xe, ze, ye)
+//! ```
+//!
+//! where subscript `n` is Yin ("n-grid") and `e` is Yang ("e-grid"). The
+//! forward and inverse transforms have *the same form* — the map is an
+//! involution — which is the complementarity the paper exploits: one routing
+//! table and one interpolation routine serve both directions.
+//!
+//! Tangent vectors transform with the same orthogonal matrix. The radial
+//! component of a vector field is invariant; the horizontal components
+//! `(vθ, vφ)` rotate by a position-dependent 2×2 orthogonal matrix returned
+//! by [`YinYangMap::tangent_rotation`].
+
+use crate::spherical::{wrap_longitude, SphericalBasis, SphericalPoint};
+use crate::vec3::Vec3;
+
+/// Apply the involutive Yin↔Yang Cartesian map `(x, y, z) ↦ (−x, z, y)`.
+#[inline]
+pub fn yinyang_cartesian(v: Vec3) -> Vec3 {
+    Vec3::new(-v.x, v.z, v.y)
+}
+
+/// Coordinates of a Yin point expressed in the Yang system.
+#[inline]
+pub fn yang_from_yin_point(p: SphericalPoint) -> SphericalPoint {
+    let q = SphericalPoint::from_cartesian(yinyang_cartesian(p.to_cartesian()));
+    SphericalPoint::new(q.r, q.theta, wrap_longitude(q.phi))
+}
+
+/// Coordinates of a Yang point expressed in the Yin system.
+///
+/// Identical to [`yang_from_yin_point`] because the map is an involution;
+/// the separate name keeps call sites self-documenting.
+#[inline]
+pub fn yin_from_yang_point(p: SphericalPoint) -> SphericalPoint {
+    yang_from_yin_point(p)
+}
+
+/// The Yin↔Yang transform packaged with its vector-component rotation.
+///
+/// `YinYangMap` is stateless; it exists so call sites read
+/// `map.transform_point(p)` rather than a bag of free functions, and so the
+/// mesh layer can hold it as a field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YinYangMap;
+
+impl YinYangMap {
+    /// The (stateless) transform.
+    pub const fn new() -> Self {
+        YinYangMap
+    }
+
+    /// Express a point of one system in the other system.
+    #[inline]
+    pub fn transform_point(&self, p: SphericalPoint) -> SphericalPoint {
+        yang_from_yin_point(p)
+    }
+
+    /// Transform spherical vector components `(vr, vθ, vφ)` attached at
+    /// `(θ, φ)` of system A into components in system B at the image point.
+    ///
+    /// The physical vector is unchanged; only the component representation
+    /// rotates. `vr` maps to `vr` exactly.
+    #[inline]
+    pub fn transform_vector(
+        &self,
+        at: SphericalPoint,
+        vr: f64,
+        vtheta: f64,
+        vphi: f64,
+    ) -> (f64, f64, f64) {
+        let basis_a = SphericalBasis::at(at.theta, at.phi);
+        let cart_a = basis_a.to_cartesian(vr, vtheta, vphi);
+        // A physical vector with components u in A-Cartesian axes has
+        // components M·u in B-Cartesian axes (M orthogonal, involutive).
+        let cart_b = yinyang_cartesian(cart_a);
+        let image = self.transform_point(at);
+        let basis_b = SphericalBasis::at(image.theta, image.phi);
+        basis_b.from_cartesian(cart_b)
+    }
+
+    /// The 2×2 rotation taking tangent components `(vθ, vφ)` at `(θ, φ)` of
+    /// system A to tangent components at the image point in system B:
+    ///
+    /// ```text
+    /// [vθ']   [m00 m01] [vθ]
+    /// [vφ'] = [m10 m11] [vφ]
+    /// ```
+    ///
+    /// The matrix is orthogonal with determinant +1: the Cartesian map
+    /// `(x, y, z) ↦ (−x, z, y)` has determinant +1 (a half-turn about the
+    /// axis `(0, 1, 1)/√2`), so it restricts to a proper rotation of each
+    /// tangent plane. The mesh layer precomputes this matrix for every
+    /// overset boundary point.
+    pub fn tangent_rotation(&self, theta: f64, phi: f64) -> [[f64; 2]; 2] {
+        let at = SphericalPoint::new(1.0, theta, phi);
+        let basis_a = SphericalBasis::at(theta, phi);
+        let image = self.transform_point(at);
+        let basis_b = SphericalBasis::at(image.theta, image.phi);
+        // Columns: images of θ̂_A and φ̂_A projected on (θ̂_B, φ̂_B).
+        let t_img = yinyang_cartesian(basis_a.e_theta);
+        let p_img = yinyang_cartesian(basis_a.e_phi);
+        [
+            [t_img.dot(basis_b.e_theta), p_img.dot(basis_b.e_theta)],
+            [t_img.dot(basis_b.e_phi), p_img.dot(basis_b.e_phi)],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    fn sample_points() -> Vec<SphericalPoint> {
+        vec![
+            SphericalPoint::new(1.0, FRAC_PI_2, 0.0),
+            SphericalPoint::new(0.6, FRAC_PI_4, 1.3),
+            SphericalPoint::new(1.0, 2.0, -2.0),
+            SphericalPoint::new(0.35, 1.1, 3.0),
+            SphericalPoint::new(1.0, FRAC_PI_2, FRAC_PI_2),
+        ]
+    }
+
+    #[test]
+    fn transform_is_an_involution() {
+        let map = YinYangMap::new();
+        for p in sample_points() {
+            let q = map.transform_point(map.transform_point(p));
+            assert!(approx_eq(q.r, p.r, 1e-12));
+            assert!(approx_eq(q.theta, p.theta, 1e-10));
+            assert!(
+                approx_eq(wrap_longitude(q.phi - p.phi), 0.0, 1e-10),
+                "phi {} vs {}",
+                q.phi,
+                p.phi
+            );
+        }
+    }
+
+    #[test]
+    fn yang_axis_sits_on_yin_equator() {
+        // The Yang north pole (θe = 0) corresponds to the Yin point
+        // (θn, φn) = (π/2, π/2): M(0,0,1) = (0,1,0) in Yang frame means the
+        // Yin direction mapping TO Yang-north is M⁻¹(0,0,1) = (0,1,0).
+        let p = SphericalPoint::new(1.0, FRAC_PI_2, FRAC_PI_2);
+        let q = yang_from_yin_point(p);
+        assert!(approx_eq(q.theta, 0.0, 1e-12), "theta = {}", q.theta);
+    }
+
+    #[test]
+    fn paper_mapping_of_yin_boundary_midpoint() {
+        // Worked example from the design discussion: the Yin boundary point
+        // (θ = π/4, φ = 0) maps onto (θ' = π/2, φ' = 3π/4) in Yang
+        // coordinates — exactly on the nominal Yang boundary, which is why
+        // the component grids carry extension cells.
+        let q = yang_from_yin_point(SphericalPoint::new(1.0, FRAC_PI_4, 0.0));
+        assert!(approx_eq(q.theta, FRAC_PI_2, 1e-12));
+        assert!(approx_eq(q.phi, 3.0 * PI / 4.0, 1e-12));
+    }
+
+    #[test]
+    fn vector_transform_preserves_norm_and_radial_part() {
+        let map = YinYangMap::new();
+        for p in sample_points() {
+            let (vr, vt, vp) = (0.7, -1.2, 0.4);
+            let (wr, wt, wp) = map.transform_vector(p, vr, vt, vp);
+            assert!(approx_eq(wr, vr, 1e-12), "vr not invariant");
+            let n_in = (vr * vr + vt * vt + vp * vp).sqrt();
+            let n_out = (wr * wr + wt * wt + wp * wp).sqrt();
+            assert!(approx_eq(n_in, n_out, 1e-12));
+        }
+    }
+
+    #[test]
+    fn vector_transform_round_trips() {
+        let map = YinYangMap::new();
+        for p in sample_points() {
+            let (vr, vt, vp) = (0.1, 2.0, -0.9);
+            let image = map.transform_point(p);
+            let (wr, wt, wp) = map.transform_vector(p, vr, vt, vp);
+            let (ur, ut, up) = map.transform_vector(image, wr, wt, wp);
+            assert!(approx_eq(ur, vr, 1e-11));
+            assert!(approx_eq(ut, vt, 1e-11));
+            assert!(approx_eq(up, vp, 1e-11));
+        }
+    }
+
+    #[test]
+    fn tangent_rotation_is_a_proper_rotation() {
+        let map = YinYangMap::new();
+        for p in sample_points() {
+            let m = map.tangent_rotation(p.theta, p.phi);
+            let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+            assert!(approx_eq(det, 1.0, 1e-10), "det = {det}");
+            // Rows orthonormal.
+            assert!(approx_eq(m[0][0] * m[0][0] + m[0][1] * m[0][1], 1.0, 1e-10));
+            assert!(approx_eq(m[1][0] * m[1][0] + m[1][1] * m[1][1], 1.0, 1e-10));
+            assert!(approx_eq(m[0][0] * m[1][0] + m[0][1] * m[1][1], 0.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn tangent_rotation_matches_full_vector_transform() {
+        let map = YinYangMap::new();
+        for p in sample_points() {
+            let m = map.tangent_rotation(p.theta, p.phi);
+            let (vt, vp) = (1.7, -0.3);
+            let (_, wt, wp) = map.transform_vector(p, 0.0, vt, vp);
+            assert!(approx_eq(m[0][0] * vt + m[0][1] * vp, wt, 1e-11));
+            assert!(approx_eq(m[1][0] * vt + m[1][1] * vp, wp, 1e-11));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The baseline full-sphere latitude–longitude geodynamo solver.
+//!
+//! This is the grid the authors converted *from* (§IV: "our previous
+//! geodynamo code, which was based on the traditional latitude-longitude
+//! grid"), and it exists here for the same reason the paper discusses it:
+//! to measure what the Yin-Yang grid buys.
+//!
+//! One latitude–longitude grid covers the whole sphere:
+//! θ staggered by half a cell to avoid nodes *on* the poles
+//! (`θ_j = (j + ½)Δθ`), φ periodic. The pole is handled with the standard
+//! antipodal ghost mapping — the ghost row beyond the pole takes values
+//! from the longitude φ + π, with tangential vector components negated —
+//! which is exactly the "special care at the poles" the paper complains
+//! about. Two penalties follow, both measured by the benches:
+//!
+//! * **grid convergence**: cells shrink like `sin θ` toward the poles, so
+//!   the CFL time step is ~`sin(Δθ/2)` smaller than on the Yin-Yang grid
+//!   at the same angular resolution;
+//! * **wasted points**: the polar caps are vastly over-resolved.
+//!
+//! The solver reuses every physics kernel from `yy-mhd` unchanged — like
+//! the paper, which notes that the Yin-Yang code shares most of its
+//! source with the lat-lon code it came from.
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod sphere;
+
+pub use sim::LatLonSim;
+pub use sphere::{LatLonGrid, Parity, POLE_PARITY};

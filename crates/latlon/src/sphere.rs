@@ -1,0 +1,200 @@
+//! Full-sphere latitude–longitude grid with pole-safe staggering.
+
+use geomath::Grid1D;
+use std::f64::consts::PI;
+use yy_field::Shape;
+use yy_mesh::{Metric, Tile};
+
+/// Sign change of a field component under the antipodal pole mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parity {
+    /// Value carries over unchanged.
+    Even,
+    /// Value flips sign (tangential vector components).
+    Odd,
+}
+
+impl Parity {
+    /// `+1.0` or `−1.0`.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Parity::Even => 1.0,
+            Parity::Odd => -1.0,
+        }
+    }
+}
+
+/// Pole parities of the eight state arrays in canonical order
+/// (ρ, p, fr, fθ, fφ, Ar, Aθ, Aφ): scalars and radial components are
+/// even; tangential components flip sign because θ̂ and φ̂ reverse when
+/// the colatitude is continued through the pole.
+pub const POLE_PARITY: [Parity; 8] = [
+    Parity::Even,
+    Parity::Even,
+    Parity::Even,
+    Parity::Odd,
+    Parity::Odd,
+    Parity::Even,
+    Parity::Odd,
+    Parity::Odd,
+];
+
+/// The discretized full sphere.
+#[derive(Debug, Clone)]
+pub struct LatLonGrid {
+    nr: usize,
+    r: Grid1D,
+    theta: Grid1D,
+    phi: Grid1D,
+    halo: usize,
+}
+
+impl LatLonGrid {
+    /// Build a full-sphere grid: `nth` staggered colatitude rows
+    /// (`θ_j = (j+½) π/nth`), `nph` periodic longitudes (must be even for
+    /// the antipodal mapping), radial shell `[ri, 1]`.
+    pub fn new(nr: usize, nth: usize, nph: usize, ri: f64) -> Self {
+        assert!(nr >= 4 && nth >= 4 && nph >= 8, "grid too coarse");
+        assert!(nph % 2 == 0, "longitude count must be even for the pole mapping");
+        assert!(ri > 0.0 && ri < 1.0);
+        let halo = 1;
+        let dth = PI / nth as f64;
+        let dph = 2.0 * PI / nph as f64;
+        LatLonGrid {
+            nr,
+            r: Grid1D::new(nr, ri, 1.0, 0),
+            theta: Grid1D::new(nth, 0.5 * dth, PI - 0.5 * dth, halo),
+            phi: Grid1D::new(nph, -PI, PI - dph, halo),
+            halo,
+        }
+    }
+
+    /// Radial grid.
+    #[inline]
+    pub fn r(&self) -> &Grid1D {
+        &self.r
+    }
+
+    /// Colatitude grid (staggered; no pole nodes).
+    #[inline]
+    pub fn theta(&self) -> &Grid1D {
+        &self.theta
+    }
+
+    /// Longitude grid (periodic).
+    #[inline]
+    pub fn phi(&self) -> &Grid1D {
+        &self.phi
+    }
+
+    /// Ghost width.
+    #[inline]
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Owned node counts `(nr, nth, nph)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nr, self.theta.len(), self.phi.len())
+    }
+
+    /// Total grid points of the sphere.
+    pub fn total_points(&self) -> usize {
+        self.nr * self.theta.len() * self.phi.len()
+    }
+
+    /// Field shape (full sphere in one block).
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.nr, self.theta.len(), self.phi.len(), self.halo, self.halo)
+    }
+
+    /// Metric over the padded range (pole ghosts carry `sin(−θ) < 0`,
+    /// the analytic continuation used by the antipodal mapping).
+    pub fn metric(&self) -> Metric {
+        let tile =
+            Tile { rank: 0, cth: 0, cph: 0, j0: 0, nth: self.theta.len(), k0: 0, nph: self.phi.len() };
+        Metric::from_grids(&self.r, &self.theta, &self.phi, &tile, self.halo)
+    }
+
+    /// The smallest physical spacing — at the pole-adjacent ring, where
+    /// the longitude cells have shrunk to `r_i sin(Δθ/2) Δφ`. This is the
+    /// number that wrecks the lat-lon CFL step.
+    pub fn min_spacing(&self) -> f64 {
+        let sin_min = self.theta.coord(0).sin();
+        let ri = self.r.min();
+        self.r
+            .spacing()
+            .min(ri * self.theta.spacing())
+            .min(ri * sin_min * self.phi.spacing())
+    }
+
+    /// The matching Yin-Yang patch's minimum spacing at the same angular
+    /// resolution (`sin θ ≥ sin(π/4 − ext Δθ) ≈ 0.7`): the ratio of the
+    /// two is the paper's pole-penalty factor.
+    pub fn yinyang_min_spacing_equivalent(&self) -> f64 {
+        let ri = self.r.min();
+        let sin_yy = (PI / 4.0 - 2.0 * self.theta.spacing()).sin();
+        self.r
+            .spacing()
+            .min(ri * self.theta.spacing())
+            .min(ri * sin_yy * self.phi.spacing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomath::approx_eq;
+
+    #[test]
+    fn staggering_avoids_the_poles() {
+        let g = LatLonGrid::new(8, 16, 32, 0.35);
+        assert!(g.theta().coord(0) > 0.0);
+        assert!(g.theta().coord(15) < PI);
+        assert!(approx_eq(g.theta().coord(0), PI / 32.0, 1e-12));
+        // Ghost row continues past the pole with negative θ.
+        assert!(g.theta().coord_signed(-1) < 0.0);
+    }
+
+    #[test]
+    fn phi_covers_the_circle_periodically() {
+        let g = LatLonGrid::new(8, 16, 32, 0.35);
+        let dph = g.phi().spacing();
+        assert!(approx_eq(dph, 2.0 * PI / 32.0, 1e-12));
+        // Last node + spacing wraps to the first.
+        assert!(approx_eq(g.phi().coord(31) + dph, PI, 1e-12));
+    }
+
+    #[test]
+    fn metric_allows_negative_pole_ghost_sin() {
+        let g = LatLonGrid::new(8, 16, 32, 0.35);
+        let m = g.metric();
+        assert!(m.sin_t(-1) < 0.0);
+        assert!(approx_eq(m.sin_t(-1), -m.sin_t(0), 1e-12));
+        assert!(m.sin_t(3) > 0.0);
+    }
+
+    #[test]
+    fn min_spacing_shows_the_pole_penalty() {
+        let g = LatLonGrid::new(16, 24, 48, 0.35);
+        let penalty = g.yinyang_min_spacing_equivalent() / g.min_spacing();
+        // sin(π/4 − …)/sin(Δθ/2) ≈ 0.66/0.065 ≈ 10× at this resolution.
+        assert!(penalty > 5.0, "pole penalty only {penalty}");
+    }
+
+    #[test]
+    fn parity_table_matches_physics() {
+        assert_eq!(POLE_PARITY[0], Parity::Even); // ρ
+        assert_eq!(POLE_PARITY[3], Parity::Odd); // fθ
+        assert_eq!(POLE_PARITY[4], Parity::Odd); // fφ
+        assert_eq!(POLE_PARITY[5], Parity::Even); // Ar
+        assert_eq!(Parity::Odd.sign(), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_longitude_count_rejected() {
+        LatLonGrid::new(8, 16, 31, 0.35);
+    }
+}

@@ -1,0 +1,401 @@
+//! Overset interpolation between the Yin and Yang component grids.
+//!
+//! Following the general overset (Chimera) methodology the paper cites,
+//! the boundary *frame* of each component grid (the outermost `halo`
+//! node columns) is not advanced by finite differences; instead its values
+//! are interpolated from the partner grid. Because the two grids are
+//! identical and the Yin↔Yang map is an involution, **one** stencil table
+//! serves both directions — the conciseness the paper attributes to the
+//! grid's complementary symmetry.
+//!
+//! Interpolation is bilinear in (θ, φ) at fixed radius: the radial grids
+//! of the two panels coincide and the map preserves radius, so one
+//! horizontal stencil applies to an entire radial column at once — the
+//! same radial-vectorization structure the Earth Simulator exploited.
+//!
+//! Vector quantities interpolate their spherical components in the donor
+//! basis and then rotate into the target basis with the precomputed 2×2
+//! tangent rotation (the radial component is invariant).
+
+use crate::patch::PatchGrid;
+use geomath::{SphericalPoint, YinYangMap};
+use yy_field::Array3;
+
+/// One interpolated boundary column: target `(j, k)` in the target panel,
+/// bilinear donors in the partner panel (global owned indices), weights,
+/// and the donor→target tangent rotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OversetColumn {
+    /// Target column's global colatitude index (in the target panel).
+    pub tgt_j: usize,
+    /// Target column's global longitude index.
+    pub tgt_k: usize,
+    /// Lower-corner donor node's colatitude index (partner panel).
+    pub don_j: usize,
+    /// Lower-corner donor node's longitude index.
+    pub don_k: usize,
+    /// Weights for donors `(j, k), (j+1, k), (j, k+1), (j+1, k+1)`.
+    pub w: [f64; 4],
+    /// Tangent rotation: `(vθ, vφ)_target = rot · (vθ, vφ)_donor`.
+    pub rot: [[f64; 2]; 2],
+}
+
+/// Why overset stencil construction failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OversetError {
+    /// A target column's image fell outside the partner patch entirely.
+    ImageOutsidePartner {
+        /// Target column's global colatitude index.
+        tgt_j: usize,
+        /// Target column's global longitude index.
+        tgt_k: usize,
+        /// Image colatitude in partner coordinates.
+        theta: f64,
+        /// Image longitude in partner coordinates.
+        phi: f64,
+    },
+    /// A donor node would itself be a frame (interpolated) node, so the
+    /// interpolation would not be grounded in finite-difference data.
+    /// The fix is a larger `ext` in the [`crate::PatchSpec`].
+    DonorInFrame {
+        /// Target column's global colatitude index.
+        tgt_j: usize,
+        /// Target column's global longitude index.
+        tgt_k: usize,
+        /// Offending donor colatitude index.
+        don_j: usize,
+        /// Offending donor longitude index.
+        don_k: usize,
+    },
+}
+
+impl std::fmt::Display for OversetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OversetError::ImageOutsidePartner { tgt_j, tgt_k, theta, phi } => write!(
+                f,
+                "overset target ({tgt_j},{tgt_k}) maps to (θ={theta:.4}, φ={phi:.4}) \
+                 outside the partner patch — increase the patch extension"
+            ),
+            OversetError::DonorInFrame { tgt_j, tgt_k, don_j, don_k } => write!(
+                f,
+                "overset target ({tgt_j},{tgt_k}) has donor ({don_j},{don_k}) inside \
+                 the partner's boundary frame — increase the patch extension"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OversetError {}
+
+/// Build the overset stencil table for a Yin-Yang pair built on `grid`.
+///
+/// The table maps frame columns of either panel to donors in the other;
+/// by the Yin↔Yang symmetry it is valid for both directions.
+pub fn build_overset_columns(grid: &PatchGrid) -> Result<Vec<OversetColumn>, OversetError> {
+    let map = YinYangMap::new();
+    let (_, nth, nph) = grid.dims();
+    let frame = grid.frame();
+    let mut out = Vec::new();
+    for j in 0..nth {
+        for k in 0..nph {
+            if !grid.is_frame(j as isize, k as isize) {
+                continue;
+            }
+            let p = SphericalPoint::new(1.0, grid.theta().coord(j), grid.phi().coord(k));
+            let q = map.transform_point(p);
+            let (Some((jd, fy)), Some((kd, fx))) =
+                (grid.theta().locate(q.theta, 1e-9), grid.phi().locate(q.phi, 1e-9))
+            else {
+                return Err(OversetError::ImageOutsidePartner {
+                    tgt_j: j,
+                    tgt_k: k,
+                    theta: q.theta,
+                    phi: q.phi,
+                });
+            };
+            // Donor cell nodes must be FD-interior in the partner.
+            if jd < frame || jd + 1 >= nth - frame || kd < frame || kd + 1 >= nph - frame {
+                return Err(OversetError::DonorInFrame {
+                    tgt_j: j,
+                    tgt_k: k,
+                    don_j: jd,
+                    don_k: kd,
+                });
+            }
+            let w = [
+                (1.0 - fy) * (1.0 - fx),
+                fy * (1.0 - fx),
+                (1.0 - fy) * fx,
+                fy * fx,
+            ];
+            let rot = map.tangent_rotation(q.theta, q.phi);
+            out.push(OversetColumn { tgt_j: j, tgt_k: k, don_j: jd, don_k: kd, w, rot });
+        }
+    }
+    Ok(out)
+}
+
+/// Interpolate the donor's radial column for `col` into `out` (scalar
+/// fields). `donor` must be the *partner* panel's full-panel array.
+#[inline]
+pub fn interp_scalar_column(col: &OversetColumn, donor: &Array3, out: &mut [f64]) {
+    let (j, k) = (col.don_j as isize, col.don_k as isize);
+    let r00 = donor.row(j, k);
+    let r10 = donor.row(j + 1, k);
+    let r01 = donor.row(j, k + 1);
+    let r11 = donor.row(j + 1, k + 1);
+    let [w00, w10, w01, w11] = col.w;
+    for i in 0..out.len() {
+        out[i] = w00 * r00[i] + w10 * r10[i] + w01 * r01[i] + w11 * r11[i];
+    }
+}
+
+/// Apply one overset column to a scalar field pair (serial, full-panel
+/// arrays): reads `donor`, writes the target frame column of `target`.
+pub fn apply_scalar(col: &OversetColumn, donor: &Array3, target: &mut Array3) {
+    let nr = target.shape().nr;
+    let mut buf = vec![0.0; nr];
+    interp_scalar_column(col, donor, &mut buf);
+    target.row_mut(col.tgt_j as isize, col.tgt_k as isize).copy_from_slice(&buf);
+}
+
+/// Interpolate and rotate a vector field's radial columns for `col`.
+///
+/// Writes the target-basis components into `(out_r, out_t, out_p)`.
+pub fn interp_vector_column(
+    col: &OversetColumn,
+    donor_r: &Array3,
+    donor_t: &Array3,
+    donor_p: &Array3,
+    out_r: &mut [f64],
+    out_t: &mut [f64],
+    out_p: &mut [f64],
+) {
+    interp_scalar_column(col, donor_r, out_r);
+    // Interpolate tangential components in the donor basis, then rotate.
+    let nr = out_t.len();
+    let mut at = vec![0.0; nr];
+    let mut ap = vec![0.0; nr];
+    interp_scalar_column(col, donor_t, &mut at);
+    interp_scalar_column(col, donor_p, &mut ap);
+    let m = col.rot;
+    for i in 0..nr {
+        out_t[i] = m[0][0] * at[i] + m[0][1] * ap[i];
+        out_p[i] = m[1][0] * at[i] + m[1][1] * ap[i];
+    }
+}
+
+/// Apply one overset column to a vector field pair (serial, full-panel
+/// arrays).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_vector(
+    col: &OversetColumn,
+    donor_r: &Array3,
+    donor_t: &Array3,
+    donor_p: &Array3,
+    target_r: &mut Array3,
+    target_t: &mut Array3,
+    target_p: &mut Array3,
+) {
+    let nr = target_r.shape().nr;
+    let mut br = vec![0.0; nr];
+    let mut bt = vec![0.0; nr];
+    let mut bp = vec![0.0; nr];
+    interp_vector_column(col, donor_r, donor_t, donor_p, &mut br, &mut bt, &mut bp);
+    let (tj, tk) = (col.tgt_j as isize, col.tgt_k as isize);
+    target_r.row_mut(tj, tk).copy_from_slice(&br);
+    target_t.row_mut(tj, tk).copy_from_slice(&bt);
+    target_p.row_mut(tj, tk).copy_from_slice(&bp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::PatchSpec;
+    use geomath::spherical::SphericalBasis;
+    use geomath::{approx_eq, Vec3};
+
+    fn grid(nth: usize, ext: usize) -> PatchGrid {
+        PatchGrid::new(PatchSpec::equal_spacing(6, nth, 0.35, 1.0).with_ext(ext))
+    }
+
+    #[test]
+    fn build_succeeds_with_extension() {
+        for ext in [1, 2, 3] {
+            let g = grid(17, ext);
+            let cols = build_overset_columns(&g).expect("ext >= 1 must be valid");
+            let (_, nth, nph) = g.dims();
+            // frame = 1: full perimeter of the owned index rectangle.
+            assert_eq!(cols.len(), 2 * nph + 2 * (nth - 2));
+        }
+    }
+
+    #[test]
+    fn build_fails_without_extension() {
+        let g = grid(17, 0);
+        let err = build_overset_columns(&g).unwrap_err();
+        match err {
+            OversetError::DonorInFrame { .. } | OversetError::ImageOutsidePartner { .. } => {}
+        }
+    }
+
+    #[test]
+    fn weights_are_a_partition_of_unity() {
+        let g = grid(17, 2);
+        for col in build_overset_columns(&g).unwrap() {
+            let s: f64 = col.w.iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-12));
+            assert!(col.w.iter().all(|&w| (-1e-12..=1.0 + 1e-12).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn donors_are_strictly_interior() {
+        let g = grid(17, 2);
+        let (_, nth, nph) = g.dims();
+        let f = g.frame();
+        for col in build_overset_columns(&g).unwrap() {
+            assert!(col.don_j >= f && col.don_j + 1 < nth - f);
+            assert!(col.don_k >= f && col.don_k + 1 < nph - f);
+        }
+    }
+
+    /// Sample a smooth sphere function (a linear Cartesian form) on a
+    /// panel in its own coordinates.
+    fn sample_scalar(g: &PatchGrid, yang: bool) -> Array3 {
+        let map = geomath::YinYangMap::new();
+        Array3::from_fn(g.full_shape(), |i, j, k| {
+            let r = g.r().coord(i);
+            let p = SphericalPoint::new(
+                r,
+                g.theta().coord_signed(j),
+                g.phi().coord_signed(k),
+            );
+            // For the Yang panel, express the point in Yin coordinates so
+            // both panels sample the same physical field f = x + 2y + 3z.
+            let pp = if yang { map.transform_point(p) } else { p };
+            let c = pp.to_cartesian();
+            c.x + 2.0 * c.y + 3.0 * c.z
+        })
+    }
+
+    #[test]
+    fn scalar_interpolation_converges_second_order() {
+        let err_for = |nth: usize| {
+            let g = grid(nth, 2);
+            let cols = build_overset_columns(&g).unwrap();
+            let yin = sample_scalar(&g, false); // target panel samples
+            let yang = sample_scalar(&g, true); // donor panel samples
+            let mut target = Array3::zeros(g.full_shape());
+            let mut max_err: f64 = 0.0;
+            for col in &cols {
+                apply_scalar(col, &yang, &mut target);
+                let exact = yin.row(col.tgt_j as isize, col.tgt_k as isize);
+                let got = target.row(col.tgt_j as isize, col.tgt_k as isize);
+                for (a, b) in got.iter().zip(exact) {
+                    max_err = max_err.max((a - b).abs());
+                }
+            }
+            max_err
+        };
+        let (e1, e2) = (err_for(13), err_for(25));
+        // Spacing halves → error should drop ~4×.
+        let rate = (e1 / e2).log2();
+        assert!(rate > 1.7, "interpolation convergence rate {rate} (errors {e1:.2e}, {e2:.2e})");
+    }
+
+    /// Sample the spherical components of a constant Cartesian vector
+    /// field on a panel (in that panel's own coordinate frame).
+    fn sample_vector(g: &PatchGrid, yang: bool, v_yin_cart: Vec3) -> (Array3, Array3, Array3) {
+        let shape = g.full_shape();
+        let mut vr = Array3::zeros(shape);
+        let mut vt = Array3::zeros(shape);
+        let mut vp = Array3::zeros(shape);
+        // In the Yang frame the same physical vector has Cartesian
+        // components M v.
+        let v_local = if yang {
+            geomath::yinyang::yinyang_cartesian(v_yin_cart)
+        } else {
+            v_yin_cart
+        };
+        let (gth, gph) = (shape.gth as isize, shape.gph as isize);
+        for k in -gph..(shape.nph as isize + gph) {
+            for j in -gth..(shape.nth as isize + gth) {
+                let basis =
+                    SphericalBasis::at(g.theta().coord_signed(j), g.phi().coord_signed(k));
+                let (a, b, c) = basis.from_cartesian(v_local);
+                for i in 0..shape.nr {
+                    vr.set(i, j, k, a);
+                    vt.set(i, j, k, b);
+                    vp.set(i, j, k, c);
+                }
+            }
+        }
+        (vr, vt, vp)
+    }
+
+    #[test]
+    fn vector_interpolation_reconstructs_constant_field() {
+        // A constant Cartesian field has smoothly varying spherical
+        // components; after interpolation + rotation the target panel must
+        // see the same physical field in its own basis. Bilinear error is
+        // O(h²); we check convergence.
+        let v = Vec3::new(0.3, -1.1, 0.7);
+        let err_for = |nth: usize| {
+            let g = grid(nth, 2);
+            let cols = build_overset_columns(&g).unwrap();
+            let (dr, dt, dp) = sample_vector(&g, true, v); // donor = Yang
+            let (er, et, ep) = sample_vector(&g, false, v); // exact on Yin
+            let shape = g.full_shape();
+            let (mut tr, mut tt, mut tp) =
+                (Array3::zeros(shape), Array3::zeros(shape), Array3::zeros(shape));
+            let mut max_err: f64 = 0.0;
+            for col in &cols {
+                apply_vector(col, &dr, &dt, &dp, &mut tr, &mut tt, &mut tp);
+                let (j, k) = (col.tgt_j as isize, col.tgt_k as isize);
+                for (got, exact) in [(&tr, &er), (&tt, &et), (&tp, &ep)] {
+                    for i in 0..shape.nr {
+                        max_err = max_err.max((got.at(i, j, k) - exact.at(i, j, k)).abs());
+                    }
+                }
+            }
+            max_err
+        };
+        let (e1, e2) = (err_for(13), err_for(25));
+        let rate = (e1 / e2).log2();
+        assert!(
+            rate > 1.7,
+            "vector interpolation convergence rate {rate} (errors {e1:.2e}, {e2:.2e})"
+        );
+        assert!(e2 < 5e-3, "absolute error too large: {e2:.2e}");
+    }
+
+    #[test]
+    fn radial_component_is_exact_for_radial_fields() {
+        // A purely radial field v = f(r) r̂ has vθ = vφ = 0 in every basis
+        // and vr independent of angle → interpolation is exact.
+        let g = grid(17, 2);
+        let cols = build_overset_columns(&g).unwrap();
+        let shape = g.full_shape();
+        let radial = Array3::from_fn(shape, |i, _, _| g.r().coord(i).powi(2));
+        let zeros = Array3::zeros(shape);
+        let (mut tr, mut tt, mut tp) =
+            (Array3::zeros(shape), Array3::zeros(shape), Array3::zeros(shape));
+        for col in &cols {
+            apply_vector(col, &radial, &zeros, &zeros, &mut tr, &mut tt, &mut tp);
+            let (j, k) = (col.tgt_j as isize, col.tgt_k as isize);
+            for i in 0..shape.nr {
+                assert!(approx_eq(tr.at(i, j, k), g.r().coord(i).powi(2), 1e-12));
+                assert!(approx_eq(tt.at(i, j, k), 0.0, 1e-12));
+                assert!(approx_eq(tp.at(i, j, k), 0.0, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = OversetError::DonorInFrame { tgt_j: 1, tgt_k: 2, don_j: 0, don_k: 5 };
+        assert!(e.to_string().contains("increase the patch extension"));
+    }
+}

@@ -1,0 +1,37 @@
+//! The Yin-Yang overset spherical mesh.
+//!
+//! A Yin-Yang grid (Kageyama & Sato 2004; SC2004 paper §II) covers a
+//! spherical shell with two *identical* component grids — "Yin" and
+//! "Yang" — each a low-latitude portion of an ordinary latitude–longitude
+//! grid: 90° in latitude (θ ∈ [π/4, 3π/4]) and 270° in longitude
+//! (φ ∈ [−3π/4, 3π/4]), related by the involutive Cartesian map
+//! `(xe, ye, ze) = (−xn, zn, yn)`.
+//!
+//! This crate owns the geometry:
+//!
+//! * [`patch::PatchGrid`] — one component grid (identical for Yin and
+//!   Yang), with extension cells beyond the nominal span so that overset
+//!   boundary nodes always land strictly inside the partner's interior;
+//! * [`partition`] — the 2-D (θ, φ) block decomposition of a panel over
+//!   ranks, the paper's intra-panel `MPI_CART_CREATE` layout;
+//! * [`metric`] — precomputed spherical metric factors for a tile;
+//! * [`interp`] — bilinear overset interpolation stencils with tangent
+//!   rotation for vector components, plus donor validity checks;
+//! * [`routing`] — the global send/receive schedule for overset data in a
+//!   decomposed run (who interpolates what for whom);
+//! * [`coverage`] — Monte-Carlo coverage/overlap analysis reproducing the
+//!   "~6 % overlap" figure of the paper (Fig. 1 discussion).
+
+pub mod coverage;
+pub mod interp;
+pub mod metric;
+pub mod partition;
+pub mod patch;
+pub mod routing;
+
+pub use coverage::dedup_column_weights;
+pub use interp::{apply_scalar, apply_vector, build_overset_columns, OversetColumn};
+pub use metric::Metric;
+pub use partition::{block_range, owner_of, Decomp2D, Tile};
+pub use patch::{Panel, PatchGrid, PatchSpec};
+pub use routing::{OversetExchange, OversetRecvSet, OversetSendSet};

@@ -1,0 +1,232 @@
+//! Precomputed spherical metric factors for one tile.
+//!
+//! The finite-difference kernels repeatedly need `r`, `1/r`, `sin θ`,
+//! `1/sin θ`, `cot θ` and the grid spacings. Because a component patch
+//! keeps θ within ≈ [π/4, 3π/4], `sin θ` is bounded below by ≈ 0.7 — the
+//! grid never approaches its own coordinate poles, which is the whole
+//! point of the Yin-Yang construction.
+//!
+//! θ/φ arrays cover the tile's *padded* index range (owned + halo ghosts),
+//! because centered derivatives of metric-weighted quantities (e.g.
+//! `∂θ(sin θ vθ)`) evaluate the metric at neighbour nodes.
+
+use crate::partition::Tile;
+use crate::patch::PatchGrid;
+
+/// Metric factors of a tile (or a whole panel when the tile covers it).
+#[derive(Debug, Clone)]
+pub struct Metric {
+    halo: usize,
+    /// Radial node positions, `nr` long.
+    pub r: Vec<f64>,
+    /// `1 / r`.
+    pub inv_r: Vec<f64>,
+    // Padded θ-indexed arrays (length nth + 2 halo).
+    theta: Vec<f64>,
+    sin_t: Vec<f64>,
+    cos_t: Vec<f64>,
+    inv_sin_t: Vec<f64>,
+    cot_t: Vec<f64>,
+    // Padded φ-indexed array.
+    phi: Vec<f64>,
+    /// Radial spacing.
+    pub dr: f64,
+    /// Colatitude spacing.
+    pub dth: f64,
+    /// Longitude spacing.
+    pub dph: f64,
+}
+
+impl Metric {
+    /// Build the metric for `tile` of `grid`.
+    pub fn new(grid: &PatchGrid, tile: &Tile) -> Self {
+        let m = Self::from_grids(grid.r(), grid.theta(), grid.phi(), tile, grid.spec().halo);
+        // A Yin-Yang component patch never approaches its own coordinate
+        // poles — assert the defining property.
+        for (idx, &s) in m.sin_t.iter().enumerate() {
+            assert!(
+                s > 1e-6,
+                "sin θ vanished at padded index {idx}: patch reaches its coordinate pole"
+            );
+        }
+        m
+    }
+
+    /// Build a metric from raw 1-D grids. Unlike [`Metric::new`] this does
+    /// not require `sin θ > 0` on the padded range: a full-sphere
+    /// latitude–longitude grid (the baseline the paper converts *from*)
+    /// analytically continues across the poles, where ghost rows carry
+    /// `sin(−θ) = −sin θ`. Exact zeros (a node exactly on a pole) are
+    /// still rejected — pole-free staggering is the caller's job.
+    pub fn from_grids(
+        r_grid: &geomath::Grid1D,
+        theta_grid: &geomath::Grid1D,
+        phi_grid: &geomath::Grid1D,
+        tile: &Tile,
+        halo: usize,
+    ) -> Self {
+        let h = halo as isize;
+        let r: Vec<f64> = r_grid.coords().collect();
+        let inv_r = r.iter().map(|&x| 1.0 / x).collect();
+        let mut theta = Vec::with_capacity(tile.nth + 2 * halo);
+        for j in -h..(tile.nth as isize + h) {
+            theta.push(theta_grid.coord_signed(tile.j0 as isize + j));
+        }
+        let sin_t: Vec<f64> = theta.iter().map(|&t| t.sin()).collect();
+        let cos_t: Vec<f64> = theta.iter().map(|&t| t.cos()).collect();
+        for (idx, &s) in sin_t.iter().enumerate() {
+            assert!(s.abs() > 1e-12, "grid node {idx} sits exactly on a coordinate pole");
+        }
+        let inv_sin_t = sin_t.iter().map(|&s| 1.0 / s).collect();
+        let cot_t = sin_t.iter().zip(&cos_t).map(|(&s, &c)| c / s).collect();
+        let mut phi = Vec::with_capacity(tile.nph + 2 * halo);
+        for k in -h..(tile.nph as isize + h) {
+            phi.push(phi_grid.coord_signed(tile.k0 as isize + k));
+        }
+        Metric {
+            halo,
+            r,
+            inv_r,
+            theta,
+            sin_t,
+            cos_t,
+            inv_sin_t,
+            cot_t,
+            phi,
+            dr: r_grid.spacing(),
+            dth: theta_grid.spacing(),
+            dph: phi_grid.spacing(),
+        }
+    }
+
+    /// Metric for a whole panel as a single tile (serial runs).
+    pub fn full(grid: &PatchGrid) -> Self {
+        let (_, nth, nph) = grid.dims();
+        let tile = Tile { rank: 0, cth: 0, cph: 0, j0: 0, nth, k0: 0, nph };
+        Metric::new(grid, &tile)
+    }
+
+    #[inline]
+    fn jdx(&self, j: isize) -> usize {
+        (j + self.halo as isize) as usize
+    }
+
+    /// Colatitude of local signed index `j`.
+    #[inline]
+    pub fn theta(&self, j: isize) -> f64 {
+        self.theta[self.jdx(j)]
+    }
+
+    /// `sin θ_j`.
+    #[inline]
+    pub fn sin_t(&self, j: isize) -> f64 {
+        self.sin_t[self.jdx(j)]
+    }
+
+    /// `cos θ_j`.
+    #[inline]
+    pub fn cos_t(&self, j: isize) -> f64 {
+        self.cos_t[self.jdx(j)]
+    }
+
+    /// `1 / sin θ_j`.
+    #[inline]
+    pub fn inv_sin_t(&self, j: isize) -> f64 {
+        self.inv_sin_t[self.jdx(j)]
+    }
+
+    /// `cot θ_j`.
+    #[inline]
+    pub fn cot_t(&self, j: isize) -> f64 {
+        self.cot_t[self.jdx(j)]
+    }
+
+    /// Longitude of local signed index `k`.
+    #[inline]
+    pub fn phi(&self, k: isize) -> f64 {
+        self.phi[(k + self.halo as isize) as usize]
+    }
+
+    /// Smallest physical grid spacing on this tile:
+    /// `min(Δr, rᵢ Δθ, rᵢ sin θ_min Δφ)` — the CFL length scale.
+    pub fn min_spacing(&self) -> f64 {
+        let r_min = self.r[0].min(*self.r.last().expect("nonempty radial grid"));
+        let sin_min = self.sin_t.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.dr.min(r_min * self.dth).min(r_min * sin_min * self.dph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Decomp2D;
+    use crate::patch::PatchSpec;
+    use geomath::approx_eq;
+
+    fn grid() -> PatchGrid {
+        PatchGrid::new(PatchSpec::equal_spacing(8, 17, 0.35, 1.0))
+    }
+
+    #[test]
+    fn full_metric_matches_grids() {
+        let g = grid();
+        let m = Metric::full(&g);
+        assert_eq!(m.r.len(), 8);
+        assert!(approx_eq(m.r[0], 0.35, 1e-15));
+        assert!(approx_eq(*m.r.last().unwrap(), 1.0, 1e-15));
+        assert!(approx_eq(m.theta(0), g.theta().coord(0), 1e-15));
+        assert!(approx_eq(m.phi(0), g.phi().coord(0), 1e-15));
+        assert!(approx_eq(m.dr, g.r().spacing(), 1e-15));
+    }
+
+    #[test]
+    fn trig_identities_hold() {
+        let g = grid();
+        let m = Metric::full(&g);
+        let (_, nth, _) = g.dims();
+        for j in -1..(nth as isize + 1) {
+            let s = m.sin_t(j);
+            let c = m.cos_t(j);
+            assert!(approx_eq(s * s + c * c, 1.0, 1e-14));
+            assert!(approx_eq(m.inv_sin_t(j) * s, 1.0, 1e-14));
+            assert!(approx_eq(m.cot_t(j) * s, c, 1e-14));
+        }
+    }
+
+    #[test]
+    fn sin_theta_is_bounded_away_from_zero() {
+        // The defining property of the component patch: no pole problems.
+        let g = grid();
+        let m = Metric::full(&g);
+        let (_, nth, _) = g.dims();
+        // With ext = 2 on a 17-node nominal span the padded θ range reaches
+        // ≈ 28°, where sin θ ≈ 0.47 — still nowhere near the pole.
+        for j in -1..(nth as isize + 1) {
+            assert!(m.sin_t(j) > 0.4, "sin θ too small at {j}: {}", m.sin_t(j));
+        }
+    }
+
+    #[test]
+    fn tile_metric_matches_global_slice() {
+        let g = grid();
+        let d = Decomp2D::new(2, 3, &g);
+        let t = d.tile(4);
+        let full = Metric::full(&g);
+        let m = Metric::new(&g, &t);
+        for j in -1..(t.nth as isize + 1) {
+            assert!(approx_eq(m.theta(j), full.theta(t.j0 as isize + j), 1e-14));
+            assert!(approx_eq(m.sin_t(j), full.sin_t(t.j0 as isize + j), 1e-14));
+        }
+        for k in -1..(t.nph as isize + 1) {
+            assert!(approx_eq(m.phi(k), full.phi(t.k0 as isize + k), 1e-14));
+        }
+    }
+
+    #[test]
+    fn min_spacing_is_positive_and_no_larger_than_dr() {
+        let g = grid();
+        let m = Metric::full(&g);
+        assert!(m.min_spacing() > 0.0);
+        assert!(m.min_spacing() <= m.dr);
+    }
+}

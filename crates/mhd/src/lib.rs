@@ -1,0 +1,54 @@
+//! Compressible MHD in spherical coordinates — the physics of the
+//! geodynamo simulation (§III of the paper).
+//!
+//! The model: an electrically conducting compressible fluid in a rotating
+//! spherical shell (inner radius `ri`, outer `ro`), central gravity
+//! `g = −g0/r² r̂`, fixed wall temperatures (hot inner, cold outer),
+//! no-slip co-rotating walls. The normalized equations (paper eqs. 2–6):
+//!
+//! ```text
+//! ∂ρ/∂t = −∇·f
+//! ∂f/∂t = −∇·(v f) − ∇p + j×B + ρ g + 2ρ v×Ω + µ(∇²v + ⅓∇(∇·v))
+//! ∂p/∂t = −v·∇p − γ p ∇·v + (γ−1) K ∇²T + (γ−1) η j² + (γ−1) Φ
+//! ∂A/∂t = −E
+//! p = ρT,  B = ∇×A,  j = ∇×B,  E = −v×B + η j,
+//! Φ = 2µ (e_ij e_ij − ⅓(∇·v)²)
+//! ```
+//!
+//! Basic variables: mass density ρ, pressure p, mass flux density
+//! f = ρv, and magnetic vector potential A. B, j, E, v, T are subsidiary.
+//!
+//! Discretization follows the paper: **second-order central finite
+//! differences in spherical coordinates** and **classical RK4** in time.
+//! One design constraint shapes everything here: each RK4 stage performs
+//! exactly *one* ghost-fill (halo exchange + overset interpolation) of the
+//! eight state arrays. Consequently every subsidiary quantity must be
+//! computable locally from state values in the one-node stencil halo:
+//!
+//! * `v = f/ρ`, `T = p/ρ` — pointwise;
+//! * `B = ∇×A` — first derivatives;
+//! * `j = ∇×∇×A = ∇(∇·A) − ∇²A` — expanded into direct second-derivative
+//!   stencils of A (including the 4-point mixed-derivative cross), instead
+//!   of differentiating a communicated B;
+//! * `∇(∇·v)` in the viscous force — likewise expanded directly.
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod energy;
+pub mod init;
+pub mod ops;
+pub mod params;
+pub mod rhs;
+pub mod spectra;
+pub mod state;
+pub mod tables;
+pub mod timestep;
+
+pub use bc::{apply_physical_bc, MagneticBc};
+pub use energy::Diagnostics;
+pub use init::{hydrostatic_profile, initialize};
+pub use params::PhysParams;
+pub use rhs::{compute_rhs, InteriorRange, RHS_FLOPS_PER_POINT};
+pub use state::State;
+pub use tables::ForceTables;
+pub use timestep::{cfl_timestep, wave_speed_max};

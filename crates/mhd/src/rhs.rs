@@ -1,0 +1,627 @@
+//! Right-hand side of the normalized compressible MHD system
+//! (paper eqs. 2–6), discretized with 2nd-order central differences in
+//! spherical coordinates.
+//!
+//! # Formulas
+//!
+//! With `v = f/ρ`, `T = p/ρ`, the evaluated terms are:
+//!
+//! **Continuity** `∂ρ/∂t = −∇·f` with
+//! `∇·f = (1/r²)∂r(r²f_r) + (1/(r sinθ))∂θ(sinθ f_θ) + (1/(r sinθ))∂φ f_φ`.
+//!
+//! **Momentum** (component `c` of `∇·(vf)`, conservative flux form plus
+//! curvature terms):
+//! ```text
+//! [∇·(vf)]_r = Flux(f_r) − (f_θ v_θ + f_φ v_φ)/r
+//! [∇·(vf)]_θ = Flux(f_θ) + f_θ v_r / r − cot θ f_φ v_φ / r
+//! [∇·(vf)]_φ = Flux(f_φ) + f_φ v_r / r + cot θ f_φ v_θ / r
+//! Flux(q) = (1/r²)∂r(r² v_r q) + (1/(r sinθ))∂θ(sinθ v_θ q)
+//!         + (1/(r sinθ))∂φ(v_φ q)
+//! ```
+//!
+//! **Magnetic field** `B = ∇×A` (first derivatives of the state), and
+//! **current** via the identity `j = ∇×B = ∇(∇·A) − ∇²A`, evaluated with
+//! direct second-derivative stencils of A so that no communicated
+//! intermediate field is needed (see the crate docs).
+//!
+//! For a vector field Q the two second-derivative primitives are
+//! ```text
+//! (∇²Q)_r = ∇²Q_r − (2/r²)(Q_r + ∂θQ_θ + cotθ Q_θ + (1/sinθ)∂φQ_φ)
+//! (∇²Q)_θ = ∇²Q_θ + (2/r²)∂θQ_r − Q_θ/(r²sin²θ) − (2cosθ/(r²sin²θ))∂φQ_φ
+//! (∇²Q)_φ = ∇²Q_φ + (2/(r²sinθ))∂φQ_r + (2cosθ/(r²sin²θ))∂φQ_θ − Q_φ/(r²sin²θ)
+//! ```
+//! and, writing `H = cotθ Q_θ + ∂θQ_θ + (1/sinθ)∂φQ_φ` so that
+//! `∇·Q = ∂rQ_r + 2Q_r/r + H/r`:
+//! ```text
+//! [∇(∇·Q)]_r = ∂rrQ_r + (2/r)∂rQ_r − 2Q_r/r² + (1/r)∂rH − H/r²
+//! [∇(∇·Q)]_θ = (1/r)(∂r∂θQ_r + (2/r)∂θQ_r + (1/r)∂θH)
+//! [∇(∇·Q)]_φ = (1/(r sinθ))(∂r∂φQ_r + (2/r)∂φQ_r + (1/r)∂φH)
+//! ∂rH = cotθ ∂rQ_θ + ∂r∂θQ_θ + (1/sinθ)∂r∂φQ_φ
+//! ∂θH = −Q_θ/sin²θ + cotθ ∂θQ_θ + ∂θθQ_θ − (cosθ/sin²θ)∂φQ_φ + (1/sinθ)∂θ∂φQ_φ
+//! ∂φH = cotθ ∂φQ_θ + ∂θ∂φQ_θ + (1/sinθ)∂φφQ_φ
+//! ```
+//!
+//! **Strain tensor** (for the viscous heating Φ):
+//! ```text
+//! e_rr = ∂r v_r                e_θθ = (1/r)∂θv_θ + v_r/r
+//! e_φφ = (1/(r sinθ))∂φv_φ + v_r/r + cotθ v_θ/r
+//! e_rθ = ½((1/r)∂θv_r + ∂rv_θ − v_θ/r)
+//! e_rφ = ½((1/(r sinθ))∂φv_r + ∂rv_φ − v_φ/r)
+//! e_θφ = ½((1/(r sinθ))∂φv_θ + (1/r)∂θv_φ − cotθ v_φ/r)
+//! ```
+
+use crate::ops::{ColGeom, Cols, Spacings};
+use crate::params::PhysParams;
+use crate::state::State;
+use crate::tables::ForceTables;
+use yy_field::{Array3, FlopMeter, Shape, VectorField};
+use yy_mesh::Metric;
+
+/// Approximate floating-point operations per interior grid point of one
+/// RHS evaluation, counted from the kernel source (stencil arithmetic,
+/// metric products, force assembly). Used by the FLOP meter; the Earth
+/// Simulator model scales this to the machine's counters. The count is
+/// dominated by the two vector second-derivative primitives (j and the
+/// viscous force) and the advection fluxes.
+pub const RHS_FLOPS_PER_POINT: u64 = 640;
+
+/// Which nodes an RHS evaluation updates: tile-local index ranges of the
+/// finite-difference interior (globally non-frame columns, radially
+/// interior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InteriorRange {
+    /// First radial index updated (inclusive).
+    pub i0: usize,
+    /// One past the last radial index.
+    pub i1: usize,
+    /// First local colatitude index updated.
+    pub j0: isize,
+    /// One past the last colatitude index.
+    pub j1: isize,
+    /// First local longitude index updated.
+    pub k0: isize,
+    /// One past the last longitude index.
+    pub k1: isize,
+}
+
+impl InteriorRange {
+    /// The full-panel interior: radial `1..nr−1`, horizontal inside the
+    /// overset frame.
+    pub fn full_panel(grid: &yy_mesh::PatchGrid) -> Self {
+        let (nr, nth, nph) = grid.dims();
+        let f = grid.frame() as isize;
+        InteriorRange {
+            i0: 1,
+            i1: nr - 1,
+            j0: f,
+            j1: nth as isize - f,
+            k0: f,
+            k1: nph as isize - f,
+        }
+    }
+
+    /// For a tile `t` of a decomposed panel: the owned columns clipped to
+    /// the globally non-frame region, expressed in tile-local indices.
+    pub fn for_tile(grid: &yy_mesh::PatchGrid, t: &yy_mesh::Tile) -> Self {
+        let (nr, nth, nph) = grid.dims();
+        let f = grid.frame();
+        let gj0 = t.j0.max(f);
+        let gj1 = (t.j0 + t.nth).min(nth - f);
+        let gk0 = t.k0.max(f);
+        let gk1 = (t.k0 + t.nph).min(nph - f);
+        InteriorRange {
+            i0: 1,
+            i1: nr - 1,
+            j0: gj0 as isize - t.j0 as isize,
+            j1: gj1 as isize - t.j0 as isize,
+            k0: gk0 as isize - t.k0 as isize,
+            k1: gk1 as isize - t.k0 as isize,
+        }
+    }
+
+    /// Number of updated nodes.
+    pub fn points(&self) -> usize {
+        if self.j1 <= self.j0 || self.k1 <= self.k0 || self.i1 <= self.i0 {
+            return 0;
+        }
+        (self.i1 - self.i0) * ((self.j1 - self.j0) * (self.k1 - self.k0)) as usize
+    }
+}
+
+/// Reusable scratch arrays for RHS evaluation (velocity and temperature
+/// over the padded tile).
+#[derive(Debug, Clone)]
+pub struct RhsScratch {
+    /// Velocity `v = f/ρ` over the padded tile.
+    pub v: VectorField,
+    /// Temperature `T = p/ρ` over the padded tile.
+    pub temp: Array3,
+}
+
+impl RhsScratch {
+    /// Allocate scratch for tiles of `shape`.
+    pub fn new(shape: Shape) -> Self {
+        RhsScratch { v: VectorField::zeros(shape), temp: Array3::zeros(shape) }
+    }
+}
+
+/// Vector second-derivative bundle at one node: the vector Laplacian and
+/// grad-div of a field given its component stencils.
+struct VecSecond {
+    lap: [f64; 3],
+    grad_div: [f64; 3],
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn vec_second(
+    qr: &Cols,
+    qt: &Cols,
+    qp: &Cols,
+    i: usize,
+    sp: &Spacings,
+    g: &ColGeom,
+    inv_r: f64,
+) -> VecSecond {
+    let inv_r2 = inv_r * inv_r;
+    let qr_c = qr.c[i];
+    let qt_c = qt.c[i];
+    let qp_c = qp.c[i];
+
+    let dqr_r = qr.ddr(i, sp);
+    let dqr_t = qr.ddt(i, sp);
+    let dqr_p = qr.ddp(i, sp);
+    let dqt_r = qt.ddr(i, sp);
+    let dqt_t = qt.ddt(i, sp);
+    let dqt_p = qt.ddp(i, sp);
+    let dqp_p = qp.ddp(i, sp);
+
+    let lap_r_scalar = qr.laplacian(i, sp, inv_r, g.inv_sin2, g.cot_t);
+    let lap_t_scalar = qt.laplacian(i, sp, inv_r, g.inv_sin2, g.cot_t);
+    let lap_p_scalar = qp.laplacian(i, sp, inv_r, g.inv_sin2, g.cot_t);
+
+    let lap = [
+        lap_r_scalar - 2.0 * inv_r2 * (qr_c + dqt_t + g.cot_t * qt_c + g.inv_sin * dqp_p),
+        lap_t_scalar + 2.0 * inv_r2 * dqr_t
+            - inv_r2 * g.inv_sin2 * qt_c
+            - 2.0 * inv_r2 * g.cot_t * g.inv_sin * dqp_p,
+        lap_p_scalar + 2.0 * inv_r2 * g.inv_sin * dqr_p + 2.0 * inv_r2 * g.cot_t * g.inv_sin * dqt_p
+            - inv_r2 * g.inv_sin2 * qp_c,
+    ];
+
+    // H = cotθ Qθ + ∂θQθ + (1/sinθ)∂φQφ and its derivatives.
+    let h = g.cot_t * qt_c + dqt_t + g.inv_sin * dqp_p;
+    let dh_r = g.cot_t * dqt_r + qt.drt(i, sp) + g.inv_sin * qp.drp(i, sp);
+    let dh_t = -g.inv_sin2 * qt_c + g.cot_t * dqt_t + qt.d2t(i, sp)
+        - g.cot_t * g.inv_sin * dqp_p
+        + g.inv_sin * qp.dtp(i, sp);
+    let dh_p = g.cot_t * dqt_p + qt.dtp(i, sp) + g.inv_sin * qp.d2p(i, sp);
+
+    let grad_div = [
+        qr.d2r(i, sp) + 2.0 * inv_r * dqr_r - 2.0 * inv_r2 * qr_c + inv_r * dh_r - inv_r2 * h,
+        inv_r * (qr.drt(i, sp) + 2.0 * inv_r * dqr_t + inv_r * dh_t),
+        inv_r * g.inv_sin * (qr.drp(i, sp) + 2.0 * inv_r * dqr_p + inv_r * dh_p),
+    ];
+
+    VecSecond { lap, grad_div }
+}
+
+/// Evaluate the full MHD right-hand side over `range`, writing into `out`
+/// (which is zeroed first, so non-interior nodes carry zero tendency).
+///
+/// `state` must have valid values on the whole padded region — i.e. halo
+/// exchange, overset interpolation and physical boundary conditions have
+/// all been applied to it.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_rhs(
+    state: &State,
+    metric: &Metric,
+    forces: &ForceTables,
+    params: &PhysParams,
+    range: &InteriorRange,
+    scratch: &mut RhsScratch,
+    out: &mut State,
+    meter: &mut FlopMeter,
+) {
+    out.fill_zero();
+    let shape = state.shape();
+    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
+    let gamma = params.gamma;
+    let gm1 = gamma - 1.0;
+    let (mu, kappa, eta) = (params.mu, params.kappa, params.eta);
+
+    // v = f/ρ and T = p/ρ over the whole padded region (pointwise — ghost
+    // and frame values of the state are valid by contract).
+    let (gth, gph) = (shape.gth as isize, shape.gph as isize);
+    for k in -gph..(shape.nph as isize + gph) {
+        for j in -gth..(shape.nth as isize + gth) {
+            let rho = state.rho.row(j, k);
+            let prs = state.press.row(j, k);
+            let fr = state.f.r.row(j, k);
+            let ft = state.f.t.row(j, k);
+            let fp = state.f.p.row(j, k);
+            let vr = scratch.v.r.row_mut(j, k);
+            for i in 0..shape.nr {
+                vr[i] = fr[i] / rho[i];
+            }
+            let vt = scratch.v.t.row_mut(j, k);
+            for i in 0..shape.nr {
+                vt[i] = ft[i] / rho[i];
+            }
+            let vp = scratch.v.p.row_mut(j, k);
+            for i in 0..shape.nr {
+                vp[i] = fp[i] / rho[i];
+            }
+            let tt = scratch.temp.row_mut(j, k);
+            for i in 0..shape.nr {
+                tt[i] = prs[i] / rho[i];
+            }
+        }
+    }
+
+    // Radial helper tables.
+    let r = &metric.r;
+    let inv_r = &metric.inv_r;
+    let r2: Vec<f64> = r.iter().map(|&x| x * x).collect();
+
+    for k in range.k0..range.k1 {
+        for j in range.j0..range.j1 {
+            let g = ColGeom::new(metric, j);
+            let p_cols = Cols::new(&state.press, j, k);
+            let t_cols = Cols::new(&scratch.temp, j, k);
+            let fr_cols = Cols::new(&state.f.r, j, k);
+            let ft_cols = Cols::new(&state.f.t, j, k);
+            let fp_cols = Cols::new(&state.f.p, j, k);
+            let vr_cols = Cols::new(&scratch.v.r, j, k);
+            let vt_cols = Cols::new(&scratch.v.t, j, k);
+            let vp_cols = Cols::new(&scratch.v.p, j, k);
+            let ar_cols = Cols::new(&state.a.r, j, k);
+            let at_cols = Cols::new(&state.a.t, j, k);
+            let ap_cols = Cols::new(&state.a.p, j, k);
+            let rho_row = state.rho.row(j, k);
+            let (om_r, om_t, om_p) = forces.omega_at(j, k);
+
+            // Output rows for this column.
+            let base = shape.idx(0, j, k);
+            macro_rules! out_row {
+                ($a:expr) => {
+                    &mut $a.data_mut()[base..base + shape.nr]
+                };
+            }
+            // (Split mutable borrows by component through raw indexing.)
+            for i in range.i0..range.i1 {
+                let ir = inv_r[i];
+                let ir2 = ir * ir;
+                let rho_c = rho_row[i];
+                let p_c = p_cols.c[i];
+                let fr_c = fr_cols.c[i];
+                let ft_c = ft_cols.c[i];
+                let fp_c = fp_cols.c[i];
+                let vr_c = vr_cols.c[i];
+                let vt_c = vt_cols.c[i];
+                let vp_c = vp_cols.c[i];
+
+                // --- continuity -------------------------------------------------
+                let div_f = ir2 * (r2[i + 1] * fr_cols.c[i + 1] - r2[i - 1] * fr_cols.c[i - 1])
+                    * sp.inv_2dr
+                    + ir * g.inv_sin
+                        * ((g.sin_s * ft_cols.s[i] - g.sin_n * ft_cols.n[i]) * sp.inv_2dt
+                            + (fp_cols.e[i] - fp_cols.w[i]) * sp.inv_2dp);
+
+                // --- magnetic field B = ∇×A -------------------------------------
+                let b_r = ir * g.inv_sin
+                    * ((g.sin_s * ap_cols.s[i] - g.sin_n * ap_cols.n[i]) * sp.inv_2dt
+                        - (at_cols.e[i] - at_cols.w[i]) * sp.inv_2dp);
+                let b_t = ir
+                    * (g.inv_sin * (ar_cols.e[i] - ar_cols.w[i]) * sp.inv_2dp
+                        - (r[i + 1] * ap_cols.c[i + 1] - r[i - 1] * ap_cols.c[i - 1]) * sp.inv_2dr);
+                let b_p = ir
+                    * ((r[i + 1] * at_cols.c[i + 1] - r[i - 1] * at_cols.c[i - 1]) * sp.inv_2dr
+                        - (ar_cols.s[i] - ar_cols.n[i]) * sp.inv_2dt);
+
+                // --- current j = ∇(∇·A) − ∇²A ------------------------------------
+                let a2 = vec_second(&ar_cols, &at_cols, &ap_cols, i, &sp, &g, ir);
+                let j_r = a2.grad_div[0] - a2.lap[0];
+                let j_t = a2.grad_div[1] - a2.lap[1];
+                let j_p = a2.grad_div[2] - a2.lap[2];
+
+                // --- momentum: advection ∇·(vf) ----------------------------------
+                let flux = |q: &Cols| -> f64 {
+                    ir2 * (r2[i + 1] * vr_cols.c[i + 1] * q.c[i + 1]
+                        - r2[i - 1] * vr_cols.c[i - 1] * q.c[i - 1])
+                        * sp.inv_2dr
+                        + ir * g.inv_sin
+                            * ((g.sin_s * vt_cols.s[i] * q.s[i] - g.sin_n * vt_cols.n[i] * q.n[i])
+                                * sp.inv_2dt
+                                + (vp_cols.e[i] * q.e[i] - vp_cols.w[i] * q.w[i]) * sp.inv_2dp)
+                };
+                let adv_r = flux(&fr_cols) - (ft_c * vt_c + fp_c * vp_c) * ir;
+                let adv_t = flux(&ft_cols) + (ft_c * vr_c) * ir - g.cot_t * (fp_c * vp_c) * ir;
+                let adv_p =
+                    flux(&fp_cols) + (fp_c * vr_c) * ir + g.cot_t * (fp_c * vt_c) * ir;
+
+                // --- pressure gradient -------------------------------------------
+                let gp_r = p_cols.ddr(i, &sp);
+                let gp_t = ir * p_cols.ddt(i, &sp);
+                let gp_p = ir * g.inv_sin * p_cols.ddp(i, &sp);
+
+                // --- Lorentz force j×B -------------------------------------------
+                let jxb_r = j_t * b_p - j_p * b_t;
+                let jxb_t = j_p * b_r - j_r * b_p;
+                let jxb_p = j_r * b_t - j_t * b_r;
+
+                // --- Coriolis 2ρ v×Ω = 2 f×Ω -------------------------------------
+                let cor_r = 2.0 * (ft_c * om_p - fp_c * om_t);
+                let cor_t = 2.0 * (fp_c * om_r - fr_c * om_p);
+                let cor_p = 2.0 * (fr_c * om_t - ft_c * om_r);
+
+                // --- viscous force µ(∇²v + ⅓∇(∇·v)) ------------------------------
+                let v2 = vec_second(&vr_cols, &vt_cols, &vp_cols, i, &sp, &g, ir);
+                let visc_r = mu * (v2.lap[0] + v2.grad_div[0] / 3.0);
+                let visc_t = mu * (v2.lap[1] + v2.grad_div[1] / 3.0);
+                let visc_p = mu * (v2.lap[2] + v2.grad_div[2] / 3.0);
+
+                // --- pressure equation pieces ------------------------------------
+                let dvr_r = vr_cols.ddr(i, &sp);
+                let dvt_t = vt_cols.ddt(i, &sp);
+                let dvp_p = vp_cols.ddp(i, &sp);
+                let div_v = dvr_r
+                    + 2.0 * ir * vr_c
+                    + ir * (g.cot_t * vt_c + dvt_t)
+                    + ir * g.inv_sin * dvp_p;
+                let v_grad_p =
+                    vr_c * gp_r + vt_c * gp_t + vp_c * gp_p;
+                let lap_t = t_cols.laplacian(i, &sp, ir, g.inv_sin2, g.cot_t);
+                let j2 = j_r * j_r + j_t * j_t + j_p * j_p;
+
+                let e_rr = dvr_r;
+                let e_tt = ir * dvt_t + vr_c * ir;
+                let e_pp = ir * g.inv_sin * dvp_p + vr_c * ir + g.cot_t * vt_c * ir;
+                let e_rt = 0.5 * (ir * vr_cols.ddt(i, &sp) + vt_cols.ddr(i, &sp) - vt_c * ir);
+                let e_rp =
+                    0.5 * (ir * g.inv_sin * vr_cols.ddp(i, &sp) + vp_cols.ddr(i, &sp) - vp_c * ir);
+                let e_tp = 0.5
+                    * (ir * g.inv_sin * vt_cols.ddp(i, &sp) + ir * vp_cols.ddt(i, &sp)
+                        - g.cot_t * vp_c * ir);
+                let ee = e_rr * e_rr
+                    + e_tt * e_tt
+                    + e_pp * e_pp
+                    + 2.0 * (e_rt * e_rt + e_rp * e_rp + e_tp * e_tp);
+                let phi_visc = 2.0 * mu * (ee - div_v * div_v / 3.0);
+
+                // --- induction: ∂A/∂t = v×B − ηj ----------------------------------
+                let vxb_r = vt_c * b_p - vp_c * b_t;
+                let vxb_t = vp_c * b_r - vr_c * b_p;
+                let vxb_p = vr_c * b_t - vt_c * b_r;
+
+                // --- assemble ----------------------------------------------------
+                out_row!(out.rho)[i] = -div_f;
+                out_row!(out.f.r)[i] =
+                    -adv_r - gp_r + jxb_r + rho_c * forces.grav[i] + cor_r + visc_r;
+                out_row!(out.f.t)[i] = -adv_t - gp_t + jxb_t + cor_t + visc_t;
+                out_row!(out.f.p)[i] = -adv_p - gp_p + jxb_p + cor_p + visc_p;
+                out_row!(out.press)[i] = -v_grad_p - gamma * p_c * div_v
+                    + gm1 * (kappa * lap_t + eta * j2 + phi_visc);
+                out_row!(out.a.r)[i] = vxb_r - eta * j_r;
+                out_row!(out.a.t)[i] = vxb_t - eta * j_t;
+                out_row!(out.a.p)[i] = vxb_p - eta * j_p;
+            }
+        }
+    }
+    meter.add_kernel(range.points(), RHS_FLOPS_PER_POINT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{hydrostatic_profile, initialize, InitOptions};
+    use crate::tables::rotation_axis;
+    use yy_mesh::{Panel, PatchGrid, PatchSpec};
+
+    fn setup(nth: usize) -> (PatchGrid, Metric, ForceTables, PhysParams) {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(16, nth, 0.35, 1.0));
+        let metric = Metric::full(&grid);
+        let params = PhysParams::default_laptop();
+        let (_, nthg, nphg) = grid.dims();
+        let forces = ForceTables::new(
+            &metric,
+            nthg,
+            nphg,
+            1,
+            params.g0,
+            params.omega,
+            rotation_axis(Panel::Yin),
+        );
+        (grid, metric, forces, params)
+    }
+
+    /// With f = 0 and A = 0 and the hydrostatic (ρ, p) profile, the RHS
+    /// must vanish up to discretization error, and converge away at 2nd
+    /// order.
+    #[test]
+    fn hydrostatic_state_is_a_discrete_equilibrium() {
+        let residual = |nth: usize, nr: usize| {
+            let grid =
+                PatchGrid::new(PatchSpec::equal_spacing(nr, nth, 0.35, 1.0));
+            let metric = Metric::full(&grid);
+            let params = PhysParams::default_laptop();
+            let (_, nthg, nphg) = grid.dims();
+            let forces = ForceTables::new(
+                &metric,
+                nthg,
+                nphg,
+                1,
+                params.g0,
+                params.omega,
+                rotation_axis(Panel::Yin),
+            );
+            let mut state = State::zeros(grid.full_shape());
+            let opts = InitOptions { perturb_amplitude: 0.0, seed_amplitude: 0.0, seed: 1 };
+            initialize(&mut state, &grid, None, &params, &opts, Panel::Yin);
+            let range = InteriorRange::full_panel(&grid);
+            let mut scratch = RhsScratch::new(grid.full_shape());
+            let mut out = State::zeros(grid.full_shape());
+            let mut meter = FlopMeter::new();
+            compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+            // Momentum residual is the interesting one: −∇p + ρg ≈ 0.
+            out.f.r.max_abs_owned().max(out.f.t.max_abs_owned()).max(out.f.p.max_abs_owned())
+        };
+        let e1 = residual(9, 16);
+        let e2 = residual(17, 32);
+        let rate = (e1 / e2).log2();
+        assert!(
+            rate > 1.6,
+            "hydrostatic residual convergence rate {rate:.2} ({e1:.3e} → {e2:.3e})"
+        );
+    }
+
+    /// Uniform magnetic field (A = r sinθ φ̂ gives B = 2ẑ): the current j
+    /// and hence the Lorentz force and ohmic terms must vanish; A's
+    /// tendency must be −ηj ≈ 0 when v = 0.
+    #[test]
+    fn uniform_field_carries_no_current() {
+        let (grid, metric, forces, params) = setup(17);
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        // Hydrostatic background for positivity.
+        let (rho_prof, p_prof) = hydrostatic_profile(&params, grid.r());
+        for k in -1..(shape.nph as isize + 1) {
+            for j in -1..(shape.nth as isize + 1) {
+                let st = grid.theta().coord_signed(j).sin();
+                for i in 0..shape.nr {
+                    state.rho.set(i, j, k, rho_prof[i]);
+                    state.press.set(i, j, k, p_prof[i]);
+                    state.a.p.set(i, j, k, grid.r().coord(i) * st);
+                }
+            }
+        }
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut out = State::zeros(shape);
+        let mut meter = FlopMeter::new();
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+        // ∂A/∂t = −ηj must be tiny (j = 0 analytically; the sinθ stencil
+        // error is O(h²) ≈ 1e-3 at this resolution).
+        let j_resid =
+            out.a.r.max_abs_owned().max(out.a.t.max_abs_owned()).max(out.a.p.max_abs_owned());
+        assert!(j_resid < 1e-4, "j residual {j_resid:.3e}");
+    }
+
+    /// Solid-body rotation v = Ω' r sinθ φ̂ about the polar axis is
+    /// rigid: the strain, divergence, and viscous force vanish.
+    /// Run with gravity, rotation, and pressure terms disabled so only
+    /// the flow terms remain, then check the azimuthal momentum tendency
+    /// (advection of solid rotation balances the centrifugal-like terms
+    /// only in r and θ; the φ component must vanish identically).
+    #[test]
+    fn solid_body_rotation_has_no_viscous_force() {
+        let (grid, metric, _forces, _) = setup(17);
+        let mut params = PhysParams::default_laptop();
+        params.omega = 0.0;
+        params.g0 = 0.0;
+        params.mu = 0.0; // pure advection first: exact zeros expected
+        params.kappa = 0.0;
+        let (_, nthg, nphg) = grid.dims();
+        let forces =
+            ForceTables::new(&metric, nthg, nphg, 1, 0.0, 0.0, rotation_axis(Panel::Yin));
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        for k in -1..(shape.nph as isize + 1) {
+            for j in -1..(shape.nth as isize + 1) {
+                let st = grid.theta().coord_signed(j).sin();
+                for i in 0..shape.nr {
+                    let r = grid.r().coord(i);
+                    state.rho.set(i, j, k, 1.0);
+                    state.press.set(i, j, k, 1.0); // uniform p: no pressure force
+                    state.f.p.set(i, j, k, 0.1 * r * st);
+                }
+            }
+        }
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut out = State::zeros(shape);
+        let mut meter = FlopMeter::new();
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+        // φ-momentum: ∇·(v f)|_φ for solid rotation is identically zero
+        // (no φ-dependence, vr = vθ = 0) — exactly, with µ = 0.
+        let fp_resid = out.f.p.max_abs_owned();
+        assert!(fp_resid < 1e-12, "φ tendency {fp_resid:.3e}");
+        // ∇·v = 0 and Φ = 0 for rigid rotation; T uniform → conduction 0.
+        assert!(out.press.max_abs_owned() < 1e-12);
+        // ρ tendency: ∇·f = 0 for this field.
+        assert!(out.rho.max_abs_owned() < 1e-12);
+
+        // With viscosity on, the viscous force on rigid rotation is zero
+        // only up to the O(h²) stencil error on sin θ — check smallness.
+        params.mu = 2e-3;
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+        let fp_visc = out.f.p.max_abs_owned();
+        assert!(fp_visc < 1e-5, "viscous residual on rigid rotation {fp_visc:.3e}");
+    }
+
+    /// The flop meter must count exactly points × RHS_FLOPS_PER_POINT.
+    #[test]
+    fn flop_accounting_matches_range() {
+        let (grid, metric, forces, params) = setup(9);
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        state.rho.fill(1.0);
+        state.press.fill(1.0);
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut out = State::zeros(shape);
+        let mut meter = FlopMeter::new();
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+        assert_eq!(meter.flops(), range.points() as u64 * RHS_FLOPS_PER_POINT);
+        assert!(range.points() > 0);
+    }
+
+    #[test]
+    fn interior_range_for_tile_clips_frame() {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(8, 17, 0.35, 1.0));
+        let (_, nth, nph) = grid.dims();
+        let d = yy_mesh::Decomp2D::new(2, 2, &grid);
+        // Top-left tile touches the j=0 and k=0 frame.
+        let t = d.tile(0);
+        let r = InteriorRange::for_tile(&grid, &t);
+        assert_eq!(r.j0, 1);
+        assert_eq!(r.k0, 1);
+        assert_eq!(r.j1, t.nth as isize); // interior continues into next tile
+        // Bottom-right tile touches the far frames.
+        let t3 = d.tile(3);
+        let r3 = InteriorRange::for_tile(&grid, &t3);
+        assert_eq!(r3.j0, 0);
+        assert_eq!(r3.j1 as usize + t3.j0, nth - 1);
+        assert_eq!(r3.k1 as usize + t3.k0, nph - 1);
+    }
+
+    /// Tendencies outside the interior range must be exactly zero (the
+    /// RK4 combine relies on it).
+    #[test]
+    fn rhs_is_zero_outside_interior() {
+        let (grid, metric, forces, params) = setup(9);
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        state.rho.fill(1.0);
+        state.press.fill(1.0);
+        state.f.t.fill(0.01);
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut out = State::zeros(shape);
+        let mut meter = FlopMeter::new();
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
+        let (nr, nth, nph) = grid.dims();
+        // Radial boundary planes.
+        for k in 0..nph as isize {
+            for j in 0..nth as isize {
+                assert_eq!(out.f.t.at(0, j, k), 0.0);
+                assert_eq!(out.f.t.at(nr - 1, j, k), 0.0);
+            }
+        }
+        // Frame columns.
+        for k in 0..nph as isize {
+            assert_eq!(out.rho.at(2, 0, k), 0.0);
+            assert_eq!(out.rho.at(2, nth as isize - 1, k), 0.0);
+        }
+    }
+}

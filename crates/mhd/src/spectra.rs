@@ -1,0 +1,136 @@
+//! Azimuthal spectra: the quantitative form of "the number of convection
+//! columns increases" (paper §V).
+//!
+//! Convection in a rapidly rotating shell organizes into columns with a
+//! dominant azimuthal wavenumber `m`. A plain DFT of an equatorial ring
+//! of any column-aligned field (axial vorticity, radial velocity) makes
+//! that count precise: the power spectrum peaks at the column count, and
+//! its drift to higher `m` with increasing Rayleigh number is the
+//! paper's "more columns, more turbulent" statement.
+//!
+//! The rings here are short (10²–10³ samples) and spectra are produced a
+//! few times per run, so a hand-rolled O(n·m) DFT is the right tool — no
+//! FFT dependency.
+
+/// Power in azimuthal wavenumbers `0..=m_max` of a uniformly sampled
+/// ring: `P(m) = |Σ_k f_k e^{−i m φ_k}|² / n²`.
+pub fn azimuthal_power(ring: &[f64], m_max: usize) -> Vec<f64> {
+    let n = ring.len();
+    assert!(n > 1, "ring too short for a spectrum");
+    assert!(m_max < n / 2, "m_max {m_max} exceeds the Nyquist limit of {n} samples");
+    let mut power = Vec::with_capacity(m_max + 1);
+    for m in 0..=m_max {
+        let (mut re, mut im) = (0.0_f64, 0.0_f64);
+        for (k, &v) in ring.iter().enumerate() {
+            let phase = -(m as f64) * std::f64::consts::TAU * k as f64 / n as f64;
+            re += v * phase.cos();
+            im += v * phase.sin();
+        }
+        power.push((re * re + im * im) / (n as f64 * n as f64));
+    }
+    power
+}
+
+/// The dominant nonzero azimuthal wavenumber of a ring — the column
+/// count (cyclone/anticyclone pairs alternate with period `2π/m`).
+pub fn dominant_mode(ring: &[f64], m_max: usize) -> usize {
+    let power = azimuthal_power(ring, m_max);
+    power
+        .iter()
+        .enumerate()
+        .skip(1) // the mean (m = 0) is not a column count
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite power"))
+        .map(|(m, _)| m)
+        .unwrap_or(0)
+}
+
+/// Spectral centroid of the nonzero modes, `Σ m P(m) / Σ P(m)` — a
+/// smoother "effective column count" than the argmax, useful when the
+/// spectrum is broad (turbulent states).
+pub fn spectral_centroid(ring: &[f64], m_max: usize) -> f64 {
+    let power = azimuthal_power(ring, m_max);
+    let (mut num, mut den) = (0.0, 0.0);
+    for (m, &p) in power.iter().enumerate().skip(1) {
+        num += m as f64 * p;
+        den += p;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomath::approx_eq;
+
+    fn ring_with_mode(n: usize, m: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| amp * (m as f64 * std::f64::consts::TAU * k as f64 / n as f64).cos())
+            .collect()
+    }
+
+    #[test]
+    fn pure_mode_power_is_isolated() {
+        let ring = ring_with_mode(128, 6, 2.0);
+        let p = azimuthal_power(&ring, 16);
+        // P(6) = (amp/2)² = 1.0 for a real cosine; all other modes ~0.
+        assert!(approx_eq(p[6], 1.0, 1e-10), "P(6) = {}", p[6]);
+        for (m, &v) in p.iter().enumerate() {
+            if m != 6 {
+                assert!(v < 1e-20, "leakage at m={m}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_mode_finds_the_column_count() {
+        let ring = ring_with_mode(256, 9, 1.0);
+        assert_eq!(dominant_mode(&ring, 20), 9);
+        // Superposition: strongest mode wins.
+        let mut mixed = ring_with_mode(256, 4, 1.0);
+        for (a, b) in mixed.iter_mut().zip(ring_with_mode(256, 11, 3.0)) {
+            *a += b;
+        }
+        assert_eq!(dominant_mode(&mixed, 20), 11);
+    }
+
+    #[test]
+    fn mean_does_not_masquerade_as_columns() {
+        let ring: Vec<f64> = ring_with_mode(128, 5, 0.1).iter().map(|v| v + 100.0).collect();
+        assert_eq!(dominant_mode(&ring, 16), 5);
+    }
+
+    #[test]
+    fn centroid_interpolates_between_modes() {
+        let mut ring = ring_with_mode(256, 4, 1.0);
+        for (a, b) in ring.iter_mut().zip(ring_with_mode(256, 8, 1.0)) {
+            *a += b;
+        }
+        let c = spectral_centroid(&ring, 20);
+        assert!((c - 6.0).abs() < 0.2, "centroid {c}");
+    }
+
+    #[test]
+    fn phase_shift_does_not_change_power() {
+        let n = 200;
+        let a: Vec<f64> =
+            (0..n).map(|k| (7.0 * std::f64::consts::TAU * k as f64 / n as f64).cos()).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|k| (7.0 * std::f64::consts::TAU * k as f64 / n as f64 + 1.234).cos())
+            .collect();
+        let pa = azimuthal_power(&a, 12);
+        let pb = azimuthal_power(&b, 12);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert!(approx_eq(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn nyquist_guard() {
+        azimuthal_power(&[1.0; 16], 8);
+    }
+}

@@ -1,0 +1,176 @@
+//! The simulation state: the eight basic variables of the paper.
+
+use yy_field::{Array3, Shape, VectorField};
+
+/// The basic variables: ρ, p, mass flux f = ρv, vector potential A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Mass density ρ.
+    pub rho: Array3,
+    /// Pressure p.
+    pub press: Array3,
+    /// Mass flux density f = ρv.
+    pub f: VectorField,
+    /// Magnetic vector potential A.
+    pub a: VectorField,
+}
+
+impl State {
+    /// Zero-initialized state.
+    pub fn zeros(shape: Shape) -> Self {
+        State {
+            rho: Array3::zeros(shape),
+            press: Array3::zeros(shape),
+            f: VectorField::zeros(shape),
+            a: VectorField::zeros(shape),
+        }
+    }
+
+    /// Shared shape of the eight arrays.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.rho.shape()
+    }
+
+    /// The eight scalar arrays in canonical order
+    /// (ρ, p, fr, fθ, fφ, Ar, Aθ, Aφ) — the order used by ghost-fill
+    /// packing, checkpoints and snapshots.
+    pub fn arrays(&self) -> [&Array3; 8] {
+        [
+            &self.rho,
+            &self.press,
+            &self.f.r,
+            &self.f.t,
+            &self.f.p,
+            &self.a.r,
+            &self.a.t,
+            &self.a.p,
+        ]
+    }
+
+    /// Mutable view of the eight arrays in canonical order.
+    pub fn arrays_mut(&mut self) -> [&mut Array3; 8] {
+        [
+            &mut self.rho,
+            &mut self.press,
+            &mut self.f.r,
+            &mut self.f.t,
+            &mut self.f.p,
+            &mut self.a.r,
+            &mut self.a.t,
+            &mut self.a.p,
+        ]
+    }
+
+    /// `self ← self + c · other` on all eight arrays.
+    pub fn axpy(&mut self, c: f64, other: &State) {
+        self.rho.axpy(c, &other.rho);
+        self.press.axpy(c, &other.press);
+        self.f.axpy(c, &other.f);
+        self.a.axpy(c, &other.a);
+    }
+
+    /// `self ← base + c · delta` on all eight arrays.
+    pub fn assign_axpy(&mut self, base: &State, c: f64, delta: &State) {
+        self.rho.assign_axpy(&base.rho, c, &delta.rho);
+        self.press.assign_axpy(&base.press, c, &delta.press);
+        self.f.assign_axpy(&base.f, c, &delta.f);
+        self.a.assign_axpy(&base.a, c, &delta.a);
+    }
+
+    /// Copy all arrays from `other`.
+    pub fn copy_from(&mut self, other: &State) {
+        self.rho.copy_from(&other.rho);
+        self.press.copy_from(&other.press);
+        self.f.copy_from(&other.f);
+        self.a.copy_from(&other.a);
+    }
+
+    /// Zero every array (ghosts included).
+    pub fn fill_zero(&mut self) {
+        for arr in self.arrays_mut() {
+            arr.fill(0.0);
+        }
+    }
+
+    /// `true` iff any of the eight arrays contains NaN/inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.arrays().iter().any(|a| a.has_non_finite())
+    }
+
+    /// Positivity check over the owned region: ρ > 0 and p > 0 everywhere
+    /// (a cheap guard the drivers run between steps).
+    pub fn is_physical(&self) -> bool {
+        let s = self.shape();
+        for k in 0..s.nph as isize {
+            for j in 0..s.nth as isize {
+                for (&r, &p) in self.rho.row(j, k).iter().zip(self.press.row(j, k)) {
+                    if !(r > 0.0 && p > 0.0) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Shape {
+        Shape::new(3, 4, 5, 1, 1)
+    }
+
+    #[test]
+    fn canonical_order_is_stable() {
+        let mut s = State::zeros(shape());
+        for (idx, arr) in s.arrays_mut().into_iter().enumerate() {
+            arr.fill(idx as f64);
+        }
+        assert_eq!(s.rho.at(0, 0, 0), 0.0);
+        assert_eq!(s.press.at(0, 0, 0), 1.0);
+        assert_eq!(s.f.r.at(0, 0, 0), 2.0);
+        assert_eq!(s.f.p.at(0, 0, 0), 4.0);
+        assert_eq!(s.a.r.at(0, 0, 0), 5.0);
+        assert_eq!(s.a.p.at(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn axpy_combines_states() {
+        let mut a = State::zeros(shape());
+        let mut b = State::zeros(shape());
+        b.rho.fill(2.0);
+        b.a.p.fill(-4.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.rho.at(1, 1, 1), 1.0);
+        assert_eq!(a.a.p.at(1, 1, 1), -2.0);
+        assert_eq!(a.press.at(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn assign_axpy_builds_stage_state() {
+        let mut base = State::zeros(shape());
+        base.rho.fill(1.0);
+        let mut k = State::zeros(shape());
+        k.rho.fill(10.0);
+        let mut stage = State::zeros(shape());
+        stage.assign_axpy(&base, 0.1, &k);
+        assert!((stage.rho.at(0, 0, 0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn physicality_checks() {
+        let mut s = State::zeros(shape());
+        assert!(!s.is_physical()); // ρ = p = 0 is not physical
+        s.rho.fill(1.0);
+        s.press.fill(1.0);
+        assert!(s.is_physical());
+        s.press.set(1, 2, 3, -1.0);
+        assert!(!s.is_physical());
+        assert!(!s.has_non_finite());
+        s.f.t.set(0, 0, 0, f64::NAN);
+        assert!(s.has_non_finite());
+    }
+}

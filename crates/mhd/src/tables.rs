@@ -1,0 +1,187 @@
+//! Precomputed force tables: gravity and the rotation vector.
+//!
+//! Gravity is central (`g = −g0/r² r̂`), so it is a single radial array.
+//!
+//! The frame rotation Ω is a *fixed Cartesian vector* (the geographic
+//! polar axis). In the Yin panel's coordinates that axis is ẑ, but in the
+//! Yang panel's coordinates it is M·ẑ = ŷ — the Coriolis term is the one
+//! place where the two panels are *not* described by identical code paths
+//! unless the axis is kept general. We therefore precompute the spherical
+//! components of Ω at every (θ, φ) column of the tile for an arbitrary
+//! Cartesian axis; the same kernel then serves both panels.
+
+use geomath::spherical::SphericalBasis;
+use geomath::Vec3;
+use yy_mesh::{Metric, Panel};
+
+/// Per-tile force tables.
+#[derive(Debug, Clone)]
+pub struct ForceTables {
+    /// `g(r) = −g0 / r²` (signed radial component), indexed by radial node.
+    pub grav: Vec<f64>,
+    /// Spherical components of Ω at each padded (θ, φ) column,
+    /// flattened as `idx = (k + halo) * nth_pad + (j + halo)`.
+    om_r: Vec<f64>,
+    om_t: Vec<f64>,
+    om_p: Vec<f64>,
+    halo: usize,
+    nth_pad: usize,
+}
+
+/// The rotation axis expressed in a panel's local Cartesian frame.
+///
+/// Yin: ẑ. Yang: the Yin↔Yang map sends ẑ to ŷ.
+pub fn rotation_axis(panel: Panel) -> Vec3 {
+    match panel {
+        Panel::Yin => Vec3::new(0.0, 0.0, 1.0),
+        Panel::Yang => geomath::yinyang::yinyang_cartesian(Vec3::new(0.0, 0.0, 1.0)),
+    }
+}
+
+impl ForceTables {
+    /// Build tables for a tile with metric `m`, gravity strength `g0`,
+    /// rotation rate `omega` about the panel-local `axis`.
+    pub fn new(m: &Metric, nth: usize, nph: usize, halo: usize, g0: f64, omega: f64, axis: Vec3) -> Self {
+        let grav = m.r.iter().map(|&r| -g0 / (r * r)).collect();
+        let nth_pad = nth + 2 * halo;
+        let nph_pad = nph + 2 * halo;
+        let omega_cart = axis.normalized() * omega;
+        let mut om_r = vec![0.0; nth_pad * nph_pad];
+        let mut om_t = vec![0.0; nth_pad * nph_pad];
+        let mut om_p = vec![0.0; nth_pad * nph_pad];
+        let h = halo as isize;
+        for k in -h..(nph as isize + h) {
+            for j in -h..(nth as isize + h) {
+                let basis = SphericalBasis::at(m.theta(j), m.phi(k));
+                let (orr, ot, op) = basis.from_cartesian(omega_cart);
+                let idx = ((k + h) as usize) * nth_pad + (j + h) as usize;
+                om_r[idx] = orr;
+                om_t[idx] = ot;
+                om_p[idx] = op;
+            }
+        }
+        ForceTables { grav, om_r, om_t, om_p, halo, nth_pad }
+    }
+
+    #[inline]
+    fn idx(&self, j: isize, k: isize) -> usize {
+        let h = self.halo as isize;
+        ((k + h) as usize) * self.nth_pad + (j + h) as usize
+    }
+
+    /// Spherical components `(Ω_r, Ω_θ, Ω_φ)` at column `(j, k)`.
+    #[inline]
+    pub fn omega_at(&self, j: isize, k: isize) -> (f64, f64, f64) {
+        let idx = self.idx(j, k);
+        (self.om_r[idx], self.om_t[idx], self.om_p[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomath::approx_eq;
+    use yy_mesh::{PatchGrid, PatchSpec, Tile};
+
+    fn setup(panel: Panel) -> (Metric, ForceTables, PatchGrid) {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(6, 13, 0.35, 1.0));
+        let m = Metric::full(&grid);
+        let (_, nth, nph) = grid.dims();
+        let t = ForceTables::new(&m, nth, nph, 1, 2.0, 3.0, rotation_axis(panel));
+        (m, t, grid)
+    }
+
+    #[test]
+    fn gravity_follows_inverse_square() {
+        let (m, t, _) = setup(Panel::Yin);
+        for (i, &r) in m.r.iter().enumerate() {
+            assert!(approx_eq(t.grav[i], -2.0 / (r * r), 1e-14));
+        }
+        // Inward everywhere, stronger at the inner wall.
+        assert!(t.grav[0] < t.grav.last().copied().unwrap());
+        assert!(t.grav.iter().all(|&g| g < 0.0));
+    }
+
+    #[test]
+    fn yin_omega_components_are_analytic() {
+        // Axis ẑ: Ω_r = Ω cos θ, Ω_θ = −Ω sin θ, Ω_φ = 0.
+        let (m, t, grid) = setup(Panel::Yin);
+        let (_, nth, nph) = grid.dims();
+        for j in -1..(nth as isize + 1) {
+            for k in -1..(nph as isize + 1) {
+                let (orr, ot, op) = t.omega_at(j, k);
+                assert!(approx_eq(orr, 3.0 * m.cos_t(j), 1e-12));
+                assert!(approx_eq(ot, -3.0 * m.sin_t(j), 1e-12));
+                assert!(approx_eq(op, 0.0, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn yang_axis_is_y() {
+        let a = rotation_axis(Panel::Yang);
+        assert!(approx_eq(a.x, 0.0, 1e-15));
+        assert!(approx_eq(a.y, 1.0, 1e-15));
+        assert!(approx_eq(a.z, 0.0, 1e-15));
+    }
+
+    #[test]
+    fn omega_magnitude_is_preserved_everywhere() {
+        for panel in [Panel::Yin, Panel::Yang] {
+            let (_, t, grid) = setup(panel);
+            let (_, nth, nph) = grid.dims();
+            for j in 0..nth as isize {
+                for k in 0..nph as isize {
+                    let (orr, ot, op) = t.omega_at(j, k);
+                    let mag = (orr * orr + ot * ot + op * op).sqrt();
+                    assert!(approx_eq(mag, 3.0, 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yin_and_yang_describe_the_same_physical_rotation() {
+        // At a physical point P seen by both panels, transforming Yang's
+        // Ω components into the Yin basis must give Yin's Ω components.
+        let map = geomath::YinYangMap::new();
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(6, 13, 0.35, 1.0));
+        let m = Metric::full(&grid);
+        let (_, nth, nph) = grid.dims();
+        let yin = ForceTables::new(&m, nth, nph, 1, 1.0, 3.0, rotation_axis(Panel::Yin));
+        // Pick a Yang grid column, compute its Yin-coordinates image, and
+        // compare the transformed vector against the Yin analytic form.
+        let yang = ForceTables::new(&m, nth, nph, 1, 1.0, 3.0, rotation_axis(Panel::Yang));
+        let _ = yin;
+        for &(j, k) in &[(2_isize, 3_isize), (5, 10), (8, 20)] {
+            let p = geomath::SphericalPoint::new(1.0, m.theta(j), m.phi(k));
+            let (or_e, ot_e, op_e) = yang.omega_at(j, k);
+            let (or_n, ot_n, op_n) = map.transform_vector(p, or_e, ot_e, op_e);
+            let q = map.transform_point(p);
+            // Analytic Yin components at the image point.
+            assert!(approx_eq(or_n, 3.0 * q.theta.cos(), 1e-11));
+            assert!(approx_eq(ot_n, -3.0 * q.theta.sin(), 1e-11));
+            assert!(approx_eq(op_n, 0.0, 1e-11));
+        }
+    }
+
+    #[test]
+    fn tile_tables_match_full_tables() {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(6, 13, 0.35, 1.0));
+        let (_, nth, nph) = grid.dims();
+        let full_m = Metric::full(&grid);
+        let full = ForceTables::new(&full_m, nth, nph, 1, 1.0, 2.0, rotation_axis(Panel::Yin));
+        let tile = Tile { rank: 0, cth: 0, cph: 0, j0: 4, nth: 6, k0: 10, nph: 8 };
+        let tm = Metric::new(&grid, &tile);
+        let tt = ForceTables::new(&tm, tile.nth, tile.nph, 1, 1.0, 2.0, rotation_axis(Panel::Yin));
+        for j in -1..(tile.nth as isize + 1) {
+            for k in -1..(tile.nph as isize + 1) {
+                let a = tt.omega_at(j, k);
+                let b = full.omega_at(j + tile.j0 as isize, k + tile.k0 as isize);
+                assert!(approx_eq(a.0, b.0, 1e-13));
+                assert!(approx_eq(a.1, b.1, 1e-13));
+                assert!(approx_eq(a.2, b.2, 1e-13));
+            }
+        }
+    }
+}

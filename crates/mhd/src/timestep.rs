@@ -1,0 +1,174 @@
+//! CFL time-step control.
+//!
+//! The explicit RK4 step must resolve the fastest signal: flow speed plus
+//! the fast magnetosonic speed (bounded here by `c_s + v_A`). A separate
+//! diffusive bound covers the explicit dissipation terms. Each rank
+//! evaluates its local bound; the drivers reduce with a MIN across ranks
+//! so every process steps with the same `dt`.
+
+use crate::params::PhysParams;
+use crate::rhs::InteriorRange;
+use crate::state::State;
+use yy_mesh::Metric;
+
+/// Maximum signal speed `|v| + c_s + v_A` over the FD interior.
+///
+/// `v_A = |B| / √ρ` is evaluated from `B = ∇×A` with the same central
+/// stencils as the solver; the cost is one sweep and is amortized by
+/// calling this every few steps (the drivers re-use the previous `dt`
+/// in between).
+pub fn wave_speed_max(
+    state: &State,
+    metric: &Metric,
+    params: &PhysParams,
+    range: &InteriorRange,
+) -> f64 {
+    use crate::ops::{ColGeom, Cols, Spacings};
+    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
+    let r = &metric.r;
+    let mut vmax: f64 = 0.0;
+    for k in range.k0..range.k1 {
+        for j in range.j0..range.j1 {
+            let g = ColGeom::new(metric, j);
+            let rho = state.rho.row(j, k);
+            let prs = state.press.row(j, k);
+            let fr = state.f.r.row(j, k);
+            let ft = state.f.t.row(j, k);
+            let fp = state.f.p.row(j, k);
+            let ar = Cols::new(&state.a.r, j, k);
+            let at = Cols::new(&state.a.t, j, k);
+            let ap = Cols::new(&state.a.p, j, k);
+            for i in range.i0..range.i1 {
+                let ir = metric.inv_r[i];
+                let v2 = (fr[i] * fr[i] + ft[i] * ft[i] + fp[i] * fp[i]) / (rho[i] * rho[i]);
+                let cs2 = params.gamma * prs[i] / rho[i];
+                let b_r = ir * g.inv_sin
+                    * ((g.sin_s * ap.s[i] - g.sin_n * ap.n[i]) * sp.inv_2dt
+                        - (at.e[i] - at.w[i]) * sp.inv_2dp);
+                let b_t = ir
+                    * (g.inv_sin * (ar.e[i] - ar.w[i]) * sp.inv_2dp
+                        - (r[i + 1] * ap.c[i + 1] - r[i - 1] * ap.c[i - 1]) * sp.inv_2dr);
+                let b_p = ir
+                    * ((r[i + 1] * at.c[i + 1] - r[i - 1] * at.c[i - 1]) * sp.inv_2dr
+                        - (ar.s[i] - ar.n[i]) * sp.inv_2dt);
+                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[i];
+                let s = v2.sqrt() + cs2.sqrt() + va2.sqrt();
+                vmax = vmax.max(s);
+            }
+        }
+    }
+    vmax
+}
+
+/// CFL time step from a wave speed and the tile's smallest spacing.
+///
+/// Combines the advective bound `cfl · Δx / s_max` with the explicit
+/// diffusion bound `cfl_diff · Δx² ρ_min / max(µ, K, η)`.
+pub fn cfl_timestep(
+    max_speed: f64,
+    min_dx: f64,
+    rho_min: f64,
+    params: &PhysParams,
+    cfl: f64,
+) -> f64 {
+    assert!(min_dx > 0.0 && cfl > 0.0);
+    let adv = if max_speed > 0.0 { cfl * min_dx / max_speed } else { f64::INFINITY };
+    let diff_coef = params.mu.max(params.kappa).max(params.eta);
+    let diff = if diff_coef > 0.0 {
+        0.25 * cfl * min_dx * min_dx * rho_min.max(1e-300) / diff_coef
+    } else {
+        f64::INFINITY
+    };
+    let dt = adv.min(diff);
+    assert!(dt.is_finite() && dt > 0.0, "degenerate time step: speeds {max_speed}, dx {min_dx}");
+    dt
+}
+
+/// Minimum owned density (for the diffusive bound).
+pub fn rho_min_owned(state: &State) -> f64 {
+    let s = state.shape();
+    let mut m = f64::INFINITY;
+    for k in 0..s.nph as isize {
+        for j in 0..s.nth as isize {
+            for &v in state.rho.row(j, k) {
+                m = m.min(v);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{initialize, InitOptions};
+    use yy_mesh::{Panel, PatchGrid, PatchSpec};
+
+    fn setup() -> (PatchGrid, Metric, State, PhysParams) {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(16, 13, 0.35, 1.0));
+        let metric = Metric::full(&grid);
+        let params = PhysParams::default_laptop();
+        let mut state = State::zeros(grid.full_shape());
+        initialize(&mut state, &grid, None, &params, &InitOptions::default(), Panel::Yin);
+        (grid, metric, state, params)
+    }
+
+    #[test]
+    fn static_state_speed_is_sound_speed() {
+        let (grid, metric, state, params) = setup();
+        let range = InteriorRange::full_panel(&grid);
+        let s = wave_speed_max(&state, &metric, &params, &range);
+        // Fastest sound speed is at the hot inner wall region:
+        // c_s = √(γ T) with T ≤ t_inner.
+        let cs_max = params.sound_speed(params.t_inner);
+        assert!(s > params.sound_speed(1.0) * 0.99, "speed {s} too low");
+        assert!(s <= cs_max * 1.01, "speed {s} exceeds max sound speed {cs_max}");
+    }
+
+    #[test]
+    fn flow_and_field_raise_the_speed() {
+        let (grid, metric, mut state, params) = setup();
+        let range = InteriorRange::full_panel(&grid);
+        let base = wave_speed_max(&state, &metric, &params, &range);
+        state.f.p.fill(0.5); // add flow
+        let with_flow = wave_speed_max(&state, &metric, &params, &range);
+        assert!(with_flow > base);
+        // Strong uniform-B potential raises it further (Alfvén).
+        let shape = state.shape();
+        for k in -1..(shape.nph as isize + 1) {
+            for j in -1..(shape.nth as isize + 1) {
+                let st = grid.theta().coord_signed(j).sin();
+                for i in 0..shape.nr {
+                    state.a.p.set(i, j, k, 2.0 * grid.r().coord(i) * st);
+                }
+            }
+        }
+        let with_b = wave_speed_max(&state, &metric, &params, &range);
+        assert!(with_b > with_flow);
+    }
+
+    #[test]
+    fn cfl_scales_inversely_with_speed() {
+        let p = PhysParams::default_laptop();
+        let dt1 = cfl_timestep(1.0, 0.01, 1.0, &p, 0.4);
+        let dt2 = cfl_timestep(2.0, 0.01, 1.0, &p, 0.4);
+        assert!((dt1 / dt2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffusive_bound_kicks_in_for_large_dissipation() {
+        let mut p = PhysParams::default_laptop();
+        p.mu = 10.0;
+        let dt = cfl_timestep(1.0, 0.01, 1.0, &p, 0.4);
+        // Advective bound would be 4e-3; diffusive is 0.25·0.4·1e-4/10 = 1e-6.
+        assert!(dt < 1e-5);
+    }
+
+    #[test]
+    fn rho_min_ignores_ghosts() {
+        let (_, _, mut state, _) = setup();
+        state.rho.set(0, -1, 0, 1e-12); // ghost
+        let m = rho_min_owned(&state);
+        assert!(m > 0.1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! All collectives are implemented as deterministic gather-to-root /
+//! broadcast trees (root = communicator rank 0, fixed reduction order by
+//! rank), so floating-point reductions give bitwise identical results for
+//! a given communicator size — a property the serial-vs-parallel
+//! equivalence tests rely on.
+
+use crate::comm::{Comm, USER_TAG_LIMIT};
+use crate::mailbox::Payload;
+use crate::stats::TrafficClass;
+use crate::ReduceOp;
+use std::any::Any;
+
+impl Comm {
+    fn coll_tag(&self, seq: u64) -> u64 {
+        USER_TAG_LIMIT + seq
+    }
+
+    /// Synchronize all ranks of this communicator.
+    pub fn barrier(&self) {
+        let seq = self.bump_coll_seq();
+        let _: Vec<u8> = self.internal_allgather(seq, 0_u8);
+    }
+
+    /// Reduce a scalar over all ranks with `op`; every rank receives the
+    /// result. Reduction order is fixed (rank 0, 1, 2, …), independent of
+    /// message arrival order.
+    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        self.allreduce_vec(&[value], op)[0]
+    }
+
+    /// Element-wise reduction of equal-length vectors across ranks.
+    pub fn allreduce_vec(&self, values: &[f64], op: ReduceOp) -> Vec<f64> {
+        let seq = self.bump_coll_seq();
+        let tag = self.coll_tag(seq);
+        if self.rank == 0 {
+            let mut acc = values.to_vec();
+            for r in 1..self.size() {
+                let contrib = self.recv_collective_f64s(r, tag);
+                assert_eq!(
+                    contrib.len(),
+                    acc.len(),
+                    "allreduce length mismatch from rank {r}"
+                );
+                for (a, b) in acc.iter_mut().zip(contrib) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            for r in 1..self.size() {
+                self.send_collective_f64s(r, tag, acc.clone());
+            }
+            acc
+        } else {
+            self.send_collective_f64s(0, tag, values.to_vec());
+            self.recv_collective_f64s(0, tag)
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank; each rank returns its
+    /// copy (`root` passes its own value through).
+    pub fn broadcast<T: Any + Send + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let seq = self.bump_coll_seq();
+        let tag = self.coll_tag(seq);
+        if self.rank == root {
+            let v = value.expect("broadcast root must supply a value");
+            for r in 0..self.size() {
+                if r != root {
+                    self.post_internal(r, tag, Payload::Any(Box::new(v.clone())));
+                }
+            }
+            v
+        } else {
+            let env = self.take_internal(root, tag);
+            match env.payload {
+                Payload::Any(b) => *b.downcast::<T>().expect("broadcast type mismatch"),
+                _ => panic!("broadcast payload mismatch"),
+            }
+        }
+    }
+
+    /// Gather each rank's value at `root`; `root` gets `Some(vec)` in rank
+    /// order, others get `None`.
+    pub fn gather<T: Any + Send>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let seq = self.bump_coll_seq();
+        let tag = self.coll_tag(seq);
+        if self.rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for r in 0..self.size() {
+                if r != root {
+                    let env = self.take_internal(r, tag);
+                    match env.payload {
+                        Payload::Any(b) => {
+                            slots[r] = Some(*b.downcast::<T>().expect("gather type mismatch"))
+                        }
+                        _ => panic!("gather payload mismatch"),
+                    }
+                }
+            }
+            Some(slots.into_iter().map(|s| s.expect("gather slot")).collect())
+        } else {
+            self.post_internal(root, tag, Payload::Any(Box::new(value)));
+            None
+        }
+    }
+
+    /// Personalized all-to-all of `f64` buffers: `outgoing[r]` is sent to
+    /// rank `r`; returns the buffer received from each rank. Used by the
+    /// overset routing setup.
+    pub fn alltoall_f64s(&self, outgoing: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(outgoing.len(), self.size(), "alltoall needs one buffer per rank");
+        let seq = self.bump_coll_seq();
+        let tag = self.coll_tag(seq);
+        let mut incoming: Vec<Vec<f64>> = Vec::with_capacity(self.size());
+        for (r, buf) in outgoing.into_iter().enumerate() {
+            if r == self.rank {
+                incoming.push(buf); // self-exchange short-circuits
+            } else {
+                self.send_collective_f64s(r, tag, buf);
+                incoming.push(Vec::new());
+            }
+        }
+        for r in 0..self.size() {
+            if r != self.rank {
+                incoming[r] = self.recv_collective_f64s(r, tag);
+            }
+        }
+        incoming
+    }
+
+    // -- internal plumbing (bypasses the user-tag guard) ------------------
+
+    fn post_internal(&self, dest: usize, tag: u64, payload: Payload) {
+        self.stats.record_send(TrafficClass::Collective, payload.byte_len());
+        let env = crate::mailbox::Envelope {
+            src_world: self.members[self.rank],
+            context: self.context,
+            tag,
+            payload,
+        };
+        self.world.mailboxes[self.members[dest]].deliver(env);
+    }
+
+    fn take_internal(&self, src: usize, tag: u64) -> crate::mailbox::Envelope {
+        let env = self.world.mailboxes[self.members[self.rank]].recv_match(
+            self.context,
+            self.members[src],
+            tag,
+        );
+        self.stats.record_recv(env.payload.byte_len());
+        env
+    }
+
+    fn send_collective_f64s(&self, dest: usize, tag: u64, data: Vec<f64>) {
+        self.post_internal(dest, tag, Payload::F64s(data));
+    }
+
+    fn recv_collective_f64s(&self, src: usize, tag: u64) -> Vec<f64> {
+        match self.take_internal(src, tag).payload {
+            Payload::F64s(v) => v,
+            _ => panic!("collective payload mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ReduceOp, Universe};
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let out = Universe::run(4, |comm| {
+            let x = (comm.rank() + 1) as f64;
+            (
+                comm.allreduce_f64(x, ReduceOp::Sum),
+                comm.allreduce_f64(x, ReduceOp::Min),
+                comm.allreduce_f64(x, ReduceOp::Max),
+            )
+        });
+        for (s, lo, hi) in out {
+            assert_eq!(s, 10.0);
+            assert_eq!(lo, 1.0);
+            assert_eq!(hi, 4.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Universe::run(3, |comm| {
+            let v = vec![comm.rank() as f64, 10.0 * comm.rank() as f64];
+            comm.allreduce_vec(&v, ReduceOp::Sum)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_across_repeats() {
+        // Same inputs → bitwise same output regardless of thread timing.
+        let run = || {
+            Universe::run(4, |comm| {
+                let x = 0.1 * (comm.rank() as f64 + 1.0);
+                comm.allreduce_f64(x, ReduceOp::Sum)
+            })
+        };
+        let a = run();
+        for _ in 0..5 {
+            assert_eq!(run(), a);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = Universe::run(3, |comm| {
+            let v: String = comm.broadcast(2, (comm.rank() == 2).then(|| "yy".to_string()));
+            v
+        });
+        assert!(out.iter().all(|s| s == "yy"));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Universe::run(4, |comm| comm.gather(1, comm.rank() * 10));
+        assert!(out[0].is_none());
+        assert_eq!(out[1].as_deref(), Some(&[0, 10, 20, 30][..]));
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // Just exercising completion on an asymmetric workload.
+        let out = Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn alltoall_routes_personalized_buffers() {
+        let out = Universe::run(3, |comm| {
+            let me = comm.rank() as f64;
+            let outgoing: Vec<Vec<f64>> =
+                (0..comm.size()).map(|r| vec![100.0 * me + r as f64]).collect();
+            comm.alltoall_f64s(outgoing)
+        });
+        // Rank j receives from rank i the value 100 i + j.
+        for (j, bufs) in out.iter().enumerate() {
+            for (i, b) in bufs.iter().enumerate() {
+                assert_eq!(b, &vec![100.0 * i as f64 + j as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p_traffic() {
+        use crate::stats::TrafficClass;
+        let out = Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send_f64s(peer, 0, vec![comm.rank() as f64], TrafficClass::Halo);
+            let s = comm.allreduce_f64(1.0, ReduceOp::Sum);
+            let p = comm.recv_f64s(peer, 0)[0];
+            (s, p)
+        });
+        assert_eq!(out, vec![(2.0, 1.0), (2.0, 0.0)]);
+    }
+}

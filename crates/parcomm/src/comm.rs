@@ -1,0 +1,270 @@
+//! Communicators: the per-rank handle for point-to-point messaging and
+//! communicator management (`split`, à la `MPI_COMM_SPLIT`).
+
+use crate::mailbox::{Envelope, Mailbox, Payload};
+use crate::stats::{StatsCell, TrafficClass};
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared state of the whole universe: one mailbox per world rank.
+pub(crate) struct WorldCore {
+    pub mailboxes: Vec<Arc<Mailbox>>,
+}
+
+/// A communicator handle held by one rank.
+///
+/// Cheap to clone-ish (it is not `Clone` on purpose: each rank owns exactly
+/// one handle per communicator, like an MPI communicator handle), `Send`
+/// so the universe can hand it to the rank's thread.
+pub struct Comm {
+    pub(crate) world: Arc<WorldCore>,
+    /// This communicator's context id. Messages only match within one
+    /// context.
+    pub(crate) context: u64,
+    /// My rank within this communicator.
+    pub(crate) rank: usize,
+    /// Communicator rank → world rank.
+    pub(crate) members: Arc<Vec<usize>>,
+    /// Sequence number for collective operations (advances identically on
+    /// every member because collectives are called in the same order).
+    pub(crate) coll_seq: Cell<u64>,
+    /// Per-rank traffic statistics (shared across the communicators of this
+    /// rank so the report covers all contexts).
+    pub(crate) stats: Arc<StatsCell>,
+}
+
+/// Tag space partitioning: user tags live below this bound; internal
+/// collective traffic above it.
+pub(crate) const USER_TAG_LIMIT: u64 = 1 << 40;
+
+impl Comm {
+    /// My rank in this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of communicator rank `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Traffic statistics snapshot for this rank.
+    pub fn stats(&self) -> crate::CommStats {
+        self.stats.snapshot()
+    }
+
+    fn check_peer(&self, peer: usize, what: &str) {
+        assert!(
+            peer < self.members.len(),
+            "{what} rank {peer} out of range for communicator of size {}",
+            self.members.len()
+        );
+    }
+
+    fn post(&self, dest: usize, tag: u64, payload: Payload, class: TrafficClass) {
+        self.check_peer(dest, "destination");
+        self.stats.record_send(class, payload.byte_len());
+        let env = Envelope {
+            src_world: self.members[self.rank],
+            context: self.context,
+            tag,
+            payload,
+        };
+        self.world.mailboxes[self.members[dest]].deliver(env);
+    }
+
+    /// Send a slice of `f64` field data to `dest` (buffered, non-blocking).
+    ///
+    /// This is the hot path used by halo exchange and overset
+    /// interpolation; its byte volume is metered under `class`.
+    pub fn send_f64s(&self, dest: usize, tag: u64, data: Vec<f64>, class: TrafficClass) {
+        assert!(tag < USER_TAG_LIMIT, "user tag {tag} collides with internal tag space");
+        self.post(dest, tag, Payload::F64s(data), class);
+    }
+
+    /// Send an arbitrary `Send` value (control plane; byte volume not
+    /// modelled).
+    pub fn send<T: Any + Send>(&self, dest: usize, tag: u64, value: T) {
+        assert!(tag < USER_TAG_LIMIT, "user tag {tag} collides with internal tag space");
+        self.post(dest, tag, Payload::Any(Box::new(value)), TrafficClass::Control);
+    }
+
+    fn take(&self, src: usize, tag: u64) -> Envelope {
+        self.check_peer(src, "source");
+        let my_mb = &self.world.mailboxes[self.members[self.rank]];
+        my_mb.recv_match(self.context, self.members[src], tag)
+    }
+
+    /// Blocking receive of `f64` field data from `src`.
+    pub fn recv_f64s(&self, src: usize, tag: u64) -> Vec<f64> {
+        let env = self.take(src, tag);
+        self.stats.record_recv(env.payload.byte_len());
+        match env.payload {
+            Payload::F64s(v) => v,
+            Payload::Any(_) => panic!(
+                "type mismatch: rank {} expected f64 data from rank {src} tag {tag}",
+                self.rank
+            ),
+        }
+    }
+
+    /// Blocking receive of an arbitrary value from `src`.
+    pub fn recv<T: Any + Send>(&self, src: usize, tag: u64) -> T {
+        let env = self.take(src, tag);
+        self.stats.record_recv(env.payload.byte_len());
+        match env.payload {
+            Payload::Any(b) => *b.downcast::<T>().unwrap_or_else(|_| {
+                panic!(
+                    "type mismatch: rank {} expected {} from rank {src} tag {tag}",
+                    self.rank,
+                    std::any::type_name::<T>()
+                )
+            }),
+            Payload::F64s(_) => panic!(
+                "type mismatch: rank {} expected {} but got f64 data (rank {src}, tag {tag})",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Timed receive of field data; `None` on timeout. Test helper — turns
+    /// deadlocks into failures.
+    pub fn recv_f64s_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Option<Vec<f64>> {
+        self.check_peer(src, "source");
+        let my_mb = &self.world.mailboxes[self.members[self.rank]];
+        let env = my_mb.recv_match_timeout(self.context, self.members[src], tag, timeout)?;
+        self.stats.record_recv(env.payload.byte_len());
+        match env.payload {
+            Payload::F64s(v) => Some(v),
+            Payload::Any(_) => panic!("type mismatch in recv_f64s_timeout"),
+        }
+    }
+
+    /// "Immediate" receive in the style of `MPI_IRECV`: registers interest
+    /// and returns a future to `wait` on. (Reception is lazy: the matching
+    /// happens at `wait`; semantics are equivalent because our sends are
+    /// always buffered.)
+    pub fn irecv_f64s(&self, src: usize, tag: u64) -> RecvFuture<'_> {
+        self.check_peer(src, "source");
+        RecvFuture { comm: self, src, tag }
+    }
+
+    /// Create sub-communicators: all callers with the same `color` form a
+    /// new communicator, ranked by `(key, parent rank)` — the
+    /// `MPI_COMM_SPLIT` contract. Every member of this communicator must
+    /// call `split` collectively.
+    pub fn split(&self, color: u64, key: i64) -> Comm {
+        let seq = self.bump_coll_seq();
+        // Allgather (color, key) over the parent communicator via rank 0.
+        let triples: Vec<(u64, i64, usize)> =
+            self.internal_allgather(seq, (color, key, self.rank));
+        let mut mine: Vec<(i64, usize)> = triples
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (*k, *r))
+            .collect();
+        mine.sort_unstable();
+        let members: Vec<usize> =
+            mine.iter().map(|(_, parent_rank)| self.members[*parent_rank]).collect();
+        let my_new_rank = mine
+            .iter()
+            .position(|(_, parent_rank)| *parent_rank == self.rank)
+            .expect("calling rank missing from its own split group");
+        let context = derive_context(self.context, seq, color);
+        Comm {
+            world: Arc::clone(&self.world),
+            context,
+            rank: my_new_rank,
+            members: Arc::new(members),
+            coll_seq: Cell::new(0),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// A duplicate handle with a fresh context (like `MPI_COMM_DUP`):
+    /// traffic on the duplicate never matches traffic on the original.
+    pub fn duplicate(&self) -> Comm {
+        let seq = self.bump_coll_seq();
+        let context = derive_context(self.context, seq, u64::MAX);
+        Comm {
+            world: Arc::clone(&self.world),
+            context,
+            rank: self.rank,
+            members: Arc::clone(&self.members),
+            coll_seq: Cell::new(0),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    pub(crate) fn bump_coll_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+
+    /// Internal allgather used by `split` (and the collectives module):
+    /// gather to communicator rank 0, then broadcast. Deterministic order.
+    pub(crate) fn internal_allgather<T: Any + Send + Clone>(&self, seq: u64, value: T) -> Vec<T> {
+        let tag = USER_TAG_LIMIT + seq;
+        if self.rank == 0 {
+            let mut all = Vec::with_capacity(self.size());
+            all.push(value);
+            for r in 1..self.size() {
+                let env = self.take(r, tag);
+                match env.payload {
+                    Payload::Any(b) => all.push(*b.downcast::<T>().expect("allgather type")),
+                    _ => panic!("allgather payload mismatch"),
+                }
+            }
+            for r in 1..self.size() {
+                self.post(r, tag, Payload::Any(Box::new(all.clone())), TrafficClass::Control);
+            }
+            all
+        } else {
+            self.post(0, tag, Payload::Any(Box::new(value)), TrafficClass::Control);
+            let env = self.take(0, tag);
+            match env.payload {
+                Payload::Any(b) => *b.downcast::<Vec<T>>().expect("allgather type"),
+                _ => panic!("allgather payload mismatch"),
+            }
+        }
+    }
+}
+
+/// Pending receive returned by [`Comm::irecv_f64s`].
+pub struct RecvFuture<'c> {
+    comm: &'c Comm,
+    src: usize,
+    tag: u64,
+}
+
+impl RecvFuture<'_> {
+    /// Block until the message arrives and return it.
+    pub fn wait(self) -> Vec<f64> {
+        self.comm.recv_f64s(self.src, self.tag)
+    }
+}
+
+/// Derive a child context id from (parent, collective sequence, color).
+/// SplitMix-style mixing keeps distinct inputs from colliding in practice.
+fn derive_context(parent: u64, seq: u64, color: u64) -> u64 {
+    let mut z = parent
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(color.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

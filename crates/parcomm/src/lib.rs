@@ -1,0 +1,63 @@
+//! In-process MPI-like message passing.
+//!
+//! The paper parallelizes `yycore` with "flat MPI": one MPI process per
+//! arithmetic processor, `MPI_COMM_SPLIT` to form the Yin and Yang panel
+//! groups, `MPI_CART_CREATE`/`MPI_CART_SHIFT` for the 2-D (θ, φ) process
+//! grid inside each panel, and `MPI_SEND`/`MPI_IRECV` for halo exchange and
+//! inter-panel overset communication.
+//!
+//! This crate reproduces that programming model inside one OS process: a
+//! [`Universe`] spawns one thread per rank; each rank holds a [`Comm`]
+//! supporting tagged point-to-point messages, communicator splitting,
+//! Cartesian topologies, and the collectives the solver needs. Message
+//! traffic is metered ([`CommStats`]) so the Earth Simulator performance
+//! model can convert measured communication volume into projected wall
+//! time.
+//!
+//! Semantics intentionally mirror MPI where it matters to the solver:
+//!
+//! * sends are buffered and non-blocking (like `MPI_SEND` on small
+//!   messages / `MPI_ISEND`), receives block until a matching message
+//!   arrives;
+//! * matching is FIFO per `(communicator, source, tag)`;
+//! * collectives must be called by every member of the communicator in the
+//!   same order;
+//! * rank numbering inside a split communicator follows the `(key, parent
+//!   rank)` order, exactly like `MPI_COMM_SPLIT`.
+//!
+//! Misuse (wrong payload type, rank out of range) panics with a clear
+//! message — the moral equivalent of `MPI_Abort`.
+
+pub mod collectives;
+pub mod comm;
+pub mod mailbox;
+pub mod stats;
+pub mod topology;
+pub mod universe;
+
+pub use comm::{Comm, RecvFuture};
+pub use stats::CommStats;
+pub use topology::CartComm;
+pub use universe::Universe;
+
+/// Reduction operations supported by the collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    pub(crate) fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-rank mailboxes: the transport under every [`crate::Comm`].
+//!
+//! Each rank owns one mailbox. A message is an [`Envelope`] carrying the
+//! sending rank (world numbering), a communicator context id, a user tag,
+//! and the payload. Receives match FIFO per `(context, src, tag)` — the
+//! same matching rule MPI uses (we do not implement wildcards; the solver
+//! never needs them).
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Message payload. Field data travels as `F64s` (counted by the traffic
+/// meter); control-plane data (setup tables, requests) travels as `Any`.
+pub enum Payload {
+    /// A flat buffer of field data (the metered hot path).
+    F64s(Vec<f64>),
+    /// An arbitrary typed value (control plane).
+    Any(Box<dyn Any + Send>),
+}
+
+impl Payload {
+    /// Approximate wire size in bytes, used by the traffic statistics.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::F64s(v) => v.len() * std::mem::size_of::<f64>(),
+            // Control messages are not modelled; charge a fixed small
+            // header so message *counts* still register.
+            Payload::Any(_) => 16,
+        }
+    }
+}
+
+/// A queued message.
+pub struct Envelope {
+    /// Sender's world rank.
+    pub src_world: usize,
+    /// Communicator context id (so split communicators never cross-match).
+    pub context: u64,
+    /// User tag.
+    pub tag: u64,
+    /// The message contents.
+    pub payload: Payload,
+}
+
+/// One rank's incoming queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    signal: Condvar,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposit a message (called by the sender's thread).
+    pub fn deliver(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.push_back(env);
+        // Receivers matching on a different (src, tag) may also be parked;
+        // wake them all and let them re-scan.
+        self.signal.notify_all();
+    }
+
+    /// Block until a message matching `(context, src_world, tag)` is
+    /// available, remove and return it. FIFO among matching messages.
+    pub fn recv_match(&self, context: u64, src_world: usize, tag: u64) -> Envelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|e| e.context == context && e.src_world == src_world && e.tag == tag)
+            {
+                return q.remove(pos).expect("position was just found");
+            }
+            self.signal.wait(&mut q);
+        }
+    }
+
+    /// Like [`Mailbox::recv_match`] but gives up after `timeout`.
+    ///
+    /// Used by tests to turn would-be deadlocks into failures.
+    pub fn recv_match_timeout(
+        &self,
+        context: u64,
+        src_world: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|e| e.context == context && e.src_world == src_world && e.tag == tag)
+            {
+                return q.remove(pos);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.signal.wait_until(&mut q, deadline).timed_out() {
+                // One more scan after the timeout fires, then give up.
+                if let Some(pos) = q.iter().position(|e| {
+                    e.context == context && e.src_world == src_world && e.tag == tag
+                }) {
+                    return q.remove(pos);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Number of queued (undelivered) messages; used by shutdown checks.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(src: usize, ctx: u64, tag: u64, val: f64) -> Envelope {
+        Envelope { src_world: src, context: ctx, tag, payload: Payload::F64s(vec![val]) }
+    }
+
+    fn value(e: Envelope) -> f64 {
+        match e.payload {
+            Payload::F64s(v) => v[0],
+            _ => panic!("expected f64 payload"),
+        }
+    }
+
+    #[test]
+    fn fifo_per_matching_key() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7, 1.0));
+        mb.deliver(env(0, 1, 7, 2.0));
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 1.0);
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 2.0);
+    }
+
+    #[test]
+    fn matching_respects_context_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7, 1.0));
+        mb.deliver(env(2, 1, 7, 2.0)); // different src
+        mb.deliver(env(0, 9, 7, 3.0)); // different context
+        mb.deliver(env(0, 1, 8, 4.0)); // different tag
+        assert_eq!(value(mb.recv_match(1, 2, 7)), 2.0);
+        assert_eq!(value(mb.recv_match(9, 0, 7)), 3.0);
+        assert_eq!(value(mb.recv_match(1, 0, 8)), 4.0);
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 1.0);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || value(mb2.recv_match(1, 0, 0)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(env(0, 1, 0, 42.0));
+        assert_eq!(handle.join().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn timeout_returns_none_when_no_match() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 0, 1.0));
+        let got = mb.recv_match_timeout(1, 0, 99, Duration::from_millis(10));
+        assert!(got.is_none());
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn payload_byte_len() {
+        assert_eq!(Payload::F64s(vec![0.0; 10]).byte_len(), 80);
+        assert_eq!(Payload::Any(Box::new(5_u32)).byte_len(), 16);
+    }
+}

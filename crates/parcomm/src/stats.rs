@@ -1,0 +1,157 @@
+//! Per-rank communication traffic statistics.
+//!
+//! The paper reports that inter-process communication costs about 10 % of
+//! the run time and that the overset (Yin↔Yang) traffic is distinct from
+//! the intra-panel halo traffic. The solver tags each message with a
+//! [`TrafficClass`] so the Earth Simulator model can convert class-resolved
+//! byte counts into projected communication time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of traffic a message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Nearest-neighbour halo exchange inside a panel (θ/φ neighbours).
+    Halo,
+    /// Yin↔Yang overset interpolation data between the two panels.
+    Overset,
+    /// Reductions and other collective plumbing.
+    Collective,
+    /// Setup/control messages (routing tables, split negotiation).
+    Control,
+}
+
+/// Lock-free counters for one rank.
+///
+/// Shared (`Arc`) between all the communicators a rank holds, so a single
+/// snapshot covers world + panel + cart traffic.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    msgs_sent: AtomicU64,
+    bytes_halo: AtomicU64,
+    bytes_overset: AtomicU64,
+    bytes_collective: AtomicU64,
+    bytes_control: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+}
+
+impl StatsCell {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        StatsCell::default()
+    }
+
+    /// Count one outgoing message of `bytes` under `class`.
+    pub fn record_send(&self, class: TrafficClass, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        let target = match class {
+            TrafficClass::Halo => &self.bytes_halo,
+            TrafficClass::Overset => &self.bytes_overset,
+            TrafficClass::Collective => &self.bytes_collective,
+            TrafficClass::Control => &self.bytes_control,
+        };
+        target.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Count one received message of `bytes`.
+    pub fn record_recv(&self, bytes: usize) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current counters.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_halo: self.bytes_halo.load(Ordering::Relaxed),
+            bytes_overset: self.bytes_overset.load(Ordering::Relaxed),
+            bytes_collective: self.bytes_collective.load(Ordering::Relaxed),
+            bytes_control: self.bytes_control.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable snapshot of one rank's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent (all classes).
+    pub msgs_sent: u64,
+    /// Bytes sent as intra-panel halo exchange.
+    pub bytes_halo: u64,
+    /// Bytes sent as Yin↔Yang overset data.
+    pub bytes_overset: u64,
+    /// Bytes sent by collective plumbing.
+    pub bytes_collective: u64,
+    /// Bytes sent as setup/control traffic.
+    pub bytes_control: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+}
+
+impl CommStats {
+    /// Total field-data bytes sent (halo + overset), the quantity the
+    /// performance model charges against interconnect bandwidth.
+    pub fn field_bytes_sent(&self) -> u64 {
+        self.bytes_halo + self.bytes_overset
+    }
+
+    /// Total bytes sent across all classes.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.bytes_halo + self.bytes_overset + self.bytes_collective + self.bytes_control
+    }
+
+    /// Element-wise sum (for aggregating across ranks).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_halo: self.bytes_halo + other.bytes_halo,
+            bytes_overset: self.bytes_overset + other.bytes_overset,
+            bytes_collective: self.bytes_collective + other.bytes_collective,
+            bytes_control: self.bytes_control + other.bytes_control,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_class() {
+        let s = StatsCell::new();
+        s.record_send(TrafficClass::Halo, 100);
+        s.record_send(TrafficClass::Overset, 50);
+        s.record_send(TrafficClass::Collective, 8);
+        s.record_send(TrafficClass::Control, 16);
+        s.record_recv(25);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 4);
+        assert_eq!(snap.bytes_halo, 100);
+        assert_eq!(snap.bytes_overset, 50);
+        assert_eq!(snap.field_bytes_sent(), 150);
+        assert_eq!(snap.total_bytes_sent(), 174);
+        assert_eq!(snap.msgs_recv, 1);
+        assert_eq!(snap.bytes_recv, 25);
+    }
+
+    #[test]
+    fn merged_adds_everything() {
+        let mut a = CommStats::default();
+        a.msgs_sent = 2;
+        a.bytes_halo = 10;
+        let mut b = CommStats::default();
+        b.msgs_sent = 3;
+        b.bytes_overset = 7;
+        let m = a.merged(b);
+        assert_eq!(m.msgs_sent, 5);
+        assert_eq!(m.bytes_halo, 10);
+        assert_eq!(m.bytes_overset, 7);
+    }
+}

@@ -1,0 +1,240 @@
+//! The universe: spawn one thread per rank and hand each a world
+//! communicator. The moral equivalent of `mpirun -np N`.
+
+use crate::comm::{Comm, WorldCore};
+use crate::mailbox::Mailbox;
+use crate::stats::StatsCell;
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Launcher for fixed-size rank teams.
+pub struct Universe;
+
+impl Universe {
+    /// Run `body` on `nprocs` rank threads; returns each rank's result in
+    /// rank order. Panics in any rank propagate (after all threads have
+    /// been joined or abandoned) — the analogue of a failing `MPI_Abort`.
+    pub fn run<F, R>(nprocs: usize, body: F) -> Vec<R>
+    where
+        F: Fn(Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(nprocs >= 1, "universe needs at least one rank");
+        let world = Arc::new(WorldCore {
+            mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
+        });
+        let members: Arc<Vec<usize>> = Arc::new((0..nprocs).collect());
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for rank in 0..nprocs {
+                let world = Arc::clone(&world);
+                let members = Arc::clone(&members);
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    let comm = Comm {
+                        world,
+                        context: 0,
+                        rank,
+                        members,
+                        coll_seq: Cell::new(0),
+                        stats: Arc::new(StatsCell::new()),
+                    };
+                    body(comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}")
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TrafficClass;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let out = Universe::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its rank to the next; sum arrives back at 0.
+        let out = Universe::run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            if comm.rank() == 0 {
+                comm.send_f64s(next, 1, vec![0.0], TrafficClass::Control);
+                let v = comm.recv_f64s(prev, 1);
+                v[0]
+            } else {
+                let v = comm.recv_f64s(prev, 1);
+                comm.send_f64s(next, 1, vec![v[0] + comm.rank() as f64], TrafficClass::Control);
+                -1.0
+            }
+        });
+        assert_eq!(out[0], (1 + 2 + 3 + 4) as f64);
+    }
+
+    #[test]
+    fn exchange_is_deadlock_free_with_buffered_sends() {
+        // Symmetric pairwise exchange: both send first, then receive.
+        let out = Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send_f64s(peer, 3, vec![comm.rank() as f64; 1000], TrafficClass::Halo);
+            comm.recv_f64s(peer, 3)[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn irecv_then_wait() {
+        let out = Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let pending = comm.irecv_f64s(peer, 9);
+            comm.send_f64s(peer, 9, vec![42.0 + comm.rank() as f64], TrafficClass::Halo);
+            pending.wait()[0]
+        });
+        assert_eq!(out, vec![43.0, 42.0]);
+    }
+
+    #[test]
+    fn typed_any_messages() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Table {
+            rows: Vec<(usize, f64)>,
+        }
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, Table { rows: vec![(1, 2.0), (3, 4.0)] });
+                true
+            } else {
+                let t: Table = comm.recv(0, 5);
+                t.rows.len() == 2 && t.rows[1] == (3, 4.0)
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn split_forms_panels_like_the_paper() {
+        // 6 ranks → Yin panel (color 0): ranks 0..3, Yang panel: 3..6,
+        // exactly the MPI_COMM_SPLIT call in yycore.
+        let out = Universe::run(6, |comm| {
+            let color = if comm.rank() < 3 { 0 } else { 1 };
+            let panel = comm.split(color, comm.rank() as i64);
+            // Panel-local all-to-one: sum panel ranks at panel root.
+            let sum = if panel.rank() == 0 {
+                let mut s = 0.0;
+                for r in 1..panel.size() {
+                    s += panel.recv_f64s(r, 2)[0];
+                }
+                s
+            } else {
+                panel.send_f64s(0, 2, vec![panel.rank() as f64], TrafficClass::Control);
+                -1.0
+            };
+            (panel.rank(), panel.size(), sum)
+        });
+        assert_eq!(out[0], (0, 3, 3.0));
+        assert_eq!(out[3], (0, 3, 3.0));
+        assert_eq!(out[1].0, 1);
+        assert_eq!(out[5].0, 2);
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let out = Universe::run(3, |comm| {
+            // Reverse order via descending keys.
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(out, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn split_contexts_do_not_cross_match() {
+        let out = Universe::run(2, |comm| {
+            let a = comm.split(0, comm.rank() as i64);
+            let b = comm.split(0, comm.rank() as i64);
+            let peer = 1 - comm.rank();
+            // Send on context B, then A; receive in A-then-B order. If
+            // contexts cross-matched, values would swap.
+            a.send_f64s(peer, 0, vec![1.0], TrafficClass::Control);
+            b.send_f64s(peer, 0, vec![2.0], TrafficClass::Control);
+            let va = a.recv_f64s(peer, 0)[0];
+            let vb = b.recv_f64s(peer, 0)[0];
+            (va, vb)
+        });
+        assert_eq!(out, vec![(1.0, 2.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn duplicate_has_isolated_context() {
+        let out = Universe::run(2, |comm| {
+            let dup = comm.duplicate();
+            let peer = 1 - comm.rank();
+            dup.send_f64s(peer, 0, vec![7.0], TrafficClass::Control);
+            comm.send_f64s(peer, 0, vec![8.0], TrafficClass::Control);
+            let on_world = comm.recv_f64s(peer, 0)[0];
+            let on_dup = dup.recv_f64s(peer, 0)[0];
+            (on_world, on_dup)
+        });
+        assert_eq!(out, vec![(8.0, 7.0), (8.0, 7.0)]);
+    }
+
+    #[test]
+    fn stats_meter_field_traffic() {
+        let out = Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send_f64s(peer, 0, vec![0.0; 100], TrafficClass::Halo);
+            comm.send_f64s(peer, 1, vec![0.0; 10], TrafficClass::Overset);
+            let _ = comm.recv_f64s(peer, 0);
+            let _ = comm.recv_f64s(peer, 1);
+            comm.stats()
+        });
+        for s in out {
+            assert_eq!(s.bytes_halo, 800);
+            assert_eq!(s.bytes_overset, 80);
+            assert_eq!(s.field_bytes_sent(), 880);
+            assert_eq!(s.msgs_recv, 2);
+            assert_eq!(s.bytes_recv, 880);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate failure");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_recv_panics() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 0, 5_u32);
+            let _: String = comm.recv(peer, 0);
+        });
+    }
+}

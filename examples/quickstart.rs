@@ -1,0 +1,58 @@
+//! Quickstart: run a small Yin-Yang geodynamo simulation and print the
+//! energy time series.
+//!
+//! ```text
+//! cargo run --release --example quickstart [key=value ...]
+//! ```
+//!
+//! Useful overrides: `nr=24 nth=25 steps=200 perturb=0.05 omega=4`.
+//! Any `RunConfig` key is accepted (see `yycore::config`).
+
+use yycore::{RunConfig, SerialSim};
+
+fn main() {
+    let mut steps: u64 = 100;
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 3e-2;
+
+    let mut passthrough = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("steps=") {
+            steps = v.parse().expect("steps must be an integer");
+        } else {
+            passthrough.push(arg);
+        }
+    }
+    if let Err(e) = cfg.apply_args(passthrough) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+
+    let grid = cfg.grid();
+    let (nr, nth, nph) = grid.dims();
+    println!("# Yin-Yang geodynamo quickstart");
+    println!("# grid: {nr} x {nth} x {nph} x 2 = {} points", grid.total_points());
+    println!(
+        "# Ra-like index {:.2e}, Ekman {:.2e}, perturbation {:.1e}",
+        cfg.params.rayleigh(),
+        cfg.params.ekman(),
+        cfg.init.perturb_amplitude
+    );
+
+    let mut sim = SerialSim::new(cfg);
+    let report = sim.run(steps, (steps / 20).max(1));
+
+    print!("{}", report.series_csv());
+    eprintln!(
+        "# done: t = {:.4}, {} steps, {:.1} MFLOPS measured, {:.0} flops/point/step",
+        report.time,
+        report.steps,
+        report.mflops(),
+        report.flops_per_point_step()
+    );
+    let last = report.series.last().expect("series has samples").diag;
+    eprintln!(
+        "# final energies: kinetic {:.3e}  magnetic {:.3e}  thermal {:.3e}",
+        last.kinetic, last.magnetic, last.thermal
+    );
+}

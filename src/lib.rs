@@ -1,0 +1,14 @@
+//! Integration surface for the Yin-Yang geodynamo reproduction.
+//!
+//! This root crate re-exports the workspace crates so the examples under
+//! `examples/` and the cross-crate integration tests under `tests/` have a
+//! single dependency surface.
+
+pub use geomath;
+pub use yy_esmodel as esmodel;
+pub use yy_field as field;
+pub use yy_latlon as latlon;
+pub use yy_mesh as mesh;
+pub use yy_mhd as mhd;
+pub use yy_parcomm as parcomm;
+pub use yycore;

@@ -1,0 +1,134 @@
+//! Physics regression tests on the full pipeline: the qualitative
+//! behaviors §V of the paper describes.
+
+use yycore::{RunConfig, SerialSim};
+
+/// A temperature perturbation in an unstably stratified rotating shell
+/// drives growing flow (the onset of the thermal convection the paper's
+/// §V follows). The trajectory has two phases: the initial pressure
+/// perturbation rings acoustically and decays, then buoyancy takes over
+/// and kinetic energy grows — so the test asserts the post-minimum
+/// growth, not naive monotonicity.
+#[test]
+fn perturbation_drives_growing_convection() {
+    let mut cfg = RunConfig::small();
+    cfg.params.omega = 1.0;
+    cfg.params.mu = 1e-3;
+    cfg.params.kappa = 1e-3;
+    cfg.init.perturb_amplitude = 5e-2;
+    cfg.init.seed_amplitude = 0.0;
+    let mut sim = SerialSim::new(cfg);
+    let report = sim.run(150, 10);
+    let kin: Vec<f64> = report.series.iter().map(|p| p.diag.kinetic).collect();
+    let (min_idx, &min) = kin
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite energies"))
+        .expect("non-empty series");
+    let last = *kin.last().unwrap();
+    assert!(
+        min_idx < kin.len() - 1,
+        "energy still decaying at the end of the window: {kin:?}"
+    );
+    assert!(
+        last > 1.2 * min,
+        "no convective growth after the acoustic transient: min {min:.3e}, final {last:.3e}"
+    );
+}
+
+/// Anti-dynamo control: with no flow (zero perturbation) the magnetic
+/// seed can only decay ohmically — any growth would be a solver bug
+/// (numerical dynamo).
+#[test]
+fn seed_field_decays_without_flow() {
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 0.0;
+    cfg.init.seed_amplitude = 1e-3;
+    cfg.params.eta = 5e-3;
+    let mut sim = SerialSim::new(cfg);
+    let e0 = sim.diagnostics().magnetic;
+    sim.run(40, 0);
+    let e1 = sim.diagnostics().magnetic;
+    assert!(e0 > 0.0);
+    assert!(
+        e1 < e0,
+        "magnetic energy must decay ohmically without flow: {e0:.3e} → {e1:.3e}"
+    );
+}
+
+/// With flow active, the field evolves under induction: the magnetic
+/// energy trajectory with convection differs measurably from the pure
+/// ohmic decay, confirming the v×B coupling is live.
+#[test]
+fn induction_term_couples_flow_to_field() {
+    let base = {
+        let mut cfg = RunConfig::small();
+        cfg.init.perturb_amplitude = 0.0;
+        cfg.init.seed_amplitude = 1e-3;
+        let mut sim = SerialSim::new(cfg);
+        sim.run(30, 0);
+        sim.diagnostics().magnetic
+    };
+    let with_flow = {
+        let mut cfg = RunConfig::small();
+        cfg.init.perturb_amplitude = 5e-2;
+        cfg.init.seed_amplitude = 1e-3;
+        let mut sim = SerialSim::new(cfg);
+        sim.run(30, 0);
+        sim.diagnostics().magnetic
+    };
+    let rel = (with_flow - base).abs() / base;
+    assert!(rel > 1e-6, "flow left no imprint on the field (rel diff {rel:.3e})");
+}
+
+/// Rotation organizes the flow: with strong rotation the ratio of
+/// z-aligned kinetic energy stays small (Taylor–Proudman tendency).
+/// Cheap proxy: max speed comparable, but the axial-vorticity structure
+/// carries opposite-signed columns — count them.
+#[test]
+fn rotating_convection_forms_vorticity_columns() {
+    use yy_mesh::{Metric, Panel};
+    use yycore::snapshots::{axial_vorticity, count_convection_columns, sample_equatorial};
+
+    let mut cfg = RunConfig::small();
+    cfg.params.omega = 6.0;
+    cfg.init.perturb_amplitude = 8e-2;
+    cfg.init.seed_amplitude = 0.0;
+    let mut sim = SerialSim::new(cfg);
+    sim.run(80, 0);
+    let metric = Metric::full(&sim.grid);
+    let wz_yin = axial_vorticity(&sim.yin, &sim.grid, &metric, Panel::Yin);
+    let wz_yang = axial_vorticity(&sim.yang, &sim.grid, &metric, Panel::Yang);
+    let eq = sample_equatorial(&wz_yin, &wz_yang, &sim.grid, 256);
+    let columns = count_convection_columns(eq.mid_shell_ring(), 0.2);
+    // Early-phase structure: at least a few alternating cells must exist.
+    assert!(columns >= 4, "expected alternating vorticity columns, found {columns}");
+    assert!(eq.max_abs() > 0.0);
+}
+
+/// The §V bookkeeping: the paper stored 127 snapshots totalling ~500 GB
+/// from a 255×514×1538×2 grid. That implies ≈ 9.8 bytes per grid point
+/// per snapshot — i.e. the 10 stored scalars (B, v, ω in Cartesian plus
+/// T) were written in a reduced-precision/subsampled form rather than as
+/// full 4-byte floats (which would be 2 TB). Verify the implied-volume
+/// arithmetic, then check our own checkpoint writer's byte-exactness.
+#[test]
+fn snapshot_volume_bookkeeping_matches_paper() {
+    let points: f64 = 2.0 * 255.0 * 514.0 * 1538.0;
+    let per_snapshot = 500.0e9 / 127.0;
+    let bytes_per_point = per_snapshot / points;
+    assert!(
+        (5.0..16.0).contains(&bytes_per_point),
+        "implied {bytes_per_point:.1} B/point — inconsistent with ~10 stored scalars \
+         in a compact format"
+    );
+
+    // Our checkpoint writer produces exactly its documented format size.
+    let mut sim = SerialSim::new(RunConfig::small());
+    sim.run(1, 0);
+    let ck = yycore::checkpoint::Checkpoint::capture(&sim);
+    let mut buf = Vec::new();
+    ck.write_to(&mut buf).unwrap();
+    let expected = 8 + 6 * 8 + 16 + 16 * sim.yin.shape().len() * 8;
+    assert_eq!(buf.len(), expected);
+}

@@ -1,0 +1,58 @@
+//! Temporal convergence of the full staged integrator.
+//!
+//! The solver performs overset interpolation and boundary conditions
+//! *between RK4 stages*; done wrong (e.g. filling at the wrong stage
+//! time, or skipping a stage fill) this silently degrades the classical
+//! 4th-order accuracy to 1st or 2nd. A Richardson test on the complete
+//! two-panel solver catches that: on a fixed spatial grid, halving dt
+//! must shrink the distance to the dt→0 limit ~16×.
+
+use yycore::{RunConfig, SerialSim};
+
+fn final_state_norm_diff(a: &SerialSim, b: &SerialSim) -> f64 {
+    let mut max = 0.0_f64;
+    let (_, nth, nph) = a.grid.dims();
+    for (sa, sb) in [(&a.yin, &b.yin), (&a.yang, &b.yang)] {
+        for (aa, bb) in sa.arrays().into_iter().zip(sb.arrays()) {
+            for k in 0..nph as isize {
+                for j in 0..nth as isize {
+                    for i in 0..a.cfg.nr {
+                        max = max.max((aa.at(i, j, k) - bb.at(i, j, k)).abs());
+                    }
+                }
+            }
+        }
+    }
+    max
+}
+
+fn run_fixed_dt(dt: f64, steps: u64) -> SerialSim {
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 2e-2;
+    cfg.init.seed_amplitude = 1e-4;
+    let mut sim = SerialSim::new(cfg);
+    for _ in 0..steps {
+        sim.advance(dt);
+    }
+    sim
+}
+
+#[test]
+fn full_solver_is_fourth_order_in_time() {
+    // Reach t = 8 dt0 with dt0, dt0/2, dt0/4 (all well under the CFL
+    // limit so stability never interferes).
+    let dt0 = 4e-4;
+    let coarse = run_fixed_dt(dt0, 8);
+    let medium = run_fixed_dt(dt0 / 2.0, 16);
+    let fine = run_fixed_dt(dt0 / 4.0, 32);
+
+    let e1 = final_state_norm_diff(&coarse, &medium);
+    let e2 = final_state_norm_diff(&medium, &fine);
+    assert!(e1 > 0.0 && e2 > 0.0, "runs did not differ — dt too small to measure");
+    let rate = (e1 / e2).log2();
+    assert!(
+        rate > 3.5,
+        "temporal convergence rate {rate:.2} — staged boundary fills are degrading RK4 \
+         (e1 = {e1:.3e}, e2 = {e2:.3e})"
+    );
+}
