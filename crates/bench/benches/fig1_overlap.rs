@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo bench -p yy-bench --bench fig1_overlap`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use yy_bench::Harness;
 use std::hint::black_box;
 use yy_mesh::coverage::{
     nominal_overlap_fraction, nominal_patch_area_fraction, scan_discrete_coverage,
@@ -60,7 +60,7 @@ fn print_fig1_data() {
     println!("===========================================================\n");
 }
 
-fn bench_fig1(c: &mut Criterion) {
+fn bench_fig1(c: &mut Harness) {
     print_fig1_data();
 
     c.bench_function("grid_construction_nth33", |b| {
@@ -77,5 +77,4 @@ fn bench_fig1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);
+yy_bench::bench_main!(bench_fig1);

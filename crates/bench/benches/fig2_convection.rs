@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo bench -p yy-bench --bench fig2_convection`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use yy_bench::Harness;
 use std::hint::black_box;
 use yy_mesh::{Metric, Panel};
 use yycore::snapshots::{axial_vorticity, count_convection_columns, sample_equatorial};
@@ -57,7 +57,7 @@ fn print_fig2_data() {
     println!("================================================================\n");
 }
 
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(c: &mut Harness) {
     print_fig2_data();
 
     let sim = convection_sim(20);
@@ -79,5 +79,4 @@ fn bench_fig2(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);
+yy_bench::bench_main!(bench_fig2);

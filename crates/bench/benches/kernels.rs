@@ -8,7 +8,7 @@
 //! * `rk4_step`   — one complete serial two-panel RK4 step
 //! * `wave_speed` — the CFL speed scan
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use yy_bench::{BatchSize, Harness, Throughput};
 use std::hint::black_box;
 use yy_field::{pack_region, unpack_region, FlopMeter, Region};
 use yy_mesh::{apply_scalar, build_overset_columns, Metric, Panel};
@@ -23,7 +23,7 @@ fn cfg() -> RunConfig {
     cfg
 }
 
-fn bench_rhs(c: &mut Criterion) {
+fn bench_rhs(c: &mut Harness) {
     let cfg = cfg();
     let grid = cfg.grid();
     let metric = Metric::full(&grid);
@@ -47,7 +47,7 @@ fn bench_rhs(c: &mut Criterion) {
     let points = range.points();
 
     let mut group = c.benchmark_group("rhs");
-    group.throughput(criterion::Throughput::Elements(points as u64));
+    group.throughput(Throughput::Elements(points as u64));
     group.bench_function(format!("full_panel_{points}_points"), |b| {
         b.iter(|| {
             compute_rhs(
@@ -71,7 +71,7 @@ fn bench_rhs(c: &mut Criterion) {
     );
 }
 
-fn bench_overset(c: &mut Criterion) {
+fn bench_overset(c: &mut Harness) {
     let cfg = cfg();
     let grid = cfg.grid();
     let cols = build_overset_columns(&grid).expect("valid grid");
@@ -81,7 +81,7 @@ fn bench_overset(c: &mut Criterion) {
     let mut target = State::zeros(shape);
 
     let mut group = c.benchmark_group("overset");
-    group.throughput(criterion::Throughput::Elements(cols.len() as u64));
+    group.throughput(Throughput::Elements(cols.len() as u64));
     group.bench_function(format!("frame_fill_{}_columns", cols.len()), |b| {
         b.iter(|| {
             for col in &cols {
@@ -94,7 +94,7 @@ fn bench_overset(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_halo_pack(c: &mut Criterion) {
+fn bench_halo_pack(c: &mut Harness) {
     let cfg = cfg();
     let grid = cfg.grid();
     let shape = grid.full_shape();
@@ -103,7 +103,7 @@ fn bench_halo_pack(c: &mut Criterion) {
     let region = Region { i0: 0, i1: shape.nr, j0: 0, j1: 1, k0: 0, k1: shape.nph as isize };
 
     let mut group = c.benchmark_group("halo_pack");
-    group.throughput(criterion::Throughput::Bytes((region.len() * 8 * 8) as u64));
+    group.throughput(Throughput::Bytes((region.len() * 8 * 8) as u64));
     group.bench_function("pack_unpack_8_fields_one_edge", |b| {
         b.iter_batched(
             || (Vec::with_capacity(region.len() * 8), state.clone()),
@@ -123,13 +123,13 @@ fn bench_halo_pack(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_rk4_step(c: &mut Criterion) {
+fn bench_rk4_step(c: &mut Harness) {
     let mut sim = SerialSim::new(cfg());
     let dt = sim.auto_dt() * 0.1; // tiny step: benchmark cost, not physics
     let points = sim.grid.total_points();
     let mut group = c.benchmark_group("rk4_step");
     group.sample_size(10);
-    group.throughput(criterion::Throughput::Elements(points as u64));
+    group.throughput(Throughput::Elements(points as u64));
     group.bench_function(format!("serial_two_panel_{points}_points"), |b| {
         b.iter(|| {
             sim.advance(black_box(dt));
@@ -148,7 +148,7 @@ fn bench_rk4_step(c: &mut Criterion) {
 /// Longer radial runs amortize per-column setup exactly as longer vector
 /// lengths amortized pipeline startup on the ES — the mechanism behind
 /// Table II's 255-vs-511 rows.
-fn bench_radial_length_sweep(c: &mut Criterion) {
+fn bench_radial_length_sweep(c: &mut Harness) {
     let mut group = c.benchmark_group("rhs_radial_sweep");
     group.sample_size(10);
     for nr in [16_usize, 32, 64, 128] {
@@ -173,7 +173,7 @@ fn bench_radial_length_sweep(c: &mut Criterion) {
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
         let mut meter = FlopMeter::new();
-        group.throughput(criterion::Throughput::Elements(range.points() as u64));
+        group.throughput(Throughput::Elements(range.points() as u64));
         group.bench_function(format!("nr_{nr}"), |b| {
             b.iter(|| {
                 compute_rhs(
@@ -193,7 +193,7 @@ fn bench_radial_length_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_wave_speed(c: &mut Criterion) {
+fn bench_wave_speed(c: &mut Harness) {
     let cfg = cfg();
     let grid = cfg.grid();
     let metric = Metric::full(&grid);
@@ -206,8 +206,7 @@ fn bench_wave_speed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
+yy_bench::bench_main!(
     bench_rhs,
     bench_overset,
     bench_halo_pack,
@@ -215,4 +214,3 @@ criterion_group!(
     bench_radial_length_sweep,
     bench_wave_speed
 );
-criterion_main!(benches);

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo bench -p yy-bench --bench latlon_vs_yinyang`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use yy_bench::{Harness, Throughput};
 use std::hint::black_box;
 use yy_latlon::{LatLonGrid, LatLonSim};
 use yy_mhd::{init::InitOptions, PhysParams};
@@ -54,7 +54,7 @@ fn print_comparison() {
     println!("=======================================================\n");
 }
 
-fn bench_steps(c: &mut Criterion) {
+fn bench_steps(c: &mut Harness) {
     print_comparison();
 
     let params = PhysParams::default_laptop();
@@ -73,12 +73,11 @@ fn bench_steps(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rk4_step_matched_resolution");
     group.sample_size(10);
-    group.throughput(criterion::Throughput::Elements(yy.grid.total_points() as u64));
+    group.throughput(Throughput::Elements(yy.grid.total_points() as u64));
     group.bench_function("yinyang", |b| b.iter(|| yy.advance(black_box(dt_yy))));
-    group.throughput(criterion::Throughput::Elements(ll.grid.total_points() as u64));
+    group.throughput(Throughput::Elements(ll.grid.total_points() as u64));
     group.bench_function("latlon", |b| b.iter(|| ll.advance(black_box(dt_ll))));
     group.finish();
 }
 
-criterion_group!(benches, bench_steps);
-criterion_main!(benches);
+yy_bench::bench_main!(bench_steps);

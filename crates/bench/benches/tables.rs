@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo bench -p yy-bench --bench tables`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use yy_bench::Harness;
 use std::hint::black_box;
 use yy_esmodel::model::{project, RunShape};
 use yy_esmodel::mpiproginf::{list1_text, ReportShape};
@@ -28,7 +28,7 @@ fn measured_profile() -> KernelProfile {
     KernelProfile::yycore_default().with_measured_flops(measured)
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(c: &mut Harness) {
     let profile = measured_profile();
     println!("\n================ PAPER ARTIFACTS (regenerated) ================\n");
     println!("{}", table1_text());
@@ -77,5 +77,4 @@ fn bench_tables(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);
+yy_bench::bench_main!(bench_tables);

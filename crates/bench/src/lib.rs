@@ -1,1 +1,329 @@
-//! Benchmark harness crate. The interesting code lives in `benches/`.
+//! Minimal in-repo benchmark harness (hermetic replacement for
+//! `criterion`), plus the paper-table benches that use it (in
+//! `benches/`).
+//!
+//! Design goals, in order: compile offline with zero dependencies, report
+//! stable wall-clock numbers, stay out of the way. Measurement model:
+//!
+//! 1. calibrate — run the routine once to estimate its cost, then pick an
+//!    iteration count so one *sample* lasts about `YY_BENCH_SAMPLE_MS`
+//!    (default 50 ms, floored at one iteration);
+//! 2. sample — take `YY_BENCH_SAMPLES` (default 10) such samples after a
+//!    one-sample warmup;
+//! 3. report — median / min / max time per iteration, plus derived
+//!    throughput when the bench declares one.
+//!
+//! The median over samples (not the mean) is reported as the headline
+//! number so one preempted sample cannot skew a comparison. A substring
+//! filter can be passed on the command line, exactly like the stock
+//! libtest harness: `cargo bench -p yy-bench --bench kernels -- rhs`.
+
+use std::time::{Duration, Instant};
+
+/// How a bench converts time-per-iteration into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]. With in-repo timing both
+/// variants time each routine call individually; the variant only
+/// bounds how many setup values calibration may materialize at once.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap inputs: calibration may run the setup many times.
+    SmallInput,
+    /// Expensive inputs: calibration is capped at few setup runs.
+    LargeInput,
+}
+
+/// Per-iteration timing statistics over the collected samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest sample's time per iteration.
+    pub min: Duration,
+    /// Slowest sample's time per iteration.
+    pub max: Duration,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+}
+
+/// Measurement driver handed to each bench closure.
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibration run (also serves as warmup of caches/branches).
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        // One untimed warmup sample, then the measured ones.
+        for sample in 0..=self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            if sample > 0 {
+                per_iter.push(start.elapsed() / iters as u32);
+            }
+        }
+        self.finish_with(per_iter, iters);
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let cap = match size {
+            BatchSize::SmallInput => 1 << 16,
+            BatchSize::LargeInput => 64,
+        };
+        let iters = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, cap) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for sample in 0..=self.samples {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                std::hint::black_box(routine(input));
+            }
+            if sample > 0 {
+                per_iter.push(start.elapsed() / iters as u32);
+            }
+        }
+        self.finish_with(per_iter, iters);
+    }
+
+    fn finish_with(&mut self, mut per_iter: Vec<Duration>, iters: u64) {
+        per_iter.sort_unstable();
+        let stats = Stats {
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            max: per_iter[per_iter.len() - 1],
+            iters_per_sample: iters,
+        };
+        self.stats = Some(stats);
+    }
+}
+
+/// Top-level harness: owns the CLI filter and prints results.
+pub struct Harness {
+    filter: Option<String>,
+    sample_ms: u64,
+    samples: usize,
+    ran: usize,
+    skipped: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Harness {
+    /// Build a harness from the process arguments: flags are ignored
+    /// (cargo passes `--bench`), the first free argument is a substring
+    /// filter on bench names.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            sample_ms: env_u64("YY_BENCH_SAMPLE_MS", 50),
+            samples: env_u64("YY_BENCH_SAMPLES", 10).max(1) as usize,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Run one named bench.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(name, None, f);
+        self
+    }
+
+    /// Open a named group; benches inside share the group prefix and its
+    /// current throughput declaration.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group { harness: self, prefix: name.to_string(), throughput: None }
+    }
+
+    /// Print the run footer. Called by [`bench_main!`].
+    pub fn summary(&self) {
+        println!(
+            "\n{} benches run, {} filtered out ({} samples each, ~{} ms/sample)",
+            self.ran, self.skipped, self.samples, self.sample_ms
+        );
+    }
+
+    fn run(&mut self, name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_budget: Duration::from_millis(self.sample_ms),
+            samples: self.samples,
+            stats: None,
+        };
+        f(&mut b);
+        self.ran += 1;
+        match b.stats {
+            Some(stats) => report(name, throughput, stats),
+            // The closure never called iter(); still record the name.
+            None => println!("{name:<44} (no measurement)"),
+        }
+    }
+}
+
+/// A named bench group (API mirror of criterion's `BenchmarkGroup`).
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Declare the work performed by one iteration of the *next*
+    /// benches; used to derive rates in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for call-site compatibility; sampling is controlled by
+    /// `YY_BENCH_SAMPLES` / `YY_BENCH_SAMPLE_MS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named bench inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        let throughput = self.throughput;
+        self.harness.run(&full, throughput, f);
+        self
+    }
+
+    /// End the group (no-op; exists to keep call sites tidy).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, throughput: Option<Throughput>, s: Stats) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format_rate(n as f64 / s.median.as_secs_f64(), "elem/s"),
+        Throughput::Bytes(n) => format_rate(n as f64 / s.median.as_secs_f64(), "B/s"),
+    });
+    println!(
+        "{name:<44} {:>12}/iter  [{} … {}]  x{}{}",
+        format_duration(s.median),
+        format_duration(s.min),
+        format_duration(s.max),
+        s.iters_per_sample,
+        rate.map(|r| format!("  {r}")).unwrap_or_default()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Generate `fn main()` for a bench target: build a [`Harness`] from the
+/// CLI, run each listed bench function, print the summary.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::Harness::from_args();
+            $( $func(&mut harness); )+
+            harness.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_is_scaled() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_rate(2.5e6, "elem/s"), "2.50 Melem/s");
+    }
+
+    #[test]
+    fn bencher_collects_stats() {
+        let mut b = Bencher {
+            sample_budget: Duration::from_micros(200),
+            samples: 3,
+            stats: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        let s = b.stats.expect("stats recorded");
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.iters_per_sample >= 1);
+        assert!(count >= s.iters_per_sample);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            sample_budget: Duration::from_micros(100),
+            samples: 2,
+            stats: None,
+        };
+        b.iter_batched(|| vec![1.0_f64; 16], |v| v.iter().sum::<f64>(), BatchSize::SmallInput);
+        assert!(b.stats.is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the array substrate on the `yy-testkit` harness:
+//! halo packing must be lossless for arbitrary shapes and regions, and
+//! the linear-algebra helpers must be exact where IEEE allows.
+
+use yy_field::{pack_region, unpack_region, Array3, Region, Shape};
+use yy_testkit::{check, tk_assert, tk_assert_eq, Gen};
+
+/// A random shape with halo, and a random in-bounds (halo-inclusive)
+/// region of it.
+fn shape_and_region(g: &mut Gen) -> (Shape, Region) {
+    let nr = g.range_usize(1, 6);
+    let nth = g.range_usize(1, 6);
+    let nph = g.range_usize(1, 6);
+    let hth = g.range_usize(0, 3);
+    let hph = g.range_usize(0, 3);
+    let shape = Shape::new(nr, nth, nph, hth, hph);
+    let i0 = g.range_usize(0, nr);
+    let i1 = g.range_usize(i0 + 1, nr + 1);
+    // Signed j/k bounds, generated in shifted (ghost-origin) coordinates:
+    // valid indices span [-h, n + h), so the exclusive end may reach n + h.
+    let jlo = g.range_usize(0, nth + 2 * hth);
+    let jhi = g.range_usize(jlo + 1, nth + 2 * hth + 1);
+    let klo = g.range_usize(0, nph + 2 * hph);
+    let khi = g.range_usize(klo + 1, nph + 2 * hph + 1);
+    let region = Region {
+        i0,
+        i1,
+        j0: jlo as isize - hth as isize,
+        j1: jhi as isize - hth as isize,
+        k0: klo as isize - hph as isize,
+        k1: khi as isize - hph as isize,
+    };
+    (shape, region)
+}
+
+#[test]
+fn pack_unpack_is_lossless_on_arbitrary_regions() {
+    check(
+        "pack_unpack_is_lossless_on_arbitrary_regions",
+        shape_and_region,
+        |&(shape, region)| {
+            let src = Array3::from_fn(shape, |i, j, k| {
+                i as f64 + 17.0 * j as f64 + 289.0 * k as f64 + 0.5
+            });
+            let mut buf = Vec::new();
+            pack_region(&src, region, &mut buf);
+            tk_assert_eq!(buf.len(), region.len());
+            let mut dst = Array3::zeros(shape);
+            let rest = unpack_region(&mut dst, region, &buf);
+            tk_assert!(rest.is_empty(), "{} unconsumed values", rest.len());
+            // Region cells match; cells outside stay zero.
+            for i in region.i0..region.i1 {
+                for j in region.j0..region.j1 {
+                    for k in region.k0..region.k1 {
+                        tk_assert_eq!(dst.at(i, j, k), src.at(i, j, k));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn packing_two_regions_concatenates() {
+    check(
+        "packing_two_regions_concatenates",
+        shape_and_region,
+        |&(shape, region)| {
+            let src = Array3::from_fn(shape, |i, j, k| (i + 7) as f64 * (j + 3) as f64 + k as f64);
+            let mut once = Vec::new();
+            pack_region(&src, region, &mut once);
+            let mut twice = Vec::new();
+            pack_region(&src, region, &mut twice);
+            pack_region(&src, region, &mut twice);
+            tk_assert_eq!(twice.len(), 2 * once.len());
+            tk_assert!(twice[..once.len()] == once[..], "first copy differs");
+            tk_assert!(twice[once.len()..] == once[..], "second copy differs");
+            // And a stream of two regions unpacks in two steps.
+            let mut dst = Array3::zeros(shape);
+            let rest = unpack_region(&mut dst, region, &twice);
+            tk_assert_eq!(rest.len(), once.len());
+            let rest2 = unpack_region(&mut dst, region, rest);
+            tk_assert!(rest2.is_empty());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn axpy_matches_scalar_arithmetic_bitwise() {
+    check(
+        "axpy_matches_scalar_arithmetic_bitwise",
+        |g| {
+            let n = g.range_usize(1, 5);
+            let shape = Shape::new(n, n, n, 1, 1);
+            (shape, g.range_f64(-3.0, 3.0))
+        },
+        |&(shape, c)| {
+            let x = Array3::from_fn(shape, |i, j, k| i as f64 - j as f64 + 0.25 * k as f64);
+            let mut y = Array3::from_fn(shape, |i, j, k| 2.0 * i as f64 + j as f64 - k as f64);
+            let y0 = y.clone();
+            y.axpy(c, &x);
+            // Bit-exact agreement with the scalar formula: axpy must stay
+            // a plain fused loop (determinism depends on it).
+            for (idx, (&got, (&a, &b))) in
+                y.data().iter().zip(x.data().iter().zip(y0.data().iter())).enumerate()
+            {
+                tk_assert!(
+                    got.to_bits() == (b + c * a).to_bits(),
+                    "element {idx}: {got} vs {}",
+                    b + c * a
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,108 @@
+//! Property tests of the in-repo PRNG, run on the `yy-testkit` harness
+//! (which is itself built on this generator — the dev-dependency cycle
+//! is deliberate and exercises both sides).
+
+use geomath::rng::{derive_seed, node_noise, DetRng};
+use geomath::spherical::wrap_longitude;
+use yy_testkit::{check, tk_assert, tk_assert_eq};
+
+#[test]
+fn streams_are_reproducible_for_any_seed() {
+    check(
+        "streams_are_reproducible_for_any_seed",
+        |g| g.below(u64::MAX),
+        |&seed| {
+            let mut a = DetRng::seed_from_u64(seed);
+            let mut b = DetRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                tk_assert_eq!(a.next_u64(), b.next_u64());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn range_f64_respects_arbitrary_bounds() {
+    check(
+        "range_f64_respects_arbitrary_bounds",
+        |g| {
+            let lo = g.range_f64(-1e9, 1e9);
+            let width = g.range_f64(0.0, 1e9);
+            let seed = g.below(u64::MAX);
+            (lo, lo + width, seed)
+        },
+        |&(lo, hi, seed)| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let v = rng.range_f64(lo, hi);
+                tk_assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn below_is_always_in_range() {
+    check(
+        "below_is_always_in_range",
+        |g| (g.below(u64::MAX - 1) + 1, g.below(u64::MAX)),
+        |&(n, seed)| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                tk_assert!(rng.below(n) < n);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn derived_seeds_do_not_collide_across_neighbours() {
+    check(
+        "derived_seeds_do_not_collide_across_neighbours",
+        |g| (g.below(u64::MAX), g.below(1 << 20), g.below(1 << 20)),
+        |&(master, purpose, index)| {
+            let here = derive_seed(master, purpose, index);
+            tk_assert!(here != derive_seed(master, purpose, index + 1), "index collision");
+            tk_assert!(here != derive_seed(master, purpose + 1, index), "purpose collision");
+            tk_assert!(here != derive_seed(master.wrapping_add(1), purpose, index));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn node_noise_is_bounded_and_seed_stable() {
+    check(
+        "node_noise_is_bounded_and_seed_stable",
+        |g| (g.below(u64::MAX), g.below(8), g.below(u64::MAX), g.range_f64(0.0, 10.0)),
+        |&(master, purpose, node, amp)| {
+            let v = node_noise(master, purpose, node, amp);
+            tk_assert!(v.abs() <= amp, "|{v}| > {amp}");
+            tk_assert_eq!(v.to_bits(), node_noise(master, purpose, node, amp).to_bits());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn wrap_longitude_lands_in_principal_range_and_is_idempotent() {
+    check(
+        "wrap_longitude_lands_in_principal_range_and_is_idempotent",
+        |g| g.range_f64(-50.0, 50.0),
+        |&phi| {
+            let w = wrap_longitude(phi);
+            tk_assert!(
+                (-std::f64::consts::PI..=std::f64::consts::PI).contains(&w),
+                "wrapped {w}"
+            );
+            tk_assert!((wrap_longitude(w) - w).abs() < 1e-12, "not idempotent at {phi}");
+            // Same angle mod 2π.
+            let diff = (phi - w) / (2.0 * std::f64::consts::PI);
+            tk_assert!((diff - diff.round()).abs() < 1e-9, "not congruent at {phi}");
+            Ok(())
+        },
+    );
+}

@@ -12,9 +12,8 @@
 //! check below verifies directly.
 
 use crate::patch::PatchGrid;
+use geomath::rng::DetRng;
 use geomath::{yang_from_yin_point, SphericalPoint, Vec3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Exact area fraction of one nominal component patch.
 pub fn nominal_patch_area_fraction() -> f64 {
@@ -54,7 +53,7 @@ impl CoverageReport {
 /// Sample `n` uniformly distributed directions and classify them against
 /// the *nominal* Yin/Yang spans.
 pub fn scan_nominal_coverage(n: usize, seed: u64) -> CoverageReport {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut covered = 0;
     let mut overlapped = 0;
     for _ in 0..n {
@@ -76,7 +75,7 @@ pub fn scan_nominal_coverage(n: usize, seed: u64) -> CoverageReport {
 /// direction must fall inside the owned span of at least one panel with
 /// enough margin that its bilinear donor cell exists.
 pub fn scan_discrete_coverage(grid: &PatchGrid, n: usize, seed: u64) -> CoverageReport {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut covered = 0;
     let mut overlapped = 0;
     for _ in 0..n {
@@ -136,10 +135,10 @@ pub fn dedup_column_weights(grid: &PatchGrid) -> Vec<f64> {
 }
 
 /// A uniformly distributed random direction on the unit sphere.
-fn random_direction(rng: &mut StdRng) -> SphericalPoint {
+fn random_direction(rng: &mut DetRng) -> SphericalPoint {
     // Uniform in cos θ and φ.
-    let z: f64 = rng.gen_range(-1.0..=1.0);
-    let phi: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    let z: f64 = rng.range_f64(-1.0, 1.0);
+    let phi: f64 = rng.range_f64(-std::f64::consts::PI, std::f64::consts::PI);
     let s = (1.0 - z * z).max(0.0).sqrt();
     SphericalPoint::from_cartesian(Vec3::new(s * phi.cos(), s * phi.sin(), z))
 }
@@ -249,7 +248,7 @@ mod tests {
 
     #[test]
     fn random_directions_are_roughly_uniform() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let n = 50_000;
         let mut north = 0;
         for _ in 0..n {

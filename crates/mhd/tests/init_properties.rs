@@ -1,0 +1,110 @@
+//! Property tests of the initial conditions on the `yy-testkit` harness:
+//! initialization must be a pure function of (options, panel) — the
+//! determinism everything downstream (checkpoint equality, parallel
+//! equivalence) is built on.
+
+use yy_mesh::{Panel, PatchGrid, PatchSpec};
+use yy_mhd::init::InitOptions;
+use yy_mhd::{initialize, PhysParams, State};
+use yy_testkit::{check_with, tk_assert, Config};
+
+fn grid() -> PatchGrid {
+    PatchGrid::new(PatchSpec::equal_spacing(6, 13, 0.35, 1.0))
+}
+
+fn init_state(grid: &PatchGrid, opts: &InitOptions, panel: Panel) -> State {
+    let params = PhysParams::default_laptop();
+    let mut state = State::zeros(grid.full_shape());
+    initialize(&mut state, grid, None, &params, opts, panel);
+    state
+}
+
+fn states_bit_identical(a: &State, b: &State) -> bool {
+    a.arrays()
+        .iter()
+        .zip(b.arrays().iter())
+        .all(|(x, y)| {
+            x.data().iter().zip(y.data().iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+#[test]
+fn same_seed_initializes_bit_identically() {
+    let grid = grid();
+    check_with(
+        Config::with_cases(8),
+        "same_seed_initializes_bit_identically",
+        |g| (g.below(u64::MAX), g.bool()),
+        |&(seed, yang)| {
+            let panel = if yang { Panel::Yang } else { Panel::Yin };
+            let opts =
+                InitOptions { perturb_amplitude: 1e-2, seed_amplitude: 1e-4, seed };
+            let a = init_state(&grid, &opts, panel);
+            let b = init_state(&grid, &opts, panel);
+            tk_assert!(states_bit_identical(&a, &b), "same seed produced different states");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn different_seeds_perturb_differently() {
+    let grid = grid();
+    check_with(
+        Config::with_cases(8),
+        "different_seeds_perturb_differently",
+        |g| g.below(u64::MAX - 1),
+        |&seed| {
+            let opts =
+                InitOptions { perturb_amplitude: 1e-2, seed_amplitude: 1e-4, seed };
+            let other = InitOptions { seed: seed + 1, ..opts };
+            let a = init_state(&grid, &opts, Panel::Yin);
+            let b = init_state(&grid, &other, Panel::Yin);
+            tk_assert!(!states_bit_identical(&a, &b), "different seeds agreed exactly");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn zero_amplitude_makes_seed_irrelevant() {
+    let grid = grid();
+    check_with(
+        Config::with_cases(8),
+        "zero_amplitude_makes_seed_irrelevant",
+        |g| (g.below(u64::MAX), g.below(u64::MAX)),
+        |&(s1, s2)| {
+            let a = init_state(
+                &grid,
+                &InitOptions { perturb_amplitude: 0.0, seed_amplitude: 0.0, seed: s1 },
+                Panel::Yin,
+            );
+            let b = init_state(
+                &grid,
+                &InitOptions { perturb_amplitude: 0.0, seed_amplitude: 0.0, seed: s2 },
+                Panel::Yin,
+            );
+            tk_assert!(
+                states_bit_identical(&a, &b),
+                "unperturbed state depends on the seed"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn initialized_state_is_physical_for_any_small_perturbation() {
+    let grid = grid();
+    check_with(
+        Config::with_cases(12),
+        "initialized_state_is_physical_for_any_small_perturbation",
+        |g| (g.below(u64::MAX), g.range_f64(0.0, 0.1)),
+        |&(seed, amp)| {
+            let opts = InitOptions { perturb_amplitude: amp, seed_amplitude: 1e-4, seed };
+            let state = init_state(&grid, &opts, Panel::Yin);
+            tk_assert!(state.is_physical(), "amp {amp}, seed {seed}");
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,92 @@
+//! Property tests of the mailbox transport on the `yy-testkit` harness:
+//! for arbitrary delivery interleavings, matching must be exact per
+//! `(context, src, tag)` key, FIFO within a key, and lossless overall.
+
+use std::time::Duration;
+use yy_parcomm::mailbox::{Envelope, Mailbox, Payload};
+use yy_testkit::{check_with, tk_assert, tk_assert_eq, Config, Gen};
+
+/// A random traffic pattern: (src, context, tag, value) tuples.
+fn traffic(g: &mut Gen) -> Vec<(usize, u64, u64, f64)> {
+    let n = g.size(1, 40);
+    (0..n)
+        .map(|i| (g.range_usize(0, 3), g.below(2), g.below(3), i as f64))
+        .collect()
+}
+
+fn value(e: Envelope) -> f64 {
+    match e.payload {
+        Payload::F64s(v) => v[0],
+        _ => panic!("expected f64 payload"),
+    }
+}
+
+#[test]
+fn any_traffic_pattern_drains_fifo_per_key() {
+    check_with(
+        Config::with_cases(32),
+        "any_traffic_pattern_drains_fifo_per_key",
+        traffic,
+        |msgs| {
+            let mb = Mailbox::new();
+            for &(src, ctx, tag, val) in msgs {
+                mb.deliver(Envelope {
+                    src_world: src,
+                    context: ctx,
+                    tag,
+                    payload: Payload::F64s(vec![val]),
+                });
+            }
+            tk_assert_eq!(mb.pending(), msgs.len());
+            // Drain key by key; within a key values must come back in
+            // delivery order.
+            for src in 0..3 {
+                for ctx in 0..2_u64 {
+                    for tag in 0..3_u64 {
+                        let expect: Vec<f64> = msgs
+                            .iter()
+                            .filter(|&&(s, c, t, _)| s == src && c == ctx && t == tag)
+                            .map(|&(_, _, _, v)| v)
+                            .collect();
+                        for (n, &want) in expect.iter().enumerate() {
+                            let got = mb
+                                .recv_match_timeout(ctx, src, tag, Duration::from_millis(100))
+                                .map(value);
+                            tk_assert!(
+                                got == Some(want),
+                                "key ({ctx},{src},{tag}) message {n}: got {got:?}, want {want}"
+                            );
+                        }
+                    }
+                }
+            }
+            tk_assert_eq!(mb.pending(), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn unmatched_receives_leave_the_queue_intact() {
+    check_with(
+        Config::with_cases(16),
+        "unmatched_receives_leave_the_queue_intact",
+        traffic,
+        |msgs| {
+            let mb = Mailbox::new();
+            for &(src, ctx, tag, val) in msgs {
+                mb.deliver(Envelope {
+                    src_world: src,
+                    context: ctx,
+                    tag,
+                    payload: Payload::F64s(vec![val]),
+                });
+            }
+            // A key no generator produces: context 99.
+            let got = mb.recv_match_timeout(99, 0, 0, Duration::from_millis(1));
+            tk_assert!(got.is_none());
+            tk_assert_eq!(mb.pending(), msgs.len());
+            Ok(())
+        },
+    );
+}

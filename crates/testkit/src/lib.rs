@@ -1,0 +1,324 @@
+//! Deterministic property-test harness.
+//!
+//! A hermetic replacement for the `proptest` dependency: no registry
+//! crates, no persistence files, no time- or pointer-derived entropy.
+//! Every case is generated from a seed derived as
+//! `derive_seed(master, fnv1a(property name), case index)`, so a failure
+//! report identifies the exact case forever — across machines, layouts
+//! and parallel test threads.
+//!
+//! ```
+//! use yy_testkit::{check, tk_assert};
+//!
+//! check("addition_commutes", |g| (g.range_f64(-1e6, 1e6), g.range_f64(-1e6, 1e6)), |&(a, b)| {
+//!     tk_assert!(a + b == b + a, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! On failure the harness panics with the property name, case index,
+//! case seed, and the generated input, plus a one-line replay recipe:
+//! set `YY_TESTKIT_REPLAY=<case seed>` and re-run the one test. The
+//! iteration budget is fixed per call site (default
+//! [`DEFAULT_CASES`]) and can be scaled globally with
+//! `YY_TESTKIT_CASES` for soak runs.
+//!
+//! There is no shrinking: cases are cheap and seeds are replayable, so
+//! the debugging loop is "replay the failing seed under a debugger"
+//! rather than "minimize the input". Generators should therefore bias
+//! toward small cases on their own (`Gen::size` helps).
+
+pub use geomath::rng::{derive_seed, DetRng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Case generator handed to the generation closure: the deterministic
+/// RNG plus sizing helpers for collection-valued cases.
+pub struct Gen {
+    rng: DetRng,
+}
+
+impl Gen {
+    /// Uniform `f64` in `[lo, hi]`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_usize(lo, hi)
+    }
+
+    /// Uniform `u64` in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.below(n)
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    /// A collection length in `[min_len, max_len]`.
+    pub fn size(&mut self, min_len: usize, max_len: usize) -> usize {
+        self.rng.range_usize(min_len, max_len + 1)
+    }
+
+    /// A `Vec<f64>` with uniform entries in `[lo, hi]` and length in
+    /// `[min_len, max_len]`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+        let n = self.size(min_len, max_len);
+        (0..n).map(|_| self.range_f64(lo, hi)).collect()
+    }
+
+    /// A `Vec<u64>` with uniform entries in `[0, below)` and length in
+    /// `[min_len, max_len]`.
+    pub fn vec_u64(&mut self, below: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+        let n = self.size(min_len, max_len);
+        (0..n).map(|_| self.below(below)).collect()
+    }
+
+    /// Direct access to the underlying stream for custom generators.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+}
+
+/// Configuration for one property run.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases (before the `YY_TESTKIT_CASES` scale).
+    pub cases: u32,
+    /// Master seed; the per-case seed is derived from it, the property
+    /// name, and the case index.
+    pub master_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: DEFAULT_CASES, master_seed: 0x5EED_0F_6E0D_15A0 }
+    }
+}
+
+impl Config {
+    /// A config with a custom case budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// FNV-1a, used to fold the property name into the seed derivation.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325_u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Effective case budget: the configured count scaled by
+/// `YY_TESTKIT_CASES` (an absolute override) when set.
+fn effective_cases(cfg: &Config) -> u32 {
+    match std::env::var("YY_TESTKIT_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+        Some(n) => n.max(1),
+        None => cfg.cases,
+    }
+}
+
+/// Parse `YY_TESTKIT_REPLAY` (decimal or 0x-hex case seed). An
+/// unparseable value panics rather than silently running the normal
+/// budget: the caller asked for a replay and must get one.
+fn replay_seed() -> Option<u64> {
+    let raw = std::env::var("YY_TESTKIT_REPLAY").ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    };
+    match parsed {
+        Some(seed) => Some(seed),
+        None => panic!("YY_TESTKIT_REPLAY={raw:?} is not a decimal or 0x-hex u64 case seed"),
+    }
+}
+
+/// Run one generated case; `Err` carries the property's failure message.
+fn run_case<T: std::fmt::Debug>(
+    name: &str,
+    case_seed: u64,
+    case_label: &str,
+    generate: &mut impl FnMut(&mut Gen) -> T,
+    property: &mut impl FnMut(&T) -> Result<(), String>,
+) {
+    let mut g = Gen { rng: DetRng::seed_from_u64(case_seed) };
+    let input = generate(&mut g);
+    if let Err(msg) = property(&input) {
+        panic!(
+            "property '{name}' failed at {case_label} (case seed {case_seed:#018x})\n\
+             input: {input:?}\n\
+             cause: {msg}\n\
+             replay: YY_TESTKIT_REPLAY={case_seed:#x} cargo test {name}"
+        );
+    }
+}
+
+/// Check `property` against `cfg.cases` inputs drawn from `generate`.
+///
+/// Panics (with the failing case seed and input) on the first failure.
+/// When `YY_TESTKIT_REPLAY` is set, runs exactly that one case instead.
+pub fn check_with<T: std::fmt::Debug>(
+    cfg: Config,
+    name: &str,
+    mut generate: impl FnMut(&mut Gen) -> T,
+    mut property: impl FnMut(&T) -> Result<(), String>,
+) {
+    if let Some(seed) = replay_seed() {
+        run_case(name, seed, "replay", &mut generate, &mut property);
+        return;
+    }
+    let cases = effective_cases(&cfg);
+    for i in 0..cases {
+        let case_seed = derive_seed(cfg.master_seed, fnv1a(name), i as u64);
+        run_case(name, case_seed, &format!("case {i}/{cases}"), &mut generate, &mut property);
+    }
+}
+
+/// [`check_with`] under the default [`Config`].
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    generate: impl FnMut(&mut Gen) -> T,
+    property: impl FnMut(&T) -> Result<(), String>,
+) {
+    check_with(Config::default(), name, generate, property);
+}
+
+/// Assert inside a property closure; evaluates to `return Err(...)` on
+/// failure so the harness can attach the case seed and input.
+#[macro_export]
+macro_rules! tk_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property closure.
+#[macro_export]
+macro_rules! tk_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {a:?}\n right: {b:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Absolute-tolerance closeness assertion inside a property closure.
+#[macro_export]
+macro_rules! tk_assert_close {
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b, tol): (f64, f64, f64) = ($a, $b, $tol);
+        if !((a - b).abs() <= tol) {
+            return Err(format!(
+                "assertion failed: |{} - {}| <= {tol:e}\n  left: {a}\n right: {b}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_the_full_budget() {
+        let count = std::cell::Cell::new(0u32);
+        check_with(
+            Config::with_cases(17),
+            "budget_is_respected",
+            |g| g.range_f64(0.0, 1.0),
+            |&x| {
+                count.set(count.get() + 1);
+                tk_assert!((0.0..=1.0).contains(&x));
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_input() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                Config::with_cases(8),
+                "always_fails",
+                |g| g.below(1000),
+                |_| Err("forced".to_string()),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().expect("panic carries a String");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case seed 0x"), "{msg}");
+        assert!(msg.contains("YY_TESTKIT_REPLAY="), "{msg}");
+        assert!(msg.contains("forced"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_index() {
+        let mut first: Vec<u64> = Vec::new();
+        check_with(Config::with_cases(10), "stream_stability", |g| g.below(u64::MAX), |&x| {
+            first.push(x);
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        check_with(Config::with_cases(10), "stream_stability", |g| g.below(u64::MAX), |&x| {
+            second.push(x);
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 10);
+        // Distinct cases see distinct inputs.
+        let mut dedup = first.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), first.len());
+    }
+
+    #[test]
+    fn different_property_names_get_different_streams() {
+        let mut a: Vec<u64> = Vec::new();
+        check_with(Config::with_cases(4), "name_a", |g| g.below(u64::MAX), |&x| {
+            a.push(x);
+            Ok(())
+        });
+        let mut b: Vec<u64> = Vec::new();
+        check_with(Config::with_cases(4), "name_b", |g| g.below(u64::MAX), |&x| {
+            b.push(x);
+            Ok(())
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vec_generators_respect_bounds() {
+        check("vec_bounds", |g| g.vec_f64(-2.0, 3.0, 1, 9), |v| {
+            tk_assert!((1..=9).contains(&v.len()), "len {}", v.len());
+            tk_assert!(v.iter().all(|&x| (-2.0..=3.0).contains(&x)));
+            Ok(())
+        });
+    }
+}

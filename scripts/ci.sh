@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the geodynamo workspace.
+#
+# The build must succeed with *no registry access*: every dependency is a
+# workspace path crate (see DESIGN.md, "Hermetic build"). This script is
+# the enforcement point — it builds and tests fully offline, compiles
+# every target (benches included), and fails if `cargo tree` reports any
+# package resolved from a registry instead of a workspace path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hermetic release build (offline)"
+cargo build --release --offline
+
+echo "==> all targets compile offline (tests, benches, examples)"
+cargo build --workspace --all-targets --offline
+
+echo "==> tests (offline)"
+cargo test -q --offline --workspace
+
+echo "==> dependency audit: workspace path dependencies only"
+# Path dependencies print as `name vX.Y.Z (/abs/path)`; anything without
+# a path source came from a registry and breaks hermeticity.
+nonpath=$(cargo tree --workspace --edges normal,dev,build --prefix none --offline \
+  | sed 's/ (\*)$//' \
+  | grep -vE '^\[|^$' \
+  | grep -v ' (/' \
+  | sort -u || true)
+if [ -n "$nonpath" ]; then
+  echo "ERROR: non-workspace (registry) dependencies detected:" >&2
+  echo "$nonpath" >&2
+  exit 1
+fi
+echo "OK: only workspace path dependencies"

@@ -1,4 +1,5 @@
-//! Property-based tests over the geometric and data-movement substrates.
+//! Property-based tests over the geometric and data-movement substrates,
+//! on the in-repo deterministic harness (`yy-testkit`).
 //!
 //! These are the invariants the whole method rests on: the Yin↔Yang
 //! transform is an isometric involution, overset interpolation weights
@@ -7,147 +8,206 @@
 
 use geomath::spherical::wrap_longitude;
 use geomath::{approx_eq, SphericalPoint, Vec3, YinYangMap};
-use proptest::prelude::*;
 use yy_field::{pack_region, unpack_region, Array3, Region, Shape};
 use yy_mesh::{build_overset_columns, Decomp2D, PatchGrid, PatchSpec};
+use yy_testkit::{check, check_with, tk_assert, tk_assert_eq, Config, Gen};
 
-fn sphere_point() -> impl Strategy<Value = SphericalPoint> {
+fn sphere_point(g: &mut Gen) -> SphericalPoint {
     // Stay a hair away from the exact poles where longitude is undefined.
-    (0.05..std::f64::consts::PI - 0.05, -3.1..3.1, 0.35..1.0)
-        .prop_map(|(theta, phi, r)| SphericalPoint::new(r, theta, phi))
+    let theta = g.range_f64(0.05, std::f64::consts::PI - 0.05);
+    let phi = g.range_f64(-3.1, 3.1);
+    let r = g.range_f64(0.35, 1.0);
+    SphericalPoint::new(r, theta, phi)
 }
 
-proptest! {
-    #[test]
-    fn yinyang_transform_is_an_isometric_involution(p in sphere_point()) {
+fn vec3_components(g: &mut Gen, lim: f64) -> (f64, f64, f64) {
+    (g.range_f64(-lim, lim), g.range_f64(-lim, lim), g.range_f64(-lim, lim))
+}
+
+#[test]
+fn yinyang_transform_is_an_isometric_involution() {
+    check("yinyang_transform_is_an_isometric_involution", sphere_point, |&p| {
         let map = YinYangMap::new();
         let q = map.transform_point(p);
         // Radius preserved.
-        prop_assert!(approx_eq(q.r, p.r, 1e-12));
+        tk_assert!(approx_eq(q.r, p.r, 1e-12), "radius {} vs {}", q.r, p.r);
         // Involution.
         let back = map.transform_point(q);
-        prop_assert!(approx_eq(back.theta, p.theta, 1e-9));
-        prop_assert!(approx_eq(wrap_longitude(back.phi - p.phi), 0.0, 1e-9));
+        tk_assert!(approx_eq(back.theta, p.theta, 1e-9));
+        tk_assert!(approx_eq(wrap_longitude(back.phi - p.phi), 0.0, 1e-9));
         // Chord distances preserved (isometry).
         let a = p.to_cartesian();
         let b = q.to_cartesian();
-        prop_assert!(approx_eq(a.norm(), b.norm(), 1e-12));
-    }
-
-    #[test]
-    fn yinyang_vector_transform_preserves_inner_products(
-        p in sphere_point(),
-        v1 in (-2.0..2.0, -2.0..2.0, -2.0..2.0),
-        v2 in (-2.0..2.0, -2.0..2.0, -2.0..2.0),
-    ) {
-        let map = YinYangMap::new();
-        let (a1, a2, a3) = map.transform_vector(p, v1.0, v1.1, v1.2);
-        let (b1, b2, b3) = map.transform_vector(p, v2.0, v2.1, v2.2);
-        let dot_before = v1.0 * v2.0 + v1.1 * v2.1 + v1.2 * v2.2;
-        let dot_after = a1 * b1 + a2 * b2 + a3 * b3;
-        prop_assert!(approx_eq(dot_before, dot_after, 1e-10));
-    }
-
-    #[test]
-    fn cartesian_round_trip(p in sphere_point()) {
-        let back = SphericalPoint::from_cartesian(p.to_cartesian());
-        prop_assert!(approx_eq(back.r, p.r, 1e-12));
-        prop_assert!(approx_eq(back.theta, p.theta, 1e-10));
-        prop_assert!(approx_eq(wrap_longitude(back.phi - p.phi), 0.0, 1e-10));
-    }
-
-    #[test]
-    fn basis_transform_is_orthogonal(p in sphere_point(), v in (-3.0..3.0, -3.0..3.0, -3.0..3.0)) {
-        let basis = p.basis();
-        let cart = basis.to_cartesian(v.0, v.1, v.2);
-        let norm2 = v.0 * v.0 + v.1 * v.1 + v.2 * v.2;
-        prop_assert!(approx_eq(cart.norm2(), norm2, 1e-11));
-        let (r, t, ph) = basis.from_cartesian(cart);
-        prop_assert!(approx_eq(r, v.0, 1e-10));
-        prop_assert!(approx_eq(t, v.1, 1e-10));
-        prop_assert!(approx_eq(ph, v.2, 1e-10));
-    }
-
-    #[test]
-    fn vec3_cross_is_antisymmetric_and_orthogonal(
-        a in (-5.0..5.0, -5.0..5.0, -5.0..5.0),
-        b in (-5.0..5.0, -5.0..5.0, -5.0..5.0),
-    ) {
-        let a = Vec3::new(a.0, a.1, a.2);
-        let b = Vec3::new(b.0, b.1, b.2);
-        let c = a.cross(b);
-        prop_assert!(approx_eq(c.dot(a), 0.0, 1e-9));
-        prop_assert!(approx_eq(c.dot(b), 0.0, 1e-9));
-        prop_assert!((c + b.cross(a)).norm() < 1e-12);
-    }
+        tk_assert!(approx_eq(a.norm(), b.norm(), 1e-12));
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn yinyang_vector_transform_preserves_inner_products() {
+    check(
+        "yinyang_vector_transform_preserves_inner_products",
+        |g| (sphere_point(g), vec3_components(g, 2.0), vec3_components(g, 2.0)),
+        |&(p, v1, v2)| {
+            let map = YinYangMap::new();
+            let (a1, a2, a3) = map.transform_vector(p, v1.0, v1.1, v1.2);
+            let (b1, b2, b3) = map.transform_vector(p, v2.0, v2.1, v2.2);
+            let dot_before = v1.0 * v2.0 + v1.1 * v2.1 + v1.2 * v2.2;
+            let dot_after = a1 * b1 + a2 * b2 + a3 * b3;
+            tk_assert!(
+                approx_eq(dot_before, dot_after, 1e-10),
+                "dot {dot_before} vs {dot_after}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn overset_tables_are_valid_for_any_resolution(nth in 9_usize..33, ext in 1_usize..3) {
-        let spec = PatchSpec::equal_spacing(4, nth, 0.35, 1.0).with_ext(ext);
-        // Skip configurations whose extension would reach the poles.
-        let dth = std::f64::consts::FRAC_PI_2 / (nth as f64 - 1.0);
-        prop_assume!(std::f64::consts::FRAC_PI_4 - (ext as f64 + 1.5) * dth > 0.0);
-        let grid = PatchGrid::new(spec);
-        let cols = build_overset_columns(&grid).expect("extended patches must couple");
-        let (_, gnth, gnph) = grid.dims();
-        let frame = grid.frame();
-        for col in &cols {
-            let sum: f64 = col.w.iter().sum();
-            prop_assert!(approx_eq(sum, 1.0, 1e-10));
-            prop_assert!(col.w.iter().all(|&w| (-1e-9..=1.0 + 1e-9).contains(&w)));
-            prop_assert!(col.don_j >= frame && col.don_j + 1 < gnth - frame);
-            prop_assert!(col.don_k >= frame && col.don_k + 1 < gnph - frame);
-            // Rotation is orthogonal.
-            let m = col.rot;
-            let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
-            prop_assert!(approx_eq(det, 1.0, 1e-9));
-        }
-    }
+#[test]
+fn cartesian_round_trip() {
+    check("cartesian_round_trip", sphere_point, |&p| {
+        let back = SphericalPoint::from_cartesian(p.to_cartesian());
+        tk_assert!(approx_eq(back.r, p.r, 1e-12));
+        tk_assert!(approx_eq(back.theta, p.theta, 1e-10));
+        tk_assert!(approx_eq(wrap_longitude(back.phi - p.phi), 0.0, 1e-10));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pack_unpack_round_trips(
-        nr in 2_usize..6,
-        nth in 2_usize..6,
-        nph in 2_usize..6,
-        seed in 0_u64..1000,
-    ) {
-        let shape = Shape::new(nr, nth, nph, 1, 1);
-        let src = Array3::from_fn(shape, |i, j, k| {
-            (seed as f64) + i as f64 + 10.0 * j as f64 + 100.0 * k as f64
-        });
-        let region = Region {
-            i0: 0,
-            i1: nr,
-            j0: -1,
-            j1: nth as isize + 1,
-            k0: -1,
-            k1: nph as isize + 1,
-        };
-        let mut buf = Vec::new();
-        pack_region(&src, region, &mut buf);
-        prop_assert_eq!(buf.len(), region.len());
-        let mut dst = Array3::zeros(shape);
-        let rest = unpack_region(&mut dst, region, &buf);
-        prop_assert!(rest.is_empty());
-        prop_assert_eq!(dst, src);
-    }
+#[test]
+fn basis_transform_is_orthogonal() {
+    check(
+        "basis_transform_is_orthogonal",
+        |g| (sphere_point(g), vec3_components(g, 3.0)),
+        |&(p, v)| {
+            let basis = p.basis();
+            let cart = basis.to_cartesian(v.0, v.1, v.2);
+            let norm2 = v.0 * v.0 + v.1 * v.1 + v.2 * v.2;
+            tk_assert!(approx_eq(cart.norm2(), norm2, 1e-11));
+            let (r, t, ph) = basis.from_cartesian(cart);
+            tk_assert!(approx_eq(r, v.0, 1e-10));
+            tk_assert!(approx_eq(t, v.1, 1e-10));
+            tk_assert!(approx_eq(ph, v.2, 1e-10));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn decomposition_owner_is_consistent(pth in 1_usize..4, pph in 1_usize..5) {
-        let grid = PatchGrid::new(PatchSpec::equal_spacing(4, 17, 0.35, 1.0));
-        let (_, nth, nph) = grid.dims();
-        prop_assume!(nth >= 2 * pth && nph >= 2 * pph);
-        let d = Decomp2D::new(pth, pph, &grid);
-        for j in 0..nth {
-            for k in 0..nph {
-                let owner = d.owner(j, k);
-                let tile = d.tile(owner);
-                prop_assert!(tile.contains(j, k), "owner {} does not contain ({j},{k})", owner);
+#[test]
+fn vec3_cross_is_antisymmetric_and_orthogonal() {
+    check(
+        "vec3_cross_is_antisymmetric_and_orthogonal",
+        |g| (vec3_components(g, 5.0), vec3_components(g, 5.0)),
+        |&(a, b)| {
+            let a = Vec3::new(a.0, a.1, a.2);
+            let b = Vec3::new(b.0, b.1, b.2);
+            let c = a.cross(b);
+            tk_assert!(approx_eq(c.dot(a), 0.0, 1e-9));
+            tk_assert!(approx_eq(c.dot(b), 0.0, 1e-9));
+            tk_assert!((c + b.cross(a)).norm() < 1e-12);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn overset_tables_are_valid_for_any_resolution() {
+    check_with(
+        Config::with_cases(32),
+        "overset_tables_are_valid_for_any_resolution",
+        |g| {
+            // Skip configurations whose extension would reach the poles
+            // by construction (regenerate instead of rejecting).
+            loop {
+                let nth = g.range_usize(9, 33);
+                let ext = g.range_usize(1, 3);
+                let dth = std::f64::consts::FRAC_PI_2 / (nth as f64 - 1.0);
+                if std::f64::consts::FRAC_PI_4 - (ext as f64 + 1.5) * dth > 0.0 {
+                    return (nth, ext);
+                }
             }
-        }
-    }
+        },
+        |&(nth, ext)| {
+            let spec = PatchSpec::equal_spacing(4, nth, 0.35, 1.0).with_ext(ext);
+            let grid = PatchGrid::new(spec);
+            let cols = build_overset_columns(&grid).expect("extended patches must couple");
+            let (_, gnth, gnph) = grid.dims();
+            let frame = grid.frame();
+            for col in &cols {
+                let sum: f64 = col.w.iter().sum();
+                tk_assert!(approx_eq(sum, 1.0, 1e-10), "weights sum to {sum}");
+                tk_assert!(col.w.iter().all(|&w| (-1e-9..=1.0 + 1e-9).contains(&w)));
+                tk_assert!(col.don_j >= frame && col.don_j + 1 < gnth - frame);
+                tk_assert!(col.don_k >= frame && col.don_k + 1 < gnph - frame);
+                // Rotation is orthogonal.
+                let m = col.rot;
+                let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+                tk_assert!(approx_eq(det, 1.0, 1e-9), "rotation det {det}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pack_unpack_round_trips() {
+    check_with(
+        Config::with_cases(32),
+        "pack_unpack_round_trips",
+        |g| {
+            (
+                g.range_usize(2, 6),
+                g.range_usize(2, 6),
+                g.range_usize(2, 6),
+                g.below(1000),
+            )
+        },
+        |&(nr, nth, nph, seed)| {
+            let shape = Shape::new(nr, nth, nph, 1, 1);
+            let src = Array3::from_fn(shape, |i, j, k| {
+                (seed as f64) + i as f64 + 10.0 * j as f64 + 100.0 * k as f64
+            });
+            let region = Region {
+                i0: 0,
+                i1: nr,
+                j0: -1,
+                j1: nth as isize + 1,
+                k0: -1,
+                k1: nph as isize + 1,
+            };
+            let mut buf = Vec::new();
+            pack_region(&src, region, &mut buf);
+            tk_assert_eq!(buf.len(), region.len());
+            let mut dst = Array3::zeros(shape);
+            let rest = unpack_region(&mut dst, region, &buf);
+            tk_assert!(rest.is_empty());
+            tk_assert!(dst == src, "unpacked array differs from source");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn decomposition_owner_is_consistent() {
+    check_with(
+        Config::with_cases(32),
+        "decomposition_owner_is_consistent",
+        |g| (g.range_usize(1, 4), g.range_usize(1, 5)),
+        |&(pth, pph)| {
+            let grid = PatchGrid::new(PatchSpec::equal_spacing(4, 17, 0.35, 1.0));
+            let (_, nth, nph) = grid.dims();
+            if nth < 2 * pth || nph < 2 * pph {
+                return Ok(()); // tiles would be thinner than the stencil
+            }
+            let d = Decomp2D::new(pth, pph, &grid);
+            for j in 0..nth {
+                for k in 0..nph {
+                    let owner = d.owner(j, k);
+                    let tile = d.tile(owner);
+                    tk_assert!(tile.contains(j, k), "owner {owner} does not contain ({j},{k})");
+                }
+            }
+            Ok(())
+        },
+    );
 }
