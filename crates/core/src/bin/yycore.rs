@@ -13,11 +13,26 @@
 //!   ckpt=PATH      write a checkpoint here at the end
 //!   series=PATH    write the CSV time series here
 //!   pth=N pph=N    process grid (parallel only)    [default 1x2]
+//!
+//! fault-tolerance keys (parallel only; any of them switches the run to
+//! the supervised driver, which recovers from the last checkpoint):
+//!   fault_seed=N   deterministic fault-schedule seed  [default 0]
+//!   drop=P         message drop probability (bounded retransmission)
+//!   delay=P        message delay probability
+//!   delay_us=N     maximum injected delay in microseconds [default 500]
+//!   dup=P          message duplication probability
+//!   kill_rank=N    kill this world rank ...
+//!   kill_step=N    ... at this step               [default 0]
+//!   ckpt_every=N   checkpoint every N steps       [default 0 = ends only]
+//!   deadline_ms=N  per-receive comm deadline      [default 30000]
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+use yy_parcomm::FaultSpec;
 use yycore::checkpoint::Checkpoint;
+use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
 use yycore::{run_parallel, RunConfig, SerialSim};
 
 fn main() -> ExitCode {
@@ -53,6 +68,30 @@ struct Opts {
     series: Option<PathBuf>,
     pth: usize,
     pph: usize,
+    fault_seed: u64,
+    drop: f64,
+    delay: f64,
+    delay_us: u64,
+    dup: f64,
+    kill_rank: Option<usize>,
+    kill_step: u64,
+    ckpt_every: u64,
+    deadline_ms: u64,
+}
+
+impl Opts {
+    /// Assemble the fault spec the CLI keys describe (inactive when no
+    /// fault key was given).
+    fn fault_spec(&self) -> FaultSpec {
+        let mut spec = FaultSpec::seeded(self.fault_seed)
+            .with_drop(self.drop)
+            .with_delay(self.delay, Duration::from_micros(self.delay_us))
+            .with_duplicate(self.dup);
+        if let Some(rank) = self.kill_rank {
+            spec = spec.with_kill(rank, self.kill_step);
+        }
+        spec
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -64,6 +103,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         series: None,
         pth: 1,
         pph: 2,
+        fault_seed: 0,
+        drop: 0.0,
+        delay: 0.0,
+        delay_us: 500,
+        dup: 0.0,
+        kill_rank: None,
+        kill_step: 0,
+        ckpt_every: 0,
+        deadline_ms: 30_000,
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -77,9 +125,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "series" => o.series = Some(PathBuf::from(v)),
             "pth" => o.pth = v.parse().map_err(|e| format!("pth: {e}"))?,
             "pph" => o.pph = v.parse().map_err(|e| format!("pph: {e}"))?,
+            "fault_seed" => o.fault_seed = v.parse().map_err(|e| format!("fault_seed: {e}"))?,
+            "drop" => o.drop = v.parse().map_err(|e| format!("drop: {e}"))?,
+            "delay" => o.delay = v.parse().map_err(|e| format!("delay: {e}"))?,
+            "delay_us" => o.delay_us = v.parse().map_err(|e| format!("delay_us: {e}"))?,
+            "dup" => o.dup = v.parse().map_err(|e| format!("dup: {e}"))?,
+            "kill_rank" => o.kill_rank = Some(v.parse().map_err(|e| format!("kill_rank: {e}"))?),
+            "kill_step" => o.kill_step = v.parse().map_err(|e| format!("kill_step: {e}"))?,
+            "ckpt_every" => o.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?,
+            "deadline_ms" => {
+                o.deadline_ms = v.parse().map_err(|e| format!("deadline_ms: {e}"))?
+            }
             _ => o.cfg.apply_override(k, v)?,
         }
     }
+    o.cfg.check()?;
     Ok(o)
 }
 
@@ -198,13 +258,44 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         o.pth,
         o.pph
     );
-    let rep = run_parallel(&o.cfg, o.pth, o.pph, o.steps, o.sample, false);
+    let spec = o.fault_spec();
+    // Any fault key or checkpoint request routes through the supervised
+    // driver (fault injection, health guards, checkpointed recovery).
+    let report = if spec.is_active() || o.ckpt.is_some() || o.ckpt_every > 0 {
+        let ropts = RecoveryOpts {
+            fault: spec,
+            checkpoint_every: o.ckpt_every,
+            deadline: Duration::from_millis(o.deadline_ms),
+            ..RecoveryOpts::default()
+        };
+        let sup = run_parallel_supervised(&o.cfg, o.pth, o.pph, o.steps, o.sample, &ropts)?;
+        for ev in &sup.recoveries {
+            eprintln!(
+                "recovered: pass {} failed ({}); resumed from step {}",
+                ev.pass, ev.cause, ev.resume_step
+            );
+        }
+        if sup.dt_scale != 1.0 {
+            eprintln!("health guards reduced dt by x{}", sup.dt_scale);
+        }
+        if let Some(path) = &o.ckpt {
+            sup.final_checkpoint
+                .save(path)
+                .map_err(|e| format!("writing checkpoint: {e}"))?;
+            eprintln!("wrote checkpoint to {}", path.display());
+        }
+        eprintln!("max mailbox depth observed: {}", sup.report.max_queue_depth);
+        sup.report
+    } else {
+        let rep = run_parallel(&o.cfg, o.pth, o.pph, o.steps, o.sample, false);
+        rep.report
+    };
     eprintln!(
         "traffic: halo {} KiB, overset {} KiB",
-        rep.report.halo_bytes / 1024,
-        rep.report.overset_bytes / 1024
+        report.halo_bytes / 1024,
+        report.overset_bytes / 1024
     );
-    finish(&rep.report, &o)
+    finish(&report, &o)
 }
 
 fn cmd_tables() -> Result<(), String> {

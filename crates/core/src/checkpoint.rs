@@ -1,15 +1,23 @@
 //! Binary checkpoint / restart.
 //!
 //! A checkpoint stores both panels' full state plus the simulation clock
-//! in a self-describing little-endian binary format:
+//! in a self-describing little-endian binary format (version 2):
 //!
 //! ```text
-//! magic "YYCORE\0\1"  (8 bytes)
+//! magic "YYCORE\0\2"  (8 bytes)
 //! nr, nth, nph, gth, gph : u64 × 5       (padded array geometry)
-//! step : u64 ; time : f64
+//! step : u64 ; time : f64 ; dt_cache : f64
 //! 16 arrays (8 per panel, canonical order), each the full padded
 //! storage as f64 little-endian
+//! payload_len : u64 ; crc32 : u32        (integrity footer)
 //! ```
+//!
+//! The footer covers everything before it (magic, header, and field
+//! data) with a CRC-32 (IEEE, reflected) plus the exact byte count, so
+//! [`Checkpoint::read_from`] rejects truncated or bit-flipped files with
+//! a descriptive error instead of silently misreading — a restart from
+//! silently corrupted state would poison the whole recovery chain.
+//! Version-1 files (no footer) are rejected by the magic check.
 //!
 //! Restart is bit-exact: a run continued from a checkpoint produces the
 //! same trajectory as one that never stopped (verified by an integration
@@ -20,7 +28,110 @@ use std::io::{self, Read, Write};
 use yy_field::{Array3, Shape};
 use yy_mhd::State;
 
-const MAGIC: &[u8; 8] = b"YYCORE\0\x01";
+const MAGIC: &[u8; 8] = b"YYCORE\0\x02";
+
+/// Largest accepted value for any single geometry dimension. A corrupt
+/// header must fail here, not in a multi-terabyte allocation.
+const MAX_DIM: u64 = 65_536;
+/// Largest accepted ghost width.
+const MAX_GHOST: u64 = 64;
+
+// -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC-32 accumulator.
+#[derive(Clone, Copy)]
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// Writer adapter hashing and counting everything written through it.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+    len: u64,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write_all(buf)?;
+        self.crc.update(buf);
+        self.len += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter hashing and counting everything read through it.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+    len: u64,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        self.len += n as u64;
+        Ok(n)
+    }
+}
+
+/// `read_exact` with a descriptive truncation error: a short read names
+/// what was being read instead of a bare "failed to fill whole buffer".
+fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("checkpoint truncated while reading {what}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// Checkpoint payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,9 +180,10 @@ impl Checkpoint {
         sim.dt_cache = self.dt_cache;
     }
 
-    /// Serialize to a writer.
+    /// Serialize to a writer (format v2, with integrity footer).
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
+        let mut hw = HashingWriter { inner: w, crc: Crc32::new(), len: 0 };
+        hw.write_all(MAGIC)?;
         for v in [
             self.shape.nr as u64,
             self.shape.nth as u64,
@@ -80,48 +192,102 @@ impl Checkpoint {
             self.shape.gph as u64,
             self.step,
         ] {
-            w.write_all(&v.to_le_bytes())?;
+            hw.write_all(&v.to_le_bytes())?;
         }
-        w.write_all(&self.time.to_le_bytes())?;
-        w.write_all(&self.dt_cache.to_le_bytes())?;
+        hw.write_all(&self.time.to_le_bytes())?;
+        hw.write_all(&self.dt_cache.to_le_bytes())?;
         for panel in [&self.yin, &self.yang] {
             for arr in panel.arrays() {
-                write_array(w, arr)?;
+                write_array(&mut hw, arr)?;
             }
         }
+        let payload_len = hw.len;
+        let crc = hw.crc.finish();
+        w.write_all(&payload_len.to_le_bytes())?;
+        w.write_all(&crc.to_le_bytes())?;
         Ok(())
     }
 
-    /// Deserialize from a reader.
+    /// Deserialize from a reader, verifying the length and CRC-32
+    /// footer. Truncation, bit flips, and implausible geometry all fail
+    /// with a descriptive [`io::Error`].
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Checkpoint> {
+        let mut hr = HashingReader { inner: r, crc: Crc32::new(), len: 0 };
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        read_exact_ctx(&mut hr, &mut magic, "magic")?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a yycore checkpoint"));
+            return Err(if magic[..7] == MAGIC[..7] {
+                invalid(format!(
+                    "unsupported checkpoint version {} (this build reads version {})",
+                    magic[7], MAGIC[7]
+                ))
+            } else {
+                invalid("not a yycore checkpoint (bad magic)".to_string())
+            });
         }
         let mut u = [0u8; 8];
-        let mut next_u64 = |r: &mut R| -> io::Result<u64> {
-            r.read_exact(&mut u)?;
+        let mut next_u64 = |hr: &mut HashingReader<'_, R>, what: &str| -> io::Result<u64> {
+            read_exact_ctx(hr, &mut u, what)?;
             Ok(u64::from_le_bytes(u))
         };
-        let nr = next_u64(r)? as usize;
-        let nth = next_u64(r)? as usize;
-        let nph = next_u64(r)? as usize;
-        let gth = next_u64(r)? as usize;
-        let gph = next_u64(r)? as usize;
-        let step = next_u64(r)?;
+        let nr = next_u64(&mut hr, "geometry (nr)")?;
+        let nth = next_u64(&mut hr, "geometry (nth)")?;
+        let nph = next_u64(&mut hr, "geometry (nph)")?;
+        let gth = next_u64(&mut hr, "geometry (gth)")?;
+        let gph = next_u64(&mut hr, "geometry (gph)")?;
+        let step = next_u64(&mut hr, "step counter")?;
+        for (name, v, cap) in [
+            ("nr", nr, MAX_DIM),
+            ("nth", nth, MAX_DIM),
+            ("nph", nph, MAX_DIM),
+            ("gth", gth, MAX_GHOST),
+            ("gph", gph, MAX_GHOST),
+        ] {
+            if v > cap {
+                return Err(invalid(format!(
+                    "implausible checkpoint geometry: {name} = {v} (limit {cap}); header is corrupt"
+                )));
+            }
+        }
+        if nr == 0 || nth == 0 || nph == 0 {
+            return Err(invalid(format!(
+                "implausible checkpoint geometry: nr/nth/nph = {nr}/{nth}/{nph} (must be nonzero)"
+            )));
+        }
         let mut f = [0u8; 8];
-        r.read_exact(&mut f)?;
+        read_exact_ctx(&mut hr, &mut f, "time")?;
         let time = f64::from_le_bytes(f);
-        r.read_exact(&mut f)?;
+        read_exact_ctx(&mut hr, &mut f, "dt cache")?;
         let dt_cache = f64::from_le_bytes(f);
-        let shape = Shape::new(nr, nth, nph, gth, gph);
+        let shape = Shape::new(nr as usize, nth as usize, nph as usize, gth as usize, gph as usize);
         let mut yin = State::zeros(shape);
         let mut yang = State::zeros(shape);
         for panel in [&mut yin, &mut yang] {
             for arr in panel.arrays_mut() {
-                read_array(r, arr)?;
+                read_array(&mut hr, arr)?;
             }
+        }
+        let payload_len = hr.len;
+        let crc = hr.crc.finish();
+        // The footer is read from the underlying reader: it covers the
+        // payload and must not hash itself.
+        let mut lb = [0u8; 8];
+        read_exact_ctx(r, &mut lb, "length footer")?;
+        let stored_len = u64::from_le_bytes(lb);
+        let mut cb = [0u8; 4];
+        read_exact_ctx(r, &mut cb, "CRC footer")?;
+        let stored_crc = u32::from_le_bytes(cb);
+        if stored_len != payload_len {
+            return Err(invalid(format!(
+                "checkpoint length mismatch: footer records {stored_len} payload bytes, \
+                 read {payload_len}"
+            )));
+        }
+        if stored_crc != crc {
+            return Err(invalid(format!(
+                "checkpoint CRC mismatch: stored {stored_crc:#010x}, computed {crc:#010x}; \
+                 the file is corrupt"
+            )));
         }
         Ok(Checkpoint { shape, step, time, dt_cache, yin, yang })
     }
@@ -152,7 +318,7 @@ fn write_array<W: Write>(w: &mut W, a: &Array3) -> io::Result<()> {
 fn read_array<R: Read>(r: &mut R, a: &mut Array3) -> io::Result<()> {
     let n = a.data().len();
     let mut bytes = vec![0u8; n * 8];
-    r.read_exact(&mut bytes)?;
+    read_exact_ctx(r, &mut bytes, "field data")?;
     for (i, chunk) in bytes.chunks_exact(8).enumerate() {
         a.data_mut()[i] = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
     }
@@ -164,37 +330,102 @@ mod tests {
     use super::*;
     use crate::config::RunConfig;
 
-    #[test]
-    fn round_trip_through_memory() {
+    fn reference_checkpoint(steps: u64) -> (Checkpoint, Vec<u8>) {
         let mut sim = SerialSim::new(RunConfig::small());
-        sim.run(2, 0);
+        sim.run(steps, 0);
         let ck = Checkpoint::capture(&sim);
         let mut buf = Vec::new();
         ck.write_to(&mut buf).unwrap();
+        (ck, buf)
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let (ck, buf) = reference_checkpoint(2);
         let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
         assert_eq!(back, ck);
     }
 
     #[test]
-    fn corrupt_magic_is_rejected() {
-        let mut sim = SerialSim::new(RunConfig::small());
-        sim.run(1, 0);
-        let ck = Checkpoint::capture(&sim);
-        let mut buf = Vec::new();
-        ck.write_to(&mut buf).unwrap();
-        buf[0] ^= 0xFF;
-        assert!(Checkpoint::read_from(&mut buf.as_slice()).is_err());
+    fn crc_reference_vector() {
+        // Pin the CRC-32 implementation to the standard check value.
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
     }
 
     #[test]
-    fn truncated_stream_is_rejected() {
-        let mut sim = SerialSim::new(RunConfig::small());
-        sim.run(1, 0);
-        let ck = Checkpoint::capture(&sim);
+    fn corrupt_magic_is_rejected() {
+        let (_, mut buf) = reference_checkpoint(1);
+        buf[0] ^= 0xFF;
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn old_version_is_rejected_with_version_message() {
+        let (_, mut buf) = reference_checkpoint(1);
+        buf[7] = 0x01; // pretend to be the footer-less v1 format
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected_with_context() {
+        let (_, buf) = reference_checkpoint(1);
+        // Truncation anywhere must fail: inside the header, inside the
+        // field data, and inside the footer itself.
+        for cut in [4, 40, buf.len() / 2, buf.len() - 6, buf.len() - 1] {
+            let short = &buf[..cut];
+            let err = Checkpoint::read_from(&mut &short[..]).unwrap_err();
+            assert!(
+                err.to_string().contains("truncated"),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_by_the_crc() {
+        let (_, buf) = reference_checkpoint(1);
+        // Flip one bit in the field payload (past the 64-byte header) and
+        // one in the header itself.
+        for pos in [9, 100, buf.len() / 2, buf.len() - 20] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            let err = Checkpoint::read_from(&mut bad.as_slice()).unwrap_err();
+            // Payload flips trip the CRC; header flips may instead trip
+            // the geometry cap or leave the stream short (truncation).
+            // Any descriptive rejection is acceptable, silence is not.
+            assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "flip at {pos}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_length_mismatch_is_reported() {
+        let (_, mut buf) = reference_checkpoint(1);
+        let at = buf.len() - 12; // low byte of the length footer
+        buf[at] ^= 0x01;
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+    }
+
+    #[test]
+    fn absurd_geometry_is_rejected_before_allocation() {
         let mut buf = Vec::new();
-        ck.write_to(&mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(Checkpoint::read_from(&mut buf.as_slice()).is_err());
+        buf.extend_from_slice(MAGIC);
+        // nr claims ~10^15 cells; reading must bail on the sanity cap
+        // rather than attempt the allocation.
+        for v in [1_u64 << 50, 13, 24, 2, 2, 0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&0.0_f64.to_le_bytes());
+        buf.extend_from_slice(&0.0_f64.to_le_bytes());
+        let err = Checkpoint::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,25 @@ impl RunConfig {
         RunConfig { nr: 24, nth_nominal: 25, ..Self::small() }
     }
 
+    /// Pre-flight validation: geometry large enough for the FD stencils
+    /// and the overset frame, sane stepping controls, and admissible
+    /// physics. Returns a one-line diagnostic instead of panicking.
+    pub fn check(&self) -> Result<(), String> {
+        if self.nr < 8 {
+            return Err(format!("nr must be at least 8 (got {})", self.nr));
+        }
+        if self.nth_nominal < 9 {
+            return Err(format!("nth must be at least 9 (got {})", self.nth_nominal));
+        }
+        if !(self.cfl > 0.0 && self.cfl <= 1.0) {
+            return Err(format!("cfl must lie in (0, 1] (got {})", self.cfl));
+        }
+        if self.dt_every == 0 {
+            return Err("dt_every must be at least 1".into());
+        }
+        self.params.check()
+    }
+
     /// Build the patch grid for this configuration.
     pub fn grid(&self) -> PatchGrid {
         PatchGrid::new(
@@ -125,6 +144,21 @@ mod tests {
         assert_eq!(cfg.nr, 20);
         assert_eq!(cfg.params.mu, 0.5);
         assert_eq!(cfg.mag_bc, MagneticBc::ZeroGradient);
+    }
+
+    #[test]
+    fn check_accepts_stock_configs_and_rejects_nonsense() {
+        assert_eq!(RunConfig::small().check(), Ok(()));
+        assert_eq!(RunConfig::medium().check(), Ok(()));
+        let mut cfg = RunConfig::small();
+        cfg.nr = 2;
+        assert!(cfg.check().unwrap_err().contains("nr"));
+        let mut cfg = RunConfig::small();
+        cfg.cfl = 0.0;
+        assert!(cfg.check().unwrap_err().contains("cfl"));
+        let mut cfg = RunConfig::small();
+        cfg.params.ri = 1.5;
+        assert!(cfg.check().unwrap_err().contains("ri"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod health;
 pub mod parallel;
 pub mod report;
 pub mod serial;
@@ -45,6 +46,10 @@ pub mod trace;
 pub mod transport;
 
 pub use config::RunConfig;
-pub use parallel::{run_parallel, ParallelReport};
+pub use health::{HealthGuard, HealthLimits, HealthViolation};
+pub use parallel::{
+    run_parallel, run_parallel_supervised, ParallelReport, RecoveryEvent, RecoveryOpts,
+    SupervisedReport,
+};
 pub use report::{RunReport, TimeSeriesPoint};
 pub use serial::SerialSim;

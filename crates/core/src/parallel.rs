@@ -21,10 +21,28 @@
 //!
 //! The result is bitwise identical to [`crate::serial::SerialSim`] — an
 //! integration test asserts exactly that.
+//!
+//! # Fault tolerance
+//!
+//! [`run_parallel_supervised`] wraps the same rank program in the
+//! supervised runtime: deterministic fault injection
+//! ([`yy_parcomm::fault`]), comm deadlines with bounded retry, per-step
+//! solver health guards ([`crate::health`]), and periodic parallel
+//! checkpoints. When a rank dies (injected kill, comm timeout, panic)
+//! the whole universe is torn down and restarted from the last good
+//! checkpoint; when the *solver* goes unhealthy the supervisor rolls
+//! back **and** halves the time step. Because delivery is exactly-once
+//! and in-order even under injected drops/delays/duplicates, and
+//! because the restart replays the dt/sampling cadence at absolute step
+//! numbers, a recovered run reproduces the fault-free trajectory
+//! bitwise.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
+use crate::health::{HealthGuard, HealthLimits};
 use crate::report::{RunReport, TimeSeriesPoint};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use yy_field::{pack_region, unpack_region, Array3, FlopMeter, Region};
 use yy_mesh::routing::{build_schedule, panel_of_world, OversetExchange};
 use yy_mesh::{
@@ -38,7 +56,7 @@ use yy_mhd::{
     wave_speed_max, Diagnostics, ForceTables, State,
 };
 use yy_parcomm::stats::TrafficClass;
-use yy_parcomm::{CartComm, Comm, ReduceOp, Universe};
+use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
 
 /// User-tag space for the solver's point-to-point traffic.
 const TAG_HALO_THETA: u64 = 11;
@@ -80,6 +98,314 @@ pub fn run_parallel(
         .expect("rank 0 must produce the report")
 }
 
+/// Knobs for [`run_parallel_supervised`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOpts {
+    /// Deterministic fault-injection plan (disabled by default).
+    pub fault: FaultSpec,
+    /// Capture a checkpoint every this many steps (0 = only the initial
+    /// and final states).
+    pub checkpoint_every: u64,
+    /// Per-receive communication deadline.
+    pub deadline: Duration,
+    /// Base interval of the bounded retry/limbo-pump loop.
+    pub retry_base: Duration,
+    /// Give up after this many rank-failure recoveries.
+    pub max_recoveries: u32,
+    /// Give up after this many health-triggered dt reductions.
+    pub max_dt_reductions: u32,
+    /// Solver health thresholds.
+    pub health: HealthLimits,
+}
+
+impl Default for RecoveryOpts {
+    fn default() -> Self {
+        RecoveryOpts {
+            fault: FaultSpec::disabled(),
+            checkpoint_every: 0,
+            deadline: Duration::from_secs(30),
+            retry_base: Duration::from_micros(200),
+            max_recoveries: 3,
+            max_dt_reductions: 2,
+            health: HealthLimits::default(),
+        }
+    }
+}
+
+/// One supervisor intervention: why a pass was abandoned and where the
+/// next one resumed.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// 1-based index of the pass that failed.
+    pub pass: u32,
+    /// Step of the checkpoint the next pass resumed from.
+    pub resume_step: u64,
+    /// Human-readable failure cause (rank failure or health violation).
+    pub cause: String,
+}
+
+/// Result of a supervised parallel run.
+#[derive(Debug, Clone)]
+pub struct SupervisedReport {
+    /// Metrics and diagnostic series of the *final* (successful) pass.
+    pub report: RunReport,
+    /// Checkpoint of the final state, serial-format compatible (overset
+    /// frames and wall conditions filled).
+    pub final_checkpoint: Checkpoint,
+    /// Every rollback the supervisor performed, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Time-step scale the run finished with (1.0 unless health guards
+    /// forced reductions).
+    pub dt_scale: f64,
+}
+
+/// Execute a parallel run under the fault-tolerant supervisor.
+///
+/// The rank program is [`run_parallel`]'s, plus: a `fault_tick` at the
+/// top of every step (injected kills), per-step health scans with a
+/// global verdict, and periodic checkpoint capture at rank 0. The
+/// supervisor restarts the universe from the last good checkpoint when
+/// any rank fails, and additionally halves the time step when the
+/// failure was a solver health violation. With faults that only
+/// drop/delay/duplicate messages — or a kill recovered from checkpoint —
+/// the final state is bitwise identical to an uninterrupted run.
+pub fn run_parallel_supervised(
+    cfg: &RunConfig,
+    pth: usize,
+    pph: usize,
+    steps: u64,
+    sample_every: u64,
+    opts: &RecoveryOpts,
+) -> Result<SupervisedReport, String> {
+    cfg.params.validate();
+    let tiles = pth * pph;
+    let nprocs = 2 * tiles;
+    let plan =
+        opts.fault.is_active().then(|| Arc::new(FaultPlan::new(opts.fault.clone(), nprocs)));
+    let slot: Arc<Mutex<Option<Checkpoint>>> = Arc::new(Mutex::new(None));
+    let mut recoveries = Vec::new();
+    let mut dt_scale = 1.0_f64;
+    let mut rank_recoveries = 0_u32;
+    let mut dt_reductions = 0_u32;
+    let mut pass = 0_u32;
+    loop {
+        pass += 1;
+        // Messages stuck in limbo belong to the previous (dead) pass.
+        if let Some(plan) = &plan {
+            plan.begin_pass();
+        }
+        let resume = Arc::new(slot.lock().unwrap_or_else(|e| e.into_inner()).clone());
+        let sup = SupervisedOpts {
+            fault: plan.clone(),
+            deadline: opts.deadline,
+            retry_base: opts.retry_base,
+        };
+        let cfg2 = cfg.clone();
+        let slot2 = Arc::clone(&slot);
+        let (checkpoint_every, health) = (opts.checkpoint_every, opts.health);
+        let results = Universe::run_supervised(nprocs, sup, move |world| {
+            rank_main_supervised(
+                &cfg2,
+                world,
+                pth,
+                pph,
+                steps,
+                sample_every,
+                checkpoint_every,
+                health,
+                dt_scale,
+                resume.as_ref().as_ref(),
+                &slot2,
+            )
+        });
+
+        // Classify the pass. A rank failure (kill, comm error, panic)
+        // outranks a graceful health Err: health returns are collective,
+        // so they only decide the outcome when every rank survived. Among
+        // rank failures the root cause — an injected kill — wins over
+        // the peer-death errors it cascades into.
+        let mut failure: Option<yy_parcomm::RankFailure> = None;
+        let mut health_err = None;
+        let mut report = None;
+        for r in results {
+            match r {
+                Ok(Ok(Some(rep))) => report = Some(rep),
+                Ok(Ok(None)) => {}
+                Ok(Err(h)) => {
+                    health_err.get_or_insert(h);
+                }
+                Err(f) => {
+                    let root = matches!(f.kind, yy_parcomm::FailureKind::InjectedKill { .. });
+                    if failure.is_none()
+                        || (root
+                            && !matches!(
+                                failure.as_ref().map(|p| &p.kind),
+                                Some(yy_parcomm::FailureKind::InjectedKill { .. })
+                            ))
+                    {
+                        failure = Some(f);
+                    }
+                }
+            }
+        }
+        let failure = failure.map(|f| f.to_string());
+        let resume_step =
+            slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref().map_or(0, |ck| ck.step);
+        if let Some(cause) = failure {
+            if rank_recoveries >= opts.max_recoveries {
+                return Err(format!(
+                    "giving up after {rank_recoveries} rank-failure recoveries: {cause}"
+                ));
+            }
+            rank_recoveries += 1;
+            recoveries.push(RecoveryEvent { pass, resume_step, cause });
+            continue;
+        }
+        if let Some(cause) = health_err {
+            if dt_reductions >= opts.max_dt_reductions {
+                return Err(format!(
+                    "health violations persist after {dt_reductions} dt reductions: {cause}"
+                ));
+            }
+            dt_reductions += 1;
+            dt_scale *= 0.5;
+            recoveries.push(RecoveryEvent { pass, resume_step, cause });
+            continue;
+        }
+        let rep = report.ok_or("rank 0 produced no report")?;
+        let final_checkpoint = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .ok_or("no final checkpoint was captured")?;
+        return Ok(SupervisedReport { report: rep.report, final_checkpoint, recoveries, dt_scale });
+    }
+}
+
+/// Assemble gathered panels into a serial-format-compatible
+/// [`Checkpoint`]: the gathered states carry owned values only, so the
+/// overset frames and wall conditions are refilled exactly as the serial
+/// driver's boundary synchronisation would.
+pub fn parallel_checkpoint(
+    cfg: &RunConfig,
+    mut yin: State,
+    mut yang: State,
+    step: u64,
+    time: f64,
+    dt_cache: f64,
+) -> Checkpoint {
+    let grid = cfg.grid();
+    let cols = build_overset_columns(&grid)
+        .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
+    crate::serial::fill_pair(&mut yin, &mut yang, &cols, cfg.params.t_inner, cfg.mag_bc);
+    Checkpoint { shape: yin.shape(), step, time, dt_cache, yin, yang }
+}
+
+/// The supervised rank program. Returns `Err` (on every rank, via a
+/// collective verdict) for graceful solver-health violations; comm
+/// failures and injected kills surface as panics that
+/// [`Universe::run_supervised`] converts to [`yy_parcomm::RankFailure`].
+#[allow(clippy::too_many_arguments)]
+fn rank_main_supervised(
+    cfg: &RunConfig,
+    world: Comm,
+    pth: usize,
+    pph: usize,
+    steps: u64,
+    sample_every: u64,
+    checkpoint_every: u64,
+    health: HealthLimits,
+    dt_scale: f64,
+    resume: Option<&Checkpoint>,
+    slot: &Mutex<Option<Checkpoint>>,
+) -> Result<Option<ParallelReport>, String> {
+    let tiles = pth * pph;
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph);
+    let mut dt_cache = match resume {
+        Some(ck) => {
+            solver.restore_tile(&mut state, ck);
+            ck.dt_cache
+        }
+        None => 0.0,
+    };
+    solver.sync(&mut state);
+    let mut guard = HealthGuard::new(health);
+
+    let started = Instant::now();
+    let mut series = Vec::new();
+    let record = |solver: &RankSolver, state: &State, dt: f64, series: &mut Vec<TimeSeriesPoint>| {
+        let d = solver.reduce_diag(state);
+        if solver.world.rank() == 0 {
+            series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt, diag: d });
+        }
+    };
+    record(&solver, &state, dt_cache, &mut series);
+
+    // A fresh pass seeds the checkpoint slot with the initial state so
+    // even a failure before the first periodic capture can recover.
+    if resume.is_none() {
+        solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+    }
+
+    while solver.step < steps {
+        world.fault_tick(solver.step);
+        // dt cadence at *absolute* step numbers, so a resumed pass
+        // recomputes dt at exactly the steps the clean run did.
+        if dt_cache == 0.0 || solver.step % solver.cfg.dt_every as u64 == 0 {
+            dt_cache = solver.global_dt(&state) * dt_scale;
+            if let Err(v) = guard.check_dt(dt_cache) {
+                // global_dt is allreduced, so every rank returns together.
+                return Err(format!("step {}: {v}", solver.step));
+            }
+        }
+        solver.advance(&mut state, dt_cache);
+        let local = guard.check_state(&state);
+        let verdict =
+            world.allreduce_f64(if local.is_err() { 1.0 } else { 0.0 }, ReduceOp::Max);
+        if verdict > 0.0 {
+            return Err(match local {
+                Err(v) => format!("rank {} step {}: {v}", world.rank(), solver.step),
+                Ok(()) => format!("health violation on a peer rank at step {}", solver.step),
+            });
+        }
+        if sample_every > 0 && solver.step % sample_every == 0 {
+            record(&solver, &state, dt_cache, &mut series);
+        }
+        if checkpoint_every > 0 && solver.step % checkpoint_every == 0 && solver.step < steps {
+            solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+        }
+    }
+    // Final sample (every rank joins the collective; rank 0 records only
+    // if the last loop iteration did not already sample this step).
+    let d = solver.reduce_diag(&state);
+    if world.rank() == 0 && series.last().map(|p| p.step) != Some(solver.step) {
+        series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
+    }
+
+    let (flops, halo_bytes, overset_bytes, max_queue_depth) = solver.aggregate_counters();
+    solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+
+    if world.rank() == 0 {
+        Ok(Some(ParallelReport {
+            report: RunReport {
+                time: solver.time,
+                steps,
+                flops,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                grid_points: solver.grid.total_points(),
+                halo_bytes,
+                overset_bytes,
+                max_queue_depth,
+                series,
+            },
+            yin: None,
+            yang: None,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Per-rank solver instance. The evolving `State` lives outside this
 /// struct (in `rank_main`) so boundary synchronisation can borrow the
 /// solver immutably while mutating the state.
@@ -113,55 +439,7 @@ fn rank_main(
     gather_state: bool,
 ) -> Option<ParallelReport> {
     let tiles = pth * pph;
-    let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
-    // The paper's MPI_COMM_SPLIT: color = panel, key = world rank, so the
-    // panel communicator preserves world order and panel_rank == cart rank.
-    let panel_comm = world.split(panel.index() as u64, world.rank() as i64);
-    assert_eq!(panel_comm.rank(), panel_rank);
-    let cart = CartComm::new(panel_comm, [pth, pph], [false, false]);
-
-    let grid = cfg.grid();
-    let decomp = Decomp2D::new(pth, pph, &grid);
-    let tile = decomp.tile(panel_rank);
-    let metric = Metric::new(&grid, &tile);
-    let halo = grid.spec().halo;
-    let forces = ForceTables::new(
-        &metric,
-        tile.nth,
-        tile.nph,
-        halo,
-        cfg.params.g0,
-        cfg.params.omega,
-        rotation_axis(panel),
-    );
-    let cols: Vec<OversetColumn> = build_overset_columns(&grid)
-        .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
-    let mut schedule = build_schedule(&grid, &decomp, &cols);
-    let exchange = std::mem::take(&mut schedule[world.rank()]);
-    let range = InteriorRange::for_tile(&grid, &tile);
-
-    let shape = tile.shape(&grid);
-    let mut state = State::zeros(shape);
-    initialize(&mut state, &grid, Some(&tile), &cfg.params, &cfg.init, panel);
-
-    let mut solver = RankSolver {
-        world: &world,
-        cart,
-        grid,
-        tile,
-        metric,
-        forces,
-        exchange,
-        range,
-        cfg: cfg.clone(),
-        y0: State::zeros(shape),
-        k: State::zeros(shape),
-        stage: State::zeros(shape),
-        scratch: RhsScratch::new(shape),
-        meter: FlopMeter::new(),
-        time: 0.0,
-        step: 0,
-    };
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph);
     solver.sync(&mut state);
 
     let started = Instant::now();
@@ -204,10 +482,7 @@ fn rank_main(
     }
 
     // Aggregate counters.
-    let stats = world.stats();
-    let flops = world.allreduce_f64(solver.meter.flops() as f64, ReduceOp::Sum) as u64;
-    let halo_bytes = world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
-    let overset_bytes = world.allreduce_f64(stats.bytes_overset as f64, ReduceOp::Sum) as u64;
+    let (flops, halo_bytes, overset_bytes, max_queue_depth) = solver.aggregate_counters();
 
     // Optionally gather the full panels at rank 0.
     let (yin, yang) = if gather_state {
@@ -226,6 +501,7 @@ fn rank_main(
                 grid_points: solver.grid.total_points(),
                 halo_bytes,
                 overset_bytes,
+                max_queue_depth,
                 series,
             },
             yin,
@@ -236,7 +512,64 @@ fn rank_main(
     }
 }
 
-impl RankSolver<'_> {
+impl<'a> RankSolver<'a> {
+    /// Build the per-rank solver: split the world into panel groups,
+    /// carve the Cartesian tile, precompute metric/force tables and the
+    /// overset schedule, and initialize the tile state (not yet synced).
+    fn new(cfg: &RunConfig, world: &'a Comm, pth: usize, pph: usize) -> (Self, State) {
+        let tiles = pth * pph;
+        let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
+        // The paper's MPI_COMM_SPLIT: color = panel, key = world rank, so the
+        // panel communicator preserves world order and panel_rank == cart rank.
+        let panel_comm = world.split(panel.index() as u64, world.rank() as i64);
+        assert_eq!(panel_comm.rank(), panel_rank);
+        let cart = CartComm::new(panel_comm, [pth, pph], [false, false]);
+
+        let grid = cfg.grid();
+        let decomp = Decomp2D::new(pth, pph, &grid);
+        let tile = decomp.tile(panel_rank);
+        let metric = Metric::new(&grid, &tile);
+        let halo = grid.spec().halo;
+        let forces = ForceTables::new(
+            &metric,
+            tile.nth,
+            tile.nph,
+            halo,
+            cfg.params.g0,
+            cfg.params.omega,
+            rotation_axis(panel),
+        );
+        let cols: Vec<OversetColumn> = build_overset_columns(&grid)
+            .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
+        let mut schedule = build_schedule(&grid, &decomp, &cols);
+        let exchange = std::mem::take(&mut schedule[world.rank()]);
+        let range = InteriorRange::for_tile(&grid, &tile);
+
+        let shape = tile.shape(&grid);
+        let mut state = State::zeros(shape);
+        initialize(&mut state, &grid, Some(&tile), &cfg.params, &cfg.init, panel);
+
+        let solver = RankSolver {
+            world,
+            cart,
+            grid,
+            tile,
+            metric,
+            forces,
+            exchange,
+            range,
+            cfg: cfg.clone(),
+            y0: State::zeros(shape),
+            k: State::zeros(shape),
+            stage: State::zeros(shape),
+            scratch: RhsScratch::new(shape),
+            meter: FlopMeter::new(),
+            time: 0.0,
+            step: 0,
+        };
+        (solver, state)
+    }
+
     /// Halo exchange + overset exchange + physical walls on `s`.
     fn sync(&self, s: &mut State) {
         self.halo_exchange(s);
@@ -413,6 +746,85 @@ impl RankSolver<'_> {
         self.meter.add(combine_flops);
         self.time += dt;
         self.step += 1;
+    }
+
+    /// Restore this rank's owned block from a full-panel checkpoint.
+    /// Ghosts are left for the following `sync` to fill — the synced
+    /// state is a pure function of the owned values, which is what makes
+    /// checkpointed recovery bit-exact.
+    fn restore_tile(&mut self, state: &mut State, ck: &Checkpoint) {
+        assert_eq!(
+            ck.shape,
+            self.grid.full_shape(),
+            "checkpoint geometry does not match the run configuration"
+        );
+        let tiles = self.cart.dims()[0] * self.cart.dims()[1];
+        let (panel, _) = panel_of_world(self.world.rank(), tiles);
+        let src = [&ck.yin, &ck.yang][panel.index()];
+        let nr = self.grid.spec().nr;
+        let t = &self.tile;
+        let global = Region {
+            i0: 0,
+            i1: nr,
+            j0: t.j0 as isize,
+            j1: (t.j0 + t.nth) as isize,
+            k0: t.k0 as isize,
+            k1: (t.k0 + t.nph) as isize,
+        };
+        let local = Region {
+            i0: 0,
+            i1: nr,
+            j0: 0,
+            j1: t.nth as isize,
+            k0: 0,
+            k1: t.nph as isize,
+        };
+        let mut buf = Vec::with_capacity(global.len());
+        for (src_arr, dst_arr) in src.arrays().into_iter().zip(state.arrays_mut()) {
+            buf.clear();
+            pack_region(src_arr, global, &mut buf);
+            let rest = unpack_region(dst_arr, local, &buf);
+            assert!(rest.is_empty());
+        }
+        self.time = ck.time;
+        self.step = ck.step;
+    }
+
+    /// Gather the panels and (on world rank 0) store a serial-compatible
+    /// checkpoint of the current state into the supervisor's slot. Every
+    /// rank must call this — the gather is collective.
+    fn capture_checkpoint(
+        &self,
+        state: &State,
+        tiles: usize,
+        dt_cache: f64,
+        slot: &Mutex<Option<Checkpoint>>,
+    ) {
+        let (yin, yang) = self.gather_panels(state, tiles);
+        if self.world.rank() == 0 {
+            let ck = parallel_checkpoint(
+                &self.cfg,
+                yin.expect("rank 0 gathers yin"),
+                yang.expect("rank 0 gathers yang"),
+                self.step,
+                self.time,
+                dt_cache,
+            );
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ck);
+        }
+    }
+
+    /// Allreduced run counters: (flops, halo bytes, overset bytes, max
+    /// observed mailbox depth).
+    fn aggregate_counters(&self) -> (u64, u64, u64, u64) {
+        let stats = self.world.stats();
+        let flops = self.world.allreduce_f64(self.meter.flops() as f64, ReduceOp::Sum) as u64;
+        let halo_bytes = self.world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
+        let overset_bytes =
+            self.world.allreduce_f64(stats.bytes_overset as f64, ReduceOp::Sum) as u64;
+        let max_queue_depth =
+            self.world.allreduce_f64(stats.max_queue_depth as f64, ReduceOp::Max) as u64;
+        (flops, halo_bytes, overset_bytes, max_queue_depth)
     }
 
     /// Globally reduced diagnostics (sums for energies, max for maxima).

@@ -32,6 +32,9 @@ pub struct RunReport {
     pub halo_bytes: u64,
     /// Field bytes sent between panels (overset interpolation).
     pub overset_bytes: u64,
+    /// Highest per-rank mailbox depth observed anywhere in the run
+    /// (0 for serial runs) — a backpressure indicator.
+    pub max_queue_depth: u64,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
 }

@@ -292,6 +292,7 @@ impl SerialSim {
             grid_points: self.grid.total_points(),
             halo_bytes: 0,
             overset_bytes: 0,
+            max_queue_depth: 0,
             series,
         }
     }

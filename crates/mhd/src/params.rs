@@ -95,15 +95,43 @@ impl PhysParams {
         self.g0 * (self.t_inner - 1.0) * d.powi(3) / (self.mu * self.kappa)
     }
 
+    /// Sanity-check the parameter set without panicking; the CLI uses
+    /// this as a pre-flight so bad configs exit with a diagnostic
+    /// instead of an assertion backtrace.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.gamma > 1.0) {
+            return Err(format!("γ must exceed 1 (got {})", self.gamma));
+        }
+        if !(self.mu >= 0.0 && self.kappa >= 0.0 && self.eta >= 0.0) {
+            return Err(format!(
+                "dissipation coefficients must be non-negative (µ {}, κ {}, η {})",
+                self.mu, self.kappa, self.eta
+            ));
+        }
+        if !(self.ri > 0.0 && self.ri < 1.0) {
+            return Err(format!("ri must lie in (0, 1) (got {})", self.ri));
+        }
+        if !(self.t_inner > 1.0) {
+            return Err(format!(
+                "inner wall must be hotter than outer (T(ro) = 1; t_inner {})",
+                self.t_inner
+            ));
+        }
+        if !(self.g0 >= 0.0) {
+            return Err(format!("gravity must point inward (g0 {})", self.g0));
+        }
+        if !(self.omega >= 0.0) {
+            return Err(format!("use a non-negative rotation rate (omega {})", self.omega));
+        }
+        Ok(())
+    }
+
     /// Sanity-check the parameter set; panics on nonsense values. Called
     /// by the drivers at setup.
     pub fn validate(&self) {
-        assert!(self.gamma > 1.0, "γ must exceed 1");
-        assert!(self.mu >= 0.0 && self.kappa >= 0.0 && self.eta >= 0.0, "negative dissipation");
-        assert!(self.ri > 0.0 && self.ri < 1.0, "ri must lie in (0, 1)");
-        assert!(self.t_inner > 1.0, "inner wall must be hotter than outer (T(ro) = 1)");
-        assert!(self.g0 >= 0.0, "gravity must point inward");
-        assert!(self.omega >= 0.0, "use a non-negative rotation rate");
+        if let Err(e) = self.check() {
+            panic!("invalid physics parameters: {e}");
+        }
     }
 }
 

@@ -130,24 +130,17 @@ impl Comm {
     }
 
     // -- internal plumbing (bypasses the user-tag guard) ------------------
+    //
+    // Routed through the same `post`/`take` as user traffic so collective
+    // messages get sequence numbers, fault injection, and deadline-bounded
+    // waits — a reduction can both suffer and survive message faults.
 
     fn post_internal(&self, dest: usize, tag: u64, payload: Payload) {
-        self.stats.record_send(TrafficClass::Collective, payload.byte_len());
-        let env = crate::mailbox::Envelope {
-            src_world: self.members[self.rank],
-            context: self.context,
-            tag,
-            payload,
-        };
-        self.world.mailboxes[self.members[dest]].deliver(env);
+        self.post(dest, tag, payload, TrafficClass::Collective);
     }
 
     fn take_internal(&self, src: usize, tag: u64) -> crate::mailbox::Envelope {
-        let env = self.world.mailboxes[self.members[self.rank]].recv_match(
-            self.context,
-            self.members[src],
-            tag,
-        );
+        let env = self.take(src, tag);
         self.stats.record_recv(env.payload.byte_len());
         env
     }

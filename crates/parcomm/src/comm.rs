@@ -1,16 +1,104 @@
 //! Communicators: the per-rank handle for point-to-point messaging and
 //! communicator management (`split`, à la `MPI_COMM_SPLIT`).
+//!
+//! ## Reliability layer
+//!
+//! Every send is stamped with a per-stream sequence number (see
+//! [`crate::mailbox`]) and routed through the universe's optional
+//! [`crate::fault::FaultPlan`]. Receives in a supervised universe run a
+//! bounded retry loop instead of blocking forever: each retry slice pumps
+//! the rank's fault limbo (releasing due retransmissions/delays), backs
+//! off exponentially, checks the death board, and gives up with a
+//! structured [`CommError`] when the peer is dead or the deadline
+//! expires. In a plain universe ([`crate::Universe::run`]) none of this
+//! engages and receives are the original blocking waits.
 
+use crate::fault::{FaultPlan, InjectedKill};
 use crate::mailbox::{Envelope, Mailbox, Payload};
 use crate::stats::{StatsCell, TrafficClass};
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Shared state of the whole universe: one mailbox per world rank.
+/// A structured communication failure, produced instead of hanging when
+/// the universe runs supervised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadline.
+    Timeout {
+        /// World rank of the expected sender.
+        src_world: usize,
+        /// The tag waited on.
+        tag: u64,
+        /// How long the receiver waited (milliseconds; kept integral so
+        /// the error is `Eq` and cheap to match on).
+        waited_ms: u64,
+    },
+    /// The expected sender's rank has died (panicked or was killed by
+    /// fault injection) and its already-sent messages are drained.
+    PeerDead {
+        /// World rank of the dead sender.
+        src_world: usize,
+        /// The tag waited on.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src_world, tag, waited_ms } => write!(
+                f,
+                "receive from world rank {src_world} (tag {tag}) timed out after {waited_ms} ms"
+            ),
+            CommError::PeerDead { src_world, tag } => {
+                write!(f, "world rank {src_world} died while awaited (tag {tag})")
+            }
+        }
+    }
+}
+
+/// Supervision state shared by every rank of a universe: the death
+/// board, the optional fault plan, and the receive-retry policy.
+pub(crate) struct RuntimeCtl {
+    /// `dead[w]` is set by the supervised runtime the moment world rank
+    /// `w` starts unwinding, so peers stop waiting for it.
+    pub dead: Vec<AtomicBool>,
+    /// Fault injection plan, if any.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Bound on any single receive; `None` means unbounded (plain
+    /// universes, where a missing message is a bug, not a fault).
+    pub deadline: Option<Duration>,
+    /// First retry slice of the bounded receive loop; doubles up to
+    /// 32× per wait.
+    pub retry_base: Duration,
+}
+
+impl RuntimeCtl {
+    /// Control block for a plain (unsupervised, fault-free) universe.
+    pub fn plain(nprocs: usize) -> Self {
+        RuntimeCtl {
+            dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+            fault: None,
+            deadline: None,
+            retry_base: Duration::from_micros(200),
+        }
+    }
+
+    /// Whether receives must run the bounded retry loop.
+    fn bounded(&self) -> bool {
+        self.fault.is_some() || self.deadline.is_some()
+    }
+}
+
+/// Shared state of the whole universe: one mailbox per world rank plus
+/// the supervision control block.
 pub(crate) struct WorldCore {
     pub mailboxes: Vec<Arc<Mailbox>>,
+    pub ctl: RuntimeCtl,
 }
 
 /// A communicator handle held by one rank.
@@ -30,6 +118,10 @@ pub struct Comm {
     /// Sequence number for collective operations (advances identically on
     /// every member because collectives are called in the same order).
     pub(crate) coll_seq: Cell<u64>,
+    /// Next message sequence number per `(dest world rank, tag)` stream
+    /// on this communicator (one context per handle, so the stream key is
+    /// implicit).
+    pub(crate) send_seq: RefCell<HashMap<(usize, u64), u64>>,
     /// Per-rank traffic statistics (shared across the communicators of this
     /// rank so the report covers all contexts).
     pub(crate) stats: Arc<StatsCell>,
@@ -58,9 +150,34 @@ impl Comm {
         self.members[r]
     }
 
-    /// Traffic statistics snapshot for this rank.
+    /// Traffic statistics snapshot for this rank, including the mailbox
+    /// queue-depth high-water mark and duplicate-discard count.
     pub fn stats(&self) -> crate::CommStats {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        let mb = &self.world.mailboxes[self.members[self.rank]];
+        snap.max_queue_depth = mb.max_depth() as u64;
+        snap.dups_discarded = mb.dups_discarded();
+        snap
+    }
+
+    /// Injected-fault counters for the universe, if a fault plan is
+    /// installed.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.world.ctl.fault.as_ref().map(|p| p.stats())
+    }
+
+    /// Fault-injection step hook: call once per solver step. If the
+    /// universe's fault plan schedules this rank to die at `step`, the
+    /// call unwinds with an [`InjectedKill`] payload that
+    /// [`crate::Universe::run_supervised`] reports as a
+    /// [`crate::RankFailure`].
+    pub fn fault_tick(&self, step: u64) {
+        if let Some(plan) = &self.world.ctl.fault {
+            let me = self.members[self.rank];
+            if plan.maybe_kill(me, step) {
+                std::panic::panic_any(InjectedKill { rank: me, step });
+            }
+        }
     }
 
     fn check_peer(&self, peer: usize, what: &str) {
@@ -71,16 +188,24 @@ impl Comm {
         );
     }
 
-    fn post(&self, dest: usize, tag: u64, payload: Payload, class: TrafficClass) {
+    pub(crate) fn post(&self, dest: usize, tag: u64, payload: Payload, class: TrafficClass) {
         self.check_peer(dest, "destination");
         self.stats.record_send(class, payload.byte_len());
-        let env = Envelope {
-            src_world: self.members[self.rank],
-            context: self.context,
-            tag,
-            payload,
+        let src_world = self.members[self.rank];
+        let dest_world = self.members[dest];
+        let seq = {
+            let mut map = self.send_seq.borrow_mut();
+            let c = map.entry((dest_world, tag)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
         };
-        self.world.mailboxes[self.members[dest]].deliver(env);
+        let env = Envelope { src_world, context: self.context, tag, seq, payload };
+        let mailbox = &self.world.mailboxes[dest_world];
+        match &self.world.ctl.fault {
+            Some(plan) => plan.route(src_world, dest_world, env, mailbox),
+            None => mailbox.deliver(env),
+        }
     }
 
     /// Send a slice of `f64` field data to `dest` (buffered, non-blocking).
@@ -99,15 +224,71 @@ impl Comm {
         self.post(dest, tag, Payload::Any(Box::new(value)), TrafficClass::Control);
     }
 
-    fn take(&self, src: usize, tag: u64) -> Envelope {
-        self.check_peer(src, "source");
-        let my_mb = &self.world.mailboxes[self.members[self.rank]];
-        my_mb.recv_match(self.context, self.members[src], tag)
+    /// The bounded receive loop. In a plain universe this is a direct
+    /// blocking wait; under a fault plan or deadline it retries in
+    /// exponentially growing slices, pumping the fault limbo (so dropped
+    /// messages get their simulated retransmission) and watching the
+    /// death board.
+    fn wait_match(&self, src_world: usize, tag: u64) -> Result<Envelope, CommError> {
+        let my_world = self.members[self.rank];
+        let mailbox = &self.world.mailboxes[my_world];
+        let ctl = &self.world.ctl;
+        if !ctl.bounded() {
+            return Ok(mailbox.recv_match(self.context, src_world, tag));
+        }
+        let start = Instant::now();
+        let mut slice = ctl.retry_base;
+        let slice_cap = ctl.retry_base * 32;
+        let mut retries: u64 = 0;
+        loop {
+            if let Some(plan) = &ctl.fault {
+                plan.pump(my_world, mailbox);
+            }
+            if let Some(env) = mailbox.recv_match_timeout(self.context, src_world, tag, slice) {
+                self.stats.record_retries(retries);
+                return Ok(env);
+            }
+            retries += 1;
+            if ctl.dead[src_world].load(Ordering::Acquire) {
+                // The peer died, but messages it sent before dying (or
+                // that sit in limbo) must still be receivable: drain the
+                // limbo one last time and re-scan before giving up.
+                if let Some(plan) = &ctl.fault {
+                    plan.pump(my_world, mailbox);
+                }
+                if let Some(env) = mailbox.try_match(self.context, src_world, tag) {
+                    self.stats.record_retries(retries);
+                    return Ok(env);
+                }
+                return Err(CommError::PeerDead { src_world, tag });
+            }
+            if let Some(deadline) = ctl.deadline {
+                let waited = start.elapsed();
+                if waited >= deadline {
+                    return Err(CommError::Timeout {
+                        src_world,
+                        tag,
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                }
+            }
+            slice = (slice * 2).min(slice_cap);
+        }
     }
 
-    /// Blocking receive of `f64` field data from `src`.
-    pub fn recv_f64s(&self, src: usize, tag: u64) -> Vec<f64> {
-        let env = self.take(src, tag);
+    pub(crate) fn take(&self, src: usize, tag: u64) -> Envelope {
+        self.check_peer(src, "source");
+        match self.wait_match(self.members[src], tag) {
+            Ok(env) => env,
+            // Unwind with the structured error as payload so it can
+            // cross the deep collective call stacks without threading
+            // Results through every solver signature;
+            // `Universe::run_supervised` catches and classifies it.
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
+
+    fn expect_f64s(&self, env: Envelope, src: usize, tag: u64) -> Vec<f64> {
         self.stats.record_recv(env.payload.byte_len());
         match env.payload {
             Payload::F64s(v) => v,
@@ -116,6 +297,25 @@ impl Comm {
                 self.rank
             ),
         }
+    }
+
+    /// Blocking receive of `f64` field data from `src`.
+    ///
+    /// In a supervised universe a deadline overrun or peer death unwinds
+    /// with a [`CommError`] payload (reported as a
+    /// [`crate::RankFailure`]); use [`Comm::recv_f64s_checked`] to handle
+    /// the error in place instead.
+    pub fn recv_f64s(&self, src: usize, tag: u64) -> Vec<f64> {
+        let env = self.take(src, tag);
+        self.expect_f64s(env, src, tag)
+    }
+
+    /// Like [`Comm::recv_f64s`] but returns the communication failure as
+    /// a value instead of unwinding.
+    pub fn recv_f64s_checked(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.check_peer(src, "source");
+        let env = self.wait_match(self.members[src], tag)?;
+        Ok(self.expect_f64s(env, src, tag))
     }
 
     /// Blocking receive of an arbitrary value from `src`.
@@ -142,7 +342,11 @@ impl Comm {
     /// deadlocks into failures.
     pub fn recv_f64s_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Option<Vec<f64>> {
         self.check_peer(src, "source");
-        let my_mb = &self.world.mailboxes[self.members[self.rank]];
+        let my_world = self.members[self.rank];
+        let my_mb = &self.world.mailboxes[my_world];
+        if let Some(plan) = &self.world.ctl.fault {
+            plan.pump(my_world, my_mb);
+        }
         let env = my_mb.recv_match_timeout(self.context, self.members[src], tag, timeout)?;
         self.stats.record_recv(env.payload.byte_len());
         match env.payload {
@@ -188,6 +392,7 @@ impl Comm {
             rank: my_new_rank,
             members: Arc::new(members),
             coll_seq: Cell::new(0),
+            send_seq: RefCell::new(HashMap::new()),
             stats: Arc::clone(&self.stats),
         }
     }
@@ -203,6 +408,7 @@ impl Comm {
             rank: self.rank,
             members: Arc::clone(&self.members),
             coll_seq: Cell::new(0),
+            send_seq: RefCell::new(HashMap::new()),
             stats: Arc::clone(&self.stats),
         }
     }

@@ -1,0 +1,456 @@
+//! Deterministic, seeded fault injection for the message-passing
+//! substrate.
+//!
+//! Production MPI-class codes are tested against lossy interconnects and
+//! dying ranks; this module grows that capability for the in-process
+//! universe. A [`FaultPlan`] decides, *purely from a seed and per-edge
+//! message counters*, what happens to the n-th message on each
+//! `(src, dst)` edge:
+//!
+//! * **Deliver** — the common case, untouched;
+//! * **Drop** — the transmission is lost; the envelope is held back and
+//!   only becomes visible after the simulated retransmission interval
+//!   (`resend_after × resends`), modelling a sender that retransmits
+//!   after its ack timer fires. `max_resends` bounds consecutive losses,
+//!   so delivery always converges;
+//! * **Delay** — the envelope is held for a seeded duration up to
+//!   `max_delay`, reordering it behind later traffic (the per-stream
+//!   sequence numbers in [`crate::mailbox::Mailbox`] restore order);
+//! * **Duplicate** — the envelope is delivered twice; the mailbox
+//!   discards the second copy by sequence number (exactly-once
+//!   delivery).
+//!
+//! Held envelopes live in per-destination *limbo* queues and are released
+//! by the receiving rank itself: the communicator's bounded receive loop
+//! pumps its own limbo each retry slice, so no background thread exists
+//! and a sleeping universe injects nothing.
+//!
+//! The plan can also **kill one rank at a chosen step** ([`KillSpec`]):
+//! the solver calls [`crate::Comm::fault_tick`] once per step, and the
+//! scheduled rank unwinds with an [`InjectedKill`] panic that
+//! [`crate::Universe::run_supervised`] converts into a structured
+//! [`crate::universe::RankFailure`]. The kill fires exactly once per
+//! plan, so a supervisor that restarts the universe from a checkpoint
+//! replays the remaining steps fault-free.
+//!
+//! The *schedule* — which message suffers which fate — is a pure function
+//! of `(seed, src, dst, edge counter)`, so two plans with the same seed
+//! produce identical schedules (a property test asserts this). Wall-clock
+//! release times are bounded but not bit-reproducible; they never affect
+//! solver results because the reliability layer delivers exactly-once,
+//! in order.
+
+use crate::mailbox::{Envelope, Mailbox};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Kill one rank when it reaches a given step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// World rank to kill.
+    pub rank: usize,
+    /// Step at which [`crate::Comm::fault_tick`] fires the kill.
+    pub step: u64,
+}
+
+/// Seeded description of the faults to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Master seed of the schedule.
+    pub seed: u64,
+    /// Probability a message's first transmission is lost.
+    pub drop_p: f64,
+    /// Probability a message is delayed (evaluated after `drop_p`).
+    pub delay_p: f64,
+    /// Upper bound on an injected delay.
+    pub max_delay: Duration,
+    /// Probability a message is duplicated.
+    pub duplicate_p: f64,
+    /// Simulated sender retransmission interval: a dropped message
+    /// reappears after `resends × resend_after`.
+    pub resend_after: Duration,
+    /// Bound on consecutive losses of one message (≥ 1); guarantees
+    /// retry convergence.
+    pub max_resends: u32,
+    /// Optional rank kill.
+    pub kill: Option<KillSpec>,
+}
+
+impl FaultSpec {
+    /// A plan that injects nothing (all probabilities zero, no kill).
+    pub fn disabled() -> Self {
+        FaultSpec {
+            seed: 0,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::from_millis(2),
+            duplicate_p: 0.0,
+            resend_after: Duration::from_millis(1),
+            max_resends: 3,
+            kill: None,
+        }
+    }
+
+    /// A disabled spec carrying `seed`, ready for the builder methods.
+    pub fn seeded(seed: u64) -> Self {
+        FaultSpec { seed, ..FaultSpec::disabled() }
+    }
+
+    /// Set the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Set the delay probability and maximum delay.
+    pub fn with_delay(mut self, p: f64, max: Duration) -> Self {
+        self.delay_p = p;
+        self.max_delay = max;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Schedule a one-shot rank kill.
+    pub fn with_kill(mut self, rank: usize, step: u64) -> Self {
+        self.kill = Some(KillSpec { rank, step });
+        self
+    }
+
+    /// Whether this spec injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0 || self.delay_p > 0.0 || self.duplicate_p > 0.0 || self.kill.is_some()
+    }
+}
+
+/// The seeded fate of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Lose `resends` transmissions before the retransmission arrives.
+    Drop {
+        /// Number of lost transmissions (1 ..= `max_resends`).
+        resends: u32,
+    },
+    /// Hold the message for `micros` microseconds.
+    Delay {
+        /// Injected latency in microseconds.
+        micros: u64,
+    },
+    /// Deliver the message twice.
+    Duplicate,
+}
+
+/// Panic payload used for an injected rank kill; recognised by
+/// [`crate::Universe::run_supervised`].
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedKill {
+    /// The killed world rank.
+    pub rank: usize,
+    /// The step at which the kill fired.
+    pub step: u64,
+}
+
+/// Counters of injected events (monotonic over the plan's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages whose first transmission was dropped.
+    pub dropped: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Whether the scheduled kill has fired.
+    pub kill_fired: bool,
+}
+
+/// An envelope held back by the injector.
+struct Held {
+    due: Instant,
+    env: Envelope,
+}
+
+/// A live fault injector: the seeded schedule plus the limbo queues of
+/// in-flight (dropped/delayed) messages.
+///
+/// One plan can outlive several universe incarnations — a supervisor
+/// restarting from a checkpoint keeps the same plan so the one-shot kill
+/// stays fired — but must call [`FaultPlan::begin_pass`] before each
+/// incarnation so stale limbo traffic from a torn-down universe never
+/// leaks into the next one.
+pub struct FaultPlan {
+    spec: FaultSpec,
+    /// Message counter per (src, dst) edge. Senders are single threads,
+    /// but different edges share the map, hence the mutex.
+    edges: Mutex<HashMap<(usize, usize), u64>>,
+    /// Held messages per destination rank.
+    limbo: Vec<Mutex<Vec<Held>>>,
+    kill_fired: AtomicBool,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Build a plan for a universe of `nprocs` ranks.
+    pub fn new(spec: FaultSpec, nprocs: usize) -> Self {
+        assert!(spec.max_resends >= 1, "max_resends must be at least 1");
+        assert!(
+            spec.drop_p + spec.delay_p + spec.duplicate_p <= 1.0 + 1e-12,
+            "fault probabilities must sum to at most 1"
+        );
+        FaultPlan {
+            spec,
+            edges: Mutex::new(HashMap::new()),
+            limbo: (0..nprocs).map(|_| Mutex::new(Vec::new())).collect(),
+            kill_fired: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Number of ranks this plan covers.
+    pub fn nprocs(&self) -> usize {
+        self.limbo.len()
+    }
+
+    /// The seeded fate of the `n`-th message on edge `src → dst`. Pure:
+    /// two plans with the same seed agree everywhere.
+    pub fn action(&self, src: usize, dst: usize, n: u64) -> FaultAction {
+        let s = &self.spec;
+        let h = schedule_hash(s.seed, src as u64, dst as u64, n);
+        let u = (h >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        let h2 = mix64(h ^ 0xD6E8_FEB8_6659_FD93);
+        if u < s.drop_p {
+            FaultAction::Drop { resends: 1 + (h2 % s.max_resends as u64) as u32 }
+        } else if u < s.drop_p + s.delay_p {
+            let span = s.max_delay.as_micros().max(1) as u64;
+            FaultAction::Delay { micros: h2 % span }
+        } else if u < s.drop_p + s.delay_p + s.duplicate_p {
+            FaultAction::Duplicate
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// Route one envelope from `src` to `dst`'s mailbox, applying the
+    /// scheduled fault. Called by the sender's thread under the comm
+    /// layer.
+    pub(crate) fn route(&self, src: usize, dst: usize, env: Envelope, mailbox: &Mailbox) {
+        let n = {
+            let mut edges = self.edges.lock().unwrap_or_else(|p| p.into_inner());
+            let c = edges.entry((src, dst)).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        match self.action(src, dst, n) {
+            FaultAction::Deliver => mailbox.deliver(env),
+            FaultAction::Drop { resends } => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                let due = Instant::now() + self.spec.resend_after * resends;
+                self.hold(dst, Held { due, env });
+            }
+            FaultAction::Delay { micros } => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                let due = Instant::now() + Duration::from_micros(micros);
+                self.hold(dst, Held { due, env });
+            }
+            FaultAction::Duplicate => {
+                // Only field payloads are cloneable; control payloads
+                // degrade to a plain delivery.
+                match env.try_clone() {
+                    Some(copy) => {
+                        self.duplicated.fetch_add(1, Ordering::Relaxed);
+                        mailbox.deliver(env);
+                        mailbox.deliver(copy);
+                    }
+                    None => mailbox.deliver(env),
+                }
+            }
+        }
+    }
+
+    fn hold(&self, dst: usize, held: Held) {
+        self.limbo[dst].lock().unwrap_or_else(|p| p.into_inner()).push(held);
+    }
+
+    /// Release every held message for `dst` whose due time has passed
+    /// into `mailbox`. Called by `dst`'s own receive loop each retry
+    /// slice (there is no background delivery thread).
+    pub(crate) fn pump(&self, dst: usize, mailbox: &Mailbox) {
+        let mut q = self.limbo[dst].lock().unwrap_or_else(|p| p.into_inner());
+        if q.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < q.len() {
+            if q[i].due <= now {
+                let held = q.swap_remove(i);
+                mailbox.deliver(held.env);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Number of messages currently held for `dst` (test/diagnostic
+    /// hook).
+    pub fn limbo_depth(&self, dst: usize) -> usize {
+        self.limbo[dst].lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether `rank` must die now, at `step`. Fires at most once per
+    /// plan lifetime (surviving supervisor restarts).
+    pub fn maybe_kill(&self, rank: usize, step: u64) -> bool {
+        match self.spec.kill {
+            Some(k) if k.rank == rank && k.step == step => {
+                !self.kill_fired.swap(true, Ordering::AcqRel)
+            }
+            _ => false,
+        }
+    }
+
+    /// Discard all limbo traffic. Must be called between universe
+    /// incarnations: envelopes from a torn-down universe must never be
+    /// pumped into its successor's mailboxes.
+    pub fn begin_pass(&self) {
+        for q in &self.limbo {
+            q.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        }
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            kill_fired: self.kill_fired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// SplitMix64 finalizer (same mixer the workspace PRNG seeds with; kept
+/// local so `yy-parcomm` stays dependency-free).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn schedule_hash(seed: u64, src: u64, dst: u64, n: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for w in [src, dst, n] {
+        h = mix64(h ^ w.wrapping_mul(0xA24B_AED4_963E_E407));
+    }
+    mix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Payload;
+
+    fn env(src: usize, seq: u64) -> Envelope {
+        Envelope { src_world: src, context: 0, tag: 0, seq, payload: Payload::F64s(vec![seq as f64]) }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_dependent() {
+        let spec = FaultSpec::seeded(42)
+            .with_drop(0.2)
+            .with_delay(0.2, Duration::from_millis(1))
+            .with_duplicate(0.2);
+        let a = FaultPlan::new(spec.clone(), 4);
+        let b = FaultPlan::new(spec.clone(), 4);
+        let c = FaultPlan::new(FaultSpec { seed: 43, ..spec }, 4);
+        let mut differs = false;
+        for src in 0..4 {
+            for dst in 0..4 {
+                for n in 0..64 {
+                    assert_eq!(a.action(src, dst, n), b.action(src, dst, n));
+                    differs |= a.action(src, dst, n) != c.action(src, dst, n);
+                }
+            }
+        }
+        assert!(differs, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn disabled_spec_always_delivers() {
+        let plan = FaultPlan::new(FaultSpec::disabled(), 2);
+        for n in 0..100 {
+            assert_eq!(plan.action(0, 1, n), FaultAction::Deliver);
+        }
+        assert!(!FaultSpec::disabled().is_active());
+    }
+
+    #[test]
+    fn dropped_message_surfaces_after_pump() {
+        let spec = FaultSpec {
+            drop_p: 1.0,
+            resend_after: Duration::from_micros(100),
+            ..FaultSpec::seeded(7)
+        };
+        let plan = FaultPlan::new(spec, 2);
+        let mb = Mailbox::new();
+        plan.route(0, 1, env(0, 0), &mb);
+        assert_eq!(mb.pending(), 0, "dropped transmission must not arrive immediately");
+        assert_eq!(plan.limbo_depth(1), 1);
+        // After the retransmission window the pump releases it.
+        std::thread::sleep(Duration::from_millis(2));
+        plan.pump(1, &mb);
+        assert_eq!(mb.pending(), 1);
+        assert_eq!(plan.stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_is_deduplicated_by_the_mailbox() {
+        let spec = FaultSpec { duplicate_p: 1.0, ..FaultSpec::seeded(7) };
+        let plan = FaultPlan::new(spec, 2);
+        let mb = Mailbox::new();
+        plan.route(0, 1, env(0, 0), &mb);
+        assert_eq!(plan.stats().duplicated, 1);
+        assert_eq!(mb.pending(), 1, "second copy must be discarded");
+        assert_eq!(mb.dups_discarded(), 1);
+    }
+
+    #[test]
+    fn kill_fires_exactly_once() {
+        let plan = FaultPlan::new(FaultSpec::seeded(1).with_kill(2, 5), 4);
+        assert!(!plan.maybe_kill(2, 4));
+        assert!(!plan.maybe_kill(1, 5));
+        assert!(plan.maybe_kill(2, 5));
+        assert!(!plan.maybe_kill(2, 5), "kill is one-shot");
+        assert!(plan.stats().kill_fired);
+    }
+
+    #[test]
+    fn begin_pass_clears_limbo() {
+        let spec = FaultSpec { drop_p: 1.0, ..FaultSpec::seeded(9) };
+        let plan = FaultPlan::new(spec, 2);
+        let mb = Mailbox::new();
+        plan.route(0, 1, env(0, 0), &mb);
+        assert_eq!(plan.limbo_depth(1), 1);
+        plan.begin_pass();
+        assert_eq!(plan.limbo_depth(1), 0);
+        std::thread::sleep(Duration::from_millis(2));
+        plan.pump(1, &mb);
+        assert_eq!(mb.pending(), 0, "cleared limbo must not deliver");
+    }
+}

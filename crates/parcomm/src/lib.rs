@@ -27,18 +27,31 @@
 //!
 //! Misuse (wrong payload type, rank out of range) panics with a clear
 //! message — the moral equivalent of `MPI_Abort`.
+//!
+//! ## Fault tolerance
+//!
+//! [`Universe::run_supervised`] launches the same rank team under a
+//! supervisor: receives are deadline-bounded with exponential-backoff
+//! retry (giving a structured [`CommError`] instead of a hang), a seeded
+//! [`fault::FaultPlan`] can drop/delay/duplicate messages or kill a rank
+//! at a chosen step, per-stream sequence numbers in the mailbox restore
+//! exactly-once in-order delivery under those faults, and a panicking
+//! rank is reported as a [`RankFailure`] value while its peers keep
+//! running. See `DESIGN.md` § "Fault model and recovery".
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod mailbox;
 pub mod stats;
 pub mod topology;
 pub mod universe;
 
-pub use comm::{Comm, RecvFuture};
+pub use comm::{Comm, CommError, RecvFuture};
+pub use fault::{FaultPlan, FaultSpec, FaultStats, KillSpec};
 pub use stats::CommStats;
 pub use topology::CartComm;
-pub use universe::Universe;
+pub use universe::{FailureKind, RankFailure, SupervisedOpts, Universe};
 
 /// Reduction operations supported by the collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -2,26 +2,46 @@
 //!
 //! Each rank owns one mailbox. A message is an [`Envelope`] carrying the
 //! sending rank (world numbering), a communicator context id, a user tag,
-//! and the payload. Receives match FIFO per `(context, src, tag)` — the
-//! same matching rule MPI uses (we do not implement wildcards; the solver
-//! never needs them).
+//! a per-stream sequence number, and the payload. Receives match per
+//! `(context, src, tag)` — the same matching rule MPI uses (we do not
+//! implement wildcards; the solver never needs them).
+//!
+//! ## Exactly-once, in-order delivery
+//!
+//! The fault injector ([`crate::fault`]) can duplicate messages and
+//! reorder them (a delayed envelope surfaces behind later traffic). The
+//! mailbox restores the reliable-transport contract with per-stream
+//! sequence numbers: the sender stamps each message on a
+//! `(context, src, tag)` stream with an ascending `seq`, and the mailbox
+//! keeps a cursor of the next expected `seq` per stream:
+//!
+//! * a delivery whose `seq` is behind the cursor, or equal to an
+//!   already-queued envelope of the same stream, is a duplicate and is
+//!   discarded (counted in [`Mailbox::dups_discarded`]);
+//! * a receive only matches the envelope carrying exactly the cursor
+//!   `seq`, then advances the cursor — out-of-order arrivals wait in the
+//!   queue until their predecessors surface.
+//!
+//! On the fault-free path every stream arrives pre-sorted, the cursor
+//! check degenerates to the old FIFO scan, and the overhead is one
+//! `HashMap` lookup per message.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` only, so the crate carries no
 //! external dependencies. Two `std`-specific hazards are handled
 //! explicitly:
 //!
 //! * **Poisoning** — a panicking rank poisons the queue mutex. The
-//!   mailbox recovers the guard instead of propagating: the queue is a
-//!   plain `VecDeque` and every critical section leaves it structurally
+//!   mailbox recovers the guard instead of propagating: the state is
+//!   plain collections and every critical section leaves it structurally
 //!   valid, so surviving ranks can keep draining messages while the
-//!   panic unwinds (exactly what the deadlock-to-failure test timeouts
-//!   need in order to report the *original* panic, not a poison error).
+//!   panic unwinds (exactly what the supervised runtime needs in order
+//!   to report the *original* failure, not a poison error).
 //! * **Spurious wakeups** — `Condvar::wait_timeout` may return early
 //!   with no notification; all waits loop around a deadline and re-check
 //!   the match predicate every iteration.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -54,6 +74,8 @@ pub struct Envelope {
     pub context: u64,
     /// User tag.
     pub tag: u64,
+    /// Position in the `(context, src, tag)` stream, ascending from 0.
+    pub seq: u64,
     /// The message contents.
     pub payload: Payload,
 }
@@ -62,12 +84,58 @@ impl Envelope {
     fn matches(&self, context: u64, src_world: usize, tag: u64) -> bool {
         self.context == context && self.src_world == src_world && self.tag == tag
     }
+
+    fn stream(&self) -> (u64, usize, u64) {
+        (self.context, self.src_world, self.tag)
+    }
+
+    /// Clone the envelope if the payload is cloneable (field data).
+    /// Control payloads (`Payload::Any`) are opaque boxes and cannot be
+    /// duplicated; the fault injector degrades to a single delivery.
+    pub(crate) fn try_clone(&self) -> Option<Envelope> {
+        match &self.payload {
+            Payload::F64s(v) => Some(Envelope {
+                src_world: self.src_world,
+                context: self.context,
+                tag: self.tag,
+                seq: self.seq,
+                payload: Payload::F64s(v.clone()),
+            }),
+            Payload::Any(_) => None,
+        }
+    }
+}
+
+/// Queue plus reliability state, guarded by one mutex.
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<Envelope>,
+    /// Next expected `seq` per `(context, src, tag)` stream.
+    cursors: HashMap<(u64, usize, u64), u64>,
+    /// High-water mark of the queue length.
+    max_depth: usize,
+    /// Deliveries discarded as duplicates.
+    dups_discarded: u64,
+}
+
+impl Inner {
+    /// Remove and return the in-order head of stream
+    /// `(context, src_world, tag)` if it has arrived.
+    fn take_match(&mut self, context: u64, src_world: usize, tag: u64) -> Option<Envelope> {
+        let cursor = *self.cursors.get(&(context, src_world, tag)).unwrap_or(&0);
+        let pos = self
+            .queue
+            .iter()
+            .position(|e| e.matches(context, src_world, tag) && e.seq == cursor)?;
+        self.cursors.insert((context, src_world, tag), cursor + 1);
+        self.queue.remove(pos)
+    }
 }
 
 /// One rank's incoming queue.
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    state: Mutex<Inner>,
     signal: Condvar,
 }
 
@@ -77,29 +145,39 @@ impl Mailbox {
         Mailbox::default()
     }
 
-    /// Lock the queue, recovering from poisoning (see module docs).
-    fn lock(&self) -> MutexGuard<'_, VecDeque<Envelope>> {
-        self.queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// Lock the state, recovering from poisoning (see module docs).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Deposit a message (called by the sender's thread).
+    /// Deposit a message (called by the sender's thread). Duplicate
+    /// deliveries — same stream and `seq` as one already received or
+    /// queued — are discarded.
     pub fn deliver(&self, env: Envelope) {
-        let mut q = self.lock();
-        q.push_back(env);
+        let mut inner = self.lock();
+        let cursor = *inner.cursors.get(&env.stream()).unwrap_or(&0);
+        let already_queued =
+            || inner.queue.iter().any(|e| e.stream() == env.stream() && e.seq == env.seq);
+        if env.seq < cursor || already_queued() {
+            inner.dups_discarded += 1;
+            return;
+        }
+        inner.queue.push_back(env);
+        inner.max_depth = inner.max_depth.max(inner.queue.len());
         // Receivers matching on a different (src, tag) may also be parked;
         // wake them all and let them re-scan.
         self.signal.notify_all();
     }
 
-    /// Block until a message matching `(context, src_world, tag)` is
-    /// available, remove and return it. FIFO among matching messages.
+    /// Block until the in-order head of stream `(context, src_world,
+    /// tag)` is available, remove and return it.
     pub fn recv_match(&self, context: u64, src_world: usize, tag: u64) -> Envelope {
-        let mut q = self.lock();
+        let mut inner = self.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(context, src_world, tag)) {
-                return q.remove(pos).expect("position was just found");
+            if let Some(env) = inner.take_match(context, src_world, tag) {
+                return env;
             }
-            q = match self.signal.wait(q) {
+            inner = match self.signal.wait(inner) {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
@@ -108,12 +186,13 @@ impl Mailbox {
 
     /// Like [`Mailbox::recv_match`] but gives up after `timeout`.
     ///
-    /// Used by tests to turn would-be deadlocks into failures. A message
-    /// delivered in the race window between the condvar timing out and
-    /// this thread re-acquiring the lock is still received: the final
-    /// re-scan below runs under the lock *after* the timeout fires, so
-    /// the outcome is always either `Some(matching message)` or `None`
-    /// with the queue untouched — never a lost message.
+    /// Used by the deadline-bounded comm layer (and by tests, to turn
+    /// would-be deadlocks into failures). A message delivered in the race
+    /// window between the condvar timing out and this thread re-acquiring
+    /// the lock is still received: the final re-scan below runs under the
+    /// lock *after* the timeout fires, so the outcome is always either
+    /// `Some(matching message)` or `None` with the queue untouched —
+    /// never a lost message.
     pub fn recv_match_timeout(
         &self,
         context: u64,
@@ -122,10 +201,10 @@ impl Mailbox {
         timeout: Duration,
     ) -> Option<Envelope> {
         let deadline = Instant::now() + timeout;
-        let mut q = self.lock();
+        let mut inner = self.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(context, src_world, tag)) {
-                return q.remove(pos);
+            if let Some(env) = inner.take_match(context, src_world, tag) {
+                return Some(env);
             }
             // `wait_timeout` takes a duration, not a deadline; recompute
             // the remaining budget each pass so spurious wakeups don't
@@ -134,27 +213,42 @@ impl Mailbox {
             if now >= deadline {
                 return None;
             }
-            let (guard, result) = match self.signal.wait_timeout(q, deadline - now) {
+            let (guard, result) = match self.signal.wait_timeout(inner, deadline - now) {
                 Ok(pair) => pair,
-                Err(poisoned) => {
-                    let (guard, result) = poisoned.into_inner();
-                    (guard, result)
-                }
+                Err(poisoned) => poisoned.into_inner(),
             };
-            q = guard;
+            inner = guard;
             if result.timed_out() {
                 // One more scan after the timeout fires, then give up.
-                if let Some(pos) = q.iter().position(|e| e.matches(context, src_world, tag)) {
-                    return q.remove(pos);
-                }
-                return None;
+                return inner.take_match(context, src_world, tag);
             }
         }
     }
 
+    /// Non-blocking: take the in-order head of the stream if present.
+    pub fn try_match(&self, context: u64, src_world: usize, tag: u64) -> Option<Envelope> {
+        self.lock().take_match(context, src_world, tag)
+    }
+
     /// Number of queued (undelivered) messages; used by shutdown checks.
     pub fn pending(&self) -> usize {
-        self.lock().len()
+        self.lock().queue.len()
+    }
+
+    /// Current queue depth (alias of [`Mailbox::pending`], named for the
+    /// stats surface).
+    pub fn peek_depth(&self) -> usize {
+        self.pending()
+    }
+
+    /// High-water mark of the queue depth over the mailbox lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// Number of duplicate deliveries discarded by the sequence check.
+    pub fn dups_discarded(&self) -> u64 {
+        self.lock().dups_discarded
     }
 }
 
@@ -163,8 +257,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn env(src: usize, ctx: u64, tag: u64, val: f64) -> Envelope {
-        Envelope { src_world: src, context: ctx, tag, payload: Payload::F64s(vec![val]) }
+    fn env(src: usize, ctx: u64, tag: u64, seq: u64, val: f64) -> Envelope {
+        Envelope { src_world: src, context: ctx, tag, seq, payload: Payload::F64s(vec![val]) }
     }
 
     fn value(e: Envelope) -> f64 {
@@ -177,8 +271,8 @@ mod tests {
     #[test]
     fn fifo_per_matching_key() {
         let mb = Mailbox::new();
-        mb.deliver(env(0, 1, 7, 1.0));
-        mb.deliver(env(0, 1, 7, 2.0));
+        mb.deliver(env(0, 1, 7, 0, 1.0));
+        mb.deliver(env(0, 1, 7, 1, 2.0));
         assert_eq!(value(mb.recv_match(1, 0, 7)), 1.0);
         assert_eq!(value(mb.recv_match(1, 0, 7)), 2.0);
     }
@@ -186,10 +280,10 @@ mod tests {
     #[test]
     fn matching_respects_context_src_and_tag() {
         let mb = Mailbox::new();
-        mb.deliver(env(0, 1, 7, 1.0));
-        mb.deliver(env(2, 1, 7, 2.0)); // different src
-        mb.deliver(env(0, 9, 7, 3.0)); // different context
-        mb.deliver(env(0, 1, 8, 4.0)); // different tag
+        mb.deliver(env(0, 1, 7, 0, 1.0));
+        mb.deliver(env(2, 1, 7, 0, 2.0)); // different src
+        mb.deliver(env(0, 9, 7, 0, 3.0)); // different context
+        mb.deliver(env(0, 1, 8, 0, 4.0)); // different tag
         assert_eq!(value(mb.recv_match(1, 2, 7)), 2.0);
         assert_eq!(value(mb.recv_match(9, 0, 7)), 3.0);
         assert_eq!(value(mb.recv_match(1, 0, 8)), 4.0);
@@ -203,14 +297,14 @@ mod tests {
         let mb2 = Arc::clone(&mb);
         let handle = std::thread::spawn(move || value(mb2.recv_match(1, 0, 0)));
         std::thread::sleep(Duration::from_millis(20));
-        mb.deliver(env(0, 1, 0, 42.0));
+        mb.deliver(env(0, 1, 0, 0, 42.0));
         assert_eq!(handle.join().unwrap(), 42.0);
     }
 
     #[test]
     fn timeout_returns_none_when_no_match() {
         let mb = Mailbox::new();
-        mb.deliver(env(0, 1, 0, 1.0));
+        mb.deliver(env(0, 1, 0, 0, 1.0));
         let got = mb.recv_match_timeout(1, 0, 99, Duration::from_millis(10));
         assert!(got.is_none());
         assert_eq!(mb.pending(), 1);
@@ -224,8 +318,55 @@ mod tests {
             mb2.recv_match_timeout(1, 0, 0, Duration::from_secs(5)).map(value)
         });
         std::thread::sleep(Duration::from_millis(20));
-        mb.deliver(env(0, 1, 0, 8.0));
+        mb.deliver(env(0, 1, 0, 0, 8.0));
         assert_eq!(handle.join().unwrap(), Some(8.0));
+    }
+
+    /// Out-of-order arrivals (a delayed envelope surfacing late) are
+    /// re-sequenced: the receiver sees stream order, not arrival order.
+    #[test]
+    fn out_of_order_arrivals_are_resequenced() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7, 1, 20.0));
+        mb.deliver(env(0, 1, 7, 2, 30.0));
+        // seq 0 hasn't arrived; nothing matches yet.
+        assert!(mb.try_match(1, 0, 7).is_none());
+        mb.deliver(env(0, 1, 7, 0, 10.0));
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 10.0);
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 20.0);
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 30.0);
+    }
+
+    /// Duplicate deliveries — whether the original is still queued or
+    /// already received — are discarded and counted.
+    #[test]
+    fn duplicates_are_discarded() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7, 0, 1.0));
+        mb.deliver(env(0, 1, 7, 0, 1.0)); // dup while original queued
+        assert_eq!(mb.pending(), 1);
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 1.0);
+        mb.deliver(env(0, 1, 7, 0, 1.0)); // dup after receipt (seq < cursor)
+        assert_eq!(mb.pending(), 0);
+        assert_eq!(mb.dups_discarded(), 2);
+        // A *new* message on the stream still gets through.
+        mb.deliver(env(0, 1, 7, 1, 2.0));
+        assert_eq!(value(mb.recv_match(1, 0, 7)), 2.0);
+    }
+
+    #[test]
+    fn depth_stats_track_the_high_water_mark() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.peek_depth(), 0);
+        assert_eq!(mb.max_depth(), 0);
+        mb.deliver(env(0, 1, 0, 0, 1.0));
+        mb.deliver(env(0, 1, 1, 0, 2.0));
+        mb.deliver(env(0, 1, 2, 0, 3.0));
+        assert_eq!(mb.peek_depth(), 3);
+        let _ = mb.recv_match(1, 0, 0);
+        let _ = mb.recv_match(1, 0, 1);
+        assert_eq!(mb.peek_depth(), 1);
+        assert_eq!(mb.max_depth(), 3, "high-water mark survives draining");
     }
 
     /// Regression test for the post-timeout re-scan: deliveries that race
@@ -249,7 +390,7 @@ mod tests {
             if trial % 3 == 0 {
                 std::thread::sleep(Duration::from_micros(400));
             }
-            mb.deliver(env(0, 1, 0, 3.5));
+            mb.deliver(env(0, 1, 0, 0, 3.5));
             match recv.join().unwrap() {
                 Some(v) => {
                     assert_eq!(v, 3.5);
@@ -275,12 +416,12 @@ mod tests {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
         let _ = std::thread::spawn(move || {
-            let _guard = mb2.queue.lock().unwrap();
+            let _guard = mb2.state.lock().unwrap();
             panic!("poison the mailbox mutex");
         })
         .join();
         // The mutex is now poisoned; all operations must still work.
-        mb.deliver(env(0, 1, 0, 1.25));
+        mb.deliver(env(0, 1, 0, 0, 1.25));
         assert_eq!(mb.pending(), 1);
         assert_eq!(value(mb.recv_match(1, 0, 0)), 1.25);
         assert!(mb.recv_match_timeout(1, 0, 0, Duration::from_millis(5)).is_none());

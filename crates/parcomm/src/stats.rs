@@ -34,6 +34,7 @@ pub struct StatsCell {
     bytes_control: AtomicU64,
     msgs_recv: AtomicU64,
     bytes_recv: AtomicU64,
+    recv_retries: AtomicU64,
 }
 
 impl StatsCell {
@@ -60,6 +61,13 @@ impl StatsCell {
         self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Count `n` empty retry slices spent inside one bounded receive.
+    pub fn record_retries(&self, n: u64) {
+        if n > 0 {
+            self.recv_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// An immutable copy of the current counters.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
@@ -70,6 +78,9 @@ impl StatsCell {
             bytes_control: self.bytes_control.load(Ordering::Relaxed),
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            recv_retries: self.recv_retries.load(Ordering::Relaxed),
+            max_queue_depth: 0,
+            dups_discarded: 0,
         }
     }
 }
@@ -91,6 +102,15 @@ pub struct CommStats {
     pub msgs_recv: u64,
     /// Bytes received.
     pub bytes_recv: u64,
+    /// Empty retry slices spent in bounded receives (0 on the fault-free
+    /// fast path).
+    pub recv_retries: u64,
+    /// High-water mark of this rank's mailbox queue depth (filled in by
+    /// [`crate::Comm::stats`]; soak tests assert it stays bounded under
+    /// delay injection).
+    pub max_queue_depth: u64,
+    /// Duplicate deliveries discarded by the sequence check.
+    pub dups_discarded: u64,
 }
 
 impl CommStats {
@@ -115,6 +135,11 @@ impl CommStats {
             bytes_control: self.bytes_control + other.bytes_control,
             msgs_recv: self.msgs_recv + other.msgs_recv,
             bytes_recv: self.bytes_recv + other.bytes_recv,
+            recv_retries: self.recv_retries + other.recv_retries,
+            // A high-water mark aggregates by max, not sum: the merged
+            // value answers "how deep did any one queue get".
+            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+            dups_discarded: self.dups_discarded + other.dups_discarded,
         }
     }
 }
@@ -153,5 +178,20 @@ mod tests {
         assert_eq!(m.msgs_sent, 5);
         assert_eq!(m.bytes_halo, 10);
         assert_eq!(m.bytes_overset, 7);
+    }
+
+    #[test]
+    fn merged_takes_max_of_the_depth_high_water() {
+        let mut a = CommStats::default();
+        a.max_queue_depth = 5;
+        a.recv_retries = 2;
+        let mut b = CommStats::default();
+        b.max_queue_depth = 3;
+        b.recv_retries = 1;
+        b.dups_discarded = 4;
+        let m = a.merged(b);
+        assert_eq!(m.max_queue_depth, 5, "high-water mark merges by max");
+        assert_eq!(m.recv_retries, 3);
+        assert_eq!(m.dups_discarded, 4);
     }
 }

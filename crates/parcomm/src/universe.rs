@@ -1,46 +1,154 @@
 //! The universe: spawn one thread per rank and hand each a world
 //! communicator. The moral equivalent of `mpirun -np N`.
+//!
+//! Two launch modes exist:
+//!
+//! * [`Universe::run`] — the original fail-fast launcher: any rank panic
+//!   propagates to the caller after all threads are joined (the analogue
+//!   of a failing `MPI_Abort`).
+//! * [`Universe::run_supervised`] — the fault-tolerant launcher: each
+//!   rank's panic is caught, classified into a structured
+//!   [`RankFailure`] (injected kill, communication error, or genuine
+//!   panic), and returned as that rank's `Err` result while the other
+//!   ranks run to completion (their receives from the dead rank resolve
+//!   to [`CommError::PeerDead`] via the shared death board). A
+//!   supervisor can then decide to restart from a checkpoint.
 
-use crate::comm::{Comm, WorldCore};
+use crate::comm::{Comm, CommError, RuntimeCtl, WorldCore};
+use crate::fault::{FaultPlan, InjectedKill};
 use crate::mailbox::Mailbox;
 use crate::stats::StatsCell;
 use std::cell::Cell;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
 /// Launcher for fixed-size rank teams.
 pub struct Universe;
 
-impl Universe {
-    /// Run `body` on `nprocs` rank threads; returns each rank's result in
-    /// rank order. Panics in any rank propagate (after all threads have
-    /// been joined or abandoned) — the analogue of a failing `MPI_Abort`.
-    pub fn run<F, R>(nprocs: usize, body: F) -> Vec<R>
-    where
-        F: Fn(Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(nprocs >= 1, "universe needs at least one rank");
-        let world = Arc::new(WorldCore {
-            mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
-        });
-        let members: Arc<Vec<usize>> = Arc::new((0..nprocs).collect());
+/// Why a supervised rank failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The fault plan killed the rank at the given step.
+    InjectedKill {
+        /// Step at which the kill fired.
+        step: u64,
+    },
+    /// A bounded receive gave up (timeout or peer death).
+    Comm(CommError),
+    /// Any other panic (solver assertion, health guard, bug).
+    Panic,
+}
 
+/// One rank's failure, as reported by [`Universe::run_supervised`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankFailure {
+    /// World rank that failed.
+    pub rank: usize,
+    /// Classified cause.
+    pub kind: FailureKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}: {}", self.rank, self.message)
+    }
+}
+
+/// Options for [`Universe::run_supervised`].
+pub struct SupervisedOpts {
+    /// Fault plan to install (None: run clean but still supervised).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Deadline for every individual receive. Defaults to 5 s — long
+    /// enough that a healthy-but-slow peer never trips it, short enough
+    /// that a soak test finishes.
+    pub deadline: Duration,
+    /// First retry slice of the bounded receive loop.
+    pub retry_base: Duration,
+}
+
+impl Default for SupervisedOpts {
+    fn default() -> Self {
+        SupervisedOpts {
+            fault: None,
+            deadline: Duration::from_secs(5),
+            retry_base: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Install a panic-hook filter (once per process) that silences the
+/// default "thread panicked" stderr spew for *expected* unwinds — the
+/// injected kills and structured comm errors that the supervised runtime
+/// catches and reports as values. All other panics keep the default
+/// output.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = info.payload().is::<InjectedKill>() || info.payload().is::<CommError>();
+            if !quiet {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Classify a caught panic payload into a [`RankFailure`].
+fn classify(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure {
+    if let Some(kill) = payload.downcast_ref::<InjectedKill>() {
+        return RankFailure {
+            rank,
+            kind: FailureKind::InjectedKill { step: kill.step },
+            message: format!("injected kill at step {}", kill.step),
+        };
+    }
+    if let Some(err) = payload.downcast_ref::<CommError>() {
+        return RankFailure { rank, kind: FailureKind::Comm(*err), message: err.to_string() };
+    }
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>");
+    RankFailure { rank, kind: FailureKind::Panic, message: msg.to_string() }
+}
+
+impl Universe {
+    fn spawn_all<F, B, R, W>(nprocs: usize, world: Arc<WorldCore>, body: F, wrap: W) -> Vec<R>
+    where
+        F: Fn(Comm) -> B + Send + Sync,
+        B: Send,
+        R: Send,
+        W: Fn(usize, &Arc<WorldCore>, &dyn Fn() -> B) -> R + Send + Sync,
+    {
+        let members: Arc<Vec<usize>> = Arc::new((0..nprocs).collect());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nprocs);
             for rank in 0..nprocs {
                 let world = Arc::clone(&world);
                 let members = Arc::clone(&members);
                 let body = &body;
+                let wrap = &wrap;
                 handles.push(scope.spawn(move || {
-                    let comm = Comm {
-                        world,
-                        context: 0,
-                        rank,
-                        members,
-                        coll_seq: Cell::new(0),
-                        stats: Arc::new(StatsCell::new()),
+                    let run = || {
+                        let comm = Comm {
+                            world: Arc::clone(&world),
+                            context: 0,
+                            rank,
+                            members: Arc::clone(&members),
+                            coll_seq: Cell::new(0),
+                            send_seq: RefCell::new(HashMap::new()),
+                            stats: Arc::new(StatsCell::new()),
+                        };
+                        body(comm)
                     };
-                    body(comm)
+                    wrap(rank, &world, &run)
                 }));
             }
             handles
@@ -60,11 +168,76 @@ impl Universe {
                 .collect()
         })
     }
+
+    /// Run `body` on `nprocs` rank threads; returns each rank's result in
+    /// rank order. Panics in any rank propagate (after all threads have
+    /// been joined or abandoned) — the analogue of a failing `MPI_Abort`.
+    pub fn run<F, R>(nprocs: usize, body: F) -> Vec<R>
+    where
+        F: Fn(Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(nprocs >= 1, "universe needs at least one rank");
+        let world = Arc::new(WorldCore {
+            mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
+            ctl: RuntimeCtl::plain(nprocs),
+        });
+        Self::spawn_all(nprocs, world, body, |_rank, _world, run| run())
+    }
+
+    /// Run `body` on `nprocs` supervised rank threads: every receive is
+    /// deadline-bounded, the optional fault plan injects its schedule,
+    /// and a panicking rank becomes an `Err(RankFailure)` entry instead
+    /// of tearing the caller down. The moment a rank starts unwinding it
+    /// is marked on the shared death board, so peers blocked on it
+    /// resolve to [`CommError::PeerDead`] after draining any messages it
+    /// did send.
+    pub fn run_supervised<F, R>(
+        nprocs: usize,
+        opts: SupervisedOpts,
+        body: F,
+    ) -> Vec<Result<R, RankFailure>>
+    where
+        F: Fn(Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(nprocs >= 1, "universe needs at least one rank");
+        if let Some(plan) = &opts.fault {
+            assert!(
+                plan.nprocs() >= nprocs,
+                "fault plan covers {} ranks but universe has {nprocs}",
+                plan.nprocs()
+            );
+        }
+        install_quiet_hook();
+        let world = Arc::new(WorldCore {
+            mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
+            ctl: RuntimeCtl {
+                dead: (0..nprocs).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+                fault: opts.fault.clone(),
+                deadline: Some(opts.deadline),
+                retry_base: opts.retry_base,
+            },
+        });
+        Self::spawn_all(nprocs, world, body, |rank, world, run| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+            match result {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    // Mark the death in the failing thread itself, before
+                    // join, so peers stop waiting promptly.
+                    world.ctl.dead[rank].store(true, Ordering::Release);
+                    Err(classify(rank, payload))
+                }
+            }
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use crate::stats::TrafficClass;
 
     #[test]
@@ -215,6 +388,8 @@ mod tests {
             assert_eq!(s.field_bytes_sent(), 880);
             assert_eq!(s.msgs_recv, 2);
             assert_eq!(s.bytes_recv, 880);
+            assert!(s.max_queue_depth >= 1, "depth high-water must register");
+            assert_eq!(s.dups_discarded, 0);
         }
     }
 
@@ -236,5 +411,144 @@ mod tests {
             comm.send(peer, 0, 5_u32);
             let _: String = comm.recv(peer, 0);
         });
+    }
+
+    #[test]
+    fn supervised_clean_run_returns_all_ok() {
+        let out = Universe::run_supervised(3, SupervisedOpts::default(), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_f64s(next, 1, vec![comm.rank() as f64], TrafficClass::Control);
+            comm.recv_f64s(prev, 1)[0]
+        });
+        assert_eq!(out.len(), 3);
+        for (rank, r) in out.into_iter().enumerate() {
+            let prev = (rank + 2) % 3;
+            assert_eq!(r.expect("clean run must succeed"), prev as f64);
+        }
+    }
+
+    #[test]
+    fn supervised_injected_kill_is_reported_and_contained() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(3).with_kill(1, 2), 3));
+        let opts = SupervisedOpts {
+            fault: Some(Arc::clone(&plan)),
+            deadline: Duration::from_millis(500),
+            ..SupervisedOpts::default()
+        };
+        // Ranks count steps locally (no p2p), so only rank 1 dies.
+        let out = Universe::run_supervised(3, opts, |comm| {
+            for step in 0..5_u64 {
+                comm.fault_tick(step);
+            }
+            comm.rank()
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Ok(2));
+        let failure = out[1].as_ref().expect_err("rank 1 must be killed");
+        assert_eq!(failure.rank, 1);
+        assert_eq!(failure.kind, FailureKind::InjectedKill { step: 2 });
+    }
+
+    #[test]
+    fn supervised_peer_death_unblocks_receivers() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(3).with_kill(0, 0), 2));
+        let opts = SupervisedOpts {
+            fault: Some(Arc::clone(&plan)),
+            deadline: Duration::from_secs(5),
+            ..SupervisedOpts::default()
+        };
+        let out = Universe::run_supervised(2, opts, |comm| {
+            comm.fault_tick(0);
+            // Rank 1 reaches here and waits on the dead rank 0; the death
+            // board must resolve this long before the 5 s deadline.
+            comm.recv_f64s_checked(0, 7, )
+        });
+        assert!(matches!(out[0], Err(RankFailure { kind: FailureKind::InjectedKill { .. }, .. })));
+        let r1 = out[1].as_ref().expect("rank 1 survives");
+        assert_eq!(*r1, Err(CommError::PeerDead { src_world: 0, tag: 7 }));
+    }
+
+    #[test]
+    fn supervised_timeout_produces_structured_error() {
+        let opts = SupervisedOpts { deadline: Duration::from_millis(30), ..Default::default() };
+        let out = Universe::run_supervised(2, opts, |comm| {
+            if comm.rank() == 1 {
+                // Nobody ever sends: the bounded wait must give up.
+                comm.recv_f64s_checked(0, 9)
+            } else {
+                Ok(vec![])
+            }
+        });
+        match out[1].as_ref().expect("rank 1 itself does not fail") {
+            Err(CommError::Timeout { src_world: 0, tag: 9, waited_ms }) => {
+                assert!(*waited_ms >= 30);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_messages_sent_before_death_are_drained() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(3).with_kill(0, 1), 2));
+        let opts = SupervisedOpts {
+            fault: Some(Arc::clone(&plan)),
+            deadline: Duration::from_secs(5),
+            ..SupervisedOpts::default()
+        };
+        let out = Universe::run_supervised(2, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.fault_tick(0);
+                comm.send_f64s(1, 4, vec![11.0], TrafficClass::Control);
+                comm.fault_tick(1); // dies here
+                unreachable!("rank 0 must be killed at step 1");
+            }
+            // Rank 1: the pre-death message must arrive, the next wait
+            // must report the death.
+            let first = comm.recv_f64s_checked(0, 4);
+            let second = comm.recv_f64s_checked(0, 4);
+            (first, second)
+        });
+        let (first, second) = out[1].as_ref().expect("rank 1 survives");
+        assert_eq!(first.as_deref(), Ok(&[11.0][..]));
+        assert_eq!(*second, Err(CommError::PeerDead { src_world: 0, tag: 4 }));
+    }
+
+    /// Drops, delays, and duplicates under a seeded plan: the retry loop
+    /// plus sequence-cursor mailbox must deliver exactly-once, in order,
+    /// with no hang.
+    #[test]
+    fn supervised_ring_survives_message_faults() {
+        let spec = FaultSpec::seeded(0xFA17)
+            .with_drop(0.3)
+            .with_delay(0.3, Duration::from_millis(2))
+            .with_duplicate(0.2);
+        let plan = Arc::new(FaultPlan::new(spec, 4));
+        let opts = SupervisedOpts {
+            fault: Some(Arc::clone(&plan)),
+            deadline: Duration::from_secs(10),
+            ..SupervisedOpts::default()
+        };
+        let out = Universe::run_supervised(4, opts, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut seen = Vec::new();
+            for round in 0..20_u64 {
+                comm.send_f64s(next, 2, vec![round as f64 + comm.rank() as f64], TrafficClass::Halo);
+                seen.push(comm.recv_f64s(prev, 2)[0]);
+            }
+            seen
+        });
+        for (rank, r) in out.into_iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            let seen = r.expect("faulty ring must still converge");
+            let want: Vec<f64> = (0..20).map(|round| (round + prev) as f64).collect();
+            assert_eq!(seen, want, "rank {rank} saw out-of-order or corrupt traffic");
+        }
+        let fs = plan.stats();
+        assert!(
+            fs.dropped + fs.delayed + fs.duplicated > 0,
+            "the seeded plan should have injected something: {fs:?}"
+        );
     }
 }

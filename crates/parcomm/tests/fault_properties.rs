@@ -1,0 +1,200 @@
+//! Property tests of the fault-injection layer on the `yy-testkit`
+//! harness: the schedule is a pure function of the seed, drop+retry
+//! always converges, and a supervised universe reports exactly the rank
+//! the plan killed.
+
+use std::sync::Arc;
+use std::time::Duration;
+use yy_parcomm::fault::{FaultAction, FaultPlan, FaultSpec};
+use yy_parcomm::stats::TrafficClass;
+use yy_parcomm::universe::{FailureKind, SupervisedOpts};
+use yy_parcomm::Universe;
+use yy_testkit::{check_with, tk_assert, tk_assert_eq, Config, Gen};
+
+fn random_spec(g: &mut Gen) -> FaultSpec {
+    // Probabilities kept below a combined 0.9 so Deliver stays reachable.
+    let drop_p = g.range_f64(0.0, 0.4);
+    let delay_p = g.range_f64(0.0, 0.3);
+    let duplicate_p = g.range_f64(0.0, 0.2);
+    FaultSpec::seeded(g.below(u64::MAX))
+        .with_drop(drop_p)
+        .with_delay(delay_p, Duration::from_micros(g.below(2000) + 1))
+        .with_duplicate(duplicate_p)
+}
+
+/// Same seed ⇒ bitwise identical fault schedule, on a fresh plan object.
+#[test]
+fn same_seed_gives_identical_schedule() {
+    check_with(
+        Config::with_cases(32),
+        "same_seed_gives_identical_schedule",
+        |g| (random_spec(g), g.range_usize(2, 6)),
+        |(spec, nprocs)| {
+            let a = FaultPlan::new(spec.clone(), *nprocs);
+            let b = FaultPlan::new(spec.clone(), *nprocs);
+            for src in 0..*nprocs {
+                for dst in 0..*nprocs {
+                    for n in 0..32_u64 {
+                        tk_assert_eq!(a.action(src, dst, n), b.action(src, dst, n));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The schedule respects the spec: actions only of enabled kinds, drop
+/// resend counts within `max_resends`, delays within `max_delay`.
+#[test]
+fn schedule_respects_the_spec_bounds() {
+    check_with(
+        Config::with_cases(32),
+        "schedule_respects_the_spec_bounds",
+        random_spec,
+        |spec| {
+            let plan = FaultPlan::new(spec.clone(), 3);
+            for n in 0..256_u64 {
+                match plan.action(0, 1, n) {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop { resends } => {
+                        tk_assert!(spec.drop_p > 0.0, "drop scheduled with drop_p == 0");
+                        tk_assert!(
+                            (1..=spec.max_resends).contains(&resends),
+                            "resends {resends} out of bounds"
+                        );
+                    }
+                    FaultAction::Delay { micros } => {
+                        tk_assert!(spec.delay_p > 0.0, "delay scheduled with delay_p == 0");
+                        tk_assert!(
+                            micros <= spec.max_delay.as_micros() as u64,
+                            "delay {micros}us exceeds max {:?}",
+                            spec.max_delay
+                        );
+                    }
+                    FaultAction::Duplicate => {
+                        tk_assert!(spec.duplicate_p > 0.0, "dup scheduled with duplicate_p == 0");
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Drop+retry always converges: under arbitrary drop/delay/duplicate
+/// probabilities (drops are bounded retransmissions by construction), a
+/// pairwise exchange completes with the right values and no hang.
+#[test]
+fn drop_retry_always_converges() {
+    check_with(
+        Config::with_cases(12),
+        "drop_retry_always_converges",
+        |g| (random_spec(g), g.range_usize(1, 8)),
+        |(spec, rounds)| {
+            let plan = Arc::new(FaultPlan::new(spec.clone(), 2));
+            let opts = SupervisedOpts {
+                fault: Some(Arc::clone(&plan)),
+                deadline: Duration::from_secs(20),
+                ..SupervisedOpts::default()
+            };
+            let rounds = *rounds;
+            let out = Universe::run_supervised(2, opts, |comm| {
+                let peer = 1 - comm.rank();
+                let mut got = Vec::new();
+                for r in 0..rounds {
+                    let v = (10 * comm.rank() + r) as f64;
+                    comm.send_f64s(peer, 1, vec![v], TrafficClass::Halo);
+                    got.push(comm.recv_f64s(peer, 1)[0]);
+                }
+                got
+            });
+            for (rank, r) in out.into_iter().enumerate() {
+                let got = match r {
+                    Ok(v) => v,
+                    Err(f) => return Err(format!("rank {rank} failed: {f}")),
+                };
+                let want: Vec<f64> = (0..rounds).map(|r| (10 * (1 - rank) + r) as f64).collect();
+                tk_assert_eq!(got, want);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A supervised universe reports the killed rank — exactly that rank,
+/// exactly once, with the scheduled step.
+#[test]
+fn supervised_universe_reports_the_killed_rank_exactly() {
+    check_with(
+        Config::with_cases(16),
+        "supervised_universe_reports_the_killed_rank_exactly",
+        |g| {
+            let nprocs = g.range_usize(2, 5);
+            let victim = g.range_usize(0, nprocs);
+            let step = g.below(6);
+            (nprocs, victim, step)
+        },
+        |&(nprocs, victim, step)| {
+            let plan =
+                Arc::new(FaultPlan::new(FaultSpec::seeded(1).with_kill(victim, step), nprocs));
+            let opts = SupervisedOpts {
+                fault: Some(Arc::clone(&plan)),
+                deadline: Duration::from_secs(5),
+                ..SupervisedOpts::default()
+            };
+            // Ranks only tick (no p2p), so the kill cannot cascade.
+            let out = Universe::run_supervised(nprocs, opts, |comm| {
+                for s in 0..8_u64 {
+                    comm.fault_tick(s);
+                }
+                comm.rank()
+            });
+            for (rank, r) in out.into_iter().enumerate() {
+                if rank == victim {
+                    match r {
+                        Err(f) => {
+                            tk_assert_eq!(f.rank, victim);
+                            tk_assert_eq!(f.kind, FailureKind::InjectedKill { step });
+                        }
+                        Ok(_) => return Err(format!("victim rank {victim} survived")),
+                    }
+                } else {
+                    tk_assert!(r == Ok(rank), "innocent rank {rank} reported {r:?}");
+                }
+            }
+            tk_assert!(plan.stats().kill_fired);
+            Ok(())
+        },
+    );
+}
+
+/// Full-duplication plans still deliver exactly once: every duplicate is
+/// discarded by the mailbox sequence cursors and counted.
+#[test]
+fn duplicates_are_discarded_exactly_once() {
+    let spec = FaultSpec::seeded(77).with_duplicate(1.0);
+    let plan = Arc::new(FaultPlan::new(spec, 2));
+    let opts = SupervisedOpts {
+        fault: Some(Arc::clone(&plan)),
+        deadline: Duration::from_secs(5),
+        ..SupervisedOpts::default()
+    };
+    let out = Universe::run_supervised(2, opts, |comm| {
+        let peer = 1 - comm.rank();
+        for r in 0..10_u64 {
+            comm.send_f64s(peer, 1, vec![r as f64], TrafficClass::Halo);
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(comm.recv_f64s(peer, 1)[0]);
+        }
+        (got, comm.stats())
+    });
+    for r in out {
+        let (got, stats) = r.expect("duplication must not fail the run");
+        assert_eq!(got, (0..10).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(stats.dups_discarded, 10, "every message was duplicated once");
+    }
+    assert_eq!(plan.stats().duplicated, 20, "10 messages each way");
+}

@@ -18,6 +18,18 @@ cargo build --workspace --all-targets --offline
 echo "==> tests (offline)"
 cargo test -q --offline --workspace
 
+echo "==> fault-injection soak: seeded drops/delays + a rank kill must recover bit-exactly"
+soak_dir=$(mktemp -d)
+trap 'rm -rf "$soak_dir"' EXIT
+soak="pth=1 pph=2 steps=6 sample=0 nr=12 nth=9"
+# Clean supervised run (checkpointing only, no faults).
+./target/release/yycore parallel $soak ckpt_every=2 ckpt="$soak_dir/clean.ck" >/dev/null
+# Same run under seeded message faults plus a mid-run rank kill.
+./target/release/yycore parallel $soak ckpt_every=2 ckpt="$soak_dir/fault.ck" \
+  fault_seed=42 drop=0.10 delay=0.10 delay_us=200 dup=0.05 kill_rank=1 kill_step=4 >/dev/null
+cmp "$soak_dir/clean.ck" "$soak_dir/fault.ck"
+echo "OK: recovered trajectory is bit-identical to the fault-free run"
+
 echo "==> dependency audit: workspace path dependencies only"
 # Path dependencies print as `name vX.Y.Z (/abs/path)`; anything without
 # a path source came from a registry and breaks hermeticity.

@@ -129,6 +129,8 @@ fn snapshot_volume_bookkeeping_matches_paper() {
     let ck = yycore::checkpoint::Checkpoint::capture(&sim);
     let mut buf = Vec::new();
     ck.write_to(&mut buf).unwrap();
-    let expected = 8 + 6 * 8 + 16 + 16 * sim.yin.shape().len() * 8;
+    // Magic + geometry/step header + time/dt + 16 arrays + the v2
+    // integrity footer (payload length u64 + CRC-32).
+    let expected = 8 + 6 * 8 + 16 + 16 * sim.yin.shape().len() * 8 + 12;
     assert_eq!(buf.len(), expected);
 }
