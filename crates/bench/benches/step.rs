@@ -1,0 +1,303 @@
+//! The overlapped step pipeline, end to end:
+//!
+//! * `halo_roundtrip`  — one θ-band halo exchange between two live ranks
+//!   (pack → send → recv → unpack, pooled buffers)
+//! * `overset_donate`  — interpolating + packing one panel frame's
+//!   donor columns (the send half of the overset exchange)
+//! * `overset_fill`    — placing received columns into the frame slots
+//! * `parallel_step`   — a full multi-rank RK4 step, overlapped vs.
+//!   legacy blocking sync (the tentpole comparison)
+//!
+//! With `BENCH_STEP_JSON=<path>` set, writes a machine-readable summary
+//! (median ns/step, points/s, phase breakdown, speedup) for CI.
+//!
+//! Knobs: `YY_BENCH_STEP_GRID` (small|medium), `YY_BENCH_STEP_STEPS`,
+//! `YY_BENCH_STEP_REPS`, `YY_BENCH_STEP_PTH`/`YY_BENCH_STEP_PPH`
+//! (decomposition), `YY_BENCH_STEP_DELAY_US` (injected per-message
+//! delivery delay bound; 0 disables injection), plus the harness's
+//! `YY_BENCH_SAMPLE_MS` / `YY_BENCH_SAMPLES`.
+//!
+//! Run with: `cargo bench -p yy-bench --bench step`
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use yy_bench::Harness;
+use yy_field::{pack_region, unpack_region, Region};
+use yy_mesh::interp::{interp_scalar_column, interp_vector_column};
+use yy_mesh::{build_overset_columns, Panel};
+use yy_mhd::{initialize, State};
+use yy_parcomm::stats::TrafficClass;
+use yy_parcomm::{FaultSpec, Universe};
+use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
+use yycore::{run_parallel_with_mode, RunConfig, SyncMode};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Tiles per panel for the step comparison. One tile per panel by
+/// default: 2 ranks keep the comparison meaningful even on single-core
+/// CI boxes, where more threads measure the scheduler, not the solver.
+fn step_decomp() -> (usize, usize) {
+    (env_u64("YY_BENCH_STEP_PTH", 1) as usize, env_u64("YY_BENCH_STEP_PPH", 1) as usize)
+}
+
+fn cfg() -> RunConfig {
+    let mut cfg = match std::env::var("YY_BENCH_STEP_GRID").as_deref() {
+        Ok("small") => RunConfig::small(),
+        _ => RunConfig::medium(),
+    };
+    cfg.init.perturb_amplitude = 1e-2;
+    cfg
+}
+
+/// One θ-band halo exchange between two live ranks: pack all 8 fields,
+/// buffered send, blocking recv, unpack — with recycled buffers, exactly
+/// like the solver's pooled path. Self-timed inside a single universe so
+/// rank-thread spawn/teardown stays out of the measurement.
+fn bench_halo_roundtrip() {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let shape = grid.full_shape();
+    let band = Region {
+        i0: 0,
+        i1: shape.nr,
+        j0: 0,
+        j1: grid.spec().halo as isize,
+        k0: 0,
+        k1: shape.nph as isize,
+    };
+    let bytes = band.len() * 8 * 8;
+    let per_iter = Universe::run(2, |world| {
+        let mut state = State::zeros(shape);
+        initialize(&mut state, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
+        let peer = 1 - world.rank();
+        let mut pool: Vec<Vec<f64>> = Vec::new();
+        let exchange = |pool: &mut Vec<Vec<f64>>, state: &mut State| {
+            let mut buf = pool.pop().unwrap_or_else(|| Vec::with_capacity(band.len() * 8));
+            buf.clear();
+            for arr in state.arrays() {
+                pack_region(arr, band, &mut buf);
+            }
+            world.send_f64s(peer, 1, buf, TrafficClass::Halo);
+            let got = world.recv_f64s(peer, 1);
+            let mut rest: &[f64] = &got;
+            for arr in state.arrays_mut() {
+                rest = unpack_region(arr, band, rest);
+            }
+            pool.push(got);
+        };
+        for _ in 0..8 {
+            exchange(&mut pool, &mut state); // warmup, fills the pool
+        }
+        let n = 256;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            exchange(&mut pool, &mut state);
+        }
+        t0.elapsed() / n
+    });
+    let slowest = per_iter.into_iter().max().unwrap();
+    let gbps = bytes as f64 / slowest.as_secs_f64() / 1e9;
+    println!(
+        "halo_roundtrip/theta_band_{bytes}_bytes        {:>12.2} µs/iter  {gbps:.2} GB/s",
+        black_box(slowest).as_secs_f64() * 1e6
+    );
+}
+
+/// The send half of the overset exchange: interpolate every donor column
+/// of a panel frame (scalars + rotated vectors) into a packed buffer.
+fn bench_overset_donate_fill(c: &mut Harness) {
+    let cfg = cfg();
+    let grid = cfg.grid();
+    let cols = build_overset_columns(&grid).expect("valid grid");
+    let nr = grid.spec().nr;
+    let shape = grid.full_shape();
+    let mut donor = State::zeros(shape);
+    initialize(&mut donor, &grid, None, &cfg.params, &cfg.init, Panel::Yang);
+    let mut target = State::zeros(shape);
+    let mut buf: Vec<f64> = Vec::with_capacity(cols.len() * 8 * nr);
+    let mut row = vec![0.0; nr];
+    let (mut vr, mut vt, mut vp) = (vec![0.0; nr], vec![0.0; nr], vec![0.0; nr]);
+
+    let mut group = c.benchmark_group("overset");
+    group.throughput(yy_bench::Throughput::Elements(cols.len() as u64));
+    group.bench_function(format!("donate_{}_columns", cols.len()), |b| {
+        b.iter(|| {
+            buf.clear();
+            for col in &cols {
+                interp_scalar_column(col, &donor.rho, &mut row);
+                buf.extend_from_slice(&row);
+                interp_scalar_column(col, &donor.press, &mut row);
+                buf.extend_from_slice(&row);
+                interp_vector_column(
+                    col, &donor.f.r, &donor.f.t, &donor.f.p, &mut vr, &mut vt, &mut vp,
+                );
+                buf.extend_from_slice(&vr);
+                buf.extend_from_slice(&vt);
+                buf.extend_from_slice(&vp);
+                interp_vector_column(
+                    col, &donor.a.r, &donor.a.t, &donor.a.p, &mut vr, &mut vt, &mut vp,
+                );
+                buf.extend_from_slice(&vr);
+                buf.extend_from_slice(&vt);
+                buf.extend_from_slice(&vp);
+            }
+            black_box(buf.len())
+        })
+    });
+    // Fill half: place a received message's columns into the frame slots.
+    group.bench_function(format!("fill_{}_columns", cols.len()), |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            for col in &cols {
+                let (tj, tk) = (col.tgt_j as isize, col.tgt_k as isize);
+                for arr in target.arrays_mut() {
+                    arr.row_mut(tj, tk).copy_from_slice(&buf[pos..pos + nr]);
+                    pos += nr;
+                }
+            }
+            black_box(pos)
+        })
+    });
+    group.finish();
+}
+
+/// Median seconds per step of a multi-rank run in the given mode, and
+/// the phase breakdown of the last rep. Setup (universe spawn, init,
+/// initial sync) is excluded — `RunReport.wall_seconds` starts after it.
+///
+/// `delay_us > 0` runs under a deterministic injected per-message
+/// delivery latency (fixed, data-plane only), standing in for the latency
+/// the overlap exists to hide — on a single-core box the modes otherwise
+/// differ only by the blocking path's allocations, since every byte
+/// "travels" at memcpy speed. The injected plan is identical for both
+/// modes, and bit-exactness under it is covered by the core test suite.
+fn measure_step(
+    cfg: &RunConfig,
+    mode: SyncMode,
+    steps: u64,
+    delay_us: u64,
+) -> (f64, yycore::PhaseBreakdown, usize) {
+    let (pth, pph) = step_decomp();
+    let report = if delay_us == 0 {
+        run_parallel_with_mode(cfg, pth, pph, steps, 0, false, mode).report
+    } else {
+        let opts = RecoveryOpts {
+            fault: FaultSpec::seeded(11)
+                .with_delay_range(
+                    1.0,
+                    Duration::from_micros(delay_us),
+                    Duration::from_micros(delay_us),
+                )
+                .with_data_floor(4096),
+            checkpoint_every: 0,
+            deadline: Duration::from_secs(120),
+            sync_mode: mode,
+            ..RecoveryOpts::default()
+        };
+        run_parallel_supervised(cfg, pth, pph, steps, 0, &opts)
+            .expect("delayed bench run completes")
+            .report
+    };
+    (report.wall_seconds / steps as f64, report.phases, report.grid_points)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn bench_parallel_step() -> String {
+    let cfg = cfg();
+    let steps = env_u64("YY_BENCH_STEP_STEPS", 10);
+    let reps = env_u64("YY_BENCH_STEP_REPS", 5) as usize;
+    let delay_us = env_u64("YY_BENCH_STEP_DELAY_US", 12_000);
+    let (pth, pph) = step_decomp();
+
+    // Interleave the modes rep by rep, so slow drift of the host lands
+    // on both sides of the ratio instead of whichever mode ran last.
+    let (mut blocks, mut overs) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    let mut phases = yycore::PhaseBreakdown::default();
+    let mut points = 0;
+    for _ in 0..reps {
+        blocks.push(measure_step(&cfg, SyncMode::Blocking, steps, delay_us).0);
+        let (t, p, n) = measure_step(&cfg, SyncMode::Overlapped, steps, delay_us);
+        overs.push(t);
+        (phases, points) = (p, n);
+    }
+    let (t_block, t_over) = (median(blocks), median(overs));
+    let speedup = t_block / t_over;
+    let pps = points as f64 / t_over;
+
+    println!(
+        "parallel_step/blocking_{pth}x{pph}_delay{delay_us}us      {:>12.2} µs/step",
+        t_block * 1e6
+    );
+    println!(
+        "parallel_step/overlapped_{pth}x{pph}_delay{delay_us}us    {:>12.2} µs/step  {:.2} Melem/s  speedup x{:.2}",
+        t_over * 1e6,
+        pps / 1e6,
+        speedup
+    );
+    println!(
+        "  phases (all-rank s): pack {:.4}  interior {:.4}  wait {:.4}  boundary {:.4}  overset {:.4}  hidden {:.2}",
+        phases.pack_s,
+        phases.interior_s,
+        phases.wait_s,
+        phases.boundary_s,
+        phases.overset_s,
+        phases.hidden_comm_fraction()
+    );
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"step\",\n",
+            "  \"grid_points\": {},\n",
+            "  \"steps\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"decomp\": [{}, {}],\n",
+            "  \"injected_delay_us\": {},\n",
+            "  \"blocking\": {{ \"median_ns_per_step\": {:.0}, \"points_per_s\": {:.0} }},\n",
+            "  \"overlapped\": {{\n",
+            "    \"median_ns_per_step\": {:.0},\n",
+            "    \"points_per_s\": {:.0},\n",
+            "    \"phases_s\": {{ \"pack\": {:.6}, \"interior\": {:.6}, \"wait\": {:.6}, ",
+            "\"boundary\": {:.6}, \"overset\": {:.6} }},\n",
+            "    \"hidden_comm_fraction\": {:.4}\n",
+            "  }},\n",
+            "  \"speedup_overlapped_vs_blocking\": {:.3}\n",
+            "}}\n"
+        ),
+        points,
+        steps,
+        reps,
+        pth,
+        pph,
+        delay_us,
+        t_block * 1e9,
+        points as f64 / t_block,
+        t_over * 1e9,
+        pps,
+        phases.pack_s,
+        phases.interior_s,
+        phases.wait_s,
+        phases.boundary_s,
+        phases.overset_s,
+        phases.hidden_comm_fraction(),
+        speedup
+    )
+}
+
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_halo_roundtrip();
+    bench_overset_donate_fill(&mut harness);
+    let json = bench_parallel_step();
+    if let Ok(path) = std::env::var("BENCH_STEP_JSON") {
+        std::fs::write(&path, &json).expect("write BENCH_step.json");
+        println!("wrote {path}");
+    }
+    harness.summary();
+}

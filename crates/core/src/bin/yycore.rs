@@ -13,6 +13,9 @@
 //!   ckpt=PATH      write a checkpoint here at the end
 //!   series=PATH    write the CSV time series here
 //!   pth=N pph=N    process grid (parallel only)    [default 1x2]
+//!   mode=M         overlapped|blocking sync (parallel only)
+//!                  [default overlapped; blocking is the legacy
+//!                  compute-then-exchange baseline]
 //!
 //! fault-tolerance keys (parallel only; any of them switches the run to
 //! the supervised driver, which recovers from the last checkpoint):
@@ -33,7 +36,7 @@ use std::time::Duration;
 use yy_parcomm::FaultSpec;
 use yycore::checkpoint::Checkpoint;
 use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
-use yycore::{run_parallel, RunConfig, SerialSim};
+use yycore::{run_parallel_with_mode, RunConfig, SerialSim, SyncMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +80,7 @@ struct Opts {
     kill_step: u64,
     ckpt_every: u64,
     deadline_ms: u64,
+    mode: SyncMode,
 }
 
 impl Opts {
@@ -112,6 +116,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         kill_step: 0,
         ckpt_every: 0,
         deadline_ms: 30_000,
+        mode: SyncMode::default(),
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -135,6 +140,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "ckpt_every" => o.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?,
             "deadline_ms" => {
                 o.deadline_ms = v.parse().map_err(|e| format!("deadline_ms: {e}"))?
+            }
+            "mode" => {
+                o.mode = match v {
+                    "overlapped" => SyncMode::Overlapped,
+                    "blocking" => SyncMode::Blocking,
+                    other => return Err(format!("mode: expected overlapped|blocking, got '{other}'")),
+                }
             }
             _ => o.cfg.apply_override(k, v)?,
         }
@@ -266,6 +278,7 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
             fault: spec,
             checkpoint_every: o.ckpt_every,
             deadline: Duration::from_millis(o.deadline_ms),
+            sync_mode: o.mode,
             ..RecoveryOpts::default()
         };
         let sup = run_parallel_supervised(&o.cfg, o.pth, o.pph, o.steps, o.sample, &ropts)?;
@@ -287,7 +300,8 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         eprintln!("max mailbox depth observed: {}", sup.report.max_queue_depth);
         sup.report
     } else {
-        let rep = run_parallel(&o.cfg, o.pth, o.pph, o.steps, o.sample, false);
+        let rep =
+            run_parallel_with_mode(&o.cfg, o.pth, o.pph, o.steps, o.sample, false, o.mode);
         rep.report
     };
     eprintln!(
@@ -295,6 +309,36 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         report.halo_bytes / 1024,
         report.overset_bytes / 1024
     );
+    let p = &report.phases;
+    if p.total_s() > 0.0 {
+        eprintln!(
+            "phases (all-rank s): pack {:.3}, interior {:.3}, wait {:.3}, \
+             boundary {:.3}, overset {:.3}",
+            p.pack_s, p.interior_s, p.wait_s, p.boundary_s, p.overset_s
+        );
+        // Feed the measured hidden fraction into the Earth Simulator
+        // model: what the paper's flagship run would sustain if its
+        // exchanges were hidden as well as this run's were.
+        if o.mode == SyncMode::Overlapped {
+            use yy_esmodel::model::{project_overlapped, RunShape};
+            use yy_esmodel::{EsMachine, EsModelParams, KernelProfile};
+            let hidden = p.hidden_comm_fraction();
+            let proj = project_overlapped(
+                &EsMachine::earth_simulator(),
+                &EsModelParams::calibrated(),
+                &KernelProfile::yycore_default(),
+                &RunShape { procs: 4096, nr: 511, nth: 514, nph: 1538 },
+                hidden,
+            );
+            eprintln!(
+                "hidden comm fraction {:.2} -> ES 4096p projection: \
+                 {:.1} TFlops sustained, {:.0}% of peak",
+                hidden,
+                proj.tflops(),
+                proj.efficiency * 100.0
+            );
+        }
+    }
     finish(&report, &o)
 }
 

@@ -48,8 +48,8 @@ pub mod transport;
 pub use config::RunConfig;
 pub use health::{HealthGuard, HealthLimits, HealthViolation};
 pub use parallel::{
-    run_parallel, run_parallel_supervised, ParallelReport, RecoveryEvent, RecoveryOpts,
-    SupervisedReport,
+    run_parallel, run_parallel_supervised, run_parallel_with_mode, ParallelReport, RecoveryEvent,
+    RecoveryOpts, SupervisedReport, SyncMode,
 };
-pub use report::{RunReport, TimeSeriesPoint};
+pub use report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
 pub use serial::SerialSim;

@@ -40,7 +40,7 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::health::{HealthGuard, HealthLimits};
-use crate::report::{RunReport, TimeSeriesPoint};
+use crate::report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use yy_field::{pack_region, unpack_region, Array3, FlopMeter, Region};
@@ -49,14 +49,29 @@ use yy_mesh::{
     build_overset_columns, interp::interp_scalar_column, interp::interp_vector_column, Decomp2D,
     Metric, OversetColumn, PatchGrid, Tile,
 };
-use yy_mhd::rhs::{InteriorRange, RhsScratch};
+use yy_mhd::rhs::{compute_rhs_partial, InteriorRange, OverlapSplit, RhsScratch};
 use yy_mhd::tables::rotation_axis;
 use yy_mhd::{
     apply_physical_bc, cfl_timestep, compute_rhs, initialize, timestep::rho_min_owned,
     wave_speed_max, Diagnostics, ForceTables, State,
 };
-use yy_parcomm::stats::TrafficClass;
+use yy_parcomm::stats::{SolverPhase, TrafficClass};
 use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
+
+/// How a rank synchronises tile boundaries inside the RK4 stage loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Split each RHS sweep into a deep interior and a boundary shell:
+    /// post halo/overset sends, compute the deep interior while the
+    /// messages are in flight, then drain receives and compute the shell.
+    /// Allocation-free after warmup. Bit-identical to `Blocking`.
+    #[default]
+    Overlapped,
+    /// The legacy path: compute the full RHS, then block through a
+    /// serialized halo → overset → wall-condition sync (with its original
+    /// per-stage allocations). Kept as the bench baseline.
+    Blocking,
+}
 
 /// User-tag space for the solver's point-to-point traffic.
 const TAG_HALO_THETA: u64 = 11;
@@ -84,12 +99,29 @@ pub fn run_parallel(
     sample_every: u64,
     gather_state: bool,
 ) -> ParallelReport {
+    run_parallel_with_mode(cfg, pth, pph, steps, sample_every, gather_state, SyncMode::Overlapped)
+}
+
+/// [`run_parallel`] with an explicit boundary-synchronisation mode.
+/// `Overlapped` and `Blocking` are bitwise identical in output; the mode
+/// only selects the step pipeline (and is what the step benchmark
+/// contrasts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_with_mode(
+    cfg: &RunConfig,
+    pth: usize,
+    pph: usize,
+    steps: u64,
+    sample_every: u64,
+    gather_state: bool,
+    mode: SyncMode,
+) -> ParallelReport {
     cfg.params.validate();
     let tiles = pth * pph;
     let nprocs = 2 * tiles;
     let cfg = cfg.clone();
     let results = Universe::run(nprocs, move |world| {
-        rank_main(&cfg, world, pth, pph, steps, sample_every, gather_state)
+        rank_main(&cfg, world, pth, pph, steps, sample_every, gather_state, mode)
     });
     results
         .into_iter()
@@ -116,6 +148,10 @@ pub struct RecoveryOpts {
     pub max_dt_reductions: u32,
     /// Solver health thresholds.
     pub health: HealthLimits,
+    /// Boundary-synchronisation mode of the rank program (both modes are
+    /// bitwise identical; `Blocking` exists as the benchmark baseline,
+    /// e.g. to compare delay sensitivity under an injected fault plan).
+    pub sync_mode: SyncMode,
 }
 
 impl Default for RecoveryOpts {
@@ -128,6 +164,7 @@ impl Default for RecoveryOpts {
             max_recoveries: 3,
             max_dt_reductions: 2,
             health: HealthLimits::default(),
+            sync_mode: SyncMode::Overlapped,
         }
     }
 }
@@ -202,7 +239,8 @@ pub fn run_parallel_supervised(
         };
         let cfg2 = cfg.clone();
         let slot2 = Arc::clone(&slot);
-        let (checkpoint_every, health) = (opts.checkpoint_every, opts.health);
+        let (checkpoint_every, health, sync_mode) =
+            (opts.checkpoint_every, opts.health, opts.sync_mode);
         let results = Universe::run_supervised(nprocs, sup, move |world| {
             rank_main_supervised(
                 &cfg2,
@@ -216,6 +254,7 @@ pub fn run_parallel_supervised(
                 dt_scale,
                 resume.as_ref().as_ref(),
                 &slot2,
+                sync_mode,
             )
         });
 
@@ -318,9 +357,10 @@ fn rank_main_supervised(
     dt_scale: f64,
     resume: Option<&Checkpoint>,
     slot: &Mutex<Option<Checkpoint>>,
+    sync_mode: SyncMode,
 ) -> Result<Option<ParallelReport>, String> {
     let tiles = pth * pph;
-    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph);
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, sync_mode);
     let mut dt_cache = match resume {
         Some(ck) => {
             solver.restore_tile(&mut state, ck);
@@ -382,7 +422,8 @@ fn rank_main_supervised(
         series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
     }
 
-    let (flops, halo_bytes, overset_bytes, max_queue_depth) = solver.aggregate_counters();
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases) =
+        solver.aggregate_counters();
     solver.capture_checkpoint(&state, tiles, dt_cache, slot);
 
     if world.rank() == 0 {
@@ -396,6 +437,7 @@ fn rank_main_supervised(
                 halo_bytes,
                 overset_bytes,
                 max_queue_depth,
+                phases,
                 series,
             },
             yin: None,
@@ -406,9 +448,99 @@ fn rank_main_supervised(
     }
 }
 
+/// Persistent per-rank communication scratch. Message buffers circulate
+/// as a closed loop: `send_f64s` moves a `Vec` to the receiving rank,
+/// and every drained receive donates its (moved-in) buffer back to the
+/// local pool, where the next send picks it up. Once every circulating
+/// buffer has grown to the largest message it ever carries, the step
+/// path performs no heap allocation — `steady_allocs` instruments
+/// exactly that invariant.
+struct CommScratch {
+    /// Recycled message buffers (capacities only ever grow).
+    pool: Vec<Vec<f64>>,
+    /// Overset interpolation scratch rows (`nr` elements each).
+    row: Vec<f64>,
+    vr: Vec<f64>,
+    vt: Vec<f64>,
+    vp: Vec<f64>,
+    /// True once the circulation has had time to reach steady state
+    /// (set after the second full step).
+    warmed: bool,
+    /// Pool misses / capacity growth observed after warmup.
+    steady_allocs: u64,
+    /// Whether this rank's per-sync buffer takes equal its puts. Halo
+    /// traffic is always peer-symmetric; the overset schedule is for
+    /// every decomposition we run, but a hypothetical asymmetric
+    /// schedule would drain (or grow) the pool, so the zero-alloc
+    /// assertion is gated on this.
+    balanced: bool,
+}
+
+impl CommScratch {
+    fn new(nr: usize, balanced: bool) -> Self {
+        CommScratch {
+            pool: Vec::new(),
+            row: vec![0.0; nr],
+            vr: vec![0.0; nr],
+            vt: vec![0.0; nr],
+            vp: vec![0.0; nr],
+            warmed: false,
+            steady_allocs: 0,
+            balanced,
+        }
+    }
+
+    /// An empty buffer with at least `capacity` capacity, from the pool
+    /// when possible.
+    fn take_buf(&mut self, capacity: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                b.clear();
+                if b.capacity() < capacity {
+                    if self.warmed {
+                        self.steady_allocs += 1;
+                    }
+                    b.reserve(capacity);
+                }
+                b
+            }
+            None => {
+                if self.warmed {
+                    self.steady_allocs += 1;
+                }
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Return a drained receive buffer to the pool.
+    fn put_buf(&mut self, b: Vec<f64>) {
+        self.pool.push(b);
+    }
+}
+
+/// Wall-clock attribution for the step pipeline: `lap` charges the time
+/// since the previous lap to one [`SolverPhase`] counter in
+/// `parcomm::stats` (aggregated into [`PhaseBreakdown`] at end of run).
+struct PhaseClock {
+    last: Instant,
+}
+
+impl PhaseClock {
+    fn start() -> Self {
+        PhaseClock { last: Instant::now() }
+    }
+
+    fn lap(&mut self, comm: &Comm, phase: SolverPhase) {
+        let now = Instant::now();
+        comm.record_phase_ns(phase, now.duration_since(self.last).as_nanos() as u64);
+        self.last = now;
+    }
+}
+
 /// Per-rank solver instance. The evolving `State` lives outside this
 /// struct (in `rank_main`) so boundary synchronisation can borrow the
-/// solver immutably while mutating the state.
+/// solver while mutating the state.
 struct RankSolver<'a> {
     world: &'a Comm,
     cart: CartComm,
@@ -418,10 +550,26 @@ struct RankSolver<'a> {
     forces: ForceTables,
     exchange: OversetExchange,
     range: InteriorRange,
+    /// Deep-interior / boundary-shell partition of `range` (tentpole).
+    split: OverlapSplit,
+    /// The deep interior cut into φ slabs, one per in-flight exchange.
+    deep_chunks: Vec<InteriorRange>,
+    /// No tile-halo neighbours in either dimension (one tile per panel):
+    /// overset donor stencils then read only owned points, so the
+    /// overset send's true dependency frontier is the start of the sync
+    /// and it can overlap the *whole* deep interior, not just the last
+    /// chunk.
+    halo_free: bool,
     cfg: RunConfig,
+    mode: SyncMode,
     y0: State,
     k: State,
     stage: State,
+    /// Swap partner for `stage` during the fused sync⊗RHS, so the stage
+    /// state can be borrowed mutably alongside the solver without a
+    /// per-stage `State::zeros` (the legacy path's allocation).
+    spare: Option<State>,
+    comm: CommScratch,
     scratch: RhsScratch,
     meter: FlopMeter,
     time: f64,
@@ -437,9 +585,10 @@ fn rank_main(
     steps: u64,
     sample_every: u64,
     gather_state: bool,
+    mode: SyncMode,
 ) -> Option<ParallelReport> {
     let tiles = pth * pph;
-    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph);
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, mode);
     solver.sync(&mut state);
 
     let started = Instant::now();
@@ -481,8 +630,20 @@ fn rank_main(
         series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
     }
 
+    // The zero-allocation guarantee: after warmup the step path must be
+    // served entirely from the persistent scratch.
+    if solver.mode == SyncMode::Overlapped && steps >= 3 && solver.comm.balanced {
+        assert_eq!(
+            solver.comm.steady_allocs,
+            0,
+            "rank {}: overlapped step path allocated after warmup",
+            world.rank()
+        );
+    }
+
     // Aggregate counters.
-    let (flops, halo_bytes, overset_bytes, max_queue_depth) = solver.aggregate_counters();
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases) =
+        solver.aggregate_counters();
 
     // Optionally gather the full panels at rank 0.
     let (yin, yang) = if gather_state {
@@ -502,6 +663,7 @@ fn rank_main(
                 halo_bytes,
                 overset_bytes,
                 max_queue_depth,
+                phases,
                 series,
             },
             yin,
@@ -516,7 +678,13 @@ impl<'a> RankSolver<'a> {
     /// Build the per-rank solver: split the world into panel groups,
     /// carve the Cartesian tile, precompute metric/force tables and the
     /// overset schedule, and initialize the tile state (not yet synced).
-    fn new(cfg: &RunConfig, world: &'a Comm, pth: usize, pph: usize) -> (Self, State) {
+    fn new(
+        cfg: &RunConfig,
+        world: &'a Comm,
+        pth: usize,
+        pph: usize,
+        mode: SyncMode,
+    ) -> (Self, State) {
         let tiles = pth * pph;
         let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
         // The paper's MPI_COMM_SPLIT: color = panel, key = world rank, so the
@@ -544,6 +712,11 @@ impl<'a> RankSolver<'a> {
         let mut schedule = build_schedule(&grid, &decomp, &cols);
         let exchange = std::mem::take(&mut schedule[world.rank()]);
         let range = InteriorRange::for_tile(&grid, &tile);
+        let split = range.split_overlap();
+        let deep_chunks =
+            split.deep.as_ref().map(|d| d.chunks_phi(3)).unwrap_or_default();
+        let balanced = exchange.sends.len() == exchange.recvs.len();
+        let halo_free = cart.neighbors4().iter().all(Option::is_none);
 
         let shape = tile.shape(&grid);
         let mut state = State::zeros(shape);
@@ -558,10 +731,16 @@ impl<'a> RankSolver<'a> {
             forces,
             exchange,
             range,
+            split,
+            deep_chunks,
+            halo_free,
             cfg: cfg.clone(),
+            mode,
             y0: State::zeros(shape),
             k: State::zeros(shape),
             stage: State::zeros(shape),
+            spare: Some(State::zeros(shape)),
+            comm: CommScratch::new(shape.nr, balanced),
             scratch: RhsScratch::new(shape),
             meter: FlopMeter::new(),
             time: 0.0,
@@ -570,16 +749,281 @@ impl<'a> RankSolver<'a> {
         (solver, state)
     }
 
-    /// Halo exchange + overset exchange + physical walls on `s`.
-    fn sync(&self, s: &mut State) {
-        self.halo_exchange(s);
-        self.overset_exchange(s);
+    /// Halo exchange + overset exchange + physical walls on `s`, drawing
+    /// every message buffer from the persistent scratch (allocation-free
+    /// after warmup). Message contents, ordering and arithmetic are
+    /// identical to [`Self::sync_blocking`].
+    fn sync(&mut self, s: &mut State) {
+        let mut clock = PhaseClock::start();
+        // Same early overset post as the fused pipeline (see
+        // `sync_rhs_overlapped`): without halo neighbours the donors
+        // read only owned points, and posting first lets the exchange
+        // travel while the (no-op) halo dims and the peer's turn run.
+        if self.halo_free {
+            self.post_overset(s);
+            clock.lap(self.world, SolverPhase::Overset);
+        }
+        for dim in 0..2 {
+            self.post_halo_sends(s, dim);
+            clock.lap(self.world, SolverPhase::Pack);
+            self.drain_halo(s, dim, &mut clock);
+        }
+        if !self.halo_free {
+            self.post_overset(s);
+            clock.lap(self.world, SolverPhase::Overset);
+        }
+        self.drain_overset(s, &mut clock);
         apply_physical_bc(s, self.cfg.params.t_inner, self.cfg.mag_bc);
+        clock.lap(self.world, SolverPhase::Boundary);
+    }
+
+    /// The tentpole pipeline: the boundary synchronisation of `x` fused
+    /// with the RHS sweep of `x` into `self.k`. Sends are posted, a deep
+    /// interior chunk (whose stencils touch no ghost the in-flight
+    /// message will fill) is computed while the messages travel, then the
+    /// receives drain and the next exchange begins; the boundary shell is
+    /// swept last, when all ghosts, frames and walls are in place.
+    ///
+    /// Bitwise identical to `sync` followed by a full-range RHS: the
+    /// exchange only writes ghost/frame/wall points, deep-interior
+    /// stencils read none of them, and the deep ∪ shell boxes tile the
+    /// interior exactly with unchanged per-point arithmetic.
+    fn sync_rhs_overlapped(&mut self, x: &mut State) {
+        let mut clock = PhaseClock::start();
+        self.k.fill_zero();
+        clock.lap(self.world, SolverPhase::Interior);
+        // With no halo neighbours the overset donors read only owned
+        // points: post them first, so the exchange is in flight for the
+        // entire deep interior.
+        if self.halo_free {
+            self.post_overset(x);
+            clock.lap(self.world, SolverPhase::Overset);
+        }
+        // θ halo in flight over the first deep chunk.
+        self.post_halo_sends(x, 0);
+        clock.lap(self.world, SolverPhase::Pack);
+        self.rhs_deep_chunk(x, 0);
+        clock.lap(self.world, SolverPhase::Interior);
+        self.drain_halo(x, 0, &mut clock);
+        // φ halo (rows extended into the just-filled θ ghosts) over the
+        // second chunk.
+        self.post_halo_sends(x, 1);
+        clock.lap(self.world, SolverPhase::Pack);
+        self.rhs_deep_chunk(x, 1);
+        clock.lap(self.world, SolverPhase::Interior);
+        self.drain_halo(x, 1, &mut clock);
+        // Overset columns (donor stencils may read halo ghosts, so only
+        // after the full halo drain) over the third chunk.
+        if !self.halo_free {
+            self.post_overset(x);
+            clock.lap(self.world, SolverPhase::Overset);
+        }
+        self.rhs_deep_chunk(x, 2);
+        clock.lap(self.world, SolverPhase::Interior);
+        self.drain_overset(x, &mut clock);
+        // Everything the shell stencils read is now in place.
+        apply_physical_bc(x, self.cfg.params.t_inner, self.cfg.mag_bc);
+        for b in 0..self.split.shell.len() {
+            let shell_box = self.split.shell[b];
+            self.rhs_partial(x, &shell_box);
+        }
+        clock.lap(self.world, SolverPhase::Boundary);
+    }
+
+    /// RHS accumulation over one sub-range of the tile interior.
+    fn rhs_partial(&mut self, x: &State, range: &InteriorRange) {
+        compute_rhs_partial(
+            x,
+            &self.metric,
+            &self.forces,
+            &self.cfg.params,
+            range,
+            &mut self.scratch,
+            &mut self.k,
+            &mut self.meter,
+        );
+    }
+
+    /// RHS over the `idx`-th φ slab of the deep interior (no-op when the
+    /// tile is too thin to have that many deep chunks).
+    fn rhs_deep_chunk(&mut self, x: &State, idx: usize) {
+        if let Some(chunk) = self.deep_chunks.get(idx).copied() {
+            self.rhs_partial(x, &chunk);
+        }
+    }
+
+    /// Neighbour pair, send regions, recv regions and tag for one halo
+    /// dimension: 0 = θ bands (full φ width), 1 = φ bands over the
+    /// θ-extended rows — the two-phase corner-filling order.
+    fn halo_plan(&self, dim: usize) -> ([Option<usize>; 2], [Region; 2], [Region; 2], u64) {
+        let h = self.grid.spec().halo as isize;
+        let (nth, nph) = (self.tile.nth as isize, self.tile.nph as isize);
+        let nr = self.grid.spec().nr;
+        let [north, south, west, east] = self.cart.neighbors4();
+        if dim == 0 {
+            (
+                [north, south],
+                [
+                    Region { i0: 0, i1: nr, j0: 0, j1: h, k0: 0, k1: nph },
+                    Region { i0: 0, i1: nr, j0: nth - h, j1: nth, k0: 0, k1: nph },
+                ],
+                [
+                    Region { i0: 0, i1: nr, j0: -h, j1: 0, k0: 0, k1: nph },
+                    Region { i0: 0, i1: nr, j0: nth, j1: nth + h, k0: 0, k1: nph },
+                ],
+                TAG_HALO_THETA,
+            )
+        } else {
+            (
+                [west, east],
+                [
+                    Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: 0, k1: h },
+                    Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph - h, k1: nph },
+                ],
+                [
+                    Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: -h, k1: 0 },
+                    Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph, k1: nph + h },
+                ],
+                TAG_HALO_PHI,
+            )
+        }
+    }
+
+    /// Pack and post (buffered, non-blocking) the halo sends for one
+    /// dimension. Buffers come from the pool.
+    fn post_halo_sends(&mut self, s: &State, dim: usize) {
+        let (peers, sends, _, tag) = self.halo_plan(dim);
+        for (peer, region) in peers.into_iter().zip(sends) {
+            if let Some(dst) = peer {
+                let mut buf = self.comm.take_buf(region.len() * 8);
+                for arr in s.arrays() {
+                    pack_region(arr, region, &mut buf);
+                }
+                self.cart.comm().send_f64s(dst, tag, buf, TrafficClass::Halo);
+            }
+        }
+    }
+
+    /// Block on the halo receives for one dimension and unpack them; the
+    /// received buffers (moved here from the sending rank) refill the
+    /// pool. Blocked time is charged to `Wait`, unpacking to `Pack`.
+    fn drain_halo(&mut self, s: &mut State, dim: usize, clock: &mut PhaseClock) {
+        let (peers, _, recvs, tag) = self.halo_plan(dim);
+        for (peer, region) in peers.into_iter().zip(recvs) {
+            if let Some(src) = peer {
+                let buf = self.cart.comm().recv_f64s(src, tag);
+                clock.lap(self.world, SolverPhase::Wait);
+                let mut rest: &[f64] = &buf;
+                for arr in s.arrays_mut() {
+                    rest = unpack_region(arr, region, rest);
+                }
+                assert!(rest.is_empty(), "halo message size mismatch from rank {src}");
+                self.comm.put_buf(buf);
+                clock.lap(self.world, SolverPhase::Pack);
+            }
+        }
+    }
+
+    /// Interpolate this rank's donor columns and post them (buffered) to
+    /// the partner-panel ranks. Buffers and interpolation rows come from
+    /// the scratch.
+    fn post_overset(&mut self, s: &State) {
+        let nr = self.grid.spec().nr;
+        for send in &self.exchange.sends {
+            let mut buf = self.comm.take_buf(send.jobs.len() * 8 * nr);
+            for job in &send.jobs {
+                let col = OversetColumn {
+                    tgt_j: 0,
+                    tgt_k: 0,
+                    don_j: job.dj as usize,
+                    don_k: job.dk as usize,
+                    w: job.w,
+                    rot: job.rot,
+                };
+                interp_scalar_column(&col, &s.rho, &mut self.comm.row);
+                buf.extend_from_slice(&self.comm.row);
+                interp_scalar_column(&col, &s.press, &mut self.comm.row);
+                buf.extend_from_slice(&self.comm.row);
+                interp_vector_column(
+                    &col,
+                    &s.f.r,
+                    &s.f.t,
+                    &s.f.p,
+                    &mut self.comm.vr,
+                    &mut self.comm.vt,
+                    &mut self.comm.vp,
+                );
+                buf.extend_from_slice(&self.comm.vr);
+                buf.extend_from_slice(&self.comm.vt);
+                buf.extend_from_slice(&self.comm.vp);
+                interp_vector_column(
+                    &col,
+                    &s.a.r,
+                    &s.a.t,
+                    &s.a.p,
+                    &mut self.comm.vr,
+                    &mut self.comm.vt,
+                    &mut self.comm.vp,
+                );
+                buf.extend_from_slice(&self.comm.vr);
+                buf.extend_from_slice(&self.comm.vt);
+                buf.extend_from_slice(&self.comm.vp);
+            }
+            self.world.send_f64s(send.to_world, TAG_OVERSET, buf, TrafficClass::Overset);
+        }
+    }
+
+    /// Receive the partner panel's interpolated columns and place them in
+    /// my frame slots; received buffers refill the pool.
+    fn drain_overset(&mut self, s: &mut State, clock: &mut PhaseClock) {
+        let nr = self.grid.spec().nr;
+        for recv in &self.exchange.recvs {
+            let buf = self.world.recv_f64s(recv.from_world, TAG_OVERSET);
+            clock.lap(self.world, SolverPhase::Wait);
+            assert_eq!(
+                buf.len(),
+                recv.slots.len() * 8 * nr,
+                "overset message size mismatch from rank {}",
+                recv.from_world
+            );
+            let mut pos = 0;
+            for slot in &recv.slots {
+                let mut take = |arr: &mut Array3| {
+                    arr.row_mut(slot.tj, slot.tk).copy_from_slice(&buf[pos..pos + nr]);
+                    pos += nr;
+                };
+                take(&mut s.rho);
+                take(&mut s.press);
+                take(&mut s.f.r);
+                take(&mut s.f.t);
+                take(&mut s.f.p);
+                take(&mut s.a.r);
+                take(&mut s.a.t);
+                take(&mut s.a.p);
+            }
+            self.comm.put_buf(buf);
+            clock.lap(self.world, SolverPhase::Overset);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy blocking path — `SyncMode::Blocking`. Kept verbatim (fresh
+    // allocations and all) as the baseline the step benchmark contrasts
+    // the overlapped pipeline against.
+    // ------------------------------------------------------------------
+
+    /// Halo exchange + overset exchange + physical walls on `s`.
+    fn sync_blocking(&self, s: &mut State) {
+        let mut clock = PhaseClock::start();
+        self.halo_exchange(s, &mut clock);
+        self.overset_exchange(s, &mut clock);
+        apply_physical_bc(s, self.cfg.params.t_inner, self.cfg.mag_bc);
+        clock.lap(self.world, SolverPhase::Boundary);
     }
 
     /// Two-phase nearest-neighbour halo exchange (θ, then φ over the
     /// θ-extended rows so corners fill without diagonal messages).
-    fn halo_exchange(&self, s: &mut State) {
+    fn halo_exchange(&self, s: &mut State, clock: &mut PhaseClock) {
         let h = self.grid.spec().halo as isize;
         let (nth, nph) = (self.tile.nth as isize, self.tile.nph as isize);
         let nr = self.grid.spec().nr;
@@ -590,14 +1034,16 @@ impl<'a> RankSolver<'a> {
         let send_s = Region { i0: 0, i1: nr, j0: nth - h, j1: nth, k0: 0, k1: nph };
         let recv_n = Region { i0: 0, i1: nr, j0: -h, j1: 0, k0: 0, k1: nph };
         let recv_s = Region { i0: 0, i1: nr, j0: nth, j1: nth + h, k0: 0, k1: nph };
-        self.exchange_bands(s, north, south, send_n, send_s, recv_n, recv_s, TAG_HALO_THETA);
+        self.exchange_bands(
+            s, north, south, send_n, send_s, recv_n, recv_s, TAG_HALO_THETA, clock,
+        );
 
         // --- phase φ (rows extended into the θ ghosts) ---------------------
         let send_w = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: 0, k1: h };
         let send_e = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph - h, k1: nph };
         let recv_w = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: -h, k1: 0 };
         let recv_e = Region { i0: 0, i1: nr, j0: -h, j1: nth + h, k0: nph, k1: nph + h };
-        self.exchange_bands(s, west, east, send_w, send_e, recv_w, recv_e, TAG_HALO_PHI);
+        self.exchange_bands(s, west, east, send_w, send_e, recv_w, recv_e, TAG_HALO_PHI, clock);
     }
 
     /// Symmetric exchange with the (lo, hi) neighbour pair along one
@@ -614,6 +1060,7 @@ impl<'a> RankSolver<'a> {
         recv_lo: Region,
         recv_hi: Region,
         tag: u64,
+        clock: &mut PhaseClock,
     ) {
         let comm = self.cart.comm();
         // Post sends first (buffered): no deadlock in symmetric exchange.
@@ -626,21 +1073,24 @@ impl<'a> RankSolver<'a> {
                 comm.send_f64s(dst, tag, buf, TrafficClass::Halo);
             }
         }
+        clock.lap(self.world, SolverPhase::Pack);
         for (peer, region) in [(lo, recv_lo), (hi, recv_hi)] {
             if let Some(src) = peer {
                 let buf = comm.recv_f64s(src, tag);
+                clock.lap(self.world, SolverPhase::Wait);
                 let mut rest: &[f64] = &buf;
                 for arr in s.arrays_mut() {
                     rest = unpack_region(arr, region, rest);
                 }
                 assert!(rest.is_empty(), "halo message size mismatch from rank {src}");
+                clock.lap(self.world, SolverPhase::Pack);
             }
         }
     }
 
     /// Overset exchange: donate interpolated columns to partner-panel
     /// ranks and fill my frame slots from theirs.
-    fn overset_exchange(&self, s: &mut State) {
+    fn overset_exchange(&self, s: &mut State, clock: &mut PhaseClock) {
         let nr = self.grid.spec().nr;
         // Donate.
         for send in &self.exchange.sends {
@@ -671,9 +1121,11 @@ impl<'a> RankSolver<'a> {
             }
             self.world.send_f64s(send.to_world, TAG_OVERSET, buf, TrafficClass::Overset);
         }
+        clock.lap(self.world, SolverPhase::Overset);
         // Receive and place.
         for recv in &self.exchange.recvs {
             let buf = self.world.recv_f64s(recv.from_world, TAG_OVERSET);
+            clock.lap(self.world, SolverPhase::Wait);
             assert_eq!(
                 buf.len(),
                 recv.slots.len() * 8 * nr,
@@ -695,6 +1147,7 @@ impl<'a> RankSolver<'a> {
                 take(&mut s.a.t);
                 take(&mut s.a.p);
             }
+            clock.lap(self.world, SolverPhase::Overset);
         }
     }
 
@@ -714,8 +1167,67 @@ impl<'a> RankSolver<'a> {
         cfl_timestep(max_speed, min_dx, min_rho, &self.cfg.params, self.cfg.cfl)
     }
 
-    /// One RK4 step (mirrors `SerialSim::advance`).
+    /// One RK4 step (mirrors `SerialSim::advance`). Both modes produce
+    /// bitwise-identical states; they differ only in how boundary
+    /// synchronisation is scheduled against the RHS sweeps.
     fn advance(&mut self, state: &mut State, dt: f64) {
+        match self.mode {
+            SyncMode::Overlapped => self.advance_overlapped(state, dt),
+            SyncMode::Blocking => self.advance_blocking(state, dt),
+        }
+        // RK4 combine arithmetic (4 axpy + 3 assign_axpy, 2 flops/element,
+        // 8 arrays) — kept identical to the serial driver's accounting.
+        let combine_flops = 2 * (4 + 3) * 8 * state.shape().len() as u64;
+        self.meter.add(combine_flops);
+        self.time += dt;
+        self.step += 1;
+        if self.step == 2 {
+            // Two steps give the buffer circulation time to grow every
+            // pooled Vec to its steady capacity; from here on the step
+            // path must not allocate.
+            self.comm.warmed = true;
+        }
+    }
+
+    /// The overlapped, allocation-free step: stage 0's RHS needs no
+    /// communication (`state` was synced at the end of the previous
+    /// step), and each later stage fuses its boundary synchronisation
+    /// with its RHS sweep ([`Self::sync_rhs_overlapped`]).
+    fn advance_overlapped(&mut self, state: &mut State, dt: f64) {
+        let weights = geomath::rk4::RK4_WEIGHTS;
+        let nodes = [0.5, 0.5, 1.0];
+        self.y0.copy_from(state);
+        self.stage.copy_from(state);
+        compute_rhs(
+            &self.stage,
+            &self.metric,
+            &self.forces,
+            &self.cfg.params,
+            &self.range,
+            &mut self.scratch,
+            &mut self.k,
+            &mut self.meter,
+        );
+        state.axpy(dt * weights[0], &self.k);
+        for s in 1..4 {
+            self.stage.assign_axpy(&self.y0, dt * nodes[s - 1], &self.k);
+            // Swap the stage state out against the spare so the fused
+            // sync⊗RHS can borrow it mutably alongside the solver — the
+            // allocation-free replacement for the legacy per-stage
+            // `State::zeros`.
+            let spare = self.spare.take().expect("spare stage buffer");
+            let mut x = std::mem::replace(&mut self.stage, spare);
+            self.sync_rhs_overlapped(&mut x);
+            self.spare = Some(std::mem::replace(&mut self.stage, x));
+            state.axpy(dt * weights[s], &self.k);
+        }
+        self.sync(state);
+    }
+
+    /// The legacy step: full-range RHS, then a serialized blocking sync,
+    /// with the original per-stage `State::zeros` allocation. The bench
+    /// baseline.
+    fn advance_blocking(&mut self, state: &mut State, dt: f64) {
         let weights = geomath::rk4::RK4_WEIGHTS;
         let nodes = [0.5, 0.5, 1.0];
         self.y0.copy_from(state);
@@ -735,17 +1247,11 @@ impl<'a> RankSolver<'a> {
             if s < 3 {
                 self.stage.assign_axpy(&self.y0, dt * nodes[s], &self.k);
                 let mut stage = std::mem::replace(&mut self.stage, State::zeros(state.shape()));
-                self.sync(&mut stage);
+                self.sync_blocking(&mut stage);
                 self.stage = stage;
             }
         }
-        self.sync(state);
-        // RK4 combine arithmetic (4 axpy + 3 assign_axpy, 2 flops/element,
-        // 8 arrays) — kept identical to the serial driver's accounting.
-        let combine_flops = 2 * (4 + 3) * 8 * state.shape().len() as u64;
-        self.meter.add(combine_flops);
-        self.time += dt;
-        self.step += 1;
+        self.sync_blocking(state);
     }
 
     /// Restore this rank's owned block from a full-panel checkpoint.
@@ -815,8 +1321,8 @@ impl<'a> RankSolver<'a> {
     }
 
     /// Allreduced run counters: (flops, halo bytes, overset bytes, max
-    /// observed mailbox depth).
-    fn aggregate_counters(&self) -> (u64, u64, u64, u64) {
+    /// observed mailbox depth, all-rank phase breakdown).
+    fn aggregate_counters(&self) -> (u64, u64, u64, u64, PhaseBreakdown) {
         let stats = self.world.stats();
         let flops = self.world.allreduce_f64(self.meter.flops() as f64, ReduceOp::Sum) as u64;
         let halo_bytes = self.world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
@@ -824,7 +1330,24 @@ impl<'a> RankSolver<'a> {
             self.world.allreduce_f64(stats.bytes_overset as f64, ReduceOp::Sum) as u64;
         let max_queue_depth =
             self.world.allreduce_f64(stats.max_queue_depth as f64, ReduceOp::Max) as u64;
-        (flops, halo_bytes, overset_bytes, max_queue_depth)
+        let ns = self.world.allreduce_vec(
+            &[
+                stats.ns_pack as f64,
+                stats.ns_interior as f64,
+                stats.ns_wait as f64,
+                stats.ns_boundary as f64,
+                stats.ns_overset as f64,
+            ],
+            ReduceOp::Sum,
+        );
+        let phases = PhaseBreakdown {
+            pack_s: ns[0] / 1e9,
+            interior_s: ns[1] / 1e9,
+            wait_s: ns[2] / 1e9,
+            boundary_s: ns[3] / 1e9,
+            overset_s: ns[4] / 1e9,
+        };
+        (flops, halo_bytes, overset_bytes, max_queue_depth, phases)
     }
 
     /// Globally reduced diagnostics (sums for energies, max for maxima).
@@ -922,7 +1445,10 @@ mod tests {
         let cfg = quick_cfg();
         let mut serial = SerialSim::new(cfg.clone());
         serial.run(3, 0);
-        for (pth, pph) in [(1, 2), (2, 2)] {
+        // (1,1) is the halo-free decomposition where the overset post is
+        // hoisted to the top of the sync; (1,2)/(2,2) exercise the
+        // interleaved halo dims.
+        for (pth, pph) in [(1, 1), (1, 2), (2, 2)] {
             let rep = run_parallel(&cfg, pth, pph, 3, 0, true);
             let yin = rep.yin.expect("gathered yin");
             let yang = rep.yang.expect("gathered yang");
@@ -946,6 +1472,44 @@ mod tests {
             }
             assert!(checked > 100_000, "comparison actually covered the grid");
         }
+    }
+
+    /// The overlapped pipeline reorders *scheduling*, never arithmetic:
+    /// both sync modes must produce bitwise-identical panels.
+    #[test]
+    fn blocking_and_overlapped_agree_bitwise() {
+        let cfg = quick_cfg();
+        let a = run_parallel_with_mode(&cfg, 2, 1, 3, 0, true, SyncMode::Overlapped);
+        let b = run_parallel_with_mode(&cfg, 2, 1, 3, 0, true, SyncMode::Blocking);
+        for (ov, bl) in [
+            (a.yin.as_ref().unwrap(), b.yin.as_ref().unwrap()),
+            (a.yang.as_ref().unwrap(), b.yang.as_ref().unwrap()),
+        ] {
+            for (x, y) in ov.arrays().into_iter().zip(bl.arrays()) {
+                assert_eq!(x.data(), y.data());
+            }
+        }
+        // Same arithmetic is also metered the same.
+        assert_eq!(a.report.flops, b.report.flops);
+        // Only the overlapped pipeline computes while messages fly.
+        assert!(a.report.phases.interior_s > 0.0);
+        assert_eq!(b.report.phases.interior_s, 0.0);
+        assert!(b.report.phases.wait_s > 0.0);
+    }
+
+    /// Five steps through a 2×2 decomposition: the in-rank steady-state
+    /// assertion (zero scratch allocations after warmup) must hold and
+    /// the phase breakdown must be populated.
+    #[test]
+    fn overlapped_steady_state_is_allocation_free_and_phased() {
+        let rep = run_parallel(&quick_cfg(), 2, 2, 5, 0, false);
+        let p = rep.report.phases;
+        assert!(p.pack_s > 0.0, "pack phase must be instrumented");
+        assert!(p.interior_s > 0.0, "interior phase must be instrumented");
+        assert!(p.boundary_s > 0.0, "boundary phase must be instrumented");
+        assert!(p.overset_s > 0.0, "overset phase must be instrumented");
+        let hidden = p.hidden_comm_fraction();
+        assert!(hidden > 0.0 && hidden <= 1.0, "hidden fraction {hidden} out of range");
     }
 
     #[test]

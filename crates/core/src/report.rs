@@ -15,6 +15,42 @@ pub struct TimeSeriesPoint {
     pub diag: Diagnostics,
 }
 
+/// Per-phase wall-clock breakdown of the parallel step pipeline, summed
+/// over all ranks (seconds). Zero for serial runs and for drivers that
+/// predate the overlapped exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Packing/unpacking halo bands and posting sends.
+    pub pack_s: f64,
+    /// Deep-interior stencil work overlapped with in-flight messages.
+    pub interior_s: f64,
+    /// Time blocked in receives — the *unhidden* communication cost.
+    pub wait_s: f64,
+    /// Boundary-shell stencil work + wall conditions after the drain.
+    pub boundary_s: f64,
+    /// Overset interpolation, packing and placement.
+    pub overset_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total instrumented time across the phases.
+    pub fn total_s(&self) -> f64 {
+        self.pack_s + self.interior_s + self.wait_s + self.boundary_s + self.overset_s
+    }
+
+    /// Fraction of the exchange window covered by deep-interior compute:
+    /// `interior / (interior + wait)`. 1.0 means every receive found its
+    /// message already delivered; 0.0 means nothing was hidden. This is
+    /// the measured input to `yy-esmodel`'s overlap-aware projection.
+    pub fn hidden_comm_fraction(&self) -> f64 {
+        let window = self.interior_s + self.wait_s;
+        if window <= 0.0 {
+            return 0.0;
+        }
+        self.interior_s / window
+    }
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -35,6 +71,9 @@ pub struct RunReport {
     /// Highest per-rank mailbox depth observed anywhere in the run
     /// (0 for serial runs) — a backpressure indicator.
     pub max_queue_depth: u64,
+    /// Per-phase step-pipeline breakdown (all-rank sums; zero for serial
+    /// runs).
+    pub phases: PhaseBreakdown,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
 }
@@ -103,6 +142,20 @@ mod tests {
         };
         assert_eq!(r.flops_per_point_step(), 10.0);
         assert_eq!(r.mflops(), 1e-3);
+    }
+
+    #[test]
+    fn hidden_fraction_is_interior_over_window() {
+        let p = PhaseBreakdown {
+            pack_s: 0.1,
+            interior_s: 3.0,
+            wait_s: 1.0,
+            boundary_s: 0.5,
+            overset_s: 0.2,
+        };
+        assert!((p.hidden_comm_fraction() - 0.75).abs() < 1e-15);
+        assert!((p.total_s() - 4.8).abs() < 1e-12);
+        assert_eq!(PhaseBreakdown::default().hidden_comm_fraction(), 0.0);
     }
 
     #[test]

@@ -293,6 +293,7 @@ impl SerialSim {
             halo_bytes: 0,
             overset_bytes: 0,
             max_queue_depth: 0,
+            phases: Default::default(),
             series,
         }
     }

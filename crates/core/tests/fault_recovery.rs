@@ -6,7 +6,7 @@ use std::time::Duration;
 use yy_mhd::State;
 use yy_parcomm::FaultSpec;
 use yycore::parallel::{run_parallel, run_parallel_supervised, RecoveryOpts};
-use yycore::{HealthLimits, RunConfig};
+use yycore::{HealthLimits, RunConfig, SerialSim};
 
 fn quick_cfg() -> RunConfig {
     let mut cfg = RunConfig::small();
@@ -85,6 +85,32 @@ fn message_faults_complete_without_hang() {
     assert!(sup.recoveries.is_empty(), "message faults alone must not need recovery");
     assert_owned_equal(&cfg, &sup.final_checkpoint.yin, &baseline.yin.as_ref().unwrap(), "yin");
     assert_owned_equal(&cfg, &sup.final_checkpoint.yang, &baseline.yang.as_ref().unwrap(), "yang");
+}
+
+/// The overlapped exchange posts sends early and computes deep-interior
+/// work while messages are in flight; aggressive injected delivery
+/// delays shuffle message *arrival* into that window and past it. The
+/// drain points still impose the data dependencies, so the result must
+/// match the serial reference bit for bit on every decomposition.
+#[test]
+fn overlap_under_injected_delays_matches_serial_bitwise() {
+    let cfg = quick_cfg();
+    let mut serial = SerialSim::new(cfg.clone());
+    serial.run(4, 0);
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(99).with_delay(0.5, Duration::from_millis(1)),
+        checkpoint_every: 0,
+        deadline: Duration::from_secs(20),
+        ..RecoveryOpts::default()
+    };
+    for (pth, pph) in [(1, 2), (2, 2)] {
+        let sup = run_parallel_supervised(&cfg, pth, pph, 4, 0, &opts)
+            .expect("delayed run completes");
+        assert!(sup.recoveries.is_empty(), "delays alone must not trigger recovery");
+        let tag = format!("{pth}x{pph}");
+        assert_owned_equal(&cfg, &sup.final_checkpoint.yin, &serial.yin, &format!("yin {tag}"));
+        assert_owned_equal(&cfg, &sup.final_checkpoint.yang, &serial.yang, &format!("yang {tag}"));
+    }
 }
 
 /// An unsatisfiable health limit exercises graceful degradation: the

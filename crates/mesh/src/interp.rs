@@ -154,15 +154,16 @@ pub fn interp_scalar_column(col: &OversetColumn, donor: &Array3, out: &mut [f64]
 /// Apply one overset column to a scalar field pair (serial, full-panel
 /// arrays): reads `donor`, writes the target frame column of `target`.
 pub fn apply_scalar(col: &OversetColumn, donor: &Array3, target: &mut Array3) {
-    let nr = target.shape().nr;
-    let mut buf = vec![0.0; nr];
-    interp_scalar_column(col, donor, &mut buf);
-    target.row_mut(col.tgt_j as isize, col.tgt_k as isize).copy_from_slice(&buf);
+    interp_scalar_column(col, donor, target.row_mut(col.tgt_j as isize, col.tgt_k as isize));
 }
 
 /// Interpolate and rotate a vector field's radial columns for `col`.
 ///
 /// Writes the target-basis components into `(out_r, out_t, out_p)`.
+/// Allocation-free: the tangential components are interpolated into the
+/// output rows in the donor basis and rotated in place (per-node locals,
+/// so the arithmetic — and hence the result — is bit-identical to
+/// rotating out of separate temporaries).
 pub fn interp_vector_column(
     col: &OversetColumn,
     donor_r: &Array3,
@@ -173,16 +174,14 @@ pub fn interp_vector_column(
     out_p: &mut [f64],
 ) {
     interp_scalar_column(col, donor_r, out_r);
-    // Interpolate tangential components in the donor basis, then rotate.
-    let nr = out_t.len();
-    let mut at = vec![0.0; nr];
-    let mut ap = vec![0.0; nr];
-    interp_scalar_column(col, donor_t, &mut at);
-    interp_scalar_column(col, donor_p, &mut ap);
+    interp_scalar_column(col, donor_t, out_t);
+    interp_scalar_column(col, donor_p, out_p);
     let m = col.rot;
-    for i in 0..nr {
-        out_t[i] = m[0][0] * at[i] + m[0][1] * ap[i];
-        out_p[i] = m[1][0] * at[i] + m[1][1] * ap[i];
+    for i in 0..out_t.len() {
+        let at = out_t[i];
+        let ap = out_p[i];
+        out_t[i] = m[0][0] * at + m[0][1] * ap;
+        out_p[i] = m[1][0] * at + m[1][1] * ap;
     }
 }
 
@@ -198,15 +197,16 @@ pub fn apply_vector(
     target_t: &mut Array3,
     target_p: &mut Array3,
 ) {
-    let nr = target_r.shape().nr;
-    let mut br = vec![0.0; nr];
-    let mut bt = vec![0.0; nr];
-    let mut bp = vec![0.0; nr];
-    interp_vector_column(col, donor_r, donor_t, donor_p, &mut br, &mut bt, &mut bp);
     let (tj, tk) = (col.tgt_j as isize, col.tgt_k as isize);
-    target_r.row_mut(tj, tk).copy_from_slice(&br);
-    target_t.row_mut(tj, tk).copy_from_slice(&bt);
-    target_p.row_mut(tj, tk).copy_from_slice(&bp);
+    interp_vector_column(
+        col,
+        donor_r,
+        donor_t,
+        donor_p,
+        target_r.row_mut(tj, tk),
+        target_t.row_mut(tj, tk),
+        target_p.row_mut(tj, tk),
+    );
 }
 
 #[cfg(test)]

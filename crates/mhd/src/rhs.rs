@@ -126,6 +126,96 @@ impl InteriorRange {
         }
         (self.i1 - self.i0) * ((self.j1 - self.j0) * (self.k1 - self.k0)) as usize
     }
+
+    /// True when this range updates no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+
+    /// Split into a *deep interior* and a *boundary shell* for
+    /// communication/compute overlap.
+    ///
+    /// The deep interior is the sub-range whose 9-point horizontal stencil
+    /// and radial neighbours read **no** node a boundary synchronisation
+    /// can modify: halo ghosts, overset frame columns, or the radial wall
+    /// planes. Since the stencil radius is 1 (in i, j and k) and every
+    /// edge of an interior range abuts sync-written data — ghost bands at
+    /// tile edges, frame columns at panel edges, wall planes radially —
+    /// shrinking by one node on every side is both necessary and
+    /// sufficient. The boundary shell is the set-difference, decomposed
+    /// into up to six disjoint boxes (two radial slabs, two θ bands, two
+    /// φ bands) that together with the deep interior exactly tile `self`.
+    ///
+    /// Degenerate (thin) ranges fall back to an empty deep interior with
+    /// the whole range as a single shell box.
+    pub fn split_overlap(&self) -> OverlapSplit {
+        if self.is_empty() {
+            return OverlapSplit { deep: None, shell: Vec::new() };
+        }
+        let (di, dj, dk) =
+            (self.i1 - self.i0, (self.j1 - self.j0) as usize, (self.k1 - self.k0) as usize);
+        if di < 2 || dj < 2 || dk < 2 {
+            // Too thin for the six-box decomposition to stay disjoint.
+            return OverlapSplit { deep: None, shell: vec![*self] };
+        }
+        let deep = InteriorRange {
+            i0: self.i0 + 1,
+            i1: self.i1 - 1,
+            j0: self.j0 + 1,
+            j1: self.j1 - 1,
+            k0: self.k0 + 1,
+            k1: self.k1 - 1,
+        };
+        let shell = [
+            // Radial wall-adjacent slabs (full horizontal extent).
+            InteriorRange { i0: self.i0, i1: self.i0 + 1, ..*self },
+            InteriorRange { i0: self.i1 - 1, i1: self.i1, ..*self },
+            // θ bands at radially-deep levels.
+            InteriorRange { i0: deep.i0, i1: deep.i1, j1: self.j0 + 1, ..*self },
+            InteriorRange { i0: deep.i0, i1: deep.i1, j0: self.j1 - 1, ..*self },
+            // φ bands at radially-deep, θ-deep levels.
+            InteriorRange { i0: deep.i0, i1: deep.i1, j0: deep.j0, j1: deep.j1, k1: self.k0 + 1, ..*self },
+            InteriorRange { i0: deep.i0, i1: deep.i1, j0: deep.j0, j1: deep.j1, k0: self.k1 - 1, ..*self },
+        ]
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .collect();
+        OverlapSplit { deep: (!deep.is_empty()).then_some(deep), shell }
+    }
+
+    /// Split the range into up to `n` consecutive φ-chunks (for pipelining
+    /// the deep-interior sweep between communication phases). The chunks
+    /// are disjoint, cover `self`, and preserve the (k, j, i) sweep order.
+    pub fn chunks_phi(&self, n: usize) -> Vec<InteriorRange> {
+        let nk = (self.k1 - self.k0).max(0) as usize;
+        let n = n.max(1).min(nk.max(1));
+        let mut out = Vec::with_capacity(n);
+        let mut k = self.k0;
+        for c in 0..n {
+            let k_next = self.k0 + ((nk * (c + 1)) / n) as isize;
+            out.push(InteriorRange { k0: k, k1: k_next, ..*self });
+            k = k_next;
+        }
+        out
+    }
+}
+
+/// Result of [`InteriorRange::split_overlap`]: the sync-independent deep
+/// interior plus the boundary-shell boxes that complete the tiling.
+#[derive(Debug, Clone)]
+pub struct OverlapSplit {
+    /// Columns/levels whose stencils read nothing a boundary sync writes
+    /// (`None` when the range is too thin to have any).
+    pub deep: Option<InteriorRange>,
+    /// Disjoint boxes covering the rest of the range.
+    pub shell: Vec<InteriorRange>,
+}
+
+impl OverlapSplit {
+    /// All sub-ranges (deep first), for tiling checks.
+    pub fn all_ranges(&self) -> Vec<InteriorRange> {
+        self.deep.iter().chain(self.shell.iter()).copied().collect()
+    }
 }
 
 /// Reusable scratch arrays for RHS evaluation (velocity and temperature
@@ -224,17 +314,51 @@ pub fn compute_rhs(
     meter: &mut FlopMeter,
 ) {
     out.fill_zero();
+    compute_rhs_partial(state, metric, forces, params, range, scratch, out, meter);
+}
+
+/// Evaluate the RHS over `range` **without** zeroing `out` first — the
+/// building block for split (deep-interior / boundary-shell) sweeps that
+/// accumulate disjoint sub-ranges into one tendency state. The caller
+/// zeroes `out` once before the first partial sweep.
+///
+/// `state` only needs valid values on `range` expanded by the stencil
+/// radius (one node in every direction): the subsidiary `v = f/ρ`,
+/// `T = p/ρ` fields are recomputed over exactly that expansion, so a
+/// deep-interior sweep can run before ghost/frame/wall data arrives.
+/// The per-point arithmetic is identical to [`compute_rhs`], so summing
+/// partial sweeps over a disjoint tiling of a range is bit-identical to
+/// one full sweep over it.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_rhs_partial(
+    state: &State,
+    metric: &Metric,
+    forces: &ForceTables,
+    params: &PhysParams,
+    range: &InteriorRange,
+    scratch: &mut RhsScratch,
+    out: &mut State,
+    meter: &mut FlopMeter,
+) {
+    if range.is_empty() {
+        return;
+    }
     let shape = state.shape();
     let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
     let gamma = params.gamma;
     let gm1 = gamma - 1.0;
     let (mu, kappa, eta) = (params.mu, params.kappa, params.eta);
 
-    // v = f/ρ and T = p/ρ over the whole padded region (pointwise — ghost
-    // and frame values of the state are valid by contract).
+    // v = f/ρ and T = p/ρ over the range plus the stencil radius
+    // (pointwise, so recomputing a row in overlapping partial sweeps
+    // yields bit-identical values).
     let (gth, gph) = (shape.gth as isize, shape.gph as isize);
-    for k in -gph..(shape.nph as isize + gph) {
-        for j in -gth..(shape.nth as isize + gth) {
+    let j_lo = (range.j0 - 1).max(-gth);
+    let j_hi = (range.j1 + 1).min(shape.nth as isize + gth);
+    let k_lo = (range.k0 - 1).max(-gph);
+    let k_hi = (range.k1 + 1).min(shape.nph as isize + gph);
+    for k in k_lo..k_hi {
+        for j in j_lo..j_hi {
             let rho = state.rho.row(j, k);
             let prs = state.press.row(j, k);
             let fr = state.f.r.row(j, k);
@@ -593,6 +717,141 @@ mod tests {
         assert_eq!(r3.j0, 0);
         assert_eq!(r3.j1 as usize + t3.j0, nth - 1);
         assert_eq!(r3.k1 as usize + t3.k0, nph - 1);
+    }
+
+    /// Exhaustively verify that `split_overlap` tiles a range: every node
+    /// covered exactly once, deep interior one node inside every face.
+    fn assert_exact_tiling(r: &InteriorRange) {
+        let split = r.split_overlap();
+        let mut seen = std::collections::HashSet::new();
+        for sub in split.all_ranges() {
+            // Sub-ranges stay inside the parent.
+            assert!(sub.i0 >= r.i0 && sub.i1 <= r.i1, "radial overflow in {sub:?} of {r:?}");
+            assert!(sub.j0 >= r.j0 && sub.j1 <= r.j1, "θ overflow in {sub:?} of {r:?}");
+            assert!(sub.k0 >= r.k0 && sub.k1 <= r.k1, "φ overflow in {sub:?} of {r:?}");
+            for k in sub.k0..sub.k1 {
+                for j in sub.j0..sub.j1 {
+                    for i in sub.i0..sub.i1 {
+                        assert!(
+                            seen.insert((i, j, k)),
+                            "node ({i},{j},{k}) covered twice splitting {r:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), r.points(), "gap in the tiling of {r:?}");
+        if let Some(d) = split.deep {
+            assert_eq!((d.i0, d.i1), (r.i0 + 1, r.i1 - 1), "deep must clear the wall planes");
+            assert_eq!((d.j0, d.j1), (r.j0 + 1, r.j1 - 1), "deep must clear the θ edges");
+            assert_eq!((d.k0, d.k1), (r.k0 + 1, r.k1 - 1), "deep must clear the φ edges");
+        }
+    }
+
+    /// Deep-interior/boundary-shell split must exactly tile asymmetric
+    /// ranges, including thin and degenerate ones.
+    #[test]
+    fn overlap_split_tiles_asymmetric_ranges() {
+        let ranges = [
+            InteriorRange { i0: 1, i1: 15, j0: 2, j1: 9, k0: 0, k1: 23 },
+            InteriorRange { i0: 1, i1: 7, j0: 0, j1: 3, k0: 1, k1: 4 },
+            InteriorRange { i0: 2, i1: 4, j0: -1, j1: 1, k0: 0, k1: 9 }, // thin θ
+            InteriorRange { i0: 1, i1: 2, j0: 0, j1: 5, k0: 0, k1: 5 },  // single radial level
+            InteriorRange { i0: 1, i1: 15, j0: 3, j1: 4, k0: 2, k1: 3 }, // single column
+            InteriorRange { i0: 1, i1: 15, j0: 0, j1: 3, k0: 0, k1: 2 }, // thin φ
+            InteriorRange { i0: 3, i1: 3, j0: 0, j1: 4, k0: 0, k1: 4 },  // empty
+        ];
+        for r in &ranges {
+            assert_exact_tiling(r);
+        }
+    }
+
+    /// The same property on real tile ranges from uneven decompositions
+    /// and different halo/frame widths.
+    #[test]
+    fn overlap_split_tiles_decomposed_tiles() {
+        for ext in [1, 2, 3] {
+            let grid = PatchGrid::new(
+                PatchSpec::equal_spacing(10, 17, 0.35, 1.0).with_ext(ext),
+            );
+            for (pth, pph) in [(1, 1), (2, 3), (3, 2), (1, 4)] {
+                let d = yy_mesh::Decomp2D::new(pth, pph, &grid);
+                for rank in 0..pth * pph {
+                    let t = d.tile(rank);
+                    let r = InteriorRange::for_tile(&grid, &t);
+                    assert_exact_tiling(&r);
+                    // Sanity: the paper-size direction splits unevenly here,
+                    // so at least one decomposition exercises asymmetric tiles.
+                }
+            }
+        }
+    }
+
+    /// φ-chunking must partition a range in sweep order.
+    #[test]
+    fn phi_chunks_partition_the_range() {
+        let r = InteriorRange { i0: 1, i1: 9, j0: 0, j1: 7, k0: 2, k1: 13 };
+        for n in [1, 2, 3, 5, 11, 50] {
+            let chunks = r.chunks_phi(n);
+            assert!(chunks.len() <= n.max(1));
+            let mut k = r.k0;
+            let mut pts = 0;
+            for c in &chunks {
+                assert_eq!(c.k0, k, "chunks must be consecutive");
+                assert!((c.i0, c.i1, c.j0, c.j1) == (r.i0, r.i1, r.j0, r.j1));
+                k = c.k1;
+                pts += c.points();
+            }
+            assert_eq!(k, r.k1);
+            assert_eq!(pts, r.points());
+        }
+    }
+
+    /// Summing partial sweeps over the overlap split must reproduce the
+    /// full sweep bit-for-bit, including the flop accounting.
+    #[test]
+    fn split_sweeps_match_full_sweep_bitwise() {
+        let (grid, metric, forces, params) = setup(13);
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        initialize(
+            &mut state,
+            &grid,
+            None,
+            &params,
+            &InitOptions { perturb_amplitude: 1e-2, ..InitOptions::default() },
+            Panel::Yin,
+        );
+        let range = InteriorRange::full_panel(&grid);
+        let mut scratch = RhsScratch::new(shape);
+        let mut full = State::zeros(shape);
+        let mut meter_full = FlopMeter::new();
+        compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut full, &mut meter_full);
+
+        let split = range.split_overlap();
+        let mut parts = State::zeros(shape);
+        let mut meter_parts = FlopMeter::new();
+        parts.fill_zero();
+        // Deep interior first (possibly φ-chunked), then the shell — the
+        // order the overlapped driver uses.
+        if let Some(deep) = split.deep {
+            for c in deep.chunks_phi(3) {
+                compute_rhs_partial(
+                    &state, &metric, &forces, &params, &c, &mut scratch, &mut parts,
+                    &mut meter_parts,
+                );
+            }
+        }
+        for sub in &split.shell {
+            compute_rhs_partial(
+                &state, &metric, &forces, &params, sub, &mut scratch, &mut parts,
+                &mut meter_parts,
+            );
+        }
+        assert_eq!(meter_parts.flops(), meter_full.flops(), "split flop accounting must agree");
+        for (a, b) in full.arrays().into_iter().zip(parts.arrays()) {
+            assert_eq!(a.data(), b.data(), "split sweep must be bit-identical");
+        }
     }
 
     /// Tendencies outside the interior range must be exactly zero (the

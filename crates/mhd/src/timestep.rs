@@ -25,11 +25,18 @@ pub fn wave_speed_max(
 ) -> f64 {
     use crate::ops::{ColGeom, Cols, Spacings};
     let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
-    let r = &metric.r;
+    // Loop-invariant scalars hoisted to locals so the inner loop reads
+    // registers, not struct fields (identical arithmetic, just fewer
+    // loads the optimizer must prove redundant).
+    let (inv_2dr, inv_2dt, inv_2dp) = (sp.inv_2dr, sp.inv_2dt, sp.inv_2dp);
+    let gamma = params.gamma;
+    let r = &metric.r[..];
+    let inv_r = &metric.inv_r[..];
     let mut vmax: f64 = 0.0;
     for k in range.k0..range.k1 {
         for j in range.j0..range.j1 {
             let g = ColGeom::new(metric, j);
+            let (inv_sin, sin_n, sin_s) = (g.inv_sin, g.sin_n, g.sin_s);
             let rho = state.rho.row(j, k);
             let prs = state.press.row(j, k);
             let fr = state.f.r.row(j, k);
@@ -38,19 +45,22 @@ pub fn wave_speed_max(
             let ar = Cols::new(&state.a.r, j, k);
             let at = Cols::new(&state.a.t, j, k);
             let ap = Cols::new(&state.a.p, j, k);
+            let (ar_n, ar_s, ar_e, ar_w) = (ar.n, ar.s, ar.e, ar.w);
+            let (at_c, at_e, at_w) = (at.c, at.e, at.w);
+            let (ap_c, ap_n, ap_s) = (ap.c, ap.n, ap.s);
             for i in range.i0..range.i1 {
-                let ir = metric.inv_r[i];
+                let ir = inv_r[i];
                 let v2 = (fr[i] * fr[i] + ft[i] * ft[i] + fp[i] * fp[i]) / (rho[i] * rho[i]);
-                let cs2 = params.gamma * prs[i] / rho[i];
-                let b_r = ir * g.inv_sin
-                    * ((g.sin_s * ap.s[i] - g.sin_n * ap.n[i]) * sp.inv_2dt
-                        - (at.e[i] - at.w[i]) * sp.inv_2dp);
+                let cs2 = gamma * prs[i] / rho[i];
+                let b_r = ir * inv_sin
+                    * ((sin_s * ap_s[i] - sin_n * ap_n[i]) * inv_2dt
+                        - (at_e[i] - at_w[i]) * inv_2dp);
                 let b_t = ir
-                    * (g.inv_sin * (ar.e[i] - ar.w[i]) * sp.inv_2dp
-                        - (r[i + 1] * ap.c[i + 1] - r[i - 1] * ap.c[i - 1]) * sp.inv_2dr);
+                    * (inv_sin * (ar_e[i] - ar_w[i]) * inv_2dp
+                        - (r[i + 1] * ap_c[i + 1] - r[i - 1] * ap_c[i - 1]) * inv_2dr);
                 let b_p = ir
-                    * ((r[i + 1] * at.c[i + 1] - r[i - 1] * at.c[i - 1]) * sp.inv_2dr
-                        - (ar.s[i] - ar.n[i]) * sp.inv_2dt);
+                    * ((r[i + 1] * at_c[i + 1] - r[i - 1] * at_c[i - 1]) * inv_2dr
+                        - (ar_s[i] - ar_n[i]) * inv_2dt);
                 let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[i];
                 let s = v2.sqrt() + cs2.sqrt() + va2.sqrt();
                 vmax = vmax.max(s);

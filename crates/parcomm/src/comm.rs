@@ -160,6 +160,14 @@ impl Comm {
         snap
     }
 
+    /// Charge wall-clock time to a solver pipeline phase. The counters
+    /// live in the rank's shared [`StatsCell`], so they appear in the
+    /// same [`crate::CommStats`] snapshot as the traffic counters no
+    /// matter which of the rank's communicators records them.
+    pub fn record_phase_ns(&self, phase: crate::stats::SolverPhase, ns: u64) {
+        self.stats.record_phase_ns(phase, ns);
+    }
+
     /// Injected-fault counters for the universe, if a fault plan is
     /// installed.
     pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {

@@ -64,6 +64,10 @@ pub struct FaultSpec {
     pub drop_p: f64,
     /// Probability a message is delayed (evaluated after `drop_p`).
     pub delay_p: f64,
+    /// Lower bound on an injected delay (0 by default; raising it
+    /// narrows the seeded spread — `min_delay == max_delay` gives a
+    /// fixed latency, the knob a latency-hiding benchmark wants).
+    pub min_delay: Duration,
     /// Upper bound on an injected delay.
     pub max_delay: Duration,
     /// Probability a message is duplicated.
@@ -71,6 +75,14 @@ pub struct FaultSpec {
     /// Simulated sender retransmission interval: a dropped message
     /// reappears after `resends × resend_after`.
     pub resend_after: Duration,
+    /// Payloads smaller than this many bytes are exempt from
+    /// drop/delay/duplicate injection. Real interconnect latency is a
+    /// bandwidth-and-congestion phenomenon of the bulk data plane;
+    /// setting a floor keeps the control plane (dt consensus, health
+    /// reductions — tens of bytes) fast while halo/overset field
+    /// traffic (kilobytes and up) suffers the injected plan. 0 means
+    /// everything is eligible.
+    pub data_floor_bytes: usize,
     /// Bound on consecutive losses of one message (≥ 1); guarantees
     /// retry convergence.
     pub max_resends: u32,
@@ -85,8 +97,10 @@ impl FaultSpec {
             seed: 0,
             drop_p: 0.0,
             delay_p: 0.0,
+            min_delay: Duration::ZERO,
             max_delay: Duration::from_millis(2),
             duplicate_p: 0.0,
+            data_floor_bytes: 0,
             resend_after: Duration::from_millis(1),
             max_resends: 3,
             kill: None,
@@ -108,6 +122,22 @@ impl FaultSpec {
     pub fn with_delay(mut self, p: f64, max: Duration) -> Self {
         self.delay_p = p;
         self.max_delay = max;
+        self
+    }
+
+    /// Set the delay probability with explicit `[min, max]` bounds.
+    pub fn with_delay_range(mut self, p: f64, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "min_delay must not exceed max_delay");
+        self.delay_p = p;
+        self.min_delay = min;
+        self.max_delay = max;
+        self
+    }
+
+    /// Exempt payloads under `bytes` from injection (see
+    /// [`FaultSpec::data_floor_bytes`]).
+    pub fn with_data_floor(mut self, bytes: usize) -> Self {
+        self.data_floor_bytes = bytes;
         self
     }
 
@@ -237,8 +267,9 @@ impl FaultPlan {
         if u < s.drop_p {
             FaultAction::Drop { resends: 1 + (h2 % s.max_resends as u64) as u32 }
         } else if u < s.drop_p + s.delay_p {
-            let span = s.max_delay.as_micros().max(1) as u64;
-            FaultAction::Delay { micros: h2 % span }
+            let lo = s.min_delay.as_micros() as u64;
+            let span = (s.max_delay.as_micros() as u64).saturating_sub(lo).max(1);
+            FaultAction::Delay { micros: lo + h2 % span }
         } else if u < s.drop_p + s.delay_p + s.duplicate_p {
             FaultAction::Duplicate
         } else {
@@ -250,6 +281,10 @@ impl FaultPlan {
     /// scheduled fault. Called by the sender's thread under the comm
     /// layer.
     pub(crate) fn route(&self, src: usize, dst: usize, env: Envelope, mailbox: &Mailbox) {
+        if env.payload.byte_len() < self.spec.data_floor_bytes {
+            mailbox.deliver(env);
+            return;
+        }
         let n = {
             let mut edges = self.edges.lock().unwrap_or_else(|p| p.into_inner());
             let c = edges.entry((src, dst)).or_insert(0);

@@ -21,6 +21,22 @@ pub enum TrafficClass {
     Control,
 }
 
+/// One phase of the solver's overlapped step pipeline, for the per-phase
+/// wall-clock breakdown the drivers surface in their run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverPhase {
+    /// Packing/unpacking halo bands and posting sends.
+    Pack,
+    /// Deep-interior stencil work executed while messages are in flight.
+    Interior,
+    /// Blocked in receives (the *unhidden* communication cost).
+    Wait,
+    /// Boundary-shell stencil work and wall conditions after the drain.
+    Boundary,
+    /// Overset interpolation, packing and placement.
+    Overset,
+}
+
 /// Lock-free counters for one rank.
 ///
 /// Shared (`Arc`) between all the communicators a rank holds, so a single
@@ -35,6 +51,11 @@ pub struct StatsCell {
     msgs_recv: AtomicU64,
     bytes_recv: AtomicU64,
     recv_retries: AtomicU64,
+    ns_pack: AtomicU64,
+    ns_interior: AtomicU64,
+    ns_wait: AtomicU64,
+    ns_boundary: AtomicU64,
+    ns_overset: AtomicU64,
 }
 
 impl StatsCell {
@@ -68,6 +89,18 @@ impl StatsCell {
         }
     }
 
+    /// Charge `ns` nanoseconds of wall-clock time to a solver phase.
+    pub fn record_phase_ns(&self, phase: SolverPhase, ns: u64) {
+        let target = match phase {
+            SolverPhase::Pack => &self.ns_pack,
+            SolverPhase::Interior => &self.ns_interior,
+            SolverPhase::Wait => &self.ns_wait,
+            SolverPhase::Boundary => &self.ns_boundary,
+            SolverPhase::Overset => &self.ns_overset,
+        };
+        target.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// An immutable copy of the current counters.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
@@ -81,6 +114,11 @@ impl StatsCell {
             recv_retries: self.recv_retries.load(Ordering::Relaxed),
             max_queue_depth: 0,
             dups_discarded: 0,
+            ns_pack: self.ns_pack.load(Ordering::Relaxed),
+            ns_interior: self.ns_interior.load(Ordering::Relaxed),
+            ns_wait: self.ns_wait.load(Ordering::Relaxed),
+            ns_boundary: self.ns_boundary.load(Ordering::Relaxed),
+            ns_overset: self.ns_overset.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +149,17 @@ pub struct CommStats {
     pub max_queue_depth: u64,
     /// Duplicate deliveries discarded by the sequence check.
     pub dups_discarded: u64,
+    /// Wall-clock nanoseconds spent packing halo bands and posting sends.
+    pub ns_pack: u64,
+    /// Nanoseconds of deep-interior compute overlapped with in-flight
+    /// messages.
+    pub ns_interior: u64,
+    /// Nanoseconds blocked in receives — the unhidden communication cost.
+    pub ns_wait: u64,
+    /// Nanoseconds of boundary-shell compute + wall conditions.
+    pub ns_boundary: u64,
+    /// Nanoseconds of overset interpolation/packing/placement.
+    pub ns_overset: u64,
 }
 
 impl CommStats {
@@ -140,6 +189,11 @@ impl CommStats {
             // value answers "how deep did any one queue get".
             max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
             dups_discarded: self.dups_discarded + other.dups_discarded,
+            ns_pack: self.ns_pack + other.ns_pack,
+            ns_interior: self.ns_interior + other.ns_interior,
+            ns_wait: self.ns_wait + other.ns_wait,
+            ns_boundary: self.ns_boundary + other.ns_boundary,
+            ns_overset: self.ns_overset + other.ns_overset,
         }
     }
 }
@@ -178,6 +232,26 @@ mod tests {
         assert_eq!(m.msgs_sent, 5);
         assert_eq!(m.bytes_halo, 10);
         assert_eq!(m.bytes_overset, 7);
+    }
+
+    #[test]
+    fn phase_times_accumulate_and_merge_by_sum() {
+        let s = StatsCell::new();
+        s.record_phase_ns(SolverPhase::Pack, 5);
+        s.record_phase_ns(SolverPhase::Interior, 100);
+        s.record_phase_ns(SolverPhase::Wait, 7);
+        s.record_phase_ns(SolverPhase::Boundary, 30);
+        s.record_phase_ns(SolverPhase::Overset, 11);
+        s.record_phase_ns(SolverPhase::Wait, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.ns_pack, 5);
+        assert_eq!(snap.ns_interior, 100);
+        assert_eq!(snap.ns_wait, 10);
+        assert_eq!(snap.ns_boundary, 30);
+        assert_eq!(snap.ns_overset, 11);
+        let m = snap.merged(snap);
+        assert_eq!(m.ns_wait, 20, "phase times aggregate by sum across ranks");
+        assert_eq!(m.ns_interior, 200);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark driver for the geodynamo workspace.
+#
+# Runs the full step pipeline benchmark (halo round-trip, overset
+# donate/fill, overlapped-vs-blocking parallel RK4 step under a fixed
+# injected message latency) and leaves a machine-readable summary in
+# BENCH_step.json at the repo root. CI smoke-runs the same bench with
+# tiny knobs (see scripts/ci.sh); this script is the full-fat version.
+#
+# Knobs (environment):
+#   BENCH_OUT              output path            [BENCH_step.json]
+#   YY_BENCH_STEP_GRID     small|medium           [medium]
+#   YY_BENCH_STEP_STEPS    steps per measurement  [10]
+#   YY_BENCH_STEP_REPS     interleaved reps       [5]
+#   YY_BENCH_STEP_DELAY_US injected fixed per-message latency [12000]
+#   YY_BENCH_STEP_PTH/PPH  tiles per panel        [1x1]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_step.json}
+
+echo "==> step pipeline bench (writes $out)"
+BENCH_STEP_JSON="$out" cargo bench -p yy-bench --bench step --offline
+
+echo "==> kernel microbenches"
+cargo bench -p yy-bench --bench kernels --offline
+
+echo "wrote $out"

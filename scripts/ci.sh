@@ -30,6 +30,20 @@ soak="pth=1 pph=2 steps=6 sample=0 nr=12 nth=9"
 cmp "$soak_dir/clean.ck" "$soak_dir/fault.ck"
 echo "OK: recovered trajectory is bit-identical to the fault-free run"
 
+echo "==> bench smoke: step pipeline writes machine-readable BENCH_step.json"
+# Tiny knobs: this checks the bench runs and the JSON is well-formed,
+# not the performance numbers (scripts/bench.sh is the full-fat run).
+YY_BENCH_SAMPLE_MS=5 YY_BENCH_SAMPLES=2 \
+YY_BENCH_STEP_GRID=small YY_BENCH_STEP_STEPS=3 YY_BENCH_STEP_REPS=1 \
+YY_BENCH_STEP_DELAY_US=500 \
+BENCH_STEP_JSON="$soak_dir/BENCH_step.json" \
+  cargo bench -p yy-bench --bench step --offline >/dev/null
+for key in speedup_overlapped_vs_blocking hidden_comm_fraction median_ns_per_step; do
+  grep -q "$key" "$soak_dir/BENCH_step.json" || {
+    echo "ERROR: BENCH_step.json missing '$key'" >&2; exit 1; }
+done
+echo "OK: BENCH_step.json written and well-formed"
+
 echo "==> dependency audit: workspace path dependencies only"
 # Path dependencies print as `name vX.Y.Z (/abs/path)`; anything without
 # a path source came from a registry and breaks hermeticity.
