@@ -37,6 +37,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod health;
+pub mod obs;
 pub mod parallel;
 pub mod report;
 pub mod serial;
@@ -47,6 +48,7 @@ pub mod transport;
 
 pub use config::RunConfig;
 pub use health::{HealthGuard, HealthLimits, HealthViolation};
+pub use obs::{ObsOpts, TraceMode};
 pub use parallel::{
     run_parallel, run_parallel_supervised, run_parallel_with_mode, ParallelReport, RecoveryEvent,
     RecoveryOpts, SupervisedReport, SyncMode,

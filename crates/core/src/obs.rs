@@ -1,0 +1,149 @@
+//! Observability wiring for the drivers: what to record, where to write
+//! the artifacts, and the Chrome-trace dump used both for successful
+//! runs and for post-mortems of failed passes.
+//!
+//! The options here are deliberately driver-level: the recording
+//! machinery itself (flight-recorder rings, histograms, exporters) lives
+//! in `yy-obs`; this module only decides *whether* recorders are
+//! installed for a supervised run and turns their contents into files.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use yy_obs::{chrome_trace_json, RankTrace, RecorderSet};
+
+/// Recorder installation policy for a supervised parallel run.
+///
+/// `Auto` is what the CLI uses: recorders exist exactly when a trace
+/// output path was requested. The explicit variants exist for the
+/// overhead benchmark, which must compare a run with no recorders at
+/// all (`Off`, the "compiled-out" shape: one `Option` branch per event
+/// site), recorders installed but disarmed (`Disabled`, adding the
+/// enabled-flag load), and recorders actually recording (`Enabled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Install + arm recorders iff [`ObsOpts::trace`] is set.
+    #[default]
+    Auto,
+    /// Never install recorders.
+    Off,
+    /// Install recorders but leave them disarmed (fast-path benchmark).
+    Disabled,
+    /// Install and arm recorders even without a trace path.
+    Enabled,
+}
+
+/// Observability knobs for [`crate::parallel::run_parallel_supervised`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsOpts {
+    /// Write a Chrome trace-event JSON (Perfetto / `chrome://tracing`
+    /// loadable, one track per rank) here after a successful run. Every
+    /// *failed* pass additionally dumps all surviving flight recorders
+    /// to `<trace>.postmortem` — a deterministic sibling path, so CI and
+    /// humans can find the wreckage without parsing driver output.
+    pub trace: Option<PathBuf>,
+    /// Append JSONL structured log records (pass lifecycle, recoveries,
+    /// artifact writes) here.
+    pub log: Option<PathBuf>,
+    /// Flight-recorder ring capacity in events; 0 = the `yy-obs`
+    /// default. The ring keeps the newest events on wrap, so a small
+    /// capacity still yields a useful post-mortem tail.
+    pub ring_capacity: usize,
+    /// Recorder installation policy (see [`TraceMode`]).
+    pub mode: TraceMode,
+}
+
+impl ObsOpts {
+    /// Whether recorders should be installed, and if so whether armed.
+    /// `None` means no recorders (the comm layer's zero-cost shape).
+    pub fn recording(&self) -> Option<bool> {
+        match self.mode {
+            TraceMode::Auto => self.trace.is_some().then_some(true),
+            TraceMode::Off => None,
+            TraceMode::Disabled => Some(false),
+            TraceMode::Enabled => Some(true),
+        }
+    }
+
+    /// Build the per-rank recorder set this policy asks for. The caller
+    /// (the supervisor) keeps the `Arc`, so ring contents survive the
+    /// universe teardown of a failed pass — that is what makes
+    /// post-mortem dumps possible.
+    pub fn make_recorders(&self, nranks: usize) -> Option<Arc<RecorderSet>> {
+        self.recording()
+            .map(|armed| Arc::new(RecorderSet::new(nranks, self.ring_capacity, armed)))
+    }
+
+    /// The deterministic post-mortem dump path next to the trace path.
+    pub fn postmortem_path(&self) -> Option<PathBuf> {
+        self.trace.as_ref().map(|p| {
+            let mut s = p.as_os_str().to_os_string();
+            s.push(".postmortem");
+            PathBuf::from(s)
+        })
+    }
+}
+
+/// Render every rank's flight-recorder contents as one Chrome
+/// trace-event JSON document (one track per rank).
+pub fn recorders_to_chrome(set: &RecorderSet) -> String {
+    let tracks: Vec<RankTrace> = set
+        .snapshots()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, events)| RankTrace { rank, events })
+        .collect();
+    chrome_trace_json(&tracks)
+}
+
+/// Dump the recorder set to `path` as a Chrome trace.
+pub fn write_chrome_trace(path: &Path, set: &RecorderSet) -> Result<(), String> {
+    std::fs::write(path, recorders_to_chrome(set))
+        .map_err(|e| format!("writing trace {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yy_obs::validate_chrome_trace;
+    use yy_obs::Event;
+
+    #[test]
+    fn auto_mode_follows_the_trace_path() {
+        let mut o = ObsOpts::default();
+        assert_eq!(o.recording(), None);
+        assert!(o.make_recorders(2).is_none());
+        o.trace = Some(PathBuf::from("/tmp/t.json"));
+        assert_eq!(o.recording(), Some(true));
+        let set = o.make_recorders(2).expect("recorders");
+        assert_eq!(set.len(), 2);
+        assert!(set.rank(0).is_enabled());
+        assert_eq!(
+            o.postmortem_path().unwrap(),
+            PathBuf::from("/tmp/t.json.postmortem")
+        );
+    }
+
+    #[test]
+    fn explicit_modes_override_the_path() {
+        let o = ObsOpts { mode: TraceMode::Disabled, ..Default::default() };
+        let set = o.make_recorders(1).expect("installed");
+        assert!(!set.rank(0).is_enabled());
+        let o = ObsOpts {
+            mode: TraceMode::Off,
+            trace: Some(PathBuf::from("x")),
+            ..Default::default()
+        };
+        assert!(o.make_recorders(1).is_none());
+    }
+
+    #[test]
+    fn recorder_dump_is_a_valid_chrome_trace() {
+        let o = ObsOpts { mode: TraceMode::Enabled, ..Default::default() };
+        let set = o.make_recorders(2).expect("recorders");
+        set.rank(0).record(Event::StepBegin { step: 0 });
+        set.rank(1).record(Event::KillInjected { step: 0 });
+        let check = validate_chrome_trace(&recorders_to_chrome(&set)).expect("valid trace");
+        assert_eq!(check.tracks, 2);
+        assert_eq!(check.kills, 1);
+    }
+}

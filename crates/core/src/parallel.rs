@@ -40,6 +40,8 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::health::{HealthGuard, HealthLimits};
+use crate::obs::{recorders_to_chrome, ObsOpts};
+pub use crate::report::RecoveryEvent;
 use crate::report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -55,6 +57,8 @@ use yy_mhd::{
     apply_physical_bc, cfl_timestep, compute_rhs, initialize, timestep::rho_min_owned,
     wave_speed_max, Diagnostics, ForceTables, State,
 };
+use yy_obs::hist::HistogramSnapshot;
+use yy_obs::{Event, JsonlLogger};
 use yy_parcomm::stats::{SolverPhase, TrafficClass};
 use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
 
@@ -152,6 +156,10 @@ pub struct RecoveryOpts {
     /// bitwise identical; `Blocking` exists as the benchmark baseline,
     /// e.g. to compare delay sensitivity under an injected fault plan).
     pub sync_mode: SyncMode,
+    /// Observability: flight-recorder installation, Chrome-trace /
+    /// JSONL output paths, ring sizing. Recording never perturbs the
+    /// trajectory — the traced and untraced runs are bitwise identical.
+    pub obs: ObsOpts,
 }
 
 impl Default for RecoveryOpts {
@@ -165,20 +173,9 @@ impl Default for RecoveryOpts {
             max_dt_reductions: 2,
             health: HealthLimits::default(),
             sync_mode: SyncMode::Overlapped,
+            obs: ObsOpts::default(),
         }
     }
-}
-
-/// One supervisor intervention: why a pass was abandoned and where the
-/// next one resumed.
-#[derive(Debug, Clone)]
-pub struct RecoveryEvent {
-    /// 1-based index of the pass that failed.
-    pub pass: u32,
-    /// Step of the checkpoint the next pass resumed from.
-    pub resume_step: u64,
-    /// Human-readable failure cause (rank failure or health violation).
-    pub cause: String,
 }
 
 /// Result of a supervised parallel run.
@@ -219,8 +216,32 @@ pub fn run_parallel_supervised(
     let nprocs = 2 * tiles;
     let plan =
         opts.fault.is_active().then(|| Arc::new(FaultPlan::new(opts.fault.clone(), nprocs)));
+    // The supervisor — not the universe — owns the flight recorders, so
+    // ring contents survive the teardown of a failed pass and can be
+    // dumped as a post-mortem.
+    let recorders = opts.obs.make_recorders(nprocs);
+    let logger = match &opts.obs.log {
+        Some(path) => Some(
+            JsonlLogger::create(path).map_err(|e| format!("opening log {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let log = |level: &str, msg: &str, extra: &[(&str, String)]| {
+        if let Some(l) = &logger {
+            l.log(level, None, None, msg, extra);
+        }
+    };
+    log(
+        "info",
+        "supervised run start",
+        &[
+            ("nprocs", nprocs.to_string()),
+            ("steps", steps.to_string()),
+            ("traced", recorders.is_some().to_string()),
+        ],
+    );
     let slot: Arc<Mutex<Option<Checkpoint>>> = Arc::new(Mutex::new(None));
-    let mut recoveries = Vec::new();
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut dt_scale = 1.0_f64;
     let mut rank_recoveries = 0_u32;
     let mut dt_reductions = 0_u32;
@@ -236,6 +257,7 @@ pub fn run_parallel_supervised(
             fault: plan.clone(),
             deadline: opts.deadline,
             retry_base: opts.retry_base,
+            recorders: recorders.clone(),
         };
         let cfg2 = cfg.clone();
         let slot2 = Arc::clone(&slot);
@@ -290,24 +312,65 @@ pub fn run_parallel_supervised(
         let failure = failure.map(|f| f.to_string());
         let resume_step =
             slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref().map_or(0, |ck| ck.step);
+        // Any abandoned pass — rank failure or health rollback — dumps
+        // every surviving rank's flight recorder, so the last N events
+        // before death are inspectable. Last failure wins the path.
+        if failure.is_some() || health_err.is_some() {
+            if let (Some(path), Some(set)) = (opts.obs.postmortem_path(), &recorders) {
+                std::fs::write(&path, recorders_to_chrome(set))
+                    .map_err(|e| format!("writing post-mortem trace {}: {e}", path.display()))?;
+                log(
+                    "warn",
+                    "wrote post-mortem trace",
+                    &[("path", path.display().to_string()), ("pass", pass.to_string())],
+                );
+            }
+        }
         if let Some(cause) = failure {
             if rank_recoveries >= opts.max_recoveries {
+                log("error", "giving up on rank failures", &[("cause", cause.clone())]);
                 return Err(format!(
                     "giving up after {rank_recoveries} rank-failure recoveries: {cause}"
                 ));
             }
             rank_recoveries += 1;
+            if let Some(set) = &recorders {
+                set.record_all(Event::Rollback { pass: pass as u64, resume_step });
+            }
+            log(
+                "warn",
+                "rank failure; rolling back",
+                &[
+                    ("pass", pass.to_string()),
+                    ("resume_step", resume_step.to_string()),
+                    ("cause", cause.clone()),
+                ],
+            );
             recoveries.push(RecoveryEvent { pass, resume_step, cause });
             continue;
         }
         if let Some(cause) = health_err {
             if dt_reductions >= opts.max_dt_reductions {
+                log("error", "giving up on health violations", &[("cause", cause.clone())]);
                 return Err(format!(
                     "health violations persist after {dt_reductions} dt reductions: {cause}"
                 ));
             }
             dt_reductions += 1;
             dt_scale *= 0.5;
+            if let Some(set) = &recorders {
+                set.record_all(Event::Rollback { pass: pass as u64, resume_step });
+            }
+            log(
+                "warn",
+                "health rollback; dt halved",
+                &[
+                    ("pass", pass.to_string()),
+                    ("resume_step", resume_step.to_string()),
+                    ("dt_scale", dt_scale.to_string()),
+                    ("cause", cause.clone()),
+                ],
+            );
             recoveries.push(RecoveryEvent { pass, resume_step, cause });
             continue;
         }
@@ -317,7 +380,19 @@ pub fn run_parallel_supervised(
             .unwrap_or_else(|e| e.into_inner())
             .clone()
             .ok_or("no final checkpoint was captured")?;
-        return Ok(SupervisedReport { report: rep.report, final_checkpoint, recoveries, dt_scale });
+        if let (Some(path), Some(set)) = (&opts.obs.trace, &recorders) {
+            std::fs::write(path, recorders_to_chrome(set))
+                .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+            log("info", "wrote trace", &[("path", path.display().to_string())]);
+        }
+        let mut report = rep.report;
+        report.recoveries = recoveries.clone();
+        log(
+            "info",
+            "supervised run complete",
+            &[("passes", pass.to_string()), ("recoveries", recoveries.len().to_string())],
+        );
+        return Ok(SupervisedReport { report, final_checkpoint, recoveries, dt_scale });
     }
 }
 
@@ -385,21 +460,28 @@ fn rank_main_supervised(
     // even a failure before the first periodic capture can recover.
     if resume.is_none() {
         solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+        world.record_event(Event::CheckpointSaved { step: solver.step });
     }
 
     while solver.step < steps {
+        let step_started = Instant::now();
+        world.record_event(Event::StepBegin { step: solver.step });
         world.fault_tick(solver.step);
         // dt cadence at *absolute* step numbers, so a resumed pass
         // recomputes dt at exactly the steps the clean run did.
         if dt_cache == 0.0 || solver.step % solver.cfg.dt_every as u64 == 0 {
             dt_cache = solver.global_dt(&state) * dt_scale;
             if let Err(v) = guard.check_dt(dt_cache) {
+                world.record_event(Event::HealthViolation { code: v.code(), step: solver.step });
                 // global_dt is allreduced, so every rank returns together.
                 return Err(format!("step {}: {v}", solver.step));
             }
         }
         solver.advance(&mut state, dt_cache);
         let local = guard.check_state(&state);
+        if let Err(v) = &local {
+            world.record_event(Event::HealthViolation { code: v.code(), step: solver.step });
+        }
         let verdict =
             world.allreduce_f64(if local.is_err() { 1.0 } else { 0.0 }, ReduceOp::Max);
         if verdict > 0.0 {
@@ -413,7 +495,10 @@ fn rank_main_supervised(
         }
         if checkpoint_every > 0 && solver.step % checkpoint_every == 0 && solver.step < steps {
             solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+            world.record_event(Event::CheckpointSaved { step: solver.step });
         }
+        world.sample_queue_depth();
+        world.record_step_ns(step_started.elapsed().as_nanos() as u64);
     }
     // Final sample (every rank joins the collective; rank 0 records only
     // if the last loop iteration did not already sample this step).
@@ -422,11 +507,13 @@ fn rank_main_supervised(
         series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
     }
 
-    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases) =
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists) =
         solver.aggregate_counters();
     solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+    world.record_event(Event::CheckpointSaved { step: solver.step });
 
     if world.rank() == 0 {
+        let [recv_wait, step_wall, queue_depth] = hists;
         Ok(Some(ParallelReport {
             report: RunReport {
                 time: solver.time,
@@ -438,6 +525,10 @@ fn rank_main_supervised(
                 overset_bytes,
                 max_queue_depth,
                 phases,
+                recv_wait,
+                step_wall,
+                queue_depth,
+                recoveries: Vec::new(),
                 series,
             },
             yin: None,
@@ -603,10 +694,14 @@ fn rank_main(
 
     let mut dt_cache = 0.0_f64;
     for n in 0..steps {
+        let step_started = Instant::now();
+        world.record_event(Event::StepBegin { step: solver.step });
         if dt_cache == 0.0 || solver.step % solver.cfg.dt_every as u64 == 0 {
             dt_cache = solver.global_dt(&state);
         }
         solver.advance(&mut state, dt_cache);
+        world.sample_queue_depth();
+        world.record_step_ns(step_started.elapsed().as_nanos() as u64);
         assert!(
             !state.has_non_finite(),
             "rank {}: solution became non-finite at step {}",
@@ -642,7 +737,7 @@ fn rank_main(
     }
 
     // Aggregate counters.
-    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases) =
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists) =
         solver.aggregate_counters();
 
     // Optionally gather the full panels at rank 0.
@@ -653,6 +748,7 @@ fn rank_main(
     };
 
     if world.rank() == 0 {
+        let [recv_wait, step_wall, queue_depth] = hists;
         Some(ParallelReport {
             report: RunReport {
                 time: solver.time,
@@ -664,6 +760,10 @@ fn rank_main(
                 overset_bytes,
                 max_queue_depth,
                 phases,
+                recv_wait,
+                step_wall,
+                queue_depth,
+                recoveries: Vec::new(),
                 series,
             },
             yin,
@@ -1320,9 +1420,22 @@ impl<'a> RankSolver<'a> {
         }
     }
 
+    /// Merge one per-rank histogram snapshot across every rank: bucket
+    /// counts and sums are exact integers far below 2⁵³, so a `Sum`
+    /// allreduce over the f64 words is lossless; the observed max
+    /// reduces separately under `Max`. Collective — all ranks call.
+    fn merge_hist(&self, h: HistogramSnapshot) -> HistogramSnapshot {
+        let words = self.world.allreduce_vec(&h.to_f64s(), ReduceOp::Sum);
+        let max = self.world.allreduce_f64(h.max as f64, ReduceOp::Max) as u64;
+        HistogramSnapshot::from_f64s(&words, max)
+    }
+
     /// Allreduced run counters: (flops, halo bytes, overset bytes, max
-    /// observed mailbox depth, all-rank phase breakdown).
-    fn aggregate_counters(&self) -> (u64, u64, u64, u64, PhaseBreakdown) {
+    /// observed mailbox depth, all-rank phase breakdown, merged
+    /// [receive-wait, step-wall, queue-depth] histograms).
+    fn aggregate_counters(
+        &self,
+    ) -> (u64, u64, u64, u64, PhaseBreakdown, [HistogramSnapshot; 3]) {
         let stats = self.world.stats();
         let flops = self.world.allreduce_f64(self.meter.flops() as f64, ReduceOp::Sum) as u64;
         let halo_bytes = self.world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
@@ -1347,7 +1460,9 @@ impl<'a> RankSolver<'a> {
             boundary_s: ns[3] / 1e9,
             overset_s: ns[4] / 1e9,
         };
-        (flops, halo_bytes, overset_bytes, max_queue_depth, phases)
+        let hists = [stats.recv_wait, stats.step_wall, stats.queue_depth]
+            .map(|h| self.merge_hist(h));
+        (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists)
     }
 
     /// Globally reduced diagnostics (sums for energies, max for maxima).

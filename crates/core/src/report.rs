@@ -1,6 +1,10 @@
-//! Run reports: diagnostic time series and performance counters.
+//! Run reports: diagnostic time series, performance counters, latency
+//! distributions, and the machine-readable JSON artifact.
 
 use yy_mhd::Diagnostics;
+use yy_obs::hist::HistogramSnapshot;
+use yy_obs::json::{escape, num};
+use yy_obs::registry::hist_json;
 
 /// One sample of the diagnostic time series (§V's energy curves).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +55,18 @@ impl PhaseBreakdown {
     }
 }
 
+/// One supervisor intervention: why a pass was abandoned and where the
+/// next one resumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// 1-based index of the pass that failed.
+    pub pass: u32,
+    /// Step of the checkpoint the next pass resumed from.
+    pub resume_step: u64,
+    /// Human-readable failure cause (rank failure or health violation).
+    pub cause: String,
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -74,6 +90,19 @@ pub struct RunReport {
     /// Per-phase step-pipeline breakdown (all-rank sums; zero for serial
     /// runs).
     pub phases: PhaseBreakdown,
+    /// Time blocked in receives, per receive, merged over every rank
+    /// (nanoseconds). Empty for serial runs. The p50/p99 spread is the
+    /// tail the mean `phases.wait_s` hides.
+    pub recv_wait: HistogramSnapshot,
+    /// Wall time per completed step (nanoseconds; all ranks for
+    /// parallel runs, the single driver thread for serial runs).
+    pub step_wall: HistogramSnapshot,
+    /// Mailbox depth sampled once per step on every rank — the
+    /// distribution behind the `max_queue_depth` point value.
+    pub queue_depth: HistogramSnapshot,
+    /// Supervisor interventions (rollbacks), in order; empty for
+    /// unsupervised and fault-free runs.
+    pub recoveries: Vec<RecoveryEvent>,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
 }
@@ -117,6 +146,95 @@ impl RunReport {
             ));
         }
         out
+    }
+
+    /// Render the report as a stable, schema-versioned JSON artifact.
+    ///
+    /// The schema identifier is `yy.runreport.v1`; consumers key on it
+    /// and on field presence. Fields are only ever *added* within a
+    /// schema version — renames or removals bump the version. All
+    /// histogram values are exact integers (log₂ bucket counts), so the
+    /// artifact is bitwise reproducible for a deterministic run.
+    pub fn to_json(&self) -> String {
+        let phases = format!(
+            concat!(
+                r#"{{"pack_s":{},"interior_s":{},"wait_s":{},"boundary_s":{},"#,
+                r#""overset_s":{},"hidden_comm_fraction":{}}}"#
+            ),
+            num(self.phases.pack_s),
+            num(self.phases.interior_s),
+            num(self.phases.wait_s),
+            num(self.phases.boundary_s),
+            num(self.phases.overset_s),
+            num(self.phases.hidden_comm_fraction()),
+        );
+        let hists = format!(
+            r#"{{"recv_wait_ns":{},"step_wall_ns":{},"queue_depth":{}}}"#,
+            hist_json(&self.recv_wait),
+            hist_json(&self.step_wall),
+            hist_json(&self.queue_depth),
+        );
+        let recoveries: Vec<String> = self
+            .recoveries
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"pass":{},"resume_step":{},"cause":"{}"}}"#,
+                    r.pass,
+                    r.resume_step,
+                    escape(&r.cause)
+                )
+            })
+            .collect();
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        r#"{{"step":{},"time":{},"dt":{},"kinetic":{},"magnetic":{},"#,
+                        r#""thermal":{},"mass":{},"max_speed":{},"max_b":{}}}"#
+                    ),
+                    p.step,
+                    num(p.time),
+                    num(p.dt),
+                    num(p.diag.kinetic),
+                    num(p.diag.magnetic),
+                    num(p.diag.thermal),
+                    num(p.diag.mass),
+                    num(p.diag.max_speed),
+                    num(p.diag.max_b),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "\"schema\":\"yy.runreport.v1\",\n",
+                "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
+                "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
+                "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
+                "\"phases\":{},\n",
+                "\"histograms\":{},\n",
+                "\"recoveries\":[{}],\n",
+                "\"series\":[{}]\n",
+                "}}\n"
+            ),
+            num(self.time),
+            self.steps,
+            self.flops,
+            num(self.wall_seconds),
+            self.grid_points,
+            num(self.mflops()),
+            num(self.flops_per_point_step()),
+            self.halo_bytes,
+            self.overset_bytes,
+            self.max_queue_depth,
+            phases,
+            hists,
+            recoveries.join(","),
+            series.join(","),
+        )
     }
 }
 
@@ -170,5 +288,42 @@ mod tests {
         let csv = r.series_csv();
         assert!(csv.starts_with("step,time,dt"));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_artifact_parses_and_is_versioned() {
+        use yy_obs::hist::Histogram;
+        use yy_obs::Json;
+        let h = Histogram::new();
+        h.record(100);
+        h.record(200_000);
+        let mut r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            recv_wait: h.snapshot(),
+            ..Default::default()
+        };
+        r.recoveries.push(RecoveryEvent {
+            pass: 1,
+            resume_step: 2,
+            cause: "rank 1 \"died\"".into(),
+        });
+        r.series.push(TimeSeriesPoint {
+            step: 3,
+            time: 0.5,
+            dt: 0.1,
+            diag: Diagnostics::default(),
+        });
+        let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v1"));
+        assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
+        let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
+        let rec = &doc.get("recoveries").unwrap().as_arr().unwrap()[0];
+        assert_eq!(rec.get("cause").unwrap().as_str(), Some("rank 1 \"died\""));
+        assert_eq!(doc.get("series").unwrap().as_arr().unwrap().len(), 1);
     }
 }

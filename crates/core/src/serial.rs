@@ -28,7 +28,7 @@ use yy_mhd::rhs::{InteriorRange, RhsScratch};
 use yy_mhd::tables::rotation_axis;
 use yy_mhd::{
     apply_physical_bc, cfl_timestep, compute_rhs, initialize, timestep::rho_min_owned,
-    wave_speed_max, Diagnostics, ForceTables, State,
+    wave_speed_breakdown, wave_speed_max, Diagnostics, ForceTables, SpeedBreakdown, State,
 };
 
 /// Fill the overset frames of both panels from each other, then apply the
@@ -168,6 +168,16 @@ impl SerialSim {
         )
     }
 
+    /// Per-component signal-speed maxima over both panels.
+    ///
+    /// Diagnostic companion to [`SerialSim::auto_dt`]: shows which wave
+    /// (flow, sound or Alfvén) limits the CFL time step.
+    pub fn speed_breakdown(&self) -> SpeedBreakdown {
+        let yin = wave_speed_breakdown(&self.yin, &self.metric, &self.cfg.params, &self.range);
+        let yang = wave_speed_breakdown(&self.yang, &self.metric, &self.cfg.params, &self.range);
+        yin.merged(&yang)
+    }
+
     /// Advance one RK4 step of size `dt`.
     pub fn advance(&mut self, dt: f64) {
         let weights = geomath::rk4::RK4_WEIGHTS;
@@ -253,13 +263,19 @@ impl SerialSim {
     pub fn run(&mut self, steps: u64, sample_every: u64) -> RunReport {
         let started = Instant::now();
         self.meter.reset();
+        // Per-step wall-time distribution: the serial driver fills the
+        // same report histogram the parallel drivers merge across ranks,
+        // so the JSON artifact has one shape for both.
+        let step_wall = yy_obs::Histogram::new();
         let mut series = vec![self.sample(0.0)];
         for n in 0..steps {
+            let step_started = Instant::now();
             if self.dt_cache == 0.0 || self.step % self.cfg.dt_every as u64 == 0 {
                 self.dt_cache = self.auto_dt();
             }
             let dt = self.dt_cache;
             self.advance(dt);
+            step_wall.record(step_started.elapsed().as_nanos() as u64);
             assert!(
                 !self.yin.has_non_finite() && !self.yang.has_non_finite(),
                 "solution became non-finite at step {} (t = {:.4e}); \
@@ -294,6 +310,10 @@ impl SerialSim {
             overset_bytes: 0,
             max_queue_depth: 0,
             phases: Default::default(),
+            recv_wait: Default::default(),
+            step_wall: step_wall.snapshot(),
+            queue_depth: Default::default(),
+            recoveries: Vec::new(),
             series,
         }
     }

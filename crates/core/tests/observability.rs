@@ -1,0 +1,118 @@
+//! Observability, end to end: a supervised parallel run with the flight
+//! recorder armed must (a) leave a valid post-mortem Chrome trace when a
+//! rank is killed, (b) produce a schema-versioned run report whose
+//! merged histograms are populated, and (c) perturb nothing — the traced
+//! trajectory is bit-identical to the untraced one.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use yy_parcomm::FaultSpec;
+use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
+use yycore::{ObsOpts, RunConfig};
+
+fn quick_cfg() -> RunConfig {
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 1e-2;
+    cfg
+}
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yy-obs-test-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn killed_run_opts(obs: ObsOpts) -> RecoveryOpts {
+    RecoveryOpts {
+        fault: FaultSpec::seeded(42)
+            .with_drop(0.05)
+            .with_delay(0.10, Duration::from_micros(200))
+            .with_kill(1, 4),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        obs,
+        ..RecoveryOpts::default()
+    }
+}
+
+#[test]
+fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
+    let cfg = quick_cfg();
+    let dir = scratch("traced");
+    let trace = dir.join("trace.json");
+    let log = dir.join("run.jsonl");
+
+    let untraced = run_parallel_supervised(&cfg, 2, 2, 6, 0, &killed_run_opts(ObsOpts::default()))
+        .expect("untraced run recovers");
+    let obs = ObsOpts { trace: Some(trace.clone()), log: Some(log.clone()), ..ObsOpts::default() };
+    let traced = run_parallel_supervised(&cfg, 2, 2, 6, 0, &killed_run_opts(obs))
+        .expect("traced run recovers");
+
+    // (c) Tracing must not perturb the computation.
+    let bytes = |ck: &yycore::checkpoint::Checkpoint| {
+        let mut v = Vec::new();
+        ck.write_to(&mut v).expect("serialize checkpoint");
+        v
+    };
+    assert_eq!(
+        bytes(&untraced.final_checkpoint),
+        bytes(&traced.final_checkpoint),
+        "tracing changed the trajectory"
+    );
+
+    // (a) The killed pass left a post-mortem; the completed run a trace.
+    let pm_path = dir.join("trace.json.postmortem");
+    let pm = std::fs::read_to_string(&pm_path).expect("post-mortem trace written");
+    let check = yy_obs::validate_chrome_trace(&pm).expect("post-mortem is a valid Chrome trace");
+    assert_eq!(check.tracks, 8, "one track per rank (2x2 tiles x 2 panels)");
+    assert!(check.kills >= 1, "post-mortem must contain the kill event");
+    assert!(check.spans > 0, "post-mortem must contain phase spans");
+
+    let final_trace = std::fs::read_to_string(&trace).expect("final trace written");
+    let fc = yy_obs::validate_chrome_trace(&final_trace).expect("final trace valid");
+    assert_eq!(fc.tracks, 8);
+    assert!(fc.flow_starts > 0 && fc.flow_finishes > 0, "message flow arrows present");
+
+    // (b) Report: versioned JSON, merged histograms populated, sane.
+    let report = &traced.report;
+    assert!(!report.recv_wait.is_empty(), "recv-wait histogram populated");
+    assert!(!report.step_wall.is_empty(), "step-wall histogram populated");
+    assert!(report.recv_wait.p50() <= report.recv_wait.p99(), "quantiles ordered");
+    assert_eq!(report.recoveries.len(), traced.recoveries.len());
+    let doc = yy_obs::Json::parse(&report.to_json()).expect("report JSON parses");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v1"));
+    assert!(
+        doc.get("histograms").unwrap().get("recv_wait_ns").unwrap().get("count").is_some(),
+        "report carries the merged recv-wait histogram"
+    );
+
+    // The JSONL log captured the rollback lifecycle.
+    let logged = std::fs::read_to_string(&log).expect("jsonl log written");
+    assert!(logged.contains("rolling back"), "log records the recovery: {logged}");
+    for line in logged.lines() {
+        yy_obs::Json::parse(line).expect("every log line is valid JSON");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Step-wall histograms merge across ranks: an 8-rank run over `n`
+/// steps records one step-wall sample per rank per step.
+#[test]
+fn merged_step_wall_counts_rank_times_steps() {
+    let cfg = quick_cfg();
+    let obs = ObsOpts::default();
+    let sup = run_parallel_supervised(
+        &cfg,
+        2,
+        2,
+        3,
+        0,
+        &RecoveryOpts { deadline: Duration::from_secs(30), obs, ..RecoveryOpts::default() },
+    )
+    .expect("clean run completes");
+    assert!(sup.recoveries.is_empty());
+    assert_eq!(sup.report.step_wall.count, 8 * 3, "8 ranks x 3 steps");
+    assert!(sup.report.step_wall.max > 0);
+}

@@ -272,6 +272,60 @@ pub fn project_overlapped(
     }
 }
 
+/// Receive-wait tail summary feeding [`project_overlapped_tail`]:
+/// p50/p99 of the measured per-receive wait distribution (`yy-obs`
+/// histograms in the run report). Units cancel — only the ratio enters
+/// the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitTail {
+    /// Median per-receive wait.
+    pub p50: f64,
+    /// 99th-percentile per-receive wait.
+    pub p99: f64,
+}
+
+impl WaitTail {
+    /// Tail-inflation factor `p99 / p50`, clamped to ≥ 1. Degenerate
+    /// inputs (empty histogram, zero median) contribute no inflation.
+    pub fn ratio(&self) -> f64 {
+        if self.p50 > 0.0 && self.p99 > self.p50 {
+            self.p99 / self.p50
+        } else {
+            1.0
+        }
+    }
+}
+
+/// [`project_overlapped`] with a measured receive-wait tail: at scale
+/// the step time is set by the *slowest* rank's exchange, not the
+/// median one, so the exposed (unhidden) communication term is
+/// inflated by the tail ratio. A perfectly tight distribution
+/// (`ratio() == 1`) reproduces `project_overlapped` identically; a
+/// heavy tail degrades the sustained projection the way straggler
+/// ranks degrade a real run.
+pub fn project_overlapped_tail(
+    machine: &EsMachine,
+    params: &EsModelParams,
+    profile: &KernelProfile,
+    shape: &RunShape,
+    hidden: f64,
+    tail: WaitTail,
+) -> Projection {
+    assert!((0.0..=1.0).contains(&hidden), "hidden fraction {hidden} must be in [0, 1]");
+    let blocking = project(machine, params, profile, shape);
+    let exposed_comm = (1.0 - hidden) * blocking.t_comm * tail.ratio();
+    let t_step = blocking.t_compute + exposed_comm;
+    let points = shape.grid_points() as f64;
+    let sustained = profile.flops_per_point_step * points / t_step;
+    Projection {
+        t_step,
+        sustained,
+        efficiency: sustained / machine.peak_of(shape.procs),
+        comm_fraction: exposed_comm / t_step,
+        ..blocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +410,36 @@ mod tests {
         // share back, but cannot exceed the compute-bound ceiling.
         assert!(full.tflops() > blocking.tflops() * 1.02);
         assert!(full.efficiency <= p.kappa0 + 1e-9);
+    }
+
+    #[test]
+    fn wait_tail_ratio_is_clamped_and_degenerate_safe() {
+        assert_eq!(WaitTail { p50: 100.0, p99: 250.0 }.ratio(), 2.5);
+        assert_eq!(WaitTail { p50: 100.0, p99: 100.0 }.ratio(), 1.0);
+        assert_eq!(WaitTail { p50: 100.0, p99: 50.0 }.ratio(), 1.0);
+        assert_eq!(WaitTail { p50: 0.0, p99: 0.0 }.ratio(), 1.0);
+    }
+
+    #[test]
+    fn tail_inflates_exposed_comm_only() {
+        let (m, p, k) = setup();
+        let shape = paper_shape(4096, 511);
+        let flat = WaitTail { p50: 10.0, p99: 10.0 };
+        let heavy = WaitTail { p50: 10.0, p99: 40.0 };
+        // A tight distribution reproduces the tail-free projection.
+        assert_eq!(
+            project_overlapped_tail(&m, &p, &k, &shape, 0.5, flat),
+            project_overlapped(&m, &p, &k, &shape, 0.5)
+        );
+        // A heavy tail slows the step and lowers sustained flops…
+        let base = project_overlapped(&m, &p, &k, &shape, 0.5);
+        let tailed = project_overlapped_tail(&m, &p, &k, &shape, 0.5, heavy);
+        assert!(tailed.t_step > base.t_step);
+        assert!(tailed.sustained < base.sustained);
+        assert!(tailed.comm_fraction > base.comm_fraction);
+        // …but a fully hidden exchange has no exposed comm to inflate.
+        let hidden = project_overlapped_tail(&m, &p, &k, &shape, 1.0, heavy);
+        assert!((hidden.t_step - base.t_compute).abs() < 1e-15);
     }
 
     #[test]

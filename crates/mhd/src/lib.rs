@@ -51,4 +51,4 @@ pub use params::PhysParams;
 pub use rhs::{compute_rhs, InteriorRange, RHS_FLOPS_PER_POINT};
 pub use state::State;
 pub use tables::ForceTables;
-pub use timestep::{cfl_timestep, wave_speed_max};
+pub use timestep::{cfl_timestep, wave_speed_breakdown, wave_speed_max, SpeedBreakdown};

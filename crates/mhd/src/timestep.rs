@@ -70,6 +70,91 @@ pub fn wave_speed_max(
     vmax
 }
 
+/// Component maxima of the signal speed over a tile.
+///
+/// Each field is the maximum of that component alone; the CFL bound uses
+/// their pointwise sum, so `flow + sound + alfven` over-estimates the
+/// combined maximum (the three maxima need not coincide) while each
+/// component alone under-estimates it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeedBreakdown {
+    /// Maximum flow speed `|v|`.
+    pub flow: f64,
+    /// Maximum adiabatic sound speed `√(γ p / ρ)`.
+    pub sound: f64,
+    /// Maximum Alfvén speed `|B| / √ρ` with `B = ∇×A`.
+    pub alfven: f64,
+}
+
+impl SpeedBreakdown {
+    /// Merge with another tile's breakdown (component-wise max).
+    pub fn merged(&self, other: &SpeedBreakdown) -> SpeedBreakdown {
+        SpeedBreakdown {
+            flow: self.flow.max(other.flow),
+            sound: self.sound.max(other.sound),
+            alfven: self.alfven.max(other.alfven),
+        }
+    }
+}
+
+/// Per-component signal-speed maxima over the FD interior.
+///
+/// Diagnostic companion to [`wave_speed_max`]: same sweep and the same
+/// `B = ∇×A` central stencils, but tracking flow, sound and Alfvén maxima
+/// separately so a run report can show *which* wave limits the time step
+/// (in the paper's regime the Alfvén speed dominates once the dynamo
+/// saturates).
+pub fn wave_speed_breakdown(
+    state: &State,
+    metric: &Metric,
+    params: &PhysParams,
+    range: &InteriorRange,
+) -> SpeedBreakdown {
+    use crate::ops::{ColGeom, Cols, Spacings};
+    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
+    let (inv_2dr, inv_2dt, inv_2dp) = (sp.inv_2dr, sp.inv_2dt, sp.inv_2dp);
+    let gamma = params.gamma;
+    let r = &metric.r[..];
+    let inv_r = &metric.inv_r[..];
+    let mut out = SpeedBreakdown::default();
+    for k in range.k0..range.k1 {
+        for j in range.j0..range.j1 {
+            let g = ColGeom::new(metric, j);
+            let (inv_sin, sin_n, sin_s) = (g.inv_sin, g.sin_n, g.sin_s);
+            let rho = state.rho.row(j, k);
+            let prs = state.press.row(j, k);
+            let fr = state.f.r.row(j, k);
+            let ft = state.f.t.row(j, k);
+            let fp = state.f.p.row(j, k);
+            let ar = Cols::new(&state.a.r, j, k);
+            let at = Cols::new(&state.a.t, j, k);
+            let ap = Cols::new(&state.a.p, j, k);
+            let (ar_n, ar_s, ar_e, ar_w) = (ar.n, ar.s, ar.e, ar.w);
+            let (at_c, at_e, at_w) = (at.c, at.e, at.w);
+            let (ap_c, ap_n, ap_s) = (ap.c, ap.n, ap.s);
+            for i in range.i0..range.i1 {
+                let ir = inv_r[i];
+                let v2 = (fr[i] * fr[i] + ft[i] * ft[i] + fp[i] * fp[i]) / (rho[i] * rho[i]);
+                let cs2 = gamma * prs[i] / rho[i];
+                let b_r = ir * inv_sin
+                    * ((sin_s * ap_s[i] - sin_n * ap_n[i]) * inv_2dt
+                        - (at_e[i] - at_w[i]) * inv_2dp);
+                let b_t = ir
+                    * (inv_sin * (ar_e[i] - ar_w[i]) * inv_2dp
+                        - (r[i + 1] * ap_c[i + 1] - r[i - 1] * ap_c[i - 1]) * inv_2dr);
+                let b_p = ir
+                    * ((r[i + 1] * at_c[i + 1] - r[i - 1] * at_c[i - 1]) * inv_2dr
+                        - (ar_s[i] - ar_n[i]) * inv_2dt);
+                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[i];
+                out.flow = out.flow.max(v2.sqrt());
+                out.sound = out.sound.max(cs2.sqrt());
+                out.alfven = out.alfven.max(va2.sqrt());
+            }
+        }
+    }
+    out
+}
+
 /// CFL time step from a wave speed and the tile's smallest spacing.
 ///
 /// Combines the advective bound `cfl · Δx / s_max` with the explicit
@@ -155,6 +240,50 @@ mod tests {
         }
         let with_b = wave_speed_max(&state, &metric, &params, &range);
         assert!(with_b > with_flow);
+    }
+
+    #[test]
+    fn breakdown_components_bracket_the_combined_maximum() {
+        let (grid, metric, mut state, params) = setup();
+        let range = InteriorRange::full_panel(&grid);
+        state.f.p.fill(0.3); // flow so every component is non-trivial
+        let shape = state.shape();
+        for k in -1..(shape.nph as isize + 1) {
+            for j in -1..(shape.nth as isize + 1) {
+                let st = grid.theta().coord_signed(j).sin();
+                for i in 0..shape.nr {
+                    state.a.p.set(i, j, k, 0.8 * grid.r().coord(i) * st);
+                }
+            }
+        }
+        let combined = wave_speed_max(&state, &metric, &params, &range);
+        let b = wave_speed_breakdown(&state, &metric, &params, &range);
+        assert!(b.flow > 0.0 && b.sound > 0.0 && b.alfven > 0.0);
+        for comp in [b.flow, b.sound, b.alfven] {
+            assert!(comp <= combined * (1.0 + 1e-12), "component {comp} exceeds combined {combined}");
+        }
+        let sum = b.flow + b.sound + b.alfven;
+        assert!(combined <= sum * (1.0 + 1e-12), "combined {combined} exceeds sum {sum}");
+    }
+
+    #[test]
+    fn breakdown_merge_is_componentwise_max() {
+        let a = SpeedBreakdown { flow: 1.0, sound: 5.0, alfven: 0.1 };
+        let b = SpeedBreakdown { flow: 2.0, sound: 4.0, alfven: 0.3 };
+        let m = a.merged(&b);
+        assert_eq!(m, SpeedBreakdown { flow: 2.0, sound: 5.0, alfven: 0.3 });
+        assert_eq!(m, b.merged(&a));
+    }
+
+    #[test]
+    fn static_state_breakdown_is_sound_dominated() {
+        let (grid, metric, state, params) = setup();
+        let range = InteriorRange::full_panel(&grid);
+        let b = wave_speed_breakdown(&state, &metric, &params, &range);
+        assert_eq!(b.flow, 0.0);
+        assert!(b.alfven < 1e-3 * b.sound, "seed field should be negligible: {b:?}");
+        let combined = wave_speed_max(&state, &metric, &params, &range);
+        assert!(b.sound <= combined && combined <= b.sound + b.alfven, "{b:?} vs {combined}");
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The flight-recorder event model and its fixed-width encoding.
+//!
+//! Events must be recordable from the solver's hot paths, so each one
+//! packs into three 64-bit words (plus the timestamp word the ring adds):
+//!
+//! ```text
+//! w0: [ peer:32 | tag:16 | sub:8 | discriminant:8 ]
+//! w1: a   (duration, bytes, step, …)
+//! w2: b   (sequence number, resume step, …)
+//! ```
+//!
+//! The `sub` byte carries the small enums (solver phase, traffic class,
+//! fault kind, health code) as plain integers; the name tables below map
+//! them back to strings at export time. Keeping the codes here — rather
+//! than referencing `yy-parcomm`'s own enums — lets this crate sit at the
+//! bottom of the dependency graph.
+
+/// Solver-phase codes (`sub` byte of [`Event::Phase`]); mirrors
+/// `yy_parcomm::SolverPhase` in declaration order.
+pub mod phase {
+    /// Packing/unpacking halo bands and posting sends.
+    pub const PACK: u8 = 0;
+    /// Deep-interior stencil work overlapped with in-flight messages.
+    pub const INTERIOR: u8 = 1;
+    /// Blocked in receives (the unhidden communication cost).
+    pub const WAIT: u8 = 2;
+    /// Boundary-shell stencil work and wall conditions.
+    pub const BOUNDARY: u8 = 3;
+    /// Overset interpolation, packing and placement.
+    pub const OVERSET: u8 = 4;
+
+    /// Human-readable phase name (exporters).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            PACK => "pack",
+            INTERIOR => "interior",
+            WAIT => "wait",
+            BOUNDARY => "boundary",
+            OVERSET => "overset",
+            _ => "phase?",
+        }
+    }
+}
+
+/// Traffic-class codes (`sub` byte of [`Event::Send`]/[`Event::Recv`]);
+/// mirrors `yy_parcomm::stats::TrafficClass` in declaration order, with
+/// an extra `UNKNOWN` for receives (the wire envelope does not carry the
+/// class).
+pub mod class {
+    /// Nearest-neighbour halo exchange inside a panel.
+    pub const HALO: u8 = 0;
+    /// Yin↔Yang overset interpolation data.
+    pub const OVERSET: u8 = 1;
+    /// Reductions and other collective plumbing.
+    pub const COLLECTIVE: u8 = 2;
+    /// Setup/control messages.
+    pub const CONTROL: u8 = 3;
+    /// Class not known at the recording site.
+    pub const UNKNOWN: u8 = 255;
+
+    /// Human-readable class name (exporters).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            HALO => "halo",
+            OVERSET => "overset",
+            COLLECTIVE => "collective",
+            CONTROL => "control",
+            _ => "msg",
+        }
+    }
+}
+
+/// Injected-fault kinds (`sub` byte of [`Event::FaultInjected`]).
+pub mod fault {
+    /// First transmission lost; `a` holds the resend count.
+    pub const DROP: u8 = 0;
+    /// Message held back; `a` holds the injected delay in microseconds.
+    pub const DELAY: u8 = 1;
+    /// Message delivered twice.
+    pub const DUPLICATE: u8 = 2;
+
+    /// Human-readable fault name (exporters).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            DROP => "drop",
+            DELAY => "delay",
+            DUPLICATE => "duplicate",
+            _ => "fault?",
+        }
+    }
+}
+
+/// Health-violation codes (`sub` byte of [`Event::HealthViolation`]);
+/// mirrors `yycore::health::HealthViolation` in declaration order.
+pub mod health {
+    /// NaN/Inf detected in a state field.
+    pub const NON_FINITE: u8 = 0;
+    /// Density fell under the floor.
+    pub const DENSITY_FLOOR: u8 = 1;
+    /// Pressure fell under the floor.
+    pub const PRESSURE_FLOOR: u8 = 2;
+    /// Time step collapsed.
+    pub const DT_COLLAPSE: u8 = 3;
+
+    /// Human-readable health-violation name (exporters).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            NON_FINITE => "non-finite",
+            DENSITY_FLOOR => "density-floor",
+            PRESSURE_FLOOR => "pressure-floor",
+            DT_COLLAPSE => "dt-collapse",
+            _ => "health?",
+        }
+    }
+}
+
+const D_PHASE: u8 = 1;
+const D_SEND: u8 = 2;
+const D_RECV: u8 = 3;
+const D_FAULT: u8 = 4;
+const D_KILL: u8 = 5;
+const D_HEALTH: u8 = 6;
+const D_CKPT: u8 = 7;
+const D_ROLLBACK: u8 = 8;
+const D_STEP: u8 = 9;
+
+/// One flight-recorder event. See the module docs for the wire layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A completed solver-phase span of `dur_ns`; the ring timestamp is
+    /// the span's *end* (exporters subtract the duration to get the
+    /// start, which is how `PhaseClock::lap` measures).
+    Phase {
+        /// [`phase`] code.
+        phase: u8,
+        /// Span length in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A message posted to `peer`'s mailbox.
+    Send {
+        /// Destination world rank.
+        peer: u32,
+        /// [`class`] code.
+        class: u8,
+        /// Payload bytes.
+        bytes: u64,
+        /// Low 16 bits of the message tag (enough to disambiguate the
+        /// solver's tag space; internal collective tags fold down).
+        tag16: u16,
+        /// Per-stream sequence number.
+        seq: u64,
+    },
+    /// A message received from `peer`.
+    Recv {
+        /// Source world rank.
+        peer: u32,
+        /// [`class`] code ([`class::UNKNOWN`] unless the receiver knows).
+        class: u8,
+        /// Payload bytes.
+        bytes: u64,
+        /// Low 16 bits of the message tag.
+        tag16: u16,
+        /// Per-stream sequence number.
+        seq: u64,
+    },
+    /// The fault plan acted on a message this rank sent.
+    FaultInjected {
+        /// [`fault`] code.
+        kind: u8,
+        /// Destination world rank of the afflicted message.
+        peer: u32,
+        /// Kind-specific parameter (resends / delay µs / 0).
+        param: u64,
+    },
+    /// The fault plan killed this rank.
+    KillInjected {
+        /// Solver step at which the kill fired.
+        step: u64,
+    },
+    /// A health guard tripped.
+    HealthViolation {
+        /// [`health`] code.
+        code: u8,
+        /// Solver step of the violation.
+        step: u64,
+    },
+    /// A checkpoint was captured.
+    CheckpointSaved {
+        /// Step the checkpoint represents.
+        step: u64,
+    },
+    /// The supervisor rolled back to a checkpoint.
+    Rollback {
+        /// Recovery pass index (1-based: pass 0 is the initial attempt).
+        pass: u64,
+        /// Step execution resumes from.
+        resume_step: u64,
+    },
+    /// A solver step began.
+    StepBegin {
+        /// The step number.
+        step: u64,
+    },
+}
+
+impl Event {
+    /// Pack into the three payload words of a ring slot.
+    pub fn encode(&self) -> [u64; 3] {
+        let head = |d: u8, sub: u8, tag: u16, peer: u32| {
+            d as u64 | (sub as u64) << 8 | (tag as u64) << 16 | (peer as u64) << 32
+        };
+        match *self {
+            Event::Phase { phase, dur_ns } => [head(D_PHASE, phase, 0, 0), dur_ns, 0],
+            Event::Send { peer, class, bytes, tag16, seq } => {
+                [head(D_SEND, class, tag16, peer), bytes, seq]
+            }
+            Event::Recv { peer, class, bytes, tag16, seq } => {
+                [head(D_RECV, class, tag16, peer), bytes, seq]
+            }
+            Event::FaultInjected { kind, peer, param } => {
+                [head(D_FAULT, kind, 0, peer), param, 0]
+            }
+            Event::KillInjected { step } => [head(D_KILL, 0, 0, 0), step, 0],
+            Event::HealthViolation { code, step } => [head(D_HEALTH, code, 0, 0), step, 0],
+            Event::CheckpointSaved { step } => [head(D_CKPT, 0, 0, 0), step, 0],
+            Event::Rollback { pass, resume_step } => {
+                [head(D_ROLLBACK, 0, 0, 0), pass, resume_step]
+            }
+            Event::StepBegin { step } => [head(D_STEP, 0, 0, 0), step, 0],
+        }
+    }
+
+    /// Decode a ring slot; `None` for an unrecognised discriminant (an
+    /// empty or torn slot).
+    pub fn decode(words: [u64; 3]) -> Option<Event> {
+        let [w0, a, b] = words;
+        let sub = (w0 >> 8) as u8;
+        let tag16 = (w0 >> 16) as u16;
+        let peer = (w0 >> 32) as u32;
+        Some(match w0 as u8 {
+            D_PHASE => Event::Phase { phase: sub, dur_ns: a },
+            D_SEND => Event::Send { peer, class: sub, bytes: a, tag16, seq: b },
+            D_RECV => Event::Recv { peer, class: sub, bytes: a, tag16, seq: b },
+            D_FAULT => Event::FaultInjected { kind: sub, peer, param: a },
+            D_KILL => Event::KillInjected { step: a },
+            D_HEALTH => Event::HealthViolation { code: sub, step: a },
+            D_CKPT => Event::CheckpointSaved { step: a },
+            D_ROLLBACK => Event::Rollback { pass: a, resume_step: b },
+            D_STEP => Event::StepBegin { step: a },
+            _ => return None,
+        })
+    }
+}
+
+/// An event plus the nanosecond timestamp the ring stamped it with
+/// (relative to the recorder set's shared origin, so tracks from
+/// different ranks align on one timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the recorder origin.
+    pub ts_ns: u64,
+    /// The decoded event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: Event) {
+        assert_eq!(Event::decode(e.encode()), Some(e), "{e:?}");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Event::Phase { phase: phase::WAIT, dur_ns: u64::MAX });
+        roundtrip(Event::Send {
+            peer: u32::MAX,
+            class: class::HALO,
+            bytes: 1 << 50,
+            tag16: u16::MAX,
+            seq: 123,
+        });
+        roundtrip(Event::Recv { peer: 7, class: class::UNKNOWN, bytes: 0, tag16: 11, seq: 0 });
+        roundtrip(Event::FaultInjected { kind: fault::DELAY, peer: 3, param: 200 });
+        roundtrip(Event::KillInjected { step: 4 });
+        roundtrip(Event::HealthViolation { code: health::DT_COLLAPSE, step: 9 });
+        roundtrip(Event::CheckpointSaved { step: 2 });
+        roundtrip(Event::Rollback { pass: 1, resume_step: 4 });
+        roundtrip(Event::StepBegin { step: 0 });
+    }
+
+    #[test]
+    fn zero_slot_decodes_to_none() {
+        assert_eq!(Event::decode([0, 0, 0]), None);
+        assert_eq!(Event::decode([0xFF, 1, 2]), None);
+    }
+
+    #[test]
+    fn name_tables_cover_codes() {
+        assert_eq!(phase::name(phase::INTERIOR), "interior");
+        assert_eq!(class::name(class::OVERSET), "overset");
+        assert_eq!(class::name(class::UNKNOWN), "msg");
+        assert_eq!(fault::name(fault::DROP), "drop");
+        assert_eq!(health::name(health::NON_FINITE), "non-finite");
+        assert_eq!(phase::name(200), "phase?");
+    }
+}

@@ -1,0 +1,44 @@
+//! Zero-dependency observability for the geodynamo workspace.
+//!
+//! The paper's entire evaluation is an observability artifact: List 1 of
+//! the SC'04 paper is the `MPIPROGINF` per-process counter report from
+//! which the 15.2 TFlops headline is read. This crate grows the same
+//! discipline for the in-process runtime, in three layers:
+//!
+//! * **Flight recorder** ([`FlightRecorder`]) — a per-rank fixed-capacity
+//!   ring buffer of timestamped [`Event`]s (solver phase spans, message
+//!   send/recv, fault injections, health violations,
+//!   checkpoint/rollback). Recording is lock-free (single-writer ring of
+//!   relaxed atomics) behind an enabled-flag fast path, so a disabled
+//!   recorder costs one atomic load per event site and a missing
+//!   recorder (`Option::None` in the comm layer) costs one branch.
+//! * **Metrics** ([`Histogram`], [`Registry`]) — log₂-bucketed latency
+//!   histograms with exact associative/commutative merge (so per-rank
+//!   distributions can be allreduced), plus a small named
+//!   counter/gauge/histogram registry for driver-level metrics.
+//! * **Exporters** ([`chrome`], [`logger`], [`json`]) — Chrome
+//!   trace-event JSON (one track per rank, spans + message flow arrows,
+//!   loadable in Perfetto / `chrome://tracing`), JSONL structured logs,
+//!   and the minimal JSON writer/parser the artifact tests round-trip
+//!   through.
+//!
+//! Everything here is plain `std`: no registry dependencies, in keeping
+//! with the workspace's hermetic-build rule (DESIGN.md §3a).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod logger;
+pub mod registry;
+pub mod ring;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace, RankTrace, TraceCheck};
+pub use event::{Event, TimedEvent};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use json::Json;
+pub use logger::JsonlLogger;
+pub use registry::{MetricsSnapshot, Registry};
+pub use ring::{FlightRecorder, RecorderSet};

@@ -1,0 +1,101 @@
+//! JSONL structured logging: one JSON object per line, with rank/step
+//! context, for machine-consumable run logs (`yycore … log=run.jsonl`).
+
+use crate::json::{escape, num};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A shared, line-buffered JSONL sink. Cheap enough for driver-level
+/// events (passes, recoveries, checkpoints); per-message events belong
+/// in the flight recorder, not here.
+pub struct JsonlLogger {
+    out: Mutex<BufWriter<File>>,
+    origin: Instant,
+}
+
+impl JsonlLogger {
+    /// Create/truncate the log file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlLogger {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            origin: Instant::now(),
+        })
+    }
+
+    /// Append one record. `rank`/`step` are `None` for supervisor-level
+    /// events; `extra` carries event-specific fields (values rendered as
+    /// JSON strings).
+    pub fn log(
+        &self,
+        level: &str,
+        rank: Option<usize>,
+        step: Option<u64>,
+        msg: &str,
+        extra: &[(&str, String)],
+    ) {
+        let mut line = format!(
+            r#"{{"ts_us":{},"level":"{}""#,
+            num(self.origin.elapsed().as_nanos() as f64 / 1000.0),
+            escape(level)
+        );
+        if let Some(r) = rank {
+            line.push_str(&format!(r#","rank":{r}"#));
+        }
+        if let Some(s) = step {
+            line.push_str(&format!(r#","step":{s}"#));
+        }
+        line.push_str(&format!(r#","msg":"{}""#, escape(msg)));
+        for (k, v) in extra {
+            line.push_str(&format!(r#","{}":"{}""#, escape(k), escape(v)));
+        }
+        line.push('}');
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        // Logging must never take the run down; swallow I/O errors.
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
+    }
+}
+
+impl Drop for JsonlLogger {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn lines_are_valid_json_with_context() {
+        let dir = std::env::temp_dir().join(format!("yy_obs_log_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        {
+            let log = JsonlLogger::create(&path).unwrap();
+            log.log("info", Some(1), Some(4), "checkpoint saved", &[("path", "x.ck".into())]);
+            log.log("error", None, None, "rank \"died\"\n", &[]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("rank").unwrap().as_f64(), Some(1.0));
+        assert_eq!(first.get("step").unwrap().as_f64(), Some(4.0));
+        assert_eq!(first.get("msg").unwrap().as_str(), Some("checkpoint saved"));
+        assert_eq!(first.get("path").unwrap().as_str(), Some("x.ck"));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("msg").unwrap().as_str(), Some("rank \"died\"\n"));
+        assert_eq!(second.get("rank"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

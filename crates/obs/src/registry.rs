@@ -1,0 +1,193 @@
+//! A small named-metrics registry: counters, gauges and histograms that
+//! drivers register by name and export into the run report, in the
+//! spirit of the paper's `MPIPROGINF` counter block.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::{escape, num};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle (clone to share).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle holding an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The registry: get-or-create metric handles by name, snapshot them
+/// all at once. Names sort alphabetically in exports, so output is
+/// deterministic.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use (initial value 0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(inner.hists.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshot every metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            hists: inner.hists.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, name-sorted.
+    pub hists: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Render as a JSON object: `{"counters":{...},"gauges":{...},
+    /// "histograms":{...}}` with each histogram summarised by
+    /// count/mean/p50/p90/p99/max.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> =
+            self.counters.iter().map(|(k, v)| format!(r#""{}":{v}"#, escape(k))).collect();
+        let gauges: Vec<String> =
+            self.gauges.iter().map(|(k, v)| format!(r#""{}":{}"#, escape(k), num(*v))).collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|(k, h)| format!(r#""{}":{}"#, escape(k), hist_json(h)))
+            .collect();
+        format!(
+            r#"{{"counters":{{{}}},"gauges":{{{}}},"histograms":{{{}}}}}"#,
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+/// Render one histogram snapshot as a JSON object with its summary
+/// quantiles plus the non-empty buckets as `[index, count]` pairs
+/// (enough to reconstruct the full distribution).
+pub fn hist_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| format!("[{i},{c}]"))
+        .collect();
+    format!(
+        r#"{{"count":{},"sum":{},"mean":{},"p50":{},"p90":{},"p99":{},"max":{},"buckets":[{}]}}"#,
+        h.count,
+        h.sum,
+        num(h.mean()),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max,
+        buckets.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("steps").inc();
+        reg.counter("steps").add(4);
+        reg.gauge("dt").set(0.5);
+        reg.histogram("wait_ns").record(100);
+        reg.histogram("wait_ns").record(200);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("steps".to_string(), 5)]);
+        assert_eq!(snap.gauges, vec![("dt".to_string(), 0.5)]);
+        assert_eq!(snap.hists[0].1.count, 2);
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_is_sorted() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(2);
+        reg.gauge("g").set(1.25);
+        reg.histogram("h").record(3);
+        let json = reg.snapshot().to_json();
+        let doc = Json::parse(&json).expect("metrics JSON must parse");
+        let counters = doc.get("counters").unwrap().as_obj().unwrap();
+        assert_eq!(counters[0].0, "alpha", "names must sort");
+        assert_eq!(counters[1].0, "zeta");
+        let h = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(h.get("p50").unwrap().as_f64(), Some(3.0));
+        let buckets = h.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+    }
+}

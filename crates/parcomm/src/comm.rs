@@ -13,10 +13,12 @@
 //! expires. In a plain universe ([`crate::Universe::run`]) none of this
 //! engages and receives are the original blocking waits.
 
-use crate::fault::{FaultPlan, InjectedKill};
+use crate::fault::{FaultAction, FaultPlan, InjectedKill};
 use crate::mailbox::{Envelope, Mailbox, Payload};
-use crate::stats::{StatsCell, TrafficClass};
+use crate::stats::{MailboxGauges, StatsCell, TrafficClass};
 use std::any::Any;
+use yy_obs::event::{class as ob_class, fault as ob_fault};
+use yy_obs::{Event, FlightRecorder};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -125,6 +127,10 @@ pub struct Comm {
     /// Per-rank traffic statistics (shared across the communicators of this
     /// rank so the report covers all contexts).
     pub(crate) stats: Arc<StatsCell>,
+    /// Per-rank flight recorder, if the launcher installed one (only
+    /// supervised universes do). `None` is the "compiled out" fast path:
+    /// every event site reduces to one branch.
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Tag space partitioning: user tags live below this bound; internal
@@ -152,20 +158,59 @@ impl Comm {
 
     /// Traffic statistics snapshot for this rank, including the mailbox
     /// queue-depth high-water mark and duplicate-discard count.
+    ///
+    /// This is the one place where the mailbox-owned gauges meet the
+    /// [`StatsCell`] counters: the snapshot call takes them as an
+    /// explicit [`MailboxGauges`] argument, read here from the rank's
+    /// live mailbox (a regression test in `universe.rs` holds this
+    /// path to account).
     pub fn stats(&self) -> crate::CommStats {
-        let mut snap = self.stats.snapshot();
         let mb = &self.world.mailboxes[self.members[self.rank]];
-        snap.max_queue_depth = mb.max_depth() as u64;
-        snap.dups_discarded = mb.dups_discarded();
-        snap
+        self.stats.snapshot(MailboxGauges {
+            max_queue_depth: mb.max_depth() as u64,
+            dups_discarded: mb.dups_discarded(),
+        })
     }
 
     /// Charge wall-clock time to a solver pipeline phase. The counters
     /// live in the rank's shared [`StatsCell`], so they appear in the
     /// same [`crate::CommStats`] snapshot as the traffic counters no
-    /// matter which of the rank's communicators records them.
+    /// matter which of the rank's communicators records them. If a
+    /// flight recorder is installed, the lap also lands there as a
+    /// phase span (timestamped at its end, as the recorder documents).
     pub fn record_phase_ns(&self, phase: crate::stats::SolverPhase, ns: u64) {
         self.stats.record_phase_ns(phase, ns);
+        if let Some(rec) = &self.recorder {
+            rec.record(Event::Phase { phase: phase_code(phase), dur_ns: ns });
+        }
+    }
+
+    /// Record the wall-clock time of one completed solver step (feeds
+    /// the per-step wall-time histogram in [`crate::CommStats`]).
+    pub fn record_step_ns(&self, ns: u64) {
+        self.stats.record_step_ns(ns);
+    }
+
+    /// Sample this rank's current mailbox queue depth into the
+    /// queue-depth histogram; the solver calls it once per step.
+    pub fn sample_queue_depth(&self) {
+        let mb = &self.world.mailboxes[self.members[self.rank]];
+        self.stats.record_queue_depth(mb.peek_depth() as u64);
+    }
+
+    /// Record a solver-level event (step begin, health violation,
+    /// checkpoint, …) into this rank's flight recorder, if one is
+    /// installed. One branch when there is none.
+    #[inline]
+    pub fn record_event(&self, event: Event) {
+        if let Some(rec) = &self.recorder {
+            rec.record(event);
+        }
+    }
+
+    /// This rank's flight recorder, if the launcher installed one.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Injected-fault counters for the universe, if a fault plan is
@@ -183,6 +228,9 @@ impl Comm {
         if let Some(plan) = &self.world.ctl.fault {
             let me = self.members[self.rank];
             if plan.maybe_kill(me, step) {
+                // Record the kill *before* unwinding so the post-mortem
+                // trace shows why this track goes silent.
+                self.record_event(Event::KillInjected { step });
                 std::panic::panic_any(InjectedKill { rank: me, step });
             }
         }
@@ -208,10 +256,36 @@ impl Comm {
             *c += 1;
             s
         };
+        if let Some(rec) = &self.recorder {
+            rec.record(Event::Send {
+                peer: dest_world as u32,
+                class: class_code(class),
+                bytes: payload.byte_len() as u64,
+                tag16: tag as u16,
+                seq,
+            });
+        }
         let env = Envelope { src_world, context: self.context, tag, seq, payload };
         let mailbox = &self.world.mailboxes[dest_world];
         match &self.world.ctl.fault {
-            Some(plan) => plan.route(src_world, dest_world, env, mailbox),
+            Some(plan) => {
+                let action = plan.route(src_world, dest_world, env, mailbox);
+                if action != FaultAction::Deliver {
+                    if let Some(rec) = &self.recorder {
+                        let (kind, param) = match action {
+                            FaultAction::Drop { resends } => (ob_fault::DROP, resends as u64),
+                            FaultAction::Delay { micros } => (ob_fault::DELAY, micros),
+                            FaultAction::Duplicate => (ob_fault::DUPLICATE, 0),
+                            FaultAction::Deliver => unreachable!(),
+                        };
+                        rec.record(Event::FaultInjected {
+                            kind,
+                            peer: dest_world as u32,
+                            param,
+                        });
+                    }
+                }
+            }
             None => mailbox.deliver(env),
         }
     }
@@ -238,13 +312,35 @@ impl Comm {
     /// messages get their simulated retransmission) and watching the
     /// death board.
     fn wait_match(&self, src_world: usize, tag: u64) -> Result<Envelope, CommError> {
+        let start = Instant::now();
+        let env = self.wait_match_from(src_world, tag, start)?;
+        // Blocked time feeds the receive-wait histogram; its tail is the
+        // latency the overlap pipeline failed to hide.
+        self.stats.record_wait_ns(start.elapsed().as_nanos() as u64);
+        if let Some(rec) = &self.recorder {
+            rec.record(Event::Recv {
+                peer: src_world as u32,
+                class: ob_class::UNKNOWN,
+                bytes: env.payload.byte_len() as u64,
+                tag16: tag as u16,
+                seq: env.seq,
+            });
+        }
+        Ok(env)
+    }
+
+    fn wait_match_from(
+        &self,
+        src_world: usize,
+        tag: u64,
+        start: Instant,
+    ) -> Result<Envelope, CommError> {
         let my_world = self.members[self.rank];
         let mailbox = &self.world.mailboxes[my_world];
         let ctl = &self.world.ctl;
         if !ctl.bounded() {
             return Ok(mailbox.recv_match(self.context, src_world, tag));
         }
-        let start = Instant::now();
         let mut slice = ctl.retry_base;
         let slice_cap = ctl.retry_base * 32;
         let mut retries: u64 = 0;
@@ -402,6 +498,7 @@ impl Comm {
             coll_seq: Cell::new(0),
             send_seq: RefCell::new(HashMap::new()),
             stats: Arc::clone(&self.stats),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -418,6 +515,7 @@ impl Comm {
             coll_seq: Cell::new(0),
             send_seq: RefCell::new(HashMap::new()),
             stats: Arc::clone(&self.stats),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -467,6 +565,30 @@ impl RecvFuture<'_> {
     /// Block until the message arrives and return it.
     pub fn wait(self) -> Vec<f64> {
         self.comm.recv_f64s(self.src, self.tag)
+    }
+}
+
+/// Map a [`TrafficClass`] onto the recorder's class byte (the recorder
+/// crate sits below this one, so the mapping lives here).
+fn class_code(class: TrafficClass) -> u8 {
+    match class {
+        TrafficClass::Halo => ob_class::HALO,
+        TrafficClass::Overset => ob_class::OVERSET,
+        TrafficClass::Collective => ob_class::COLLECTIVE,
+        TrafficClass::Control => ob_class::CONTROL,
+    }
+}
+
+/// Map a [`crate::stats::SolverPhase`] onto the recorder's phase byte.
+fn phase_code(phase: crate::stats::SolverPhase) -> u8 {
+    use crate::stats::SolverPhase as P;
+    use yy_obs::event::phase as ob;
+    match phase {
+        P::Pack => ob::PACK,
+        P::Interior => ob::INTERIOR,
+        P::Wait => ob::WAIT,
+        P::Boundary => ob::BOUNDARY,
+        P::Overset => ob::OVERSET,
     }
 }
 

@@ -279,11 +279,18 @@ impl FaultPlan {
 
     /// Route one envelope from `src` to `dst`'s mailbox, applying the
     /// scheduled fault. Called by the sender's thread under the comm
-    /// layer.
-    pub(crate) fn route(&self, src: usize, dst: usize, env: Envelope, mailbox: &Mailbox) {
+    /// layer; returns the action applied so the caller can record the
+    /// injection in its flight recorder.
+    pub(crate) fn route(
+        &self,
+        src: usize,
+        dst: usize,
+        env: Envelope,
+        mailbox: &Mailbox,
+    ) -> FaultAction {
         if env.payload.byte_len() < self.spec.data_floor_bytes {
             mailbox.deliver(env);
-            return;
+            return FaultAction::Deliver;
         }
         let n = {
             let mut edges = self.edges.lock().unwrap_or_else(|p| p.into_inner());
@@ -292,7 +299,8 @@ impl FaultPlan {
             *c += 1;
             n
         };
-        match self.action(src, dst, n) {
+        let action = self.action(src, dst, n);
+        match action {
             FaultAction::Deliver => mailbox.deliver(env),
             FaultAction::Drop { resends } => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -313,10 +321,14 @@ impl FaultPlan {
                         mailbox.deliver(env);
                         mailbox.deliver(copy);
                     }
-                    None => mailbox.deliver(env),
+                    None => {
+                        mailbox.deliver(env);
+                        return FaultAction::Deliver;
+                    }
                 }
             }
         }
+        action
     }
 
     fn hold(&self, dst: usize, held: Held) {

@@ -49,7 +49,7 @@ pub mod universe;
 
 pub use comm::{Comm, CommError, RecvFuture};
 pub use fault::{FaultPlan, FaultSpec, FaultStats, KillSpec};
-pub use stats::{CommStats, SolverPhase};
+pub use stats::{CommStats, MailboxGauges, SolverPhase};
 pub use topology::CartComm;
 pub use universe::{FailureKind, RankFailure, SupervisedOpts, Universe};
 

@@ -7,6 +7,7 @@
 //! byte counts into projected communication time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use yy_obs::hist::{Histogram, HistogramSnapshot};
 
 /// What kind of traffic a message carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,9 @@ pub struct StatsCell {
     ns_wait: AtomicU64,
     ns_boundary: AtomicU64,
     ns_overset: AtomicU64,
+    recv_wait: Histogram,
+    step_wall: Histogram,
+    queue_depth: Histogram,
 }
 
 impl StatsCell {
@@ -101,8 +105,31 @@ impl StatsCell {
         target.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record the wall-clock nanoseconds one receive spent blocked
+    /// before its message matched (the tail of this distribution is what
+    /// the overlapped pipeline cannot hide).
+    pub fn record_wait_ns(&self, ns: u64) {
+        self.recv_wait.record(ns);
+    }
+
+    /// Record the wall-clock nanoseconds of one full solver step.
+    pub fn record_step_ns(&self, ns: u64) {
+        self.step_wall.record(ns);
+    }
+
+    /// Record a sampled mailbox queue depth.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth.record(depth);
+    }
+
     /// An immutable copy of the current counters.
-    pub fn snapshot(&self) -> CommStats {
+    ///
+    /// The cell itself cannot see the rank's mailbox, so the caller
+    /// supplies the mailbox-owned gauges. [`crate::Comm::stats`] is the
+    /// one place that does this with live values — take snapshots
+    /// through it; calling this directly (tests, partial views) with
+    /// [`MailboxGauges::default`] yields zeros for those two fields.
+    pub fn snapshot(&self, mailbox: MailboxGauges) -> CommStats {
         CommStats {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             bytes_halo: self.bytes_halo.load(Ordering::Relaxed),
@@ -112,15 +139,31 @@ impl StatsCell {
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
             recv_retries: self.recv_retries.load(Ordering::Relaxed),
-            max_queue_depth: 0,
-            dups_discarded: 0,
+            max_queue_depth: mailbox.max_queue_depth,
+            dups_discarded: mailbox.dups_discarded,
             ns_pack: self.ns_pack.load(Ordering::Relaxed),
             ns_interior: self.ns_interior.load(Ordering::Relaxed),
             ns_wait: self.ns_wait.load(Ordering::Relaxed),
             ns_boundary: self.ns_boundary.load(Ordering::Relaxed),
             ns_overset: self.ns_overset.load(Ordering::Relaxed),
+            recv_wait: self.recv_wait.snapshot(),
+            step_wall: self.step_wall.snapshot(),
+            queue_depth: self.queue_depth.snapshot(),
         }
     }
+}
+
+/// The two counters that live in the rank's [`crate::mailbox::Mailbox`]
+/// rather than in its [`StatsCell`]: queue-depth high-water and
+/// duplicate discards. [`crate::Comm::stats`] reads them from the live
+/// mailbox and passes them in — the single path by which they enter a
+/// [`CommStats`] snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxGauges {
+    /// High-water mark of the mailbox queue depth.
+    pub max_queue_depth: u64,
+    /// Duplicate deliveries discarded by the sequence check.
+    pub dups_discarded: u64,
 }
 
 /// An immutable snapshot of one rank's traffic counters.
@@ -160,6 +203,12 @@ pub struct CommStats {
     pub ns_boundary: u64,
     /// Nanoseconds of overset interpolation/packing/placement.
     pub ns_overset: u64,
+    /// Distribution of per-receive blocked time (nanoseconds).
+    pub recv_wait: HistogramSnapshot,
+    /// Distribution of per-step wall time (nanoseconds).
+    pub step_wall: HistogramSnapshot,
+    /// Distribution of sampled mailbox queue depths.
+    pub queue_depth: HistogramSnapshot,
 }
 
 impl CommStats {
@@ -194,6 +243,9 @@ impl CommStats {
             ns_wait: self.ns_wait + other.ns_wait,
             ns_boundary: self.ns_boundary + other.ns_boundary,
             ns_overset: self.ns_overset + other.ns_overset,
+            recv_wait: self.recv_wait.merged(other.recv_wait),
+            step_wall: self.step_wall.merged(other.step_wall),
+            queue_depth: self.queue_depth.merged(other.queue_depth),
         }
     }
 }
@@ -210,7 +262,7 @@ mod tests {
         s.record_send(TrafficClass::Collective, 8);
         s.record_send(TrafficClass::Control, 16);
         s.record_recv(25);
-        let snap = s.snapshot();
+        let snap = s.snapshot(MailboxGauges::default());
         assert_eq!(snap.msgs_sent, 4);
         assert_eq!(snap.bytes_halo, 100);
         assert_eq!(snap.bytes_overset, 50);
@@ -243,7 +295,7 @@ mod tests {
         s.record_phase_ns(SolverPhase::Boundary, 30);
         s.record_phase_ns(SolverPhase::Overset, 11);
         s.record_phase_ns(SolverPhase::Wait, 3);
-        let snap = s.snapshot();
+        let snap = s.snapshot(MailboxGauges::default());
         assert_eq!(snap.ns_pack, 5);
         assert_eq!(snap.ns_interior, 100);
         assert_eq!(snap.ns_wait, 10);
@@ -252,6 +304,35 @@ mod tests {
         let m = snap.merged(snap);
         assert_eq!(m.ns_wait, 20, "phase times aggregate by sum across ranks");
         assert_eq!(m.ns_interior, 200);
+    }
+
+    #[test]
+    fn snapshot_carries_the_supplied_mailbox_gauges() {
+        let s = StatsCell::new();
+        let snap = s.snapshot(MailboxGauges { max_queue_depth: 9, dups_discarded: 2 });
+        assert_eq!(snap.max_queue_depth, 9);
+        assert_eq!(snap.dups_discarded, 2);
+        let zeroed = s.snapshot(MailboxGauges::default());
+        assert_eq!(zeroed.max_queue_depth, 0);
+        assert_eq!(zeroed.dups_discarded, 0);
+    }
+
+    #[test]
+    fn latency_histograms_snapshot_and_merge() {
+        let s = StatsCell::new();
+        s.record_wait_ns(1_000);
+        s.record_wait_ns(64_000);
+        s.record_step_ns(2_000_000);
+        s.record_queue_depth(3);
+        let snap = s.snapshot(MailboxGauges::default());
+        assert_eq!(snap.recv_wait.count, 2);
+        assert_eq!(snap.recv_wait.max, 64_000);
+        assert_eq!(snap.step_wall.count, 1);
+        assert_eq!(snap.queue_depth.count, 1);
+        let m = snap.merged(snap);
+        assert_eq!(m.recv_wait.count, 4, "histograms aggregate by merge across ranks");
+        assert_eq!(m.recv_wait.max, 64_000);
+        assert_eq!(m.step_wall.sum, 4_000_000);
     }
 
     #[test]

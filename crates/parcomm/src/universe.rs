@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Once};
 use std::time::Duration;
+use yy_obs::RecorderSet;
 
 /// Launcher for fixed-size rank teams.
 pub struct Universe;
@@ -69,6 +70,12 @@ pub struct SupervisedOpts {
     pub deadline: Duration,
     /// First retry slice of the bounded receive loop.
     pub retry_base: Duration,
+    /// Per-rank flight recorders to install (rank `r` gets
+    /// `recorders.rank(r)`). The caller keeps its own `Arc`, so the
+    /// rings outlive the universe — that is what makes post-mortem
+    /// traces of a failed run possible. `None` (the default) leaves the
+    /// comm layer's event sites as a single branch.
+    pub recorders: Option<Arc<RecorderSet>>,
 }
 
 impl Default for SupervisedOpts {
@@ -77,6 +84,7 @@ impl Default for SupervisedOpts {
             fault: None,
             deadline: Duration::from_secs(5),
             retry_base: Duration::from_micros(200),
+            recorders: None,
         }
     }
 }
@@ -120,7 +128,13 @@ fn classify(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure 
 }
 
 impl Universe {
-    fn spawn_all<F, B, R, W>(nprocs: usize, world: Arc<WorldCore>, body: F, wrap: W) -> Vec<R>
+    fn spawn_all<F, B, R, W>(
+        nprocs: usize,
+        world: Arc<WorldCore>,
+        recorders: Option<Arc<RecorderSet>>,
+        body: F,
+        wrap: W,
+    ) -> Vec<R>
     where
         F: Fn(Comm) -> B + Send + Sync,
         B: Send,
@@ -128,11 +142,19 @@ impl Universe {
         W: Fn(usize, &Arc<WorldCore>, &dyn Fn() -> B) -> R + Send + Sync,
     {
         let members: Arc<Vec<usize>> = Arc::new((0..nprocs).collect());
+        if let Some(set) = &recorders {
+            assert!(
+                set.len() >= nprocs,
+                "recorder set covers {} ranks but universe has {nprocs}",
+                set.len()
+            );
+        }
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nprocs);
             for rank in 0..nprocs {
                 let world = Arc::clone(&world);
                 let members = Arc::clone(&members);
+                let recorder = recorders.as_ref().map(|set| set.rank(rank));
                 let body = &body;
                 let wrap = &wrap;
                 handles.push(scope.spawn(move || {
@@ -145,6 +167,7 @@ impl Universe {
                             coll_seq: Cell::new(0),
                             send_seq: RefCell::new(HashMap::new()),
                             stats: Arc::new(StatsCell::new()),
+                            recorder: recorder.clone(),
                         };
                         body(comm)
                     };
@@ -182,7 +205,7 @@ impl Universe {
             mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
             ctl: RuntimeCtl::plain(nprocs),
         });
-        Self::spawn_all(nprocs, world, body, |_rank, _world, run| run())
+        Self::spawn_all(nprocs, world, None, body, |_rank, _world, run| run())
     }
 
     /// Run `body` on `nprocs` supervised rank threads: every receive is
@@ -219,7 +242,7 @@ impl Universe {
                 retry_base: opts.retry_base,
             },
         });
-        Self::spawn_all(nprocs, world, body, |rank, world, run| {
+        Self::spawn_all(nprocs, world, opts.recorders.clone(), body, |rank, world, run| {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
             match result {
                 Ok(r) => Ok(r),
@@ -391,6 +414,95 @@ mod tests {
             assert!(s.max_queue_depth >= 1, "depth high-water must register");
             assert_eq!(s.dups_discarded, 0);
         }
+    }
+
+    /// Regression for the `CommStats::snapshot` restructure: the
+    /// mailbox-owned gauges must reach a snapshot taken via
+    /// `Comm::stats` with *live* values — queue-depth high-water from
+    /// real traffic, duplicate discards from an injected duplicate.
+    #[test]
+    fn comm_stats_reflect_live_mailbox_depth_and_dups() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(5).with_duplicate(1.0), 2));
+        let opts = SupervisedOpts {
+            fault: Some(Arc::clone(&plan)),
+            deadline: Duration::from_secs(5),
+            ..SupervisedOpts::default()
+        };
+        let out = Universe::run_supervised(2, opts, |comm| {
+            let peer = 1 - comm.rank();
+            // Two sends, received only after both arrive: the mailbox
+            // must register depth ≥ 2 and one discarded duplicate per
+            // eligible message.
+            comm.send_f64s(peer, 0, vec![1.0; 8], TrafficClass::Halo);
+            comm.send_f64s(peer, 1, vec![2.0; 8], TrafficClass::Halo);
+            // Delivery is synchronous at post time, so after the barrier
+            // both data messages sit in the mailbox — without it the
+            // receiver could drain tag 0 before the peer posts tag 1 and
+            // the high-water mark would race.
+            comm.barrier();
+            let before = comm.stats();
+            let _ = comm.recv_f64s(peer, 0);
+            let _ = comm.recv_f64s(peer, 1);
+            let after = comm.stats();
+            (before, after)
+        });
+        for r in out {
+            let (before, after) = r.expect("clean run");
+            assert!(
+                after.max_queue_depth >= 2,
+                "high-water {} must see both queued messages",
+                after.max_queue_depth
+            );
+            assert!(
+                after.dups_discarded >= 2,
+                "duplicate_p=1.0 must discard one copy per message, saw {}",
+                after.dups_discarded
+            );
+            // The high-water mark only grows, and both snapshots came
+            // through the same live-mailbox path.
+            assert!(after.max_queue_depth >= before.max_queue_depth);
+            // The barrier's internal receive also lands in the wait
+            // histogram, so compare against the pre-receive snapshot.
+            assert_eq!(
+                after.recv_wait.count,
+                before.recv_wait.count + 2,
+                "both data receives feed the wait histogram"
+            );
+        }
+    }
+
+    #[test]
+    fn installed_recorders_capture_traffic_and_kills() {
+        let set = Arc::new(RecorderSet::new(2, 64, true));
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(3).with_kill(1, 1), 2));
+        let opts = SupervisedOpts {
+            fault: Some(plan),
+            deadline: Duration::from_secs(5),
+            recorders: Some(Arc::clone(&set)),
+            ..SupervisedOpts::default()
+        };
+        let out = Universe::run_supervised(2, opts, |comm| {
+            comm.fault_tick(0);
+            let peer = 1 - comm.rank();
+            comm.send_f64s(peer, 7, vec![3.0; 4], TrafficClass::Overset);
+            let _ = comm.recv_f64s(peer, 7);
+            comm.fault_tick(1); // kills rank 1
+            comm.rank()
+        });
+        assert!(out[1].is_err());
+        let snaps = set.snapshots();
+        use yy_obs::Event;
+        let has = |rank: usize, pred: &dyn Fn(&Event) -> bool| {
+            snaps[rank].iter().any(|te| pred(&te.event))
+        };
+        assert!(has(0, &|e| matches!(e, Event::Send { peer: 1, bytes: 32, .. })));
+        assert!(has(0, &|e| matches!(e, Event::Recv { peer: 1, .. })));
+        assert!(
+            has(1, &|e| matches!(e, Event::KillInjected { step: 1 })),
+            "the kill must be on the dead rank's ring: {:?}",
+            snaps[1]
+        );
+        assert!(!has(0, &|e| matches!(e, Event::KillInjected { .. })));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 # tiny knobs (see scripts/ci.sh); this script is the full-fat version.
 #
 # Knobs (environment):
-#   BENCH_OUT              output path            [BENCH_step.json]
+#   BENCH_OUT              step output path       [BENCH_step.json]
+#   BENCH_OBS_OUT          obs output path        [BENCH_obs.json]
 #   YY_BENCH_STEP_GRID     small|medium           [medium]
 #   YY_BENCH_STEP_STEPS    steps per measurement  [10]
 #   YY_BENCH_STEP_REPS     interleaved reps       [5]
@@ -18,11 +19,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_step.json}
+obs_out=${BENCH_OBS_OUT:-BENCH_obs.json}
 
 echo "==> step pipeline bench (writes $out)"
 BENCH_STEP_JSON="$out" cargo bench -p yy-bench --bench step --offline
 
+echo "==> observability overhead bench (writes $obs_out)"
+BENCH_OBS_JSON="$obs_out" cargo bench -p yy-bench --bench obs --offline
+
 echo "==> kernel microbenches"
 cargo bench -p yy-bench --bench kernels --offline
 
-echo "wrote $out"
+echo "wrote $out and $obs_out"

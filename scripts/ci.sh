@@ -10,7 +10,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> hermetic release build (offline)"
-cargo build --release --offline
+# --workspace matters: the root is a hybrid workspace+package, and a bare
+# `cargo build` covers only the root package and dependency *libraries* —
+# the yycore binary the smoke tests below run would go stale.
+cargo build --release --offline --workspace
 
 echo "==> all targets compile offline (tests, benches, examples)"
 cargo build --workspace --all-targets --offline
@@ -29,6 +32,40 @@ soak="pth=1 pph=2 steps=6 sample=0 nr=12 nth=9"
   fault_seed=42 drop=0.10 delay=0.10 delay_us=200 dup=0.05 kill_rank=1 kill_step=4 >/dev/null
 cmp "$soak_dir/clean.ck" "$soak_dir/fault.ck"
 echo "OK: recovered trajectory is bit-identical to the fault-free run"
+
+echo "==> observability smoke: faulted supervised run leaves a post-mortem trace"
+./target/release/yycore parallel $soak trace="$soak_dir/trace.json" \
+  log="$soak_dir/run.jsonl" report_json="$soak_dir/report.json" \
+  fault_seed=42 kill_rank=1 kill_step=4 >/dev/null
+test -s "$soak_dir/trace.json.postmortem" || {
+  echo "ERROR: post-mortem trace missing" >&2; exit 1; }
+# tracecheck validates the Chrome trace structure and reports the kill
+# count; a post-mortem from a killed run must contain the kill event.
+pm=$(./target/release/yycore tracecheck "$soak_dir/trace.json.postmortem")
+echo "$pm"
+echo "$pm" | grep -qE ' [1-9][0-9]* kill' || {
+  echo "ERROR: post-mortem trace has no kill event" >&2; exit 1; }
+./target/release/yycore tracecheck "$soak_dir/trace.json" >/dev/null
+grep -q '"schema":"yy.runreport.v1"' "$soak_dir/report.json" || {
+  echo "ERROR: report.json missing schema tag" >&2; exit 1; }
+grep -q '"recv_wait_ns"' "$soak_dir/report.json" || {
+  echo "ERROR: report.json missing recv-wait histogram" >&2; exit 1; }
+test -s "$soak_dir/run.jsonl" || { echo "ERROR: JSONL log missing" >&2; exit 1; }
+echo "OK: post-mortem + final traces valid, report versioned, log written"
+
+echo "==> observability overhead gate: idle recorder must stay under tolerance"
+YY_BENCH_OBS_GRID=small YY_BENCH_OBS_STEPS=4 YY_BENCH_OBS_REPS=3 \
+BENCH_OBS_JSON="$soak_dir/BENCH_obs.json" \
+  cargo bench -p yy-bench --bench obs --offline >/dev/null
+# First ratio_vs_off in the JSON is the disabled (fast-path) mode.
+ratio=$(grep -o '"ratio_vs_off": [0-9.]*' "$soak_dir/BENCH_obs.json" \
+  | head -1 | awk '{print $2}')
+tol=${YY_CI_OBS_TOL:-1.02}
+awk -v r="$ratio" -v t="$tol" 'BEGIN { exit !(r < t) }' || {
+  echo "ERROR: disabled tracing costs x$ratio vs off (tolerance $tol)" >&2
+  exit 1
+}
+echo "OK: disabled tracing ratio x$ratio (< $tol)"
 
 echo "==> bench smoke: step pipeline writes machine-readable BENCH_step.json"
 # Tiny knobs: this checks the bench runs and the JSON is well-formed,
