@@ -10,7 +10,7 @@
 
 use yy_bench::{BatchSize, Harness, Throughput};
 use std::hint::black_box;
-use yy_field::{pack_region, unpack_region, FlopMeter, Region};
+use yy_field::{pack_region, unpack_region, Meters, Region};
 use yy_mesh::{apply_scalar, build_overset_columns, Metric, Panel};
 use yy_mhd::rhs::{InteriorRange, RhsScratch};
 use yy_mhd::tables::rotation_axis;
@@ -43,7 +43,7 @@ fn bench_rhs(c: &mut Harness) {
     let range = InteriorRange::full_panel(&grid);
     let mut scratch = RhsScratch::new(shape);
     let mut out = State::zeros(shape);
-    let mut meter = FlopMeter::new();
+    let mut meter = Meters::new();
     let points = range.points();
 
     let mut group = c.benchmark_group("rhs");
@@ -172,7 +172,7 @@ fn bench_radial_length_sweep(c: &mut Harness) {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
-        let mut meter = FlopMeter::new();
+        let mut meter = Meters::new();
         group.throughput(Throughput::Elements(range.points() as u64));
         group.bench_function(format!("nr_{nr}"), |b| {
             b.iter(|| {

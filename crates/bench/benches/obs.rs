@@ -1,16 +1,19 @@
-//! Observability overhead guard: a multi-rank supervised step in three
-//! tracing configurations of the flight recorder —
+//! Observability overhead guard: a multi-rank supervised step in four
+//! instrumentation configurations —
 //!
-//! * `off`      — no recorders installed (`TraceMode::Off`); the probe
-//!   calls hit a `None` and compile down to a branch
+//! * `off`      — no recorders installed (`TraceMode::Off`), per-kernel
+//!   counters disarmed; probe calls hit a `None` / one relaxed load
 //! * `disabled` — recorders installed but not armed
 //!   (`TraceMode::Disabled`); the enabled-flag fast path
 //! * `enabled`  — recorders armed (`TraceMode::Enabled`); every span,
 //!   message and step event lands in the per-rank ring
+//! * `counters` — no recorders, per-kernel performance counters armed:
+//!   every kernel site tallies points/flops/bytes and reads the clock
 //!
-//! CI gates on `disabled / off`: an idle recorder must cost < 2% of a
-//! step (tolerance overridable via `YY_CI_OBS_TOL`). The `enabled` row
-//! is informational — recording is opt-in per run.
+//! CI gates on `disabled / off` AND `counters / off`: an idle recorder
+//! and the armed counter subsystem must each cost < 2% of a step
+//! (tolerance overridable via `YY_CI_OBS_TOL`). The `enabled` row is
+//! informational — recording is opt-in per run.
 //!
 //! With `BENCH_OBS_JSON=<path>` set, writes a machine-readable summary.
 //!
@@ -40,16 +43,20 @@ fn cfg() -> RunConfig {
     cfg
 }
 
-/// Seconds per step of one supervised run in the given trace mode.
-/// Setup (universe spawn, init, initial sync) is excluded —
+fn mode_opts(mode: TraceMode, counters: bool) -> ObsOpts {
+    ObsOpts { mode, counters, ..ObsOpts::default() }
+}
+
+/// Seconds per step of one supervised run with the given observability
+/// options. Setup (universe spawn, init, initial sync) is excluded —
 /// `RunReport.wall_seconds` starts after it. No trace path is set, so
 /// even `enabled` measures pure recording cost, not file I/O.
-fn measure(cfg: &RunConfig, mode: TraceMode, steps: u64) -> f64 {
+fn measure(cfg: &RunConfig, obs: ObsOpts, steps: u64) -> f64 {
     let (pth, pph) = decomp();
     let opts = RecoveryOpts {
         deadline: Duration::from_secs(120),
         sync_mode: SyncMode::Overlapped,
-        obs: ObsOpts { mode, ..ObsOpts::default() },
+        obs,
         ..RecoveryOpts::default()
     };
     let rep = run_parallel_supervised(cfg, pth, pph, steps, 0, &opts)
@@ -63,19 +70,24 @@ fn main() {
     let reps = env_u64("YY_BENCH_OBS_REPS", 5) as usize;
     let (pth, pph) = decomp();
 
-    // Interleave the modes rep by rep so host drift lands on all three
+    // Interleave the modes rep by rep so host drift lands on all four
     // sides; gate on per-mode minima — the minimum is the least noisy
     // estimator of the true cost on a shared box.
-    let (mut off, mut dis, mut ena) =
-        (Vec::with_capacity(reps), Vec::with_capacity(reps), Vec::with_capacity(reps));
+    let (mut off, mut dis, mut ena, mut ctr) = (
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+    );
     for _ in 0..reps {
-        off.push(measure(&cfg, TraceMode::Off, steps));
-        dis.push(measure(&cfg, TraceMode::Disabled, steps));
-        ena.push(measure(&cfg, TraceMode::Enabled, steps));
+        off.push(measure(&cfg, mode_opts(TraceMode::Off, false), steps));
+        dis.push(measure(&cfg, mode_opts(TraceMode::Disabled, false), steps));
+        ena.push(measure(&cfg, mode_opts(TraceMode::Enabled, false), steps));
+        ctr.push(measure(&cfg, mode_opts(TraceMode::Off, true), steps));
     }
     let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
-    let (t_off, t_dis, t_ena) = (min(&off), min(&dis), min(&ena));
-    let (r_dis, r_ena) = (t_dis / t_off, t_ena / t_off);
+    let (t_off, t_dis, t_ena, t_ctr) = (min(&off), min(&dis), min(&ena), min(&ctr));
+    let (r_dis, r_ena, r_ctr) = (t_dis / t_off, t_ena / t_off, t_ctr / t_off);
 
     println!("obs_overhead/off_{pth}x{pph}          {:>12.2} µs/step", t_off * 1e6);
     println!(
@@ -85,6 +97,10 @@ fn main() {
     println!(
         "obs_overhead/enabled_{pth}x{pph}      {:>12.2} µs/step  x{r_ena:.4} vs off",
         t_ena * 1e6
+    );
+    println!(
+        "obs_overhead/counters_{pth}x{pph}     {:>12.2} µs/step  x{r_ctr:.4} vs off",
+        t_ctr * 1e6
     );
 
     let json = format!(
@@ -96,7 +112,8 @@ fn main() {
             "  \"decomp\": [{}, {}],\n",
             "  \"off\": {{ \"min_ns_per_step\": {:.0} }},\n",
             "  \"disabled\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }},\n",
-            "  \"enabled\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }}\n",
+            "  \"enabled\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }},\n",
+            "  \"counters\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }}\n",
             "}}\n"
         ),
         steps,
@@ -108,6 +125,8 @@ fn main() {
         r_dis,
         t_ena * 1e9,
         r_ena,
+        t_ctr * 1e9,
+        r_ctr,
     );
     if let Ok(path) = std::env::var("BENCH_OBS_JSON") {
         std::fs::write(&path, &json).expect("write BENCH_obs.json");

@@ -5,6 +5,8 @@
 //! yycore resume   <ckpt> [key=value]   continue from a checkpoint
 //! yycore slice    <ckpt> [out_dir]     equatorial/meridional slices from a checkpoint
 //! yycore parallel [key=value ...]      run the flat-MPI-style parallel driver
+//! yycore profile  [key=value ...]      serial run + per-kernel roofline table
+//!                                      and measured-profile ES projection
 //! yycore tables                        print Tables I-III and List 1
 //! yycore tracecheck <trace.json>       validate a Chrome trace artifact
 //!
@@ -23,6 +25,14 @@
 //!                  write a Chrome trace-event JSON (Perfetto-loadable);
 //!                  failed passes dump PATH.postmortem. Routes the run
 //!                  through the supervised driver.
+//!   profile_every=N (parallel) every N steps each rank appends
+//!                  per-kernel MFLOPS counter samples to its flight
+//!                  recorder ("C"-phase tracks in the Chrome trace).
+//!                  Routes through the supervised driver.
+//!   metrics_port=N (parallel) serve a live Prometheus text exposition
+//!                  of the allreduced counters on 127.0.0.1:N for the
+//!                  duration of the run. Routes through the supervised
+//!                  driver.
 //!
 //! fault-tolerance keys (parallel only; any of them switches the run to
 //! the supervised driver, which recovers from the last checkpoint):
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "slice" => cmd_slice(rest),
         "parallel" => cmd_parallel(rest),
+        "profile" => cmd_profile(rest),
         "tables" => cmd_tables(),
         "tracecheck" => cmd_tracecheck(rest),
         other => Err(format!("unknown command '{other}'")),
@@ -93,6 +104,8 @@ struct Opts {
     ckpt_every: u64,
     deadline_ms: u64,
     mode: SyncMode,
+    profile_every: u64,
+    metrics_port: Option<u16>,
 }
 
 impl Opts {
@@ -132,6 +145,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         ckpt_every: 0,
         deadline_ms: 30_000,
         mode: SyncMode::default(),
+        profile_every: 0,
+        metrics_port: None,
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -158,6 +173,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "ckpt_every" => o.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?,
             "deadline_ms" => {
                 o.deadline_ms = v.parse().map_err(|e| format!("deadline_ms: {e}"))?
+            }
+            "profile_every" => {
+                o.profile_every = v.parse().map_err(|e| format!("profile_every: {e}"))?
+            }
+            "metrics_port" => {
+                o.metrics_port = Some(v.parse().map_err(|e| format!("metrics_port: {e}"))?)
             }
             "mode" => {
                 o.mode = match v {
@@ -345,14 +366,22 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         || o.ckpt.is_some()
         || o.ckpt_every > 0
         || o.trace.is_some()
-        || o.log.is_some();
+        || o.log.is_some()
+        || o.profile_every > 0
+        || o.metrics_port.is_some();
     let report = if supervised {
         let ropts = RecoveryOpts {
             fault: spec,
             checkpoint_every: o.ckpt_every,
             deadline: Duration::from_millis(o.deadline_ms),
             sync_mode: o.mode,
-            obs: ObsOpts { trace: o.trace.clone(), log: o.log.clone(), ..ObsOpts::default() },
+            obs: ObsOpts {
+                trace: o.trace.clone(),
+                log: o.log.clone(),
+                profile_every: o.profile_every,
+                metrics_port: o.metrics_port,
+                ..ObsOpts::default()
+            },
             ..RecoveryOpts::default()
         };
         let sup = run_parallel_supervised(&o.cfg, o.pth, o.pph, o.steps, o.sample, &ropts)?;
@@ -447,6 +476,103 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     finish(&report, &o)
 }
 
+/// Run the serial reference solver with counters armed and print the
+/// per-kernel roofline table (measured MFLOPS, arithmetic intensity,
+/// equivalent vector length), then feed the measured per-kernel profile
+/// into the Earth Simulator model: a per-kernel projection at the
+/// paper's flagship shape, plus Tables II/III and the MPIPROGINF sheet
+/// reconstructed from the *measured* kernel costs rather than the
+/// hand-derived defaults.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use yy_esmodel::model::{project, project_kernels, KernelCost, RunShape};
+    use yy_esmodel::mpiproginf::{list1_text, ReportShape};
+    use yy_esmodel::{table2_text, table3_text, EsMachine, EsModelParams, KernelProfile};
+    use yy_obs::counters::kernel;
+
+    let o = parse_opts(args)?;
+    let mut sim = SerialSim::new(o.cfg.clone());
+    let interior = sim.interior_points();
+    let report = sim.run(o.steps, 0);
+    let snap = &report.kernels;
+    let total_flops = snap.total_flops();
+    if total_flops == 0 {
+        return Err("profile run recorded no flops".into());
+    }
+
+    println!("measured kernel profile ({} steps, {} interior points):", report.steps, interior);
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>8} {:>8}",
+        "kernel", "calls", "MFLOPS", "flops/B", "avg VL", "%flops"
+    );
+    for id in 0..kernel::COUNT {
+        let k = &snap.kernels[id];
+        if k.calls == 0 {
+            continue;
+        }
+        println!(
+            "{:<16} {:>10} {:>12.1} {:>10.3} {:>8.1} {:>8.2}",
+            kernel::name(id as u8),
+            k.calls,
+            k.mflops(),
+            k.intensity(),
+            k.avg_vector_length(),
+            100.0 * k.flops as f64 / total_flops as f64
+        );
+    }
+
+    // Normalize the measured counters into per-point-per-step kernel
+    // costs. FLOP tallies follow the owned-node convention, so dividing
+    // by owned points x steps is exact; the measured equivalent vector
+    // length (points per innermost loop) maps onto the model's fraction
+    // of the nominal radial length.
+    // interior_points() already covers both panels, matching the
+    // both-panel counter totals.
+    let denom = report.steps as f64 * interior as f64;
+    let nr = o.cfg.nr as f64;
+    let costs: Vec<KernelCost> = (0..kernel::COUNT)
+        .filter(|&id| snap.kernels[id].flops > 0)
+        .map(|id| KernelCost {
+            name: kernel::name(id as u8).to_string(),
+            flops_per_point_step: snap.kernels[id].flops as f64 / denom,
+            vl_fraction: (snap.kernels[id].avg_vector_length() / nr).clamp(0.01, 1.0),
+        })
+        .collect();
+
+    let machine = EsMachine::earth_simulator();
+    let params = EsModelParams::calibrated();
+    let shape = RunShape { procs: 4096, nr: 511, nth: 514, nph: 1538 };
+    println!();
+    println!("ES projection at the flagship shape (4096 procs, 511x514x1538):");
+    println!(
+        "{:<16} {:>14} {:>10} {:>12} {:>8}",
+        "kernel", "flops/pt/step", "proj VL", "AP GFLOPS", "%time"
+    );
+    for row in project_kernels(&machine, &params, &costs, &shape) {
+        println!(
+            "{:<16} {:>14.2} {:>10.1} {:>12.2} {:>8.2}",
+            row.name,
+            row.flops_per_point_step,
+            row.vector_length,
+            row.ap_rate / 1e9,
+            row.time_fraction * 100.0
+        );
+    }
+
+    let profile = KernelProfile::from_kernels(&costs);
+    println!();
+    println!("{}", table2_text(&profile));
+    println!("{}", table3_text(&profile));
+    let projection = project(&machine, &params, &profile, &shape);
+    println!(
+        "measured-profile flagship projection: {:.1} TFlops sustained \
+         ({:.0}% of peak; paper reports 15.2)",
+        projection.tflops(),
+        projection.efficiency * 100.0
+    );
+    println!("{}", list1_text(&ReportShape::paper_window(projection)));
+    finish(&report, &o)
+}
+
 fn cmd_tables() -> Result<(), String> {
     use yy_esmodel::model::{project, RunShape};
     use yy_esmodel::mpiproginf::{list1_text, ReportShape};
@@ -483,8 +609,15 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
     let check = yy_obs::validate_chrome_trace(&text)
         .map_err(|e| format!("{path}: invalid trace: {e}"))?;
     println!(
-        "trace ok: {} events, {} spans, {} flow arrows, {} kill(s), {} track(s)",
-        check.events, check.spans, check.flow_starts, check.kills, check.tracks
+        "trace ok: {} events, {} spans, {} flow arrows, {} kill(s), {} track(s), \
+         {} counter sample(s) on {} counter track(s)",
+        check.events,
+        check.spans,
+        check.flow_starts,
+        check.kills,
+        check.tracks,
+        check.counter_samples,
+        check.counter_tracks
     );
     Ok(())
 }

@@ -105,6 +105,26 @@ impl std::fmt::Display for HealthViolation {
 /// Canonical field names, index-aligned with [`State::arrays`].
 const FIELD_NAMES: [&str; 8] = ["rho", "press", "f_r", "f_t", "f_p", "a_r", "a_t", "a_p"];
 
+/// Counter tally for one health scan of a state with `columns` owned
+/// (θ, φ) columns of radial length `nr`.
+///
+/// The accounting convention is over owned nodes — 1 comparison-flop per
+/// node per finite scan of the 8 fields, plus the 2 positivity-floor
+/// min-scans of ρ and p — so the global per-kernel totals are identical
+/// for every decomposition (serial panels and parallel tiles tile the
+/// same owned node set). The scans themselves may touch padding; the
+/// tally is the model, like the RHS byte counts.
+pub fn scan_tally(columns: u64, nr: u64) -> yy_obs::KernelTally {
+    let points = columns * nr;
+    yy_obs::KernelTally {
+        points,
+        loops: columns,
+        flops: 10 * points,
+        bytes_read: 10 * points * 8,
+        bytes_written: 0,
+    }
+}
+
 /// Minimum of an array over the owned (non-ghost) region.
 fn min_owned(a: &yy_field::Array3, nth: usize, nph: usize) -> f64 {
     let mut m = f64::INFINITY;

@@ -9,7 +9,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use yy_obs::{chrome_trace_json, RankTrace, RecorderSet};
+use yy_obs::{chrome_trace_json, MetricsHub, RankTrace, RecorderSet};
 
 /// Recorder installation policy for a supervised parallel run.
 ///
@@ -33,7 +33,7 @@ pub enum TraceMode {
 }
 
 /// Observability knobs for [`crate::parallel::run_parallel_supervised`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ObsOpts {
     /// Write a Chrome trace-event JSON (Perfetto / `chrome://tracing`
     /// loadable, one track per rank) here after a successful run. Every
@@ -50,6 +50,39 @@ pub struct ObsOpts {
     pub ring_capacity: usize,
     /// Recorder installation policy (see [`TraceMode`]).
     pub mode: TraceMode,
+    /// Arm the per-kernel performance counters (default on). Off leaves
+    /// exactly one relaxed load per kernel site — the overhead-benchmark
+    /// baseline — and reports an all-zero kernel table.
+    pub counters: bool,
+    /// Every this many steps, each rank appends per-kernel MFLOPS
+    /// counter samples ("C"-phase tracks) to its flight recorder, and —
+    /// when a metrics hub is attached — the allreduced counter snapshot
+    /// is rendered to the hub. 0 disables the sampler (the hub, if any,
+    /// then publishes every step).
+    pub profile_every: u64,
+    /// Serve the live Prometheus text exposition on
+    /// `127.0.0.1:<port>` (rank 0's allreduced view) for the duration of
+    /// the supervised run. `None` = no endpoint.
+    pub metrics_port: Option<u16>,
+    /// Pre-built metrics hub to publish into. Tests inject one to scrape
+    /// without a socket; when `None` and `metrics_port` is set the
+    /// driver creates its own.
+    pub metrics_hub: Option<Arc<MetricsHub>>,
+}
+
+impl Default for ObsOpts {
+    fn default() -> Self {
+        ObsOpts {
+            trace: None,
+            log: None,
+            ring_capacity: 0,
+            mode: TraceMode::default(),
+            counters: true,
+            profile_every: 0,
+            metrics_port: None,
+            metrics_hub: None,
+        }
+    }
 }
 
 impl ObsOpts {

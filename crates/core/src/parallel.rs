@@ -43,10 +43,11 @@ use crate::health::{HealthGuard, HealthLimits};
 use crate::obs::{recorders_to_chrome, ObsOpts};
 pub use crate::report::RecoveryEvent;
 use crate::report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
+use crate::serial::{combine_tally, overset_donate_tally, overset_fill_tally};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use yy_field::{pack_region, unpack_region, Array3, FlopMeter, Region};
-use yy_mesh::routing::{build_schedule, panel_of_world, OversetExchange};
+use yy_field::{pack_region, unpack_region, Array3, Meters, Region};
+use yy_mesh::routing::{build_schedule, panel_of_world, OversetExchange, TargetSlot};
 use yy_mesh::{
     build_overset_columns, interp::interp_scalar_column, interp::interp_vector_column, Decomp2D,
     Metric, OversetColumn, PatchGrid, Tile,
@@ -57,8 +58,10 @@ use yy_mhd::{
     apply_physical_bc, cfl_timestep, compute_rhs, initialize, timestep::rho_min_owned,
     wave_speed_max, Diagnostics, ForceTables, State,
 };
+use yy_obs::counters::{kernel, CounterSet, CounterSnapshot, KernelTally};
+use yy_obs::event::counter;
 use yy_obs::hist::HistogramSnapshot;
-use yy_obs::{Event, JsonlLogger};
+use yy_obs::{prometheus_text, Event, JsonlLogger, MetricsHub, MetricsServer};
 use yy_parcomm::stats::{SolverPhase, TrafficClass};
 use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
 
@@ -240,6 +243,33 @@ pub fn run_parallel_supervised(
             ("traced", recorders.is_some().to_string()),
         ],
     );
+    // Live metrics: tests may inject a hub to scrape without a socket;
+    // a configured port gets a hub plus the std-TcpListener endpoint.
+    // The server (if any) lives for the whole supervised run, including
+    // across pass restarts, and stops on drop.
+    let hub = opts
+        .obs
+        .metrics_hub
+        .clone()
+        .or_else(|| opts.obs.metrics_port.map(|_| Arc::new(MetricsHub::new())));
+    let _metrics_server = match (&hub, opts.obs.metrics_port) {
+        (Some(h), Some(port)) => {
+            let server = MetricsServer::start(Arc::clone(h), port)
+                .map_err(|e| format!("starting metrics endpoint on port {port}: {e}"))?;
+            log(
+                "info",
+                "metrics endpoint up",
+                &[("addr", server.local_addr().to_string())],
+            );
+            Some(server)
+        }
+        _ => None,
+    };
+    let rank_obs = RankObs {
+        counters: opts.obs.counters,
+        profile_every: opts.obs.profile_every,
+        metrics: hub,
+    };
     let slot: Arc<Mutex<Option<Checkpoint>>> = Arc::new(Mutex::new(None));
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut dt_scale = 1.0_f64;
@@ -261,6 +291,7 @@ pub fn run_parallel_supervised(
         };
         let cfg2 = cfg.clone();
         let slot2 = Arc::clone(&slot);
+        let obs2 = rank_obs.clone();
         let (checkpoint_every, health, sync_mode) =
             (opts.checkpoint_every, opts.health, opts.sync_mode);
         let results = Universe::run_supervised(nprocs, sup, move |world| {
@@ -277,6 +308,7 @@ pub fn run_parallel_supervised(
                 resume.as_ref().as_ref(),
                 &slot2,
                 sync_mode,
+                &obs2,
             )
         });
 
@@ -411,7 +443,7 @@ pub fn parallel_checkpoint(
     let grid = cfg.grid();
     let cols = build_overset_columns(&grid)
         .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
-    crate::serial::fill_pair(&mut yin, &mut yang, &cols, cfg.params.t_inner, cfg.mag_bc);
+    crate::serial::fill_pair(&mut yin, &mut yang, &cols, cfg.params.t_inner, cfg.mag_bc, None);
     Checkpoint { shape: yin.shape(), step, time, dt_cache, yin, yang }
 }
 
@@ -433,9 +465,11 @@ fn rank_main_supervised(
     resume: Option<&Checkpoint>,
     slot: &Mutex<Option<Checkpoint>>,
     sync_mode: SyncMode,
+    obs: &RankObs,
 ) -> Result<Option<ParallelReport>, String> {
     let tiles = pth * pph;
-    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, sync_mode);
+    let (mut solver, mut state) =
+        RankSolver::new(cfg, &world, pth, pph, sync_mode, obs.counters);
     let mut dt_cache = match resume {
         Some(ck) => {
             solver.restore_tile(&mut state, ck);
@@ -463,6 +497,13 @@ fn rank_main_supervised(
         world.record_event(Event::CheckpointSaved { step: solver.step });
     }
 
+    // Open the counter measurement window at loop entry (setup, restore
+    // and the initial sync are bookkeeping, not stepping).
+    solver.meter.reset();
+    // Sampler state: the previous profile sample's (wall clock, counter
+    // snapshot), for windowed MFLOPS deltas. Local to the rank; the
+    // emitted counter events are local ring appends, never collectives.
+    let mut last_profile: Option<(Instant, CounterSnapshot)> = None;
     while solver.step < steps {
         let step_started = Instant::now();
         world.record_event(Event::StepBegin { step: solver.step });
@@ -478,7 +519,13 @@ fn rank_main_supervised(
             }
         }
         solver.advance(&mut state, dt_cache);
+        let scan_t0 = solver.meter.timer();
         let local = guard.check_state(&state);
+        {
+            let sh = state.shape();
+            let tally = crate::health::scan_tally((sh.nth * sh.nph) as u64, sh.nr as u64);
+            solver.meter.kernel_timed(kernel::HEALTH_SCAN, tally, scan_t0);
+        }
         if let Err(v) = &local {
             world.record_event(Event::HealthViolation { code: v.code(), step: solver.step });
         }
@@ -499,6 +546,52 @@ fn rank_main_supervised(
         }
         world.sample_queue_depth();
         world.record_step_ns(step_started.elapsed().as_nanos() as u64);
+        // Periodic profile sampler: each rank appends its own per-kernel
+        // MFLOPS counter samples (Chrome "C"-phase tracks) to its flight
+        // recorder — purely local, cannot perturb the trajectory.
+        if obs.profile_every > 0 && solver.step % obs.profile_every == 0 {
+            let now = Instant::now();
+            let snap = solver.meter.counters().snapshot();
+            if let Some((prev_t, prev)) = last_profile.replace((now, snap)) {
+                let dt_s = now.duration_since(prev_t).as_secs_f64();
+                if dt_s > 0.0 {
+                    let mut total = 0.0;
+                    for id in 0..kernel::COUNT {
+                        let df =
+                            snap.kernels[id].flops.saturating_sub(prev.kernels[id].flops) as f64;
+                        let mflops = df / dt_s / 1e6;
+                        total += mflops;
+                        if snap.kernels[id].flops > 0 {
+                            world.record_event(Event::counter_sample(id as u8, mflops));
+                        }
+                    }
+                    world.record_event(Event::counter_sample(counter::TOTAL_MFLOPS, total));
+                    world.record_event(Event::counter_sample(
+                        counter::QUEUE_DEPTH,
+                        world.stats().max_queue_depth as f64,
+                    ));
+                }
+            }
+        }
+        // Live metrics: allreduce the counter words (a collective every
+        // rank joins — the gate is rank-uniform) and let rank 0 render
+        // the exposition into the hub for the endpoint thread to serve.
+        if let Some(hub) = &obs.metrics {
+            if solver.step % obs.profile_every.max(1) == 0 {
+                let words = world.allreduce_vec(
+                    &solver.meter.counters().snapshot().to_f64s(),
+                    ReduceOp::Sum,
+                );
+                if world.rank() == 0 {
+                    let merged = CounterSnapshot::from_f64s(&words);
+                    hub.publish(prometheus_text(
+                        &merged,
+                        solver.step,
+                        world.stats().max_queue_depth,
+                    ));
+                }
+            }
+        }
     }
     // Final sample (every rank joins the collective; rank 0 records only
     // if the last loop iteration did not already sample this step).
@@ -507,7 +600,7 @@ fn rank_main_supervised(
         series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
     }
 
-    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists) =
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels) =
         solver.aggregate_counters();
     solver.capture_checkpoint(&state, tiles, dt_cache, slot);
     world.record_event(Event::CheckpointSaved { step: solver.step });
@@ -529,6 +622,7 @@ fn rank_main_supervised(
                 step_wall,
                 queue_depth,
                 recoveries: Vec::new(),
+                kernels,
                 series,
             },
             yin: None,
@@ -640,6 +734,16 @@ struct RankSolver<'a> {
     metric: Metric,
     forces: ForceTables,
     exchange: OversetExchange,
+    /// Per send set (aligned with `exchange.sends`): how many of its
+    /// jobs target *owned* columns of the destination tile. The overset
+    /// counters tally flops/points/loops against these so the global
+    /// totals are decomposition-invariant — ghost frame columns in a
+    /// neighbour's padded region are interpolated redundantly, the same
+    /// way halo nodes duplicate state, and redundant work is excluded
+    /// from the owned-node accounting (bytes keep the real traffic).
+    owned_jobs: Vec<u64>,
+    /// Per recv set (aligned with `exchange.recvs`): owned target slots.
+    owned_slots: Vec<u64>,
     range: InteriorRange,
     /// Deep-interior / boundary-shell partition of `range` (tentpole).
     split: OverlapSplit,
@@ -662,9 +766,58 @@ struct RankSolver<'a> {
     spare: Option<State>,
     comm: CommScratch,
     scratch: RhsScratch,
-    meter: FlopMeter,
+    meter: Meters,
     time: f64,
     step: u64,
+}
+
+/// Per-rank observability knobs the supervised rank program receives
+/// from [`RecoveryOpts::obs`] (the subset that lives inside the step
+/// loop; recorder installation stays with the supervisor).
+#[derive(Clone)]
+struct RankObs {
+    counters: bool,
+    profile_every: u64,
+    metrics: Option<Arc<MetricsHub>>,
+}
+
+/// Overset donate tally with owned-target accounting: flops, points and
+/// loops count the `owned` jobs (decomposition-invariant); bytes count
+/// every `actual` job — ghost duplicates are real interpolation work
+/// and real wire traffic, excluded only from the FLOP convention.
+fn donate_tally_owned(owned: u64, actual: u64, nr: u64) -> KernelTally {
+    let real = overset_donate_tally(actual, nr);
+    KernelTally {
+        bytes_read: real.bytes_read,
+        bytes_written: real.bytes_written,
+        ..overset_donate_tally(owned, nr)
+    }
+}
+
+/// [`donate_tally_owned`]'s fill-side twin.
+fn fill_tally_owned(owned: u64, actual: u64, nr: u64) -> KernelTally {
+    let real = overset_fill_tally(actual, nr);
+    KernelTally {
+        bytes_read: real.bytes_read,
+        bytes_written: real.bytes_written,
+        ..overset_fill_tally(owned, nr)
+    }
+}
+
+/// Counter tally for moving one halo band of `region` (× the 8 state
+/// arrays) through a pack or unpack loop. Halo volume is a property of
+/// the decomposition, not the physics, so this kernel is the documented
+/// exception to decomposition invariance — and carries zero flops.
+fn halo_tally(region: Region) -> KernelTally {
+    let values = 8 * region.len() as u64;
+    let nr = (region.i1 - region.i0).max(1) as u64;
+    KernelTally {
+        points: values,
+        loops: values / nr,
+        flops: 0,
+        bytes_read: values * 8,
+        bytes_written: values * 8,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -679,7 +832,7 @@ fn rank_main(
     mode: SyncMode,
 ) -> Option<ParallelReport> {
     let tiles = pth * pph;
-    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, mode);
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, mode, true);
     solver.sync(&mut state);
 
     let started = Instant::now();
@@ -692,6 +845,9 @@ fn rank_main(
     };
     record(&solver, &state, 0.0, &mut series);
 
+    // Open the measurement window at loop entry: setup and the initial
+    // sync are excluded, exactly like the serial driver's `run`.
+    solver.meter.reset();
     let mut dt_cache = 0.0_f64;
     for n in 0..steps {
         let step_started = Instant::now();
@@ -702,6 +858,7 @@ fn rank_main(
         solver.advance(&mut state, dt_cache);
         world.sample_queue_depth();
         world.record_step_ns(step_started.elapsed().as_nanos() as u64);
+        let scan_t0 = solver.meter.timer();
         assert!(
             !state.has_non_finite(),
             "rank {}: solution became non-finite at step {}",
@@ -714,6 +871,11 @@ fn rank_main(
             world.rank(),
             solver.step
         );
+        {
+            let sh = state.shape();
+            let tally = crate::health::scan_tally((sh.nth * sh.nph) as u64, sh.nr as u64);
+            solver.meter.kernel_timed(kernel::HEALTH_SCAN, tally, scan_t0);
+        }
         if sample_every > 0 && (n + 1) % sample_every == 0 {
             record(&solver, &state, dt_cache, &mut series);
         }
@@ -737,7 +899,7 @@ fn rank_main(
     }
 
     // Aggregate counters.
-    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists) =
+    let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels) =
         solver.aggregate_counters();
 
     // Optionally gather the full panels at rank 0.
@@ -764,6 +926,7 @@ fn rank_main(
                 step_wall,
                 queue_depth,
                 recoveries: Vec::new(),
+                kernels,
                 series,
             },
             yin,
@@ -784,6 +947,7 @@ impl<'a> RankSolver<'a> {
         pth: usize,
         pph: usize,
         mode: SyncMode,
+        counters: bool,
     ) -> (Self, State) {
         let tiles = pth * pph;
         let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
@@ -810,6 +974,34 @@ impl<'a> RankSolver<'a> {
         let cols: Vec<OversetColumn> = build_overset_columns(&grid)
             .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
         let mut schedule = build_schedule(&grid, &decomp, &cols);
+        // Owned-target job/slot counts for the overset counters (see the
+        // `owned_jobs` field). Send and receive lists pair up
+        // positionally, so the destination's recv set from us names the
+        // target slots our jobs will fill.
+        let owned_in = |t: &Tile, s: &TargetSlot| {
+            s.tj >= 0 && (s.tj as usize) < t.nth && s.tk >= 0 && (s.tk as usize) < t.nph
+        };
+        let me = world.rank();
+        let owned_jobs: Vec<u64> = schedule[me]
+            .sends
+            .iter()
+            .map(|snd| {
+                let (_, pr) = panel_of_world(snd.to_world, tiles);
+                let peer_tile = decomp.tile(pr);
+                schedule[snd.to_world]
+                    .recvs
+                    .iter()
+                    .find(|r| r.from_world == me)
+                    .map_or(0, |r| {
+                        r.slots.iter().filter(|s| owned_in(&peer_tile, s)).count() as u64
+                    })
+            })
+            .collect();
+        let owned_slots: Vec<u64> = schedule[me]
+            .recvs
+            .iter()
+            .map(|r| r.slots.iter().filter(|s| owned_in(&tile, s)).count() as u64)
+            .collect();
         let exchange = std::mem::take(&mut schedule[world.rank()]);
         let range = InteriorRange::for_tile(&grid, &tile);
         let split = range.split_overlap();
@@ -830,6 +1022,8 @@ impl<'a> RankSolver<'a> {
             metric,
             forces,
             exchange,
+            owned_jobs,
+            owned_slots,
             range,
             split,
             deep_chunks,
@@ -842,7 +1036,11 @@ impl<'a> RankSolver<'a> {
             spare: Some(State::zeros(shape)),
             comm: CommScratch::new(shape.nr, balanced),
             scratch: RhsScratch::new(shape),
-            meter: FlopMeter::new(),
+            meter: Meters::with_counters(Arc::new(if counters {
+                CounterSet::enabled()
+            } else {
+                CounterSet::new()
+            })),
             time: 0.0,
             step: 0,
         };
@@ -995,10 +1193,12 @@ impl<'a> RankSolver<'a> {
         let (peers, sends, _, tag) = self.halo_plan(dim);
         for (peer, region) in peers.into_iter().zip(sends) {
             if let Some(dst) = peer {
+                let t0 = self.meter.timer();
                 let mut buf = self.comm.take_buf(region.len() * 8);
                 for arr in s.arrays() {
                     pack_region(arr, region, &mut buf);
                 }
+                self.meter.kernel_timed(kernel::HALO_PACK, halo_tally(region), t0);
                 self.cart.comm().send_f64s(dst, tag, buf, TrafficClass::Halo);
             }
         }
@@ -1013,11 +1213,13 @@ impl<'a> RankSolver<'a> {
             if let Some(src) = peer {
                 let buf = self.cart.comm().recv_f64s(src, tag);
                 clock.lap(self.world, SolverPhase::Wait);
+                let t0 = self.meter.timer();
                 let mut rest: &[f64] = &buf;
                 for arr in s.arrays_mut() {
                     rest = unpack_region(arr, region, rest);
                 }
                 assert!(rest.is_empty(), "halo message size mismatch from rank {src}");
+                self.meter.kernel_timed(kernel::HALO_UNPACK, halo_tally(region), t0);
                 self.comm.put_buf(buf);
                 clock.lap(self.world, SolverPhase::Pack);
             }
@@ -1029,7 +1231,8 @@ impl<'a> RankSolver<'a> {
     /// the scratch.
     fn post_overset(&mut self, s: &State) {
         let nr = self.grid.spec().nr;
-        for send in &self.exchange.sends {
+        for (si, send) in self.exchange.sends.iter().enumerate() {
+            let t0 = self.meter.timer();
             let mut buf = self.comm.take_buf(send.jobs.len() * 8 * nr);
             for job in &send.jobs {
                 let col = OversetColumn {
@@ -1069,6 +1272,11 @@ impl<'a> RankSolver<'a> {
                 buf.extend_from_slice(&self.comm.vt);
                 buf.extend_from_slice(&self.comm.vp);
             }
+            self.meter.kernel_timed(
+                kernel::OVERSET_DONATE,
+                donate_tally_owned(self.owned_jobs[si], send.jobs.len() as u64, nr as u64),
+                t0,
+            );
             self.world.send_f64s(send.to_world, TAG_OVERSET, buf, TrafficClass::Overset);
         }
     }
@@ -1077,9 +1285,10 @@ impl<'a> RankSolver<'a> {
     /// my frame slots; received buffers refill the pool.
     fn drain_overset(&mut self, s: &mut State, clock: &mut PhaseClock) {
         let nr = self.grid.spec().nr;
-        for recv in &self.exchange.recvs {
+        for (ri, recv) in self.exchange.recvs.iter().enumerate() {
             let buf = self.world.recv_f64s(recv.from_world, TAG_OVERSET);
             clock.lap(self.world, SolverPhase::Wait);
+            let t0 = self.meter.timer();
             assert_eq!(
                 buf.len(),
                 recv.slots.len() * 8 * nr,
@@ -1101,6 +1310,11 @@ impl<'a> RankSolver<'a> {
                 take(&mut s.a.t);
                 take(&mut s.a.p);
             }
+            self.meter.kernel_timed(
+                kernel::OVERSET_FILL,
+                fill_tally_owned(self.owned_slots[ri], recv.slots.len() as u64, nr as u64),
+                t0,
+            );
             self.comm.put_buf(buf);
             clock.lap(self.world, SolverPhase::Overset);
         }
@@ -1113,7 +1327,7 @@ impl<'a> RankSolver<'a> {
     // ------------------------------------------------------------------
 
     /// Halo exchange + overset exchange + physical walls on `s`.
-    fn sync_blocking(&self, s: &mut State) {
+    fn sync_blocking(&mut self, s: &mut State) {
         let mut clock = PhaseClock::start();
         self.halo_exchange(s, &mut clock);
         self.overset_exchange(s, &mut clock);
@@ -1123,7 +1337,7 @@ impl<'a> RankSolver<'a> {
 
     /// Two-phase nearest-neighbour halo exchange (θ, then φ over the
     /// θ-extended rows so corners fill without diagonal messages).
-    fn halo_exchange(&self, s: &mut State, clock: &mut PhaseClock) {
+    fn halo_exchange(&mut self, s: &mut State, clock: &mut PhaseClock) {
         let h = self.grid.spec().halo as isize;
         let (nth, nph) = (self.tile.nth as isize, self.tile.nph as isize);
         let nr = self.grid.spec().nr;
@@ -1151,7 +1365,7 @@ impl<'a> RankSolver<'a> {
     /// neighbour, as the real code batches its halo traffic.
     #[allow(clippy::too_many_arguments)]
     fn exchange_bands(
-        &self,
+        &mut self,
         s: &mut State,
         lo: Option<usize>,
         hi: Option<usize>,
@@ -1162,27 +1376,30 @@ impl<'a> RankSolver<'a> {
         tag: u64,
         clock: &mut PhaseClock,
     ) {
-        let comm = self.cart.comm();
         // Post sends first (buffered): no deadlock in symmetric exchange.
         for (peer, region) in [(lo, send_lo), (hi, send_hi)] {
             if let Some(dst) = peer {
+                let t0 = self.meter.timer();
                 let mut buf = Vec::with_capacity(region.len() * 8);
                 for arr in s.arrays() {
                     pack_region(arr, region, &mut buf);
                 }
-                comm.send_f64s(dst, tag, buf, TrafficClass::Halo);
+                self.meter.kernel_timed(kernel::HALO_PACK, halo_tally(region), t0);
+                self.cart.comm().send_f64s(dst, tag, buf, TrafficClass::Halo);
             }
         }
         clock.lap(self.world, SolverPhase::Pack);
         for (peer, region) in [(lo, recv_lo), (hi, recv_hi)] {
             if let Some(src) = peer {
-                let buf = comm.recv_f64s(src, tag);
+                let buf = self.cart.comm().recv_f64s(src, tag);
                 clock.lap(self.world, SolverPhase::Wait);
+                let t0 = self.meter.timer();
                 let mut rest: &[f64] = &buf;
                 for arr in s.arrays_mut() {
                     rest = unpack_region(arr, region, rest);
                 }
                 assert!(rest.is_empty(), "halo message size mismatch from rank {src}");
+                self.meter.kernel_timed(kernel::HALO_UNPACK, halo_tally(region), t0);
                 clock.lap(self.world, SolverPhase::Pack);
             }
         }
@@ -1190,10 +1407,11 @@ impl<'a> RankSolver<'a> {
 
     /// Overset exchange: donate interpolated columns to partner-panel
     /// ranks and fill my frame slots from theirs.
-    fn overset_exchange(&self, s: &mut State, clock: &mut PhaseClock) {
+    fn overset_exchange(&mut self, s: &mut State, clock: &mut PhaseClock) {
         let nr = self.grid.spec().nr;
         // Donate.
-        for send in &self.exchange.sends {
+        for (si, send) in self.exchange.sends.iter().enumerate() {
+            let t0 = self.meter.timer();
             let mut buf = Vec::with_capacity(send.jobs.len() * 8 * nr);
             let mut row = vec![0.0; nr];
             let (mut vr, mut vt, mut vp) = (vec![0.0; nr], vec![0.0; nr], vec![0.0; nr]);
@@ -1219,13 +1437,19 @@ impl<'a> RankSolver<'a> {
                 buf.extend_from_slice(&vt);
                 buf.extend_from_slice(&vp);
             }
+            self.meter.kernel_timed(
+                kernel::OVERSET_DONATE,
+                donate_tally_owned(self.owned_jobs[si], send.jobs.len() as u64, nr as u64),
+                t0,
+            );
             self.world.send_f64s(send.to_world, TAG_OVERSET, buf, TrafficClass::Overset);
         }
         clock.lap(self.world, SolverPhase::Overset);
         // Receive and place.
-        for recv in &self.exchange.recvs {
+        for (ri, recv) in self.exchange.recvs.iter().enumerate() {
             let buf = self.world.recv_f64s(recv.from_world, TAG_OVERSET);
             clock.lap(self.world, SolverPhase::Wait);
+            let t0 = self.meter.timer();
             assert_eq!(
                 buf.len(),
                 recv.slots.len() * 8 * nr,
@@ -1247,6 +1471,11 @@ impl<'a> RankSolver<'a> {
                 take(&mut s.a.t);
                 take(&mut s.a.p);
             }
+            self.meter.kernel_timed(
+                kernel::OVERSET_FILL,
+                fill_tally_owned(self.owned_slots[ri], recv.slots.len() as u64, nr as u64),
+                t0,
+            );
             clock.lap(self.world, SolverPhase::Overset);
         }
     }
@@ -1275,10 +1504,6 @@ impl<'a> RankSolver<'a> {
             SyncMode::Overlapped => self.advance_overlapped(state, dt),
             SyncMode::Blocking => self.advance_blocking(state, dt),
         }
-        // RK4 combine arithmetic (4 axpy + 3 assign_axpy, 2 flops/element,
-        // 8 arrays) — kept identical to the serial driver's accounting.
-        let combine_flops = 2 * (4 + 3) * 8 * state.shape().len() as u64;
-        self.meter.add(combine_flops);
         self.time += dt;
         self.step += 1;
         if self.step == 2 {
@@ -1296,6 +1521,7 @@ impl<'a> RankSolver<'a> {
     fn advance_overlapped(&mut self, state: &mut State, dt: f64) {
         let weights = geomath::rk4::RK4_WEIGHTS;
         let nodes = [0.5, 0.5, 1.0];
+        let (owned, columns) = self.owned_extent(state);
         self.y0.copy_from(state);
         self.stage.copy_from(state);
         compute_rhs(
@@ -1308,9 +1534,13 @@ impl<'a> RankSolver<'a> {
             &mut self.k,
             &mut self.meter,
         );
+        let t0 = self.meter.timer();
         state.axpy(dt * weights[0], &self.k);
+        self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(1, owned, columns), t0);
         for s in 1..4 {
+            let t0 = self.meter.timer();
             self.stage.assign_axpy(&self.y0, dt * nodes[s - 1], &self.k);
+            self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(1, owned, columns), t0);
             // Swap the stage state out against the spare so the fused
             // sync⊗RHS can borrow it mutably alongside the solver — the
             // allocation-free replacement for the legacy per-stage
@@ -1319,9 +1549,22 @@ impl<'a> RankSolver<'a> {
             let mut x = std::mem::replace(&mut self.stage, spare);
             self.sync_rhs_overlapped(&mut x);
             self.spare = Some(std::mem::replace(&mut self.stage, x));
+            let t0 = self.meter.timer();
             state.axpy(dt * weights[s], &self.k);
+            self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(1, owned, columns), t0);
         }
         self.sync(state);
+    }
+
+    /// Owned (non-ghost) node and column counts of this rank's tile —
+    /// the combine-kernel accounting extent (the arrays themselves carry
+    /// halo/frame padding the tallies exclude).
+    fn owned_extent(&self, state: &State) -> (u64, u64) {
+        let sh = state.shape();
+        (
+            (sh.nr * sh.nth * sh.nph) as u64,
+            (sh.nth * sh.nph) as u64,
+        )
     }
 
     /// The legacy step: full-range RHS, then a serialized blocking sync,
@@ -1330,6 +1573,7 @@ impl<'a> RankSolver<'a> {
     fn advance_blocking(&mut self, state: &mut State, dt: f64) {
         let weights = geomath::rk4::RK4_WEIGHTS;
         let nodes = [0.5, 0.5, 1.0];
+        let (owned, columns) = self.owned_extent(state);
         self.y0.copy_from(state);
         self.stage.copy_from(state);
         for s in 0..4 {
@@ -1343,9 +1587,13 @@ impl<'a> RankSolver<'a> {
                 &mut self.k,
                 &mut self.meter,
             );
+            let t0 = self.meter.timer();
             state.axpy(dt * weights[s], &self.k);
+            self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(1, owned, columns), t0);
             if s < 3 {
+                let t0 = self.meter.timer();
                 self.stage.assign_axpy(&self.y0, dt * nodes[s], &self.k);
+                self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(1, owned, columns), t0);
                 let mut stage = std::mem::replace(&mut self.stage, State::zeros(state.shape()));
                 self.sync_blocking(&mut stage);
                 self.stage = stage;
@@ -1432,10 +1680,11 @@ impl<'a> RankSolver<'a> {
 
     /// Allreduced run counters: (flops, halo bytes, overset bytes, max
     /// observed mailbox depth, all-rank phase breakdown, merged
-    /// [receive-wait, step-wall, queue-depth] histograms).
+    /// [receive-wait, step-wall, queue-depth] histograms, merged
+    /// per-kernel counter snapshot).
     fn aggregate_counters(
         &self,
-    ) -> (u64, u64, u64, u64, PhaseBreakdown, [HistogramSnapshot; 3]) {
+    ) -> (u64, u64, u64, u64, PhaseBreakdown, [HistogramSnapshot; 3], CounterSnapshot) {
         let stats = self.world.stats();
         let flops = self.world.allreduce_f64(self.meter.flops() as f64, ReduceOp::Sum) as u64;
         let halo_bytes = self.world.allreduce_f64(stats.bytes_halo as f64, ReduceOp::Sum) as u64;
@@ -1462,7 +1711,14 @@ impl<'a> RankSolver<'a> {
         };
         let hists = [stats.recv_wait, stats.step_wall, stats.queue_depth]
             .map(|h| self.merge_hist(h));
-        (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists)
+        // Every tally word is an exact integer (or a ns sum) far below
+        // 2⁵³, so the f64 Sum allreduce merges the per-rank kernel
+        // counters losslessly — same trick as the histograms.
+        let kwords = self
+            .world
+            .allreduce_vec(&self.meter.counters().snapshot().to_f64s(), ReduceOp::Sum);
+        let kernels = CounterSnapshot::from_f64s(&kwords);
+        (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels)
     }
 
     /// Globally reduced diagnostics (sums for energies, max for maxima).

@@ -2,6 +2,7 @@
 //! distributions, and the machine-readable JSON artifact.
 
 use yy_mhd::Diagnostics;
+use yy_obs::counters::{kernel, CounterSnapshot};
 use yy_obs::hist::HistogramSnapshot;
 use yy_obs::json::{escape, num};
 use yy_obs::registry::hist_json;
@@ -103,6 +104,11 @@ pub struct RunReport {
     /// Supervisor interventions (rollbacks), in order; empty for
     /// unsupervised and fault-free runs.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Per-kernel performance counters over the stepping window, merged
+    /// across every rank (all-zero when counters were disabled). The
+    /// per-kernel FLOPs sum to `flops` exactly when enabled — the
+    /// software stand-in for the ES hardware-counter report.
+    pub kernels: CounterSnapshot,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
 }
@@ -150,12 +156,42 @@ impl RunReport {
 
     /// Render the report as a stable, schema-versioned JSON artifact.
     ///
-    /// The schema identifier is `yy.runreport.v1`; consumers key on it
+    /// The schema identifier is `yy.runreport.v2`; consumers key on it
     /// and on field presence. Fields are only ever *added* within a
-    /// schema version — renames or removals bump the version. All
-    /// histogram values are exact integers (log₂ bucket counts), so the
-    /// artifact is bitwise reproducible for a deterministic run.
+    /// schema version — renames or removals bump the version. v2 is a
+    /// strict superset of v1: it adds the `kernels` table (per-kernel
+    /// counters + derived rates) and changes nothing else, so a v1
+    /// reader that ignores unknown fields keeps working (pinned by the
+    /// `v1_reader_keeps_working_on_v2_output` test). All histogram and
+    /// counter values are exact integers, so the artifact is bitwise
+    /// reproducible for a deterministic run.
     pub fn to_json(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernels
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                format!(
+                    concat!(
+                        r#"{{"name":"{}","calls":{},"points":{},"loops":{},"flops":{},"#,
+                        r#""bytes_read":{},"bytes_written":{},"wall_ns":{},"#,
+                        r#""mflops":{},"intensity":{},"avg_vector_length":{}}}"#
+                    ),
+                    kernel::name(i as u8),
+                    k.calls,
+                    k.points,
+                    k.loops,
+                    k.flops,
+                    k.bytes_read,
+                    k.bytes_written,
+                    k.wall_ns,
+                    num(k.mflops()),
+                    num(k.intensity()),
+                    num(k.avg_vector_length()),
+                )
+            })
+            .collect();
         let phases = format!(
             concat!(
                 r#"{{"pack_s":{},"interior_s":{},"wait_s":{},"boundary_s":{},"#,
@@ -210,12 +246,13 @@ impl RunReport {
         format!(
             concat!(
                 "{{\n",
-                "\"schema\":\"yy.runreport.v1\",\n",
+                "\"schema\":\"yy.runreport.v2\",\n",
                 "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
                 "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
                 "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
                 "\"phases\":{},\n",
                 "\"histograms\":{},\n",
+                "\"kernels\":[{}],\n",
                 "\"recoveries\":[{}],\n",
                 "\"series\":[{}]\n",
                 "}}\n"
@@ -232,6 +269,7 @@ impl RunReport {
             self.max_queue_depth,
             phases,
             hists,
+            kernels.join(",\n"),
             recoveries.join(","),
             series.join(","),
         )
@@ -318,12 +356,92 @@ mod tests {
             diag: Diagnostics::default(),
         });
         let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v1"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v2"));
         assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
         let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
         assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
         let rec = &doc.get("recoveries").unwrap().as_arr().unwrap()[0];
         assert_eq!(rec.get("cause").unwrap().as_str(), Some("rank 1 \"died\""));
+        assert_eq!(doc.get("series").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn kernel_table_lands_in_the_artifact() {
+        use yy_obs::counters::{CounterSet, KernelTally};
+        use yy_obs::Json;
+        let set = CounterSet::enabled();
+        set.add(
+            kernel::RHS,
+            KernelTally {
+                points: 64,
+                loops: 8,
+                flops: 640 * 64,
+                bytes_read: 64 * 448,
+                bytes_written: 64 * 64,
+            },
+        );
+        let r = RunReport { flops: 640 * 64, kernels: set.snapshot(), ..Default::default() };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let table = doc.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(table.len(), kernel::COUNT);
+        let rhs = table
+            .iter()
+            .find(|k| k.get("name").and_then(|n| n.as_str()) == Some("rhs"))
+            .expect("rhs row");
+        assert_eq!(rhs.get("flops").unwrap().as_f64(), Some(640.0 * 64.0));
+        assert_eq!(rhs.get("avg_vector_length").unwrap().as_f64(), Some(8.0));
+        assert!(rhs.get("intensity").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    /// The v1→v2 compatibility contract: a reader written against
+    /// `yy.runreport.v1` — which keys on field presence, not the schema
+    /// string — must keep working on v2 output, since v2 only *adds*
+    /// the kernel table. This test is that reader.
+    #[test]
+    fn v1_reader_keeps_working_on_v2_output() {
+        use yy_obs::Json;
+        let mut r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            halo_bytes: 10,
+            overset_bytes: 20,
+            max_queue_depth: 2,
+            ..Default::default()
+        };
+        r.series.push(TimeSeriesPoint {
+            step: 3,
+            time: 0.5,
+            dt: 0.1,
+            diag: Diagnostics::default(),
+        });
+        let doc = Json::parse(&r.to_json()).unwrap();
+        // Every v1 field, read exactly as PR 4's consumers read them;
+        // the reader never touches (or needs) the new `kernels` array.
+        for field in [
+            "time",
+            "steps",
+            "flops",
+            "wall_seconds",
+            "grid_points",
+            "mflops",
+            "flops_per_point_step",
+            "halo_bytes",
+            "overset_bytes",
+            "max_queue_depth",
+        ] {
+            assert!(
+                doc.get(field).and_then(|v| v.as_f64()).is_some(),
+                "v1 field {field} missing or non-numeric in v2 output"
+            );
+        }
+        for h in ["recv_wait_ns", "step_wall_ns", "queue_depth"] {
+            assert!(doc.get("histograms").unwrap().get(h).is_some(), "v1 histogram {h}");
+        }
+        assert!(doc.get("phases").unwrap().get("hidden_comm_fraction").is_some());
+        assert!(doc.get("recoveries").unwrap().as_arr().is_some());
         assert_eq!(doc.get("series").unwrap().as_arr().unwrap().len(), 1);
     }
 }

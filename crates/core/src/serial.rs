@@ -19,11 +19,14 @@
 
 use crate::config::RunConfig;
 use crate::report::{RunReport, TimeSeriesPoint};
+use std::sync::Arc;
 use std::time::Instant;
-use yy_field::FlopMeter;
+use yy_field::Meters;
+use yy_mesh::interp::{INTERP_SCALAR_FLOPS_PER_NODE, INTERP_VECTOR_FLOPS_PER_NODE};
 use yy_mesh::{
     apply_scalar, apply_vector, build_overset_columns, Metric, OversetColumn, Panel, PatchGrid,
 };
+use yy_obs::counters::{kernel, CounterSet, KernelTally};
 use yy_mhd::rhs::{InteriorRange, RhsScratch};
 use yy_mhd::tables::rotation_axis;
 use yy_mhd::{
@@ -31,16 +34,69 @@ use yy_mhd::{
     wave_speed_breakdown, wave_speed_max, Diagnostics, ForceTables, SpeedBreakdown, State,
 };
 
+/// Counter tally for donating `jobs` overset columns of radial length
+/// `nr` (each job: 2 scalar + 2 vector column interpolations of the 8
+/// state arrays). Shared by the serial fill and the parallel exchange so
+/// the global per-kernel totals are decomposition-invariant by
+/// construction.
+pub(crate) fn overset_donate_tally(jobs: u64, nr: u64) -> KernelTally {
+    let rows = 8 * jobs; // 8 interpolated array rows per column job
+    KernelTally {
+        points: rows * nr,
+        loops: rows,
+        flops: jobs * nr * (2 * INTERP_SCALAR_FLOPS_PER_NODE + 2 * INTERP_VECTOR_FLOPS_PER_NODE),
+        // Each interpolated row blends 4 donor rows.
+        bytes_read: rows * 4 * nr * 8,
+        bytes_written: rows * nr * 8,
+    }
+}
+
+/// Counter tally for placing `jobs` donated overset columns into their
+/// target frames (pure row copies — zero flops).
+pub(crate) fn overset_fill_tally(jobs: u64, nr: u64) -> KernelTally {
+    let rows = 8 * jobs;
+    KernelTally {
+        points: rows * nr,
+        loops: rows,
+        flops: 0,
+        bytes_read: rows * nr * 8,
+        bytes_written: rows * nr * 8,
+    }
+}
+
+/// Counter tally for `ops` RK4 combine passes (axpy / assign_axpy) over a
+/// region of `owned_points` owned nodes in `owned_columns` (θ, φ)
+/// columns. Each pass touches the 8 state arrays at 2 flops per element
+/// and streams two operand arrays in, one out. Counting owned nodes only
+/// (the arrays themselves include padding) keeps the global totals
+/// decomposition-invariant; shared with the parallel driver.
+pub(crate) fn combine_tally(ops: u64, owned_points: u64, owned_columns: u64) -> KernelTally {
+    KernelTally {
+        points: ops * owned_points,
+        loops: ops * owned_columns,
+        flops: ops * 16 * owned_points,
+        bytes_read: ops * 16 * owned_points * 8,
+        bytes_written: ops * 8 * owned_points * 8,
+    }
+}
+
 /// Fill the overset frames of both panels from each other, then apply the
 /// physical wall conditions. The donors are FD-interior nodes, so the two
 /// directions commute.
+///
+/// `meters`: pass the solver's panel when this fill is part of a
+/// stepping sync (the donate/fill work lands in the overset kernel
+/// counters); pass `None` for bookkeeping fills outside the measurement
+/// window (initialization, checkpoint reconstruction).
 pub fn fill_pair(
     yin: &mut State,
     yang: &mut State,
     cols: &[OversetColumn],
     t_inner: f64,
     mag_bc: yy_mhd::MagneticBc,
+    meters: Option<&mut Meters>,
 ) {
+    let t0 = meters.as_ref().and_then(|m| m.timer());
     // Yang → Yin.
     for col in cols {
         apply_scalar(col, &yang.rho, &mut yin.rho);
@@ -54,6 +110,17 @@ pub fn fill_pair(
         apply_scalar(col, &yin.press, &mut yang.press);
         apply_vector(col, &yin.f.r, &yin.f.t, &yin.f.p, &mut yang.f.r, &mut yang.f.t, &mut yang.f.p);
         apply_vector(col, &yin.a.r, &yin.a.t, &yin.a.p, &mut yang.a.r, &mut yang.a.t, &mut yang.a.p);
+    }
+    if let Some(m) = meters {
+        // Both directions interpolate every column once: 2·cols jobs.
+        // The serial path fuses donate and fill (apply_* interpolates
+        // straight into the target rows); the counters keep them as the
+        // two kernels the distributed exchange has, with the same
+        // per-job constants, so global totals match any decomposition.
+        let jobs = 2 * cols.len() as u64;
+        let nr = yin.shape().nr as u64;
+        m.kernel_timed(kernel::OVERSET_DONATE, overset_donate_tally(jobs, nr), t0);
+        m.kernel(kernel::OVERSET_FILL, overset_fill_tally(jobs, nr));
     }
     apply_physical_bc(yin, t_inner, mag_bc);
     apply_physical_bc(yang, t_inner, mag_bc);
@@ -94,8 +161,9 @@ pub struct SerialSim {
     k: [State; 2],
     stage: [State; 2],
     scratch: RhsScratch,
-    /// Exact FLOP counter (reset by [`SerialSim::run`]).
-    pub meter: FlopMeter,
+    /// Exact FLOP and per-kernel counters (reset by [`SerialSim::run`]
+    /// at loop entry — the measurement window excludes setup).
+    pub meter: Meters,
     /// Simulated time.
     pub time: f64,
     /// Completed steps.
@@ -132,7 +200,7 @@ impl SerialSim {
         let mut yang = State::zeros(shape);
         initialize(&mut yin, &grid, None, &cfg.params, &cfg.init, Panel::Yin);
         initialize(&mut yang, &grid, None, &cfg.params, &cfg.init, Panel::Yang);
-        fill_pair(&mut yin, &mut yang, &cols, cfg.params.t_inner, cfg.mag_bc);
+        fill_pair(&mut yin, &mut yang, &cols, cfg.params.t_inner, cfg.mag_bc, None);
         let range = InteriorRange::full_panel(&grid);
         SerialSim {
             grid,
@@ -144,7 +212,9 @@ impl SerialSim {
             k: [State::zeros(shape), State::zeros(shape)],
             stage: [State::zeros(shape), State::zeros(shape)],
             scratch: RhsScratch::new(shape),
-            meter: FlopMeter::new(),
+            // The serial driver is the reference profile source, so its
+            // per-kernel counters are always on.
+            meter: Meters::with_counters(Arc::new(CounterSet::enabled())),
             time: 0.0,
             step: 0,
             dt_cache: 0.0,
@@ -189,6 +259,12 @@ impl SerialSim {
             self.stage[p].copy_from(state);
         }
 
+        // Owned-node extent for the combine accounting (both panels share
+        // one shape; padding is excluded from the tallies).
+        let shape = self.yin.shape();
+        let owned = (shape.nr * shape.nth * shape.nph) as u64;
+        let columns = (shape.nth * shape.nph) as u64;
+
         for s in 0..4 {
             // RHS of the current stage state for both panels.
             for p in 0..2 {
@@ -204,26 +280,33 @@ impl SerialSim {
                 );
             }
             // Accumulate into the solution.
+            let t0 = self.meter.timer();
             self.yin.axpy(dt * weights[s], &self.k[0]);
             self.yang.axpy(dt * weights[s], &self.k[1]);
+            self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(2, owned, columns), t0);
             // Build and fill the next stage state.
             if s < 3 {
+                let t0 = self.meter.timer();
                 for p in 0..2 {
                     let stage = &mut self.stage[p];
                     stage.assign_axpy(&self.y0[p], dt * nodes[s], &self.k[p]);
                 }
+                self.meter.kernel_timed(kernel::RK4_COMBINE, combine_tally(2, owned, columns), t0);
                 let [s0, s1] = &mut self.stage;
                 let cols = &self.cols;
-                fill_pair(s0, s1, cols, self.cfg.params.t_inner, self.cfg.mag_bc);
+                fill_pair(s0, s1, cols, self.cfg.params.t_inner, self.cfg.mag_bc, Some(&mut self.meter));
             }
         }
         let cols = std::mem::take(&mut self.cols);
-        fill_pair(&mut self.yin, &mut self.yang, &cols, self.cfg.params.t_inner, self.cfg.mag_bc);
+        fill_pair(
+            &mut self.yin,
+            &mut self.yang,
+            &cols,
+            self.cfg.params.t_inner,
+            self.cfg.mag_bc,
+            Some(&mut self.meter),
+        );
         self.cols = cols;
-        // Account the RK4 combine arithmetic (4 axpy + 3 assign_axpy per
-        // array, 2 flops per element, both panels).
-        let combine_flops = 2 * (4 + 3) * 2 * 8 * self.yin.shape().len() as u64;
-        self.meter.add(combine_flops);
         self.time += dt;
         self.step += 1;
     }
@@ -276,6 +359,7 @@ impl SerialSim {
             let dt = self.dt_cache;
             self.advance(dt);
             step_wall.record(step_started.elapsed().as_nanos() as u64);
+            let scan_t0 = self.meter.timer();
             assert!(
                 !self.yin.has_non_finite() && !self.yang.has_non_finite(),
                 "solution became non-finite at step {} (t = {:.4e}); \
@@ -293,6 +377,14 @@ impl SerialSim {
                 self.step,
                 self.time
             );
+            {
+                // Health scans over both panels (owned nodes only, so the
+                // totals match any decomposition of the same grid).
+                let s = self.yin.shape();
+                let tally = crate::health::scan_tally((s.nth * s.nph) as u64, s.nr as u64);
+                self.meter.kernel_timed(kernel::HEALTH_SCAN, tally, scan_t0);
+                self.meter.kernel(kernel::HEALTH_SCAN, tally);
+            }
             if sample_every > 0 && (n + 1) % sample_every == 0 {
                 series.push(self.sample(dt));
             }
@@ -314,6 +406,7 @@ impl SerialSim {
             step_wall: step_wall.snapshot(),
             queue_depth: Default::default(),
             recoveries: Vec::new(),
+            kernels: self.meter.counters().snapshot(),
             series,
         }
     }

@@ -43,9 +43,25 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     let trace = dir.join("trace.json");
     let log = dir.join("run.jsonl");
 
-    let untraced = run_parallel_supervised(&cfg, 2, 2, 6, 0, &killed_run_opts(ObsOpts::default()))
-        .expect("untraced run recovers");
-    let obs = ObsOpts { trace: Some(trace.clone()), log: Some(log.clone()), ..ObsOpts::default() };
+    // The baseline run records nothing: no trace, no counters, no
+    // profile sampler.
+    let untraced = run_parallel_supervised(
+        &cfg,
+        2,
+        2,
+        6,
+        0,
+        &killed_run_opts(ObsOpts { counters: false, ..ObsOpts::default() }),
+    )
+    .expect("untraced run recovers");
+    // The traced run turns everything on, including the per-kernel
+    // profile sampler (counter tracks in the Chrome trace).
+    let obs = ObsOpts {
+        trace: Some(trace.clone()),
+        log: Some(log.clone()),
+        profile_every: 2,
+        ..ObsOpts::default()
+    };
     let traced = run_parallel_supervised(&cfg, 2, 2, 6, 0, &killed_run_opts(obs))
         .expect("traced run recovers");
 
@@ -73,6 +89,8 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     let fc = yy_obs::validate_chrome_trace(&final_trace).expect("final trace valid");
     assert_eq!(fc.tracks, 8);
     assert!(fc.flow_starts > 0 && fc.flow_finishes > 0, "message flow arrows present");
+    assert!(fc.counter_samples > 0, "profile sampler must emit counter samples");
+    assert!(fc.counter_tracks > 0, "counter samples must form per-rank tracks");
 
     // (b) Report: versioned JSON, merged histograms populated, sane.
     let report = &traced.report;
@@ -81,11 +99,17 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     assert!(report.recv_wait.p50() <= report.recv_wait.p99(), "quantiles ordered");
     assert_eq!(report.recoveries.len(), traced.recoveries.len());
     let doc = yy_obs::Json::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v1"));
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v2"));
     assert!(
         doc.get("histograms").unwrap().get("recv_wait_ns").unwrap().get("count").is_some(),
         "report carries the merged recv-wait histogram"
     );
+    let kernels = doc.get("kernels").expect("v2 report carries the kernel table");
+    assert!(
+        kernels.as_arr().is_some_and(|rows| !rows.is_empty()),
+        "kernel table must have rows"
+    );
+    assert!(report.kernels.total_flops() > 0, "counters armed by default");
 
     // The JSONL log captured the rollback lifecycle.
     let logged = std::fs::read_to_string(&log).expect("jsonl log written");

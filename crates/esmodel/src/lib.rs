@@ -51,6 +51,6 @@ pub mod mpiproginf;
 pub mod tables;
 
 pub use machine::EsMachine;
-pub use model::{EsModelParams, KernelProfile, Projection, RunShape};
-pub use model::{project, project_overlapped};
+pub use model::{EsModelParams, KernelCost, KernelProfile, KernelProjection, Projection, RunShape};
+pub use model::{project, project_kernels, project_overlapped};
 pub use tables::{table1_text, table2_rows, table2_text, table3_text, Table2Row, TABLE2_PAPER};

@@ -5,7 +5,7 @@ use crate::sphere::{LatLonGrid, POLE_PARITY};
 use geomath::quadrature::trapezoid_weights;
 use geomath::rng::{node_key, node_noise};
 use std::time::Instant;
-use yy_field::FlopMeter;
+use yy_field::Meters;
 use yy_mesh::{Metric, Panel};
 use yy_mhd::rhs::{InteriorRange, RhsScratch};
 use yy_mhd::tables::rotation_axis;
@@ -75,7 +75,7 @@ pub struct LatLonSim {
     stage: State,
     scratch: RhsScratch,
     /// Exact FLOP counter.
-    pub meter: FlopMeter,
+    pub meter: Meters,
     /// Simulated time.
     pub time: f64,
     /// Completed steps.
@@ -127,7 +127,7 @@ impl LatLonSim {
             k: State::zeros(shape),
             stage: State::zeros(shape),
             scratch: RhsScratch::new(shape),
-            meter: FlopMeter::new(),
+            meter: Meters::new(),
             time: 0.0,
             step: 0,
             state,

@@ -21,6 +21,16 @@ use crate::patch::PatchGrid;
 use geomath::{SphericalPoint, YinYangMap};
 use yy_field::Array3;
 
+/// Floating-point operations per node of [`interp_scalar_column`]: the
+/// 4-donor bilinear blend (4 multiplies + 3 adds). Exact — the counter
+/// subsystem's overset accounting is built on these constants.
+pub const INTERP_SCALAR_FLOPS_PER_NODE: u64 = 7;
+
+/// Floating-point operations per node of [`interp_vector_column`]:
+/// three scalar blends (3 × 7) plus the 2×2 tangent rotation of the
+/// (θ, φ) components (4 multiplies + 2 adds).
+pub const INTERP_VECTOR_FLOPS_PER_NODE: u64 = 3 * INTERP_SCALAR_FLOPS_PER_NODE + 6;
+
 /// One interpolated boundary column: target `(j, k)` in the target panel,
 /// bilinear donors in the partner panel (global owned indices), weights,
 /// and the donor→target tangent rotation.

@@ -54,8 +54,9 @@ use crate::ops::{ColGeom, Cols, Spacings};
 use crate::params::PhysParams;
 use crate::state::State;
 use crate::tables::ForceTables;
-use yy_field::{Array3, FlopMeter, Shape, VectorField};
+use yy_field::{Array3, Meters, Shape, VectorField};
 use yy_mesh::Metric;
+use yy_obs::counters::{kernel, KernelTally};
 
 /// Approximate floating-point operations per interior grid point of one
 /// RHS evaluation, counted from the kernel source (stencil arithmetic,
@@ -64,6 +65,15 @@ use yy_mesh::Metric;
 /// dominated by the two vector second-derivative primitives (j and the
 /// viscous force) and the advection fluxes.
 pub const RHS_FLOPS_PER_POINT: u64 = 640;
+
+/// Modeled values read per interior point of one RHS evaluation: the 8
+/// state arrays through the 7-point (radial + 9-point horizontal,
+/// counted as the union's 7 distinct stencil legs) access pattern. A
+/// traffic model for the roofline, not a cache measurement.
+pub const RHS_READS_PER_POINT: u64 = 8 * 7;
+
+/// Values written per interior point: the 8 tendency arrays.
+pub const RHS_WRITES_PER_POINT: u64 = 8;
 
 /// Which nodes an RHS evaluation updates: tile-local index ranges of the
 /// finite-difference interior (globally non-frame columns, radially
@@ -311,7 +321,7 @@ pub fn compute_rhs(
     range: &InteriorRange,
     scratch: &mut RhsScratch,
     out: &mut State,
-    meter: &mut FlopMeter,
+    meter: &mut Meters,
 ) {
     out.fill_zero();
     compute_rhs_partial(state, metric, forces, params, range, scratch, out, meter);
@@ -338,11 +348,12 @@ pub fn compute_rhs_partial(
     range: &InteriorRange,
     scratch: &mut RhsScratch,
     out: &mut State,
-    meter: &mut FlopMeter,
+    meter: &mut Meters,
 ) {
     if range.is_empty() {
         return;
     }
+    let t0 = meter.timer();
     let shape = state.shape();
     let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
     let gamma = params.gamma;
@@ -532,7 +543,21 @@ pub fn compute_rhs_partial(
             }
         }
     }
-    meter.add_kernel(range.points(), RHS_FLOPS_PER_POINT);
+    let points = range.points() as u64;
+    meter.kernel_timed(
+        kernel::RHS,
+        KernelTally {
+            points,
+            // The radial sweep is the innermost (vectorized) loop, so
+            // one loop per (j,k) column: points/loops is the
+            // equivalent vector length the ES counters would report.
+            loops: ((range.j1 - range.j0) * (range.k1 - range.k0)) as u64,
+            flops: points * RHS_FLOPS_PER_POINT,
+            bytes_read: points * RHS_READS_PER_POINT * 8,
+            bytes_written: points * RHS_WRITES_PER_POINT * 8,
+        },
+        t0,
+    );
 }
 
 #[cfg(test)]
@@ -585,7 +610,7 @@ mod tests {
             let range = InteriorRange::full_panel(&grid);
             let mut scratch = RhsScratch::new(grid.full_shape());
             let mut out = State::zeros(grid.full_shape());
-            let mut meter = FlopMeter::new();
+            let mut meter = Meters::new();
             compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
             // Momentum residual is the interesting one: −∇p + ρg ≈ 0.
             out.f.r.max_abs_owned().max(out.f.t.max_abs_owned()).max(out.f.p.max_abs_owned())
@@ -622,7 +647,7 @@ mod tests {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
-        let mut meter = FlopMeter::new();
+        let mut meter = Meters::new();
         compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
         // ∂A/∂t = −ηj must be tiny (j = 0 analytically; the sinθ stencil
         // error is O(h²) ≈ 1e-3 at this resolution).
@@ -664,7 +689,7 @@ mod tests {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
-        let mut meter = FlopMeter::new();
+        let mut meter = Meters::new();
         compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
         // φ-momentum: ∇·(v f)|_φ for solid rotation is identically zero
         // (no φ-dependence, vr = vθ = 0) — exactly, with µ = 0.
@@ -694,7 +719,7 @@ mod tests {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
-        let mut meter = FlopMeter::new();
+        let mut meter = Meters::new();
         compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
         assert_eq!(meter.flops(), range.points() as u64 * RHS_FLOPS_PER_POINT);
         assert!(range.points() > 0);
@@ -825,12 +850,12 @@ mod tests {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut full = State::zeros(shape);
-        let mut meter_full = FlopMeter::new();
+        let mut meter_full = Meters::new();
         compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut full, &mut meter_full);
 
         let split = range.split_overlap();
         let mut parts = State::zeros(shape);
-        let mut meter_parts = FlopMeter::new();
+        let mut meter_parts = Meters::new();
         parts.fill_zero();
         // Deep interior first (possibly φ-chunked), then the shell — the
         // order the overlapped driver uses.
@@ -867,7 +892,7 @@ mod tests {
         let range = InteriorRange::full_panel(&grid);
         let mut scratch = RhsScratch::new(shape);
         let mut out = State::zeros(shape);
-        let mut meter = FlopMeter::new();
+        let mut meter = Meters::new();
         compute_rhs(&state, &metric, &forces, &params, &range, &mut scratch, &mut out, &mut meter);
         let (nr, nth, nph) = grid.dims();
         // Radial boundary planes.

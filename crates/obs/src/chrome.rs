@@ -14,7 +14,7 @@
 //! event, and asserts per-track timestamp monotonicity — CI runs it on
 //! every post-mortem trace a faulted run produces.
 
-use crate::event::{class, fault, health, phase, Event, TimedEvent};
+use crate::event::{class, counter, fault, health, phase, Event, TimedEvent};
 use crate::json::num;
 
 /// One rank's decoded flight-recorder contents, ready for export.
@@ -107,6 +107,15 @@ fn push_event(out: &mut Vec<String>, rank: usize, te: &TimedEvent) {
             r#"{{"name":"step {step}","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{},"cat":"step","args":{{"step":{step}}}}}"#,
             us(te.ts_ns),
         )),
+        // Perfetto keys counter tracks by (pid, name), not tid, so the
+        // rank goes into the name to keep one track per counter per
+        // rank.
+        Event::CounterSample { id, value_bits } => out.push(format!(
+            r#"{{"name":"{} r{tid}","ph":"C","pid":0,"tid":{tid},"ts":{},"cat":"counter","args":{{"value":{}}}}}"#,
+            counter::name(id),
+            us(te.ts_ns),
+            num(f64::from_bits(value_bits)),
+        )),
     }
 }
 
@@ -159,6 +168,11 @@ pub struct TraceCheck {
     pub kills: usize,
     /// Distinct `tid` tracks seen (metadata excluded).
     pub tracks: usize,
+    /// `"C"` counter samples.
+    pub counter_samples: usize,
+    /// Distinct counter tracks (by name; the rank is baked into counter
+    /// names, so this is per counter per rank).
+    pub counter_tracks: usize,
 }
 
 /// Parse and structurally validate a Chrome trace produced by
@@ -174,6 +188,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         .ok_or("missing traceEvents array")?;
     let mut check = TraceCheck { events: events.len(), ..TraceCheck::default() };
     let mut last_ts: Vec<(f64, f64)> = Vec::new(); // (tid, last ts)
+    let mut counter_names: Vec<String> = Vec::new();
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -226,10 +241,27 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                     check.kills += 1;
                 }
             }
+            "C" => {
+                check.counter_samples += 1;
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i} ({name}): C without args.value"))?;
+                if !value.is_finite() {
+                    return Err(format!(
+                        "event {i} ({name}): non-finite counter value {value}"
+                    ));
+                }
+                if !counter_names.iter().any(|n| n == name) {
+                    counter_names.push(name.to_string());
+                }
+            }
             other => return Err(format!("event {i} ({name}): unexpected ph {other:?}")),
         }
     }
     check.tracks = last_ts.len();
+    check.counter_tracks = counter_names.len();
     Ok(check)
 }
 
@@ -245,6 +277,11 @@ mod tests {
                 event: Event::Send { peer: 1, class: class::HALO, bytes: 800, tag16: 11, seq: 0 },
             },
             TimedEvent { ts_ns: 9_000, event: Event::Phase { phase: phase::INTERIOR, dur_ns: 5_000 } },
+            TimedEvent { ts_ns: 9_200, event: Event::counter_sample(0, 512.25) },
+            TimedEvent {
+                ts_ns: 9_200,
+                event: Event::counter_sample(counter::QUEUE_DEPTH, 2.0),
+            },
             TimedEvent { ts_ns: 9_500, event: Event::KillInjected { step: 4 } },
         ];
         let t1 = vec![
@@ -270,6 +307,39 @@ mod tests {
         assert_eq!(check.flow_starts, 1);
         assert_eq!(check.flow_finishes, 1);
         assert_eq!(check.tracks, 2);
+        assert_eq!(check.counter_samples, 2);
+        assert_eq!(check.counter_tracks, 2, "mflops:rhs r0 and queue_depth r0");
+    }
+
+    #[test]
+    fn counter_samples_become_per_rank_counter_tracks() {
+        let doc = chrome_trace_json(&demo_tracks());
+        assert!(doc.contains(r#""name":"mflops:rhs r0","ph":"C""#), "{doc}");
+        assert!(doc.contains(r#""args":{"value":512.25}"#));
+        let parsed = crate::json::Json::parse(&doc).unwrap();
+        let evs = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let c: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(c.len(), 2);
+        for e in c {
+            assert!(e.get("args").unwrap().get("value").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_counter_records() {
+        let no_value = r#"{"traceEvents":[
+            {"name":"c","ph":"C","pid":0,"tid":0,"ts":1.0,"args":{}}
+        ]}"#;
+        let err = validate_chrome_trace(no_value).unwrap_err();
+        assert!(err.contains("without args.value"), "{err}");
+        let non_finite = r#"{"traceEvents":[
+            {"name":"c","ph":"C","pid":0,"tid":0,"ts":1.0,"args":{"value":1e999}}
+        ]}"#;
+        let err = validate_chrome_trace(non_finite).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
     }
 
     #[test]

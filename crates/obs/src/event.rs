@@ -114,6 +114,38 @@ pub mod health {
     }
 }
 
+/// Counter-track ids (`sub` byte of [`Event::CounterSample`]). Ids
+/// below [`crate::counters::kernel::COUNT`] are per-kernel achieved
+/// MFLOPS tracks; the high ids are run-level gauges.
+pub mod counter {
+    use crate::counters::kernel;
+
+    /// Mailbox queue depth sampled after the step.
+    pub const QUEUE_DEPTH: u8 = 250;
+    /// Whole-rank achieved MFLOPS over the sampling window.
+    pub const TOTAL_MFLOPS: u8 = 251;
+
+    /// Track name for exporters: `mflops:<kernel>` for kernel ids,
+    /// gauge names for the run-level ids.
+    pub fn name(id: u8) -> &'static str {
+        match id {
+            QUEUE_DEPTH => "queue_depth",
+            TOTAL_MFLOPS => "mflops_total",
+            _ if (id as usize) < kernel::COUNT => match id {
+                0 => "mflops:rhs",
+                1 => "mflops:rk4_combine",
+                2 => "mflops:halo_pack",
+                3 => "mflops:halo_unpack",
+                4 => "mflops:overset_donate",
+                5 => "mflops:overset_fill",
+                6 => "mflops:health_scan",
+                _ => "mflops:unknown",
+            },
+            _ => "counter?",
+        }
+    }
+}
+
 const D_PHASE: u8 = 1;
 const D_SEND: u8 = 2;
 const D_RECV: u8 = 3;
@@ -123,6 +155,7 @@ const D_HEALTH: u8 = 6;
 const D_CKPT: u8 = 7;
 const D_ROLLBACK: u8 = 8;
 const D_STEP: u8 = 9;
+const D_COUNTER: u8 = 10;
 
 /// One flight-recorder event. See the module docs for the wire layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,9 +234,34 @@ pub enum Event {
         /// The step number.
         step: u64,
     },
+    /// A periodic counter sample: one point on a [`counter`] track
+    /// (Chrome "C"-phase records, so Perfetto plots the series).
+    CounterSample {
+        /// [`counter`] track id.
+        id: u8,
+        /// Sampled value (MFLOPS, queue depth, …) as `f64::to_bits` —
+        /// kept as raw bits so the event stays `Eq` and the ring slot
+        /// roundtrips exactly. Build with [`Event::counter_sample`],
+        /// read with [`Event::counter_value`].
+        value_bits: u64,
+    },
 }
 
 impl Event {
+    /// A [`Event::CounterSample`] from an f64 value.
+    pub fn counter_sample(id: u8, value: f64) -> Event {
+        Event::CounterSample { id, value_bits: value.to_bits() }
+    }
+
+    /// The f64 value of a [`Event::CounterSample`]; `None` for other
+    /// variants.
+    pub fn counter_value(&self) -> Option<f64> {
+        match *self {
+            Event::CounterSample { value_bits, .. } => Some(f64::from_bits(value_bits)),
+            _ => None,
+        }
+    }
+
     /// Pack into the three payload words of a ring slot.
     pub fn encode(&self) -> [u64; 3] {
         let head = |d: u8, sub: u8, tag: u16, peer: u32| {
@@ -227,6 +285,9 @@ impl Event {
                 [head(D_ROLLBACK, 0, 0, 0), pass, resume_step]
             }
             Event::StepBegin { step } => [head(D_STEP, 0, 0, 0), step, 0],
+            Event::CounterSample { id, value_bits } => {
+                [head(D_COUNTER, id, 0, 0), value_bits, 0]
+            }
         }
     }
 
@@ -247,6 +308,7 @@ impl Event {
             D_CKPT => Event::CheckpointSaved { step: a },
             D_ROLLBACK => Event::Rollback { pass: a, resume_step: b },
             D_STEP => Event::StepBegin { step: a },
+            D_COUNTER => Event::CounterSample { id: sub, value_bits: a },
             _ => return None,
         })
     }
@@ -288,6 +350,30 @@ mod tests {
         roundtrip(Event::CheckpointSaved { step: 2 });
         roundtrip(Event::Rollback { pass: 1, resume_step: 4 });
         roundtrip(Event::StepBegin { step: 0 });
+        roundtrip(Event::counter_sample(counter::TOTAL_MFLOPS, 1234.5));
+        roundtrip(Event::counter_sample(0, -0.0));
+    }
+
+    #[test]
+    fn counter_sample_value_roundtrips_bits() {
+        let e = Event::counter_sample(counter::QUEUE_DEPTH, 3.75);
+        assert_eq!(e.counter_value(), Some(3.75));
+        assert_eq!(Event::StepBegin { step: 1 }.counter_value(), None);
+    }
+
+    #[test]
+    fn counter_track_names_match_kernel_table() {
+        use crate::counters::kernel;
+        for id in 0..kernel::COUNT as u8 {
+            assert_eq!(
+                counter::name(id),
+                format!("mflops:{}", kernel::name(id)),
+                "counter track {id} out of sync with kernel name table"
+            );
+        }
+        assert_eq!(counter::name(counter::QUEUE_DEPTH), "queue_depth");
+        assert_eq!(counter::name(counter::TOTAL_MFLOPS), "mflops_total");
+        assert_eq!(counter::name(99), "counter?");
     }
 
     #[test]

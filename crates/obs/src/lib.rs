@@ -28,17 +28,21 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod counters;
 pub mod event;
 pub mod hist;
 pub mod json;
 pub mod logger;
+pub mod metrics;
 pub mod registry;
 pub mod ring;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, RankTrace, TraceCheck};
+pub use counters::{kernel, CounterSet, CounterSnapshot, KernelSnapshot, KernelTally};
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use logger::JsonlLogger;
+pub use metrics::{prometheus_text, MetricsHub, MetricsServer};
 pub use registry::{MetricsSnapshot, Registry};
 pub use ring::{FlightRecorder, RecorderSet};

@@ -1,0 +1,224 @@
+//! Zero-dependency live metrics endpoint: Prometheus text exposition
+//! over a std `TcpListener`.
+//!
+//! A long supervised run should be watchable without waiting for the
+//! final `RunReport`. Rank 0 periodically renders the allreduced
+//! [`CounterSnapshot`] into the Prometheus text format (version 0.0.4 —
+//! plain `# TYPE` lines plus `name{label="v"} value` samples, parseable
+//! by Prometheus, `promtool`, or a bare `nc`) and publishes it to a
+//! [`MetricsHub`]. A [`MetricsServer`] answers every HTTP request on its
+//! port with the hub's current body. The server is a single poll-loop
+//! thread over a nonblocking listener — no async runtime, no HTTP
+//! library, nothing beyond `std::net`.
+//!
+//! The hub/server split keeps the solver decoupled from the socket: the
+//! solver only ever locks a `Mutex<String>` for a swap, and tests can
+//! inject a hub and scrape it with a plain `TcpStream` (the curl-free CI
+//! check).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::counters::{kernel, CounterSnapshot};
+
+/// Shared exposition body: the solver publishes, the server (and tests)
+/// scrape.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    body: Mutex<String>,
+}
+
+impl MetricsHub {
+    /// A hub with an empty body.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Replace the exposition body with a freshly rendered snapshot.
+    pub fn publish(&self, body: String) {
+        *self.body.lock().unwrap_or_else(|e| e.into_inner()) = body;
+    }
+
+    /// The current exposition body.
+    pub fn scrape(&self) -> String {
+        self.body.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// Render a merged counter snapshot (plus run-level gauges) in the
+/// Prometheus text exposition format.
+pub fn prometheus_text(snap: &CounterSnapshot, step: u64, queue_depth: u64) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE yy_step gauge\n");
+    out.push_str(&format!("yy_step {step}\n"));
+    out.push_str("# TYPE yy_queue_depth gauge\n");
+    out.push_str(&format!("yy_queue_depth {queue_depth}\n"));
+    let counters: [(&str, fn(&crate::counters::KernelSnapshot) -> u64); 6] = [
+        ("yy_kernel_calls_total", |k| k.calls),
+        ("yy_kernel_points_total", |k| k.points),
+        ("yy_kernel_flops_total", |k| k.flops),
+        ("yy_kernel_bytes_read_total", |k| k.bytes_read),
+        ("yy_kernel_bytes_written_total", |k| k.bytes_written),
+        ("yy_kernel_wall_ns_total", |k| k.wall_ns),
+    ];
+    for (metric, get) in counters {
+        out.push_str(&format!("# TYPE {metric} counter\n"));
+        for (i, k) in snap.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "{metric}{{kernel=\"{}\"}} {}\n",
+                kernel::name(i as u8),
+                get(k)
+            ));
+        }
+    }
+    out.push_str("# TYPE yy_kernel_mflops gauge\n");
+    for (i, k) in snap.kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "yy_kernel_mflops{{kernel=\"{}\"}} {}\n",
+            kernel::name(i as u8),
+            crate::json::num(k.mflops())
+        ));
+    }
+    out
+}
+
+/// Minimal HTTP/1.0 server publishing a [`MetricsHub`] body on every
+/// request. Bind with port 0 to let the OS choose (tests); stop via
+/// [`MetricsServer::stop`] or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `127.0.0.1:port` and start answering requests with the
+    /// hub's current body.
+    pub fn start(hub: Arc<MetricsHub>, port: u16) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("yy-metrics".into())
+            .spawn(move || serve(listener, hub, stop2))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the serving thread and join it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve(listener: TcpListener, hub: Arc<MetricsHub>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Read whatever request line arrives (we answer any
+                // path), bounded so a stalled client can't wedge us.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = hub.scrape();
+                let resp = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{kernel, CounterSet, KernelTally};
+    use std::net::TcpStream;
+
+    fn sample_snapshot() -> CounterSnapshot {
+        let set = CounterSet::enabled();
+        set.add(
+            kernel::RHS,
+            KernelTally {
+                points: 64,
+                loops: 8,
+                flops: 640 * 64,
+                bytes_read: 64 * 56 * 8,
+                bytes_written: 64 * 8 * 8,
+            },
+        );
+        set.snapshot()
+    }
+
+    #[test]
+    fn exposition_has_typed_counters_and_gauges() {
+        let text = prometheus_text(&sample_snapshot(), 12, 3);
+        assert!(text.contains("# TYPE yy_kernel_flops_total counter"));
+        assert!(text.contains("yy_kernel_flops_total{kernel=\"rhs\"} 40960"));
+        assert!(text.contains("yy_step 12"));
+        assert!(text.contains("yy_queue_depth 3"));
+        // Every sample line is `name value` or `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_serves_hub_body_over_tcp() {
+        let hub = Arc::new(MetricsHub::new());
+        hub.publish(prometheus_text(&sample_snapshot(), 5, 0));
+        let mut server = MetricsServer::start(Arc::clone(&hub), 0).expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("response");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"));
+        assert!(resp.contains("yy_kernel_flops_total{kernel=\"rhs\"} 40960"));
+
+        // The body is live: republish and scrape again.
+        hub.publish("yy_step 9\n".into());
+        let mut stream = TcpStream::connect(addr).expect("connect 2");
+        stream.write_all(b"GET / HTTP/1.0\r\n\r\n").expect("request 2");
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("response 2");
+        assert!(resp.ends_with("yy_step 9\n"));
+        server.stop();
+    }
+}

@@ -10,6 +10,7 @@
 # Knobs (environment):
 #   BENCH_OUT              step output path       [BENCH_step.json]
 #   BENCH_OBS_OUT          obs output path        [BENCH_obs.json]
+#   BENCH_PROFILE_OUT      profile output path    [BENCH_profile.json]
 #   YY_BENCH_STEP_GRID     small|medium           [medium]
 #   YY_BENCH_STEP_STEPS    steps per measurement  [10]
 #   YY_BENCH_STEP_REPS     interleaved reps       [5]
@@ -20,6 +21,7 @@ cd "$(dirname "$0")/.."
 
 out=${BENCH_OUT:-BENCH_step.json}
 obs_out=${BENCH_OBS_OUT:-BENCH_obs.json}
+profile_out=${BENCH_PROFILE_OUT:-BENCH_profile.json}
 
 echo "==> step pipeline bench (writes $out)"
 BENCH_STEP_JSON="$out" cargo bench -p yy-bench --bench step --offline
@@ -27,7 +29,10 @@ BENCH_STEP_JSON="$out" cargo bench -p yy-bench --bench step --offline
 echo "==> observability overhead bench (writes $obs_out)"
 BENCH_OBS_JSON="$obs_out" cargo bench -p yy-bench --bench obs --offline
 
+echo "==> measured kernel profile bench (writes $profile_out)"
+BENCH_PROFILE_JSON="$profile_out" cargo bench -p yy-bench --bench profile --offline
+
 echo "==> kernel microbenches"
 cargo bench -p yy-bench --bench kernels --offline
 
-echo "wrote $out and $obs_out"
+echo "wrote $out, $obs_out and $profile_out"
