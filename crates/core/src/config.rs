@@ -22,6 +22,13 @@ pub struct RunConfig {
     pub cfl: f64,
     /// Recompute dt every this many steps (1 = every step).
     pub dt_every: usize,
+    /// Run the unfused reference RHS sweep instead of the fused,
+    /// φ-blocked production sweep. Both are bit-identical; the reference
+    /// exists as the exactness oracle (`rhs_impl=reference|fused`).
+    pub rhs_reference: bool,
+    /// φ-tile block width for the fused RHS sweep; `0` means one tile
+    /// spanning the whole φ range (see `yy_mhd::rhs::DEFAULT_PHI_BLOCK`).
+    pub phi_block: usize,
 }
 
 impl RunConfig {
@@ -36,6 +43,8 @@ impl RunConfig {
             init: InitOptions::default(),
             cfl: 0.3,
             dt_every: 5,
+            rhs_reference: false,
+            phi_block: yy_mhd::rhs::DEFAULT_PHI_BLOCK,
         }
     }
 
@@ -98,6 +107,14 @@ impl RunConfig {
                 self.init.seed =
                     value.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?
             }
+            "phi_block" => self.phi_block = uv()?,
+            "rhs_impl" => {
+                self.rhs_reference = match value {
+                    "fused" => false,
+                    "reference" => true,
+                    other => return Err(format!("unknown rhs_impl '{other}'")),
+                }
+            }
             "mag_bc" => {
                 self.mag_bc = match value {
                     "conducting" => MagneticBc::ConductingWall,
@@ -144,6 +161,13 @@ mod tests {
         assert_eq!(cfg.nr, 20);
         assert_eq!(cfg.params.mu, 0.5);
         assert_eq!(cfg.mag_bc, MagneticBc::ZeroGradient);
+        assert!(!cfg.rhs_reference);
+        cfg.apply_args(["rhs_impl=reference".to_string(), "phi_block=4".into()]).unwrap();
+        assert!(cfg.rhs_reference);
+        assert_eq!(cfg.phi_block, 4);
+        cfg.apply_override("rhs_impl", "fused").unwrap();
+        assert!(!cfg.rhs_reference);
+        assert!(cfg.apply_override("rhs_impl", "magic").is_err());
     }
 
     #[test]

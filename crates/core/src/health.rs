@@ -119,6 +119,7 @@ pub fn scan_tally(columns: u64, nr: u64) -> yy_obs::KernelTally {
     yy_obs::KernelTally {
         points,
         loops: columns,
+        vector_elements: points,
         flops: 10 * points,
         bytes_read: 10 * points * 8,
         bytes_written: 0,

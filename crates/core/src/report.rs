@@ -174,7 +174,8 @@ impl RunReport {
             .map(|(i, k)| {
                 format!(
                     concat!(
-                        r#"{{"name":"{}","calls":{},"points":{},"loops":{},"flops":{},"#,
+                        r#"{{"name":"{}","calls":{},"points":{},"loops":{},"#,
+                        r#""vector_elements":{},"flops":{},"#,
                         r#""bytes_read":{},"bytes_written":{},"wall_ns":{},"#,
                         r#""mflops":{},"intensity":{},"avg_vector_length":{}}}"#
                     ),
@@ -182,6 +183,7 @@ impl RunReport {
                     k.calls,
                     k.points,
                     k.loops,
+                    k.vector_elements,
                     k.flops,
                     k.bytes_read,
                     k.bytes_written,
@@ -375,6 +377,7 @@ mod tests {
             KernelTally {
                 points: 64,
                 loops: 8,
+                vector_elements: 64,
                 flops: 640 * 64,
                 bytes_read: 64 * 448,
                 bytes_written: 64 * 64,
@@ -389,6 +392,7 @@ mod tests {
             .find(|k| k.get("name").and_then(|n| n.as_str()) == Some("rhs"))
             .expect("rhs row");
         assert_eq!(rhs.get("flops").unwrap().as_f64(), Some(640.0 * 64.0));
+        assert_eq!(rhs.get("vector_elements").unwrap().as_f64(), Some(64.0));
         assert_eq!(rhs.get("avg_vector_length").unwrap().as_f64(), Some(8.0));
         assert!(rhs.get("intensity").unwrap().as_f64().unwrap() > 0.0);
     }

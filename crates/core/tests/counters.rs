@@ -85,6 +85,16 @@ fn per_kernel_totals_are_decomposition_invariant() {
             let s = &serial.kernels.kernels[id as usize];
             let p = &par.kernels.kernels[id as usize];
             assert_eq!(s.points, p.points, "{tag}: {} points", kernel::name(id));
+            // Vector-element tallies are per-point models (a P-pass fused
+            // sweep counts P·points), so they are decomposition-invariant
+            // everywhere — including the fused RHS and the fused RK4
+            // combine, whose pass structure must not leak into the model.
+            assert_eq!(
+                s.vector_elements,
+                p.vector_elements,
+                "{tag}: {} vector_elements",
+                kernel::name(id)
+            );
             // Loop counts (and hence equivalent vector length) are a
             // property of the sweep structure, which the overlapped
             // pipeline legitimately changes for the RHS: the six-box

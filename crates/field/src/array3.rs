@@ -191,6 +191,35 @@ impl Array3 {
         }
     }
 
+    /// Fused RK4 combine: `self ← self + a·delta` **and**
+    /// `stage ← base + c·delta` in one traversal. The arithmetic per
+    /// element is exactly [`Array3::axpy`] followed by
+    /// [`Array3::assign_axpy`] (bit-identical), but `delta` streams
+    /// through cache once instead of twice — the RK4 combine is purely
+    /// memory-bound, so halving its dominant stream matters.
+    pub fn axpy_and_assign_axpy(
+        &mut self,
+        a: f64,
+        delta: &Array3,
+        stage: &mut Array3,
+        base: &Array3,
+        c: f64,
+    ) {
+        assert_eq!(self.shape, delta.shape, "axpy_and_assign_axpy shape mismatch");
+        assert_eq!(self.shape, stage.shape, "axpy_and_assign_axpy shape mismatch");
+        assert_eq!(self.shape, base.shape, "axpy_and_assign_axpy shape mismatch");
+        for (((acc, s), b), d) in self
+            .data
+            .iter_mut()
+            .zip(stage.data.iter_mut())
+            .zip(&base.data)
+            .zip(&delta.data)
+        {
+            *acc += a * d;
+            *s = b + c * d;
+        }
+    }
+
     /// Copy all storage from `other` (shapes must match).
     pub fn copy_from(&mut self, other: &Array3) {
         assert_eq!(self.shape, other.shape, "copy_from shape mismatch");

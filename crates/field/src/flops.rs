@@ -257,6 +257,7 @@ mod tests {
         let tally = KernelTally {
             points: 100,
             loops: 10,
+            vector_elements: 100,
             flops: 64_000,
             bytes_read: 800,
             bytes_written: 80,

@@ -53,6 +53,21 @@ impl VectorField {
         self.p.assign_axpy(&other.p, c, &delta.p);
     }
 
+    /// Fused `self ← self + a·delta` and `stage ← base + c·delta` on
+    /// every component (see [`Array3::axpy_and_assign_axpy`]).
+    pub fn axpy_and_assign_axpy(
+        &mut self,
+        a: f64,
+        delta: &VectorField,
+        stage: &mut VectorField,
+        base: &VectorField,
+        c: f64,
+    ) {
+        self.r.axpy_and_assign_axpy(a, &delta.r, &mut stage.r, &base.r, c);
+        self.t.axpy_and_assign_axpy(a, &delta.t, &mut stage.t, &base.t, c);
+        self.p.axpy_and_assign_axpy(a, &delta.p, &mut stage.p, &base.p, c);
+    }
+
     /// Copy all three components from `other`.
     pub fn copy_from(&mut self, other: &VectorField) {
         self.r.copy_from(&other.r);

@@ -21,6 +21,9 @@ pub struct Metric {
     pub r: Vec<f64>,
     /// `1 / r`.
     pub inv_r: Vec<f64>,
+    /// `r²` — the conservative radial-flux weight. Precomputed here so the
+    /// RHS hot loop never allocates or recomputes it per call.
+    pub r2: Vec<f64>,
     // Padded θ-indexed arrays (length nth + 2 halo).
     theta: Vec<f64>,
     sin_t: Vec<f64>,
@@ -68,6 +71,7 @@ impl Metric {
         let h = halo as isize;
         let r: Vec<f64> = r_grid.coords().collect();
         let inv_r = r.iter().map(|&x| 1.0 / x).collect();
+        let r2 = r.iter().map(|&x| x * x).collect();
         let mut theta = Vec::with_capacity(tile.nth + 2 * halo);
         for j in -h..(tile.nth as isize + h) {
             theta.push(theta_grid.coord_signed(tile.j0 as isize + j));
@@ -87,6 +91,7 @@ impl Metric {
             halo,
             r,
             inv_r,
+            r2,
             theta,
             sin_t,
             cos_t,
@@ -172,6 +177,10 @@ mod tests {
         let g = grid();
         let m = Metric::full(&g);
         assert_eq!(m.r.len(), 8);
+        assert_eq!(m.r2.len(), 8);
+        for (a, b) in m.r.iter().zip(&m.r2) {
+            assert_eq!(a * a, *b, "r2 must be the bit-exact square of r");
+        }
         assert!(approx_eq(m.r[0], 0.35, 1e-15));
         assert!(approx_eq(*m.r.last().unwrap(), 1.0, 1e-15));
         assert!(approx_eq(m.theta(0), g.theta().coord(0), 1e-15));

@@ -97,6 +97,51 @@ impl<'a> Cols<'a> {
         }
     }
 
+    /// Reslice every row to the window `[i0−1, i1+1)` so that stencil
+    /// calls at the *local* index `li = i − i0 + 1` touch only in-bounds
+    /// lanes of nine equal-length slices. This is the shape LLVM can
+    /// bounds-check-elide and autovectorize: with `li` ranging over
+    /// `1..=i1−i0` and every slice `i1−i0+2` long, each access `row[li±1]`
+    /// is provably in range, so the radial inner loop compiles to
+    /// straight-line unit-stride vector code. Requires `i0 ≥ 1` and
+    /// `i1 + 1 ≤ nr` — the finite-difference interior always satisfies it.
+    #[inline]
+    pub fn window(&self, i0: usize, i1: usize) -> Cols<'a> {
+        let w = |row: &'a [f64]| &row[i0 - 1..i1 + 1];
+        Cols {
+            c: w(self.c),
+            n: w(self.n),
+            s: w(self.s),
+            w: w(self.w),
+            e: w(self.e),
+            nw: w(self.nw),
+            ne: w(self.ne),
+            sw: w(self.sw),
+            se: w(self.se),
+        }
+    }
+
+    /// [`Cols::new`] and [`Cols::window`] in one step: borrow the nine
+    /// stencil rows already cut to `[i0−1, i1+1)`, skipping the
+    /// intermediate full-row slices (the fused RHS builds eleven of
+    /// these per column, so the halved slice count is measurable).
+    /// Identical slices to `Cols::new(a, j, k).window(i0, i1)`.
+    #[inline]
+    pub fn windowed(a: &'a Array3, j: isize, k: isize, i0: usize, i1: usize) -> Self {
+        let w = |j: isize, k: isize| &a.row(j, k)[i0 - 1..i1 + 1];
+        Cols {
+            c: w(j, k),
+            n: w(j - 1, k),
+            s: w(j + 1, k),
+            w: w(j, k - 1),
+            e: w(j, k + 1),
+            nw: w(j - 1, k - 1),
+            ne: w(j - 1, k + 1),
+            sw: w(j + 1, k - 1),
+            se: w(j + 1, k + 1),
+        }
+    }
+
     /// ∂/∂r at radial index `i` (requires `1 ≤ i ≤ nr−2`).
     #[inline]
     pub fn ddr(&self, i: usize, sp: &Spacings) -> f64 {
@@ -369,6 +414,43 @@ mod tests {
         let cols = Cols::new(&a, 1, 1);
         for i in 0..4 {
             assert!((cols.dtp(i, &sp) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    /// A windowed `Cols` must reproduce every stencil of the unwindowed
+    /// one bit-for-bit at the shifted local index — the fused RHS kernel
+    /// relies on this identity for its bit-exactness guarantee.
+    #[test]
+    fn windowed_stencils_are_bit_identical() {
+        let grid = PatchGrid::new(PatchSpec::equal_spacing(13, 11, 0.35, 1.0));
+        let q = sample(&grid);
+        let m = Metric::full(&grid);
+        let sp = Spacings::new(m.dr, m.dth, m.dph);
+        let (nr, nthg, nphg) = grid.dims();
+        for (i0, i1) in [(1, nr - 1), (1, 2), (3, 7), (nr - 4, nr - 1)] {
+            for j in 1..(nthg as isize - 1) {
+                for k in 1..(nphg as isize - 1) {
+                    let cols = Cols::new(&q, j, k);
+                    let geom = ColGeom::new(&m, j);
+                    let win = cols.window(i0, i1);
+                    for i in i0..i1 {
+                        let li = i - i0 + 1;
+                        assert_eq!(cols.ddr(i, &sp), win.ddr(li, &sp));
+                        assert_eq!(cols.ddt(i, &sp), win.ddt(li, &sp));
+                        assert_eq!(cols.ddp(i, &sp), win.ddp(li, &sp));
+                        assert_eq!(cols.d2r(i, &sp), win.d2r(li, &sp));
+                        assert_eq!(cols.d2t(i, &sp), win.d2t(li, &sp));
+                        assert_eq!(cols.d2p(i, &sp), win.d2p(li, &sp));
+                        assert_eq!(cols.drt(i, &sp), win.drt(li, &sp));
+                        assert_eq!(cols.drp(i, &sp), win.drp(li, &sp));
+                        assert_eq!(cols.dtp(i, &sp), win.dtp(li, &sp));
+                        assert_eq!(
+                            cols.laplacian(i, &sp, m.inv_r[i], geom.inv_sin2, geom.cot_t),
+                            win.laplacian(li, &sp, m.inv_r[i], geom.inv_sin2, geom.cot_t),
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -66,14 +66,29 @@ use yy_obs::counters::{kernel, KernelTally};
 /// viscous force) and the advection fluxes.
 pub const RHS_FLOPS_PER_POINT: u64 = 640;
 
-/// Modeled values read per interior point of one RHS evaluation: the 8
-/// state arrays through the 7-point (radial + 9-point horizontal,
-/// counted as the union's 7 distinct stencil legs) access pattern. A
-/// traffic model for the roofline, not a cache measurement.
-pub const RHS_READS_PER_POINT: u64 = 8 * 7;
+/// Modeled values read per interior point of one RHS evaluation, for the
+/// fused sweep: 5 state reads in the `v`/`T` precompute (ρ, p, f×3) plus
+/// 12 array streams through the fused column passes (8 state + v×3 + T).
+/// Under the φ-tile blocking each array's stencil rows stream through
+/// cache roughly once per sweep, so the model charges one read per array
+/// per point; the 9 radial scratch rows (B, j, ∇p buffers, ≈2 KB)
+/// stay L1-resident and are not charged. A traffic model for the
+/// roofline, not a cache measurement. (The pre-rewrite unfused kernel
+/// modeled 8 × 7 reads/point — each state array billed once per distinct
+/// stencil leg, the cache behaviour of one mega-loop traversal.)
+pub const RHS_READS_PER_POINT: u64 = 17;
 
-/// Values written per interior point: the 8 tendency arrays.
-pub const RHS_WRITES_PER_POINT: u64 = 8;
+/// Values written per interior point: v×3 + T in the precompute plus the
+/// 8 tendency arrays.
+pub const RHS_WRITES_PER_POINT: u64 = 12;
+
+/// Fused radial passes the kernel makes over each `(θ, φ)` column:
+/// continuity, B = ∇×A, the current j, ∇p, advection ×3, force assembly,
+/// viscous force, the pressure equation (advection + heating +
+/// diffusion, one pass), induction. The counter accounting bills `loops`
+/// and `vector_elements` per pass so `avg_vector_length` stays the
+/// radial interior extent regardless of decomposition or fusion degree.
+pub const RHS_PASSES_PER_COLUMN: u64 = 11;
 
 /// Which nodes an RHS evaluation updates: tile-local index ranges of the
 /// finite-difference interior (globally non-frame columns, radially
@@ -193,6 +208,28 @@ impl InteriorRange {
         OverlapSplit { deep: (!deep.is_empty()).then_some(deep), shell }
     }
 
+    /// Split the range into consecutive φ-tiles of width `block` (the
+    /// last tile may be narrower). `block = 0` means "no blocking": the
+    /// whole range as a single tile. The tiles are disjoint, consecutive
+    /// in k, cover `self` exactly, and keep the i/j bounds — the
+    /// cache-blocking decomposition the fused kernel sweeps (it iterates
+    /// the same tiles without allocating; this method is the checkable
+    /// spelling of that loop).
+    pub fn phi_blocks(&self, block: usize) -> Vec<InteriorRange> {
+        let nk = (self.k1 - self.k0).max(0) as usize;
+        if block == 0 || block >= nk {
+            return vec![*self];
+        }
+        let mut out = Vec::with_capacity(nk.div_ceil(block));
+        let mut k = self.k0;
+        while k < self.k1 {
+            let k_next = (k + block as isize).min(self.k1);
+            out.push(InteriorRange { k0: k, k1: k_next, ..*self });
+            k = k_next;
+        }
+        out
+    }
+
     /// Split the range into up to `n` consecutive φ-chunks (for pipelining
     /// the deep-interior sweep between communication phases). The chunks
     /// are disjoint, cover `self`, and preserve the (k, j, i) sweep order.
@@ -228,20 +265,93 @@ impl OverlapSplit {
     }
 }
 
+/// Default φ-tile width for the fused sweep's cache blocking.
+/// `bench/benches/profile.rs` sweeps the knob and records per-block
+/// step times in `BENCH_profile.json` for retuning; on the (noisy,
+/// virtualised) CI box the sweep is within run-to-run noise at bench
+/// grid sizes, so the default is the smallest band that still reuses a
+/// column's θ/φ stencil neighbours — the working set minimiser, which
+/// is the right bias for the production shapes where blocking matters.
+pub const DEFAULT_PHI_BLOCK: usize = 2;
+
+/// Default radial-extent threshold below which `compute_rhs_partial`
+/// falls back from the fused sweep to the single-pass mega-loop: the
+/// fused kernel pays per-column setup for each of its
+/// [`RHS_PASSES_PER_COLUMN`] passes, which only amortizes over a few
+/// radial nodes (the overlapped driver's shell planes are 1–2 deep).
+pub const MIN_FUSED_RADIAL_EXTENT: usize = 8;
+
+/// Per-column radial scratch rows for the fused sweep: intermediate
+/// fields (B, the current j, ∇p) each pass stores for later passes of
+/// the same column. Together 9 radial rows (~2 KB at production nr) —
+/// L1-resident by construction.
+#[derive(Debug, Clone)]
+struct RowBufs {
+    b_r: Vec<f64>,
+    b_t: Vec<f64>,
+    b_p: Vec<f64>,
+    j_r: Vec<f64>,
+    j_t: Vec<f64>,
+    j_p: Vec<f64>,
+    gp_r: Vec<f64>,
+    gp_t: Vec<f64>,
+    gp_p: Vec<f64>,
+}
+
+impl RowBufs {
+    fn new(nr: usize) -> Self {
+        RowBufs {
+            b_r: vec![0.0; nr],
+            b_t: vec![0.0; nr],
+            b_p: vec![0.0; nr],
+            j_r: vec![0.0; nr],
+            j_t: vec![0.0; nr],
+            j_p: vec![0.0; nr],
+            gp_r: vec![0.0; nr],
+            gp_t: vec![0.0; nr],
+            gp_p: vec![0.0; nr],
+        }
+    }
+}
+
 /// Reusable scratch arrays for RHS evaluation (velocity and temperature
-/// over the padded tile).
+/// over the padded tile, radial row buffers for the fused passes), plus
+/// the kernel-selection knobs. Everything the RHS path needs is
+/// allocated here once — steady state allocates nothing (regression-
+/// guarded by `tests/alloc_free.rs`).
 #[derive(Debug, Clone)]
 pub struct RhsScratch {
     /// Velocity `v = f/ρ` over the padded tile.
     pub v: VectorField,
     /// Temperature `T = p/ρ` over the padded tile.
     pub temp: Array3,
+    /// Per-column radial rows for the fused passes.
+    rows: RowBufs,
+    /// φ-tile width for cache blocking (0 = unblocked single tile).
+    pub phi_block: usize,
+    /// Run the pre-rewrite reference sweep instead of the fused one.
+    /// Same arithmetic per point bit-for-bit; exists so the exactness
+    /// harness (and debugging) can diff the two implementations.
+    pub use_reference: bool,
+    /// Ranges with radial extent below this run the reference mega-loop
+    /// even in fused mode (performance dispatch; see
+    /// [`compute_rhs_partial`]). `0` forces the fused sweep everywhere —
+    /// the exactness tests use that to keep tiny ranges covered.
+    pub min_fused_extent: usize,
 }
 
 impl RhsScratch {
-    /// Allocate scratch for tiles of `shape`.
+    /// Allocate scratch for tiles of `shape` (fused kernel, default
+    /// φ-block).
     pub fn new(shape: Shape) -> Self {
-        RhsScratch { v: VectorField::zeros(shape), temp: Array3::zeros(shape) }
+        RhsScratch {
+            v: VectorField::zeros(shape),
+            temp: Array3::zeros(shape),
+            rows: RowBufs::new(shape.nr),
+            phi_block: DEFAULT_PHI_BLOCK,
+            use_reference: false,
+            min_fused_extent: MIN_FUSED_RADIAL_EXTENT,
+        }
     }
 }
 
@@ -355,49 +465,105 @@ pub fn compute_rhs_partial(
     }
     let t0 = meter.timer();
     let shape = state.shape();
-    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
-    let gamma = params.gamma;
-    let gm1 = gamma - 1.0;
-    let (mu, kappa, eta) = (params.mu, params.kappa, params.eta);
 
-    // v = f/ρ and T = p/ρ over the range plus the stencil radius
-    // (pointwise, so recomputing a row in overlapping partial sweeps
-    // yields bit-identical values).
+    // v = f/ρ and T = p/ρ over the range plus the stencil radius — in
+    // every direction, radial included: a boundary-shell plane only
+    // divides the three radial nodes its stencils read, not the whole
+    // column (pointwise, so recomputing a node in overlapping partial
+    // sweeps yields bit-identical values).
     let (gth, gph) = (shape.gth as isize, shape.gph as isize);
     let j_lo = (range.j0 - 1).max(-gth);
     let j_hi = (range.j1 + 1).min(shape.nth as isize + gth);
     let k_lo = (range.k0 - 1).max(-gph);
     let k_hi = (range.k1 + 1).min(shape.nph as isize + gph);
+    let i_lo = range.i0.saturating_sub(1);
+    let i_hi = (range.i1 + 1).min(shape.nr);
     for k in k_lo..k_hi {
         for j in j_lo..j_hi {
-            let rho = state.rho.row(j, k);
-            let prs = state.press.row(j, k);
-            let fr = state.f.r.row(j, k);
-            let ft = state.f.t.row(j, k);
-            let fp = state.f.p.row(j, k);
-            let vr = scratch.v.r.row_mut(j, k);
-            for i in 0..shape.nr {
+            let rho = &state.rho.row(j, k)[i_lo..i_hi];
+            let prs = &state.press.row(j, k)[i_lo..i_hi];
+            let fr = &state.f.r.row(j, k)[i_lo..i_hi];
+            let ft = &state.f.t.row(j, k)[i_lo..i_hi];
+            let fp = &state.f.p.row(j, k)[i_lo..i_hi];
+            let vr = &mut scratch.v.r.row_mut(j, k)[i_lo..i_hi];
+            for i in 0..vr.len() {
                 vr[i] = fr[i] / rho[i];
             }
-            let vt = scratch.v.t.row_mut(j, k);
-            for i in 0..shape.nr {
+            let vt = &mut scratch.v.t.row_mut(j, k)[i_lo..i_hi];
+            for i in 0..vt.len() {
                 vt[i] = ft[i] / rho[i];
             }
-            let vp = scratch.v.p.row_mut(j, k);
-            for i in 0..shape.nr {
+            let vp = &mut scratch.v.p.row_mut(j, k)[i_lo..i_hi];
+            for i in 0..vp.len() {
                 vp[i] = fp[i] / rho[i];
             }
-            let tt = scratch.temp.row_mut(j, k);
-            for i in 0..shape.nr {
+            let tt = &mut scratch.temp.row_mut(j, k)[i_lo..i_hi];
+            for i in 0..tt.len() {
                 tt[i] = prs[i] / rho[i];
             }
         }
     }
 
-    // Radial helper tables.
+    // The fused sweep amortizes its per-column pass setup (windowed
+    // column views, one loop per pass) over the radial extent; below a
+    // few nodes — the overlapped driver's radial shell planes — the
+    // single-pass mega-loop is cheaper. Both sweeps are bit-identical,
+    // so the dispatch is purely a performance choice.
+    if scratch.use_reference || range.i1 - range.i0 < scratch.min_fused_extent {
+        reference_sweep(state, metric, forces, params, range, scratch, out);
+    } else {
+        fused_sweep(state, metric, forces, params, range, scratch, out);
+    }
+
+    let points = range.points() as u64;
+    let columns = ((range.j1 - range.j0) * (range.k1 - range.k0)) as u64;
+    meter.kernel_timed(
+        kernel::RHS,
+        KernelTally {
+            points,
+            // The radial sweep is the innermost (vectorized) loop and the
+            // fused kernel makes RHS_PASSES_PER_COLUMN of them per (j,k)
+            // column; vector_elements counts the same passes per point,
+            // so vector_elements/loops is the radial interior extent —
+            // the equivalent vector length the ES counters would report,
+            // invariant under decomposition and fusion degree. (The
+            // reference sweep bills the same model: the tally describes
+            // the kernel contract, not which implementation ran.)
+            loops: RHS_PASSES_PER_COLUMN * columns,
+            vector_elements: RHS_PASSES_PER_COLUMN * points,
+            flops: points * RHS_FLOPS_PER_POINT,
+            bytes_read: points * RHS_READS_PER_POINT * 8,
+            bytes_written: points * RHS_WRITES_PER_POINT * 8,
+        },
+        t0,
+    );
+}
+
+/// The pre-rewrite RHS column sweep: one mega-loop per point evaluating
+/// every term. Kept (and kept allocation-free) as the bit-exactness
+/// reference for the fused kernel — `tests/` and the cross-layout
+/// harness in `yy-core` diff the two on every grid they touch.
+#[allow(clippy::too_many_arguments)]
+fn reference_sweep(
+    state: &State,
+    metric: &Metric,
+    forces: &ForceTables,
+    params: &PhysParams,
+    range: &InteriorRange,
+    scratch: &mut RhsScratch,
+    out: &mut State,
+) {
+    let shape = state.shape();
+    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
+    let gamma = params.gamma;
+    let gm1 = gamma - 1.0;
+    let (mu, kappa, eta) = (params.mu, params.kappa, params.eta);
+
+    // Radial helper tables (precomputed on the metric — the old per-call
+    // `r2` allocation was the hot-loop bug this PR fixes).
     let r = &metric.r;
     let inv_r = &metric.inv_r;
-    let r2: Vec<f64> = r.iter().map(|&x| x * x).collect();
+    let r2 = &metric.r2;
 
     for k in range.k0..range.k1 {
         for j in range.j0..range.j1 {
@@ -543,21 +709,311 @@ pub fn compute_rhs_partial(
             }
         }
     }
-    let points = range.points() as u64;
-    meter.kernel_timed(
-        kernel::RHS,
-        KernelTally {
-            points,
-            // The radial sweep is the innermost (vectorized) loop, so
-            // one loop per (j,k) column: points/loops is the
-            // equivalent vector length the ES counters would report.
-            loops: ((range.j1 - range.j0) * (range.k1 - range.k0)) as u64,
-            flops: points * RHS_FLOPS_PER_POINT,
-            bytes_read: points * RHS_READS_PER_POINT * 8,
-            bytes_written: points * RHS_WRITES_PER_POINT * 8,
-        },
-        t0,
-    );
+}
+
+/// The fused RHS sweep: [`RHS_PASSES_PER_COLUMN`] short stride-1 radial
+/// passes per `(θ, φ)` column instead of one register-starved mega-loop
+/// per point, over φ-tiles of `scratch.phi_block` columns.
+///
+/// Every pass loops a local index over equal-length window slices
+/// ([`Cols::window`]), the shape LLVM bounds-check-elides and
+/// autovectorizes. Intermediate per-column fields (B, j, ∇p, Φ) land in
+/// L1-resident radial row buffers; a f64 store/load roundtrip is exact,
+/// expression trees are copied from the reference sweep verbatim, and
+/// the force/pressure accumulations split the reference's left-
+/// associated sums at association boundaries — so the result is
+/// **bit-identical** to [`reference_sweep`] (asserted by the tests here
+/// and the cross-layout harness in `yy-core`). Columns are independent,
+/// which makes the φ-tile traversal reorder bit-exact too.
+#[allow(clippy::too_many_arguments)]
+fn fused_sweep(
+    state: &State,
+    metric: &Metric,
+    forces: &ForceTables,
+    params: &PhysParams,
+    range: &InteriorRange,
+    scratch: &mut RhsScratch,
+    out: &mut State,
+) {
+    let shape = state.shape();
+    let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
+    let gamma = params.gamma;
+    let gm1 = gamma - 1.0;
+    let (mu, kappa, eta) = (params.mu, params.kappa, params.eta);
+    let (i0, i1) = (range.i0, range.i1);
+    let n = i1 - i0;
+
+    // Radial tables, windowed like the stencil rows (index q+1 ↔ node
+    // i0+q) except the center-only ones (index q ↔ node i0+q).
+    let r_w = &metric.r[i0 - 1..i1 + 1];
+    let r2_w = &metric.r2[i0 - 1..i1 + 1];
+    let ir_w = &metric.inv_r[i0..i1];
+    let grav_w = &forces.grav[i0..i1];
+
+    let rows = &mut scratch.rows;
+    let v = &scratch.v;
+    let temp = &scratch.temp;
+
+    // φ-tile blocking: process `phi_block`-wide bands of columns with j
+    // innermost, so a band's stencil rows stay cache-hot across the
+    // θ sweep (`InteriorRange::phi_blocks` is the checkable spelling of
+    // this loop; iterating inline keeps the kernel allocation-free).
+    let nk = (range.k1 - range.k0).max(0) as usize;
+    let block = (if scratch.phi_block == 0 { nk.max(1) } else { scratch.phi_block }) as isize;
+    let mut kb = range.k0;
+    while kb < range.k1 {
+        let kb1 = (kb + block).min(range.k1);
+        for j in range.j0..range.j1 {
+            let g = ColGeom::new(metric, j);
+            for k in kb..kb1 {
+                // Windowed stencil rows: equal-length slices covering
+                // [i0−1, i1+1), local index li = q+1 for node i0+q.
+                let p_c = Cols::windowed(&state.press, j, k, i0, i1);
+                let t_c = Cols::windowed(temp, j, k, i0, i1);
+                let fr = Cols::windowed(&state.f.r, j, k, i0, i1);
+                let ft = Cols::windowed(&state.f.t, j, k, i0, i1);
+                let fp = Cols::windowed(&state.f.p, j, k, i0, i1);
+                let vr = Cols::windowed(&v.r, j, k, i0, i1);
+                let vt = Cols::windowed(&v.t, j, k, i0, i1);
+                let vp = Cols::windowed(&v.p, j, k, i0, i1);
+                let ar = Cols::windowed(&state.a.r, j, k, i0, i1);
+                let at = Cols::windowed(&state.a.t, j, k, i0, i1);
+                let ap = Cols::windowed(&state.a.p, j, k, i0, i1);
+                let rho_row = &state.rho.row(j, k)[i0..i1];
+                let (om_r, om_t, om_p) = forces.omega_at(j, k);
+                let base = shape.idx(0, j, k);
+
+                // Pass 1: continuity, ∂ρ/∂t = −∇·f.
+                {
+                    let rho_o = &mut out.rho.data_mut()[base + i0..base + i1];
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        let ir2 = ir * ir;
+                        let div_f = ir2
+                            * (r2_w[li + 1] * fr.c[li + 1] - r2_w[li - 1] * fr.c[li - 1])
+                            * sp.inv_2dr
+                            + ir * g.inv_sin
+                                * ((g.sin_s * ft.s[li] - g.sin_n * ft.n[li]) * sp.inv_2dt
+                                    + (fp.e[li] - fp.w[li]) * sp.inv_2dp);
+                        rho_o[q] = -div_f;
+                    }
+                }
+
+                // Pass 2: B = ∇×A into row buffers.
+                {
+                    let (b_r, b_t, b_p) = (
+                        &mut rows.b_r[..n],
+                        &mut rows.b_t[..n],
+                        &mut rows.b_p[..n],
+                    );
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        b_r[q] = ir * g.inv_sin
+                            * ((g.sin_s * ap.s[li] - g.sin_n * ap.n[li]) * sp.inv_2dt
+                                - (at.e[li] - at.w[li]) * sp.inv_2dp);
+                        b_t[q] = ir
+                            * (g.inv_sin * (ar.e[li] - ar.w[li]) * sp.inv_2dp
+                                - (r_w[li + 1] * ap.c[li + 1] - r_w[li - 1] * ap.c[li - 1])
+                                    * sp.inv_2dr);
+                        b_p[q] = ir
+                            * ((r_w[li + 1] * at.c[li + 1] - r_w[li - 1] * at.c[li - 1])
+                                * sp.inv_2dr
+                                - (ar.s[li] - ar.n[li]) * sp.inv_2dt);
+                    }
+                }
+
+                // Pass 3: current j = ∇(∇·A) − ∇²A into row buffers.
+                {
+                    let (j_r, j_t, j_p) = (
+                        &mut rows.j_r[..n],
+                        &mut rows.j_t[..n],
+                        &mut rows.j_p[..n],
+                    );
+                    for q in 0..n {
+                        let li = q + 1;
+                        let a2 = vec_second(&ar, &at, &ap, li, &sp, &g, ir_w[q]);
+                        j_r[q] = a2.grad_div[0] - a2.lap[0];
+                        j_t[q] = a2.grad_div[1] - a2.lap[1];
+                        j_p[q] = a2.grad_div[2] - a2.lap[2];
+                    }
+                }
+
+                // Pass 4: pressure gradient into row buffers.
+                {
+                    let (gp_r, gp_t, gp_p) = (
+                        &mut rows.gp_r[..n],
+                        &mut rows.gp_t[..n],
+                        &mut rows.gp_p[..n],
+                    );
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        gp_r[q] = p_c.ddr(li, &sp);
+                        gp_t[q] = ir * p_c.ddt(li, &sp);
+                        gp_p[q] = ir * g.inv_sin * p_c.ddp(li, &sp);
+                    }
+                }
+
+                // Passes 5–7: advection, one momentum component each —
+                // out.f = −∇·(vf). The conservative flux matches the
+                // reference's `flux` closure term for term.
+                macro_rules! flux {
+                    ($qc:expr, $li:expr, $q:expr) => {{
+                        let ir = ir_w[$q];
+                        let ir2 = ir * ir;
+                        ir2 * (r2_w[$li + 1] * vr.c[$li + 1] * $qc.c[$li + 1]
+                            - r2_w[$li - 1] * vr.c[$li - 1] * $qc.c[$li - 1])
+                            * sp.inv_2dr
+                            + ir * g.inv_sin
+                                * ((g.sin_s * vt.s[$li] * $qc.s[$li]
+                                    - g.sin_n * vt.n[$li] * $qc.n[$li])
+                                    * sp.inv_2dt
+                                    + (vp.e[$li] * $qc.e[$li] - vp.w[$li] * $qc.w[$li])
+                                        * sp.inv_2dp)
+                    }};
+                }
+                {
+                    let fr_o = &mut out.f.r.data_mut()[base + i0..base + i1];
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        let adv_r = flux!(fr, li, q)
+                            - (ft.c[li] * vt.c[li] + fp.c[li] * vp.c[li]) * ir;
+                        fr_o[q] = -adv_r;
+                    }
+                }
+                {
+                    let ft_o = &mut out.f.t.data_mut()[base + i0..base + i1];
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        let adv_t = flux!(ft, li, q) + (ft.c[li] * vr.c[li]) * ir
+                            - g.cot_t * (fp.c[li] * vp.c[li]) * ir;
+                        ft_o[q] = -adv_t;
+                    }
+                }
+                {
+                    let fp_o = &mut out.f.p.data_mut()[base + i0..base + i1];
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        let adv_p = flux!(fp, li, q) + (fp.c[li] * vr.c[li]) * ir
+                            + g.cot_t * (fp.c[li] * vt.c[li]) * ir;
+                        fp_o[q] = -adv_p;
+                    }
+                }
+
+                // Pass 8: body forces — −∇p, j×B, gravity, Coriolis —
+                // accumulated onto −advection in the reference's
+                // left-associated order.
+                {
+                    let fr_o = &mut out.f.r.data_mut()[base + i0..base + i1];
+                    let ft_o = &mut out.f.t.data_mut()[base + i0..base + i1];
+                    let fp_o = &mut out.f.p.data_mut()[base + i0..base + i1];
+                    let (b_r, b_t, b_p) = (&rows.b_r[..n], &rows.b_t[..n], &rows.b_p[..n]);
+                    let (j_r, j_t, j_p) = (&rows.j_r[..n], &rows.j_t[..n], &rows.j_p[..n]);
+                    let (gp_r, gp_t, gp_p) =
+                        (&rows.gp_r[..n], &rows.gp_t[..n], &rows.gp_p[..n]);
+                    for q in 0..n {
+                        let li = q + 1;
+                        let jxb_r = j_t[q] * b_p[q] - j_p[q] * b_t[q];
+                        let jxb_t = j_p[q] * b_r[q] - j_r[q] * b_p[q];
+                        let jxb_p = j_r[q] * b_t[q] - j_t[q] * b_r[q];
+                        let cor_r = 2.0 * (ft.c[li] * om_p - fp.c[li] * om_t);
+                        let cor_t = 2.0 * (fp.c[li] * om_r - fr.c[li] * om_p);
+                        let cor_p = 2.0 * (fr.c[li] * om_t - ft.c[li] * om_r);
+                        fr_o[q] = fr_o[q] - gp_r[q] + jxb_r + rho_row[q] * grav_w[q] + cor_r;
+                        ft_o[q] = ft_o[q] - gp_t[q] + jxb_t + cor_t;
+                        fp_o[q] = fp_o[q] - gp_p[q] + jxb_p + cor_p;
+                    }
+                }
+
+                // Pass 9: viscous force µ(∇²v + ⅓∇(∇·v)), the final
+                // momentum addend.
+                {
+                    let fr_o = &mut out.f.r.data_mut()[base + i0..base + i1];
+                    let ft_o = &mut out.f.t.data_mut()[base + i0..base + i1];
+                    let fp_o = &mut out.f.p.data_mut()[base + i0..base + i1];
+                    for q in 0..n {
+                        let li = q + 1;
+                        let v2 = vec_second(&vr, &vt, &vp, li, &sp, &g, ir_w[q]);
+                        fr_o[q] += mu * (v2.lap[0] + v2.grad_div[0] / 3.0);
+                        ft_o[q] += mu * (v2.lap[1] + v2.grad_div[1] / 3.0);
+                        fp_o[q] += mu * (v2.lap[2] + v2.grad_div[2] / 3.0);
+                    }
+                }
+
+                // Pass 10: the whole pressure equation in one pass —
+                // advection −v·∇p − γp∇·v, viscous heating Φ from the
+                // strain tensor, diffusion κ∇²T and Ohmic heating ηj².
+                // `div_v` is computed once and shared between the
+                // advection and heating terms, exactly as the reference
+                // does; the assembled sum keeps the reference's
+                // left-associated order, so the merge is bit-exact.
+                {
+                    let pr_o = &mut out.press.data_mut()[base + i0..base + i1];
+                    let (gp_r, gp_t, gp_p) =
+                        (&rows.gp_r[..n], &rows.gp_t[..n], &rows.gp_p[..n]);
+                    let (j_r, j_t, j_p) = (&rows.j_r[..n], &rows.j_t[..n], &rows.j_p[..n]);
+                    for q in 0..n {
+                        let li = q + 1;
+                        let ir = ir_w[q];
+                        let dvr_r = vr.ddr(li, &sp);
+                        let dvt_t = vt.ddt(li, &sp);
+                        let dvp_p = vp.ddp(li, &sp);
+                        let div_v = dvr_r
+                            + 2.0 * ir * vr.c[li]
+                            + ir * (g.cot_t * vt.c[li] + dvt_t)
+                            + ir * g.inv_sin * dvp_p;
+                        let v_grad_p =
+                            vr.c[li] * gp_r[q] + vt.c[li] * gp_t[q] + vp.c[li] * gp_p[q];
+                        let lap_t = t_c.laplacian(li, &sp, ir, g.inv_sin2, g.cot_t);
+                        let j2 = j_r[q] * j_r[q] + j_t[q] * j_t[q] + j_p[q] * j_p[q];
+                        let e_rr = dvr_r;
+                        let e_tt = ir * dvt_t + vr.c[li] * ir;
+                        let e_pp =
+                            ir * g.inv_sin * dvp_p + vr.c[li] * ir + g.cot_t * vt.c[li] * ir;
+                        let e_rt =
+                            0.5 * (ir * vr.ddt(li, &sp) + vt.ddr(li, &sp) - vt.c[li] * ir);
+                        let e_rp = 0.5
+                            * (ir * g.inv_sin * vr.ddp(li, &sp) + vp.ddr(li, &sp)
+                                - vp.c[li] * ir);
+                        let e_tp = 0.5
+                            * (ir * g.inv_sin * vt.ddp(li, &sp) + ir * vp.ddt(li, &sp)
+                                - g.cot_t * vp.c[li] * ir);
+                        let ee = e_rr * e_rr
+                            + e_tt * e_tt
+                            + e_pp * e_pp
+                            + 2.0 * (e_rt * e_rt + e_rp * e_rp + e_tp * e_tp);
+                        let phi_visc = 2.0 * mu * (ee - div_v * div_v / 3.0);
+                        pr_o[q] = -v_grad_p - gamma * p_c.c[li] * div_v
+                            + gm1 * (kappa * lap_t + eta * j2 + phi_visc);
+                    }
+                }
+
+                // Pass 11: induction ∂A/∂t = v×B − ηj.
+                {
+                    let ar_o = &mut out.a.r.data_mut()[base + i0..base + i1];
+                    let at_o = &mut out.a.t.data_mut()[base + i0..base + i1];
+                    let ap_o = &mut out.a.p.data_mut()[base + i0..base + i1];
+                    let (b_r, b_t, b_p) = (&rows.b_r[..n], &rows.b_t[..n], &rows.b_p[..n]);
+                    let (j_r, j_t, j_p) = (&rows.j_r[..n], &rows.j_t[..n], &rows.j_p[..n]);
+                    for q in 0..n {
+                        let li = q + 1;
+                        let vxb_r = vt.c[li] * b_p[q] - vp.c[li] * b_t[q];
+                        let vxb_t = vp.c[li] * b_r[q] - vr.c[li] * b_p[q];
+                        let vxb_p = vr.c[li] * b_t[q] - vt.c[li] * b_r[q];
+                        ar_o[q] = vxb_r - eta * j_r[q];
+                        at_o[q] = vxb_t - eta * j_t[q];
+                        ap_o[q] = vxb_p - eta * j_p[q];
+                    }
+                }
+            }
+        }
+        kb = kb1;
+    }
 }
 
 #[cfg(test)]
@@ -808,6 +1264,120 @@ mod tests {
                     // Sanity: the paper-size direction splits unevenly here,
                     // so at least one decomposition exercises asymmetric tiles.
                 }
+            }
+        }
+    }
+
+    /// The fused multi-pass sweep must reproduce the pre-rewrite
+    /// reference mega-loop **bit-for-bit**, for every φ-block width and
+    /// on partial (shell-box) ranges — the tentpole guarantee of the
+    /// kernel rewrite.
+    #[test]
+    fn fused_sweep_matches_reference_bitwise() {
+        let (grid, metric, forces, params) = setup(17);
+        let shape = grid.full_shape();
+        let mut state = State::zeros(shape);
+        initialize(
+            &mut state,
+            &grid,
+            None,
+            &params,
+            &InitOptions { perturb_amplitude: 1e-2, ..InitOptions::default() },
+            Panel::Yin,
+        );
+        // Exercise the magnetic terms too.
+        for k in -1..(shape.nph as isize + 1) {
+            for j in -1..(shape.nth as isize + 1) {
+                let st = grid.theta().coord_signed(j).sin();
+                for i in 0..shape.nr {
+                    state.a.p.set(i, j, k, 0.3 * grid.r().coord(i) * st);
+                    state.f.t.set(i, j, k, 0.02 * st);
+                }
+            }
+        }
+        let full = InteriorRange::full_panel(&grid);
+        let shell_box = InteriorRange { i0: 2, i1: 5, j0: 1, j1: 3, ..full };
+        for range in [full, shell_box] {
+            let mut scratch = RhsScratch::new(shape);
+            scratch.use_reference = true;
+            let mut reference = State::zeros(shape);
+            let mut meter_ref = Meters::new();
+            compute_rhs(
+                &state, &metric, &forces, &params, &range, &mut scratch, &mut reference,
+                &mut meter_ref,
+            );
+            for phi_block in [0, 1, 2, 3, 5, DEFAULT_PHI_BLOCK, 64] {
+                let mut scratch = RhsScratch::new(shape);
+                scratch.phi_block = phi_block;
+                // Defeat the small-extent performance dispatch: the
+                // shell box must exercise the *fused* sweep here.
+                scratch.min_fused_extent = 0;
+                let mut fused = State::zeros(shape);
+                let mut meter = Meters::new();
+                compute_rhs(
+                    &state, &metric, &forces, &params, &range, &mut scratch, &mut fused,
+                    &mut meter,
+                );
+                assert_eq!(meter.flops(), meter_ref.flops(), "flop accounting must agree");
+                for (a, b) in reference.arrays().into_iter().zip(fused.arrays()) {
+                    assert_eq!(
+                        a.data(),
+                        b.data(),
+                        "fused (phi_block={phi_block}) differs from reference on {range:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Minimal LCG so the tiling property test is seeded without
+    /// external dependencies.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    /// Seeded property suite: every block size exactly tiles every
+    /// `InteriorRange` — consecutive φ-tiles, i/j bounds preserved, full
+    /// coverage, and every tile but the last exactly `block` wide.
+    #[test]
+    fn phi_blocks_tile_every_range_seeded() {
+        let mut rng = Lcg(0x1234_5678_9abc_def0);
+        for _ in 0..300 {
+            let i0 = 1 + rng.below(6) as usize;
+            let i1 = i0 + rng.below(12) as usize;
+            let j0 = rng.below(7) as isize - 3;
+            let j1 = j0 + rng.below(9) as isize;
+            let k0 = rng.below(7) as isize - 3;
+            let k1 = k0 + rng.below(25) as isize;
+            let r = InteriorRange { i0, i1, j0, j1, k0, k1 };
+            let nk = (k1 - k0).max(0) as usize;
+            for block in 0..=(nk + 2) {
+                let tiles = r.phi_blocks(block);
+                assert!(!tiles.is_empty(), "phi_blocks must cover {r:?}");
+                let mut k = r.k0;
+                let mut pts = 0;
+                for (idx, t) in tiles.iter().enumerate() {
+                    assert_eq!(t.k0, k, "tiles must be consecutive for {r:?} block {block}");
+                    assert_eq!((t.i0, t.i1, t.j0, t.j1), (r.i0, r.i1, r.j0, r.j1));
+                    if block > 0 && block < nk && idx + 1 < tiles.len() {
+                        assert_eq!(
+                            (t.k1 - t.k0) as usize,
+                            block,
+                            "non-final tile width for {r:?} block {block}"
+                        );
+                    }
+                    k = t.k1;
+                    pts += t.points();
+                }
+                assert_eq!(k, r.k1, "tiles must end at k1 for {r:?} block {block}");
+                assert_eq!(pts, r.points(), "tiles must cover {r:?} block {block}");
             }
         }
     }

@@ -78,6 +78,24 @@ impl State {
         self.a.assign_axpy(&base.a, c, &delta.a);
     }
 
+    /// Fused RK4 combine on all eight arrays: `self ← self + a·delta`
+    /// and `stage ← base + c·delta` in one traversal of `delta` —
+    /// bit-identical to `axpy` followed by `assign_axpy` with the same
+    /// coefficients, reading the stage tendency once instead of twice.
+    pub fn axpy_and_assign_axpy(
+        &mut self,
+        a: f64,
+        delta: &State,
+        stage: &mut State,
+        base: &State,
+        c: f64,
+    ) {
+        self.rho.axpy_and_assign_axpy(a, &delta.rho, &mut stage.rho, &base.rho, c);
+        self.press.axpy_and_assign_axpy(a, &delta.press, &mut stage.press, &base.press, c);
+        self.f.axpy_and_assign_axpy(a, &delta.f, &mut stage.f, &base.f, c);
+        self.a.axpy_and_assign_axpy(a, &delta.a, &mut stage.a, &base.a, c);
+    }
+
     /// Copy all arrays from `other`.
     pub fn copy_from(&mut self, other: &State) {
         self.rho.copy_from(&other.rho);

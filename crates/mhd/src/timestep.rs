@@ -30,38 +30,49 @@ pub fn wave_speed_max(
     // loads the optimizer must prove redundant).
     let (inv_2dr, inv_2dt, inv_2dp) = (sp.inv_2dr, sp.inv_2dt, sp.inv_2dp);
     let gamma = params.gamma;
-    let r = &metric.r[..];
-    let inv_r = &metric.inv_r[..];
+    // Radial windows: every slice the inner loop reads is cut to exactly
+    // the interior extent (centered stencils get the extent plus one
+    // frame node on each side), so indexing with a local `q` bounded by
+    // the loop is provably in-range and the checks vectorize away. The
+    // per-node arithmetic and the sequential max-reduction order are
+    // unchanged, so the result is bit-identical to the strided spelling.
+    let (i0, i1) = (range.i0, range.i1);
+    let n = i1 - i0;
+    let r_w = &metric.r[i0 - 1..i1 + 1];
+    let ir_w = &metric.inv_r[i0..i1];
     let mut vmax: f64 = 0.0;
     for k in range.k0..range.k1 {
         for j in range.j0..range.j1 {
             let g = ColGeom::new(metric, j);
             let (inv_sin, sin_n, sin_s) = (g.inv_sin, g.sin_n, g.sin_s);
-            let rho = state.rho.row(j, k);
-            let prs = state.press.row(j, k);
-            let fr = state.f.r.row(j, k);
-            let ft = state.f.t.row(j, k);
-            let fp = state.f.p.row(j, k);
+            let rho = &state.rho.row(j, k)[i0..i1];
+            let prs = &state.press.row(j, k)[i0..i1];
+            let fr = &state.f.r.row(j, k)[i0..i1];
+            let ft = &state.f.t.row(j, k)[i0..i1];
+            let fp = &state.f.p.row(j, k)[i0..i1];
             let ar = Cols::new(&state.a.r, j, k);
             let at = Cols::new(&state.a.t, j, k);
             let ap = Cols::new(&state.a.p, j, k);
-            let (ar_n, ar_s, ar_e, ar_w) = (ar.n, ar.s, ar.e, ar.w);
-            let (at_c, at_e, at_w) = (at.c, at.e, at.w);
-            let (ap_c, ap_n, ap_s) = (ap.c, ap.n, ap.s);
-            for i in range.i0..range.i1 {
-                let ir = inv_r[i];
-                let v2 = (fr[i] * fr[i] + ft[i] * ft[i] + fp[i] * fp[i]) / (rho[i] * rho[i]);
-                let cs2 = gamma * prs[i] / rho[i];
+            let (ar_n, ar_s) = (&ar.n[i0..i1], &ar.s[i0..i1]);
+            let (ar_e, ar_w) = (&ar.e[i0..i1], &ar.w[i0..i1]);
+            let (at_e, at_w) = (&at.e[i0..i1], &at.w[i0..i1]);
+            let (ap_n, ap_s) = (&ap.n[i0..i1], &ap.s[i0..i1]);
+            let at_c = &at.c[i0 - 1..i1 + 1];
+            let ap_c = &ap.c[i0 - 1..i1 + 1];
+            for q in 0..n {
+                let ir = ir_w[q];
+                let v2 = (fr[q] * fr[q] + ft[q] * ft[q] + fp[q] * fp[q]) / (rho[q] * rho[q]);
+                let cs2 = gamma * prs[q] / rho[q];
                 let b_r = ir * inv_sin
-                    * ((sin_s * ap_s[i] - sin_n * ap_n[i]) * inv_2dt
-                        - (at_e[i] - at_w[i]) * inv_2dp);
+                    * ((sin_s * ap_s[q] - sin_n * ap_n[q]) * inv_2dt
+                        - (at_e[q] - at_w[q]) * inv_2dp);
                 let b_t = ir
-                    * (inv_sin * (ar_e[i] - ar_w[i]) * inv_2dp
-                        - (r[i + 1] * ap_c[i + 1] - r[i - 1] * ap_c[i - 1]) * inv_2dr);
+                    * (inv_sin * (ar_e[q] - ar_w[q]) * inv_2dp
+                        - (r_w[q + 2] * ap_c[q + 2] - r_w[q] * ap_c[q]) * inv_2dr);
                 let b_p = ir
-                    * ((r[i + 1] * at_c[i + 1] - r[i - 1] * at_c[i - 1]) * inv_2dr
-                        - (ar_s[i] - ar_n[i]) * inv_2dt);
-                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[i];
+                    * ((r_w[q + 2] * at_c[q + 2] - r_w[q] * at_c[q]) * inv_2dr
+                        - (ar_s[q] - ar_n[q]) * inv_2dt);
+                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[q];
                 let s = v2.sqrt() + cs2.sqrt() + va2.sqrt();
                 vmax = vmax.max(s);
             }
@@ -114,38 +125,44 @@ pub fn wave_speed_breakdown(
     let sp = Spacings::new(metric.dr, metric.dth, metric.dph);
     let (inv_2dr, inv_2dt, inv_2dp) = (sp.inv_2dr, sp.inv_2dt, sp.inv_2dp);
     let gamma = params.gamma;
-    let r = &metric.r[..];
-    let inv_r = &metric.inv_r[..];
+    // Same radial-window spelling as `wave_speed_max` (see there).
+    let (i0, i1) = (range.i0, range.i1);
+    let n = i1 - i0;
+    let r_w = &metric.r[i0 - 1..i1 + 1];
+    let ir_w = &metric.inv_r[i0..i1];
     let mut out = SpeedBreakdown::default();
     for k in range.k0..range.k1 {
         for j in range.j0..range.j1 {
             let g = ColGeom::new(metric, j);
             let (inv_sin, sin_n, sin_s) = (g.inv_sin, g.sin_n, g.sin_s);
-            let rho = state.rho.row(j, k);
-            let prs = state.press.row(j, k);
-            let fr = state.f.r.row(j, k);
-            let ft = state.f.t.row(j, k);
-            let fp = state.f.p.row(j, k);
+            let rho = &state.rho.row(j, k)[i0..i1];
+            let prs = &state.press.row(j, k)[i0..i1];
+            let fr = &state.f.r.row(j, k)[i0..i1];
+            let ft = &state.f.t.row(j, k)[i0..i1];
+            let fp = &state.f.p.row(j, k)[i0..i1];
             let ar = Cols::new(&state.a.r, j, k);
             let at = Cols::new(&state.a.t, j, k);
             let ap = Cols::new(&state.a.p, j, k);
-            let (ar_n, ar_s, ar_e, ar_w) = (ar.n, ar.s, ar.e, ar.w);
-            let (at_c, at_e, at_w) = (at.c, at.e, at.w);
-            let (ap_c, ap_n, ap_s) = (ap.c, ap.n, ap.s);
-            for i in range.i0..range.i1 {
-                let ir = inv_r[i];
-                let v2 = (fr[i] * fr[i] + ft[i] * ft[i] + fp[i] * fp[i]) / (rho[i] * rho[i]);
-                let cs2 = gamma * prs[i] / rho[i];
+            let (ar_n, ar_s) = (&ar.n[i0..i1], &ar.s[i0..i1]);
+            let (ar_e, ar_w) = (&ar.e[i0..i1], &ar.w[i0..i1]);
+            let (at_e, at_w) = (&at.e[i0..i1], &at.w[i0..i1]);
+            let (ap_n, ap_s) = (&ap.n[i0..i1], &ap.s[i0..i1]);
+            let at_c = &at.c[i0 - 1..i1 + 1];
+            let ap_c = &ap.c[i0 - 1..i1 + 1];
+            for q in 0..n {
+                let ir = ir_w[q];
+                let v2 = (fr[q] * fr[q] + ft[q] * ft[q] + fp[q] * fp[q]) / (rho[q] * rho[q]);
+                let cs2 = gamma * prs[q] / rho[q];
                 let b_r = ir * inv_sin
-                    * ((sin_s * ap_s[i] - sin_n * ap_n[i]) * inv_2dt
-                        - (at_e[i] - at_w[i]) * inv_2dp);
+                    * ((sin_s * ap_s[q] - sin_n * ap_n[q]) * inv_2dt
+                        - (at_e[q] - at_w[q]) * inv_2dp);
                 let b_t = ir
-                    * (inv_sin * (ar_e[i] - ar_w[i]) * inv_2dp
-                        - (r[i + 1] * ap_c[i + 1] - r[i - 1] * ap_c[i - 1]) * inv_2dr);
+                    * (inv_sin * (ar_e[q] - ar_w[q]) * inv_2dp
+                        - (r_w[q + 2] * ap_c[q + 2] - r_w[q] * ap_c[q]) * inv_2dr);
                 let b_p = ir
-                    * ((r[i + 1] * at_c[i + 1] - r[i - 1] * at_c[i - 1]) * inv_2dr
-                        - (ar_s[i] - ar_n[i]) * inv_2dt);
-                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[i];
+                    * ((r_w[q + 2] * at_c[q + 2] - r_w[q] * at_c[q]) * inv_2dr
+                        - (ar_s[q] - ar_n[q]) * inv_2dt);
+                let va2 = (b_r * b_r + b_t * b_t + b_p * b_p) / rho[q];
                 out.flow = out.flow.max(v2.sqrt());
                 out.sound = out.sound.max(cs2.sqrt());
                 out.alfven = out.alfven.max(va2.sqrt());

@@ -72,9 +72,15 @@ pub mod kernel {
 pub struct KernelTally {
     /// Grid points (or values, for copy kernels) processed.
     pub points: u64,
-    /// Innermost-loop executions; `points / loops` is the equivalent
-    /// vector length (the radial extent for radially-vectorized loops).
+    /// Innermost-loop executions. For a kernel that makes one radial pass
+    /// per point this equals `points / vector-length`; fused multi-pass
+    /// kernels (the RHS) execute several inner loops per column.
     pub loops: u64,
+    /// Total inner-loop trip count — the ES "vector element" counter.
+    /// `vector_elements / loops` is the equivalent vector length; for a
+    /// single-pass kernel it equals `points`, and for a P-pass fused
+    /// kernel it is `P × points` (so the ratio stays the radial extent).
+    pub vector_elements: u64,
     /// Floating-point operations.
     pub flops: u64,
     /// Modeled bytes read (stencil/table traffic, not cache-measured).
@@ -89,6 +95,7 @@ struct KernelCell {
     calls: AtomicU64,
     points: AtomicU64,
     loops: AtomicU64,
+    vector_elements: AtomicU64,
     flops: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
@@ -144,6 +151,7 @@ impl CounterSet {
             cell.calls.store(0, Ordering::Relaxed);
             cell.points.store(0, Ordering::Relaxed);
             cell.loops.store(0, Ordering::Relaxed);
+            cell.vector_elements.store(0, Ordering::Relaxed);
             cell.flops.store(0, Ordering::Relaxed);
             cell.bytes_read.store(0, Ordering::Relaxed);
             cell.bytes_written.store(0, Ordering::Relaxed);
@@ -166,6 +174,7 @@ impl CounterSet {
         c.calls.fetch_add(1, Ordering::Relaxed);
         c.points.fetch_add(t.points, Ordering::Relaxed);
         c.loops.fetch_add(t.loops, Ordering::Relaxed);
+        c.vector_elements.fetch_add(t.vector_elements, Ordering::Relaxed);
         c.flops.fetch_add(t.flops, Ordering::Relaxed);
         c.bytes_read.fetch_add(t.bytes_read, Ordering::Relaxed);
         c.bytes_written.fetch_add(t.bytes_written, Ordering::Relaxed);
@@ -208,6 +217,7 @@ impl CounterSet {
                     calls: c.calls.load(Ordering::Relaxed),
                     points: c.points.load(Ordering::Relaxed),
                     loops: c.loops.load(Ordering::Relaxed),
+                    vector_elements: c.vector_elements.load(Ordering::Relaxed),
                     flops: c.flops.load(Ordering::Relaxed),
                     bytes_read: c.bytes_read.load(Ordering::Relaxed),
                     bytes_written: c.bytes_written.load(Ordering::Relaxed),
@@ -227,6 +237,8 @@ pub struct KernelSnapshot {
     pub points: u64,
     /// Innermost-loop executions.
     pub loops: u64,
+    /// Total inner-loop trip count (ES vector element counter).
+    pub vector_elements: u64,
     /// Floating-point operations (exact).
     pub flops: u64,
     /// Modeled bytes read.
@@ -238,7 +250,7 @@ pub struct KernelSnapshot {
 }
 
 /// Words per kernel in the f64 merge encoding.
-const WORDS_PER_KERNEL: usize = 7;
+const WORDS_PER_KERNEL: usize = 8;
 
 /// Number of f64 words [`CounterSnapshot::to_f64s`] produces.
 pub const COUNTER_MERGE_WORDS: usize = WORDS_PER_KERNEL * kernel::COUNT;
@@ -264,13 +276,16 @@ impl KernelSnapshot {
         }
     }
 
-    /// Equivalent vector length `points / loops` — what the ES average
-    /// vector length counter reports for a radially-vectorized loop.
+    /// Equivalent vector length `vector_elements / loops` — what the ES
+    /// average vector length counter reports for a radially-vectorized
+    /// loop. Decomposition-invariant for the fused RHS: both numerator
+    /// and denominator scale with the pass count, so the ratio stays the
+    /// radial extent of the inner loop.
     pub fn avg_vector_length(&self) -> f64 {
         if self.loops == 0 {
             0.0
         } else {
-            self.points as f64 / self.loops as f64
+            self.vector_elements as f64 / self.loops as f64
         }
     }
 }
@@ -314,6 +329,7 @@ impl CounterSnapshot {
                     calls: a.calls + b.calls,
                     points: a.points + b.points,
                     loops: a.loops + b.loops,
+                    vector_elements: a.vector_elements + b.vector_elements,
                     flops: a.flops + b.flops,
                     bytes_read: a.bytes_read + b.bytes_read,
                     bytes_written: a.bytes_written + b.bytes_written,
@@ -332,6 +348,7 @@ impl CounterSnapshot {
                 k.calls as f64,
                 k.points as f64,
                 k.loops as f64,
+                k.vector_elements as f64,
                 k.flops as f64,
                 k.bytes_read as f64,
                 k.bytes_written as f64,
@@ -351,10 +368,11 @@ impl CounterSnapshot {
                     calls: w[0] as u64,
                     points: w[1] as u64,
                     loops: w[2] as u64,
-                    flops: w[3] as u64,
-                    bytes_read: w[4] as u64,
-                    bytes_written: w[5] as u64,
-                    wall_ns: w[6] as u64,
+                    vector_elements: w[3] as u64,
+                    flops: w[4] as u64,
+                    bytes_read: w[5] as u64,
+                    bytes_written: w[6] as u64,
+                    wall_ns: w[7] as u64,
                 }
             }),
         }
@@ -369,6 +387,7 @@ mod tests {
         KernelTally {
             points,
             loops: points / 8,
+            vector_elements: points,
             flops,
             bytes_read: 10 * points,
             bytes_written: points,
@@ -395,6 +414,7 @@ mod tests {
         assert_eq!(rhs.calls, 2);
         assert_eq!(rhs.points, 128);
         assert_eq!(rhs.loops, 16);
+        assert_eq!(rhs.vector_elements, 128);
         assert_eq!(rhs.flops, 2 * 640 * 64);
         assert_eq!(rhs.avg_vector_length(), 8.0);
         assert_eq!(s.total_flops(), 2 * 640 * 64 + 112 * 8);

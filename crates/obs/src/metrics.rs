@@ -170,6 +170,7 @@ mod tests {
             KernelTally {
                 points: 64,
                 loops: 8,
+                vector_elements: 64,
                 flops: 640 * 64,
                 bytes_read: 64 * 56 * 8,
                 bytes_written: 64 * 8 * 8,

@@ -104,21 +104,65 @@ YY_BENCH_STEP_GRID=small YY_BENCH_STEP_STEPS=3 YY_BENCH_STEP_REPS=1 \
 YY_BENCH_STEP_DELAY_US=500 \
 BENCH_STEP_JSON="$soak_dir/BENCH_step.json" \
   cargo bench -p yy-bench --bench step --offline >/dev/null
-for key in speedup_overlapped_vs_blocking hidden_comm_fraction median_ns_per_step; do
+for key in speedup_overlapped_vs_blocking hidden_comm_fraction median_ns_per_step \
+    kernel_bound; do
   grep -q "$key" "$soak_dir/BENCH_step.json" || {
     echo "ERROR: BENCH_step.json missing '$key'" >&2; exit 1; }
 done
 echo "OK: BENCH_step.json written and well-formed"
 
+echo "==> step-rate regression gate: kernel-bound ns/point under tolerance"
+# Guards against hot-loop regressions of the per-call-allocation kind
+# (the r2 Vec bug this gate was written for): the kernel-bound blocking
+# step must stay under a generous per-point ceiling. The default
+# tolerance (ns per grid point per step) leaves ~3x headroom over the
+# measured rate on the CI box, so host-contention noise passes but an
+# accidental deoptimization of the RHS sweep does not.
+gp=$(grep -o '"grid_points": [0-9]*' "$soak_dir/BENCH_step.json" | awk '{print $2}')
+kb=$(grep -o '"blocking_median_ns_per_step": [0-9.]*' "$soak_dir/BENCH_step.json" \
+  | awk '{print $2}')
+nspp=$(awk -v k="$kb" -v g="$gp" 'BEGIN { printf "%.1f", k / g }')
+step_tol=${YY_CI_STEP_TOL:-2500}
+awk -v r="$nspp" -v t="$step_tol" 'BEGIN { exit !(r < t) }' || {
+  echo "ERROR: kernel-bound step costs $nspp ns/point (tolerance $step_tol)" >&2
+  exit 1
+}
+echo "OK: kernel-bound step $nspp ns/point (< $step_tol)"
+
 echo "==> bench smoke: measured kernel profile writes BENCH_profile.json"
 YY_BENCH_PROFILE_STEPS=3 \
 BENCH_PROFILE_JSON="$soak_dir/BENCH_profile.json" \
   cargo bench -p yy-bench --bench profile --offline >/dev/null
-for key in flops_per_point_step es_flagship_tflops avg_vector_length kernels; do
+for key in flops_per_point_step es_flagship_tflops avg_vector_length kernels \
+    phi_block_sweep; do
   grep -q "$key" "$soak_dir/BENCH_profile.json" || {
     echo "ERROR: BENCH_profile.json missing '$key'" >&2; exit 1; }
 done
 echo "OK: BENCH_profile.json written and well-formed"
+
+echo "==> roofline regression gates: ES projection window + RHS intensity"
+# The measured-profile flagship projection must stay inside the paper's
+# acceptance window (15.2 +/- 2.0 TFlops, same window as the flagship
+# test) — it is a pure function of the exact flop/VL accounting, so a
+# drift here means the counter model changed, not the machine. The RHS
+# arithmetic intensity gate protects the fused sweep's traffic model:
+# the unfused kernel modeled 1.25 flops/byte, the fused one 2.76 — a
+# fall below 2.0 means someone reverted to per-leg stencil billing (or
+# broke the fusion) without retuning the model.
+tflops=$(grep -o '"es_flagship_tflops": [0-9.]*' "$soak_dir/BENCH_profile.json" \
+  | awk '{print $2}')
+awk -v r="$tflops" 'BEGIN { exit !(r > 13.2 && r < 17.2) }' || {
+  echo "ERROR: ES flagship projection $tflops TFlops outside [13.2, 17.2]" >&2
+  exit 1
+}
+rhs_int=$(grep -o '"name": "rhs"[^}]*' "$soak_dir/BENCH_profile.json" \
+  | grep -o '"intensity": [0-9.]*' | awk '{print $2}')
+rhs_tol=${YY_CI_RHS_INTENSITY_MIN:-2.0}
+awk -v r="$rhs_int" -v t="$rhs_tol" 'BEGIN { exit !(r > t) }' || {
+  echo "ERROR: RHS intensity $rhs_int flops/byte under minimum $rhs_tol" >&2
+  exit 1
+}
+echo "OK: flagship $tflops TFlops in window, RHS intensity $rhs_int (> $rhs_tol)"
 
 echo "==> dependency audit: workspace path dependencies only"
 # Path dependencies print as `name vX.Y.Z (/abs/path)`; anything without
