@@ -28,7 +28,7 @@ use yy_mesh::{build_overset_columns, Panel};
 use yy_mhd::{initialize, State};
 use yy_parcomm::stats::TrafficClass;
 use yy_parcomm::{FaultSpec, Universe};
-use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
+use yycore::parallel::{run_parallel_supervised, FailurePolicy, RecoveryOpts};
 use yycore::{run_parallel_with_mode, RunConfig, SyncMode};
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -208,6 +208,42 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Chaos companion: a 2×2 supervised run loses node 1 permanently at
+/// mid-run; `on_failure=retile` must exclude it, shrink to 1×2 and
+/// finish. Returns (retile count, steps/s on the full layout before the
+/// shrink, steps/s on the shrunk layout) — the price of losing a rank,
+/// measured rather than modeled. Always 2×2 regardless of the step
+/// decomposition knobs: the shrink ladder needs survivors to land on.
+fn bench_elastic_retile(steps: u64) -> (usize, f64, f64) {
+    let cfg = cfg();
+    let kill_step = (steps / 2).max(1);
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(17).with_persistent_kill(1, kill_step),
+        checkpoint_every: 1,
+        deadline: Duration::from_secs(120),
+        on_failure: FailurePolicy::Retile,
+        max_retiles: 2,
+        retile_backoff: Duration::from_millis(1),
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&cfg, 2, 2, steps, 0, &opts)
+        .expect("elastic bench run completes");
+    assert!(!sup.retiles.is_empty(), "the persistent kill must force a shrink");
+    let before = sup
+        .passes
+        .iter()
+        .filter(|p| (p.pth, p.pph) == (2, 2) && p.steps_advanced > 0)
+        .map(|p| p.steps_per_sec())
+        .fold(0.0_f64, f64::max);
+    let after = sup
+        .passes
+        .last()
+        .filter(|p| p.steps_advanced > 0)
+        .map(|p| p.steps_per_sec())
+        .unwrap_or(0.0);
+    (sup.retiles.len(), before, after)
+}
+
 fn bench_parallel_step() -> String {
     let cfg = cfg();
     let steps = env_u64("YY_BENCH_STEP_STEPS", 10);
@@ -271,6 +307,12 @@ fn bench_parallel_step() -> String {
         phases.hidden_comm_fraction()
     );
 
+    let (retiles, rate_before, rate_after) = bench_elastic_retile(steps);
+    println!(
+        "parallel_step/elastic_retile_2x2to1x2             {retiles} retile(s)  \
+         {rate_before:.1} steps/s before -> {rate_after:.1} steps/s after shrink"
+    );
+
     format!(
         concat!(
             "{{\n",
@@ -291,6 +333,11 @@ fn bench_parallel_step() -> String {
             "  \"kernel_bound\": {{\n",
             "    \"blocking_median_ns_per_step\": {:.0},\n",
             "    \"overlapped_median_ns_per_step\": {:.0}\n",
+            "  }},\n",
+            "  \"elastic\": {{\n",
+            "    \"retiles\": {},\n",
+            "    \"steps_per_sec_before_shrink\": {:.2},\n",
+            "    \"steps_per_sec_after_shrink\": {:.2}\n",
             "  }},\n",
             "  \"speedup_overlapped_vs_blocking\": {:.3}\n",
             "}}\n"
@@ -313,6 +360,9 @@ fn bench_parallel_step() -> String {
         phases.hidden_comm_fraction(),
         kb_block * 1e9,
         kb_over * 1e9,
+        retiles,
+        rate_before,
+        rate_after,
         speedup
     )
 }

@@ -41,10 +41,24 @@
 //!   delay=P        message delay probability
 //!   delay_us=N     maximum injected delay in microseconds [default 500]
 //!   dup=P          message duplication probability
-//!   kill_rank=N    kill this world rank ...
+//!   kill_rank=N    kill this world rank (a *node* id under re-tiling) ...
 //!   kill_step=N    ... at this step               [default 0]
+//!   kill_persistent=1  re-kill on every pass (a permanently bad node,
+//!                  not a transient) — pair with on_failure=retile
 //!   ckpt_every=N   checkpoint every N steps       [default 0 = ends only]
 //!   deadline_ms=N  per-receive comm deadline      [default 30000]
+//!
+//! elastic-decomposition keys (parallel only; also supervised):
+//!   on_failure=P   retry|retile|abort — what to do with a *persistent*
+//!                  fault (same node, same failure, twice) [default retry]
+//!   max_retiles=N  layout-shrink budget under retile    [default 2]
+//!   retile_backoff_ms=N  backoff before a re-tiled pass [default 50]
+//!   weights=W      uniform|measured tile cuts — measured balances
+//!                  per-column cost from a serial probe's kernel
+//!                  counters                             [default uniform]
+//!   resume=PATH    start from this serial-format checkpoint (any
+//!                  producer: serial run or any tile layout — restarts
+//!                  are layout-portable and bit-exact)
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -53,7 +67,7 @@ use std::time::Duration;
 use yy_obs::JsonlLogger;
 use yy_parcomm::FaultSpec;
 use yycore::checkpoint::Checkpoint;
-use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
+use yycore::parallel::{run_parallel_supervised, FailurePolicy, RecoveryOpts, WeightsMode};
 use yycore::{run_parallel_with_mode, ObsOpts, RunConfig, SerialSim, SyncMode};
 
 fn main() -> ExitCode {
@@ -101,11 +115,17 @@ struct Opts {
     dup: f64,
     kill_rank: Option<usize>,
     kill_step: u64,
+    kill_persistent: bool,
     ckpt_every: u64,
     deadline_ms: u64,
     mode: SyncMode,
     profile_every: u64,
     metrics_port: Option<u16>,
+    on_failure: FailurePolicy,
+    max_retiles: u32,
+    retile_backoff_ms: u64,
+    weights: WeightsMode,
+    resume: Option<PathBuf>,
 }
 
 impl Opts {
@@ -117,7 +137,11 @@ impl Opts {
             .with_delay(self.delay, Duration::from_micros(self.delay_us))
             .with_duplicate(self.dup);
         if let Some(rank) = self.kill_rank {
-            spec = spec.with_kill(rank, self.kill_step);
+            spec = if self.kill_persistent {
+                spec.with_persistent_kill(rank, self.kill_step)
+            } else {
+                spec.with_kill(rank, self.kill_step)
+            };
         }
         spec
     }
@@ -142,11 +166,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         dup: 0.0,
         kill_rank: None,
         kill_step: 0,
+        kill_persistent: false,
         ckpt_every: 0,
         deadline_ms: 30_000,
         mode: SyncMode::default(),
         profile_every: 0,
         metrics_port: None,
+        on_failure: FailurePolicy::default(),
+        max_retiles: 2,
+        retile_backoff_ms: 50,
+        weights: WeightsMode::default(),
+        resume: None,
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -170,6 +200,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "dup" => o.dup = v.parse().map_err(|e| format!("dup: {e}"))?,
             "kill_rank" => o.kill_rank = Some(v.parse().map_err(|e| format!("kill_rank: {e}"))?),
             "kill_step" => o.kill_step = v.parse().map_err(|e| format!("kill_step: {e}"))?,
+            "kill_persistent" => {
+                o.kill_persistent = match v {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => {
+                        return Err(format!("kill_persistent: expected 0|1, got '{other}'"))
+                    }
+                }
+            }
+            "on_failure" => o.on_failure = FailurePolicy::parse(v)?,
+            "max_retiles" => o.max_retiles = v.parse().map_err(|e| format!("max_retiles: {e}"))?,
+            "retile_backoff_ms" => {
+                o.retile_backoff_ms =
+                    v.parse().map_err(|e| format!("retile_backoff_ms: {e}"))?
+            }
+            "weights" => o.weights = WeightsMode::parse(v)?,
+            "resume" => o.resume = Some(PathBuf::from(v)),
             "ckpt_every" => o.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?,
             "deadline_ms" => {
                 o.deadline_ms = v.parse().map_err(|e| format!("deadline_ms: {e}"))?
@@ -368,8 +415,18 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         || o.trace.is_some()
         || o.log.is_some()
         || o.profile_every > 0
-        || o.metrics_port.is_some();
+        || o.metrics_port.is_some()
+        || o.resume.is_some()
+        || o.on_failure != FailurePolicy::default()
+        || o.weights != WeightsMode::default();
     let report = if supervised {
+        let resume_from = match &o.resume {
+            Some(path) => Some(
+                Checkpoint::load(path)
+                    .map_err(|e| format!("loading resume checkpoint {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
         let ropts = RecoveryOpts {
             fault: spec,
             checkpoint_every: o.ckpt_every,
@@ -382,6 +439,11 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
                 metrics_port: o.metrics_port,
                 ..ObsOpts::default()
             },
+            on_failure: o.on_failure,
+            max_retiles: o.max_retiles,
+            retile_backoff: Duration::from_millis(o.retile_backoff_ms),
+            weights: o.weights,
+            resume_from,
             ..RecoveryOpts::default()
         };
         let sup = run_parallel_supervised(&o.cfg, o.pth, o.pph, o.steps, o.sample, &ropts)?;
@@ -389,6 +451,39 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
             eprintln!(
                 "recovered: pass {} failed ({}); resumed from step {}",
                 ev.pass, ev.cause, ev.resume_step
+            );
+        }
+        for rt in &sup.retiles {
+            eprintln!(
+                "retiled: pass {} excluded node {}; {}x{} -> {}x{}, resumed from step {}",
+                rt.pass, rt.excluded_node, rt.from.0, rt.from.1, rt.to.0, rt.to.1, rt.resume_step
+            );
+        }
+        if sup.degraded {
+            eprintln!(
+                "degraded mode: finished on {}x{} with {} node(s) excluded",
+                sup.final_layout.0,
+                sup.final_layout.1,
+                sup.excluded_nodes.len()
+            );
+        }
+        eprintln!(
+            "imbalance ({} weights): predicted {:.3}, achieved {:.3}",
+            o.weights.name(),
+            sup.predicted_imbalance,
+            sup.achieved_imbalance
+        );
+        if sup.passes.len() > 1 {
+            let first = &sup.passes[0];
+            let last = sup.passes.last().unwrap();
+            eprintln!(
+                "pass rates: {}x{} {:.1} steps/s -> {}x{} {:.1} steps/s",
+                first.pth,
+                first.pph,
+                first.steps_per_sec(),
+                last.pth,
+                last.pph,
+                last.steps_per_sec()
             );
         }
         if sup.dt_scale != 1.0 {
@@ -610,14 +705,16 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("{path}: invalid trace: {e}"))?;
     println!(
         "trace ok: {} events, {} spans, {} flow arrows, {} kill(s), {} track(s), \
-         {} counter sample(s) on {} counter track(s)",
+         {} counter sample(s) on {} counter track(s), {} retile(s), {} degrade(s)",
         check.events,
         check.spans,
         check.flow_starts,
         check.kills,
         check.tracks,
         check.counter_samples,
-        check.counter_tracks
+        check.counter_tracks,
+        check.retiles,
+        check.degrades
     );
     Ok(())
 }

@@ -45,13 +45,15 @@ pub mod shallow;
 pub mod snapshots;
 pub mod trace;
 pub mod transport;
+pub mod weights;
 
 pub use config::RunConfig;
 pub use health::{HealthGuard, HealthLimits, HealthViolation};
 pub use obs::{ObsOpts, TraceMode};
 pub use parallel::{
-    run_parallel, run_parallel_supervised, run_parallel_with_mode, ParallelReport, RecoveryEvent,
-    RecoveryOpts, SupervisedReport, SyncMode,
+    run_parallel, run_parallel_supervised, run_parallel_with_mode, FailurePolicy, ParallelReport,
+    PassStat, RecoveryEvent, RecoveryOpts, SupervisedReport, SyncMode, WeightsMode,
 };
+pub use weights::ColumnCosts;
 pub use report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
 pub use serial::SerialSim;

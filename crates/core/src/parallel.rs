@@ -41,16 +41,18 @@ use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::health::{HealthGuard, HealthLimits};
 use crate::obs::{recorders_to_chrome, ObsOpts};
-pub use crate::report::RecoveryEvent;
+pub use crate::report::{ElasticSummary, RecoveryEvent, RetileRecord};
 use crate::report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
 use crate::serial::{combine_fused_tally, combine_tally, overset_donate_tally, overset_fill_tally};
+use crate::weights::ColumnCosts;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use yy_field::{pack_region, unpack_region, Array3, Meters, Region};
 use yy_mesh::routing::{build_schedule, panel_of_world, OversetExchange, TargetSlot};
 use yy_mesh::{
     build_overset_columns, interp::interp_scalar_column, interp::interp_vector_column, Decomp2D,
-    Metric, OversetColumn, PatchGrid, Tile,
+    Metric, OversetColumn, Panel, PatchGrid, Tile,
 };
 use yy_mhd::rhs::{compute_rhs_partial, InteriorRange, OverlapSplit, RhsScratch};
 use yy_mhd::tables::rotation_axis;
@@ -90,10 +92,14 @@ const TAG_GATHER: u64 = 14;
 pub struct ParallelReport {
     /// Run metrics and the diagnostic series.
     pub report: RunReport,
-    /// Gathered full Yin panel (owned values; ghosts zero) when requested.
+    /// Gathered full Yin panel (owned values; ghosts as initialized)
+    /// when requested.
     pub yin: Option<State>,
     /// Gathered full Yang panel.
     pub yang: Option<State>,
+    /// Measured per-rank compute imbalance: the slowest rank's stencil
+    /// wall time over the mean (1.0 = perfectly balanced).
+    pub achieved_imbalance: f64,
 }
 
 /// Execute a parallel run with `pth × pph` tiles per panel
@@ -137,6 +143,74 @@ pub fn run_parallel_with_mode(
         .expect("rank 0 must produce the report")
 }
 
+/// What the supervisor does when a rank failure is classified as
+/// *persistent* (the same node fails the same way twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Keep rolling back to the last checkpoint on the same layout.
+    /// Persistent faults surface a structured error after 2 identical
+    /// failures instead of burning the whole retry budget.
+    #[default]
+    Retry,
+    /// Exclude the persistently failing node from the survivor set and
+    /// re-tile the run onto the remaining nodes, degrading the layout
+    /// (2×2 → 1×2 → 1×1) when the survivors no longer cover it.
+    Retile,
+    /// Fail fast: any rank failure aborts the run immediately.
+    Abort,
+}
+
+impl FailurePolicy {
+    /// Parse a CLI/config value (`retry` | `retile` | `abort`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "retry" => Ok(FailurePolicy::Retry),
+            "retile" => Ok(FailurePolicy::Retile),
+            "abort" => Ok(FailurePolicy::Abort),
+            other => Err(format!("on_failure: expected retry|retile|abort, got '{other}'")),
+        }
+    }
+
+    /// The canonical config-key spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailurePolicy::Retry => "retry",
+            FailurePolicy::Retile => "retile",
+            FailurePolicy::Abort => "abort",
+        }
+    }
+}
+
+/// How the θ/φ partitioner weighs columns when (re)building a layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightsMode {
+    /// Near-equal node counts — the historical layout.
+    #[default]
+    Uniform,
+    /// Balance measured per-column cost from a serial probe's kernel
+    /// counters ([`crate::weights::ColumnCosts`]).
+    Measured,
+}
+
+impl WeightsMode {
+    /// Parse a CLI/config value (`uniform` | `measured`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(WeightsMode::Uniform),
+            "measured" => Ok(WeightsMode::Measured),
+            other => Err(format!("weights: expected uniform|measured, got '{other}'")),
+        }
+    }
+
+    /// The canonical config-key spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightsMode::Uniform => "uniform",
+            WeightsMode::Measured => "measured",
+        }
+    }
+}
+
 /// Knobs for [`run_parallel_supervised`].
 #[derive(Debug, Clone)]
 pub struct RecoveryOpts {
@@ -163,6 +237,20 @@ pub struct RecoveryOpts {
     /// JSONL output paths, ring sizing. Recording never perturbs the
     /// trajectory — the traced and untraced runs are bitwise identical.
     pub obs: ObsOpts,
+    /// What to do when a fault is classified as persistent (same node,
+    /// same failure, twice).
+    pub on_failure: FailurePolicy,
+    /// Give up after this many layout shrinks (`Retile` policy only).
+    pub max_retiles: u32,
+    /// Base backoff slept before a re-tiled pass starts (scaled by the
+    /// retile count).
+    pub retile_backoff: Duration,
+    /// Partitioner weighting for the (re)built layouts.
+    pub weights: WeightsMode,
+    /// Start from this serial-format checkpoint instead of initial
+    /// conditions — the `restart onto (pth', pph')` path. Any layout's
+    /// checkpoint restores onto any other layout bit-exactly.
+    pub resume_from: Option<Checkpoint>,
 }
 
 impl Default for RecoveryOpts {
@@ -177,7 +265,60 @@ impl Default for RecoveryOpts {
             health: HealthLimits::default(),
             sync_mode: SyncMode::Overlapped,
             obs: ObsOpts::default(),
+            on_failure: FailurePolicy::Retry,
+            max_retiles: 2,
+            retile_backoff: Duration::from_millis(50),
+            weights: WeightsMode::Uniform,
+            resume_from: None,
         }
+    }
+}
+
+impl RecoveryOpts {
+    /// Pre-flight validation of the policy surface. Returns a one-line
+    /// diagnostic instead of panicking mid-run.
+    pub fn check(&self) -> Result<(), String> {
+        if self.deadline.is_zero() {
+            return Err("deadline must be positive".into());
+        }
+        if self.on_failure == FailurePolicy::Retile && self.max_retiles == 0 {
+            return Err("max_retiles must be at least 1 when on_failure=retile".into());
+        }
+        if self.retile_backoff > Duration::from_secs(60) {
+            return Err(format!(
+                "retile_backoff must be at most 60s (got {:?})",
+                self.retile_backoff
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One supervised pass's timing, for the before/after-shrink step-rate
+/// comparison the bench records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassStat {
+    /// 1-based pass index.
+    pub pass: u32,
+    /// Layout the pass ran on.
+    pub pth: usize,
+    /// Layout the pass ran on.
+    pub pph: usize,
+    /// Checkpointed steps the pass contributed (progress measured at
+    /// checkpoint granularity; work after the last capture of a failed
+    /// pass is rolled back and not counted).
+    pub steps_advanced: u64,
+    /// Wall-clock seconds of the pass.
+    pub wall_s: f64,
+}
+
+impl PassStat {
+    /// Checkpointed steps per second of this pass.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.steps_advanced as f64 / self.wall_s
     }
 }
 
@@ -194,6 +335,21 @@ pub struct SupervisedReport {
     /// Time-step scale the run finished with (1.0 unless health guards
     /// forced reductions).
     pub dt_scale: f64,
+    /// Layout the run finished on (differs from the requested layout
+    /// after elastic shrinks).
+    pub final_layout: (usize, usize),
+    /// Every elastic layout change, in order.
+    pub retiles: Vec<RetileRecord>,
+    /// Nodes excluded by the persistent-fault classifier.
+    pub excluded_nodes: Vec<usize>,
+    /// Whether the run finished in degraded mode.
+    pub degraded: bool,
+    /// Partitioner-predicted imbalance of the final layout.
+    pub predicted_imbalance: f64,
+    /// Measured per-rank compute imbalance of the final pass.
+    pub achieved_imbalance: f64,
+    /// Per-pass timing, in order (the bench's before/after-shrink rate).
+    pub passes: Vec<PassStat>,
 }
 
 /// Execute a parallel run under the fault-tolerant supervisor.
@@ -215,14 +371,21 @@ pub fn run_parallel_supervised(
     opts: &RecoveryOpts,
 ) -> Result<SupervisedReport, String> {
     cfg.params.validate();
-    let tiles = pth * pph;
-    let nprocs = 2 * tiles;
-    let plan =
-        opts.fault.is_active().then(|| Arc::new(FaultPlan::new(opts.fault.clone(), nprocs)));
+    opts.check()?;
+    let grid = cfg.grid();
+    // Node identities are fixed at the *requested* size: world ranks of
+    // every pass map onto the first `nprocs` surviving nodes, so the
+    // fault plan (which targets node ids) keeps aiming at the same
+    // hardware across re-tiles, and an excluded node is gone for good.
+    let req_nprocs = 2 * pth * pph;
+    let plan = opts
+        .fault
+        .is_active()
+        .then(|| Arc::new(FaultPlan::new(opts.fault.clone(), req_nprocs)));
     // The supervisor — not the universe — owns the flight recorders, so
     // ring contents survive the teardown of a failed pass and can be
     // dumped as a post-mortem.
-    let recorders = opts.obs.make_recorders(nprocs);
+    let recorders = opts.obs.make_recorders(req_nprocs);
     let logger = match &opts.obs.log {
         Some(path) => Some(
             JsonlLogger::create(path).map_err(|e| format!("opening log {}: {e}", path.display()))?,
@@ -238,8 +401,10 @@ pub fn run_parallel_supervised(
         "info",
         "supervised run start",
         &[
-            ("nprocs", nprocs.to_string()),
+            ("nprocs", req_nprocs.to_string()),
             ("steps", steps.to_string()),
+            ("policy", opts.on_failure.name().to_string()),
+            ("weights", opts.weights.name().to_string()),
             ("traced", recorders.is_some().to_string()),
         ],
     );
@@ -270,36 +435,75 @@ pub fn run_parallel_supervised(
         profile_every: opts.obs.profile_every,
         metrics: hub,
     };
+    // Measured column costs come from one serial probe, shared by every
+    // (re)build — re-probing mid-run would move cut boundaries between
+    // passes for no benefit.
+    let costs = match opts.weights {
+        WeightsMode::Measured => Some(ColumnCosts::measure(cfg, 2)),
+        WeightsMode::Uniform => None,
+    };
+    let build_decomp = |p: usize, q: usize| match &costs {
+        Some(c) => c.decompose(p, q, &grid),
+        None => Decomp2D::new(p, q, &grid),
+    };
     let slot: Arc<Mutex<Option<Checkpoint>>> = Arc::new(Mutex::new(None));
+    // The restart-onto-any-layout path: a serial-format checkpoint from
+    // *any* producer (serial run, any tile layout) seeds the slot, and
+    // the first pass restores it exactly like a rollback would.
+    if let Some(ck) = &opts.resume_from {
+        if ck.shape != grid.full_shape() {
+            return Err(format!(
+                "resume checkpoint geometry {:?} does not match the run configuration {:?}",
+                ck.shape,
+                grid.full_shape()
+            ));
+        }
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ck.clone());
+    }
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut dt_scale = 1.0_f64;
     let mut rank_recoveries = 0_u32;
     let mut dt_reductions = 0_u32;
     let mut pass = 0_u32;
+    // Elastic state: current layout, surviving node pool, and the
+    // persistent-fault classifier (same node, same failure signature).
+    let (mut cur_pth, mut cur_pph) = (pth, pph);
+    let mut survivors: Vec<usize> = (0..req_nprocs).collect();
+    let mut excluded_nodes: Vec<usize> = Vec::new();
+    let mut retiles: Vec<RetileRecord> = Vec::new();
+    let mut fail_counts: HashMap<(usize, String), u32> = HashMap::new();
+    let mut degraded = false;
+    let mut eff_ckpt_every = opts.checkpoint_every;
+    let mut passes: Vec<PassStat> = Vec::new();
     loop {
         pass += 1;
+        let nprocs = 2 * cur_pth * cur_pph;
+        let node_map: Vec<usize> = survivors[..nprocs].to_vec();
+        let decomp = Arc::new(build_decomp(cur_pth, cur_pph));
         // Messages stuck in limbo belong to the previous (dead) pass.
         if let Some(plan) = &plan {
             plan.begin_pass();
         }
         let resume = Arc::new(slot.lock().unwrap_or_else(|e| e.into_inner()).clone());
+        let start_step = resume.as_ref().as_ref().map_or(0, |ck| ck.step);
         let sup = SupervisedOpts {
             fault: plan.clone(),
             deadline: opts.deadline,
             retry_base: opts.retry_base,
             recorders: recorders.clone(),
+            nodes: Some(node_map.clone()),
         };
         let cfg2 = cfg.clone();
         let slot2 = Arc::clone(&slot);
         let obs2 = rank_obs.clone();
-        let (checkpoint_every, health, sync_mode) =
-            (opts.checkpoint_every, opts.health, opts.sync_mode);
+        let decomp2 = Arc::clone(&decomp);
+        let (checkpoint_every, health, sync_mode) = (eff_ckpt_every, opts.health, opts.sync_mode);
+        let pass_started = Instant::now();
         let results = Universe::run_supervised(nprocs, sup, move |world| {
             rank_main_supervised(
                 &cfg2,
                 world,
-                pth,
-                pph,
+                &decomp2,
                 steps,
                 sample_every,
                 checkpoint_every,
@@ -341,9 +545,18 @@ pub fn run_parallel_supervised(
                 }
             }
         }
-        let failure = failure.map(|f| f.to_string());
-        let resume_step =
-            slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref().map_or(0, |ck| ck.step);
+        let resume_step = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map_or(start_step, |ck| ck.step);
+        passes.push(PassStat {
+            pass,
+            pth: cur_pth,
+            pph: cur_pph,
+            steps_advanced: resume_step.saturating_sub(start_step),
+            wall_s: pass_started.elapsed().as_secs_f64(),
+        });
         // Any abandoned pass — rank failure or health rollback — dumps
         // every surviving rank's flight recorder, so the last N events
         // before death are inspectable. Last failure wins the path.
@@ -358,27 +571,142 @@ pub fn run_parallel_supervised(
                 );
             }
         }
-        if let Some(cause) = failure {
-            if rank_recoveries >= opts.max_recoveries {
-                log("error", "giving up on rank failures", &[("cause", cause.clone())]);
+        if let Some(f) = failure {
+            // Persistent-fault classification: count failures by (node,
+            // signature). The node id is stable across re-tiles; the
+            // signature separates a deterministic re-kill from unrelated
+            // trouble on the same hardware.
+            let node = node_map.get(f.rank).copied().unwrap_or(f.rank);
+            let sig = match &f.kind {
+                yy_parcomm::FailureKind::InjectedKill { step } => format!("kill@{step}"),
+                yy_parcomm::FailureKind::Comm(_) => "comm".to_string(),
+                yy_parcomm::FailureKind::Panic => "panic".to_string(),
+            };
+            let count = {
+                let c = fail_counts.entry((node, sig.clone())).or_insert(0);
+                *c += 1;
+                *c
+            };
+            let persistent = count >= 2;
+            let cause = f.to_string();
+            if opts.on_failure == FailurePolicy::Abort {
+                log("error", "aborting on rank failure", &[("cause", cause.clone())]);
+                return Err(format!("on_failure=abort: pass {pass}: {cause}"));
+            }
+            if !persistent {
+                if rank_recoveries >= opts.max_recoveries {
+                    log("error", "giving up on rank failures", &[("cause", cause.clone())]);
+                    return Err(format!(
+                        "giving up after {rank_recoveries} rank-failure recoveries: {cause}"
+                    ));
+                }
+                rank_recoveries += 1;
+                if let Some(set) = &recorders {
+                    set.record_all(Event::Rollback { pass: pass as u64, resume_step });
+                }
+                log(
+                    "warn",
+                    "rank failure; rolling back",
+                    &[
+                        ("pass", pass.to_string()),
+                        ("resume_step", resume_step.to_string()),
+                        ("cause", cause.clone()),
+                    ],
+                );
+                recoveries.push(RecoveryEvent { pass, resume_step, cause });
+                continue;
+            }
+            if opts.on_failure == FailurePolicy::Retry {
+                // Don't burn the remaining retry budget replaying a
+                // deterministic failure — surface it with the fix.
+                log(
+                    "error",
+                    "persistent fault under on_failure=retry",
+                    &[("node", node.to_string()), ("signature", sig.clone())],
+                );
                 return Err(format!(
-                    "giving up after {rank_recoveries} rank-failure recoveries: {cause}"
+                    "persistent fault: node {node} failed identically {count} times ({sig}); \
+                     on_failure=retry cannot make progress — use on_failure=retile: {cause}"
                 ));
             }
-            rank_recoveries += 1;
+            // Retile: exclude the node, shrink the layout until the
+            // survivors cover it (2×2 → 1×2 → 1×1), and resume from the
+            // last good checkpoint on the new layout.
+            if retiles.len() as u32 >= opts.max_retiles {
+                log("error", "retile budget exhausted", &[("cause", cause.clone())]);
+                return Err(format!("giving up after {} re-tiles: {cause}", retiles.len()));
+            }
+            survivors.retain(|&n| n != node);
+            excluded_nodes.push(node);
+            let from = (cur_pth, cur_pph);
+            while 2 * cur_pth * cur_pph > survivors.len() {
+                if cur_pth >= cur_pph && cur_pth > 1 {
+                    cur_pth /= 2;
+                } else if cur_pph > 1 {
+                    cur_pph /= 2;
+                } else {
+                    log("error", "out of survivor nodes", &[("cause", cause.clone())]);
+                    return Err(format!(
+                        "only {} nodes survive — too few for even a 1x1 layout: {cause}",
+                        survivors.len()
+                    ));
+                }
+            }
             if let Some(set) = &recorders {
-                set.record_all(Event::Rollback { pass: pass as u64, resume_step });
+                set.record_all(Event::Retile {
+                    pth: cur_pth as u16,
+                    pph: cur_pph as u16,
+                    pass: pass as u64,
+                    resume_step,
+                });
             }
             log(
                 "warn",
-                "rank failure; rolling back",
+                "persistent fault; re-tiling",
                 &[
                     ("pass", pass.to_string()),
+                    ("node", node.to_string()),
+                    ("signature", sig.clone()),
+                    ("from", format!("{}x{}", from.0, from.1)),
+                    ("to", format!("{cur_pth}x{cur_pph}")),
                     ("resume_step", resume_step.to_string()),
-                    ("cause", cause.clone()),
                 ],
             );
-            recoveries.push(RecoveryEvent { pass, resume_step, cause });
+            retiles.push(RetileRecord {
+                pass,
+                from,
+                to: (cur_pth, cur_pph),
+                excluded_node: node,
+                resume_step,
+            });
+            recoveries.push(RecoveryEvent {
+                pass,
+                resume_step,
+                cause: format!(
+                    "persistent fault on node {node} ({sig}); re-tiled {}x{} -> \
+                     {cur_pth}x{cur_pph}: {cause}",
+                    from.0, from.1
+                ),
+            });
+            if !degraded {
+                // First shrink enters degraded mode: capacity is gone,
+                // so widen the checkpoint cadence (gathers cost a larger
+                // fraction of the smaller machine) and flag the run.
+                degraded = true;
+                eff_ckpt_every = eff_ckpt_every.saturating_mul(2);
+                if let Some(set) = &recorders {
+                    set.record_all(Event::Degraded {
+                        pass: pass as u64,
+                        checkpoint_every: eff_ckpt_every,
+                    });
+                }
+                log(
+                    "warn",
+                    "entering degraded mode",
+                    &[("checkpoint_every", eff_ckpt_every.to_string())],
+                );
+            }
+            std::thread::sleep(opts.retile_backoff.saturating_mul(retiles.len() as u32));
             continue;
         }
         if let Some(cause) = health_err {
@@ -417,14 +745,48 @@ pub fn run_parallel_supervised(
                 .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
             log("info", "wrote trace", &[("path", path.display().to_string())]);
         }
+        let predicted_imbalance = match &costs {
+            Some(c) => c.predicted_imbalance(&decomp),
+            None => ColumnCosts::uniform(&grid).predicted_imbalance(&decomp),
+        };
+        let achieved_imbalance = rep.achieved_imbalance;
         let mut report = rep.report;
         report.recoveries = recoveries.clone();
+        report.elastic = ElasticSummary {
+            policy: opts.on_failure.name().to_string(),
+            weights: opts.weights.name().to_string(),
+            degraded,
+            final_pth: cur_pth,
+            final_pph: cur_pph,
+            excluded_nodes: excluded_nodes.clone(),
+            retiles: retiles.clone(),
+            predicted_imbalance,
+            achieved_imbalance,
+        };
         log(
             "info",
             "supervised run complete",
-            &[("passes", pass.to_string()), ("recoveries", recoveries.len().to_string())],
+            &[
+                ("passes", pass.to_string()),
+                ("recoveries", recoveries.len().to_string()),
+                ("layout", format!("{cur_pth}x{cur_pph}")),
+                ("retiles", retiles.len().to_string()),
+                ("degraded", degraded.to_string()),
+            ],
         );
-        return Ok(SupervisedReport { report, final_checkpoint, recoveries, dt_scale });
+        return Ok(SupervisedReport {
+            report,
+            final_checkpoint,
+            recoveries,
+            dt_scale,
+            final_layout: (cur_pth, cur_pph),
+            retiles,
+            excluded_nodes,
+            degraded,
+            predicted_imbalance,
+            achieved_imbalance,
+            passes,
+        });
     }
 }
 
@@ -455,8 +817,7 @@ pub fn parallel_checkpoint(
 fn rank_main_supervised(
     cfg: &RunConfig,
     world: Comm,
-    pth: usize,
-    pph: usize,
+    decomp: &Decomp2D,
     steps: u64,
     sample_every: u64,
     checkpoint_every: u64,
@@ -467,9 +828,9 @@ fn rank_main_supervised(
     sync_mode: SyncMode,
     obs: &RankObs,
 ) -> Result<Option<ParallelReport>, String> {
-    let tiles = pth * pph;
+    let tiles = decomp.tiles();
     let (mut solver, mut state) =
-        RankSolver::new(cfg, &world, pth, pph, sync_mode, obs.counters);
+        RankSolver::new(cfg, &world, decomp, sync_mode, obs.counters);
     let mut dt_cache = match resume {
         Some(ck) => {
             solver.restore_tile(&mut state, ck);
@@ -602,6 +963,7 @@ fn rank_main_supervised(
 
     let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels) =
         solver.aggregate_counters();
+    let achieved_imbalance = solver.achieved_imbalance();
     solver.capture_checkpoint(&state, tiles, dt_cache, slot);
     world.record_event(Event::CheckpointSaved { step: solver.step });
 
@@ -622,11 +984,13 @@ fn rank_main_supervised(
                 step_wall,
                 queue_depth,
                 recoveries: Vec::new(),
+                elastic: Default::default(),
                 kernels,
                 series,
             },
             yin: None,
             yang: None,
+            achieved_imbalance,
         }))
     } else {
         Ok(None)
@@ -730,6 +1094,10 @@ struct RankSolver<'a> {
     world: &'a Comm,
     cart: CartComm,
     grid: PatchGrid,
+    /// The tile layout this rank was built from (possibly weighted);
+    /// gather/restore must use it — not a rebuilt uniform layout — or a
+    /// weighted run would scatter blocks to the wrong coordinates.
+    decomp: Decomp2D,
     tile: Tile,
     metric: Metric,
     forces: ForceTables,
@@ -833,7 +1201,8 @@ fn rank_main(
     mode: SyncMode,
 ) -> Option<ParallelReport> {
     let tiles = pth * pph;
-    let (mut solver, mut state) = RankSolver::new(cfg, &world, pth, pph, mode, true);
+    let decomp = Decomp2D::new(pth, pph, &cfg.grid());
+    let (mut solver, mut state) = RankSolver::new(cfg, &world, &decomp, mode, true);
     solver.sync(&mut state);
 
     let started = Instant::now();
@@ -902,6 +1271,7 @@ fn rank_main(
     // Aggregate counters.
     let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels) =
         solver.aggregate_counters();
+    let achieved_imbalance = solver.achieved_imbalance();
 
     // Optionally gather the full panels at rank 0.
     let (yin, yang) = if gather_state {
@@ -927,11 +1297,13 @@ fn rank_main(
                 step_wall,
                 queue_depth,
                 recoveries: Vec::new(),
+                elastic: Default::default(),
                 kernels,
                 series,
             },
             yin,
             yang,
+            achieved_imbalance,
         })
     } else {
         None
@@ -945,21 +1317,19 @@ impl<'a> RankSolver<'a> {
     fn new(
         cfg: &RunConfig,
         world: &'a Comm,
-        pth: usize,
-        pph: usize,
+        decomp: &Decomp2D,
         mode: SyncMode,
         counters: bool,
     ) -> (Self, State) {
-        let tiles = pth * pph;
+        let tiles = decomp.tiles();
         let (panel, panel_rank) = panel_of_world(world.rank(), tiles);
         // The paper's MPI_COMM_SPLIT: color = panel, key = world rank, so the
         // panel communicator preserves world order and panel_rank == cart rank.
         let panel_comm = world.split(panel.index() as u64, world.rank() as i64);
         assert_eq!(panel_comm.rank(), panel_rank);
-        let cart = CartComm::new(panel_comm, [pth, pph], [false, false]);
+        let cart = CartComm::new(panel_comm, [decomp.pth, decomp.pph], [false, false]);
 
         let grid = cfg.grid();
-        let decomp = Decomp2D::new(pth, pph, &grid);
         let tile = decomp.tile(panel_rank);
         let metric = Metric::new(&grid, &tile);
         let halo = grid.spec().halo;
@@ -974,7 +1344,7 @@ impl<'a> RankSolver<'a> {
         );
         let cols: Vec<OversetColumn> = build_overset_columns(&grid)
             .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}"));
-        let mut schedule = build_schedule(&grid, &decomp, &cols);
+        let mut schedule = build_schedule(&grid, decomp, &cols);
         // Owned-target job/slot counts for the overset counters (see the
         // `owned_jobs` field). Send and receive lists pair up
         // positionally, so the destination's recv set from us names the
@@ -1022,6 +1392,7 @@ impl<'a> RankSolver<'a> {
             world,
             cart,
             grid,
+            decomp: decomp.clone(),
             tile,
             metric,
             forces,
@@ -1750,6 +2121,24 @@ impl<'a> RankSolver<'a> {
         (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels)
     }
 
+    /// Measured compute imbalance across ranks: the slowest rank's
+    /// stencil wall time (RHS, RK4 combine, health scan — the work the
+    /// partitioner balances; comm wait excluded) over the mean.
+    /// Collective — every rank calls; 1.0 when nothing was timed.
+    fn achieved_imbalance(&self) -> f64 {
+        let snap = self.meter.counters().snapshot();
+        let local = (snap.kernels[kernel::RHS as usize].wall_ns
+            + snap.kernels[kernel::RK4_COMBINE as usize].wall_ns
+            + snap.kernels[kernel::HEALTH_SCAN as usize].wall_ns) as f64;
+        let max = self.world.allreduce_f64(local, ReduceOp::Max);
+        let sum = self.world.allreduce_f64(local, ReduceOp::Sum);
+        if sum > 0.0 {
+            max * self.world.size() as f64 / sum
+        } else {
+            1.0
+        }
+    }
+
     /// Globally reduced diagnostics (sums for energies, max for maxima).
     fn reduce_diag(&self, state: &State) -> Diagnostics {
         let local = yy_mhd::energy::compute_diagnostics(
@@ -1783,9 +2172,16 @@ impl<'a> RankSolver<'a> {
             pack_region(arr, owned, &mut buf);
         }
         if self.world.rank() == 0 {
-            let decomp = Decomp2D::new(self.cart.dims()[0], self.cart.dims()[1], &self.grid);
+            // Assemble into *initialized* full panels, not zeros: the
+            // serial driver's ghost padding keeps its initialization
+            // values forever (syncs only rewrite frames and walls), so a
+            // gathered checkpoint is byte-identical to a serial one only
+            // if the unowned padding carries the same initial bytes.
             let mut panels =
                 [State::zeros(self.grid.full_shape()), State::zeros(self.grid.full_shape())];
+            for (p, s) in [Panel::Yin, Panel::Yang].into_iter().zip(panels.iter_mut()) {
+                initialize(s, &self.grid, None, &self.cfg.params, &self.cfg.init, p);
+            }
             for world_rank in 0..2 * tiles {
                 let data = if world_rank == 0 {
                     std::mem::take(&mut buf)
@@ -1793,7 +2189,7 @@ impl<'a> RankSolver<'a> {
                     self.world.recv_f64s(world_rank, TAG_GATHER)
                 };
                 let (panel, pr) = panel_of_world(world_rank, tiles);
-                let t = decomp.tile(pr);
+                let t = self.decomp.tile(pr);
                 let region = Region {
                     i0: 0,
                     i1: nr,
@@ -1924,5 +2320,44 @@ mod tests {
         assert!(geomath::approx_eq(s_last.thermal, p_last.thermal, 1e-12));
         assert!(geomath::approx_eq(s_last.mass, p_last.mass, 1e-12));
         assert_eq!(s_last.max_speed, p_last.max_speed); // max is exact
+    }
+
+    #[test]
+    fn failure_policy_parses_and_rejects() {
+        assert_eq!(FailurePolicy::parse("retry").unwrap(), FailurePolicy::Retry);
+        assert_eq!(FailurePolicy::parse("retile").unwrap(), FailurePolicy::Retile);
+        assert_eq!(FailurePolicy::parse("abort").unwrap(), FailurePolicy::Abort);
+        let err = FailurePolicy::parse("panic").unwrap_err();
+        assert_eq!(err, "on_failure: expected retry|retile|abort, got 'panic'");
+        assert_eq!(FailurePolicy::Retile.name(), "retile");
+    }
+
+    #[test]
+    fn weights_mode_parses_and_rejects() {
+        assert_eq!(WeightsMode::parse("uniform").unwrap(), WeightsMode::Uniform);
+        assert_eq!(WeightsMode::parse("measured").unwrap(), WeightsMode::Measured);
+        let err = WeightsMode::parse("guessed").unwrap_err();
+        assert_eq!(err, "weights: expected uniform|measured, got 'guessed'");
+        assert_eq!(WeightsMode::Measured.name(), "measured");
+    }
+
+    #[test]
+    fn recovery_opts_check_rejects_bad_combinations() {
+        let ok = RecoveryOpts::default();
+        assert!(ok.check().is_ok());
+        let zero_retiles = RecoveryOpts {
+            on_failure: FailurePolicy::Retile,
+            max_retiles: 0,
+            ..RecoveryOpts::default()
+        };
+        let err = zero_retiles.check().unwrap_err();
+        assert!(err.contains("max_retiles must be at least 1"), "unexpected: {err}");
+        let dead = RecoveryOpts { deadline: Duration::ZERO, ..RecoveryOpts::default() };
+        assert!(dead.check().unwrap_err().contains("deadline"));
+        let slow = RecoveryOpts {
+            retile_backoff: Duration::from_secs(120),
+            ..RecoveryOpts::default()
+        };
+        assert!(slow.check().unwrap_err().contains("retile_backoff"));
     }
 }

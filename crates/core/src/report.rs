@@ -68,6 +68,101 @@ pub struct RecoveryEvent {
     pub cause: String,
 }
 
+/// One elastic layout change: the supervisor excluded a persistently
+/// failing node and re-tiled the run onto the survivors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetileRecord {
+    /// 1-based index of the pass whose failure triggered the retile.
+    pub pass: u32,
+    /// Layout before the shrink, `(pth, pph)`.
+    pub from: (usize, usize),
+    /// Layout after the shrink.
+    pub to: (usize, usize),
+    /// Stable node id excluded from the survivor set.
+    pub excluded_node: usize,
+    /// Step the shrunk layout resumed from.
+    pub resume_step: u64,
+}
+
+/// The `elastic` section of the v3 report: supervisor failure policy,
+/// layout history, and partitioner balance. Always emitted — a serial
+/// or unsupervised run carries the defaults (no retiles, imbalance 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSummary {
+    /// Failure policy in effect (`retry` | `retile` | `abort`).
+    pub policy: String,
+    /// Partitioner weighting (`uniform` | `measured`).
+    pub weights: String,
+    /// Whether the run finished in degraded mode (widened checkpoint
+    /// cadence after a retile).
+    pub degraded: bool,
+    /// Tile layout the run finished on.
+    pub final_pth: usize,
+    /// Tile layout the run finished on.
+    pub final_pph: usize,
+    /// Nodes excluded by the persistent-fault classifier.
+    pub excluded_nodes: Vec<usize>,
+    /// Every layout change, in order.
+    pub retiles: Vec<RetileRecord>,
+    /// Partitioner-predicted load imbalance (max tile cost / mean).
+    pub predicted_imbalance: f64,
+    /// Measured per-rank compute-time imbalance of the final pass
+    /// (max rank compute time / mean).
+    pub achieved_imbalance: f64,
+}
+
+impl Default for ElasticSummary {
+    fn default() -> Self {
+        ElasticSummary {
+            policy: "retry".into(),
+            weights: "uniform".into(),
+            degraded: false,
+            final_pth: 0,
+            final_pph: 0,
+            excluded_nodes: Vec::new(),
+            retiles: Vec::new(),
+            predicted_imbalance: 1.0,
+            achieved_imbalance: 1.0,
+        }
+    }
+}
+
+impl ElasticSummary {
+    fn to_json(&self) -> String {
+        let retiles: Vec<String> = self
+            .retiles
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        r#"{{"pass":{},"from_pth":{},"from_pph":{},"to_pth":{},"#,
+                        r#""to_pph":{},"excluded_node":{},"resume_step":{}}}"#
+                    ),
+                    r.pass, r.from.0, r.from.1, r.to.0, r.to.1, r.excluded_node, r.resume_step,
+                )
+            })
+            .collect();
+        let excluded: Vec<String> =
+            self.excluded_nodes.iter().map(|n| n.to_string()).collect();
+        format!(
+            concat!(
+                r#"{{"policy":"{}","weights":"{}","degraded":{},"#,
+                r#""final_pth":{},"final_pph":{},"excluded_nodes":[{}],"#,
+                r#""retiles":[{}],"predicted_imbalance":{},"achieved_imbalance":{}}}"#
+            ),
+            escape(&self.policy),
+            escape(&self.weights),
+            self.degraded,
+            self.final_pth,
+            self.final_pph,
+            excluded.join(","),
+            retiles.join(","),
+            num(self.predicted_imbalance),
+            num(self.achieved_imbalance),
+        )
+    }
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -104,6 +199,9 @@ pub struct RunReport {
     /// Supervisor interventions (rollbacks), in order; empty for
     /// unsupervised and fault-free runs.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Elastic-decomposition summary (failure policy, layout history,
+    /// partitioner balance). Defaults for serial/unsupervised runs.
+    pub elastic: ElasticSummary,
     /// Per-kernel performance counters over the stepping window, merged
     /// across every rank (all-zero when counters were disabled). The
     /// per-kernel FLOPs sum to `flops` exactly when enabled — the
@@ -156,13 +254,14 @@ impl RunReport {
 
     /// Render the report as a stable, schema-versioned JSON artifact.
     ///
-    /// The schema identifier is `yy.runreport.v2`; consumers key on it
+    /// The schema identifier is `yy.runreport.v3`; consumers key on it
     /// and on field presence. Fields are only ever *added* within a
-    /// schema version — renames or removals bump the version. v2 is a
-    /// strict superset of v1: it adds the `kernels` table (per-kernel
-    /// counters + derived rates) and changes nothing else, so a v1
-    /// reader that ignores unknown fields keeps working (pinned by the
-    /// `v1_reader_keeps_working_on_v2_output` test). All histogram and
+    /// schema version — renames or removals bump the version. v3 is a
+    /// strict superset of v2 (which was a strict superset of v1): it
+    /// adds the `elastic` section (supervisor failure policy, retile
+    /// history, partitioner balance) and changes nothing else, so v1/v2
+    /// readers that ignore unknown fields keep working (pinned by the
+    /// `v2_reader_keeps_working_on_v3_output` test). All histogram and
     /// counter values are exact integers, so the artifact is bitwise
     /// reproducible for a deterministic run.
     pub fn to_json(&self) -> String {
@@ -248,7 +347,7 @@ impl RunReport {
         format!(
             concat!(
                 "{{\n",
-                "\"schema\":\"yy.runreport.v2\",\n",
+                "\"schema\":\"yy.runreport.v3\",\n",
                 "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
                 "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
                 "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
@@ -256,6 +355,7 @@ impl RunReport {
                 "\"histograms\":{},\n",
                 "\"kernels\":[{}],\n",
                 "\"recoveries\":[{}],\n",
+                "\"elastic\":{},\n",
                 "\"series\":[{}]\n",
                 "}}\n"
             ),
@@ -273,6 +373,7 @@ impl RunReport {
             hists,
             kernels.join(",\n"),
             recoveries.join(","),
+            self.elastic.to_json(),
             series.join(","),
         )
     }
@@ -358,7 +459,7 @@ mod tests {
             diag: Diagnostics::default(),
         });
         let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v2"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v3"));
         assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
         let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
         assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
@@ -395,6 +496,80 @@ mod tests {
         assert_eq!(rhs.get("vector_elements").unwrap().as_f64(), Some(64.0));
         assert_eq!(rhs.get("avg_vector_length").unwrap().as_f64(), Some(8.0));
         assert!(rhs.get("intensity").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    /// The v2→v3 compatibility contract: a reader written against
+    /// `yy.runreport.v2` — which keys on field presence, not the schema
+    /// string — must keep working on v3 output, since v3 only *adds*
+    /// the `elastic` section. This test is that reader (it exercises
+    /// every v2 field, including the kernel table v2 itself added).
+    #[test]
+    fn v2_reader_keeps_working_on_v3_output() {
+        use yy_obs::Json;
+        let r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            ..Default::default()
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        // The v2 reader reads the kernel table and every v1 field; it
+        // never touches (or needs) the new `elastic` section.
+        let table = doc.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(table.len(), kernel::COUNT);
+        for row in table {
+            assert!(row.get("name").and_then(|n| n.as_str()).is_some());
+            assert!(row.get("mflops").and_then(|v| v.as_f64()).is_some());
+        }
+        for field in ["time", "steps", "flops", "wall_seconds", "grid_points"] {
+            assert!(doc.get(field).and_then(|v| v.as_f64()).is_some(), "v2 field {field}");
+        }
+        assert!(doc.get("recoveries").unwrap().as_arr().is_some());
+    }
+
+    /// The v3 `elastic` section: always present, schema-stable keys,
+    /// retile records carried through.
+    #[test]
+    fn elastic_section_lands_in_the_artifact() {
+        use yy_obs::Json;
+        let mut r = RunReport::default();
+        r.elastic = ElasticSummary {
+            policy: "retile".into(),
+            weights: "measured".into(),
+            degraded: true,
+            final_pth: 1,
+            final_pph: 2,
+            excluded_nodes: vec![1],
+            retiles: vec![RetileRecord {
+                pass: 2,
+                from: (2, 2),
+                to: (1, 2),
+                excluded_node: 1,
+                resume_step: 4,
+            }],
+            predicted_imbalance: 1.07,
+            achieved_imbalance: 1.15,
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let e = doc.get("elastic").expect("elastic section");
+        assert_eq!(e.get("policy").unwrap().as_str(), Some("retile"));
+        assert_eq!(e.get("weights").unwrap().as_str(), Some("measured"));
+        assert_eq!(e.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(e.get("final_pth").unwrap().as_f64(), Some(1.0));
+        assert_eq!(e.get("final_pph").unwrap().as_f64(), Some(2.0));
+        let retiles = e.get("retiles").unwrap().as_arr().unwrap();
+        assert_eq!(retiles.len(), 1);
+        assert_eq!(retiles[0].get("excluded_node").unwrap().as_f64(), Some(1.0));
+        assert_eq!(retiles[0].get("to_pph").unwrap().as_f64(), Some(2.0));
+        assert_eq!(e.get("predicted_imbalance").unwrap().as_f64(), Some(1.07));
+        assert_eq!(e.get("achieved_imbalance").unwrap().as_f64(), Some(1.15));
+        // Default reports still carry the section (schema-checked in CI).
+        let plain = Json::parse(&RunReport::default().to_json()).unwrap();
+        let e = plain.get("elastic").expect("default elastic section");
+        assert_eq!(e.get("retiles").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(e.get("achieved_imbalance").unwrap().as_f64(), Some(1.0));
     }
 
     /// The v1→v2 compatibility contract: a reader written against

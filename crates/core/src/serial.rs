@@ -452,6 +452,7 @@ impl SerialSim {
             step_wall: step_wall.snapshot(),
             queue_depth: Default::default(),
             recoveries: Vec::new(),
+            elastic: Default::default(),
             kernels: self.meter.counters().snapshot(),
             series,
         }

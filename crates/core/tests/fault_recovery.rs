@@ -5,7 +5,8 @@
 use std::time::Duration;
 use yy_mhd::State;
 use yy_parcomm::FaultSpec;
-use yycore::parallel::{run_parallel, run_parallel_supervised, RecoveryOpts};
+use yycore::checkpoint::Checkpoint;
+use yycore::parallel::{run_parallel, run_parallel_supervised, FailurePolicy, RecoveryOpts};
 use yycore::{HealthLimits, RunConfig, SerialSim};
 
 fn quick_cfg() -> RunConfig {
@@ -130,4 +131,118 @@ fn persistent_health_violation_degrades_then_reports() {
         .expect_err("impossible health limit must fail gracefully");
     assert!(err.contains("density floor"), "unexpected error: {err}");
     assert!(err.contains("dt reductions"), "unexpected error: {err}");
+}
+
+fn checkpoint_bytes(ck: &Checkpoint) -> Vec<u8> {
+    let mut v = Vec::new();
+    ck.write_to(&mut v).expect("serialize checkpoint");
+    v
+}
+
+/// A node that dies the same way on every retry is a *persistent* fault.
+/// Under `on_failure=retile` the supervisor excludes it, shrinks the
+/// layout 2×2 → 1×2, finishes in degraded mode — and the final
+/// checkpoint is byte-identical to an uninterrupted serial run.
+#[test]
+fn persistent_kill_retiles_and_matches_serial_bytewise() {
+    let cfg = quick_cfg();
+    let mut serial = SerialSim::new(cfg.clone());
+    serial.run(6, 0);
+    let serial_ck = checkpoint_bytes(&Checkpoint::capture(&serial));
+
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(42).with_persistent_kill(1, 4),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        on_failure: FailurePolicy::Retile,
+        max_retiles: 2,
+        retile_backoff: Duration::from_millis(1),
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&cfg, 2, 2, 6, 0, &opts)
+        .expect("persistent kill must be survived by re-tiling");
+    assert_eq!(sup.retiles.len(), 1, "exactly one shrink: {:?}", sup.retiles);
+    let rt = &sup.retiles[0];
+    assert_eq!(rt.from, (2, 2));
+    assert_eq!(rt.to, (1, 2));
+    assert_eq!(rt.excluded_node, 1);
+    assert_eq!(sup.final_layout, (1, 2));
+    assert_eq!(sup.excluded_nodes, vec![1]);
+    assert!(sup.degraded, "a shrunk run finishes in degraded mode");
+    assert!(
+        sup.recoveries.iter().any(|ev| ev.cause.contains("persistent fault")),
+        "the classifier's verdict is recorded: {:?}",
+        sup.recoveries
+    );
+    assert!(sup.passes.len() >= 2, "per-pass stats cover kill and resume passes");
+    assert_eq!(sup.final_checkpoint.step, 6);
+    assert_eq!(
+        checkpoint_bytes(&sup.final_checkpoint),
+        serial_ck,
+        "re-tiled trajectory must stay byte-identical to serial"
+    );
+}
+
+/// The same persistent fault under `on_failure=retry` must not burn the
+/// whole retry budget: two identical deaths classify it, and the run
+/// fails fast with an error that names the fix.
+#[test]
+fn persistent_kill_under_retry_fails_fast_with_structured_error() {
+    let cfg = quick_cfg();
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(42).with_persistent_kill(1, 4),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        max_recoveries: 20,
+        ..RecoveryOpts::default()
+    };
+    let err = run_parallel_supervised(&cfg, 2, 2, 6, 0, &opts)
+        .expect_err("retry cannot outlast a deterministic fault");
+    assert!(err.contains("persistent fault"), "unexpected error: {err}");
+    assert!(err.contains("node 1"), "names the faulty node: {err}");
+    assert!(err.contains("failed identically 2 times"), "counts the deaths: {err}");
+    assert!(err.contains("on_failure=retile"), "points at the remedy: {err}");
+}
+
+/// `on_failure=abort` surfaces the very first failure as an error
+/// without any rollback.
+#[test]
+fn abort_policy_fails_on_first_fault() {
+    let cfg = quick_cfg();
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(42).with_kill(1, 2),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        on_failure: FailurePolicy::Abort,
+        ..RecoveryOpts::default()
+    };
+    let err = run_parallel_supervised(&cfg, 1, 2, 4, 0, &opts)
+        .expect_err("abort policy must not retry");
+    assert!(err.contains("on_failure=abort"), "unexpected error: {err}");
+    assert!(err.contains("injected kill"), "carries the cause: {err}");
+}
+
+/// Exhausting the retile budget is reported, not retried forever: with
+/// `max_retiles=1` a second persistent fault (on the shrunk layout) must
+/// surface the budget error. A single persistent node only triggers one
+/// shrink, so this drives the ladder with two.
+#[test]
+fn retile_budget_exhaustion_reports() {
+    let cfg = quick_cfg();
+    let opts = RecoveryOpts {
+        // Node 1 dies at step 4 forever; after exclusion and the 2×2→1×2
+        // shrink, node 0 starts dying at step 2 forever.
+        fault: FaultSpec::seeded(42)
+            .with_persistent_kill(1, 4)
+            .with_persistent_kill(0, 2),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        on_failure: FailurePolicy::Retile,
+        max_retiles: 1,
+        retile_backoff: Duration::from_millis(1),
+        ..RecoveryOpts::default()
+    };
+    let err = run_parallel_supervised(&cfg, 2, 2, 6, 0, &opts)
+        .expect_err("a second persistent fault must exhaust max_retiles=1");
+    assert!(err.contains("giving up after 1 re-tiles"), "unexpected error: {err}");
 }

@@ -117,3 +117,75 @@ fn delayed_messages_do_not_break_kernel_exactness() {
     assert_states_bit_identical("undelayed yin", &fused.yin, &undelayed.yin);
     assert_states_bit_identical("undelayed yang", &fused.yang, &undelayed.yang);
 }
+
+/// Restart across layouts preserves kernel exactness: a fused run split
+/// as (run to step 2 on layout A) → (checkpoint) → (resume to step 4 on
+/// layout B) lands on the same bits as an unbroken *reference-kernel*
+/// serial trajectory — for every (A, B) pair drawn from serial, 1×2 and
+/// 2×1 tiles. The checkpoint hop must be invisible to the arithmetic.
+#[test]
+fn restart_across_layouts_preserves_kernel_exactness() {
+    use yycore::checkpoint::Checkpoint;
+
+    let total = 2 * STEPS;
+    // Unbroken serial reference trajectory, pre-rewrite kernels.
+    let mut reference = SerialSim::new(cfg(true));
+    let dt = reference.auto_dt();
+    for _ in 0..total {
+        reference.advance(dt);
+    }
+
+    // Checkpoint at STEPS on layout A (fused kernels throughout).
+    let capture_on = |layout: Option<(usize, usize)>| -> Checkpoint {
+        match layout {
+            None => {
+                let mut sim = SerialSim::new(cfg(false));
+                sim.run(STEPS, 0);
+                Checkpoint::capture(&sim)
+            }
+            Some((pth, pph)) => {
+                let opts = RecoveryOpts {
+                    checkpoint_every: 0,
+                    deadline: Duration::from_secs(60),
+                    ..RecoveryOpts::default()
+                };
+                run_parallel_supervised(&cfg(false), pth, pph, STEPS, 0, &opts)
+                    .expect("capture run completes")
+                    .final_checkpoint
+            }
+        }
+    };
+    let resume_on = |ck: &Checkpoint, layout: Option<(usize, usize)>| -> Checkpoint {
+        match layout {
+            None => {
+                let mut sim = SerialSim::new(cfg(false));
+                ck.restore(&mut sim);
+                sim.run(total - ck.step, 0);
+                Checkpoint::capture(&sim)
+            }
+            Some((pth, pph)) => {
+                let opts = RecoveryOpts {
+                    resume_from: Some(ck.clone()),
+                    deadline: Duration::from_secs(60),
+                    ..RecoveryOpts::default()
+                };
+                run_parallel_supervised(&cfg(false), pth, pph, total, 0, &opts)
+                    .expect("resume run completes")
+                    .final_checkpoint
+            }
+        }
+    };
+
+    let layouts = [None, Some((1, 2)), Some((2, 1))];
+    for from in layouts {
+        let ck = capture_on(from);
+        assert_eq!(ck.step, STEPS);
+        for to in layouts {
+            let out = resume_on(&ck, to);
+            let tag = format!("{from:?} -> {to:?}");
+            assert_eq!(out.step, total, "{tag}");
+            assert_states_bit_identical(&format!("{tag} yin"), &out.yin, &reference.yin);
+            assert_states_bit_identical(&format!("{tag} yang"), &out.yang, &reference.yang);
+        }
+    }
+}

@@ -103,6 +103,14 @@ fn push_event(out: &mut Vec<String>, rank: usize, te: &TimedEvent) {
             r#"{{"name":"rollback","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"ckpt","args":{{"pass":{pass},"resume_step":{resume_step}}}}}"#,
             us(te.ts_ns),
         )),
+        Event::Retile { pth, pph, pass, resume_step } => out.push(format!(
+            r#"{{"name":"retile","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"elastic","args":{{"pth":{pth},"pph":{pph},"pass":{pass},"resume_step":{resume_step}}}}}"#,
+            us(te.ts_ns),
+        )),
+        Event::Degraded { pass, checkpoint_every } => out.push(format!(
+            r#"{{"name":"degraded","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"elastic","args":{{"pass":{pass},"checkpoint_every":{checkpoint_every}}}}}"#,
+            us(te.ts_ns),
+        )),
         Event::StepBegin { step } => out.push(format!(
             r#"{{"name":"step {step}","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{},"cat":"step","args":{{"step":{step}}}}}"#,
             us(te.ts_ns),
@@ -166,6 +174,10 @@ pub struct TraceCheck {
     pub flow_finishes: usize,
     /// `"kill injected"` instants.
     pub kills: usize,
+    /// `"retile"` instants (elastic layout changes).
+    pub retiles: usize,
+    /// `"degraded"` instants (degraded-mode entries).
+    pub degrades: usize,
     /// Distinct `tid` tracks seen (metadata excluded).
     pub tracks: usize,
     /// `"C"` counter samples.
@@ -239,6 +251,10 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
             "i" => {
                 if name == "kill injected" {
                     check.kills += 1;
+                } else if name == "retile" {
+                    check.retiles += 1;
+                } else if name == "degraded" {
+                    check.degrades += 1;
                 }
             }
             "C" => {
@@ -294,6 +310,11 @@ mod tests {
             TimedEvent { ts_ns: 8_500, event: Event::HealthViolation { code: 1, step: 3 } },
             TimedEvent { ts_ns: 8_600, event: Event::Rollback { pass: 1, resume_step: 2 } },
             TimedEvent { ts_ns: 8_700, event: Event::FaultInjected { kind: 0, peer: 0, param: 2 } },
+            TimedEvent {
+                ts_ns: 8_800,
+                event: Event::Retile { pth: 1, pph: 2, pass: 2, resume_step: 4 },
+            },
+            TimedEvent { ts_ns: 8_900, event: Event::Degraded { pass: 2, checkpoint_every: 4 } },
         ];
         vec![RankTrace { rank: 0, events: t0 }, RankTrace { rank: 1, events: t1 }]
     }
@@ -304,6 +325,8 @@ mod tests {
         let check = validate_chrome_trace(&doc).expect("trace must validate");
         assert_eq!(check.spans, 1);
         assert_eq!(check.kills, 1);
+        assert_eq!(check.retiles, 1);
+        assert_eq!(check.degrades, 1);
         assert_eq!(check.flow_starts, 1);
         assert_eq!(check.flow_finishes, 1);
         assert_eq!(check.tracks, 2);

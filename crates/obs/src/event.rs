@@ -156,6 +156,8 @@ const D_CKPT: u8 = 7;
 const D_ROLLBACK: u8 = 8;
 const D_STEP: u8 = 9;
 const D_COUNTER: u8 = 10;
+const D_RETILE: u8 = 11;
+const D_DEGRADED: u8 = 12;
 
 /// One flight-recorder event. See the module docs for the wire layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +236,26 @@ pub enum Event {
         /// The step number.
         step: u64,
     },
+    /// The supervisor re-tiled the run onto a new process layout
+    /// (elastic recovery after a persistent rank fault).
+    Retile {
+        /// θ tile count of the new layout.
+        pth: u16,
+        /// φ tile count of the new layout.
+        pph: u16,
+        /// Pass index the retile happened after.
+        pass: u64,
+        /// Step the shrunk layout resumes from.
+        resume_step: u64,
+    },
+    /// The supervisor entered degraded mode (checkpoint cadence widened
+    /// after the first retile).
+    Degraded {
+        /// Pass index degraded mode began after.
+        pass: u64,
+        /// The widened checkpoint cadence now in effect.
+        checkpoint_every: u64,
+    },
     /// A periodic counter sample: one point on a [`counter`] track
     /// (Chrome "C"-phase records, so Perfetto plots the series).
     CounterSample {
@@ -285,6 +307,12 @@ impl Event {
                 [head(D_ROLLBACK, 0, 0, 0), pass, resume_step]
             }
             Event::StepBegin { step } => [head(D_STEP, 0, 0, 0), step, 0],
+            Event::Retile { pth, pph, pass, resume_step } => {
+                [head(D_RETILE, 0, pth, pph as u32), pass, resume_step]
+            }
+            Event::Degraded { pass, checkpoint_every } => {
+                [head(D_DEGRADED, 0, 0, 0), pass, checkpoint_every]
+            }
             Event::CounterSample { id, value_bits } => {
                 [head(D_COUNTER, id, 0, 0), value_bits, 0]
             }
@@ -308,6 +336,8 @@ impl Event {
             D_CKPT => Event::CheckpointSaved { step: a },
             D_ROLLBACK => Event::Rollback { pass: a, resume_step: b },
             D_STEP => Event::StepBegin { step: a },
+            D_RETILE => Event::Retile { pth: tag16, pph: peer as u16, pass: a, resume_step: b },
+            D_DEGRADED => Event::Degraded { pass: a, checkpoint_every: b },
             D_COUNTER => Event::CounterSample { id: sub, value_bits: a },
             _ => return None,
         })
@@ -350,6 +380,9 @@ mod tests {
         roundtrip(Event::CheckpointSaved { step: 2 });
         roundtrip(Event::Rollback { pass: 1, resume_step: 4 });
         roundtrip(Event::StepBegin { step: 0 });
+        roundtrip(Event::Retile { pth: 1, pph: 2, pass: 3, resume_step: 4 });
+        roundtrip(Event::Retile { pth: u16::MAX, pph: u16::MAX, pass: u64::MAX, resume_step: 0 });
+        roundtrip(Event::Degraded { pass: 2, checkpoint_every: 8 });
         roundtrip(Event::counter_sample(counter::TOTAL_MFLOPS, 1234.5));
         roundtrip(Event::counter_sample(0, -0.0));
     }

@@ -69,6 +69,12 @@ pub(crate) struct RuntimeCtl {
     /// `dead[w]` is set by the supervised runtime the moment world rank
     /// `w` starts unwinding, so peers stop waiting for it.
     pub dead: Vec<AtomicBool>,
+    /// World rank → stable node id. A fault plan addresses *nodes*, not
+    /// world ranks: when a supervisor re-tiles a shrunk universe onto
+    /// the surviving nodes, this map keeps a persistent kill pinned to
+    /// the same broken machine instead of whichever rank inherited its
+    /// old index. The identity map in plain universes.
+    pub nodes: Vec<usize>,
     /// Fault injection plan, if any.
     pub fault: Option<Arc<FaultPlan>>,
     /// Bound on any single receive; `None` means unbounded (plain
@@ -84,6 +90,7 @@ impl RuntimeCtl {
     pub fn plain(nprocs: usize) -> Self {
         RuntimeCtl {
             dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+            nodes: (0..nprocs).collect(),
             fault: None,
             deadline: None,
             retry_base: Duration::from_micros(200),
@@ -227,13 +234,23 @@ impl Comm {
     pub fn fault_tick(&self, step: u64) {
         if let Some(plan) = &self.world.ctl.fault {
             let me = self.members[self.rank];
-            if plan.maybe_kill(me, step) {
+            // Kills address stable node ids, not world ranks: after a
+            // re-tile the same broken node keeps dying, and a shrunk
+            // universe that stopped scheduling it stops dying.
+            let node = self.world.ctl.nodes[me];
+            if plan.maybe_kill(node, step) {
                 // Record the kill *before* unwinding so the post-mortem
                 // trace shows why this track goes silent.
                 self.record_event(Event::KillInjected { step });
                 std::panic::panic_any(InjectedKill { rank: me, step });
             }
         }
+    }
+
+    /// Stable node id this rank is scheduled on (the identity in plain
+    /// universes; survivor-set mapping in re-tiled supervised ones).
+    pub fn node_id(&self) -> usize {
+        self.world.ctl.nodes[self.members[self.rank]]
     }
 
     fn check_peer(&self, peer: usize, what: &str) {

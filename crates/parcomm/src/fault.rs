@@ -49,10 +49,19 @@ use std::time::{Duration, Instant};
 /// Kill one rank when it reaches a given step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KillSpec {
-    /// World rank to kill.
+    /// Node id to kill. Node ids are stable across universe
+    /// incarnations: a supervisor that re-tiles onto fewer ranks maps
+    /// each new world rank onto a surviving node id ([`crate::Comm`]'s
+    /// node map), so the kill keeps addressing the same "machine" no
+    /// matter how the layout shrinks. In a plain universe the map is the
+    /// identity and this is just the world rank.
     pub rank: usize,
     /// Step at which [`crate::Comm::fault_tick`] fires the kill.
     pub step: u64,
+    /// Whether the kill replays on every pass that reaches `step`
+    /// (a persistent hardware fault) instead of firing once per plan
+    /// lifetime (a transient one).
+    pub persistent: bool,
 }
 
 /// Seeded description of the faults to inject.
@@ -86,8 +95,10 @@ pub struct FaultSpec {
     /// Bound on consecutive losses of one message (≥ 1); guarantees
     /// retry convergence.
     pub max_resends: u32,
-    /// Optional rank kill.
-    pub kill: Option<KillSpec>,
+    /// Scheduled rank kills. Multiple entries model a sequence of
+    /// hardware losses — each node dies independently when it reaches
+    /// its step.
+    pub kills: Vec<KillSpec>,
 }
 
 impl FaultSpec {
@@ -103,7 +114,7 @@ impl FaultSpec {
             data_floor_bytes: 0,
             resend_after: Duration::from_millis(1),
             max_resends: 3,
-            kill: None,
+            kills: Vec::new(),
         }
     }
 
@@ -147,15 +158,24 @@ impl FaultSpec {
         self
     }
 
-    /// Schedule a one-shot rank kill.
+    /// Schedule a one-shot rank kill. Each call adds another kill.
     pub fn with_kill(mut self, rank: usize, step: u64) -> Self {
-        self.kill = Some(KillSpec { rank, step });
+        self.kills.push(KillSpec { rank, step, persistent: false });
+        self
+    }
+
+    /// Schedule a persistent rank kill: the node dies at `step` on
+    /// *every* pass, modelling broken hardware. A retry-only supervisor
+    /// can never get past it; survival requires excluding the node and
+    /// re-tiling onto the remainder.
+    pub fn with_persistent_kill(mut self, rank: usize, step: u64) -> Self {
+        self.kills.push(KillSpec { rank, step, persistent: true });
         self
     }
 
     /// Whether this spec injects anything at all.
     pub fn is_active(&self) -> bool {
-        self.drop_p > 0.0 || self.delay_p > 0.0 || self.duplicate_p > 0.0 || self.kill.is_some()
+        self.drop_p > 0.0 || self.delay_p > 0.0 || self.duplicate_p > 0.0 || !self.kills.is_empty()
     }
 }
 
@@ -222,7 +242,8 @@ pub struct FaultPlan {
     edges: Mutex<HashMap<(usize, usize), u64>>,
     /// Held messages per destination rank.
     limbo: Vec<Mutex<Vec<Held>>>,
-    kill_fired: AtomicBool,
+    /// One fired flag per entry of `spec.kills` (one-shot kills latch).
+    kill_fired: Vec<AtomicBool>,
     dropped: AtomicU64,
     delayed: AtomicU64,
     duplicated: AtomicU64,
@@ -236,11 +257,12 @@ impl FaultPlan {
             spec.drop_p + spec.delay_p + spec.duplicate_p <= 1.0 + 1e-12,
             "fault probabilities must sum to at most 1"
         );
+        let kill_fired = spec.kills.iter().map(|_| AtomicBool::new(false)).collect();
         FaultPlan {
             spec,
             edges: Mutex::new(HashMap::new()),
             limbo: (0..nprocs).map(|_| Mutex::new(Vec::new())).collect(),
-            kill_fired: AtomicBool::new(false),
+            kill_fired,
             dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
@@ -361,15 +383,25 @@ impl FaultPlan {
         self.limbo[dst].lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
-    /// Whether `rank` must die now, at `step`. Fires at most once per
-    /// plan lifetime (surviving supervisor restarts).
+    /// Whether the node `rank` must die now, at `step`. A one-shot kill
+    /// fires at most once per plan lifetime (surviving supervisor
+    /// restarts); a persistent kill fires on every pass that reaches
+    /// `step` — the node is broken until the supervisor stops scheduling
+    /// work on it.
     pub fn maybe_kill(&self, rank: usize, step: u64) -> bool {
-        match self.spec.kill {
-            Some(k) if k.rank == rank && k.step == step => {
-                !self.kill_fired.swap(true, Ordering::AcqRel)
+        for (k, fired) in self.spec.kills.iter().zip(&self.kill_fired) {
+            if k.rank != rank || k.step != step {
+                continue;
             }
-            _ => false,
+            if k.persistent {
+                fired.store(true, Ordering::Release);
+                return true;
+            }
+            if !fired.swap(true, Ordering::AcqRel) {
+                return true;
+            }
         }
+        false
     }
 
     /// Discard all limbo traffic. Must be called between universe
@@ -387,7 +419,7 @@ impl FaultPlan {
             dropped: self.dropped.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
-            kill_fired: self.kill_fired.load(Ordering::Relaxed),
+            kill_fired: self.kill_fired.iter().any(|f| f.load(Ordering::Relaxed)),
         }
     }
 }
@@ -485,6 +517,17 @@ mod tests {
         assert!(plan.maybe_kill(2, 5));
         assert!(!plan.maybe_kill(2, 5), "kill is one-shot");
         assert!(plan.stats().kill_fired);
+    }
+
+    #[test]
+    fn persistent_kill_replays_every_pass() {
+        let plan = FaultPlan::new(FaultSpec::seeded(1).with_persistent_kill(2, 5), 4);
+        assert!(!plan.maybe_kill(2, 4));
+        assert!(plan.maybe_kill(2, 5));
+        plan.begin_pass();
+        assert!(plan.maybe_kill(2, 5), "a persistent fault never heals");
+        assert!(plan.stats().kill_fired);
+        assert!(!plan.maybe_kill(3, 5), "other nodes stay alive");
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct SupervisedOpts {
     /// traces of a failed run possible. `None` (the default) leaves the
     /// comm layer's event sites as a single branch.
     pub recorders: Option<Arc<RecorderSet>>,
+    /// World rank → stable node id (length `nprocs`). A re-tiling
+    /// supervisor schedules a shrunk universe onto the surviving node
+    /// ids so a fault plan's kill keeps addressing the same broken
+    /// machine. `None` (the default) is the identity map.
+    pub nodes: Option<Vec<usize>>,
 }
 
 impl Default for SupervisedOpts {
@@ -85,6 +90,7 @@ impl Default for SupervisedOpts {
             deadline: Duration::from_secs(5),
             retry_base: Duration::from_micros(200),
             recorders: None,
+            nodes: None,
         }
     }
 }
@@ -225,10 +231,13 @@ impl Universe {
         R: Send,
     {
         assert!(nprocs >= 1, "universe needs at least one rank");
+        let nodes = opts.nodes.clone().unwrap_or_else(|| (0..nprocs).collect());
+        assert_eq!(nodes.len(), nprocs, "node map must cover every world rank");
         if let Some(plan) = &opts.fault {
+            let max_node = nodes.iter().copied().max().unwrap_or(0);
             assert!(
-                plan.nprocs() >= nprocs,
-                "fault plan covers {} ranks but universe has {nprocs}",
+                plan.nprocs() > max_node,
+                "fault plan covers {} nodes but the universe schedules node {max_node}",
                 plan.nprocs()
             );
         }
@@ -237,6 +246,7 @@ impl Universe {
             mailboxes: (0..nprocs).map(|_| Arc::new(Mailbox::new())).collect(),
             ctl: RuntimeCtl {
                 dead: (0..nprocs).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+                nodes,
                 fault: opts.fault.clone(),
                 deadline: Some(opts.deadline),
                 retry_base: opts.retry_base,
@@ -662,5 +672,44 @@ mod tests {
             fs.dropped + fs.delayed + fs.duplicated > 0,
             "the seeded plan should have injected something: {fs:?}"
         );
+    }
+
+    /// A persistent kill addresses a *node id*: a shrunk universe whose
+    /// node map excludes the broken node completes untouched, while one
+    /// that still schedules it dies at the same step every pass.
+    #[test]
+    fn node_map_steers_persistent_kills_onto_survivors() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec::seeded(5).with_persistent_kill(1, 3), 4));
+        let run = |nodes: Vec<usize>| {
+            let opts = SupervisedOpts {
+                fault: Some(Arc::clone(&plan)),
+                deadline: Duration::from_secs(5),
+                nodes: Some(nodes),
+                ..SupervisedOpts::default()
+            };
+            Universe::run_supervised(2, opts, |comm| {
+                for step in 0..6 {
+                    comm.fault_tick(step);
+                }
+                comm.node_id()
+            })
+        };
+        // Pass 1: node 1 is scheduled as world rank 1 and dies. Pass 2:
+        // same — the fault is persistent. Pass 3: the survivor map skips
+        // node 1 entirely and both ranks finish.
+        for pass in 0..2 {
+            plan.begin_pass();
+            let out = run(vec![0, 1]);
+            assert!(out[0].is_ok(), "node 0 survives pass {pass}");
+            assert!(
+                matches!(&out[1], Err(f) if matches!(f.kind, FailureKind::InjectedKill { step: 3 })),
+                "node 1 must die again on pass {pass}: {:?}",
+                out[1]
+            );
+        }
+        plan.begin_pass();
+        let out = run(vec![0, 2]);
+        assert_eq!(out[0].as_ref().ok(), Some(&0));
+        assert_eq!(out[1].as_ref().ok(), Some(&2), "world rank 1 now runs on node 2");
     }
 }

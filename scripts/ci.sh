@@ -33,6 +33,50 @@ soak="pth=1 pph=2 steps=6 sample=0 nr=12 nth=9"
 cmp "$soak_dir/clean.ck" "$soak_dir/fault.ck"
 echo "OK: recovered trajectory is bit-identical to the fault-free run"
 
+echo "==> chaos soak: permanent rank loss must re-tile 2x2 -> 1x2 and finish byte-identical"
+# Reference: an uninterrupted serial run writing the same trajectory.
+./target/release/yycore run steps=8 sample=0 nr=12 nth=9 \
+  ckpt="$soak_dir/chaos-serial.ck" >/dev/null 2>&1
+# Chaos run: node 1 dies at step 5 on *every* pass (broken hardware).
+# Retry alone can never finish; the supervisor must classify the fault
+# as persistent, exclude the node, shrink the layout, and continue.
+./target/release/yycore parallel pth=2 pph=2 steps=8 sample=0 nr=12 nth=9 \
+  ckpt_every=2 ckpt="$soak_dir/chaos.ck" \
+  report_json="$soak_dir/chaos-report.json" trace="$soak_dir/chaos-trace.json" \
+  kill_rank=1 kill_step=5 kill_persistent=1 \
+  on_failure=retile max_retiles=2 retile_backoff_ms=10 weights=measured \
+  >/dev/null 2>"$soak_dir/chaos.log"
+grep -q 'retiled: pass .* 2x2 -> 1x2' "$soak_dir/chaos.log" || {
+  echo "ERROR: chaos run did not report a 2x2 -> 1x2 re-tile" >&2
+  cat "$soak_dir/chaos.log" >&2; exit 1; }
+grep -q 'degraded mode' "$soak_dir/chaos.log" || {
+  echo "ERROR: chaos run did not enter degraded mode" >&2; exit 1; }
+cmp "$soak_dir/chaos-serial.ck" "$soak_dir/chaos.ck"
+echo "OK: re-tiled trajectory is byte-identical to the clean serial run"
+# The v3 report carries the elastic section with the retile record and
+# the partitioner's predicted-vs-achieved imbalance.
+for key in '"elastic"' '"policy":"retile"' '"weights":"measured"' \
+    '"degraded":true' '"retiles"' '"excluded_node":1' \
+    '"predicted_imbalance"' '"achieved_imbalance"'; do
+  grep -q "$key" "$soak_dir/chaos-report.json" || {
+    echo "ERROR: chaos report missing $key" >&2; exit 1; }
+done
+# The Chrome trace carries the retile/degrade instants.
+chaos_tc=$(./target/release/yycore tracecheck "$soak_dir/chaos-trace.json")
+echo "$chaos_tc" | grep -qE ' [1-9][0-9]* retile' || {
+  echo "ERROR: chaos trace has no retile instants" >&2; exit 1; }
+echo "$chaos_tc" | grep -qE ' [1-9][0-9]* degrade' || {
+  echo "ERROR: chaos trace has no degrade instants" >&2; exit 1; }
+echo "OK: retile recorded in v3 report and Chrome trace"
+
+echo "==> elastic restart smoke: serial checkpoint resumes onto a shrunk layout"
+./target/release/yycore run steps=4 sample=0 nr=12 nth=9 \
+  ckpt="$soak_dir/mid.ck" >/dev/null 2>&1
+./target/release/yycore parallel pth=1 pph=2 steps=8 sample=0 nr=12 nth=9 \
+  resume="$soak_dir/mid.ck" ckpt="$soak_dir/resumed.ck" >/dev/null 2>&1
+cmp "$soak_dir/chaos-serial.ck" "$soak_dir/resumed.ck"
+echo "OK: restart onto 1x2 is byte-identical to the unbroken run"
+
 echo "==> observability smoke: faulted supervised run leaves a post-mortem trace"
 ./target/release/yycore parallel $soak trace="$soak_dir/trace.json" \
   log="$soak_dir/run.jsonl" report_json="$soak_dir/report.json" \
@@ -46,7 +90,7 @@ echo "$pm"
 echo "$pm" | grep -qE ' [1-9][0-9]* kill' || {
   echo "ERROR: post-mortem trace has no kill event" >&2; exit 1; }
 ./target/release/yycore tracecheck "$soak_dir/trace.json" >/dev/null
-grep -q '"schema":"yy.runreport.v2"' "$soak_dir/report.json" || {
+grep -q '"schema":"yy.runreport.v3"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing schema tag" >&2; exit 1; }
 grep -q '"recv_wait_ns"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing recv-wait histogram" >&2; exit 1; }
@@ -105,7 +149,7 @@ YY_BENCH_STEP_DELAY_US=500 \
 BENCH_STEP_JSON="$soak_dir/BENCH_step.json" \
   cargo bench -p yy-bench --bench step --offline >/dev/null
 for key in speedup_overlapped_vs_blocking hidden_comm_fraction median_ns_per_step \
-    kernel_bound; do
+    kernel_bound retiles steps_per_sec_before_shrink steps_per_sec_after_shrink; do
   grep -q "$key" "$soak_dir/BENCH_step.json" || {
     echo "ERROR: BENCH_step.json missing '$key'" >&2; exit 1; }
 done
