@@ -5,6 +5,9 @@
 //! yycore resume   <ckpt> [key=value]   continue from a checkpoint
 //! yycore slice    <ckpt> [out_dir]     equatorial/meridional slices from a checkpoint
 //! yycore parallel [key=value ...]      run the flat-MPI-style parallel driver
+//! yycore merge    <shard_dir> <out.ck> [step=N] [key=value]
+//!                                      reassemble per-rank checkpoint shards
+//!                                      into a serial-format checkpoint
 //! yycore profile  [key=value ...]      serial run + per-kernel roofline table
 //!                                      and measured-profile ES projection
 //! yycore tables                        print Tables I-III and List 1
@@ -34,6 +37,22 @@
 //!                  duration of the run. Routes through the supervised
 //!                  driver.
 //!
+//! output-pipeline keys (see DESIGN.md §6h):
+//!   snapshot_every=N (run) stream an equatorial temperature slice
+//!                  every N steps plus the live energy CSV into
+//!                  snap_dir, through the double-buffered writer
+//!   snap_dir=PATH  (run) directory for streamed products [default out]
+//!   ckpt_dir=PATH  (parallel) write per-rank checkpoint shards here at
+//!                  every checkpoint (pair with ckpt_every=N); restart
+//!                  with resume=PATH pointing at the directory, or
+//!                  reassemble with `yycore merge`. Routes through the
+//!                  supervised driver.
+//!   ckpt_async=B   0|1 — write shards on a background writer thread,
+//!                  overlapped with the next steps' compute [default 1]
+//!   ckpt_compress=C  none|rle|delta shard payload codec: rle is
+//!                  self-contained run-length coding, delta XORs
+//!                  against the previous shard first    [default none]
+//!
 //! fault-tolerance keys (parallel only; any of them switches the run to
 //! the supervised driver, which recovers from the last checkpoint):
 //!   fault_seed=N   deterministic fault-schedule seed  [default 0]
@@ -56,9 +75,10 @@
 //!   weights=W      uniform|measured tile cuts — measured balances
 //!                  per-column cost from a serial probe's kernel
 //!                  counters                             [default uniform]
-//!   resume=PATH    start from this serial-format checkpoint (any
-//!                  producer: serial run or any tile layout — restarts
-//!                  are layout-portable and bit-exact)
+//!   resume=PATH    start from this serial-format checkpoint, or from a
+//!                  shard directory (the newest complete shard set is
+//!                  merged first). Any producer: serial run or any tile
+//!                  layout — restarts are layout-portable and bit-exact
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -67,13 +87,16 @@ use std::time::Duration;
 use yy_obs::JsonlLogger;
 use yy_parcomm::FaultSpec;
 use yycore::checkpoint::Checkpoint;
+use yycore::output::{is_shard_dir, merge_shards};
 use yycore::parallel::{run_parallel_supervised, FailurePolicy, RecoveryOpts, WeightsMode};
-use yycore::{run_parallel_with_mode, ObsOpts, RunConfig, SerialSim, SyncMode};
+use yycore::{
+    run_parallel_with_mode, CkptCodec, ObsOpts, RunConfig, SerialSim, StreamOpts, SyncMode,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: yycore <run|resume|slice|parallel|tables> [args]");
+        eprintln!("usage: yycore <run|resume|slice|parallel|merge|tables> [args]");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
@@ -82,6 +105,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(rest),
         "slice" => cmd_slice(rest),
         "parallel" => cmd_parallel(rest),
+        "merge" => cmd_merge(rest),
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(),
         "tracecheck" => cmd_tracecheck(rest),
@@ -126,6 +150,11 @@ struct Opts {
     retile_backoff_ms: u64,
     weights: WeightsMode,
     resume: Option<PathBuf>,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_async: bool,
+    ckpt_compress: CkptCodec,
+    snapshot_every: u64,
+    snap_dir: PathBuf,
 }
 
 impl Opts {
@@ -177,6 +206,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         retile_backoff_ms: 50,
         weights: WeightsMode::default(),
         resume: None,
+        ckpt_dir: None,
+        ckpt_async: true,
+        ckpt_compress: CkptCodec::default(),
+        snapshot_every: 0,
+        snap_dir: PathBuf::from("out"),
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -217,6 +251,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "weights" => o.weights = WeightsMode::parse(v)?,
             "resume" => o.resume = Some(PathBuf::from(v)),
+            "ckpt_dir" => o.ckpt_dir = Some(PathBuf::from(v)),
+            "ckpt_async" => {
+                o.ckpt_async = match v {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => return Err(format!("ckpt_async: expected 0|1, got '{other}'")),
+                }
+            }
+            "ckpt_compress" => {
+                o.ckpt_compress = CkptCodec::parse(v).map_err(|e| format!("ckpt_compress: {e}"))?
+            }
+            "snapshot_every" => {
+                o.snapshot_every = v.parse().map_err(|e| format!("snapshot_every: {e}"))?
+            }
+            "snap_dir" => o.snap_dir = PathBuf::from(v),
             "ckpt_every" => o.ckpt_every = v.parse().map_err(|e| format!("ckpt_every: {e}"))?,
             "deadline_ms" => {
                 o.deadline_ms = v.parse().map_err(|e| format!("deadline_ms: {e}"))?
@@ -307,7 +356,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         o.cfg.params.ekman()
     );
     let mut sim = SerialSim::new(o.cfg.clone());
-    let report = sim.run(o.steps, o.sample);
+    let report = if o.snapshot_every > 0 {
+        let stream = StreamOpts {
+            dir: o.snap_dir.clone(),
+            snapshot_every: o.snapshot_every,
+            async_mode: o.ckpt_async,
+        };
+        let report = sim.run_streaming(o.steps, o.sample, &stream)?;
+        eprintln!(
+            "streamed {} product file(s) ({} KiB) to {}",
+            report.io.snapshots_written,
+            report.io.bytes_written / 1024,
+            o.snap_dir.display()
+        );
+        report
+    } else {
+        sim.run(o.steps, o.sample)
+    };
     let b = sim.speed_breakdown();
     eprintln!(
         "signal speeds: flow {:.3e}, sound {:.3e}, alfven {:.3e}",
@@ -411,6 +476,7 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     // checkpointed recovery, flight recorders).
     let supervised = spec.is_active()
         || o.ckpt.is_some()
+        || o.ckpt_dir.is_some()
         || o.ckpt_every > 0
         || o.trace.is_some()
         || o.log.is_some()
@@ -421,6 +487,12 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         || o.weights != WeightsMode::default();
     let report = if supervised {
         let resume_from = match &o.resume {
+            Some(path) if is_shard_dir(path) => {
+                let ck = merge_shards(&o.cfg, path, None)
+                    .map_err(|e| format!("merging shards in {}: {e}", path.display()))?;
+                eprintln!("merged shard set at step {} from {}", ck.step, path.display());
+                Some(ck)
+            }
             Some(path) => Some(
                 Checkpoint::load(path)
                     .map_err(|e| format!("loading resume checkpoint {}: {e}", path.display()))?,
@@ -432,6 +504,9 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
             checkpoint_every: o.ckpt_every,
             deadline: Duration::from_millis(o.deadline_ms),
             sync_mode: o.mode,
+            ckpt_dir: o.ckpt_dir.clone(),
+            ckpt_async: o.ckpt_async,
+            ckpt_compress: o.ckpt_compress,
             obs: ObsOpts {
                 trace: o.trace.clone(),
                 log: o.log.clone(),
@@ -514,9 +589,23 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     if p.total_s() > 0.0 {
         eprintln!(
             "phases (all-rank s): pack {:.3}, interior {:.3}, wait {:.3}, \
-             boundary {:.3}, overset {:.3}",
-            p.pack_s, p.interior_s, p.wait_s, p.boundary_s, p.overset_s
+             boundary {:.3}, overset {:.3}, writer_wait {:.3}",
+            p.pack_s, p.interior_s, p.wait_s, p.boundary_s, p.overset_s, p.writer_wait_s
         );
+        if report.io.shards_written > 0 {
+            eprintln!(
+                "io: {} shard(s), {} -> {} KiB (x{:.2} compression, {}), \
+                 write wall {:.3}s, producer wait {:.3}s ({})",
+                report.io.shards_written,
+                report.io.bytes_raw / 1024,
+                report.io.bytes_written / 1024,
+                report.io.compression_ratio(),
+                report.io.codec,
+                report.io.write_wall_s,
+                report.io.writer_wait_s,
+                if report.io.async_mode { "overlapped" } else { "inline" },
+            );
+        }
         // Feed the measured hidden fraction into the Earth Simulator
         // model: what the paper's flagship run would sustain if its
         // exchanges were hidden as well as this run's were.
@@ -569,6 +658,43 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         }
     }
     finish(&report, &o)
+}
+
+/// Reassemble per-rank checkpoint shards into a serial-format
+/// checkpoint file. The grid keys (`nr=`, `nth=`, ...) must describe
+/// the geometry the shards were written under; `step=N` picks a
+/// specific shard set (default: the newest complete one). The output
+/// is byte-identical to the checkpoint a serial run would have saved
+/// at that step, so everything that consumes checkpoints (`resume`,
+/// `slice`) works on it unchanged.
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let (Some(dir), Some(out)) = (args.first(), args.get(1)) else {
+        return Err("merge needs <shard_dir> <out.ck>".into());
+    };
+    let dir = PathBuf::from(dir);
+    if !is_shard_dir(&dir) {
+        return Err(format!("{} is not a shard directory", dir.display()));
+    }
+    // `step=` is a merge-only key; everything else configures the grid.
+    let mut step = None;
+    let mut cfg_args = Vec::new();
+    for arg in &args[2..] {
+        match arg.split_once('=') {
+            Some(("step", v)) => {
+                step = Some(v.parse().map_err(|e| format!("step: {e}"))?);
+            }
+            _ => cfg_args.push(arg.clone()),
+        }
+    }
+    let o = parse_opts(&cfg_args)?;
+    let ck = merge_shards(&o.cfg, &dir, step)
+        .map_err(|e| format!("merging shards in {}: {e}", dir.display()))?;
+    ck.save(Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "merged shard set at step {} (t = {:.5}) into {out}",
+        ck.step, ck.time
+    );
+    Ok(())
 }
 
 /// Run the serial reference solver with counters armed and print the
@@ -717,4 +843,67 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
         check.degrades
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        parse_opts(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        parse(args).map(|_| ()).unwrap_err()
+    }
+
+    #[test]
+    fn output_keys_parse_and_validate() {
+        let o = parse(&[
+            "ckpt_dir=shards",
+            "ckpt_async=0",
+            "ckpt_compress=delta",
+            "snapshot_every=5",
+            "snap_dir=prod",
+        ])
+        .unwrap();
+        assert_eq!(o.ckpt_dir.as_deref(), Some(Path::new("shards")));
+        assert!(!o.ckpt_async);
+        assert_eq!(o.ckpt_compress, CkptCodec::Delta);
+        assert_eq!(o.snapshot_every, 5);
+        assert_eq!(o.snap_dir, Path::new("prod"));
+        // Defaults: writer overlapped, raw payloads, no streaming.
+        let d = parse(&[]).unwrap();
+        assert!(d.ckpt_async && d.ckpt_dir.is_none() && d.snapshot_every == 0);
+        assert_eq!(d.ckpt_compress, CkptCodec::Raw);
+
+        let err = parse_err(&["ckpt_async=maybe"]);
+        assert_eq!(err, "ckpt_async: expected 0|1, got 'maybe'");
+        let err = parse_err(&["ckpt_compress=zip"]);
+        assert_eq!(err, "ckpt_compress: expected none|rle|delta, got 'zip'");
+        let err = parse_err(&["snapshot_every=often"]);
+        assert!(err.starts_with("snapshot_every: "), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_bad_usage_with_clear_messages() {
+        assert_eq!(cmd_merge(&[]).unwrap_err(), "merge needs <shard_dir> <out.ck>");
+        let err =
+            cmd_merge(&["/nonexistent-yy".into(), "out.ck".into()]).unwrap_err();
+        assert!(err.contains("not a shard directory"), "{err}");
+        let dir = std::env::temp_dir().join(format!("yy_cli_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let args: Vec<String> = vec![
+            dir.to_string_lossy().into_owned(),
+            "out.ck".into(),
+            "step=soon".into(),
+        ];
+        let err = cmd_merge(&args).unwrap_err();
+        assert!(err.starts_with("step: "), "{err}");
+        // An empty (shardless) directory is reported, not merged.
+        let args: Vec<String> =
+            vec![dir.to_string_lossy().into_owned(), "out.ck".into()];
+        assert!(cmd_merge(&args).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -28,18 +28,24 @@ use std::io::{self, Read, Write};
 use yy_field::{Array3, Shape};
 use yy_mhd::State;
 
-const MAGIC: &[u8; 8] = b"YYCORE\0\x02";
+pub(crate) const MAGIC: &[u8; 8] = b"YYCORE\0\x02";
 
 /// Largest accepted value for any single geometry dimension. A corrupt
 /// header must fail here, not in a multi-terabyte allocation.
-const MAX_DIM: u64 = 65_536;
+pub(crate) const MAX_DIM: u64 = 65_536;
 /// Largest accepted ghost width.
-const MAX_GHOST: u64 = 64;
+pub(crate) const MAX_GHOST: u64 = 64;
 
 // -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[j]
+// advances a byte's contribution j more positions through the register,
+// so eight lookups fold eight input bytes per iteration. Same
+// polynomial, same stream semantics, ~4x the throughput of the
+// one-table loop — checkpoint and shard CRCs cover every payload byte,
+// so this is squarely on the output hot path.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -48,41 +54,64 @@ const fn crc32_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = t[0][(t[j - 1][i] & 0xFF) as usize] ^ (t[j - 1][i] >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
 /// Streaming CRC-32 accumulator.
 #[derive(Clone, Copy)]
-struct Crc32(u32);
+pub(crate) struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC32_TABLES;
         let mut c = self.0;
-        for &b in bytes {
-            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        let mut chunks = bytes.chunks_exact(8);
+        for ch in &mut chunks {
+            let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+            let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+            c = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
         }
         self.0 = c;
     }
 
-    fn finish(self) -> u32 {
+    pub(crate) fn finish(self) -> u32 {
         self.0 ^ 0xFFFF_FFFF
     }
 }
 
 /// Writer adapter hashing and counting everything written through it.
-struct HashingWriter<'a, W: Write> {
-    inner: &'a mut W,
-    crc: Crc32,
-    len: u64,
+pub(crate) struct HashingWriter<'a, W: Write> {
+    pub(crate) inner: &'a mut W,
+    pub(crate) crc: Crc32,
+    pub(crate) len: u64,
 }
 
 impl<W: Write> Write for HashingWriter<'_, W> {
@@ -99,10 +128,10 @@ impl<W: Write> Write for HashingWriter<'_, W> {
 }
 
 /// Reader adapter hashing and counting everything read through it.
-struct HashingReader<'a, R: Read> {
-    inner: &'a mut R,
-    crc: Crc32,
-    len: u64,
+pub(crate) struct HashingReader<'a, R: Read> {
+    pub(crate) inner: &'a mut R,
+    pub(crate) crc: Crc32,
+    pub(crate) len: u64,
 }
 
 impl<R: Read> Read for HashingReader<'_, R> {
@@ -116,7 +145,7 @@ impl<R: Read> Read for HashingReader<'_, R> {
 
 /// `read_exact` with a descriptive truncation error: a short read names
 /// what was being read instead of a bare "failed to fill whole buffer".
-fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+pub(crate) fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             io::Error::new(
@@ -129,7 +158,7 @@ fn read_exact_ctx<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<
     })
 }
 
-fn invalid(msg: String) -> io::Error {
+pub(crate) fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
@@ -162,6 +191,24 @@ impl Checkpoint {
             yin: sim.yin.clone(),
             yang: sim.yang.clone(),
         }
+    }
+
+    /// Refresh an existing checkpoint in place from a serial simulation,
+    /// reusing the panel buffers instead of cloning two full states.
+    /// Steady-state allocation-free (pinned by `ckpt_alloc.rs`); the
+    /// shapes must match.
+    pub fn capture_into(sim: &SerialSim, ck: &mut Checkpoint) {
+        assert_eq!(
+            sim.yin.shape(),
+            ck.shape,
+            "checkpoint shape {:?} does not match the simulation",
+            ck.shape
+        );
+        ck.step = sim.step;
+        ck.time = sim.time;
+        ck.dt_cache = sim.dt_cache;
+        ck.yin.copy_from(&sim.yin);
+        ck.yang.copy_from(&sim.yang);
     }
 
     /// Restore into a freshly constructed simulation (whose configuration
@@ -306,7 +353,7 @@ impl Checkpoint {
     }
 }
 
-fn write_array<W: Write>(w: &mut W, a: &Array3) -> io::Result<()> {
+pub(crate) fn write_array<W: Write>(w: &mut W, a: &Array3) -> io::Result<()> {
     // One bulk conversion per array keeps the writer syscall-friendly.
     let mut bytes = Vec::with_capacity(a.data().len() * 8);
     for v in a.data() {
@@ -315,7 +362,7 @@ fn write_array<W: Write>(w: &mut W, a: &Array3) -> io::Result<()> {
     w.write_all(&bytes)
 }
 
-fn read_array<R: Read>(r: &mut R, a: &mut Array3) -> io::Result<()> {
+pub(crate) fn read_array<R: Read>(r: &mut R, a: &mut Array3) -> io::Result<()> {
     let n = a.data().len();
     let mut bytes = vec![0u8; n * 8];
     read_exact_ctx(r, &mut bytes, "field data")?;

@@ -38,6 +38,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod health;
 pub mod obs;
+pub mod output;
 pub mod parallel;
 pub mod report;
 pub mod serial;
@@ -50,10 +51,11 @@ pub mod weights;
 pub use config::RunConfig;
 pub use health::{HealthGuard, HealthLimits, HealthViolation};
 pub use obs::{ObsOpts, TraceMode};
+pub use output::{merge_shards, CkptCodec, IoTotals, OutputStage};
 pub use parallel::{
     run_parallel, run_parallel_supervised, run_parallel_with_mode, FailurePolicy, ParallelReport,
     PassStat, RecoveryEvent, RecoveryOpts, SupervisedReport, SyncMode, WeightsMode,
 };
 pub use weights::ColumnCosts;
-pub use report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
-pub use serial::SerialSim;
+pub use report::{IoStats, PhaseBreakdown, RunReport, TimeSeriesPoint};
+pub use serial::{SerialSim, StreamOpts};

@@ -1,0 +1,1315 @@
+//! The overlapped output pipeline: per-rank checkpoint/snapshot shards,
+//! delta + RLE compression, and the async double-buffered writer.
+//!
+//! The paper's production runs emitted 500 GB 3-D snapshots while
+//! sustaining 15.2 TFlops — output has to hide behind compute the same
+//! way halo traffic does. Three pieces reproduce that discipline here:
+//!
+//! 1. **Shards (format v3).** Each rank serializes its *owned* region —
+//!    no gather, no rank-0 bottleneck — into a self-describing file:
+//!
+//!    ```text
+//!    magic "YYCORE\0\3"  (8 bytes)
+//!    nr, nth, nph, gth, gph : u64 × 5     (full-panel geometry)
+//!    step : u64 ; time : f64 ; dt_cache : f64
+//!    pth, pph, rank, panel : u64 × 4      (layout + owner)
+//!    j0, tnth, k0, tnph : u64 × 4         (owned tile, interior coords)
+//!    flags : u64                          (bit 0 delta, bit 1 RLE)
+//!    base_step : u64                      (delta base; MAX when raw)
+//!    raw_len, enc_len : u64 × 2
+//!    payload : enc_len bytes              (encoded owned region)
+//!    hashed_len : u64 ; crc32 : u32       (integrity footer)
+//!    ```
+//!
+//!    The CRC covers the header and the **uncompressed** payload, so a
+//!    decode of corrupt input can never pass the check, whatever the
+//!    codec does with the bytes. [`merge_shards`] reassembles any
+//!    complete shard set into the serial-format [`Checkpoint`]
+//!    byte-identically (the restart-onto-any-layout property).
+//!
+//! 2. **Codecs.** A zero-dependency XOR-delta against the previous
+//!    checkpoint's payload (most field bytes are unchanged between
+//!    nearby checkpoints, so the delta is zero-heavy) chained into a
+//!    byte-wise RLE codec (PackBits-style: literal runs and repeat runs,
+//!    worst-case expansion 1/128 + 2 bytes). Delta shards name their
+//!    base step; the merging reader walks the chain back to the nearest
+//!    self-contained shard.
+//!
+//! 3. **The writer.** [`OutputStage`] owns a two-slot buffer pool and
+//!    (in async mode) one writer thread per rank. The producer packs and
+//!    encodes into a free slot and hands it off; the file write overlaps
+//!    the next RK4 steps. When both slots are in flight the producer
+//!    blocks — that backpressure is measured and charged to the
+//!    `writer_wait` phase (and the `output` kernel counter), so the run
+//!    report shows exactly how much output cost the pipeline failed to
+//!    hide.
+
+use crate::checkpoint::{
+    invalid, read_exact_ctx, Checkpoint, Crc32, HashingReader, HashingWriter, MAX_DIM, MAX_GHOST,
+};
+use crate::config::RunConfig;
+use crate::parallel::parallel_checkpoint;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use yy_field::{pack_region, unpack_region, Region, Shape};
+use yy_mhd::{initialize, State};
+
+/// Shard format magic: same prefix as the serial checkpoint, version 3.
+pub(crate) const SHARD_MAGIC: &[u8; 8] = b"YYCORE\0\x03";
+
+/// `base_step` sentinel for self-contained (non-delta) shards.
+const NO_BASE: u64 = u64::MAX;
+
+/// Payload flag: bytes are XOR-deltas against the `base_step` payload.
+const FLAG_DELTA: u64 = 1;
+/// Payload flag: bytes are RLE-compressed.
+const FLAG_RLE: u64 = 2;
+
+// ---------------------------------------------------------------- codec
+
+/// Checkpoint/snapshot payload encoding, selected by `ckpt_compress=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptCodec {
+    /// Raw little-endian f64 bytes (the v2 discipline).
+    #[default]
+    Raw,
+    /// Byte-wise run-length compression of the payload.
+    Rle,
+    /// XOR-delta against the previous checkpoint's payload, then RLE.
+    /// The first shard of a run (or after a re-tile) is written
+    /// self-contained; later shards name their base step.
+    Delta,
+}
+
+impl CkptCodec {
+    /// Parse a `ckpt_compress=` value.
+    pub fn parse(s: &str) -> Result<CkptCodec, String> {
+        match s {
+            "none" | "raw" => Ok(CkptCodec::Raw),
+            "rle" => Ok(CkptCodec::Rle),
+            "delta" => Ok(CkptCodec::Delta),
+            other => Err(format!("expected none|rle|delta, got '{other}'")),
+        }
+    }
+
+    /// Canonical name (reports, CLI echo).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CkptCodec::Raw => "none",
+            CkptCodec::Rle => "rle",
+            CkptCodec::Delta => "delta",
+        }
+    }
+}
+
+/// RLE-encode `src` into `out` (appended). PackBits-style framing: a
+/// control byte `c < 0x80` introduces a literal run of `c + 1` bytes;
+/// `c >= 0x80` repeats the next byte `c - 0x80 + 3` times (runs shorter
+/// than 3 are cheaper as literals). Worst case grows by 1 byte per 128.
+pub fn rle_encode(src: &[u8], out: &mut Vec<u8>) {
+    let n = src.len();
+    let mut i = 0;
+    while i < n {
+        let b = src[i];
+        let mut run = 1;
+        while i + run < n && src[i + run] == b && run < 130 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push(0x80 + (run - 3) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal segment: scan forward until a repeat run of >= 3
+        // starts (or the 128-byte frame fills).
+        let start = i;
+        i += run;
+        while i < n && i - start < 128 {
+            let b2 = src[i];
+            let mut r2 = 1;
+            while i + r2 < n && src[i + r2] == b2 && r2 < 3 {
+                r2 += 1;
+            }
+            if r2 >= 3 {
+                break;
+            }
+            i += r2;
+        }
+        if i - start > 128 {
+            i = start + 128;
+        }
+        out.push((i - start - 1) as u8);
+        out.extend_from_slice(&src[start..i]);
+    }
+}
+
+/// Decode [`rle_encode`] output into `out` (appended). `expect` is the
+/// decoded length the caller knows from the shard header; a stream that
+/// overruns or underruns it is corrupt.
+pub fn rle_decode(src: &[u8], expect: usize, out: &mut Vec<u8>) -> io::Result<()> {
+    let before = out.len();
+    let mut i = 0;
+    while i < src.len() {
+        let c = src[i];
+        i += 1;
+        if c < 0x80 {
+            let len = c as usize + 1;
+            if i + len > src.len() {
+                return Err(invalid("shard RLE stream truncated inside a literal run".into()));
+            }
+            out.extend_from_slice(&src[i..i + len]);
+            i += len;
+        } else {
+            let Some(&b) = src.get(i) else {
+                return Err(invalid("shard RLE stream truncated inside a repeat run".into()));
+            };
+            i += 1;
+            let len = (c - 0x80) as usize + 3;
+            out.resize(out.len() + len, b);
+        }
+        if out.len() - before > expect {
+            return Err(invalid(format!(
+                "shard RLE stream decodes past its recorded length ({expect} bytes); \
+                 the file is corrupt"
+            )));
+        }
+    }
+    if out.len() - before != expect {
+        return Err(invalid(format!(
+            "shard RLE stream decoded {} bytes, header records {expect}; the file is corrupt",
+            out.len() - before
+        )));
+    }
+    Ok(())
+}
+
+/// XOR `buf` in place with `base` (delta encode and decode are the same
+/// involution). Lengths must match — a shard geometry change resets the
+/// chain instead of deltaing across it.
+pub fn xor_with(buf: &mut [u8], base: &[u8]) {
+    assert_eq!(buf.len(), base.len(), "XOR-delta base length mismatch");
+    for (b, &p) in buf.iter_mut().zip(base) {
+        *b ^= p;
+    }
+}
+
+// ------------------------------------------------------------- shard v3
+
+/// Everything a shard's header says about its origin and placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMeta {
+    /// Full-panel padded geometry (identical across the set).
+    pub shape: Shape,
+    /// Step counter at capture.
+    pub step: u64,
+    /// Simulated time at capture.
+    pub time: f64,
+    /// Cached CFL step at capture.
+    pub dt_cache: f64,
+    /// Tile layout that wrote the set (θ × φ tiles per panel).
+    pub pth: u64,
+    /// φ tiles per panel.
+    pub pph: u64,
+    /// World rank that owned this block.
+    pub rank: u64,
+    /// Panel index (0 = Yin, 1 = Yang).
+    pub panel: u64,
+    /// First owned colatitude index (interior coordinates).
+    pub j0: u64,
+    /// Owned colatitude extent.
+    pub tnth: u64,
+    /// First owned longitude index.
+    pub k0: u64,
+    /// Owned longitude extent.
+    pub tnph: u64,
+    /// Payload flags (delta / RLE bits).
+    pub flags: u64,
+    /// Base step of a delta payload ([`NO_BASE`] when self-contained).
+    pub base_step: u64,
+}
+
+impl ShardMeta {
+    /// Bytes of the uncompressed payload this tile must carry: 8 arrays
+    /// × region points × 8 bytes.
+    fn expected_raw_len(&self) -> u64 {
+        8 * self.shape.nr as u64 * self.tnth * self.tnph * 8
+    }
+
+    /// The owned block in full-panel interior coordinates.
+    fn global_region(&self) -> Region {
+        Region {
+            i0: 0,
+            i1: self.shape.nr,
+            j0: self.j0 as isize,
+            j1: (self.j0 + self.tnth) as isize,
+            k0: self.k0 as isize,
+            k1: (self.k0 + self.tnph) as isize,
+        }
+    }
+}
+
+/// Canonical shard file name for `(step, rank)`. Steps sort
+/// lexicographically, so a directory listing is also a timeline.
+pub fn shard_file_name(step: u64, rank: usize) -> String {
+    format!("step{step:010}.r{rank:04}.yys")
+}
+
+/// Parse a [`shard_file_name`] back into `(step, rank)`.
+pub fn parse_shard_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("step")?;
+    let (step, rest) = rest.split_at_checked(10)?;
+    let rest = rest.strip_prefix(".r")?;
+    let rank = rest.strip_suffix(".yys")?;
+    Some((step.parse().ok()?, rank.parse().ok()?))
+}
+
+/// Pack the owned region of `state` (8 arrays, canonical order, f64
+/// little-endian) into `raw`, replacing its contents.
+pub(crate) fn pack_shard_payload(state: &State, tnth: usize, tnph: usize, raw: &mut Vec<u8>) {
+    let nr = state.shape().nr;
+    let owned = Region { i0: 0, i1: nr, j0: 0, j1: tnth as isize, k0: 0, k1: tnph as isize };
+    let mut vals: Vec<f64> = Vec::with_capacity(owned.len());
+    raw.clear();
+    raw.reserve(8 * owned.len() * 8);
+    for arr in state.arrays() {
+        vals.clear();
+        pack_region(arr, owned, &mut vals);
+        for v in &vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Serialize one shard into `out` (replacing its contents): header,
+/// encoded payload, CRC footer. `raw` is the uncompressed payload from
+/// [`pack_shard_payload`]; `base` is the previous checkpoint's payload
+/// when the codec is [`CkptCodec::Delta`] and one exists. Returns the
+/// flags actually used (a delta request without a base degrades to a
+/// self-contained RLE shard).
+pub(crate) fn encode_shard(
+    meta: &ShardMeta,
+    raw: &[u8],
+    base: Option<(u64, &[u8])>,
+    codec: CkptCodec,
+    out: &mut Vec<u8>,
+) -> io::Result<(u64, u64)> {
+    let scratch: Vec<u8>;
+    let (flags, base_step, encoded): (u64, u64, &[u8]) = match codec {
+        CkptCodec::Raw => (0, NO_BASE, raw),
+        CkptCodec::Rle => {
+            let mut enc = Vec::with_capacity(raw.len() / 4);
+            rle_encode(raw, &mut enc);
+            scratch = enc;
+            (FLAG_RLE, NO_BASE, &scratch)
+        }
+        CkptCodec::Delta => match base {
+            Some((base_step, prev)) if prev.len() == raw.len() => {
+                let mut delta = raw.to_vec();
+                xor_with(&mut delta, prev);
+                let mut enc = Vec::with_capacity(raw.len() / 16);
+                rle_encode(&delta, &mut enc);
+                scratch = enc;
+                (FLAG_DELTA | FLAG_RLE, base_step, &scratch)
+            }
+            _ => {
+                let mut enc = Vec::with_capacity(raw.len() / 4);
+                rle_encode(raw, &mut enc);
+                scratch = enc;
+                (FLAG_RLE, NO_BASE, &scratch)
+            }
+        },
+    };
+    out.clear();
+    let mut hw = HashingWriter { inner: out, crc: Crc32::new(), len: 0 };
+    hw.write_all(SHARD_MAGIC)?;
+    for v in [
+        meta.shape.nr as u64,
+        meta.shape.nth as u64,
+        meta.shape.nph as u64,
+        meta.shape.gth as u64,
+        meta.shape.gph as u64,
+        meta.step,
+    ] {
+        hw.write_all(&v.to_le_bytes())?;
+    }
+    hw.write_all(&meta.time.to_le_bytes())?;
+    hw.write_all(&meta.dt_cache.to_le_bytes())?;
+    for v in [
+        meta.pth,
+        meta.pph,
+        meta.rank,
+        meta.panel,
+        meta.j0,
+        meta.tnth,
+        meta.k0,
+        meta.tnph,
+        flags,
+        base_step,
+        raw.len() as u64,
+        encoded.len() as u64,
+    ] {
+        hw.write_all(&v.to_le_bytes())?;
+    }
+    // The CRC covers the *uncompressed* payload: hash the raw bytes but
+    // write the encoded ones, so codec bugs cannot forge integrity.
+    let mut crc = hw.crc;
+    crc.update(raw);
+    let hashed_len = hw.len + raw.len() as u64;
+    let out = hw.inner;
+    out.extend_from_slice(encoded);
+    out.extend_from_slice(&hashed_len.to_le_bytes());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    Ok((flags, base_step))
+}
+
+/// Read one shard: header and **decoded** (uncompressed) payload, with
+/// the CRC footer verified over header + uncompressed bytes. `base`
+/// resolves a delta shard's base payload by step; self-contained shards
+/// never call it.
+pub(crate) fn read_shard<R: Read>(
+    r: &mut R,
+    base: &mut dyn FnMut(u64) -> io::Result<Vec<u8>>,
+) -> io::Result<(ShardMeta, Vec<u8>)> {
+    let mut hr = HashingReader { inner: r, crc: Crc32::new(), len: 0 };
+    let mut magic = [0u8; 8];
+    read_exact_ctx(&mut hr, &mut magic, "shard magic")?;
+    if &magic != SHARD_MAGIC {
+        return Err(if magic[..7] == SHARD_MAGIC[..7] {
+            invalid(format!(
+                "unsupported shard version {} (this build reads version {})",
+                magic[7], SHARD_MAGIC[7]
+            ))
+        } else {
+            invalid("not a yycore checkpoint shard (bad magic)".to_string())
+        });
+    }
+    let mut u = [0u8; 8];
+    let mut next_u64 = |hr: &mut HashingReader<'_, R>, what: &str| -> io::Result<u64> {
+        read_exact_ctx(hr, &mut u, what)?;
+        Ok(u64::from_le_bytes(u))
+    };
+    let nr = next_u64(&mut hr, "shard geometry (nr)")?;
+    let nth = next_u64(&mut hr, "shard geometry (nth)")?;
+    let nph = next_u64(&mut hr, "shard geometry (nph)")?;
+    let gth = next_u64(&mut hr, "shard geometry (gth)")?;
+    let gph = next_u64(&mut hr, "shard geometry (gph)")?;
+    let step = next_u64(&mut hr, "shard step counter")?;
+    for (name, v, cap) in [
+        ("nr", nr, MAX_DIM),
+        ("nth", nth, MAX_DIM),
+        ("nph", nph, MAX_DIM),
+        ("gth", gth, MAX_GHOST),
+        ("gph", gph, MAX_GHOST),
+    ] {
+        if v > cap {
+            return Err(invalid(format!(
+                "implausible shard geometry: {name} = {v} (limit {cap}); header is corrupt"
+            )));
+        }
+    }
+    if nr == 0 || nth == 0 || nph == 0 {
+        return Err(invalid(format!(
+            "implausible shard geometry: nr/nth/nph = {nr}/{nth}/{nph} (must be nonzero)"
+        )));
+    }
+    let mut f = [0u8; 8];
+    read_exact_ctx(&mut hr, &mut f, "shard time")?;
+    let time = f64::from_le_bytes(f);
+    read_exact_ctx(&mut hr, &mut f, "shard dt cache")?;
+    let dt_cache = f64::from_le_bytes(f);
+    let pth = next_u64(&mut hr, "shard layout (pth)")?;
+    let pph = next_u64(&mut hr, "shard layout (pph)")?;
+    let rank = next_u64(&mut hr, "shard rank")?;
+    let panel = next_u64(&mut hr, "shard panel")?;
+    let j0 = next_u64(&mut hr, "shard tile (j0)")?;
+    let tnth = next_u64(&mut hr, "shard tile (nth)")?;
+    let k0 = next_u64(&mut hr, "shard tile (k0)")?;
+    let tnph = next_u64(&mut hr, "shard tile (nph)")?;
+    let flags = next_u64(&mut hr, "shard flags")?;
+    let base_step = next_u64(&mut hr, "shard base step")?;
+    let raw_len = next_u64(&mut hr, "shard payload length")?;
+    let enc_len = next_u64(&mut hr, "shard encoded length")?;
+    let meta = ShardMeta {
+        shape: Shape::new(nr as usize, nth as usize, nph as usize, gth as usize, gph as usize),
+        step,
+        time,
+        dt_cache,
+        pth,
+        pph,
+        rank,
+        panel,
+        j0,
+        tnth,
+        k0,
+        tnph,
+        flags,
+        base_step,
+    };
+    if panel > 1 {
+        return Err(invalid(format!("shard panel index {panel} (must be 0 or 1)")));
+    }
+    if pth == 0 || pph == 0 || pth > MAX_DIM || pph > MAX_DIM {
+        return Err(invalid(format!("implausible shard layout {pth}x{pph}")));
+    }
+    if j0 + tnth > nth || k0 + tnph > nph || tnth == 0 || tnph == 0 {
+        return Err(invalid(format!(
+            "shard tile [{j0}, {j0}+{tnth}) x [{k0}, {k0}+{tnph}) does not fit the \
+             {nth} x {nph} panel interior; header is corrupt"
+        )));
+    }
+    if raw_len != meta.expected_raw_len() {
+        return Err(invalid(format!(
+            "shard payload length mismatch: header records {raw_len} bytes, the tile \
+             geometry requires {}",
+            meta.expected_raw_len()
+        )));
+    }
+    if enc_len > raw_len + raw_len / 128 + 16 {
+        return Err(invalid(format!(
+            "shard encoded length {enc_len} exceeds the codec bound for {raw_len} raw \
+             bytes; header is corrupt"
+        )));
+    }
+    let header_len = hr.len;
+    let mut header_crc = hr.crc;
+    let mut encoded = vec![0u8; enc_len as usize];
+    // Read the encoded payload from the *raw* reader: the CRC hashes the
+    // decoded bytes instead.
+    read_exact_ctx(hr.inner, &mut encoded, "shard payload")?;
+    let mut raw = Vec::with_capacity(raw_len as usize);
+    if flags & FLAG_RLE != 0 {
+        rle_decode(&encoded, raw_len as usize, &mut raw)?;
+    } else {
+        if encoded.len() != raw_len as usize {
+            return Err(invalid(format!(
+                "shard raw payload is {} bytes, header records {raw_len}",
+                encoded.len()
+            )));
+        }
+        raw = encoded;
+    }
+    if flags & FLAG_DELTA != 0 {
+        if base_step == NO_BASE {
+            return Err(invalid(
+                "shard is flagged delta but names no base step; header is corrupt".to_string(),
+            ));
+        }
+        let prev = base(base_step)?;
+        if prev.len() != raw.len() {
+            return Err(invalid(format!(
+                "shard delta base (step {base_step}) is {} bytes, this shard is {}; \
+                 the chain is inconsistent",
+                prev.len(),
+                raw.len()
+            )));
+        }
+        xor_with(&mut raw, &prev);
+    }
+    header_crc.update(&raw);
+    let crc = header_crc.finish();
+    let r = hr.inner;
+    let mut lb = [0u8; 8];
+    read_exact_ctx(r, &mut lb, "shard length footer")?;
+    let stored_len = u64::from_le_bytes(lb);
+    let mut cb = [0u8; 4];
+    read_exact_ctx(r, &mut cb, "shard CRC footer")?;
+    let stored_crc = u32::from_le_bytes(cb);
+    if stored_len != header_len + raw_len {
+        return Err(invalid(format!(
+            "shard length mismatch: footer records {stored_len} hashed bytes, read {}",
+            header_len + raw_len
+        )));
+    }
+    if stored_crc != crc {
+        return Err(invalid(format!(
+            "shard CRC mismatch: stored {stored_crc:#010x}, computed {crc:#010x} \
+             (step {step}, rank {rank}); the file is corrupt"
+        )));
+    }
+    Ok((meta, raw))
+}
+
+/// Load and fully decode the shard for `(step, rank)` from `dir`,
+/// following the delta chain backwards until a self-contained base.
+pub(crate) fn load_shard(dir: &Path, step: u64, rank: usize) -> io::Result<(ShardMeta, Vec<u8>)> {
+    let path = dir.join(shard_file_name(step, rank));
+    let bytes = std::fs::read(&path).map_err(|e| {
+        io::Error::new(e.kind(), format!("reading shard {}: {e}", path.display()))
+    })?;
+    let mut resolve = |base: u64| -> io::Result<Vec<u8>> {
+        if base >= step {
+            return Err(invalid(format!(
+                "shard delta chain does not terminate: step {step} names base {base}"
+            )));
+        }
+        Ok(load_shard(dir, base, rank)?.1)
+    };
+    read_shard(&mut bytes.as_slice(), &mut resolve)
+}
+
+/// The steps for which `dir` holds at least one shard, ascending.
+pub fn shard_steps(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut steps: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some((step, _)) = parse_shard_name(&entry.file_name().to_string_lossy()) {
+            steps.push(step);
+        }
+    }
+    steps.sort_unstable();
+    steps.dedup();
+    Ok(steps)
+}
+
+/// Reassemble a shard set into the serial-format [`Checkpoint`] —
+/// byte-identical to the one a serial run (or the rank-0 gather path)
+/// would have written at the same step.
+///
+/// `step` selects a specific shard set; `None` takes the newest step
+/// with a complete, mutually consistent set. The configuration must
+/// match the set's geometry: the unowned ghost padding of a serial
+/// checkpoint carries *initialization* values, so the merger rebuilds
+/// them from `cfg` exactly as the serial driver does, places every
+/// shard's owned block, and refills the overset frames and walls.
+pub fn merge_shards(cfg: &RunConfig, dir: &Path, step: Option<u64>) -> io::Result<Checkpoint> {
+    let steps = shard_steps(dir)?;
+    if steps.is_empty() {
+        return Err(invalid(format!("no checkpoint shards found in {}", dir.display())));
+    }
+    let candidates: Vec<u64> = match step {
+        Some(s) => {
+            if !steps.contains(&s) {
+                return Err(invalid(format!(
+                    "no shards for step {s} in {} (available steps: {steps:?})",
+                    dir.display()
+                )));
+            }
+            vec![s]
+        }
+        // Newest first; fall back to older sets if the newest is
+        // incomplete (a kill can land mid-flight between two ranks'
+        // atomic renames).
+        None => steps.iter().rev().copied().collect(),
+    };
+    let mut last_err: Option<io::Error> = None;
+    for s in candidates {
+        match merge_step(cfg, dir, s) {
+            Ok(ck) => return Ok(ck),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one candidate step was tried"))
+}
+
+fn merge_step(cfg: &RunConfig, dir: &Path, step: u64) -> io::Result<Checkpoint> {
+    // Which ranks wrote a shard at this step?
+    let mut ranks: Vec<usize> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        if let Some((s, r)) = parse_shard_name(&entry?.file_name().to_string_lossy()) {
+            if s == step {
+                ranks.push(r);
+            }
+        }
+    }
+    ranks.sort_unstable();
+    let first = load_shard(dir, step, *ranks.first().expect("caller saw this step"))?;
+    let world = (2 * first.0.pth * first.0.pph) as usize;
+    if ranks != (0..world).collect::<Vec<_>>() {
+        return Err(invalid(format!(
+            "shard set at step {step} is incomplete: layout {}x{} needs ranks 0..{world}, \
+             found {ranks:?}",
+            first.0.pth, first.0.pph
+        )));
+    }
+    let grid = cfg.grid();
+    let shape = grid.full_shape();
+    if first.0.shape != shape {
+        return Err(invalid(format!(
+            "shard geometry {:?} does not match the run configuration {:?}",
+            first.0.shape, shape
+        )));
+    }
+    // Initialized full panels (not zeros): serial ghost padding keeps
+    // its initialization bytes forever, and byte-identity with a serial
+    // checkpoint requires reproducing them.
+    let mut panels = [State::zeros(shape), State::zeros(shape)];
+    for (p, s) in [yy_mesh::Panel::Yin, yy_mesh::Panel::Yang].into_iter().zip(panels.iter_mut()) {
+        initialize(s, &grid, None, &cfg.params, &cfg.init, p);
+    }
+    // Coverage check: each panel's interior must be tiled exactly once.
+    let mut covered = [vec![false; shape.nth * shape.nph], vec![false; shape.nth * shape.nph]];
+    for rank in 0..world {
+        let (meta, raw) = if rank == first.0.rank as usize {
+            first.clone()
+        } else {
+            load_shard(dir, step, rank)?
+        };
+        for (what, a, b) in [
+            ("layout", meta.pth, first.0.pth),
+            ("layout", meta.pph, first.0.pph),
+            ("step", meta.step, first.0.step),
+            ("time", meta.time.to_bits(), first.0.time.to_bits()),
+            ("dt cache", meta.dt_cache.to_bits(), first.0.dt_cache.to_bits()),
+        ] {
+            if a != b {
+                return Err(invalid(format!(
+                    "shard set at step {step} is inconsistent: rank {rank} disagrees with \
+                     rank {} on the {what}",
+                    first.0.rank
+                )));
+            }
+        }
+        if meta.shape != shape || meta.rank != rank as u64 {
+            return Err(invalid(format!(
+                "shard set at step {step} is inconsistent: rank {rank} header says rank {} \
+                 shape {:?}",
+                meta.rank, meta.shape
+            )));
+        }
+        let cover = &mut covered[meta.panel as usize];
+        for j in meta.j0..meta.j0 + meta.tnth {
+            for k in meta.k0..meta.k0 + meta.tnph {
+                let cell = &mut cover[j as usize * shape.nph + k as usize];
+                if *cell {
+                    return Err(invalid(format!(
+                        "shard set at step {step} overlaps at panel {} node ({j}, {k})",
+                        meta.panel
+                    )));
+                }
+                *cell = true;
+            }
+        }
+        // Place the owned block.
+        let vals: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        let region = meta.global_region();
+        let mut rest: &[f64] = &vals;
+        for arr in panels[meta.panel as usize].arrays_mut() {
+            rest = unpack_region(arr, region, rest);
+        }
+        debug_assert!(rest.is_empty());
+    }
+    for (p, cover) in covered.iter().enumerate() {
+        if let Some(hole) = cover.iter().position(|&c| !c) {
+            return Err(invalid(format!(
+                "shard set at step {step} leaves panel {p} node ({}, {}) uncovered",
+                hole / shape.nph,
+                hole % shape.nph
+            )));
+        }
+    }
+    let [yin, yang] = panels;
+    Ok(parallel_checkpoint(cfg, yin, yang, step, first.0.time, first.0.dt_cache))
+}
+
+/// Whether `path` names a shard *directory* (as opposed to a serial
+/// checkpoint file): used by `resume=` to pick the reader.
+pub fn is_shard_dir(path: &Path) -> bool {
+    path.is_dir()
+}
+
+// ------------------------------------------------------ the writer stage
+
+/// Totals the writer accumulates (readable while the stage runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoTotals {
+    /// Files durably written (checkpoint shards + snapshot products).
+    pub files_written: u64,
+    /// Encoded bytes written to disk.
+    pub bytes_written: u64,
+    /// Uncompressed payload bytes behind those writes.
+    pub bytes_raw: u64,
+    /// Wall nanoseconds spent on the consumer side — shard encoding
+    /// plus file writes (the cost the async mode hides behind compute).
+    pub write_wall_ns: u64,
+    /// Wall nanoseconds the *producer* spent blocked on the buffer pool
+    /// (async backpressure) or writing inline (sync mode).
+    pub writer_wait_ns: u64,
+}
+
+/// One queued write: either a fully serialized file image (`shard:
+/// None`, written verbatim) or a raw shard payload (`shard: Some`) that
+/// the *consumer* — the writer thread in async mode — encodes with the
+/// delta/RLE codec before writing, keeping everything but the pack
+/// memcpy off the step path.
+struct Job {
+    path: PathBuf,
+    bytes: Vec<u8>,
+    raw_len: u64,
+    shard: Option<(ShardMeta, CkptCodec)>,
+}
+
+/// Shard-encoding state owned by the consumer side: the previous raw
+/// payload (the delta base), its step, and the encode scratch buffer.
+/// One consumer at a time touches it — the writer thread in async mode,
+/// the submitting producer in sync mode — so the mutex never contends.
+#[derive(Default)]
+struct EncState {
+    prev: Vec<u8>,
+    prev_step: Option<u64>,
+    out: Vec<u8>,
+}
+
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    jobs: VecDeque<Job>,
+    open: bool,
+    in_flight: usize,
+    err: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    // Signaled when a buffer returns to the pool (producer side waits).
+    free_cv: Condvar,
+    // Signaled when work arrives or the stage closes (writer side waits).
+    work_cv: Condvar,
+    enc: Mutex<EncState>,
+    files_written: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_raw: AtomicU64,
+    write_wall_ns: AtomicU64,
+}
+
+impl Shared {
+    /// Encode (shard jobs) and write one job; returns the buffer to
+    /// recycle. All of this runs on the consumer side — hidden behind
+    /// compute in async mode, inline (the measured baseline) in sync.
+    fn write_one(&self, job: Job) -> Vec<u8> {
+        let Job { path, mut bytes, raw_len, shard } = job;
+        let t0 = std::time::Instant::now();
+        let (res, on_disk) = match shard {
+            None => (write_atomic(&path, &bytes), bytes.len() as u64),
+            Some((meta, codec)) => {
+                let mut enc = self.enc.lock().unwrap_or_else(|p| p.into_inner());
+                let EncState { prev, prev_step, out } = &mut *enc;
+                out.clear();
+                let base = prev_step.map(|s| (s, prev.as_slice()));
+                match encode_shard(&meta, &bytes, base, codec, out) {
+                    Ok(_) => {
+                        let res = write_atomic(&path, out);
+                        if res.is_ok() {
+                            // The payload just written becomes the next
+                            // delta base; the old base buffer goes back
+                            // to the pool.
+                            std::mem::swap(prev, &mut bytes);
+                            *prev_step = Some(meta.step);
+                        }
+                        (res, out.len() as u64)
+                    }
+                    Err(e) => (Err(e), 0),
+                }
+            }
+        };
+        self.write_wall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match res {
+            Ok(()) => {
+                self.files_written.fetch_add(1, Ordering::Relaxed);
+                self.bytes_written.fetch_add(on_disk, Ordering::Relaxed);
+                self.bytes_raw.fetch_add(raw_len, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+                st.err.get_or_insert_with(|| format!("writing {}: {e}", path.display()));
+            }
+        }
+        bytes
+    }
+}
+
+/// Write `bytes` to `path` atomically: a sibling temp file is renamed
+/// into place, so a reader (or a post-kill merge) never sees a torn
+/// file — any shard that exists is complete and CRC-checked.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The per-rank output stage: a two-slot buffer pool feeding either an
+/// inline write (sync mode, the before/after baseline) or a dedicated
+/// writer thread (async mode, writes hidden behind compute).
+///
+/// Producer protocol: [`OutputStage::acquire`] a free buffer (blocking
+/// when both slots are in flight — the measured backpressure), fill it
+/// with a serialized file image, [`OutputStage::submit`] it. The stage
+/// must be [`OutputStage::finish`]ed to surface write errors.
+pub struct OutputStage {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    async_mode: bool,
+}
+
+impl OutputStage {
+    /// Build a stage. `async_mode = false` keeps every write on the
+    /// caller's thread (the synchronous baseline the bench compares
+    /// against); `true` spawns the writer thread.
+    pub fn new(async_mode: bool) -> OutputStage {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                free: vec![Vec::new(), Vec::new()],
+                jobs: VecDeque::new(),
+                open: true,
+                in_flight: 0,
+                err: None,
+            }),
+            free_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            enc: Mutex::new(EncState::default()),
+            files_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_raw: AtomicU64::new(0),
+            write_wall_ns: AtomicU64::new(0),
+        });
+        let handle = if async_mode {
+            let sh = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("yy-output-writer".into())
+                    .spawn(move || writer_main(&sh))
+                    .expect("spawn output writer thread"),
+            )
+        } else {
+            None
+        };
+        OutputStage { shared, handle, async_mode }
+    }
+
+    /// Whether writes overlap compute.
+    pub fn is_async(&self) -> bool {
+        self.async_mode
+    }
+
+    /// Take a free buffer, blocking while both slots are in flight.
+    /// Returns the buffer (cleared) and the nanoseconds spent blocked —
+    /// the caller charges them to the `writer_wait` phase.
+    pub fn acquire(&self) -> (Vec<u8>, u64) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(mut buf) = st.free.pop() {
+            buf.clear();
+            return (buf, 0);
+        }
+        let t0 = std::time::Instant::now();
+        loop {
+            st = self.shared.free_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            if let Some(mut buf) = st.free.pop() {
+                buf.clear();
+                return (buf, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// Hand a filled buffer to the writer. In async mode this returns
+    /// immediately (the write overlaps the next steps); in sync mode the
+    /// write happens here and its nanoseconds are returned so the caller
+    /// can charge them like a blocked acquire.
+    pub fn submit(&self, path: PathBuf, bytes: Vec<u8>, raw_len: u64) -> u64 {
+        self.submit_job(Job { path, bytes, raw_len, shard: None })
+    }
+
+    /// Hand a *raw* shard payload to the writer; the consumer side
+    /// encodes it (delta chain, RLE) and writes the result, so in async
+    /// mode the producer pays only for the pack memcpy. Shards must be
+    /// submitted in step order — the consumer chains each one against
+    /// the previous payload it saw.
+    pub fn submit_shard(
+        &self,
+        path: PathBuf,
+        raw: Vec<u8>,
+        meta: ShardMeta,
+        codec: CkptCodec,
+    ) -> u64 {
+        let raw_len = raw.len() as u64;
+        self.submit_job(Job { path, bytes: raw, raw_len, shard: Some((meta, codec)) })
+    }
+
+    fn submit_job(&self, job: Job) -> u64 {
+        if self.async_mode {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.jobs.push_back(job);
+            drop(st);
+            self.shared.work_cv.notify_one();
+            0
+        } else {
+            let t0 = std::time::Instant::now();
+            let buf = self.shared.write_one(job);
+            let ns = t0.elapsed().as_nanos() as u64;
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.free.push(buf);
+            ns
+        }
+    }
+
+    /// Block until every submitted write is durable. Returns the
+    /// nanoseconds spent blocked (charged to `writer_wait`).
+    pub fn flush(&self) -> u64 {
+        let t0 = std::time::Instant::now();
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !st.jobs.is_empty() || st.in_flight > 0 {
+            st = self.shared.free_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        t0.elapsed().as_nanos() as u64
+    }
+
+    /// Totals so far (the report reads these after a flush).
+    pub fn totals(&self) -> IoTotals {
+        IoTotals {
+            files_written: self.shared.files_written.load(Ordering::Relaxed),
+            bytes_written: self.shared.bytes_written.load(Ordering::Relaxed),
+            bytes_raw: self.shared.bytes_raw.load(Ordering::Relaxed),
+            write_wall_ns: self.shared.write_wall_ns.load(Ordering::Relaxed),
+            writer_wait_ns: 0,
+        }
+    }
+
+    /// Drain the queue, stop the writer thread, and surface any write
+    /// error. Returns the final totals.
+    pub fn finish(mut self) -> Result<IoTotals, String> {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.open = false;
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            h.join().map_err(|_| "output writer thread panicked".to_string())?;
+        }
+        let st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        match &st.err {
+            Some(e) => Err(e.clone()),
+            None => Ok(IoTotals {
+                files_written: self.shared.files_written.load(Ordering::Relaxed),
+                bytes_written: self.shared.bytes_written.load(Ordering::Relaxed),
+                bytes_raw: self.shared.bytes_raw.load(Ordering::Relaxed),
+                write_wall_ns: self.shared.write_wall_ns.load(Ordering::Relaxed),
+                writer_wait_ns: 0,
+            }),
+        }
+    }
+}
+
+impl Drop for OutputStage {
+    fn drop(&mut self) {
+        // A dropped stage (failed pass teardown) must not leak the
+        // thread: close the queue and let it drain.
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.open = false;
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn writer_main(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    st.in_flight += 1;
+                    break Some(job);
+                }
+                if !st.open {
+                    break None;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let buf = shared.write_one(job);
+        let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.in_flight -= 1;
+        if st.free.len() < 2 {
+            st.free.push(buf);
+        }
+        drop(st);
+        shared.free_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialSim;
+    use yy_testkit::{check_with, tk_assert, tk_assert_eq, Config, Gen};
+
+    fn gen_bytes(g: &mut Gen) -> Vec<u8> {
+        let n = g.range_usize(0, 4000);
+        let mut v = Vec::with_capacity(n);
+        while v.len() < n {
+            match g.below(4) {
+                // Long constant run (the XOR-delta shape).
+                0 => {
+                    let b = g.below(256) as u8;
+                    let run = g.range_usize(1, 600).min(n - v.len());
+                    v.extend(std::iter::repeat_n(b, run));
+                }
+                // Short noisy stretch (raw f64 mantissas).
+                _ => {
+                    let run = g.range_usize(1, 40).min(n - v.len());
+                    for _ in 0..run {
+                        v.push(g.below(256) as u8);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn rle_roundtrips_and_respects_the_expansion_bound() {
+        check_with(Config::with_cases(60), "rle_roundtrip", gen_bytes, |src| {
+            let mut enc = Vec::new();
+            rle_encode(src, &mut enc);
+            tk_assert!(
+                enc.len() <= src.len() + src.len() / 128 + 2,
+                "encoded {} bytes from {} (bound exceeded)",
+                enc.len(),
+                src.len()
+            );
+            let mut dec = Vec::new();
+            rle_decode(&enc, src.len(), &mut dec).map_err(|e| e.to_string())?;
+            tk_assert!(dec == *src, "RLE roundtrip changed the bytes");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rle_compresses_zero_runs_hard() {
+        let src = vec![0u8; 130 * 100];
+        let mut enc = Vec::new();
+        rle_encode(&src, &mut enc);
+        assert_eq!(enc.len(), 200, "a pure zero run costs 2 bytes per 130");
+        let mut dec = Vec::new();
+        rle_decode(&enc, src.len(), &mut dec).unwrap();
+        assert_eq!(dec, src);
+    }
+
+    #[test]
+    fn rle_rejects_corrupt_streams() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        let mut enc = Vec::new();
+        rle_encode(&src, &mut enc);
+        let mut dec = Vec::new();
+        // Truncated stream.
+        let err = rle_decode(&enc[..enc.len() - 1], src.len(), &mut dec).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Wrong expected length.
+        dec.clear();
+        let err = rle_decode(&enc, src.len() - 1, &mut dec).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn xor_delta_is_an_involution() {
+        check_with(Config::with_cases(20), "xor_involution", gen_bytes, |src| {
+            let mut base = src.clone();
+            base.reverse();
+            let mut d = src.clone();
+            xor_with(&mut d, &base);
+            xor_with(&mut d, &base);
+            tk_assert_eq!(d, *src);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shard_names_roundtrip_and_sort_by_step() {
+        assert_eq!(parse_shard_name(&shard_file_name(42, 3)), Some((42, 3)));
+        assert_eq!(parse_shard_name("stepXX.r0.yys"), None);
+        assert_eq!(parse_shard_name("unrelated.txt"), None);
+        assert!(shard_file_name(9, 0) < shard_file_name(10, 0));
+    }
+
+    /// One rank's worth of state for shard tests: a 1×1 layout means the
+    /// serial panel states *are* the owned blocks.
+    fn sim_at(steps: u64) -> SerialSim {
+        let mut cfg = RunConfig::small();
+        cfg.init.perturb_amplitude = 1e-2;
+        let mut sim = SerialSim::new(cfg);
+        sim.run(steps, 0);
+        sim
+    }
+
+    fn meta_for(sim: &SerialSim, rank: u64, panel: u64) -> ShardMeta {
+        let shape = sim.yin.shape();
+        ShardMeta {
+            shape,
+            step: sim.step,
+            time: sim.time,
+            dt_cache: sim.dt_cache,
+            pth: 1,
+            pph: 1,
+            rank,
+            panel,
+            j0: 0,
+            tnth: shape.nth as u64,
+            k0: 0,
+            tnph: shape.nph as u64,
+            flags: 0,
+            base_step: NO_BASE,
+        }
+    }
+
+    fn no_base(_: u64) -> io::Result<Vec<u8>> {
+        panic!("self-contained shard must not resolve a base")
+    }
+
+    #[test]
+    fn shard_roundtrips_exactly_under_every_codec() {
+        let sim = sim_at(2);
+        let meta = meta_for(&sim, 0, 0);
+        let mut raw = Vec::new();
+        pack_shard_payload(&sim.yin, meta.tnth as usize, meta.tnph as usize, &mut raw);
+        for codec in [CkptCodec::Raw, CkptCodec::Rle, CkptCodec::Delta] {
+            let mut file = Vec::new();
+            encode_shard(&meta, &raw, None, codec, &mut file).unwrap();
+            let (back_meta, back_raw) =
+                read_shard(&mut file.as_slice(), &mut no_base).unwrap();
+            assert_eq!(back_raw, raw, "{codec:?} payload roundtrip");
+            assert_eq!(back_meta.step, meta.step);
+            assert_eq!(back_meta.shape, meta.shape);
+        }
+    }
+
+    #[test]
+    fn delta_shard_chains_to_its_base_and_compresses() {
+        let mut sim = sim_at(1);
+        let meta0 = meta_for(&sim, 0, 0);
+        let mut raw0 = Vec::new();
+        pack_shard_payload(&sim.yin, meta0.tnth as usize, meta0.tnph as usize, &mut raw0);
+        sim.run(1, 0);
+        let meta1 = meta_for(&sim, 0, 0);
+        let mut raw1 = Vec::new();
+        pack_shard_payload(&sim.yin, meta1.tnth as usize, meta1.tnph as usize, &mut raw1);
+        let mut file = Vec::new();
+        let (flags, base_step) =
+            encode_shard(&meta1, &raw1, Some((meta0.step, &raw0)), CkptCodec::Delta, &mut file)
+                .unwrap();
+        assert_eq!(flags, FLAG_DELTA | FLAG_RLE);
+        assert_eq!(base_step, meta0.step);
+        let mut resolved = false;
+        let mut resolve = |s: u64| {
+            assert_eq!(s, meta0.step);
+            resolved = true;
+            Ok(raw0.clone())
+        };
+        let (_, back) = read_shard(&mut file.as_slice(), &mut resolve).unwrap();
+        assert!(resolved, "delta decode must consult the base");
+        assert_eq!(back, raw1);
+    }
+
+    #[test]
+    fn corrupt_shards_are_rejected_with_context() {
+        let sim = sim_at(1);
+        let meta = meta_for(&sim, 0, 0);
+        let mut raw = Vec::new();
+        pack_shard_payload(&sim.yin, meta.tnth as usize, meta.tnph as usize, &mut raw);
+        let mut file = Vec::new();
+        encode_shard(&meta, &raw, None, CkptCodec::Rle, &mut file).unwrap();
+        // Truncation anywhere names what was being read.
+        for cut in [4, 60, 180, file.len() / 2, file.len() - 6, file.len() - 1] {
+            let err = read_shard(&mut &file[..cut], &mut no_base).unwrap_err();
+            assert!(
+                err.to_string().contains("truncated"),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+        // A payload bit flip must trip the CRC (or the codec's internal
+        // consistency checks) — never decode silently.
+        for pos in [250, file.len() / 2, file.len() - 20] {
+            let mut bad = file.clone();
+            bad[pos] ^= 0x04;
+            let err = read_shard(&mut bad.as_slice(), &mut no_base).unwrap_err();
+            assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "flip at {pos}: unexpected error {err}"
+            );
+        }
+        // A header bit flip in the step counter lands in the CRC too.
+        let mut bad = file.clone();
+        bad[48] ^= 0x01; // low byte of the step field
+        let err = read_shard(&mut bad.as_slice(), &mut no_base).unwrap_err();
+        assert!(
+            matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+            "{err}"
+        );
+        // Old-version magic is named.
+        let mut bad = file;
+        bad[7] = 0x02;
+        let err = read_shard(&mut bad.as_slice(), &mut no_base).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn codec_parse_accepts_the_cli_names() {
+        assert_eq!(CkptCodec::parse("none"), Ok(CkptCodec::Raw));
+        assert_eq!(CkptCodec::parse("rle"), Ok(CkptCodec::Rle));
+        assert_eq!(CkptCodec::parse("delta"), Ok(CkptCodec::Delta));
+        let err = CkptCodec::parse("zip").unwrap_err();
+        assert!(err.contains("expected none|rle|delta"), "{err}");
+        for c in [CkptCodec::Raw, CkptCodec::Rle, CkptCodec::Delta] {
+            assert_eq!(CkptCodec::parse(c.name()), Ok(c));
+        }
+    }
+
+    #[test]
+    fn output_stage_writes_atomically_in_both_modes() {
+        let dir = std::env::temp_dir().join(format!("yy_output_stage_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for async_mode in [false, true] {
+            let stage = OutputStage::new(async_mode);
+            let mut waited = 0;
+            for i in 0..5u32 {
+                let (mut buf, w) = stage.acquire();
+                waited += w;
+                buf.clear();
+                buf.extend_from_slice(format!("payload {i} ({async_mode})").as_bytes());
+                let name = dir.join(format!("f{async_mode}_{i}.bin"));
+                waited += stage.submit(name, buf, 10);
+            }
+            waited += stage.flush();
+            let totals = stage.finish().expect("no write errors");
+            assert_eq!(totals.files_written, 5);
+            assert_eq!(totals.bytes_raw, 50);
+            assert!(totals.bytes_written > 0);
+            let _ = waited; // blocking is legal, not required
+            for i in 0..5u32 {
+                let body =
+                    std::fs::read_to_string(dir.join(format!("f{async_mode}_{i}.bin"))).unwrap();
+                assert_eq!(body, format!("payload {i} ({async_mode})"));
+            }
+            // No temp litter after a flush.
+            assert!(
+                std::fs::read_dir(&dir)
+                    .unwrap()
+                    .all(|e| !e.unwrap().file_name().to_string_lossy().ends_with(".tmp")),
+                "temp files left behind"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn output_stage_surfaces_write_errors_at_finish() {
+        let stage = OutputStage::new(true);
+        let (mut buf, _) = stage.acquire();
+        buf.extend_from_slice(b"x");
+        stage.submit(PathBuf::from("/nonexistent-dir/zz/f.bin"), buf, 1);
+        stage.flush();
+        let err = stage.finish().unwrap_err();
+        assert!(err.contains("/nonexistent-dir"), "{err}");
+    }
+}

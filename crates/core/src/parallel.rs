@@ -41,11 +41,13 @@ use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::health::{HealthGuard, HealthLimits};
 use crate::obs::{recorders_to_chrome, ObsOpts};
+use crate::output::{pack_shard_payload, shard_file_name, CkptCodec, OutputStage, ShardMeta};
 pub use crate::report::{ElasticSummary, RecoveryEvent, RetileRecord};
-use crate::report::{PhaseBreakdown, RunReport, TimeSeriesPoint};
+use crate::report::{IoStats, PhaseBreakdown, RunReport, TimeSeriesPoint};
 use crate::serial::{combine_fused_tally, combine_tally, overset_donate_tally, overset_fill_tally};
 use crate::weights::ColumnCosts;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use yy_field::{pack_region, unpack_region, Array3, Meters, Region};
@@ -251,6 +253,18 @@ pub struct RecoveryOpts {
     /// conditions — the `restart onto (pth', pph')` path. Any layout's
     /// checkpoint restores onto any other layout bit-exactly.
     pub resume_from: Option<Checkpoint>,
+    /// Directory for per-rank checkpoint *shards* (`None` disables disk
+    /// persistence; the in-memory rollback slot always works). Each rank
+    /// writes its owned region at every checkpoint event; any complete
+    /// shard set merges back into a serial-format checkpoint
+    /// byte-identically ([`crate::output::merge_shards`]).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Overlap shard writes with compute via the per-rank writer thread
+    /// (`true`, the default) or write inline at the capture point
+    /// (`false`, the synchronous baseline the IO bench compares).
+    pub ckpt_async: bool,
+    /// Shard payload codec (`none` | `rle` | `delta`).
+    pub ckpt_compress: CkptCodec,
 }
 
 impl Default for RecoveryOpts {
@@ -270,6 +284,9 @@ impl Default for RecoveryOpts {
             retile_backoff: Duration::from_millis(50),
             weights: WeightsMode::Uniform,
             resume_from: None,
+            ckpt_dir: None,
+            ckpt_async: true,
+            ckpt_compress: CkptCodec::Raw,
         }
     }
 }
@@ -446,6 +463,22 @@ pub fn run_parallel_supervised(
         Some(c) => c.decompose(p, q, &grid),
         None => Decomp2D::new(p, q, &grid),
     };
+    // Disk persistence: each rank writes its owned region into the shard
+    // directory at every checkpoint event, overlapped with compute when
+    // `ckpt_async` (the tentpole). Presence is rank-uniform by
+    // construction — the config is decided here, once, for the run.
+    let shard_cfg: Option<Arc<ShardCfg>> = match &opts.ckpt_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating checkpoint directory {}: {e}", dir.display()))?;
+            Some(Arc::new(ShardCfg {
+                dir: dir.clone(),
+                async_mode: opts.ckpt_async,
+                codec: opts.ckpt_compress,
+            }))
+        }
+        None => None,
+    };
     let slot: Arc<Mutex<Option<Checkpoint>>> = Arc::new(Mutex::new(None));
     // The restart-onto-any-layout path: a serial-format checkpoint from
     // *any* producer (serial run, any tile layout) seeds the slot, and
@@ -497,6 +530,7 @@ pub fn run_parallel_supervised(
         let slot2 = Arc::clone(&slot);
         let obs2 = rank_obs.clone();
         let decomp2 = Arc::clone(&decomp);
+        let shards2 = shard_cfg.clone();
         let (checkpoint_every, health, sync_mode) = (eff_ckpt_every, opts.health, opts.sync_mode);
         let pass_started = Instant::now();
         let results = Universe::run_supervised(nprocs, sup, move |world| {
@@ -513,6 +547,7 @@ pub fn run_parallel_supervised(
                 &slot2,
                 sync_mode,
                 &obs2,
+                shards2.as_deref(),
             )
         });
 
@@ -827,10 +862,12 @@ fn rank_main_supervised(
     slot: &Mutex<Option<Checkpoint>>,
     sync_mode: SyncMode,
     obs: &RankObs,
+    shards: Option<&ShardCfg>,
 ) -> Result<Option<ParallelReport>, String> {
     let tiles = decomp.tiles();
     let (mut solver, mut state) =
         RankSolver::new(cfg, &world, decomp, sync_mode, obs.counters);
+    let mut emitter = shards.map(ShardEmitter::new);
     let mut dt_cache = match resume {
         Some(ck) => {
             solver.restore_tile(&mut state, ck);
@@ -855,6 +892,9 @@ fn rank_main_supervised(
     // even a failure before the first periodic capture can recover.
     if resume.is_none() {
         solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+        if let Some(em) = &mut emitter {
+            em.emit(&mut solver, &state, dt_cache);
+        }
         world.record_event(Event::CheckpointSaved { step: solver.step });
     }
 
@@ -903,6 +943,9 @@ fn rank_main_supervised(
         }
         if checkpoint_every > 0 && solver.step % checkpoint_every == 0 && solver.step < steps {
             solver.capture_checkpoint(&state, tiles, dt_cache, slot);
+            if let Some(em) = &mut emitter {
+                em.emit(&mut solver, &state, dt_cache);
+            }
             world.record_event(Event::CheckpointSaved { step: solver.step });
         }
         world.sample_queue_depth();
@@ -961,8 +1004,54 @@ fn rank_main_supervised(
         series.push(TimeSeriesPoint { step: solver.step, time: solver.time, dt: dt_cache, diag: d });
     }
 
+    // Final shard + writer drain *before* the counter aggregation, so
+    // the writer_wait phase and the IO totals are complete. The drain is
+    // local; the error verdict is collective (presence of `shards` is
+    // rank-uniform), so every rank returns together on a write failure.
+    let io_totals = match emitter {
+        Some(mut em) => {
+            em.emit(&mut solver, &state, dt_cache);
+            world.record_phase_ns(SolverPhase::WriterWait, em.stage.flush());
+            Some(em.stage.finish())
+        }
+        None => None,
+    };
+    let io = match &io_totals {
+        Some(result) => {
+            let bad = world
+                .allreduce_f64(if result.is_err() { 1.0 } else { 0.0 }, ReduceOp::Max);
+            if bad > 0.0 {
+                return Err(match result {
+                    Err(e) => format!("rank {}: checkpoint shard write: {e}", world.rank()),
+                    Ok(_) => "checkpoint shard write failed on a peer rank".to_string(),
+                });
+            }
+            let t = result.as_ref().expect("error ranks returned above");
+            let sums = world.allreduce_vec(
+                &[
+                    t.files_written as f64,
+                    t.bytes_raw as f64,
+                    t.bytes_written as f64,
+                    t.write_wall_ns as f64,
+                ],
+                ReduceOp::Sum,
+            );
+            IoStats {
+                shards_written: sums[0] as u64,
+                snapshots_written: 0,
+                bytes_raw: sums[1] as u64,
+                bytes_written: sums[2] as u64,
+                write_wall_s: sums[3] / 1e9,
+                writer_wait_s: 0.0, // filled from the phase breakdown below
+                async_mode: shards.map(|s| s.async_mode).unwrap_or(false),
+                codec: shards.map(|s| s.codec.name()).unwrap_or("none").to_string(),
+            }
+        }
+        None => IoStats::default(),
+    };
     let (flops, halo_bytes, overset_bytes, max_queue_depth, phases, hists, kernels) =
         solver.aggregate_counters();
+    let io = IoStats { writer_wait_s: phases.writer_wait_s, ..io };
     let achieved_imbalance = solver.achieved_imbalance();
     solver.capture_checkpoint(&state, tiles, dt_cache, slot);
     world.record_event(Event::CheckpointSaved { step: solver.step });
@@ -986,6 +1075,7 @@ fn rank_main_supervised(
                 recoveries: Vec::new(),
                 elastic: Default::default(),
                 kernels,
+                io,
                 series,
             },
             yin: None,
@@ -1137,6 +1227,15 @@ struct RankSolver<'a> {
     meter: Meters,
     time: f64,
     step: u64,
+    /// Rank 0's reusable checkpoint-assembly buffer: swapped with the
+    /// supervisor's last-good slot at every capture, so steady-state
+    /// checkpointing stops reallocating two full panel states per event
+    /// (pinned by the `ckpt_alloc` regression test). Always `None` on
+    /// other ranks.
+    ckpt_scratch: Option<Checkpoint>,
+    /// Rank 0's cached overset columns for the checkpoint frame refill
+    /// (building them is the other per-capture allocation storm).
+    ckpt_cols: Option<Vec<OversetColumn>>,
 }
 
 /// Per-rank observability knobs the supervised rank program receives
@@ -1147,6 +1246,83 @@ struct RankObs {
     counters: bool,
     profile_every: u64,
     metrics: Option<Arc<MetricsHub>>,
+}
+
+/// Output-pipeline configuration the supervisor hands every rank
+/// (rank-uniform, so the collective error check never diverges).
+struct ShardCfg {
+    dir: PathBuf,
+    async_mode: bool,
+    codec: CkptCodec,
+}
+
+/// Per-rank shard emitter: packs this rank's owned region at every
+/// checkpoint event and hands the *raw* payload to the [`OutputStage`],
+/// whose consumer side (the writer thread, in async mode) does the
+/// delta/RLE encoding and the file write — so the step path pays only
+/// for the pack memcpy plus any buffer-pool backpressure.
+struct ShardEmitter {
+    stage: OutputStage,
+    dir: PathBuf,
+    codec: CkptCodec,
+}
+
+impl ShardEmitter {
+    fn new(cfg: &ShardCfg) -> ShardEmitter {
+        ShardEmitter {
+            stage: OutputStage::new(cfg.async_mode),
+            dir: cfg.dir.clone(),
+            codec: cfg.codec,
+        }
+    }
+
+    /// Pack and submit one shard of the current state. Purely local
+    /// (no collectives — a peer death cannot strand it); time blocked
+    /// on the buffer pool (or encoding and writing inline, in sync
+    /// mode) is charged to the `writer_wait` phase, and the pack work
+    /// to the `output` kernel slot.
+    fn emit(&mut self, solver: &mut RankSolver, state: &State, dt_cache: f64) {
+        let t0 = solver.meter.timer();
+        let (mut raw, mut wait_ns) = self.stage.acquire();
+        pack_shard_payload(state, solver.tile.nth, solver.tile.nph, &mut raw);
+        let dims = solver.cart.dims();
+        let (panel, _) = panel_of_world(solver.world.rank(), dims[0] * dims[1]);
+        let meta = ShardMeta {
+            shape: solver.grid.full_shape(),
+            step: solver.step,
+            time: solver.time,
+            dt_cache,
+            pth: dims[0] as u64,
+            pph: dims[1] as u64,
+            rank: solver.world.rank() as u64,
+            panel: panel.index() as u64,
+            j0: solver.tile.j0 as u64,
+            tnth: solver.tile.nth as u64,
+            k0: solver.tile.k0 as u64,
+            tnph: solver.tile.nph as u64,
+            flags: 0,
+            base_step: u64::MAX,
+        };
+        let raw_len = raw.len() as u64;
+        let path = self.dir.join(shard_file_name(meta.step, solver.world.rank()));
+        wait_ns += self.stage.submit_shard(path, raw, meta, self.codec);
+        solver.world.record_phase_ns(SolverPhase::WriterWait, wait_ns);
+        // Producer-side tally: the pack traffic. The encoded size is
+        // not known here (the consumer compresses later); the on-disk
+        // byte totals live in the report's `io` section instead.
+        solver.meter.kernel_timed(
+            kernel::OUTPUT,
+            KernelTally {
+                points: raw_len / 8,
+                loops: 1,
+                vector_elements: raw_len / 8,
+                flops: 0,
+                bytes_read: raw_len,
+                bytes_written: raw_len,
+            },
+            t0,
+        );
+    }
 }
 
 /// Overset donate tally with owned-target accounting: flops, points and
@@ -1299,6 +1475,7 @@ fn rank_main(
                 recoveries: Vec::new(),
                 elastic: Default::default(),
                 kernels,
+                io: IoStats::default(),
                 series,
             },
             yin,
@@ -1418,6 +1595,8 @@ impl<'a> RankSolver<'a> {
             })),
             time: 0.0,
             step: 0,
+            ckpt_scratch: None,
+            ckpt_cols: None,
         };
         (solver, state)
     }
@@ -2047,25 +2226,104 @@ impl<'a> RankSolver<'a> {
     /// Gather the panels and (on world rank 0) store a serial-compatible
     /// checkpoint of the current state into the supervisor's slot. Every
     /// rank must call this — the gather is collective.
+    ///
+    /// Rank 0 assembles into a reusable scratch checkpoint and *swaps*
+    /// it with the slot, so steady-state captures stop reallocating two
+    /// full panel states (and rebuilding the overset columns) per event.
+    /// The slot is only ever replaced whole — a rank killed mid-gather
+    /// panics this rank before the swap, leaving the last good
+    /// checkpoint untouched.
     fn capture_checkpoint(
-        &self,
+        &mut self,
         state: &State,
         tiles: usize,
         dt_cache: f64,
         slot: &Mutex<Option<Checkpoint>>,
     ) {
-        let (yin, yang) = self.gather_panels(state, tiles);
-        if self.world.rank() == 0 {
-            let ck = parallel_checkpoint(
-                &self.cfg,
-                yin.expect("rank 0 gathers yin"),
-                yang.expect("rank 0 gathers yang"),
-                self.step,
-                self.time,
-                dt_cache,
-            );
-            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ck);
+        let nr = self.grid.spec().nr;
+        let owned = Region {
+            i0: 0,
+            i1: nr,
+            j0: 0,
+            j1: self.tile.nth as isize,
+            k0: 0,
+            k1: self.tile.nph as isize,
+        };
+        let mut buf = Vec::with_capacity(owned.len() * 8);
+        for arr in state.arrays() {
+            pack_region(arr, owned, &mut buf);
         }
+        if self.world.rank() != 0 {
+            self.world.send_f64s(0, TAG_GATHER, buf, TrafficClass::Control);
+            return;
+        }
+        let full = self.grid.full_shape();
+        // Reuse the scratch checkpoint when it exists; otherwise build
+        // *initialized* full panels — the serial driver's ghost padding
+        // keeps its initialization values forever (syncs only rewrite
+        // frames and walls), so a gathered checkpoint is byte-identical
+        // to a serial one only if the unowned padding carries the same
+        // initial bytes. A reused scratch preserves that invariant:
+        // every checkpoint that ever occupied it was built this way,
+        // and captures rewrite only owned blocks, frames and walls.
+        let mut ck = match self.ckpt_scratch.take() {
+            Some(ck) if ck.shape == full => ck,
+            _ => {
+                let mut panels = [State::zeros(full), State::zeros(full)];
+                for (p, s) in [Panel::Yin, Panel::Yang].into_iter().zip(panels.iter_mut()) {
+                    initialize(s, &self.grid, None, &self.cfg.params, &self.cfg.init, p);
+                }
+                let [yin, yang] = panels;
+                Checkpoint { shape: full, step: 0, time: 0.0, dt_cache: 0.0, yin, yang }
+            }
+        };
+        for world_rank in 0..2 * tiles {
+            let data = if world_rank == 0 {
+                std::mem::take(&mut buf)
+            } else {
+                self.world.recv_f64s(world_rank, TAG_GATHER)
+            };
+            let (panel, pr) = panel_of_world(world_rank, tiles);
+            let t = self.decomp.tile(pr);
+            let region = Region {
+                i0: 0,
+                i1: nr,
+                j0: t.j0 as isize,
+                j1: (t.j0 + t.nth) as isize,
+                k0: t.k0 as isize,
+                k1: (t.k0 + t.nph) as isize,
+            };
+            let dst = match panel {
+                Panel::Yin => &mut ck.yin,
+                Panel::Yang => &mut ck.yang,
+            };
+            let mut rest: &[f64] = &data;
+            for arr in dst.arrays_mut() {
+                rest = unpack_region(arr, region, rest);
+            }
+            assert!(rest.is_empty());
+        }
+        // Refill the overset frames and wall conditions exactly as
+        // `parallel_checkpoint` would, against columns built once.
+        if self.ckpt_cols.is_none() {
+            self.ckpt_cols = Some(
+                build_overset_columns(&self.grid)
+                    .unwrap_or_else(|e| panic!("invalid Yin-Yang configuration: {e}")),
+            );
+        }
+        let cols = self.ckpt_cols.as_ref().expect("just filled");
+        crate::serial::fill_pair(
+            &mut ck.yin,
+            &mut ck.yang,
+            cols,
+            self.cfg.params.t_inner,
+            self.cfg.mag_bc,
+            None,
+        );
+        ck.step = self.step;
+        ck.time = self.time;
+        ck.dt_cache = dt_cache;
+        self.ckpt_scratch = slot.lock().unwrap_or_else(|e| e.into_inner()).replace(ck);
     }
 
     /// Merge one per-rank histogram snapshot across every rank: bucket
@@ -2099,6 +2357,7 @@ impl<'a> RankSolver<'a> {
                 stats.ns_wait as f64,
                 stats.ns_boundary as f64,
                 stats.ns_overset as f64,
+                stats.ns_writer_wait as f64,
             ],
             ReduceOp::Sum,
         );
@@ -2108,6 +2367,7 @@ impl<'a> RankSolver<'a> {
             wait_s: ns[2] / 1e9,
             boundary_s: ns[3] / 1e9,
             overset_s: ns[4] / 1e9,
+            writer_wait_s: ns[5] / 1e9,
         };
         let hists = [stats.recv_wait, stats.step_wall, stats.queue_depth]
             .map(|h| self.merge_hist(h));

@@ -35,12 +35,21 @@ pub struct PhaseBreakdown {
     pub boundary_s: f64,
     /// Overset interpolation, packing and placement.
     pub overset_s: f64,
+    /// Time blocked on the async output writer's buffer pool (or inside
+    /// inline writes in sync mode) — the *unhidden* cost of checkpoint
+    /// and snapshot emission, the output pipeline's analogue of `wait_s`.
+    pub writer_wait_s: f64,
 }
 
 impl PhaseBreakdown {
     /// Total instrumented time across the phases.
     pub fn total_s(&self) -> f64 {
-        self.pack_s + self.interior_s + self.wait_s + self.boundary_s + self.overset_s
+        self.pack_s
+            + self.interior_s
+            + self.wait_s
+            + self.boundary_s
+            + self.overset_s
+            + self.writer_wait_s
     }
 
     /// Fraction of the exchange window covered by deep-interior compute:
@@ -163,6 +172,75 @@ impl ElasticSummary {
     }
 }
 
+/// The `io` section of the v4 report: what the output pipeline wrote
+/// and what it cost. All-zero (with `async_mode=false`, `codec="none"`)
+/// when no output directory was configured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoStats {
+    /// Checkpoint shards durably written, summed over every rank.
+    pub shards_written: u64,
+    /// Snapshot/series products written through the output stage.
+    pub snapshots_written: u64,
+    /// Uncompressed payload bytes behind the writes.
+    pub bytes_raw: u64,
+    /// Encoded bytes that actually hit disk.
+    pub bytes_written: u64,
+    /// Wall seconds spent inside file writes, summed over ranks (hidden
+    /// behind compute in async mode).
+    pub write_wall_s: f64,
+    /// Wall seconds the solver threads spent blocked on the writer —
+    /// duplicates `phases.writer_wait_s` for self-contained consumers.
+    pub writer_wait_s: f64,
+    /// Whether writes overlapped compute.
+    pub async_mode: bool,
+    /// Payload codec name (`none` | `rle` | `delta`).
+    pub codec: String,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        IoStats {
+            shards_written: 0,
+            snapshots_written: 0,
+            bytes_raw: 0,
+            bytes_written: 0,
+            write_wall_s: 0.0,
+            writer_wait_s: 0.0,
+            async_mode: false,
+            codec: "none".into(),
+        }
+    }
+}
+
+impl IoStats {
+    /// Uncompressed-to-written size ratio (1.0 when nothing was written).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_written == 0 {
+            return 1.0;
+        }
+        self.bytes_raw as f64 / self.bytes_written as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"shards_written":{},"snapshots_written":{},"bytes_raw":{},"#,
+                r#""bytes_written":{},"write_wall_s":{},"writer_wait_s":{},"#,
+                r#""async_mode":{},"codec":"{}","compression_ratio":{}}}"#
+            ),
+            self.shards_written,
+            self.snapshots_written,
+            self.bytes_raw,
+            self.bytes_written,
+            num(self.write_wall_s),
+            num(self.writer_wait_s),
+            self.async_mode,
+            escape(&self.codec),
+            num(self.compression_ratio()),
+        )
+    }
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -202,6 +280,9 @@ pub struct RunReport {
     /// Elastic-decomposition summary (failure policy, layout history,
     /// partitioner balance). Defaults for serial/unsupervised runs.
     pub elastic: ElasticSummary,
+    /// Output-pipeline summary (shards, bytes, writer cost). Defaults
+    /// when no output directory was configured.
+    pub io: IoStats,
     /// Per-kernel performance counters over the stepping window, merged
     /// across every rank (all-zero when counters were disabled). The
     /// per-kernel FLOPs sum to `flops` exactly when enabled — the
@@ -209,6 +290,28 @@ pub struct RunReport {
     pub kernels: CounterSnapshot,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
+}
+
+/// Render a diagnostics series as CSV — shared by
+/// [`RunReport::series_csv`] and the live `energy.csv` stream, so the
+/// mid-run product is a byte prefix of the final one.
+pub(crate) fn series_csv_of(series: &[TimeSeriesPoint]) -> String {
+    let mut out = String::from("step,time,dt,kinetic,magnetic,thermal,mass,max_speed,max_b\n");
+    for p in series {
+        out.push_str(&format!(
+            "{},{:.8e},{:.4e},{:.8e},{:.8e},{:.8e},{:.8e},{:.4e},{:.4e}\n",
+            p.step,
+            p.time,
+            p.dt,
+            p.diag.kinetic,
+            p.diag.magnetic,
+            p.diag.thermal,
+            p.diag.mass,
+            p.diag.max_speed,
+            p.diag.max_b
+        ));
+    }
+    out
 }
 
 impl RunReport {
@@ -233,37 +336,21 @@ impl RunReport {
     /// Render the series as CSV (`step,time,dt,kinetic,magnetic,thermal,
     /// mass,max_speed,max_b`).
     pub fn series_csv(&self) -> String {
-        let mut out =
-            String::from("step,time,dt,kinetic,magnetic,thermal,mass,max_speed,max_b\n");
-        for p in &self.series {
-            out.push_str(&format!(
-                "{},{:.8e},{:.4e},{:.8e},{:.8e},{:.8e},{:.8e},{:.4e},{:.4e}\n",
-                p.step,
-                p.time,
-                p.dt,
-                p.diag.kinetic,
-                p.diag.magnetic,
-                p.diag.thermal,
-                p.diag.mass,
-                p.diag.max_speed,
-                p.diag.max_b
-            ));
-        }
-        out
+        series_csv_of(&self.series)
     }
 
     /// Render the report as a stable, schema-versioned JSON artifact.
     ///
-    /// The schema identifier is `yy.runreport.v3`; consumers key on it
+    /// The schema identifier is `yy.runreport.v4`; consumers key on it
     /// and on field presence. Fields are only ever *added* within a
-    /// schema version — renames or removals bump the version. v3 is a
-    /// strict superset of v2 (which was a strict superset of v1): it
-    /// adds the `elastic` section (supervisor failure policy, retile
-    /// history, partitioner balance) and changes nothing else, so v1/v2
-    /// readers that ignore unknown fields keep working (pinned by the
-    /// `v2_reader_keeps_working_on_v3_output` test). All histogram and
-    /// counter values are exact integers, so the artifact is bitwise
-    /// reproducible for a deterministic run.
+    /// schema version — renames or removals bump the version. v4 is a
+    /// strict superset of v3 (itself a superset of v2 and v1): it adds
+    /// the `io` section (output-pipeline shards, bytes, writer cost)
+    /// and a `writer_wait_s` key inside `phases`, changing nothing
+    /// else, so v1/v2/v3 readers that ignore unknown fields keep
+    /// working (pinned by the `v3_reader_keeps_working_on_v4_output`
+    /// test). All histogram and counter values are exact integers, so
+    /// the artifact is bitwise reproducible for a deterministic run.
     pub fn to_json(&self) -> String {
         let kernels: Vec<String> = self
             .kernels
@@ -296,13 +383,14 @@ impl RunReport {
         let phases = format!(
             concat!(
                 r#"{{"pack_s":{},"interior_s":{},"wait_s":{},"boundary_s":{},"#,
-                r#""overset_s":{},"hidden_comm_fraction":{}}}"#
+                r#""overset_s":{},"writer_wait_s":{},"hidden_comm_fraction":{}}}"#
             ),
             num(self.phases.pack_s),
             num(self.phases.interior_s),
             num(self.phases.wait_s),
             num(self.phases.boundary_s),
             num(self.phases.overset_s),
+            num(self.phases.writer_wait_s),
             num(self.phases.hidden_comm_fraction()),
         );
         let hists = format!(
@@ -347,7 +435,7 @@ impl RunReport {
         format!(
             concat!(
                 "{{\n",
-                "\"schema\":\"yy.runreport.v3\",\n",
+                "\"schema\":\"yy.runreport.v4\",\n",
                 "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
                 "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
                 "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
@@ -356,6 +444,7 @@ impl RunReport {
                 "\"kernels\":[{}],\n",
                 "\"recoveries\":[{}],\n",
                 "\"elastic\":{},\n",
+                "\"io\":{},\n",
                 "\"series\":[{}]\n",
                 "}}\n"
             ),
@@ -374,6 +463,7 @@ impl RunReport {
             kernels.join(",\n"),
             recoveries.join(","),
             self.elastic.to_json(),
+            self.io.to_json(),
             series.join(","),
         )
     }
@@ -411,9 +501,12 @@ mod tests {
             wait_s: 1.0,
             boundary_s: 0.5,
             overset_s: 0.2,
+            writer_wait_s: 0.4,
         };
+        // writer_wait is charged to the total, but the hidden-comm
+        // fraction stays a property of the exchange window alone.
         assert!((p.hidden_comm_fraction() - 0.75).abs() < 1e-15);
-        assert!((p.total_s() - 4.8).abs() < 1e-12);
+        assert!((p.total_s() - 5.2).abs() < 1e-12);
         assert_eq!(PhaseBreakdown::default().hidden_comm_fraction(), 0.0);
     }
 
@@ -459,7 +552,7 @@ mod tests {
             diag: Diagnostics::default(),
         });
         let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v3"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v4"));
         assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
         let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
         assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
@@ -570,6 +663,75 @@ mod tests {
         let e = plain.get("elastic").expect("default elastic section");
         assert_eq!(e.get("retiles").unwrap().as_arr().unwrap().len(), 0);
         assert_eq!(e.get("achieved_imbalance").unwrap().as_f64(), Some(1.0));
+    }
+
+    /// The v3→v4 compatibility contract: a reader written against
+    /// `yy.runreport.v3` — which keys on field presence, not the schema
+    /// string — must keep working on v4 output, since v4 only *adds*
+    /// the `io` section and `phases.writer_wait_s`. This test is that
+    /// reader (it exercises the v3 `elastic` section and every earlier
+    /// field family a v3 consumer reads).
+    #[test]
+    fn v3_reader_keeps_working_on_v4_output() {
+        use yy_obs::Json;
+        let r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            ..Default::default()
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let e = doc.get("elastic").expect("v3 elastic section");
+        assert!(e.get("policy").unwrap().as_str().is_some());
+        assert!(e.get("retiles").unwrap().as_arr().is_some());
+        assert_eq!(doc.get("kernels").unwrap().as_arr().unwrap().len(), kernel::COUNT);
+        for field in ["time", "steps", "flops", "wall_seconds", "grid_points"] {
+            assert!(doc.get(field).and_then(|v| v.as_f64()).is_some(), "v3 field {field}");
+        }
+        assert!(doc.get("phases").unwrap().get("hidden_comm_fraction").is_some());
+        // The v3 reader never touches (or needs) the new `io` section.
+    }
+
+    /// The v4 `io` section: always present, schema-stable keys, totals
+    /// and derived compression ratio carried through.
+    #[test]
+    fn io_section_lands_in_the_artifact() {
+        use yy_obs::Json;
+        let mut r = RunReport::default();
+        r.io = IoStats {
+            shards_written: 6,
+            snapshots_written: 2,
+            bytes_raw: 4000,
+            bytes_written: 1000,
+            write_wall_s: 0.25,
+            writer_wait_s: 0.03,
+            async_mode: true,
+            codec: "delta".into(),
+        };
+        r.phases.writer_wait_s = 0.03;
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let io = doc.get("io").expect("io section");
+        assert_eq!(io.get("shards_written").unwrap().as_f64(), Some(6.0));
+        assert_eq!(io.get("snapshots_written").unwrap().as_f64(), Some(2.0));
+        assert_eq!(io.get("bytes_raw").unwrap().as_f64(), Some(4000.0));
+        assert_eq!(io.get("bytes_written").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(io.get("write_wall_s").unwrap().as_f64(), Some(0.25));
+        assert_eq!(io.get("writer_wait_s").unwrap().as_f64(), Some(0.03));
+        assert_eq!(io.get("async_mode").unwrap().as_bool(), Some(true));
+        assert_eq!(io.get("codec").unwrap().as_str(), Some("delta"));
+        assert_eq!(io.get("compression_ratio").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            doc.get("phases").unwrap().get("writer_wait_s").unwrap().as_f64(),
+            Some(0.03)
+        );
+        // Default reports still carry the section (schema-checked in CI).
+        let plain = Json::parse(&RunReport::default().to_json()).unwrap();
+        let io = plain.get("io").expect("default io section");
+        assert_eq!(io.get("codec").unwrap().as_str(), Some("none"));
+        assert_eq!(io.get("async_mode").unwrap().as_bool(), Some(false));
+        assert_eq!(io.get("compression_ratio").unwrap().as_f64(), Some(1.0));
     }
 
     /// The v1→v2 compatibility contract: a reader written against

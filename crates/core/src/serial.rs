@@ -18,7 +18,9 @@
 //! ```
 
 use crate::config::RunConfig;
-use crate::report::{RunReport, TimeSeriesPoint};
+use crate::output::OutputStage;
+use crate::report::{series_csv_of, IoStats, RunReport, TimeSeriesPoint};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use yy_field::Meters;
@@ -165,6 +167,27 @@ pub fn fill_pair_scalar(
     for col in cols {
         apply_scalar(col, yin, yang);
     }
+}
+
+/// Options for [`SerialSim::run_streaming`]: where the live output
+/// products land and how the writer behaves.
+#[derive(Debug, Clone)]
+pub struct StreamOpts {
+    /// Directory the products are written into (created if missing).
+    pub dir: PathBuf,
+    /// Emit an equatorial temperature slice every this many steps
+    /// (0 = only at the end; one is always written at the final step).
+    pub snapshot_every: u64,
+    /// Route writes through the background writer thread so they
+    /// overlap the next steps' compute (`false` = write inline).
+    pub async_mode: bool,
+}
+
+/// Live state of an output stream during a streaming run.
+struct Stream<'a> {
+    opts: &'a StreamOpts,
+    stage: OutputStage,
+    wait_ns: u64,
 }
 
 /// The serial two-panel simulation.
@@ -390,6 +413,91 @@ impl SerialSim {
     /// Run `steps` steps with automatic dt, sampling diagnostics every
     /// `sample_every` steps (0 = only at start/end).
     pub fn run(&mut self, steps: u64, sample_every: u64) -> RunReport {
+        self.run_impl(steps, sample_every, None)
+    }
+
+    /// Run like [`run`](Self::run), but stream output products live
+    /// through the same double-buffered [`OutputStage`] the parallel
+    /// checkpoint shards use: the energy series lands in
+    /// `dir/energy.csv` (rewritten atomically at every sample — the
+    /// paper's Fig. 1 product, readable mid-run) and an equatorial
+    /// temperature slice lands in `dir/snapNNNNNNNNNN.eq_t.csv` every
+    /// `snapshot_every` steps plus at the end (the Fig. 2 product).
+    /// The stream only *reads* solver state — the trajectory is
+    /// bitwise-identical to a plain [`run`](Self::run).
+    pub fn run_streaming(
+        &mut self,
+        steps: u64,
+        sample_every: u64,
+        opts: &StreamOpts,
+    ) -> Result<RunReport, String> {
+        std::fs::create_dir_all(&opts.dir)
+            .map_err(|e| format!("creating output directory {}: {e}", opts.dir.display()))?;
+        let mut stream = Stream {
+            opts,
+            stage: OutputStage::new(opts.async_mode),
+            wait_ns: 0,
+        };
+        let mut report = self.run_impl(steps, sample_every, Some(&mut stream));
+        stream.wait_ns += stream.stage.flush();
+        let totals = stream
+            .stage
+            .finish()
+            .map_err(|e| format!("output stream: {e}"))?;
+        let writer_wait_s = stream.wait_ns as f64 / 1e9;
+        report.phases.writer_wait_s = writer_wait_s;
+        report.io = IoStats {
+            shards_written: 0,
+            snapshots_written: totals.files_written,
+            bytes_raw: totals.bytes_raw,
+            bytes_written: totals.bytes_written,
+            write_wall_s: totals.write_wall_ns as f64 / 1e9,
+            writer_wait_s,
+            async_mode: opts.async_mode,
+            codec: "none".into(),
+        };
+        Ok(report)
+    }
+
+    /// Submit one product file through the stream, metering the
+    /// producer-side cost as the `output` kernel.
+    fn emit_product(&mut self, stream: &mut Stream<'_>, name: String, csv: String) {
+        let t0 = self.meter.timer();
+        let (mut buf, mut wait_ns) = stream.stage.acquire();
+        buf.extend_from_slice(csv.as_bytes());
+        let raw = buf.len() as u64;
+        wait_ns += stream.stage.submit(stream.opts.dir.join(name), buf, raw);
+        stream.wait_ns += wait_ns;
+        self.meter.kernel_timed(
+            kernel::OUTPUT,
+            KernelTally {
+                points: raw,
+                loops: 1,
+                vector_elements: raw,
+                flops: 0,
+                bytes_read: raw,
+                bytes_written: raw,
+            },
+            t0,
+        );
+    }
+
+    /// The Fig. 2 product: an equatorial temperature slice of the
+    /// current state.
+    fn emit_snapshot(&mut self, stream: &mut Stream<'_>) {
+        use crate::snapshots::{sample_equatorial, temperature};
+        let t_yin = temperature(&self.yin);
+        let t_yang = temperature(&self.yang);
+        let field = sample_equatorial(&t_yin, &t_yang, &self.grid, 256);
+        self.emit_product(stream, format!("snap{:010}.eq_t.csv", self.step), field.to_csv());
+    }
+
+    fn run_impl(
+        &mut self,
+        steps: u64,
+        sample_every: u64,
+        mut stream: Option<&mut Stream<'_>>,
+    ) -> RunReport {
         let started = Instant::now();
         self.meter.reset();
         // Per-step wall-time distribution: the serial driver fills the
@@ -433,10 +541,27 @@ impl SerialSim {
             }
             if sample_every > 0 && (n + 1) % sample_every == 0 {
                 series.push(self.sample(dt));
+                if let Some(st) = stream.as_deref_mut() {
+                    self.emit_product(st, "energy.csv".into(), series_csv_of(&series));
+                }
+            }
+            if let Some(st) = stream.as_deref_mut() {
+                // Periodic Fig. 2 slices; the final step always gets
+                // one below, so skip a coinciding periodic emission.
+                if st.opts.snapshot_every > 0
+                    && (n + 1) % st.opts.snapshot_every == 0
+                    && n + 1 < steps
+                {
+                    self.emit_snapshot(st);
+                }
             }
         }
         if series.last().map(|p| p.step) != Some(self.step) {
             series.push(self.sample(self.dt_cache));
+        }
+        if let Some(st) = stream.as_deref_mut() {
+            self.emit_snapshot(st);
+            self.emit_product(st, "energy.csv".into(), series_csv_of(&series));
         }
         RunReport {
             time: self.time,
@@ -454,6 +579,7 @@ impl SerialSim {
             recoveries: Vec::new(),
             elastic: Default::default(),
             kernels: self.meter.counters().snapshot(),
+            io: Default::default(),
             series,
         }
     }
@@ -482,6 +608,44 @@ mod tests {
         assert!(sim.yang.is_physical());
         assert_eq!(report.series.len(), 6);
         assert!(report.flops > 0);
+    }
+
+    #[test]
+    fn streaming_run_is_bit_identical_and_emits_live_products() {
+        use crate::checkpoint::Checkpoint;
+        use crate::snapshots::{sample_equatorial, temperature};
+        let dir = std::env::temp_dir().join(format!("yy_stream_{}", std::process::id()));
+        let mut plain = SerialSim::new(quick_cfg());
+        plain.run(4, 2);
+        let mut streamed = SerialSim::new(quick_cfg());
+        let report = streamed
+            .run_streaming(
+                4,
+                2,
+                &StreamOpts { dir: dir.clone(), snapshot_every: 2, async_mode: true },
+            )
+            .expect("streaming run");
+        // The stream only reads state: the trajectory is untouched.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Checkpoint::capture(&plain).write_to(&mut a).unwrap();
+        Checkpoint::capture(&streamed).write_to(&mut b).unwrap();
+        assert_eq!(a, b, "output stream perturbed the data plane");
+        // Fig. 1 product: the live energy CSV is the report's series.
+        let energy = std::fs::read_to_string(dir.join("energy.csv")).unwrap();
+        assert_eq!(energy, report.series_csv());
+        // Fig. 2 products: periodic + final equatorial slices, the final
+        // one byte-equal to an offline recomputation from the end state.
+        assert!(dir.join("snap0000000002.eq_t.csv").exists());
+        let snap = std::fs::read_to_string(dir.join("snap0000000004.eq_t.csv")).unwrap();
+        let t_yin = temperature(&streamed.yin);
+        let t_yang = temperature(&streamed.yang);
+        let expect = sample_equatorial(&t_yin, &t_yang, &streamed.grid, 256).to_csv();
+        assert_eq!(snap, expect);
+        // The io section accounts for the stream.
+        assert!(report.io.snapshots_written >= 3, "io: {:?}", report.io);
+        assert!(report.io.async_mode && report.io.bytes_written > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -99,7 +99,7 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     assert!(report.recv_wait.p50() <= report.recv_wait.p99(), "quantiles ordered");
     assert_eq!(report.recoveries.len(), traced.recoveries.len());
     let doc = yy_obs::Json::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v3"));
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v4"));
     assert!(
         doc.get("histograms").unwrap().get("recv_wait_ns").unwrap().get("count").is_some(),
         "report carries the merged recv-wait histogram"

@@ -1,0 +1,233 @@
+//! The sharded-output round trip, as a property: any complete shard set
+//! — whatever tile layout wrote it (1×1, 1×2, 2×2, 2×1), whether the
+//! writer ran sync or async, and under every payload codec (raw, RLE,
+//! XOR-delta) — merges back into a serial-format checkpoint that is
+//! **byte-identical** to the one the uninterrupted serial integrator
+//! would have written at the same step. That property is what makes the
+//! shard directory a real checkpoint: kill the run anywhere, merge what
+//! landed, and restart onto any layout (PR 7's portability property
+//! composes on top). Corrupt shards — truncated or bit-flipped — must
+//! be rejected with a field-context error, never merged.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+use yy_parcomm::FaultSpec;
+use yy_testkit::{check_with, tk_assert, tk_assert_eq, Config, Gen};
+use yycore::checkpoint::Checkpoint;
+use yycore::output::merge_shards;
+use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
+use yycore::{CkptCodec, RunConfig, SerialSim};
+
+/// Trajectory length of every sharded run in the suite.
+const TOTAL: u64 = 6;
+
+/// The parallel layouts a shard set may be written by.
+const LAYOUTS: [(usize, usize); 4] = [(1, 1), (1, 2), (2, 2), (2, 1)];
+
+const CODECS: [CkptCodec; 3] = [CkptCodec::Raw, CkptCodec::Rle, CkptCodec::Delta];
+
+fn quick_cfg() -> RunConfig {
+    let mut cfg = RunConfig::small();
+    cfg.init.perturb_amplitude = 1e-2;
+    cfg
+}
+
+fn bytes(ck: &Checkpoint) -> Vec<u8> {
+    let mut v = Vec::new();
+    ck.write_to(&mut v).expect("serialize checkpoint");
+    v
+}
+
+/// A unique scratch directory per case (removed by the caller).
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "yy_shard_merge_{}_{tag}_{n}",
+        std::process::id()
+    ))
+}
+
+/// Serial checkpoints at every step `0..=TOTAL`, computed once — the
+/// byte-level reference every merged shard set is held to.
+fn serial_ladder() -> &'static Vec<Checkpoint> {
+    static LADDER: OnceLock<Vec<Checkpoint>> = OnceLock::new();
+    LADDER.get_or_init(|| {
+        let mut sim = SerialSim::new(quick_cfg());
+        let mut ladder = vec![Checkpoint::capture(&sim)];
+        for _ in 0..TOTAL {
+            sim.run(1, 0);
+            ladder.push(Checkpoint::capture(&sim));
+        }
+        ladder
+    })
+}
+
+/// Run `TOTAL` supervised steps writing shards (checkpoint cadence 2)
+/// into `dir`, returning the in-memory final checkpoint.
+fn sharded_run(
+    dir: &PathBuf,
+    (pth, pph): (usize, usize),
+    async_mode: bool,
+    codec: CkptCodec,
+) -> Checkpoint {
+    let opts = RecoveryOpts {
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        ckpt_dir: Some(dir.clone()),
+        ckpt_async: async_mode,
+        ckpt_compress: codec,
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&quick_cfg(), pth, pph, TOTAL, 0, &opts)
+        .expect("sharded run completes");
+    sup.final_checkpoint
+}
+
+fn gen_case(g: &mut Gen) -> ((usize, usize), bool, CkptCodec, u64) {
+    let layout = LAYOUTS[g.range_usize(0, LAYOUTS.len())];
+    let async_mode = g.below(2) == 0;
+    let codec = CODECS[g.range_usize(0, CODECS.len())];
+    // A step the run checkpoints at: 0, 2, 4 (periodic) or TOTAL (final).
+    let step = 2 * g.range_usize(0, (TOTAL as usize) / 2 + 1) as u64;
+    (layout, async_mode, codec, step)
+}
+
+/// Any (layout, sync mode, codec): merging the shard set at any
+/// checkpointed step reproduces the serial checkpoint of that step byte
+/// for byte, and the newest complete set matches the run's own final
+/// in-memory checkpoint.
+#[test]
+fn merged_shards_match_serial_checkpoints_byte_for_byte() {
+    let cfg = quick_cfg();
+    check_with(
+        Config::with_cases(8),
+        "merged_shards_match_serial_checkpoints_byte_for_byte",
+        gen_case,
+        |&(layout, async_mode, codec, step)| {
+            let dir = fresh_dir("prop");
+            let final_ck = sharded_run(&dir, layout, async_mode, codec);
+            tk_assert_eq!(bytes(&final_ck), bytes(&serial_ladder()[TOTAL as usize]));
+            // The selected step, explicitly.
+            let merged = merge_shards(&cfg, &dir, Some(step)).map_err(|e| e.to_string())?;
+            tk_assert!(
+                bytes(&merged) == bytes(&serial_ladder()[step as usize]),
+                "merge of {layout:?} async={async_mode} {codec:?} shards at step {step} \
+                 is not byte-identical to the serial checkpoint"
+            );
+            // The newest complete set, implicitly.
+            let newest = merge_shards(&cfg, &dir, None).map_err(|e| e.to_string())?;
+            tk_assert_eq!(newest.step, TOTAL);
+            tk_assert_eq!(bytes(&newest), bytes(&final_ck));
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(())
+        },
+    );
+}
+
+/// A shard set whose history includes a rollback merges exactly like a
+/// clean run's: the supervised 1×2 run is killed at step 3, recovers
+/// from its step-2 checkpoint, and the surviving shard files — some
+/// written before the kill, some after, under the delta codec — still
+/// reassemble the clean serial states.
+#[test]
+fn mid_rollback_shard_set_merges_cleanly() {
+    let cfg = quick_cfg();
+    let dir = fresh_dir("rollback");
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(42).with_kill(1, 3),
+        checkpoint_every: 2,
+        deadline: Duration::from_secs(30),
+        ckpt_dir: Some(dir.clone()),
+        ckpt_async: true,
+        ckpt_compress: CkptCodec::Delta,
+        ..RecoveryOpts::default()
+    };
+    let sup =
+        run_parallel_supervised(&cfg, 1, 2, 4, 0, &opts).expect("killed run recovers");
+    assert!(!sup.recoveries.is_empty(), "the fixture must actually roll back");
+    for step in [0u64, 2, 4] {
+        let merged = merge_shards(&cfg, &dir, Some(step)).expect("merge succeeds");
+        assert_eq!(
+            bytes(&merged),
+            bytes(&serial_ladder()[step as usize]),
+            "post-rollback shard set at step {step} diverged from the serial state"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupt shards are rejected, with the error naming what failed: a
+/// truncated file dies on a "truncated while reading ..." context, a
+/// bit flip trips the CRC (which covers the *uncompressed* payload, so
+/// no codec path can smuggle corruption through), and a missing rank
+/// makes the set incomplete — while `merge_shards(None)` falls back to
+/// the newest step that still has a complete set.
+#[test]
+fn corrupt_or_incomplete_shards_are_rejected_with_context() {
+    let cfg = quick_cfg();
+    let dir = fresh_dir("corrupt");
+    sharded_run(&dir, (1, 2), false, CkptCodec::Rle);
+    let victim = dir.join(yycore::output::shard_file_name(TOTAL, 1));
+    let original = std::fs::read(&victim).expect("victim shard exists");
+
+    // Truncation: the reader names the field it was starving on.
+    std::fs::write(&victim, &original[..original.len() / 2]).unwrap();
+    let err = merge_shards(&cfg, &dir, Some(TOTAL)).unwrap_err().to_string();
+    assert!(err.contains("truncated"), "truncation error lacks context: {err}");
+
+    // Bit flip in the payload: CRC mismatch (or an RLE consistency
+    // failure), never a silent merge.
+    let mut flipped = original.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    std::fs::write(&victim, &flipped).unwrap();
+    let err = merge_shards(&cfg, &dir, Some(TOTAL)).unwrap_err().to_string();
+    assert!(
+        err.contains("CRC mismatch") || err.contains("corrupt"),
+        "bit-flip error lacks context: {err}"
+    );
+
+    // Remove the victim entirely: the explicit step is incomplete (and
+    // says which ranks are missing), but the newest-set fallback finds
+    // the intact step-4 set.
+    std::fs::remove_file(&victim).unwrap();
+    let err = merge_shards(&cfg, &dir, Some(TOTAL)).unwrap_err().to_string();
+    assert!(err.contains("incomplete"), "missing-rank error lacks context: {err}");
+    let fallback = merge_shards(&cfg, &dir, None).expect("fallback to older set");
+    assert_eq!(fallback.step, 4, "fallback should pick the newest complete set");
+    assert_eq!(bytes(&fallback), bytes(&serial_ladder()[4]));
+
+    // Restored file: the set merges again (write_atomic's contract —
+    // any file that exists is complete).
+    std::fs::write(&victim, &original).unwrap();
+    let merged = merge_shards(&cfg, &dir, Some(TOTAL)).expect("restored set merges");
+    assert_eq!(bytes(&merged), bytes(&serial_ladder()[TOTAL as usize]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full circle the CI soak runs in release mode, here as a unit:
+/// restart *from a merged shard set* onto a different layout and land
+/// on the uninterrupted trajectory byte for byte.
+#[test]
+fn restart_from_merged_shards_is_byte_identical() {
+    let cfg = quick_cfg();
+    let dir = fresh_dir("restart");
+    sharded_run(&dir, (2, 2), true, CkptCodec::Delta);
+    let merged = merge_shards(&cfg, &dir, Some(4)).expect("merge step 4");
+    let opts = RecoveryOpts {
+        resume_from: Some(merged),
+        deadline: Duration::from_secs(30),
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&cfg, 1, 2, TOTAL, 0, &opts)
+        .expect("resumed run completes");
+    assert_eq!(
+        bytes(&sup.final_checkpoint),
+        bytes(&serial_ladder()[TOTAL as usize]),
+        "restart from merged shards diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

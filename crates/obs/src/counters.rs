@@ -48,8 +48,12 @@ pub mod kernel {
     pub const OVERSET_FILL: u8 = 5;
     /// Solver health scan (NaN/Inf + positivity floors).
     pub const HEALTH_SCAN: u8 = 6;
+    /// Output pipeline: checkpoint/snapshot shard pack, encode (delta +
+    /// RLE) and file write. `flops` stays 0 — the slot exists so the
+    /// roofline table shows where the output bytes and wall time go.
+    pub const OUTPUT: u8 = 7;
     /// Number of kernels.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Kernel name for reports and exposition labels.
     pub fn name(id: u8) -> &'static str {
@@ -61,6 +65,7 @@ pub mod kernel {
             OVERSET_DONATE => "overset_donate",
             OVERSET_FILL => "overset_fill",
             HEALTH_SCAN => "health_scan",
+            OUTPUT => "output",
             _ => "unknown",
         }
     }

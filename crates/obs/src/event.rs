@@ -28,6 +28,8 @@ pub mod phase {
     pub const BOUNDARY: u8 = 3;
     /// Overset interpolation, packing and placement.
     pub const OVERSET: u8 = 4;
+    /// Blocked on the async output writer's buffer pool.
+    pub const WRITER_WAIT: u8 = 5;
 
     /// Human-readable phase name (exporters).
     pub fn name(code: u8) -> &'static str {
@@ -37,6 +39,7 @@ pub mod phase {
             WAIT => "wait",
             BOUNDARY => "boundary",
             OVERSET => "overset",
+            WRITER_WAIT => "writer_wait",
             _ => "phase?",
         }
     }
@@ -139,6 +142,7 @@ pub mod counter {
                 4 => "mflops:overset_donate",
                 5 => "mflops:overset_fill",
                 6 => "mflops:health_scan",
+                7 => "mflops:output",
                 _ => "mflops:unknown",
             },
             _ => "counter?",

@@ -606,6 +606,7 @@ fn phase_code(phase: crate::stats::SolverPhase) -> u8 {
         P::Wait => ob::WAIT,
         P::Boundary => ob::BOUNDARY,
         P::Overset => ob::OVERSET,
+        P::WriterWait => ob::WRITER_WAIT,
     }
 }
 

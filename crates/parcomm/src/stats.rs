@@ -36,6 +36,10 @@ pub enum SolverPhase {
     Boundary,
     /// Overset interpolation, packing and placement.
     Overset,
+    /// Blocked handing a packed output buffer to the async writer (the
+    /// backpressure cost of checkpoint/snapshot emission; zero when the
+    /// two-slot pool always has a free buffer).
+    WriterWait,
 }
 
 /// Lock-free counters for one rank.
@@ -57,6 +61,7 @@ pub struct StatsCell {
     ns_wait: AtomicU64,
     ns_boundary: AtomicU64,
     ns_overset: AtomicU64,
+    ns_writer_wait: AtomicU64,
     recv_wait: Histogram,
     step_wall: Histogram,
     queue_depth: Histogram,
@@ -101,6 +106,7 @@ impl StatsCell {
             SolverPhase::Wait => &self.ns_wait,
             SolverPhase::Boundary => &self.ns_boundary,
             SolverPhase::Overset => &self.ns_overset,
+            SolverPhase::WriterWait => &self.ns_writer_wait,
         };
         target.fetch_add(ns, Ordering::Relaxed);
     }
@@ -146,6 +152,7 @@ impl StatsCell {
             ns_wait: self.ns_wait.load(Ordering::Relaxed),
             ns_boundary: self.ns_boundary.load(Ordering::Relaxed),
             ns_overset: self.ns_overset.load(Ordering::Relaxed),
+            ns_writer_wait: self.ns_writer_wait.load(Ordering::Relaxed),
             recv_wait: self.recv_wait.snapshot(),
             step_wall: self.step_wall.snapshot(),
             queue_depth: self.queue_depth.snapshot(),
@@ -203,6 +210,9 @@ pub struct CommStats {
     pub ns_boundary: u64,
     /// Nanoseconds of overset interpolation/packing/placement.
     pub ns_overset: u64,
+    /// Nanoseconds blocked on the async output writer's buffer pool —
+    /// the unhidden cost of checkpoint/snapshot emission.
+    pub ns_writer_wait: u64,
     /// Distribution of per-receive blocked time (nanoseconds).
     pub recv_wait: HistogramSnapshot,
     /// Distribution of per-step wall time (nanoseconds).
@@ -243,6 +253,7 @@ impl CommStats {
             ns_wait: self.ns_wait + other.ns_wait,
             ns_boundary: self.ns_boundary + other.ns_boundary,
             ns_overset: self.ns_overset + other.ns_overset,
+            ns_writer_wait: self.ns_writer_wait + other.ns_writer_wait,
             recv_wait: self.recv_wait.merged(other.recv_wait),
             step_wall: self.step_wall.merged(other.step_wall),
             queue_depth: self.queue_depth.merged(other.queue_depth),
@@ -295,15 +306,18 @@ mod tests {
         s.record_phase_ns(SolverPhase::Boundary, 30);
         s.record_phase_ns(SolverPhase::Overset, 11);
         s.record_phase_ns(SolverPhase::Wait, 3);
+        s.record_phase_ns(SolverPhase::WriterWait, 17);
         let snap = s.snapshot(MailboxGauges::default());
         assert_eq!(snap.ns_pack, 5);
         assert_eq!(snap.ns_interior, 100);
         assert_eq!(snap.ns_wait, 10);
         assert_eq!(snap.ns_boundary, 30);
         assert_eq!(snap.ns_overset, 11);
+        assert_eq!(snap.ns_writer_wait, 17);
         let m = snap.merged(snap);
         assert_eq!(m.ns_wait, 20, "phase times aggregate by sum across ranks");
         assert_eq!(m.ns_interior, 200);
+        assert_eq!(m.ns_writer_wait, 34);
     }
 
     #[test]

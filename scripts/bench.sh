@@ -11,17 +11,25 @@
 #   BENCH_OUT              step output path       [BENCH_step.json]
 #   BENCH_OBS_OUT          obs output path        [BENCH_obs.json]
 #   BENCH_PROFILE_OUT      profile output path    [BENCH_profile.json]
+#   BENCH_IO_OUT           io output path         [BENCH_io.json]
 #   YY_BENCH_STEP_GRID     small|medium           [medium]
 #   YY_BENCH_STEP_STEPS    steps per measurement  [10]
 #   YY_BENCH_STEP_REPS     interleaved reps       [5]
 #   YY_BENCH_STEP_DELAY_US injected fixed per-message latency [12000]
 #   YY_BENCH_STEP_PTH/PPH  tiles per panel        [1x1]
+#   YY_BENCH_IO_*          io bench knobs (GRID, STEPS, REPS, EVERY,
+#                          CODEC, PTH/PPH) — see crates/bench/benches/io.rs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_step.json}
-obs_out=${BENCH_OBS_OUT:-BENCH_obs.json}
-profile_out=${BENCH_PROFILE_OUT:-BENCH_profile.json}
+# Bench binaries run with their package dir (crates/bench) as cwd, so
+# relative output paths would silently land there instead of the repo
+# root — anchor the defaults to the root explicitly.
+root=$(pwd)
+out=${BENCH_OUT:-$root/BENCH_step.json}
+obs_out=${BENCH_OBS_OUT:-$root/BENCH_obs.json}
+profile_out=${BENCH_PROFILE_OUT:-$root/BENCH_profile.json}
+io_out=${BENCH_IO_OUT:-$root/BENCH_io.json}
 
 echo "==> step pipeline bench (writes $out)"
 BENCH_STEP_JSON="$out" cargo bench -p yy-bench --bench step --offline
@@ -32,7 +40,10 @@ BENCH_OBS_JSON="$obs_out" cargo bench -p yy-bench --bench obs --offline
 echo "==> measured kernel profile bench (writes $profile_out)"
 BENCH_PROFILE_JSON="$profile_out" cargo bench -p yy-bench --bench profile --offline
 
+echo "==> output pipeline cost bench (writes $io_out)"
+BENCH_IO_JSON="$io_out" cargo bench -p yy-bench --bench io --offline
+
 echo "==> kernel microbenches"
 cargo bench -p yy-bench --bench kernels --offline
 
-echo "wrote $out, $obs_out and $profile_out"
+echo "wrote $out, $obs_out, $profile_out and $io_out"
