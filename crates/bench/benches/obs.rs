@@ -6,7 +6,9 @@
 //! * `disabled` — recorders installed but not armed
 //!   (`TraceMode::Disabled`); the enabled-flag fast path
 //! * `enabled`  — recorders armed (`TraceMode::Enabled`); every span,
-//!   message and step event lands in the per-rank ring
+//!   message and step event lands in the per-rank ring, and the
+//!   supervisor runs the doctor's critical-path analysis on the rings
+//!   at the end of the run — this row is the analyzed-run cost
 //! * `counters` — no recorders, per-kernel performance counters armed:
 //!   every kernel site tallies points/flops/bytes and reads the clock
 //!
@@ -48,10 +50,12 @@ fn mode_opts(mode: TraceMode, counters: bool) -> ObsOpts {
 }
 
 /// Seconds per step of one supervised run with the given observability
-/// options. Setup (universe spawn, init, initial sync) is excluded —
-/// `RunReport.wall_seconds` starts after it. No trace path is set, so
-/// even `enabled` measures pure recording cost, not file I/O.
-fn measure(cfg: &RunConfig, obs: ObsOpts, steps: u64) -> f64 {
+/// options, plus the doctor's analysis section (default when recorders
+/// are not armed). Setup (universe spawn, init, initial sync) is
+/// excluded — `RunReport.wall_seconds` starts after it. No trace path
+/// is set, so even `enabled` measures pure recording + analysis cost,
+/// not file I/O.
+fn measure(cfg: &RunConfig, obs: ObsOpts, steps: u64) -> (f64, yy_obs::Analysis) {
     let (pth, pph) = decomp();
     let opts = RecoveryOpts {
         deadline: Duration::from_secs(120),
@@ -61,7 +65,7 @@ fn measure(cfg: &RunConfig, obs: ObsOpts, steps: u64) -> f64 {
     };
     let rep = run_parallel_supervised(cfg, pth, pph, steps, 0, &opts)
         .expect("obs bench run completes");
-    rep.report.wall_seconds / steps as f64
+    (rep.report.wall_seconds / steps as f64, rep.report.analysis)
 }
 
 fn main() {
@@ -79,11 +83,14 @@ fn main() {
         Vec::with_capacity(reps),
         Vec::with_capacity(reps),
     );
+    let mut analysis = yy_obs::Analysis::default();
     for _ in 0..reps {
-        off.push(measure(&cfg, mode_opts(TraceMode::Off, false), steps));
-        dis.push(measure(&cfg, mode_opts(TraceMode::Disabled, false), steps));
-        ena.push(measure(&cfg, mode_opts(TraceMode::Enabled, false), steps));
-        ctr.push(measure(&cfg, mode_opts(TraceMode::Off, true), steps));
+        off.push(measure(&cfg, mode_opts(TraceMode::Off, false), steps).0);
+        dis.push(measure(&cfg, mode_opts(TraceMode::Disabled, false), steps).0);
+        let (t, a) = measure(&cfg, mode_opts(TraceMode::Enabled, false), steps);
+        ena.push(t);
+        analysis = a;
+        ctr.push(measure(&cfg, mode_opts(TraceMode::Off, true), steps).0);
     }
     let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
     let (t_off, t_dis, t_ena, t_ctr) = (min(&off), min(&dis), min(&ena), min(&ctr));
@@ -102,6 +109,10 @@ fn main() {
         "obs_overhead/counters_{pth}x{pph}     {:>12.2} µs/step  x{r_ctr:.4} vs off",
         t_ctr * 1e6
     );
+    // The enabled run is an analyzed run: the supervisor's doctor hook
+    // must have produced a verdict from the armed rings.
+    assert!(analysis.steps_analyzed > 0, "armed bench run produced no analysis");
+    println!("obs_overhead/enabled verdict: {}", analysis.verdict);
 
     let json = format!(
         concat!(
@@ -113,7 +124,8 @@ fn main() {
             "  \"off\": {{ \"min_ns_per_step\": {:.0} }},\n",
             "  \"disabled\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }},\n",
             "  \"enabled\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }},\n",
-            "  \"counters\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }}\n",
+            "  \"counters\": {{ \"min_ns_per_step\": {:.0}, \"ratio_vs_off\": {:.4} }},\n",
+            "  \"analysis_verdict\": \"{}\"\n",
             "}}\n"
         ),
         steps,
@@ -127,6 +139,7 @@ fn main() {
         r_ena,
         t_ctr * 1e9,
         r_ctr,
+        analysis.verdict.replace('"', "'"),
     );
     if let Ok(path) = std::env::var("BENCH_OBS_JSON") {
         std::fs::write(&path, &json).expect("write BENCH_obs.json");

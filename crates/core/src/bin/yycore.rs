@@ -12,6 +12,9 @@
 //!                                      and measured-profile ES projection
 //! yycore tables                        print Tables I-III and List 1
 //! yycore tracecheck <trace.json>       validate a Chrome trace artifact
+//! yycore doctor   [key=value ...]      diagnose observability artifacts:
+//!                                      critical path, stragglers, ledger
+//!                                      verdicts (see doctor keys below)
 //!
 //! common keys: any RunConfig key (nr, nth, mu, omega, ...) plus
 //!   steps=N        total steps                     [default 200]
@@ -59,6 +62,9 @@
 //!   drop=P         message drop probability (bounded retransmission)
 //!   delay=P        message delay probability
 //!   delay_us=N     maximum injected delay in microseconds [default 500]
+//!   delay_src=N    restrict delay injection to messages *sent by* this
+//!                  world rank — a deterministic late sender the doctor
+//!                  must name (other ranks' messages deliver untouched)
 //!   dup=P          message duplication probability
 //!   kill_rank=N    kill this world rank (a *node* id under re-tiling) ...
 //!   kill_step=N    ... at this step               [default 0]
@@ -79,6 +85,17 @@
 //!                  shard directory (the newest complete shard set is
 //!                  merged first). Any producer: serial run or any tile
 //!                  layout — restarts are layout-portable and bit-exact
+//!
+//! doctor keys (any combination; at least one of trace/report/ledger):
+//!   trace=PATH     re-import a Chrome trace and print the critical-path
+//!                  / straggler diagnosis extracted from it
+//!   report=PATH    print the `analysis` section of a v5 report artifact
+//!   ledger=PATH    cross-run regression ledger (JSONL): compare the
+//!                  newest entry against its history and print verdicts
+//!   ingest=REPORT  summarize a report JSON into a new ledger entry and
+//!                  append it to ledger=PATH before comparing
+//!   label=L        source label stamped on ingested entries [default run]
+//!   tol=F          baseline noise tolerance (relative)    [default 0.05]
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -109,6 +126,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(),
         "tracecheck" => cmd_tracecheck(rest),
+        "doctor" => cmd_doctor(rest),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -136,6 +154,7 @@ struct Opts {
     drop: f64,
     delay: f64,
     delay_us: u64,
+    delay_src: Option<usize>,
     dup: f64,
     kill_rank: Option<usize>,
     kill_step: u64,
@@ -165,6 +184,9 @@ impl Opts {
             .with_drop(self.drop)
             .with_delay(self.delay, Duration::from_micros(self.delay_us))
             .with_duplicate(self.dup);
+        if let Some(src) = self.delay_src {
+            spec = spec.with_delay_src(src);
+        }
         if let Some(rank) = self.kill_rank {
             spec = if self.kill_persistent {
                 spec.with_persistent_kill(rank, self.kill_step)
@@ -192,6 +214,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         drop: 0.0,
         delay: 0.0,
         delay_us: 500,
+        delay_src: None,
         dup: 0.0,
         kill_rank: None,
         kill_step: 0,
@@ -231,6 +254,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "drop" => o.drop = v.parse().map_err(|e| format!("drop: {e}"))?,
             "delay" => o.delay = v.parse().map_err(|e| format!("delay: {e}"))?,
             "delay_us" => o.delay_us = v.parse().map_err(|e| format!("delay_us: {e}"))?,
+            "delay_src" => {
+                o.delay_src = Some(v.parse().map_err(|e| format!("delay_src: {e}"))?)
+            }
             "dup" => o.dup = v.parse().map_err(|e| format!("dup: {e}"))?,
             "kill_rank" => o.kill_rank = Some(v.parse().map_err(|e| format!("kill_rank: {e}"))?),
             "kill_step" => o.kill_step = v.parse().map_err(|e| format!("kill_step: {e}"))?,
@@ -829,9 +855,15 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let check = yy_obs::validate_chrome_trace(&text)
         .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    // An armed run always records phase spans; a span-free trace with
+    // rank tracks means the recorders silently dropped everything.
+    if check.tracks > 0 && check.spans == 0 {
+        return Err(format!("{path}: armed trace contains no phase spans"));
+    }
     println!(
         "trace ok: {} events, {} spans, {} flow arrows, {} kill(s), {} track(s), \
-         {} counter sample(s) on {} counter track(s), {} retile(s), {} degrade(s)",
+         {} counter sample(s) on {} counter track(s), {} retile(s), {} degrade(s), \
+         {} analysis mark(s)",
         check.events,
         check.spans,
         check.flow_starts,
@@ -840,9 +872,259 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
         check.counter_samples,
         check.counter_tracks,
         check.retiles,
-        check.degrades
+        check.degrades,
+        check.analysis_marks
     );
     Ok(())
+}
+
+/// The perf doctor: interpret the observability artifacts the other
+/// commands produce. `trace=` re-imports a Chrome trace and runs the
+/// critical-path/straggler analysis; `report=` prints a v5 report's
+/// `analysis` section; `ledger=` compares the newest entry of a
+/// `runs.jsonl` regression ledger against its history (`ingest=` first
+/// appends a fresh entry summarized from a report artifact).
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    use yy_obs::analysis::{Analysis, LedgerEntry};
+    use yy_obs::{analyze, compare, streams_from_chrome, AnalysisInput, Json};
+
+    let mut trace = None;
+    let mut report = None;
+    let mut ledger: Option<PathBuf> = None;
+    let mut ingest: Option<PathBuf> = None;
+    let mut label = "run".to_string();
+    let mut tol = 0.05_f64;
+    for arg in args {
+        let Some((k, v)) = arg.split_once('=') else {
+            return Err(format!("expected key=value, got '{arg}'"));
+        };
+        match k {
+            "trace" => trace = Some(PathBuf::from(v)),
+            "report" => report = Some(PathBuf::from(v)),
+            "ledger" => ledger = Some(PathBuf::from(v)),
+            "ingest" => ingest = Some(PathBuf::from(v)),
+            "label" => label = v.to_string(),
+            "tol" => tol = v.parse().map_err(|e| format!("tol: {e}"))?,
+            other => return Err(format!("doctor: unknown key '{other}'")),
+        }
+    }
+    if ingest.is_some() && ledger.is_none() {
+        return Err("ingest= needs ledger=PATH to append to".into());
+    }
+    if trace.is_none() && report.is_none() && ledger.is_none() {
+        return Err(
+            "doctor needs trace=PATH, report=PATH, or ledger=PATH \
+             (optionally ingest=REPORT label=L tol=F)"
+                .into(),
+        );
+    }
+    if let Some(path) = &trace {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let streams = streams_from_chrome(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let a = analyze(&AnalysisInput {
+            streams: &streams,
+            retained: Vec::new(),
+            predicted_imbalance: 1.0,
+        });
+        print_analysis(&a, &format!("trace {}", path.display()));
+    }
+    if let Some(path) = &report {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let section = doc
+            .get("analysis")
+            .ok_or_else(|| format!("{}: no analysis section (pre-v5 artifact?)", path.display()))?;
+        let a = Analysis::from_json(section).map_err(|e| format!("{}: {e}", path.display()))?;
+        print_analysis(&a, &format!("report {}", path.display()));
+    }
+    if let Some(path) = &ledger {
+        let mut history = match std::fs::read_to_string(path) {
+            Ok(text) => LedgerEntry::parse_ledger(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        if let Some(src) = &ingest {
+            let entry = ledger_entry_from_report(src, &label, history.len() as u64)?;
+            let mut text = entry.to_json_line();
+            text.push('\n');
+            use std::io::Write as _;
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(text.as_bytes()))
+                .map_err(|e| format!("appending to {}: {e}", path.display()))?;
+            println!("ingested {} as {}#{}", src.display(), entry.label, entry.seq);
+            history.push(entry);
+        }
+        let Some((latest, past)) = history.split_last() else {
+            return Err(format!("{}: ledger is empty", path.display()));
+        };
+        println!(
+            "ledger {}: {} entrie(s); latest {}#{}",
+            path.display(),
+            history.len(),
+            latest.label,
+            latest.seq
+        );
+        // Baselines come from the same run family only: one ledger can
+        // interleave bench-step, bench-profile and ci entries, and their
+        // metrics are not mutually comparable (different grids and
+        // different projection estimators).
+        let family: Vec<yy_obs::LedgerEntry> =
+            past.iter().filter(|e| e.label == latest.label).cloned().collect();
+        for v in compare(latest, &family, tol) {
+            println!("  {}", v.line());
+        }
+        if latest.es_tflops > 0.0 {
+            println!(
+                "  es projection: {:.1} TFlops, {:+.1}% vs paper headline {:.1} ({})",
+                latest.es_tflops,
+                yy_esmodel::flagship_delta_pct(latest.es_tflops),
+                yy_esmodel::PAPER_FLAGSHIP_TFLOPS,
+                if yy_esmodel::in_flagship_window(latest.es_tflops) {
+                    "within window"
+                } else {
+                    "outside window"
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Human rendering of an [`yy_obs::Analysis`] — the doctor's tables.
+fn print_analysis(a: &yy_obs::Analysis, source: &str) {
+    println!("doctor: {source}");
+    println!("  verdict: {}", a.verdict);
+    println!(
+        "  steps analyzed: {} (ring coverage {:.0}%)",
+        a.steps_analyzed,
+        a.coverage * 100.0
+    );
+    if !a.gating.is_empty() {
+        println!("  gating phases:");
+        for g in &a.gating {
+            let share = if a.steps_analyzed > 0 {
+                100.0 * g.steps as f64 / a.steps_analyzed as f64
+            } else {
+                0.0
+            };
+            println!("    {:<12} {:>6} step(s)  {:>5.1}%", g.phase, g.steps, share);
+        }
+    }
+    let on_path: u64 = a.rank_path.iter().sum();
+    if on_path > 0 {
+        println!("  critical-path appearances by rank:");
+        for (r, n) in a.rank_path.iter().enumerate().filter(|(_, &n)| n > 0) {
+            println!("    rank {r:<4} {n:>6} step(s)");
+        }
+    }
+    if !a.stragglers.is_empty() {
+        println!("  stragglers (worst first):");
+        for s in &a.stragglers {
+            println!(
+                "    rank {}: {} (severity x{:.2}) -- {}",
+                s.rank,
+                yy_obs::analysis::reason::name(s.reason),
+                s.severity,
+                s.detail
+            );
+        }
+    }
+    for d in &a.disruptions {
+        if d.rank >= 0 {
+            println!("  critical-path disruption: {} on rank {} at step {}", d.kind, d.rank, d.step);
+        } else {
+            println!("  critical-path disruption: {} at step {}", d.kind, d.step);
+        }
+    }
+}
+
+/// Summarize a report JSON artifact into one ledger entry: normalized
+/// step cost, per-kernel MFLOPS, hidden-communication fraction, and the
+/// ES flagship projection that fraction supports.
+fn ledger_entry_from_report(
+    path: &Path,
+    label: &str,
+    seq: u64,
+) -> Result<yy_obs::LedgerEntry, String> {
+    use yy_obs::Json;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let f = |k: &str| doc.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let steps = f("steps") as u64;
+    let grid_points = f("grid_points") as u64;
+    let wall = f("wall_seconds");
+    // RunReports carry wall_seconds; BENCH_step.json carries the
+    // overlapped median directly — accept either shape.
+    let overlapped_ns = doc
+        .get("overlapped")
+        .and_then(|o| o.get("median_ns_per_step"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let ns_per_point = if steps > 0 && grid_points > 0 && wall > 0.0 {
+        wall * 1e9 / (steps as f64 * grid_points as f64)
+    } else if grid_points > 0 && overlapped_ns > 0.0 {
+        overlapped_ns / grid_points as f64
+    } else {
+        0.0
+    };
+    let mut kernel_mflops = Vec::new();
+    if let Some(arr) = doc.get("kernels").and_then(|v| v.as_arr()) {
+        for row in arr {
+            let name = row.get("name").and_then(|v| v.as_str()).unwrap_or("");
+            let mflops = row.get("mflops").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if !name.is_empty() && mflops > 0.0 {
+                kernel_mflops.push((name.to_string(), mflops));
+            }
+        }
+    }
+    let hidden = doc
+        .get("phases")
+        .and_then(|p| p.get("hidden_comm_fraction"))
+        .or_else(|| doc.get("overlapped").and_then(|o| o.get("hidden_comm_fraction")))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    // BENCH_profile.json carries its own exact-counter projection;
+    // prefer it over the hiding-derived one.
+    let es_tflops = if f("es_flagship_tflops") > 0.0 {
+        f("es_flagship_tflops")
+    } else if hidden > 0.0 {
+        yy_esmodel::flagship_projection(hidden).tflops()
+    } else {
+        0.0
+    };
+    let layout = match doc.get("elastic") {
+        Some(e) => (
+            e.get("final_pth").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+            e.get("final_pph").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+        ),
+        None => (0, 0),
+    };
+    let codec = doc
+        .get("io")
+        .and_then(|io| io.get("codec"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("none")
+        .to_string();
+    Ok(yy_obs::LedgerEntry {
+        label: label.to_string(),
+        seq,
+        steps,
+        grid_points,
+        layout,
+        codec,
+        ns_per_point,
+        kernel_mflops,
+        hidden_comm_fraction: hidden,
+        es_tflops,
+    })
 }
 
 #[cfg(test)]
@@ -883,6 +1165,102 @@ mod tests {
         assert_eq!(err, "ckpt_compress: expected none|rle|delta, got 'zip'");
         let err = parse_err(&["snapshot_every=often"]);
         assert!(err.starts_with("snapshot_every: "), "{err}");
+    }
+
+    #[test]
+    fn delay_src_parses_and_targets_the_fault_spec() {
+        let o = parse(&["delay=1.0", "delay_us=400", "delay_src=2"]).unwrap();
+        assert_eq!(o.delay_src, Some(2));
+        let spec = o.fault_spec();
+        assert!(spec.is_active());
+        assert_eq!(spec.delay_src, Some(2));
+        // Default: delays (if any) afflict every sender.
+        assert_eq!(parse(&[]).unwrap().fault_spec().delay_src, None);
+        let err = parse_err(&["delay_src=first"]);
+        assert!(err.starts_with("delay_src: "), "{err}");
+    }
+
+    #[test]
+    fn doctor_rejects_bad_usage_with_clear_messages() {
+        let run = |args: &[&str]| {
+            cmd_doctor(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        };
+        assert!(run(&[]).contains("doctor needs"), "{}", run(&[]));
+        assert!(run(&["verbose"]).contains("expected key=value"));
+        assert!(run(&["mode=loud"]).contains("unknown key"));
+        assert_eq!(run(&["ingest=r.json"]), "ingest= needs ledger=PATH to append to");
+        let err = run(&["trace=/nonexistent-yy-doctor.json"]);
+        assert!(err.contains("reading"), "{err}");
+        let err = run(&["ledger=/nonexistent-dir-yy/runs.jsonl", "tol=0.2"]);
+        assert!(err.contains("reading") || err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn doctor_ledger_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join(format!("yy_cli_doctor_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("runs.jsonl");
+        let e = yy_obs::LedgerEntry {
+            label: "t".into(),
+            seq: 0,
+            steps: 4,
+            grid_points: 1000,
+            layout: (1, 2),
+            codec: "none".into(),
+            ns_per_point: 500.0,
+            kernel_mflops: vec![("rhs".into(), 4000.0)],
+            hidden_comm_fraction: 0.5,
+            es_tflops: 14.7,
+        };
+        std::fs::write(&ledger, format!("{}\n", e.to_json_line())).unwrap();
+        let args = vec![format!("ledger={}", ledger.display())];
+        cmd_doctor(&args).expect("single-entry ledger compares against empty history");
+        // A report artifact ingests and appends a second line.
+        let report = dir.join("report.json");
+        std::fs::write(&report, yycore::RunReport::default().to_json()).unwrap();
+        let args = vec![
+            format!("ledger={}", ledger.display()),
+            format!("ingest={}", report.display()),
+            "label=test".to_string(),
+        ];
+        cmd_doctor(&args).expect("ingest must append and compare");
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        let entries = yy_obs::LedgerEntry::parse_ledger(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!((entries[1].label.as_str(), entries[1].seq), ("test", 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ledger_ingest_accepts_bench_step_and_profile_shapes() {
+        let dir = std::env::temp_dir().join(format!("yy_cli_bench_ingest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // scripts/bench.sh ingests the bench JSONs directly; both the
+        // step shape (overlapped.*) and the profile shape (kernels +
+        // es_flagship_tflops) must map onto ledger metrics.
+        let step = dir.join("BENCH_step.json");
+        std::fs::write(
+            &step,
+            r#"{"bench":"step","grid_points":1000,"steps":4,
+               "overlapped":{"median_ns_per_step":500000,"hidden_comm_fraction":0.54}}"#,
+        )
+        .unwrap();
+        let e = ledger_entry_from_report(&step, "bench-step", 0).unwrap();
+        assert_eq!(e.ns_per_point, 500.0);
+        assert_eq!(e.hidden_comm_fraction, 0.54);
+        assert!(e.es_tflops > 0.0, "hidden fraction implies a projection");
+        let profile = dir.join("BENCH_profile.json");
+        std::fs::write(
+            &profile,
+            r#"{"bench":"profile","es_flagship_tflops":14.7,
+               "kernels":[{"name":"rhs","mflops":4100.0}]}"#,
+        )
+        .unwrap();
+        let e = ledger_entry_from_report(&profile, "bench-profile", 1).unwrap();
+        assert_eq!(e.es_tflops, 14.7, "explicit projection wins");
+        assert_eq!(e.kernel_mflops, vec![("rhs".to_string(), 4100.0)]);
+        assert_eq!(e.ns_per_point, 0.0, "no wall clock in the profile shape");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -65,7 +65,10 @@ use yy_mhd::{
 use yy_obs::counters::{kernel, CounterSet, CounterSnapshot, KernelTally};
 use yy_obs::event::counter;
 use yy_obs::hist::HistogramSnapshot;
-use yy_obs::{prometheus_text, Event, JsonlLogger, MetricsHub, MetricsServer};
+use yy_obs::{
+    analyze, doctor_gauges_text, prometheus_text_with_phases, AnalysisInput, Event, JsonlLogger,
+    MetricsHub, MetricsServer,
+};
 use yy_parcomm::stats::{SolverPhase, TrafficClass};
 use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
 
@@ -775,17 +778,63 @@ pub fn run_parallel_supervised(
             .unwrap_or_else(|e| e.into_inner())
             .clone()
             .ok_or("no final checkpoint was captured")?;
-        if let (Some(path), Some(set)) = (&opts.obs.trace, &recorders) {
-            std::fs::write(path, recorders_to_chrome(set))
-                .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
-            log("info", "wrote trace", &[("path", path.display().to_string())]);
-        }
         let predicted_imbalance = match &costs {
             Some(c) => c.predicted_imbalance(&decomp),
             None => ColumnCosts::uniform(&grid).predicted_imbalance(&decomp),
         };
         let achieved_imbalance = rep.achieved_imbalance;
         let mut report = rep.report;
+        // Post-run diagnosis: read every ring once, extract the per-step
+        // critical path and straggler attribution, and stamp the verdict
+        // back into the rings as `analysis` instants *before* the trace
+        // is written, so the exported trace carries its own diagnosis.
+        // Strictly post-run — the solver never observes any of this.
+        if let Some(set) = &recorders {
+            let streams = set.snapshots();
+            let retained = (0..set.len())
+                .map(|r| {
+                    let rec = set.rank(r);
+                    (rec.recorded(), rec.capacity())
+                })
+                .collect();
+            let analysis =
+                analyze(&AnalysisInput { streams: &streams, retained, predicted_imbalance });
+            for gate in &analysis.gating {
+                if let Some(code) = yy_obs::event::phase::code(&gate.phase) {
+                    let share_permille = if analysis.steps_analyzed > 0 {
+                        gate.steps * 1000 / analysis.steps_analyzed
+                    } else {
+                        0
+                    };
+                    set.rank(0).record(Event::CriticalGate {
+                        phase: code,
+                        share_permille,
+                        steps: gate.steps,
+                    });
+                }
+            }
+            for s in &analysis.stragglers {
+                if (s.rank as usize) < set.len() {
+                    set.rank(s.rank as usize).record(Event::StragglerFlagged {
+                        rank: s.rank,
+                        reason: s.reason,
+                        severity_permille: (s.severity * 1000.0) as u64,
+                    });
+                }
+            }
+            // The endpoint's final body carries the diagnosis gauges.
+            if let Some(h) = &rank_obs.metrics {
+                let body = format!("{}{}", h.scrape(), doctor_gauges_text(&analysis.gauges()));
+                h.publish(body);
+            }
+            log("info", "diagnosis", &[("verdict", analysis.verdict.clone())]);
+            report.analysis = analysis;
+        }
+        if let (Some(path), Some(set)) = (&opts.obs.trace, &recorders) {
+            std::fs::write(path, recorders_to_chrome(set))
+                .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+            log("info", "wrote trace", &[("path", path.display().to_string())]);
+        }
         report.recoveries = recoveries.clone();
         report.elastic = ElasticSummary {
             policy: opts.on_failure.name().to_string(),
@@ -982,16 +1031,33 @@ fn rank_main_supervised(
         // the exposition into the hub for the endpoint thread to serve.
         if let Some(hub) = &obs.metrics {
             if solver.step % obs.profile_every.max(1) == 0 {
-                let words = world.allreduce_vec(
-                    &solver.meter.counters().snapshot().to_f64s(),
-                    ReduceOp::Sum,
-                );
+                // Counter words plus the 6 phase-ns words ride one
+                // allreduce — the extension is rank-uniform, so the
+                // collective stays matched on every rank.
+                let mut words = solver.meter.counters().snapshot().to_f64s();
+                let nwords = words.len();
+                let stats = world.stats();
+                words.extend_from_slice(&[
+                    stats.ns_pack as f64,
+                    stats.ns_interior as f64,
+                    stats.ns_wait as f64,
+                    stats.ns_boundary as f64,
+                    stats.ns_overset as f64,
+                    stats.ns_writer_wait as f64,
+                ]);
+                let merged = world.allreduce_vec(&words, ReduceOp::Sum);
                 if world.rank() == 0 {
-                    let merged = CounterSnapshot::from_f64s(&words);
-                    hub.publish(prometheus_text(
-                        &merged,
+                    let snap = CounterSnapshot::from_f64s(&merged[..nwords]);
+                    let phase_s: Vec<(&str, f64)> = yy_obs::event::phase::NAMES
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| (*name, merged[nwords + i] / 1e9))
+                        .collect();
+                    hub.publish(prometheus_text_with_phases(
+                        &snap,
                         solver.step,
                         world.stats().max_queue_depth,
+                        &phase_s,
                     ));
                 }
             }
@@ -1076,6 +1142,7 @@ fn rank_main_supervised(
                 elastic: Default::default(),
                 kernels,
                 io,
+                analysis: Default::default(),
                 series,
             },
             yin: None,
@@ -1476,6 +1543,7 @@ fn rank_main(
                 elastic: Default::default(),
                 kernels,
                 io: IoStats::default(),
+                analysis: Default::default(),
                 series,
             },
             yin,

@@ -2,6 +2,7 @@
 //! distributions, and the machine-readable JSON artifact.
 
 use yy_mhd::Diagnostics;
+use yy_obs::analysis::Analysis;
 use yy_obs::counters::{kernel, CounterSnapshot};
 use yy_obs::hist::HistogramSnapshot;
 use yy_obs::json::{escape, num};
@@ -283,6 +284,10 @@ pub struct RunReport {
     /// Output-pipeline summary (shards, bytes, writer cost). Defaults
     /// when no output directory was configured.
     pub io: IoStats,
+    /// Perf-doctor diagnosis (critical-path histogram, straggler list).
+    /// Defaults (zero steps analyzed, empty verdict) when no flight
+    /// recorders were armed — serial runs and untraced parallel runs.
+    pub analysis: Analysis,
     /// Per-kernel performance counters over the stepping window, merged
     /// across every rank (all-zero when counters were disabled). The
     /// per-kernel FLOPs sum to `flops` exactly when enabled — the
@@ -341,16 +346,16 @@ impl RunReport {
 
     /// Render the report as a stable, schema-versioned JSON artifact.
     ///
-    /// The schema identifier is `yy.runreport.v4`; consumers key on it
+    /// The schema identifier is `yy.runreport.v5`; consumers key on it
     /// and on field presence. Fields are only ever *added* within a
-    /// schema version — renames or removals bump the version. v4 is a
-    /// strict superset of v3 (itself a superset of v2 and v1): it adds
-    /// the `io` section (output-pipeline shards, bytes, writer cost)
-    /// and a `writer_wait_s` key inside `phases`, changing nothing
-    /// else, so v1/v2/v3 readers that ignore unknown fields keep
-    /// working (pinned by the `v3_reader_keeps_working_on_v4_output`
-    /// test). All histogram and counter values are exact integers, so
-    /// the artifact is bitwise reproducible for a deterministic run.
+    /// schema version — renames or removals bump the version. v5 is a
+    /// strict superset of v4 (itself a superset of v3, v2 and v1): it
+    /// adds the `analysis` section (perf-doctor critical path,
+    /// stragglers, disruptions, verdict), changing nothing else, so
+    /// v1–v4 readers that ignore unknown fields keep working (pinned by
+    /// the `v4_reader_keeps_working_on_v5_output` test). All histogram
+    /// and counter values are exact integers, so the artifact is
+    /// bitwise reproducible for a deterministic run.
     pub fn to_json(&self) -> String {
         let kernels: Vec<String> = self
             .kernels
@@ -435,7 +440,7 @@ impl RunReport {
         format!(
             concat!(
                 "{{\n",
-                "\"schema\":\"yy.runreport.v4\",\n",
+                "\"schema\":\"yy.runreport.v5\",\n",
                 "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
                 "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
                 "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
@@ -445,6 +450,7 @@ impl RunReport {
                 "\"recoveries\":[{}],\n",
                 "\"elastic\":{},\n",
                 "\"io\":{},\n",
+                "\"analysis\":{},\n",
                 "\"series\":[{}]\n",
                 "}}\n"
             ),
@@ -464,6 +470,7 @@ impl RunReport {
             recoveries.join(","),
             self.elastic.to_json(),
             self.io.to_json(),
+            self.analysis.to_json(),
             series.join(","),
         )
     }
@@ -552,7 +559,7 @@ mod tests {
             diag: Diagnostics::default(),
         });
         let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v4"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v5"));
         assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
         let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
         assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
@@ -732,6 +739,76 @@ mod tests {
         assert_eq!(io.get("codec").unwrap().as_str(), Some("none"));
         assert_eq!(io.get("async_mode").unwrap().as_bool(), Some(false));
         assert_eq!(io.get("compression_ratio").unwrap().as_f64(), Some(1.0));
+    }
+
+    /// The v4→v5 compatibility contract: a reader written against
+    /// `yy.runreport.v4` — which keys on field presence, not the schema
+    /// string — must keep working on v5 output, since v5 only *adds*
+    /// the `analysis` section. This test is that reader (it exercises
+    /// the v4 `io` section, `phases.writer_wait_s`, and every earlier
+    /// field family a v4 consumer reads).
+    #[test]
+    fn v4_reader_keeps_working_on_v5_output() {
+        use yy_obs::Json;
+        let r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            ..Default::default()
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let io = doc.get("io").expect("v4 io section");
+        assert!(io.get("codec").unwrap().as_str().is_some());
+        assert!(io.get("compression_ratio").unwrap().as_f64().is_some());
+        assert!(doc.get("phases").unwrap().get("writer_wait_s").unwrap().as_f64().is_some());
+        let e = doc.get("elastic").expect("v3 elastic section");
+        assert!(e.get("policy").unwrap().as_str().is_some());
+        assert_eq!(doc.get("kernels").unwrap().as_arr().unwrap().len(), kernel::COUNT);
+        for field in ["time", "steps", "flops", "wall_seconds", "grid_points"] {
+            assert!(doc.get(field).and_then(|v| v.as_f64()).is_some(), "v4 field {field}");
+        }
+        // The v4 reader never touches (or needs) the new `analysis`
+        // section.
+    }
+
+    /// The v5 `analysis` section: always present, roundtrips through
+    /// the obs-side reader, defaults for unanalyzed runs.
+    #[test]
+    fn analysis_section_lands_in_the_artifact() {
+        use yy_obs::analysis::{reason, Disruption, PhaseGate, Straggler};
+        use yy_obs::Json;
+        let mut r = RunReport::default();
+        r.analysis = Analysis {
+            steps_analyzed: 12,
+            coverage: 1.0,
+            gating: vec![
+                PhaseGate { phase: "wait".into(), steps: 7 },
+                PhaseGate { phase: "interior".into(), steps: 5 },
+            ],
+            rank_path: vec![2, 7, 2, 1],
+            stragglers: vec![Straggler {
+                rank: 1,
+                reason: reason::LATE_SENDER,
+                severity: 14.2,
+                detail: "mean send->recv lag 2150us vs median 12us".into(),
+            }],
+            disruptions: vec![Disruption { rank: 1, step: 5, kind: "kill".into() }],
+            verdict: "wait-gated 58% of 12 steps".into(),
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let a = doc.get("analysis").expect("analysis section");
+        assert_eq!(a.get("steps_analyzed").unwrap().as_f64(), Some(12.0));
+        let back = Analysis::from_json(a).expect("obs reader must decode");
+        assert_eq!(back.stragglers[0].reason, reason::LATE_SENDER);
+        assert_eq!(back.gating[0].phase, "wait");
+        assert_eq!(back.disruptions[0].kind, "kill");
+        // Default reports still carry the section (schema-checked in CI).
+        let plain = Json::parse(&RunReport::default().to_json()).unwrap();
+        let a = plain.get("analysis").expect("default analysis section");
+        assert_eq!(a.get("steps_analyzed").unwrap().as_f64(), Some(0.0));
+        assert_eq!(a.get("stragglers").unwrap().as_arr().unwrap().len(), 0);
     }
 
     /// The v1→v2 compatibility contract: a reader written against

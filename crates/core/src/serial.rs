@@ -580,6 +580,7 @@ impl SerialSim {
             elastic: Default::default(),
             kernels: self.meter.counters().snapshot(),
             io: Default::default(),
+            analysis: Default::default(),
             series,
         }
     }

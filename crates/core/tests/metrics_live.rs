@@ -68,6 +68,25 @@ fn injected_hub_publishes_parseable_exposition_without_perturbing() {
     let step = sample_value(&body, "yy_step").expect("step gauge present");
     assert!(step > 0.0 && step <= 4.0, "step gauge in range, got {step}");
 
+    // PR 8 io telemetry rides the same allreduce: the writer-wait phase
+    // gauge and the output kernel slot are always exported, even when
+    // they are zero on a run without output.
+    let ww = sample_value(&body, "yy_phase_wall_seconds{phase=\"writer_wait\"}")
+        .expect("writer_wait phase gauge present");
+    assert!(ww >= 0.0);
+    for name in yy_obs::event::phase::NAMES {
+        assert!(
+            sample_value(&body, &format!("yy_phase_wall_seconds{{phase=\"{name}\"}}")).is_some(),
+            "phase gauge {name} missing from exposition"
+        );
+    }
+    let interior = sample_value(&body, "yy_phase_wall_seconds{phase=\"interior\"}").unwrap();
+    assert!(interior > 0.0, "interior wall must be nonzero on a stepped run");
+    assert!(
+        sample_value(&body, "yy_kernel_wall_ns_total{kernel=\"output\"}").is_some(),
+        "output kernel slot missing from exposition"
+    );
+
     // Publishing metrics must not perturb the trajectory.
     let bytes = |ck: &yycore::checkpoint::Checkpoint| {
         let mut v = Vec::new();
@@ -79,6 +98,29 @@ fn injected_hub_publishes_parseable_exposition_without_perturbing() {
         bytes(&with_metrics.final_checkpoint),
         "metrics publishing changed the trajectory"
     );
+}
+
+/// With the recorder armed (no trace path needed), the supervisor's
+/// final publish appends the doctor gauges to the exposition: per-phase
+/// critical-path shares and the top-straggler id.
+#[test]
+fn armed_run_appends_doctor_gauges_to_the_final_body() {
+    let hub = Arc::new(MetricsHub::new());
+    let _run = run_with_obs(ObsOpts {
+        metrics_hub: Some(Arc::clone(&hub)),
+        profile_every: 2,
+        mode: yycore::TraceMode::Enabled,
+        ..ObsOpts::default()
+    });
+    let body = hub.scrape();
+    assert!(body.contains("# TYPE yy_critical_path_share gauge"), "{body}");
+    let shares: f64 = yy_obs::event::phase::NAMES
+        .iter()
+        .filter_map(|n| sample_value(&body, &format!("yy_critical_path_share{{phase=\"{n}\"}}")))
+        .sum();
+    assert!((0.0..=1.01).contains(&shares), "shares sum to at most 1, got {shares}");
+    let top = sample_value(&body, "yy_top_straggler_rank").expect("top-straggler gauge present");
+    assert!((-1.0..8.0).contains(&top), "top straggler is a rank id or -1, got {top}");
 }
 
 #[test]

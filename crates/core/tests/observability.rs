@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 use yy_parcomm::FaultSpec;
 use yycore::parallel::{run_parallel_supervised, RecoveryOpts};
-use yycore::{ObsOpts, RunConfig};
+use yycore::{ObsOpts, RunConfig, TraceMode};
 
 fn quick_cfg() -> RunConfig {
     let mut cfg = RunConfig::small();
@@ -99,11 +99,29 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     assert!(report.recv_wait.p50() <= report.recv_wait.p99(), "quantiles ordered");
     assert_eq!(report.recoveries.len(), traced.recoveries.len());
     let doc = yy_obs::Json::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v4"));
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v5"));
     assert!(
         doc.get("histograms").unwrap().get("recv_wait_ns").unwrap().get("count").is_some(),
         "report carries the merged recv-wait histogram"
     );
+    // The v5 analysis section: populated on the traced run (recorders
+    // armed), carried in the artifact, and the injected kill shows up
+    // as a critical-path disruption. The trace itself carries the
+    // diagnosis instants the supervisor stamped before writing it.
+    assert!(report.analysis.steps_analyzed > 0, "analysis ran: {}", report.analysis.verdict);
+    assert!(report.analysis.coverage > 0.0);
+    assert!(
+        report.analysis.disruptions.iter().any(|d| d.kind == "kill"),
+        "the injected kill is a disruption: {:?}",
+        report.analysis.disruptions
+    );
+    assert!(
+        doc.get("analysis").unwrap().get("verdict").unwrap().as_str().is_some(),
+        "analysis section serialized"
+    );
+    assert!(fc.analysis_marks > 0, "trace carries the doctor's analysis instants");
+    // The untraced run had no recorders: its analysis stays default.
+    assert_eq!(untraced.report.analysis.steps_analyzed, 0);
     let kernels = doc.get("kernels").expect("v2 report carries the kernel table");
     assert!(
         kernels.as_arr().is_some_and(|rows| !rows.is_empty()),
@@ -119,6 +137,34 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ISSUE 9 acceptance case: a seeded 2x2 run where every message
+/// rank 3 posts is held back 30ms (deterministically — other senders
+/// deliver untouched) must be diagnosed end to end: the report's
+/// analysis names rank 3 as the top straggler with reason "late
+/// sender". The delay must dominate the natural send->recv matching
+/// lag (receivers post receives milliseconds after the send on this
+/// tiny grid), hence tens of ms rather than µs.
+#[test]
+fn late_sender_is_named_top_straggler_with_reason() {
+    let cfg = quick_cfg();
+    let opts = RecoveryOpts {
+        fault: FaultSpec::seeded(9)
+            .with_delay_range(1.0, Duration::from_millis(30), Duration::from_millis(30))
+            .with_delay_src(3),
+        deadline: Duration::from_secs(30),
+        obs: ObsOpts { mode: TraceMode::Enabled, ..ObsOpts::default() },
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&cfg, 2, 2, 6, 0, &opts).expect("delayed run completes");
+    let a = &sup.report.analysis;
+    assert!(a.steps_analyzed > 0, "analysis must cover steps: {}", a.verdict);
+    let top = a.stragglers.first().expect("a straggler must be named");
+    assert_eq!(top.rank, 3, "the delayed sender is the top straggler: {:?}", a.stragglers);
+    assert_eq!(yy_obs::analysis::reason::name(top.reason), "late sender");
+    assert!(a.verdict.contains("late sender"), "{}", a.verdict);
+    assert!(top.detail.contains("lag"), "{}", top.detail);
 }
 
 /// Step-wall histograms merge across ranks: an 8-rank run over `n`

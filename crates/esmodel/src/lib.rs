@@ -52,5 +52,8 @@ pub mod tables;
 
 pub use machine::EsMachine;
 pub use model::{EsModelParams, KernelCost, KernelProfile, KernelProjection, Projection, RunShape};
-pub use model::{project, project_kernels, project_overlapped};
+pub use model::{
+    flagship_delta_pct, flagship_projection, in_flagship_window, project, project_kernels,
+    project_overlapped, FLAGSHIP_WINDOW_TFLOPS, PAPER_FLAGSHIP_TFLOPS,
+};
 pub use tables::{table1_text, table2_rows, table2_text, table3_text, Table2Row, TABLE2_PAPER};

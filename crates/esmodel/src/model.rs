@@ -133,7 +133,49 @@ pub struct RunShape {
     pub nph: usize,
 }
 
+/// The paper's headline sustained performance at the flagship shape, in
+/// TFlops — the fixed point ledger `es_tflops` verdicts are read against.
+pub const PAPER_FLAGSHIP_TFLOPS: f64 = 15.2;
+
+/// Half-width of the acceptance window around
+/// [`PAPER_FLAGSHIP_TFLOPS`]: a calibrated model plus measured inputs
+/// should land within ±2 TFlops of the headline (the same tolerance the
+/// crate's own calibration tests assert).
+pub const FLAGSHIP_WINDOW_TFLOPS: f64 = 2.0;
+
+/// Signed delta of a projected sustained TFlops vs the paper's
+/// headline, in percent — what `yycore doctor` quotes next to an
+/// `es_tflops` verdict.
+pub fn flagship_delta_pct(tflops: f64) -> f64 {
+    (tflops - PAPER_FLAGSHIP_TFLOPS) / PAPER_FLAGSHIP_TFLOPS * 100.0
+}
+
+/// Whether a projection lands inside the paper's flagship window.
+pub fn in_flagship_window(tflops: f64) -> bool {
+    (tflops - PAPER_FLAGSHIP_TFLOPS).abs() <= FLAGSHIP_WINDOW_TFLOPS
+}
+
+/// Flagship-shape projection from a measured hidden-communication
+/// fraction: what the paper's 4096-process run would sustain if its
+/// exchanges were hidden as well as the measured run's were. This is
+/// the `es_tflops` the doctor's ledger ingester stamps on each entry.
+pub fn flagship_projection(hidden: f64) -> Projection {
+    project_overlapped(
+        &crate::EsMachine::earth_simulator(),
+        &EsModelParams::calibrated(),
+        &KernelProfile::yycore_default(),
+        &RunShape::flagship(),
+        hidden.clamp(0.0, 1.0),
+    )
+}
+
 impl RunShape {
+    /// The paper's flagship shape: 4096 processes, 511 × 514 × 1538 × 2
+    /// grid points (Table II's headline row).
+    pub fn flagship() -> Self {
+        RunShape { procs: 4096, nr: 511, nth: 514, nph: 1538 }
+    }
+
     /// Total grid points `nr × nth × nph × 2` — the number the paper
     /// quotes for each row of Table II.
     pub fn grid_points(&self) -> usize {
@@ -439,6 +481,22 @@ mod tests {
         // absorbs synchronization waits, so allow up to 25 %.
         assert!(proj.comm_fraction > 0.02 && proj.comm_fraction < 0.25);
         assert!((proj.avg_vector_length - 251.6).abs() < 2.0);
+    }
+
+    #[test]
+    fn flagship_window_helpers_agree_with_the_calibration() {
+        assert_eq!(RunShape::flagship(), paper_shape(4096, 511));
+        // With nothing hidden the helper equals the blocking `project`,
+        // which the calibration pins inside the paper window; the delta
+        // vs the headline stays within the window's relative width.
+        let proj = flagship_projection(0.0);
+        assert!(in_flagship_window(proj.tflops()), "{:.1} TFlops", proj.tflops());
+        let pct = flagship_delta_pct(proj.tflops());
+        assert!(pct.abs() <= 100.0 * FLAGSHIP_WINDOW_TFLOPS / PAPER_FLAGSHIP_TFLOPS);
+        // Hiding communication can only raise the projection.
+        assert!(flagship_projection(1.0).tflops() >= proj.tflops());
+        assert!(!in_flagship_window(9.0) && !in_flagship_window(20.0));
+        assert_eq!(flagship_delta_pct(PAPER_FLAGSHIP_TFLOPS), 0.0);
     }
 
     #[test]

@@ -1,0 +1,1179 @@
+//! The perf doctor: offline/inline diagnosis over flight-recorder
+//! contents — the layer that *interprets* what the rest of `yy-obs`
+//! collects.
+//!
+//! Three engines, all pure functions over per-rank event streams (so
+//! they run post-hoc on [`crate::RecorderSet`] snapshots, on a re-parsed
+//! Chrome trace, or on synthetic streams in tests — and can never
+//! perturb the solver):
+//!
+//! 1. **Per-step critical path** ([`analyze`]) — segment each rank's
+//!    stream by `StepBegin`, find per step the rank whose phase work
+//!    finished *last* (the gating rank) and the phase that dominated its
+//!    step (the gating phase), and aggregate into a gating-phase
+//!    histogram plus a per-rank "times on critical path" table.
+//! 2. **Straggler & imbalance attribution** — per-rank compute walls vs
+//!    the mean (read against the partitioner's predicted imbalance),
+//!    send→recv lag asymmetry (a sender whose messages consistently
+//!    arrive late relative to its peers), and writer-backpressure skew,
+//!    folded into a ranked suspect list with a stated [`reason`].
+//! 3. **Cross-run regression ledger** ([`LedgerEntry`], [`compare`]) —
+//!    append-only JSONL of compact run summaries with noise-aware
+//!    baseline verdicts (`ok | regressed | improved`).
+//!
+//! Analysis degrades gracefully under ring wraparound: the fixed-capacity
+//! recorder keeps only the newest events, so [`Analysis::coverage`]
+//! reports the retained fraction and the step walk simply analyzes the
+//! steps every rank still has — never panicking on a truncated stream.
+
+use crate::event::{phase, Event, TimedEvent};
+use crate::json::{escape, num, Json};
+use std::collections::{BTreeMap, HashMap};
+
+/// Straggler reason codes, with the same name-table discipline as the
+/// [`crate::event`] sub-enums.
+pub mod reason {
+    /// The rank's stencil/compute wall is far above the mean (bad tile,
+    /// slow node, or a mispredicted weighted decomposition).
+    pub const SLOW_COMPUTE: u8 = 0;
+    /// The rank's *sent* messages arrive late at their receivers (its
+    /// peers stall in `wait` through no fault of their own).
+    pub const LATE_SENDER: u8 = 1;
+    /// The rank spends disproportionate time blocked on the async
+    /// output writer's buffer pool.
+    pub const IO_BACKPRESSURE: u8 = 2;
+
+    /// Human-readable reason name.
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            SLOW_COMPUTE => "slow compute",
+            LATE_SENDER => "late sender",
+            IO_BACKPRESSURE => "io backpressure",
+            _ => "reason?",
+        }
+    }
+
+    /// Inverse of [`name`] (JSON readers).
+    pub fn code(name: &str) -> Option<u8> {
+        match name {
+            "slow compute" => Some(SLOW_COMPUTE),
+            "late sender" => Some(LATE_SENDER),
+            "io backpressure" => Some(IO_BACKPRESSURE),
+            _ => None,
+        }
+    }
+}
+
+/// Number of solver phases the analyzer attributes (mirrors
+/// [`phase`]'s code space).
+const NPHASE: usize = 6;
+
+/// Everything [`analyze`] consumes.
+pub struct AnalysisInput<'a> {
+    /// Per-rank event streams, oldest → newest (world-rank indexed, as
+    /// [`crate::RecorderSet::snapshots`] returns them).
+    pub streams: &'a [Vec<TimedEvent>],
+    /// Per-rank `(events recorded ever, ring capacity)` for the
+    /// wraparound coverage fraction. Empty ⇒ streams are complete.
+    pub retained: Vec<(u64, usize)>,
+    /// The partitioner's predicted compute imbalance (1.0 when unknown);
+    /// quoted in slow-compute details so a "straggler" that the layout
+    /// *predicted* reads differently from an unexpected one.
+    pub predicted_imbalance: f64,
+}
+
+/// One row of the gating-phase histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseGate {
+    /// Phase name (from [`phase::name`]).
+    pub phase: String,
+    /// Steps this phase gated.
+    pub steps: u64,
+}
+
+/// One ranked straggler suspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// World rank of the suspect.
+    pub rank: u32,
+    /// [`reason`] code.
+    pub reason: u8,
+    /// Dimensionless severity (ratio vs the peer median/mean; higher is
+    /// worse). Comparable across reasons for ranking purposes.
+    pub severity: f64,
+    /// Human-readable evidence line.
+    pub detail: String,
+}
+
+/// A recovery-plane event that sat on the run's critical path (a kill,
+/// rollback, retile or degraded-mode entry — each one stalls every
+/// rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disruption {
+    /// World rank the event is attributed to (−1 for collective events
+    /// like retiles, which every rank records).
+    pub rank: i64,
+    /// Solver step (kills) or resume step (rollback/retile).
+    pub step: u64,
+    /// Kind: `kill`, `rollback`, `retile <pth>x<pph>`, `degraded`.
+    pub kind: String,
+}
+
+/// The diagnosis: what [`analyze`] found, what `yycore doctor` prints,
+/// and what lands in the report's v5 `analysis` section.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Analysis {
+    /// Steps with a complete phase segment on every rank.
+    pub steps_analyzed: u64,
+    /// Fraction of recorded events still in the rings (min over ranks);
+    /// < 1.0 means wraparound evicted history and the step walk covers
+    /// only what survived. 0.0 on an empty/absent analysis.
+    pub coverage: f64,
+    /// Gating-phase histogram, most-gating first.
+    pub gating: Vec<PhaseGate>,
+    /// `rank_path[r]` = steps rank `r` gated (world-rank indexed).
+    pub rank_path: Vec<u64>,
+    /// Ranked straggler suspects, worst first.
+    pub stragglers: Vec<Straggler>,
+    /// Recovery events on the critical path, in stream order.
+    pub disruptions: Vec<Disruption>,
+    /// One-line human summary.
+    pub verdict: String,
+}
+
+/// What the live metrics endpoint exports from an [`Analysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoctorGauges {
+    /// `(phase name, share of analyzed steps gated)` pairs.
+    pub shares: Vec<(String, f64)>,
+    /// World rank of the top straggler, −1 when none.
+    pub top_straggler: i64,
+}
+
+impl Default for DoctorGauges {
+    fn default() -> Self {
+        DoctorGauges { shares: Vec::new(), top_straggler: -1 }
+    }
+}
+
+impl Analysis {
+    /// The gauges the Prometheus endpoint exports
+    /// ([`crate::metrics::doctor_gauges_text`]).
+    pub fn gauges(&self) -> DoctorGauges {
+        let total: u64 = self.gating.iter().map(|g| g.steps).sum();
+        DoctorGauges {
+            shares: self
+                .gating
+                .iter()
+                .map(|g| (g.phase.clone(), if total == 0 { 0.0 } else { g.steps as f64 / total as f64 }))
+                .collect(),
+            top_straggler: self.stragglers.first().map_or(-1, |s| s.rank as i64),
+        }
+    }
+
+    /// Serialize as the report's `analysis` section object.
+    pub fn to_json(&self) -> String {
+        let gating: Vec<String> = self
+            .gating
+            .iter()
+            .map(|g| format!(r#"{{"phase":"{}","steps":{}}}"#, escape(&g.phase), g.steps))
+            .collect();
+        let ranks: Vec<String> = self.rank_path.iter().map(|n| n.to_string()).collect();
+        let stragglers: Vec<String> = self
+            .stragglers
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"rank":{},"reason":"{}","severity":{},"detail":"{}"}}"#,
+                    s.rank,
+                    reason::name(s.reason),
+                    num(s.severity),
+                    escape(&s.detail)
+                )
+            })
+            .collect();
+        let disruptions: Vec<String> = self
+            .disruptions
+            .iter()
+            .map(|d| {
+                format!(r#"{{"rank":{},"step":{},"kind":"{}"}}"#, d.rank, d.step, escape(&d.kind))
+            })
+            .collect();
+        format!(
+            r#"{{"steps_analyzed":{},"coverage":{},"gating":[{}],"rank_path":[{}],"stragglers":[{}],"disruptions":[{}],"verdict":"{}"}}"#,
+            self.steps_analyzed,
+            num(self.coverage),
+            gating.join(","),
+            ranks.join(","),
+            stragglers.join(","),
+            disruptions.join(","),
+            escape(&self.verdict),
+        )
+    }
+
+    /// Parse the `analysis` section object back (doctor's offline
+    /// report mode; also the roundtrip test). Unknown reasons decode to
+    /// 255 rather than failing, keeping the reader forward-tolerant.
+    pub fn from_json(j: &Json) -> Result<Analysis, String> {
+        let u = |k: &str| -> Result<u64, String> {
+            j.get(k).and_then(|v| v.as_f64()).map(|f| f as u64).ok_or(format!("analysis: missing {k}"))
+        };
+        let mut a = Analysis {
+            steps_analyzed: u("steps_analyzed")?,
+            coverage: j.get("coverage").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            verdict: j.get("verdict").and_then(|v| v.as_str()).unwrap_or("").to_string(),
+            ..Analysis::default()
+        };
+        if let Some(arr) = j.get("gating").and_then(|v| v.as_arr()) {
+            for g in arr {
+                a.gating.push(PhaseGate {
+                    phase: g.get("phase").and_then(|v| v.as_str()).unwrap_or("phase?").to_string(),
+                    steps: g.get("steps").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+                });
+            }
+        }
+        if let Some(arr) = j.get("rank_path").and_then(|v| v.as_arr()) {
+            for r in arr {
+                a.rank_path.push(r.as_f64().unwrap_or(0.0) as u64);
+            }
+        }
+        if let Some(arr) = j.get("stragglers").and_then(|v| v.as_arr()) {
+            for s in arr {
+                a.stragglers.push(Straggler {
+                    rank: s.get("rank").and_then(|v| v.as_f64()).unwrap_or(0.0) as u32,
+                    reason: s
+                        .get("reason")
+                        .and_then(|v| v.as_str())
+                        .and_then(reason::code)
+                        .unwrap_or(255),
+                    severity: s.get("severity").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                    detail: s.get("detail").and_then(|v| v.as_str()).unwrap_or("").to_string(),
+                });
+            }
+        }
+        if let Some(arr) = j.get("disruptions").and_then(|v| v.as_arr()) {
+            for d in arr {
+                a.disruptions.push(Disruption {
+                    rank: d.get("rank").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64,
+                    step: d.get("step").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+                    kind: d.get("kind").and_then(|v| v.as_str()).unwrap_or("").to_string(),
+                });
+            }
+        }
+        Ok(a)
+    }
+}
+
+/// One rank's phase work inside one step.
+#[derive(Default, Clone)]
+struct Segment {
+    phase_ns: [u64; NPHASE],
+    /// Timestamp of the last phase span recorded in this segment (phase
+    /// spans are end-stamped, so this is when the rank's step work
+    /// finished).
+    end_ts: u64,
+    /// Receives matched inside the segment: `(src, tag16, seq, ts)`.
+    recvs: Vec<(u32, u16, u64, u64)>,
+}
+
+/// Run the critical-path + straggler diagnosis over per-rank streams.
+///
+/// Never panics: streams truncated by ring wraparound, streams with no
+/// `StepBegin` markers, and empty inputs all produce a (possibly empty)
+/// [`Analysis`] whose `coverage`/`steps_analyzed` say how much evidence
+/// survived.
+pub fn analyze(input: &AnalysisInput) -> Analysis {
+    let nranks = input.streams.len();
+    if nranks == 0 {
+        return Analysis::default();
+    }
+    // Pass 1: per-rank step segments, phase totals, the global send map,
+    // and the recovery-plane disruptions.
+    let mut segs: Vec<BTreeMap<u64, Segment>> = vec![BTreeMap::new(); nranks];
+    let mut totals = vec![[0u64; NPHASE]; nranks];
+    // (src, dst, tag16, seq) -> send timestamps, oldest first. Sequence
+    // numbers restart on every supervised pass, so a key can legally
+    // repeat; receive matching picks the newest send at or before the
+    // receive.
+    let mut sends: HashMap<(u32, u32, u16, u64), Vec<u64>> = HashMap::new();
+    let mut kills: Vec<(usize, u64, u64)> = Vec::new(); // (rank, step, ts)
+    let mut collective: BTreeMap<(u64, u64, String), u64> = BTreeMap::new(); // dedup record_all
+    for (r, stream) in input.streams.iter().enumerate() {
+        let mut cur: Option<u64> = None;
+        for te in stream {
+            match te.event {
+                Event::StepBegin { step } => {
+                    cur = Some(step);
+                    // A replayed step (post-rollback) overwrites the
+                    // abandoned pass's segment: newest evidence wins.
+                    segs[r].insert(step, Segment::default());
+                }
+                Event::Phase { phase: p, dur_ns } if (p as usize) < NPHASE => {
+                    totals[r][p as usize] += dur_ns;
+                    if let Some(s) = cur {
+                        if let Some(seg) = segs[r].get_mut(&s) {
+                            seg.phase_ns[p as usize] += dur_ns;
+                            seg.end_ts = seg.end_ts.max(te.ts_ns);
+                        }
+                    }
+                }
+                Event::Send { peer, tag16, seq, .. } => {
+                    sends.entry((r as u32, peer, tag16, seq)).or_default().push(te.ts_ns);
+                }
+                Event::Recv { peer, tag16, seq, .. } => {
+                    if let Some(s) = cur {
+                        if let Some(seg) = segs[r].get_mut(&s) {
+                            seg.recvs.push((peer, tag16, seq, te.ts_ns));
+                        }
+                    }
+                }
+                Event::KillInjected { step } => kills.push((r, step, te.ts_ns)),
+                Event::Rollback { pass, resume_step } => {
+                    collective.insert((pass, resume_step, "rollback".into()), resume_step);
+                }
+                Event::Retile { pth, pph, pass, resume_step } => {
+                    collective.insert((pass, resume_step, format!("retile {pth}x{pph}")), resume_step);
+                }
+                Event::Degraded { pass, checkpoint_every } => {
+                    collective.insert((pass, checkpoint_every, "degraded".into()), 0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Send→recv lag: how long after the send each message was matched.
+    // Under an injected per-sender delay (or a genuinely slow sender)
+    // this is the stall its receivers cannot hide.
+    let lag_of = |src: u32, dst: u32, tag16: u16, seq: u64, recv_ts: u64| -> Option<u64> {
+        let ts_list = sends.get(&(src, dst, tag16, seq))?;
+        let sent = ts_list.iter().rev().find(|&&t| t <= recv_ts).or(ts_list.first())?;
+        Some(recv_ts.saturating_sub(*sent))
+    };
+    let mut lag_sum = vec![0u64; nranks];
+    let mut lag_n = vec![0u64; nranks];
+
+    // Pass 2: the per-step critical path over steps every rank covered.
+    let common: Vec<u64> = match segs.first() {
+        Some(first) => first
+            .iter()
+            .filter(|(_, s)| s.end_ts > 0)
+            .map(|(&step, _)| step)
+            .filter(|step| {
+                segs.iter().all(|m| m.get(step).map(|s| s.end_ts > 0).unwrap_or(false))
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut gating_steps = [0u64; NPHASE];
+    let mut rank_path = vec![0u64; nranks];
+    let mut wait_blame = vec![0u64; nranks]; // steps a rank's late send gated a peer's wait
+    for &step in &common {
+        let gater = (0..nranks)
+            .max_by_key(|&r| segs[r][&step].end_ts)
+            .expect("nranks > 0");
+        let seg = &segs[gater][&step];
+        let gphase = (0..NPHASE).max_by_key(|&p| seg.phase_ns[p]).expect("NPHASE > 0");
+        rank_path[gater] += 1;
+        gating_steps[gphase] += 1;
+        if gphase == phase::WAIT as usize {
+            // The gating rank stalled in receives: blame the sender of
+            // its latest-arriving message relative to the send time.
+            let late = seg
+                .recvs
+                .iter()
+                .filter_map(|&(src, tag, seq, ts)| {
+                    lag_of(src, gater as u32, tag, seq, ts).map(|lag| (src, lag))
+                })
+                .max_by_key(|&(_, lag)| lag);
+            if let Some((src, _)) = late {
+                if (src as usize) < nranks {
+                    wait_blame[src as usize] += 1;
+                }
+            }
+        }
+    }
+    // Lag statistics over every matched receive (not only gating steps),
+    // so the late-sender signal survives even when waits were hidden.
+    for (r, m) in segs.iter().enumerate() {
+        for seg in m.values() {
+            for &(src, tag, seq, ts) in &seg.recvs {
+                if let Some(lag) = lag_of(src, r as u32, tag, seq, ts) {
+                    if (src as usize) < nranks {
+                        lag_sum[src as usize] += lag;
+                        lag_n[src as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Straggler attribution: strongest signal per rank, ranked.
+    let compute: Vec<u64> = (0..nranks)
+        .map(|r| {
+            totals[r][phase::PACK as usize]
+                + totals[r][phase::INTERIOR as usize]
+                + totals[r][phase::BOUNDARY as usize]
+                + totals[r][phase::OVERSET as usize]
+        })
+        .collect();
+    let mean_compute = (compute.iter().sum::<u64>() as f64 / nranks as f64).max(1.0);
+    let lag_mean: Vec<f64> =
+        (0..nranks).map(|r| if lag_n[r] == 0 { 0.0 } else { lag_sum[r] as f64 / lag_n[r] as f64 }).collect();
+    let mut sorted_lags = lag_mean.clone();
+    sorted_lags.sort_by(|a, b| a.total_cmp(b));
+    // Lower median, so a single outlier among few ranks cannot drag the
+    // baseline up to itself.
+    let lag_median = sorted_lags[(nranks - 1) / 2];
+    let writer: Vec<u64> = (0..nranks).map(|r| totals[r][phase::WRITER_WAIT as usize]).collect();
+    let mean_writer = (writer.iter().sum::<u64>() as f64 / nranks as f64).max(1.0);
+    let mut stragglers: Vec<Straggler> = Vec::new();
+    for r in 0..nranks {
+        let mut best: Option<Straggler> = None;
+        let mut consider = |s: Straggler| {
+            if best.as_ref().map_or(true, |b| s.severity > b.severity) {
+                best = Some(s);
+            }
+        };
+        let compute_ratio = compute[r] as f64 / mean_compute;
+        if compute_ratio > 1.10 {
+            consider(Straggler {
+                rank: r as u32,
+                reason: reason::SLOW_COMPUTE,
+                severity: compute_ratio,
+                detail: format!(
+                    "compute wall {:.2}x the rank mean (predicted imbalance {:.2})",
+                    compute_ratio, input.predicted_imbalance
+                ),
+            });
+        }
+        if lag_mean[r] > 50_000.0 && lag_mean[r] > 2.0 * lag_median.max(1.0) {
+            consider(Straggler {
+                rank: r as u32,
+                reason: reason::LATE_SENDER,
+                severity: lag_mean[r] / lag_median.max(1_000.0),
+                detail: format!(
+                    "mean send->recv lag {:.0}us vs median {:.0}us; gated peers' wait {} time(s)",
+                    lag_mean[r] / 1e3,
+                    lag_median / 1e3,
+                    wait_blame[r]
+                ),
+            });
+        }
+        // The mean includes the suspect, so one offender among n ranks
+        // caps the ratio at n — use ≥ so 2-rank layouts can still trip.
+        let writer_ratio = writer[r] as f64 / mean_writer;
+        if writer[r] > 1_000_000 && writer_ratio >= 2.0 {
+            consider(Straggler {
+                rank: r as u32,
+                reason: reason::IO_BACKPRESSURE,
+                severity: writer_ratio,
+                detail: format!(
+                    "writer backpressure {:.1}ms, {:.2}x the rank mean",
+                    writer[r] as f64 / 1e6,
+                    writer_ratio
+                ),
+            });
+        }
+        if let Some(s) = best {
+            stragglers.push(s);
+        }
+    }
+    stragglers.sort_by(|a, b| b.severity.total_cmp(&a.severity));
+
+    // Disruptions in a stable order: kills (by time), then the deduped
+    // collective recovery events.
+    let mut disruptions: Vec<Disruption> = Vec::new();
+    kills.sort_by_key(|&(_, _, ts)| ts);
+    for (r, step, _) in &kills {
+        disruptions.push(Disruption { rank: *r as i64, step: *step, kind: "kill".into() });
+    }
+    for ((_, _, kind), step) in &collective {
+        disruptions.push(Disruption { rank: -1, step: *step, kind: kind.clone() });
+    }
+
+    // Coverage: the worst retained fraction across the rings.
+    let coverage = input
+        .retained
+        .iter()
+        .map(|&(recorded, cap)| {
+            if recorded == 0 || recorded <= cap as u64 {
+                1.0
+            } else {
+                cap as f64 / recorded as f64
+            }
+        })
+        .fold(1.0_f64, f64::min);
+
+    let mut gating: Vec<PhaseGate> = (0..NPHASE)
+        .filter(|&p| gating_steps[p] > 0)
+        .map(|p| PhaseGate { phase: phase::name(p as u8).to_string(), steps: gating_steps[p] })
+        .collect();
+    gating.sort_by(|a, b| b.steps.cmp(&a.steps));
+
+    let steps_analyzed = common.len() as u64;
+    let verdict = if steps_analyzed == 0 {
+        format!("no step coverage (ring retained {:.0}% of events)", coverage * 100.0)
+    } else {
+        let top = &gating[0];
+        let share = 100.0 * top.steps as f64 / steps_analyzed as f64;
+        match stragglers.first() {
+            Some(s) => format!(
+                "{}-gated {:.0}% of {} steps; top straggler rank {} ({})",
+                top.phase,
+                share,
+                steps_analyzed,
+                s.rank,
+                reason::name(s.reason)
+            ),
+            None => format!(
+                "{}-gated {:.0}% of {} steps; no stragglers",
+                top.phase, share, steps_analyzed
+            ),
+        }
+    };
+
+    Analysis { steps_analyzed, coverage, gating, rank_path, stragglers, disruptions, verdict }
+}
+
+/// Rebuild per-rank event streams from a Chrome trace produced by
+/// [`crate::chrome_trace_json`] — the offline half of `yycore doctor`,
+/// so a trace file on disk is as analyzable as a live recorder set.
+///
+/// Only the event kinds the analyzer consumes are reconstructed (phase
+/// spans, step markers, send/recv instants, kills, rollbacks, retiles,
+/// degraded marks); flow arrows, counters and metadata are skipped.
+pub fn streams_from_chrome(text: &str) -> Result<Vec<Vec<TimedEvent>>, String> {
+    let doc = Json::parse(text)?;
+    let events =
+        doc.get("traceEvents").and_then(|v| v.as_arr()).ok_or("missing traceEvents array")?;
+    let mut streams: BTreeMap<usize, Vec<TimedEvent>> = BTreeMap::new();
+    let ns = |v: f64| -> u64 { (v * 1000.0).round().max(0.0) as u64 };
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if ph != "X" && ph != "i" {
+            continue;
+        }
+        let name = e.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        let rank = match e.get("tid").and_then(|v| v.as_f64()) {
+            Some(t) if t >= 0.0 => t as usize,
+            _ => continue,
+        };
+        let ts = match e.get("ts").and_then(|v| v.as_f64()) {
+            Some(t) => t,
+            None => continue,
+        };
+        let arg = |k: &str| e.get("args").and_then(|a| a.get(k)).and_then(|v| v.as_f64());
+        let event = if ph == "X" {
+            let Some(code) = phase::code(name) else { continue };
+            let dur = e.get("dur").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            // The ring stamps spans at their end; the trace stores the
+            // start, so re-stamp at start + duration.
+            Some(TimedEvent {
+                ts_ns: ns(ts + dur),
+                event: Event::Phase { phase: code, dur_ns: ns(dur) },
+            })
+        } else if let Some(rest) = name.strip_prefix("send ") {
+            let _ = rest;
+            Some(TimedEvent {
+                ts_ns: ns(ts),
+                event: Event::Send {
+                    peer: arg("to").unwrap_or(0.0) as u32,
+                    class: crate::event::class::UNKNOWN,
+                    bytes: arg("bytes").unwrap_or(0.0) as u64,
+                    tag16: arg("tag").unwrap_or(0.0) as u16,
+                    seq: arg("seq").unwrap_or(0.0) as u64,
+                },
+            })
+        } else if name.starts_with("recv ") {
+            Some(TimedEvent {
+                ts_ns: ns(ts),
+                event: Event::Recv {
+                    peer: arg("from").unwrap_or(0.0) as u32,
+                    class: crate::event::class::UNKNOWN,
+                    bytes: arg("bytes").unwrap_or(0.0) as u64,
+                    tag16: arg("tag").unwrap_or(0.0) as u16,
+                    seq: arg("seq").unwrap_or(0.0) as u64,
+                },
+            })
+        } else if name.starts_with("step ") {
+            arg("step").map(|s| TimedEvent { ts_ns: ns(ts), event: Event::StepBegin { step: s as u64 } })
+        } else if name == "kill injected" {
+            arg("step")
+                .map(|s| TimedEvent { ts_ns: ns(ts), event: Event::KillInjected { step: s as u64 } })
+        } else if name == "rollback" {
+            Some(TimedEvent {
+                ts_ns: ns(ts),
+                event: Event::Rollback {
+                    pass: arg("pass").unwrap_or(0.0) as u64,
+                    resume_step: arg("resume_step").unwrap_or(0.0) as u64,
+                },
+            })
+        } else if name == "retile" {
+            Some(TimedEvent {
+                ts_ns: ns(ts),
+                event: Event::Retile {
+                    pth: arg("pth").unwrap_or(0.0) as u16,
+                    pph: arg("pph").unwrap_or(0.0) as u16,
+                    pass: arg("pass").unwrap_or(0.0) as u64,
+                    resume_step: arg("resume_step").unwrap_or(0.0) as u64,
+                },
+            })
+        } else if name == "degraded" {
+            Some(TimedEvent {
+                ts_ns: ns(ts),
+                event: Event::Degraded {
+                    pass: arg("pass").unwrap_or(0.0) as u64,
+                    checkpoint_every: arg("checkpoint_every").unwrap_or(0.0) as u64,
+                },
+            })
+        } else {
+            None
+        };
+        if let Some(te) = event {
+            streams.entry(rank).or_default().push(te);
+        }
+    }
+    if streams.is_empty() {
+        return Err("trace contains no analyzable events".into());
+    }
+    // Dense world-rank indexing up to the highest tid, ring order
+    // (oldest first) restored within each stream.
+    let max_rank = *streams.keys().max().expect("non-empty");
+    let mut out = vec![Vec::new(); max_rank + 1];
+    for (r, mut evs) in streams {
+        evs.sort_by_key(|te| te.ts_ns);
+        out[r] = evs;
+    }
+    Ok(out)
+}
+
+/// Ledger schema tag, written on every line of `runs.jsonl`.
+pub const LEDGER_SCHEMA: &str = "yy.doctor.ledger.v1";
+
+/// One compact run summary in the cross-run regression ledger.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LedgerEntry {
+    /// Free-form source label (`bench`, `ci`, a hostname, …).
+    pub label: String,
+    /// Position in the ledger file (assigned by the appender; `since`
+    /// references use `label#seq`).
+    pub seq: u64,
+    /// Steps the summarized run advanced.
+    pub steps: u64,
+    /// Grid points of the run.
+    pub grid_points: u64,
+    /// Tile layout `(pth, pph)`; `(0, 0)` for serial.
+    pub layout: (u64, u64),
+    /// Checkpoint shard codec in effect (`none` when output was off).
+    pub codec: String,
+    /// Step cost normalized to the grid (lower is better).
+    pub ns_per_point: f64,
+    /// Per-kernel achieved MFLOPS (higher is better), kernel-name keyed.
+    pub kernel_mflops: Vec<(String, f64)>,
+    /// `interior / (interior + wait)` of the run (higher is better).
+    pub hidden_comm_fraction: f64,
+    /// ES flagship projection in TFlops (0.0 when the source had none).
+    pub es_tflops: f64,
+}
+
+impl LedgerEntry {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernel_mflops
+            .iter()
+            .map(|(k, v)| format!(r#""{}":{}"#, escape(k), num(*v)))
+            .collect();
+        format!(
+            r#"{{"schema":"{}","label":"{}","seq":{},"steps":{},"grid_points":{},"layout":[{},{}],"codec":"{}","ns_per_point":{},"kernel_mflops":{{{}}},"hidden_comm_fraction":{},"es_tflops":{}}}"#,
+            LEDGER_SCHEMA,
+            escape(&self.label),
+            self.seq,
+            self.steps,
+            self.grid_points,
+            self.layout.0,
+            self.layout.1,
+            escape(&self.codec),
+            num(self.ns_per_point),
+            kernels.join(","),
+            num(self.hidden_comm_fraction),
+            num(self.es_tflops),
+        )
+    }
+
+    /// Parse one ledger object (schema-checked).
+    pub fn from_json(j: &Json) -> Result<LedgerEntry, String> {
+        let schema = j.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != LEDGER_SCHEMA {
+            return Err(format!("ledger entry schema '{schema}' != '{LEDGER_SCHEMA}'"));
+        }
+        let f = |k: &str| j.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let layout = match j.get("layout").and_then(|v| v.as_arr()) {
+            Some(a) if a.len() == 2 => (
+                a[0].as_f64().unwrap_or(0.0) as u64,
+                a[1].as_f64().unwrap_or(0.0) as u64,
+            ),
+            _ => (0, 0),
+        };
+        let mut kernel_mflops = Vec::new();
+        if let Some(obj) = j.get("kernel_mflops").and_then(|v| v.as_obj()) {
+            for (k, v) in obj {
+                kernel_mflops.push((k.clone(), v.as_f64().unwrap_or(0.0)));
+            }
+        }
+        Ok(LedgerEntry {
+            label: j.get("label").and_then(|v| v.as_str()).unwrap_or("").to_string(),
+            seq: f("seq") as u64,
+            steps: f("steps") as u64,
+            grid_points: f("grid_points") as u64,
+            layout,
+            codec: j.get("codec").and_then(|v| v.as_str()).unwrap_or("none").to_string(),
+            ns_per_point: f("ns_per_point"),
+            kernel_mflops,
+            hidden_comm_fraction: f("hidden_comm_fraction"),
+            es_tflops: f("es_tflops"),
+        })
+    }
+
+    /// Parse a whole `runs.jsonl` document, skipping blank lines;
+    /// errors carry the 1-based line number.
+    pub fn parse_ledger(text: &str) -> Result<Vec<LedgerEntry>, String> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let j = Json::parse(line).map_err(|e| format!("ledger line {}: {e}", i + 1))?;
+            out.push(LedgerEntry::from_json(&j).map_err(|e| format!("ledger line {}: {e}", i + 1))?);
+        }
+        Ok(out)
+    }
+}
+
+/// One baseline-comparison verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Metric name (`ns_per_point`, `mflops:rhs`, `es_tflops`, …).
+    pub metric: String,
+    /// `ok` | `regressed` | `improved`.
+    pub status: String,
+    /// Signed relative delta vs the baseline, in percent (positive =
+    /// metric went up).
+    pub delta_pct: f64,
+    /// `label#seq` of the baseline entry the delta is against.
+    pub since: String,
+}
+
+impl Verdict {
+    /// The one-line rendering ci prints: `ok(metric, +1.2%, since x#3)`.
+    pub fn line(&self) -> String {
+        format!("{}({}, {:+.1}%, since {})", self.status, self.metric, self.delta_pct, self.since)
+    }
+}
+
+/// Extract each history value of one metric: `(value, "label#seq")`.
+fn metric_history(history: &[LedgerEntry], metric: &str) -> Vec<(f64, String)> {
+    history
+        .iter()
+        .filter_map(|e| {
+            let v = match metric {
+                "ns_per_point" => e.ns_per_point,
+                "hidden_comm_fraction" => e.hidden_comm_fraction,
+                "es_tflops" => e.es_tflops,
+                _ => metric
+                    .strip_prefix("mflops:")
+                    .and_then(|k| e.kernel_mflops.iter().find(|(n, _)| n == k))
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0),
+            };
+            (v > 0.0).then(|| (v, format!("{}#{}", e.label, e.seq)))
+        })
+        .collect()
+}
+
+/// Compare the newest ledger entry against its history with noise-aware
+/// thresholds: a metric regresses only when it is worse than the best
+/// historical value by more than `max(base_tol, 3 × the history's
+/// coefficient of variation)` — so a noisy metric needs a bigger move to
+/// trip than a quiet one. Lower-is-better metrics (`ns_per_point`) are
+/// handled by sign; metrics the latest entry lacks are skipped.
+pub fn compare(latest: &LedgerEntry, history: &[LedgerEntry], base_tol: f64) -> Vec<Verdict> {
+    let mut metrics: Vec<(String, bool)> = vec![("ns_per_point".into(), false)];
+    for (k, _) in &latest.kernel_mflops {
+        metrics.push((format!("mflops:{k}"), true));
+    }
+    metrics.push(("hidden_comm_fraction".into(), true));
+    metrics.push(("es_tflops".into(), true));
+    let mut out = Vec::new();
+    for (metric, higher_is_better) in metrics {
+        let cur = metric_history(std::slice::from_ref(latest), &metric);
+        let Some(&(cur, _)) = cur.first() else { continue };
+        let hist = metric_history(history, &metric);
+        if hist.is_empty() {
+            out.push(Verdict {
+                metric,
+                status: "ok".into(),
+                delta_pct: 0.0,
+                since: "no-history".into(),
+            });
+            continue;
+        }
+        let values: Vec<f64> = hist.iter().map(|(v, _)| *v).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        let tol = base_tol.max(3.0 * cv);
+        // Baseline = best historical value; "since" names the newest
+        // entry that achieved it (the point to bisect back to).
+        let (best, since) = hist
+            .iter()
+            .rev()
+            .max_by(|(a, _), (b, _)| if higher_is_better { a.total_cmp(b) } else { b.total_cmp(a) })
+            .cloned()
+            .expect("non-empty history");
+        let delta_pct = (cur - best) / best * 100.0;
+        let worse = if higher_is_better { cur < best * (1.0 - tol) } else { cur > best * (1.0 + tol) };
+        let better = if higher_is_better { cur > best * (1.0 + tol) } else { cur < best * (1.0 - tol) };
+        let status = if worse {
+            "regressed"
+        } else if better {
+            "improved"
+        } else {
+            "ok"
+        };
+        out.push(Verdict { metric, status: status.into(), delta_pct, since });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::class;
+    use crate::ring::FlightRecorder;
+
+    /// Build one rank's stream: per step, a begin marker plus phase
+    /// spans whose durations place the rank's work in time.
+    fn rank_stream(steps: u64, step_ns: u64, wait_ns: u64, offset: u64) -> Vec<TimedEvent> {
+        let mut out = Vec::new();
+        let mut t = offset;
+        for s in 0..steps {
+            out.push(TimedEvent { ts_ns: t, event: Event::StepBegin { step: s } });
+            t += step_ns;
+            out.push(TimedEvent {
+                ts_ns: t,
+                event: Event::Phase { phase: phase::INTERIOR, dur_ns: step_ns },
+            });
+            if wait_ns > 0 {
+                t += wait_ns;
+                out.push(TimedEvent {
+                    ts_ns: t,
+                    event: Event::Phase { phase: phase::WAIT, dur_ns: wait_ns },
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interior_gated_balanced_run_has_no_stragglers() {
+        let streams = vec![rank_stream(6, 1000, 0, 0), rank_stream(6, 1000, 0, 50)];
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(a.steps_analyzed, 6);
+        assert_eq!(a.coverage, 1.0);
+        assert_eq!(a.gating[0].phase, "interior");
+        assert_eq!(a.gating[0].steps, 6);
+        assert!(a.stragglers.is_empty(), "{:?}", a.stragglers);
+        assert_eq!(a.rank_path.iter().sum::<u64>(), 6);
+        assert!(a.verdict.contains("interior-gated"), "{}", a.verdict);
+    }
+
+    #[test]
+    fn slow_rank_lands_on_the_critical_path() {
+        // Rank 1 computes 3x longer: it must gate every step and be the
+        // top straggler with reason "slow compute".
+        let streams = vec![rank_stream(5, 1000, 0, 0), rank_stream(5, 3000, 0, 0)];
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(a.rank_path, vec![0, 5]);
+        let top = &a.stragglers[0];
+        assert_eq!(top.rank, 1);
+        assert_eq!(top.reason, reason::SLOW_COMPUTE);
+        assert!(top.severity > 1.4, "{}", top.severity);
+    }
+
+    /// Two ranks exchanging one message per step; rank 0's sends take
+    /// `lag_ns` to arrive, so rank 1 stalls in wait.
+    fn late_sender_streams(steps: u64, lag_ns: u64) -> Vec<Vec<TimedEvent>> {
+        let mut s0 = Vec::new();
+        let mut s1 = Vec::new();
+        let step_ns = 10_000u64;
+        for s in 0..steps {
+            let t0 = s * (step_ns + lag_ns);
+            s0.push(TimedEvent { ts_ns: t0, event: Event::StepBegin { step: s } });
+            s1.push(TimedEvent { ts_ns: t0, event: Event::StepBegin { step: s } });
+            s0.push(TimedEvent {
+                ts_ns: t0 + 100,
+                event: Event::Send { peer: 1, class: class::HALO, bytes: 800, tag16: 11, seq: s },
+            });
+            s1.push(TimedEvent {
+                ts_ns: t0 + 200,
+                event: Event::Send { peer: 0, class: class::HALO, bytes: 800, tag16: 11, seq: s },
+            });
+            s0.push(TimedEvent {
+                ts_ns: t0 + 300,
+                event: Event::Recv { peer: 1, class: class::UNKNOWN, bytes: 800, tag16: 11, seq: s },
+            });
+            s0.push(TimedEvent {
+                ts_ns: t0 + step_ns,
+                event: Event::Phase { phase: phase::INTERIOR, dur_ns: step_ns },
+            });
+            // Rank 1's receive is delayed by the full lag.
+            s1.push(TimedEvent {
+                ts_ns: t0 + 100 + lag_ns,
+                event: Event::Recv { peer: 0, class: class::UNKNOWN, bytes: 800, tag16: 11, seq: s },
+            });
+            s1.push(TimedEvent {
+                ts_ns: t0 + 1000 + lag_ns,
+                event: Event::Phase { phase: phase::WAIT, dur_ns: lag_ns },
+            });
+            s1.push(TimedEvent {
+                ts_ns: t0 + 1000 + lag_ns + 2000,
+                event: Event::Phase { phase: phase::INTERIOR, dur_ns: 2000 },
+            });
+        }
+        vec![s0, s1]
+    }
+
+    #[test]
+    fn late_sender_is_named_with_reason() {
+        let streams = late_sender_streams(8, 5_000_000);
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        // Rank 1 stalls in wait and gates; the blame lands on rank 0.
+        assert_eq!(a.gating[0].phase, "wait");
+        let top = &a.stragglers[0];
+        assert_eq!(top.rank, 0, "{:?}", a.stragglers);
+        assert_eq!(top.reason, reason::LATE_SENDER);
+        assert!(top.detail.contains("gated peers' wait"), "{}", top.detail);
+        assert!(a.verdict.contains("late sender"), "{}", a.verdict);
+    }
+
+    #[test]
+    fn io_backpressure_is_attributed() {
+        let mut streams = vec![rank_stream(4, 1000, 0, 0), rank_stream(4, 1000, 0, 0)];
+        // Rank 1 blocked 2ms on the writer each step.
+        let mut t = 4 * 1000 + 10;
+        for _ in 0..4 {
+            t += 2_000_000;
+            streams[1].push(TimedEvent {
+                ts_ns: t,
+                event: Event::Phase { phase: phase::WRITER_WAIT, dur_ns: 2_000_000 },
+            });
+        }
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        let top = &a.stragglers[0];
+        assert_eq!((top.rank, top.reason), (1, reason::IO_BACKPRESSURE));
+    }
+
+    #[test]
+    fn disruptions_capture_kill_and_retile() {
+        let mut streams = vec![rank_stream(3, 1000, 0, 0), rank_stream(3, 1000, 0, 0)];
+        streams[1].push(TimedEvent { ts_ns: 99_000, event: Event::KillInjected { step: 5 } });
+        for s in streams.iter_mut() {
+            s.push(TimedEvent {
+                ts_ns: 100_000,
+                event: Event::Retile { pth: 1, pph: 2, pass: 2, resume_step: 4 },
+            });
+            s.push(TimedEvent {
+                ts_ns: 100_100,
+                event: Event::Degraded { pass: 2, checkpoint_every: 4 },
+            });
+        }
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(a.disruptions[0], Disruption { rank: 1, step: 5, kind: "kill".into() });
+        // record_all stamps every rank; the retile must appear once.
+        assert_eq!(a.disruptions.iter().filter(|d| d.kind == "retile 1x2").count(), 1);
+        assert_eq!(a.disruptions.iter().filter(|d| d.kind == "degraded").count(), 1);
+    }
+
+    #[test]
+    fn wraparound_degrades_gracefully_never_panics() {
+        // Property: for any (capacity, steps) with heavy eviction, the
+        // analyzer reports coverage < 1 and analyzes only surviving
+        // steps — and never panics. Deterministic sweep over a seed
+        // grid in lieu of a fuzzer (yy-obs has no dev-dependencies).
+        for (cap, steps) in [(8usize, 40u64), (16, 100), (32, 33), (4, 9), (64, 64)] {
+            let rec = FlightRecorder::new(cap, std::time::Instant::now());
+            for s in 0..steps {
+                let t = 10_000 * s;
+                rec.record_at(t, Event::StepBegin { step: s });
+                rec.record_at(t + 1_000 + s, Event::Phase { phase: phase::INTERIOR, dur_ns: 1000 + s });
+                rec.record_at(
+                    t + 2_000,
+                    Event::Send { peer: 0, class: class::HALO, bytes: 8, tag16: 11, seq: s },
+                );
+            }
+            let stream = rec.snapshot();
+            let streams = vec![stream];
+            let input = AnalysisInput {
+                streams: &streams,
+                retained: vec![(rec.recorded(), rec.capacity())],
+                predicted_imbalance: 1.0,
+            };
+            let a = analyze(&input);
+            let evicted = 3 * steps > cap as u64;
+            if evicted {
+                assert!(a.coverage < 1.0, "cap {cap} steps {steps}: {}", a.coverage);
+                assert!(
+                    a.steps_analyzed < steps,
+                    "cap {cap} steps {steps}: analyzed {}",
+                    a.steps_analyzed
+                );
+            } else {
+                assert_eq!(a.coverage, 1.0);
+            }
+            // Whatever survived must be internally consistent.
+            assert_eq!(a.rank_path.iter().sum::<u64>(), a.steps_analyzed);
+            assert!(!a.verdict.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_stream_missing_step_begins_is_safe() {
+        // A stream that wrapped mid-step: phase spans with no opening
+        // StepBegin must not be attributed (or panic).
+        let streams = vec![vec![
+            TimedEvent { ts_ns: 10, event: Event::Phase { phase: phase::WAIT, dur_ns: 5 } },
+            TimedEvent { ts_ns: 20, event: Event::Recv { peer: 9, class: 255, bytes: 1, tag16: 1, seq: 0 } },
+        ]];
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(a.steps_analyzed, 0);
+        assert!(a.verdict.contains("no step coverage"), "{}", a.verdict);
+    }
+
+    #[test]
+    fn empty_input_yields_default() {
+        let a = analyze(&AnalysisInput { streams: &[], retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(a, Analysis::default());
+    }
+
+    #[test]
+    fn analysis_json_roundtrips() {
+        let streams = late_sender_streams(4, 2_000_000);
+        let mut a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.07 });
+        a.disruptions.push(Disruption { rank: 1, step: 5, kind: "kill".into() });
+        let j = Json::parse(&a.to_json()).expect("section must parse");
+        let b = Analysis::from_json(&j).expect("section must decode");
+        assert_eq!(a.steps_analyzed, b.steps_analyzed);
+        assert_eq!(a.gating, b.gating);
+        assert_eq!(a.rank_path, b.rank_path);
+        assert_eq!(a.disruptions, b.disruptions);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.stragglers.len(), b.stragglers.len());
+        assert_eq!(a.stragglers[0].reason, b.stragglers[0].reason);
+        assert!((a.stragglers[0].severity - b.stragglers[0].severity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_expose_shares_and_top_straggler() {
+        let streams = late_sender_streams(4, 2_000_000);
+        let a = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        let g = a.gauges();
+        assert_eq!(g.top_straggler, 0);
+        let total: f64 = g.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares must sum to 1, got {total}");
+        assert!(Analysis::default().gauges().shares.is_empty());
+        assert_eq!(Analysis::default().gauges().top_straggler, -1);
+    }
+
+    #[test]
+    fn chrome_roundtrip_preserves_the_diagnosis() {
+        use crate::chrome::{chrome_trace_json, RankTrace};
+        let streams = late_sender_streams(6, 3_000_000);
+        let direct = analyze(&AnalysisInput { streams: &streams, retained: vec![], predicted_imbalance: 1.0 });
+        let tracks: Vec<RankTrace> = streams
+            .iter()
+            .enumerate()
+            .map(|(rank, events)| RankTrace { rank, events: events.clone() })
+            .collect();
+        let doc = chrome_trace_json(&tracks);
+        let rebuilt = streams_from_chrome(&doc).expect("trace must re-import");
+        let via_trace =
+            analyze(&AnalysisInput { streams: &rebuilt, retained: vec![], predicted_imbalance: 1.0 });
+        assert_eq!(direct.steps_analyzed, via_trace.steps_analyzed);
+        assert_eq!(direct.gating, via_trace.gating);
+        assert_eq!(direct.rank_path, via_trace.rank_path);
+        assert_eq!(direct.stragglers[0].rank, via_trace.stragglers[0].rank);
+        assert_eq!(direct.stragglers[0].reason, via_trace.stragglers[0].reason);
+    }
+
+    #[test]
+    fn streams_from_chrome_rejects_garbage() {
+        assert!(streams_from_chrome("not json").is_err());
+        assert!(streams_from_chrome("{}").is_err());
+        assert!(streams_from_chrome(r#"{"traceEvents":[]}"#).is_err());
+    }
+
+    fn entry(label: &str, seq: u64, ns_per_point: f64, rhs: f64) -> LedgerEntry {
+        LedgerEntry {
+            label: label.into(),
+            seq,
+            steps: 10,
+            grid_points: 100_000,
+            layout: (1, 2),
+            codec: "delta".into(),
+            ns_per_point,
+            kernel_mflops: vec![("rhs".into(), rhs), ("rk4_combine".into(), rhs / 2.0)],
+            hidden_comm_fraction: 0.8,
+            es_tflops: 14.7,
+        }
+    }
+
+    #[test]
+    fn ledger_lines_roundtrip() {
+        let e = entry("bench", 3, 612.5, 4100.0);
+        let line = e.to_json_line();
+        let parsed = LedgerEntry::parse_ledger(&format!("{line}\n\n{line}\n")).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], e);
+        assert!(LedgerEntry::parse_ledger("{\"schema\":\"bogus\"}").is_err());
+        assert!(LedgerEntry::parse_ledger("not json").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regression_and_improvement() {
+        let history = vec![entry("b", 0, 600.0, 4000.0), entry("b", 1, 610.0, 4050.0)];
+        // 30% slower step, 30% faster rhs.
+        let mut latest = entry("b", 2, 800.0, 5300.0);
+        latest.es_tflops = 14.7;
+        let verdicts = compare(&latest, &history, 0.10);
+        let by = |m: &str| verdicts.iter().find(|v| v.metric == m).unwrap();
+        assert_eq!(by("ns_per_point").status, "regressed");
+        assert!(by("ns_per_point").line().contains("regressed(ns_per_point"), "{}", by("ns_per_point").line());
+        assert_eq!(by("mflops:rhs").status, "improved");
+        assert_eq!(by("es_tflops").status, "ok");
+        // The regression's "since" names the best historical entry.
+        assert_eq!(by("ns_per_point").since, "b#0");
+    }
+
+    #[test]
+    fn compare_is_noise_aware() {
+        // History with ~20% swings: a 25% drop is within 3×cv noise.
+        let history = vec![
+            entry("b", 0, 500.0, 4000.0),
+            entry("b", 1, 700.0, 4000.0),
+            entry("b", 2, 520.0, 4000.0),
+            entry("b", 3, 690.0, 4000.0),
+        ];
+        let latest = entry("b", 4, 620.0, 4000.0);
+        let verdicts = compare(&latest, &history, 0.10);
+        let ns = verdicts.iter().find(|v| v.metric == "ns_per_point").unwrap();
+        assert_eq!(ns.status, "ok", "noisy history must widen the threshold: {ns:?}");
+    }
+
+    #[test]
+    fn compare_without_history_is_ok() {
+        let verdicts = compare(&entry("b", 0, 600.0, 4000.0), &[], 0.10);
+        assert!(verdicts.iter().all(|v| v.status == "ok" && v.since == "no-history"));
+    }
+}

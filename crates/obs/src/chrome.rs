@@ -115,6 +115,15 @@ fn push_event(out: &mut Vec<String>, rank: usize, te: &TimedEvent) {
             r#"{{"name":"step {step}","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{},"cat":"step","args":{{"step":{step}}}}}"#,
             us(te.ts_ns),
         )),
+        Event::CriticalGate { phase: p, share_permille, steps } => out.push(format!(
+            r#"{{"name":"critical path","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"analysis","args":{{"phase":"{}","share_permille":{share_permille},"steps":{steps}}}}}"#,
+            us(te.ts_ns),
+            phase::name(p),
+        )),
+        Event::StragglerFlagged { rank: r, reason, severity_permille } => out.push(format!(
+            r#"{{"name":"straggler","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"analysis","args":{{"rank":{r},"reason":{reason},"severity_permille":{severity_permille}}}}}"#,
+            us(te.ts_ns),
+        )),
         // Perfetto keys counter tracks by (pid, name), not tid, so the
         // rank goes into the name to keep one track per counter per
         // rank.
@@ -178,6 +187,9 @@ pub struct TraceCheck {
     pub retiles: usize,
     /// `"degraded"` instants (degraded-mode entries).
     pub degrades: usize,
+    /// `"critical path"` / `"straggler"` diagnosis instants stamped by
+    /// the post-run analyzer.
+    pub analysis_marks: usize,
     /// Distinct `tid` tracks seen (metadata excluded).
     pub tracks: usize,
     /// `"C"` counter samples.
@@ -255,6 +267,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                     check.retiles += 1;
                 } else if name == "degraded" {
                     check.degrades += 1;
+                } else if name == "critical path" || name == "straggler" {
+                    check.analysis_marks += 1;
                 }
             }
             "C" => {
@@ -315,6 +329,14 @@ mod tests {
                 event: Event::Retile { pth: 1, pph: 2, pass: 2, resume_step: 4 },
             },
             TimedEvent { ts_ns: 8_900, event: Event::Degraded { pass: 2, checkpoint_every: 4 } },
+            TimedEvent {
+                ts_ns: 9_000,
+                event: Event::CriticalGate { phase: phase::WAIT, share_permille: 583, steps: 7 },
+            },
+            TimedEvent {
+                ts_ns: 9_100,
+                event: Event::StragglerFlagged { rank: 1, reason: 1, severity_permille: 14_200 },
+            },
         ];
         vec![RankTrace { rank: 0, events: t0 }, RankTrace { rank: 1, events: t1 }]
     }
@@ -327,6 +349,7 @@ mod tests {
         assert_eq!(check.kills, 1);
         assert_eq!(check.retiles, 1);
         assert_eq!(check.degrades, 1);
+        assert_eq!(check.analysis_marks, 2, "critical path + straggler instants");
         assert_eq!(check.flow_starts, 1);
         assert_eq!(check.flow_finishes, 1);
         assert_eq!(check.tracks, 2);

@@ -31,6 +31,11 @@ pub mod phase {
     /// Blocked on the async output writer's buffer pool.
     pub const WRITER_WAIT: u8 = 5;
 
+    /// Phase names in code order — iterate this to render one entry per
+    /// phase (live gauges, doctor tables).
+    pub const NAMES: [&str; 6] =
+        ["pack", "interior", "wait", "boundary", "overset", "writer_wait"];
+
     /// Human-readable phase name (exporters).
     pub fn name(code: u8) -> &'static str {
         match code {
@@ -41,6 +46,20 @@ pub mod phase {
             OVERSET => "overset",
             WRITER_WAIT => "writer_wait",
             _ => "phase?",
+        }
+    }
+
+    /// Inverse of [`name`] (trace re-importers); `None` for unknown
+    /// names, including the `"phase?"` placeholder.
+    pub fn code(name: &str) -> Option<u8> {
+        match name {
+            "pack" => Some(PACK),
+            "interior" => Some(INTERIOR),
+            "wait" => Some(WAIT),
+            "boundary" => Some(BOUNDARY),
+            "overset" => Some(OVERSET),
+            "writer_wait" => Some(WRITER_WAIT),
+            _ => None,
         }
     }
 }
@@ -162,6 +181,8 @@ const D_STEP: u8 = 9;
 const D_COUNTER: u8 = 10;
 const D_RETILE: u8 = 11;
 const D_DEGRADED: u8 = 12;
+const D_CRITICAL_GATE: u8 = 13;
+const D_STRAGGLER: u8 = 14;
 
 /// One flight-recorder event. See the module docs for the wire layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +281,26 @@ pub enum Event {
         /// The widened checkpoint cadence now in effect.
         checkpoint_every: u64,
     },
+    /// Post-run diagnosis mark: one row of the critical-path histogram
+    /// (the doctor stamps these into the rings after analysis, so the
+    /// exported trace carries its own verdict).
+    CriticalGate {
+        /// [`phase`] code of the gating phase.
+        phase: u8,
+        /// Share of analyzed steps this phase gated, in permille.
+        share_permille: u64,
+        /// Steps this phase gated.
+        steps: u64,
+    },
+    /// Post-run diagnosis mark: one ranked straggler suspect.
+    StragglerFlagged {
+        /// World rank of the suspect.
+        rank: u32,
+        /// [`crate::analysis::reason`] code.
+        reason: u8,
+        /// Severity ratio in permille (1000 = at the peer baseline).
+        severity_permille: u64,
+    },
     /// A periodic counter sample: one point on a [`counter`] track
     /// (Chrome "C"-phase records, so Perfetto plots the series).
     CounterSample {
@@ -317,6 +358,12 @@ impl Event {
             Event::Degraded { pass, checkpoint_every } => {
                 [head(D_DEGRADED, 0, 0, 0), pass, checkpoint_every]
             }
+            Event::CriticalGate { phase, share_permille, steps } => {
+                [head(D_CRITICAL_GATE, phase, 0, 0), share_permille, steps]
+            }
+            Event::StragglerFlagged { rank, reason, severity_permille } => {
+                [head(D_STRAGGLER, reason, 0, rank), severity_permille, 0]
+            }
             Event::CounterSample { id, value_bits } => {
                 [head(D_COUNTER, id, 0, 0), value_bits, 0]
             }
@@ -342,6 +389,8 @@ impl Event {
             D_STEP => Event::StepBegin { step: a },
             D_RETILE => Event::Retile { pth: tag16, pph: peer as u16, pass: a, resume_step: b },
             D_DEGRADED => Event::Degraded { pass: a, checkpoint_every: b },
+            D_CRITICAL_GATE => Event::CriticalGate { phase: sub, share_permille: a, steps: b },
+            D_STRAGGLER => Event::StragglerFlagged { rank: peer, reason: sub, severity_permille: a },
             D_COUNTER => Event::CounterSample { id: sub, value_bits: a },
             _ => return None,
         })
@@ -387,6 +436,8 @@ mod tests {
         roundtrip(Event::Retile { pth: 1, pph: 2, pass: 3, resume_step: 4 });
         roundtrip(Event::Retile { pth: u16::MAX, pph: u16::MAX, pass: u64::MAX, resume_step: 0 });
         roundtrip(Event::Degraded { pass: 2, checkpoint_every: 8 });
+        roundtrip(Event::CriticalGate { phase: phase::WAIT, share_permille: 583, steps: 7 });
+        roundtrip(Event::StragglerFlagged { rank: u32::MAX, reason: 1, severity_permille: 14_200 });
         roundtrip(Event::counter_sample(counter::TOTAL_MFLOPS, 1234.5));
         roundtrip(Event::counter_sample(0, -0.0));
     }
@@ -427,5 +478,14 @@ mod tests {
         assert_eq!(fault::name(fault::DROP), "drop");
         assert_eq!(health::name(health::NON_FINITE), "non-finite");
         assert_eq!(phase::name(200), "phase?");
+    }
+
+    #[test]
+    fn phase_codes_invert_names() {
+        for p in 0..6u8 {
+            assert_eq!(phase::code(phase::name(p)), Some(p));
+        }
+        assert_eq!(phase::code("phase?"), None);
+        assert_eq!(phase::code(""), None);
     }
 }

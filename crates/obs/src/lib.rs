@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod counters;
 pub mod event;
@@ -37,12 +38,18 @@ pub mod metrics;
 pub mod registry;
 pub mod ring;
 
+pub use analysis::{
+    analyze, compare, streams_from_chrome, Analysis, AnalysisInput, DoctorGauges, LedgerEntry,
+    Verdict,
+};
 pub use chrome::{chrome_trace_json, validate_chrome_trace, RankTrace, TraceCheck};
 pub use counters::{kernel, CounterSet, CounterSnapshot, KernelSnapshot, KernelTally};
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use logger::JsonlLogger;
-pub use metrics::{prometheus_text, MetricsHub, MetricsServer};
+pub use metrics::{
+    doctor_gauges_text, prometheus_text, prometheus_text_with_phases, MetricsHub, MetricsServer,
+};
 pub use registry::{MetricsSnapshot, Registry};
 pub use ring::{FlightRecorder, RecorderSet};

@@ -52,6 +52,20 @@ impl MetricsHub {
 /// Render a merged counter snapshot (plus run-level gauges) in the
 /// Prometheus text exposition format.
 pub fn prometheus_text(snap: &CounterSnapshot, step: u64, queue_depth: u64) -> String {
+    prometheus_text_with_phases(snap, step, queue_depth, &[])
+}
+
+/// [`prometheus_text`] plus per-phase wall gauges: `phase_wall_s` is
+/// `(phase name, allreduced wall seconds)` pairs, rendered as
+/// `yy_phase_wall_seconds{phase="..."}` — this is where the PR 8 io
+/// telemetry (`writer_wait`) becomes scrapeable live instead of only in
+/// the final report.
+pub fn prometheus_text_with_phases(
+    snap: &CounterSnapshot,
+    step: u64,
+    queue_depth: u64,
+    phase_wall_s: &[(&str, f64)],
+) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("# TYPE yy_step gauge\n");
     out.push_str(&format!("yy_step {step}\n"));
@@ -83,6 +97,34 @@ pub fn prometheus_text(snap: &CounterSnapshot, step: u64, queue_depth: u64) -> S
             crate::json::num(k.mflops())
         ));
     }
+    if !phase_wall_s.is_empty() {
+        out.push_str("# TYPE yy_phase_wall_seconds gauge\n");
+        for (name, secs) in phase_wall_s {
+            out.push_str(&format!(
+                "yy_phase_wall_seconds{{phase=\"{name}\"}} {}\n",
+                crate::json::num(*secs)
+            ));
+        }
+    }
+    out
+}
+
+/// Render the doctor's post-run gauges: critical-path phase shares and
+/// the top straggler's world rank (−1 when none). The supervisor appends
+/// this to the hub's final body so the endpoint carries the diagnosis.
+pub fn doctor_gauges_text(g: &crate::analysis::DoctorGauges) -> String {
+    let mut out = String::with_capacity(256);
+    if !g.shares.is_empty() {
+        out.push_str("# TYPE yy_critical_path_share gauge\n");
+        for (phase, share) in &g.shares {
+            out.push_str(&format!(
+                "yy_critical_path_share{{phase=\"{phase}\"}} {}\n",
+                crate::json::num(*share)
+            ));
+        }
+    }
+    out.push_str("# TYPE yy_top_straggler_rank gauge\n");
+    out.push_str(&format!("yy_top_straggler_rank {}\n", g.top_straggler));
     out
 }
 
@@ -194,6 +236,29 @@ mod tests {
                 value.parse::<f64>().is_ok(),
                 "unparseable sample value in {line:?}"
             );
+        }
+    }
+
+    #[test]
+    fn phase_and_doctor_gauges_render() {
+        let phases = [("interior", 1.25), ("wait", 0.5), ("writer_wait", 0.03125)];
+        let text = prometheus_text_with_phases(&sample_snapshot(), 3, 0, &phases);
+        assert!(text.contains("# TYPE yy_phase_wall_seconds gauge"));
+        assert!(text.contains("yy_phase_wall_seconds{phase=\"writer_wait\"} 0.03125"));
+        // The output kernel slot is live in every kernel family.
+        assert!(text.contains("yy_kernel_wall_ns_total{kernel=\"output\"} 0"));
+        let g = crate::analysis::DoctorGauges {
+            shares: vec![("wait".into(), 0.583), ("interior".into(), 0.417)],
+            top_straggler: 1,
+        };
+        let dg = doctor_gauges_text(&g);
+        assert!(dg.contains("yy_critical_path_share{phase=\"wait\"} 0.583"));
+        assert!(dg.contains("yy_top_straggler_rank 1\n"));
+        assert!(doctor_gauges_text(&Default::default()).contains("yy_top_straggler_rank -1"));
+        // Appending doctor gauges keeps every sample line parseable.
+        for line in format!("{text}{dg}").lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplitn(2, ' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample value in {line:?}");
         }
     }
 

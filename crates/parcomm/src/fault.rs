@@ -73,6 +73,11 @@ pub struct FaultSpec {
     pub drop_p: f64,
     /// Probability a message is delayed (evaluated after `drop_p`).
     pub delay_p: f64,
+    /// Restrict delay injection to messages *sent by* this world rank
+    /// (`None` delays every edge). Models one rank behind a congested
+    /// link — the "late sender" scenario the perf doctor attributes —
+    /// without perturbing the rest of the fabric.
+    pub delay_src: Option<usize>,
     /// Lower bound on an injected delay (0 by default; raising it
     /// narrows the seeded spread — `min_delay == max_delay` gives a
     /// fixed latency, the knob a latency-hiding benchmark wants).
@@ -108,6 +113,7 @@ impl FaultSpec {
             seed: 0,
             drop_p: 0.0,
             delay_p: 0.0,
+            delay_src: None,
             min_delay: Duration::ZERO,
             max_delay: Duration::from_millis(2),
             duplicate_p: 0.0,
@@ -142,6 +148,13 @@ impl FaultSpec {
         self.delay_p = p;
         self.min_delay = min;
         self.max_delay = max;
+        self
+    }
+
+    /// Delay only messages sent by node `src` (see
+    /// [`FaultSpec::delay_src`]).
+    pub fn with_delay_src(mut self, src: usize) -> Self {
+        self.delay_src = Some(src);
         self
     }
 
@@ -289,6 +302,11 @@ impl FaultPlan {
         if u < s.drop_p {
             FaultAction::Drop { resends: 1 + (h2 % s.max_resends as u64) as u32 }
         } else if u < s.drop_p + s.delay_p {
+            // A targeted delay band leaves other senders' messages
+            // untouched (no re-roll, so the schedule stays pure).
+            if s.delay_src.is_some_and(|t| t != src) {
+                return FaultAction::Deliver;
+            }
             let lo = s.min_delay.as_micros() as u64;
             let span = (s.max_delay.as_micros() as u64).saturating_sub(lo).max(1);
             FaultAction::Delay { micros: lo + h2 % span }
@@ -528,6 +546,26 @@ mod tests {
         assert!(plan.maybe_kill(2, 5), "a persistent fault never heals");
         assert!(plan.stats().kill_fired);
         assert!(!plan.maybe_kill(3, 5), "other nodes stay alive");
+    }
+
+    #[test]
+    fn targeted_delay_only_afflicts_its_source() {
+        let spec = FaultSpec::seeded(3)
+            .with_delay_range(1.0, Duration::from_micros(500), Duration::from_micros(500))
+            .with_delay_src(2);
+        let plan = FaultPlan::new(spec, 4);
+        for src in 0..4 {
+            for n in 0..32 {
+                let a = plan.action(src, (src + 1) % 4, n);
+                if src == 2 {
+                    assert_eq!(a, FaultAction::Delay { micros: 500 }, "src {src} msg {n}");
+                } else {
+                    assert_eq!(a, FaultAction::Deliver, "src {src} msg {n}");
+                }
+            }
+        }
+        // Targeting still counts as an active plan.
+        assert!(plan.spec().is_active());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #   YY_BENCH_STEP_PTH/PPH  tiles per panel        [1x1]
 #   YY_BENCH_IO_*          io bench knobs (GRID, STEPS, REPS, EVERY,
 #                          CODEC, PTH/PPH) — see crates/bench/benches/io.rs
+#   BENCH_LEDGER           regression ledger path [runs.jsonl]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,4 +47,15 @@ BENCH_IO_JSON="$io_out" cargo bench -p yy-bench --bench io --offline
 echo "==> kernel microbenches"
 cargo bench -p yy-bench --bench kernels --offline
 
-echo "wrote $out, $obs_out, $profile_out and $io_out"
+# Append this run's step and profile summaries to the cross-run
+# regression ledger so `yycore doctor ledger=` accumulates history and
+# renders noise-aware verdicts against the best run on record. (The obs
+# and io benches gate ratios, not throughput; their summaries carry no
+# ledger metrics.)
+ledger=${BENCH_LEDGER:-$root/runs.jsonl}
+echo "==> appending to the regression ledger ($ledger)"
+cargo build --release -q -p yycore --offline
+./target/release/yycore doctor ledger="$ledger" ingest="$out" label=bench-step
+./target/release/yycore doctor ledger="$ledger" ingest="$profile_out" label=bench-profile
+
+echo "wrote $out, $obs_out, $profile_out and $io_out; ledger at $ledger"

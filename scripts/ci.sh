@@ -81,6 +81,41 @@ echo "$chaos_tc" | grep -qE ' [1-9][0-9]* degrade' || {
   echo "ERROR: chaos trace has no degrade instants" >&2; exit 1; }
 echo "OK: retile recorded in v3 report and Chrome trace"
 
+echo "==> doctor smoke: the chaos trace diagnosis names the kill and the re-tile"
+# The doctor re-derives the critical path from the exported trace; the
+# killed rank and the shrink it forced must both surface as disruptions.
+doc_out=$(./target/release/yycore doctor trace="$soak_dir/chaos-trace.json")
+echo "$doc_out"
+echo "$doc_out" | grep -q 'critical-path disruption: kill on rank 1' || {
+  echo "ERROR: doctor did not place the rank-1 kill on the critical path" >&2
+  exit 1; }
+echo "$doc_out" | grep -q 'critical-path disruption: retile 1x2' || {
+  echo "ERROR: doctor did not surface the forced 2x2 -> 1x2 re-tile" >&2
+  exit 1; }
+# The same diagnosis must be embedded in the v5 report artifact.
+./target/release/yycore doctor report="$soak_dir/chaos-report.json" >/dev/null || {
+  echo "ERROR: doctor could not read the chaos report's analysis section" >&2
+  exit 1; }
+echo "OK: doctor names the killed rank and the re-tile on the critical path"
+
+echo "==> regression ledger smoke: ingest twice, verdicts render (advisory)"
+ledger="$soak_dir/runs.jsonl"
+./target/release/yycore doctor ledger="$ledger" \
+  ingest="$soak_dir/chaos-report.json" label=ci >/dev/null
+ledger_out=$(./target/release/yycore doctor ledger="$ledger" \
+  ingest="$soak_dir/chaos-report.json" label=ci)
+echo "$ledger_out"
+echo "$ledger_out" | grep -q '2 entrie(s); latest ci#1' || {
+  echo "ERROR: ledger did not accumulate both ingested runs" >&2; exit 1; }
+echo "$ledger_out" | grep -qE '(ok|regressed|improved)\(' || {
+  echo "ERROR: ledger comparison produced no verdict lines" >&2; exit 1; }
+# Advisory: a regressed verdict warns but does not fail the gate (the
+# hard perf gates below own failure); surface it loudly for the log.
+if echo "$ledger_out" | grep -q 'regressed('; then
+  echo "WARNING: ledger reports a regression vs baseline (advisory)" >&2
+fi
+echo "OK: regression ledger ingests and renders noise-aware verdicts"
+
 echo "==> elastic restart smoke: serial checkpoint resumes onto a shrunk layout"
 ./target/release/yycore run steps=4 sample=0 nr=12 nth=9 \
   ckpt="$soak_dir/mid.ck" >/dev/null 2>&1
@@ -136,12 +171,18 @@ echo "$pm"
 echo "$pm" | grep -qE ' [1-9][0-9]* kill' || {
   echo "ERROR: post-mortem trace has no kill event" >&2; exit 1; }
 ./target/release/yycore tracecheck "$soak_dir/trace.json" >/dev/null
-grep -q '"schema":"yy.runreport.v4"' "$soak_dir/report.json" || {
+grep -q '"schema":"yy.runreport.v5"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing schema tag" >&2; exit 1; }
 grep -q '"recv_wait_ns"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing recv-wait histogram" >&2; exit 1; }
 grep -q '"kernels"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing the v2 kernel table" >&2; exit 1; }
+# The v5 analysis section must be present and populated on a traced run.
+for key in '"analysis"' '"verdict"' '"gating"' '"stragglers"' \
+    '"steps_analyzed"' '"coverage"'; do
+  grep -q "$key" "$soak_dir/report.json" || {
+    echo "ERROR: report.json missing v5 analysis key $key" >&2; exit 1; }
+done
 test -s "$soak_dir/run.jsonl" || { echo "ERROR: JSONL log missing" >&2; exit 1; }
 echo "OK: post-mortem + final traces valid, report versioned, log written"
 
