@@ -15,6 +15,11 @@
 //! yycore doctor   [key=value ...]      diagnose observability artifacts:
 //!                                      critical path, stragglers, ledger
 //!                                      verdicts (see doctor keys below)
+//! yycore watch    <url|report.json> [key=value]
+//!                                      live terminal dashboard: sparkline
+//!                                      panels over the science telemetry,
+//!                                      from a metrics endpoint or a v6
+//!                                      report artifact (see watch keys)
 //!
 //! common keys: any RunConfig key (nr, nth, mu, omega, ...) plus
 //!   steps=N        total steps                     [default 200]
@@ -39,6 +44,31 @@
 //!                  of the allreduced counters on 127.0.0.1:N for the
 //!                  duration of the run. Routes through the supervised
 //!                  driver.
+//!
+//! science-telemetry keys (run/resume/parallel; see DESIGN.md §6j):
+//!   telemetry=1    arm the in-situ series store + physics watchdog;
+//!                  alert edges land in the report (`alerts`), the
+//!                  Chrome trace, and the metrics endpoint. Bit-exact:
+//!                  the armed trajectory is identical to unarmed.
+//!                  (parallel: routes through the supervised driver)
+//!   rules=PATH     watchdog rules file, one `name: channel kind k=v`
+//!                  rule per line           [default: built-in ruleset]
+//!   dt_collapse_at=N  fault-inject a CFL collapse: from step N the
+//!                  *applied* dt shrinks geometrically while the CFL
+//!                  estimate itself is untouched (the seeded blow-up
+//!                  smoke in ci.sh — the watchdog must catch it)
+//!   dt_collapse_factor=F  per-step collapse factor      [default 0.5]
+//!   metrics_hold_ms=N  (parallel) keep the metrics endpoint serving
+//!                  this long after the run ends, so `yycore watch`
+//!                  can scrape the final state race-free
+//!
+//! watch keys:
+//!   once=1         print a single frame and exit (the CI smoke shape)
+//!   interval_ms=N  poll cadence in loop mode            [default 1000]
+//!   frames=N       stop after N frames  [default: unbounded from a URL,
+//!                  1 from a report file]
+//!   width=N        sparkline width in samples             [default 48]
+//!   retries=N      connection retries before giving up    [default 20]
 //!
 //! output-pipeline keys (see DESIGN.md §6h):
 //!   snapshot_every=N (run) stream an equatorial temperature slice
@@ -100,6 +130,7 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use yy_obs::JsonlLogger;
 use yy_parcomm::FaultSpec;
@@ -110,24 +141,38 @@ use yycore::{
     run_parallel_with_mode, CkptCodec, ObsOpts, RunConfig, SerialSim, StreamOpts, SyncMode,
 };
 
+/// Subcommand dispatch table. The dispatcher and the usage line both
+/// derive from this single list, so they cannot drift — a regression
+/// test asserts the usage string names every arm and nothing else.
+const COMMANDS: [(&str, fn(&[String]) -> Result<(), String>); 10] = [
+    ("run", cmd_run),
+    ("resume", cmd_resume),
+    ("slice", cmd_slice),
+    ("parallel", cmd_parallel),
+    ("merge", cmd_merge),
+    ("profile", cmd_profile),
+    ("tables", cmd_tables_cli),
+    ("tracecheck", cmd_tracecheck),
+    ("doctor", cmd_doctor),
+    ("watch", cmd_watch),
+];
+
+/// The one-line usage string, generated from [`COMMANDS`].
+fn usage() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|&(name, _)| name).collect();
+    format!("usage: yycore <{}> [args]", names.join("|"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: yycore <run|resume|slice|parallel|merge|tables> [args]");
+        eprintln!("{}", usage());
         return ExitCode::from(2);
     };
     let rest = &args[1..];
-    let result = match cmd.as_str() {
-        "run" => cmd_run(rest),
-        "resume" => cmd_resume(rest),
-        "slice" => cmd_slice(rest),
-        "parallel" => cmd_parallel(rest),
-        "merge" => cmd_merge(rest),
-        "profile" => cmd_profile(rest),
-        "tables" => cmd_tables(),
-        "tracecheck" => cmd_tracecheck(rest),
-        "doctor" => cmd_doctor(rest),
-        other => Err(format!("unknown command '{other}'")),
+    let result = match COMMANDS.iter().find(|&&(name, _)| name == cmd) {
+        Some(&(_, run)) => run(rest),
+        None => Err(format!("unknown command '{cmd}'\n{}", usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -174,6 +219,11 @@ struct Opts {
     ckpt_compress: CkptCodec,
     snapshot_every: u64,
     snap_dir: PathBuf,
+    telemetry: bool,
+    rules: Option<PathBuf>,
+    dt_collapse_at: Option<u64>,
+    dt_collapse_factor: f64,
+    metrics_hold_ms: u64,
 }
 
 impl Opts {
@@ -195,6 +245,40 @@ impl Opts {
             };
         }
         spec
+    }
+
+    /// The seeded dt-collapse injection the CLI keys describe, if any.
+    fn dt_inject(&self) -> Option<yycore::DtInject> {
+        self.dt_collapse_at
+            .map(|at_step| yycore::DtInject { at_step, factor: self.dt_collapse_factor })
+    }
+
+    /// Arm the science-telemetry layer (and the dt-collapse injector)
+    /// on a serial simulation. A no-op unless `telemetry=1`/
+    /// `dt_collapse_at=` was given.
+    fn arm_serial(&self, sim: &mut SerialSim) -> Result<(), String> {
+        sim.arm_telemetry(&ObsOpts {
+            series: self.telemetry,
+            rules: self.rules.clone(),
+            ..ObsOpts::default()
+        })?;
+        sim.dt_inject = self.dt_inject();
+        Ok(())
+    }
+}
+
+/// Print every watchdog alert edge a run recorded, newest last.
+fn print_alerts(report: &yycore::RunReport) {
+    for a in &report.alerts {
+        eprintln!(
+            "watchdog {} ({}): {} at step {} (t = {:.5}, value {:.4e})",
+            a.rule,
+            yy_obs::event::alert::name(a.kind_code),
+            if a.firing { "FIRED" } else { "cleared" },
+            a.step,
+            a.time,
+            a.value
+        );
     }
 }
 
@@ -234,6 +318,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         ckpt_compress: CkptCodec::default(),
         snapshot_every: 0,
         snap_dir: PathBuf::from("out"),
+        telemetry: false,
+        rules: None,
+        dt_collapse_at: None,
+        dt_collapse_factor: 0.5,
+        metrics_hold_ms: 0,
     };
     o.cfg.init.perturb_amplitude = 3e-2;
     for arg in args {
@@ -301,6 +390,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "metrics_port" => {
                 o.metrics_port = Some(v.parse().map_err(|e| format!("metrics_port: {e}"))?)
+            }
+            "telemetry" => {
+                o.telemetry = match v {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => return Err(format!("telemetry: expected 0|1, got '{other}'")),
+                }
+            }
+            "rules" => o.rules = Some(PathBuf::from(v)),
+            "dt_collapse_at" => {
+                o.dt_collapse_at =
+                    Some(v.parse().map_err(|e| format!("dt_collapse_at: {e}"))?)
+            }
+            "dt_collapse_factor" => {
+                o.dt_collapse_factor =
+                    v.parse().map_err(|e| format!("dt_collapse_factor: {e}"))?
+            }
+            "metrics_hold_ms" => {
+                o.metrics_hold_ms =
+                    v.parse().map_err(|e| format!("metrics_hold_ms: {e}"))?
             }
             "mode" => {
                 o.mode = match v {
@@ -382,6 +491,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         o.cfg.params.ekman()
     );
     let mut sim = SerialSim::new(o.cfg.clone());
+    o.arm_serial(&mut sim)?;
     let report = if o.snapshot_every > 0 {
         let stream = StreamOpts {
             dir: o.snap_dir.clone(),
@@ -412,6 +522,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         write_serial_log(path, &report)?;
         eprintln!("wrote log to {}", path.display());
     }
+    print_alerts(&report);
     finish(&report, &o)
 }
 
@@ -423,6 +534,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     let ck = Checkpoint::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
     let mut sim = SerialSim::new(o.cfg.clone());
     ck.restore(&mut sim);
+    o.arm_serial(&mut sim)?;
     eprintln!("resumed at step {}, t = {:.5}", sim.step, sim.time);
     let report = sim.run(o.steps, o.sample);
     if let Some(out) = &o.ckpt {
@@ -433,6 +545,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         write_serial_log(path, &report)?;
         eprintln!("wrote log to {}", path.display());
     }
+    print_alerts(&report);
     finish(&report, &o)
 }
 
@@ -508,9 +621,23 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         || o.log.is_some()
         || o.profile_every > 0
         || o.metrics_port.is_some()
+        || o.telemetry
+        || o.dt_collapse_at.is_some()
         || o.resume.is_some()
         || o.on_failure != FailurePolicy::default()
         || o.weights != WeightsMode::default();
+    // The CLI owns the metrics endpoint (instead of letting the driver
+    // bind it) so `metrics_hold_ms=` can keep it serving the final
+    // state after the run returns — that is what makes
+    // `yycore watch http://...` against a just-finished run race-free.
+    let metrics_hub = o.metrics_port.map(|_| Arc::new(yy_obs::MetricsHub::new()));
+    let mut metrics_server = match (&metrics_hub, o.metrics_port) {
+        (Some(hub), Some(port)) => Some(
+            yy_obs::MetricsServer::start(Arc::clone(hub), port)
+                .map_err(|e| format!("binding metrics port {port}: {e}"))?,
+        ),
+        _ => None,
+    };
     let report = if supervised {
         let resume_from = match &o.resume {
             Some(path) if is_shard_dir(path) => {
@@ -537,9 +664,12 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
                 trace: o.trace.clone(),
                 log: o.log.clone(),
                 profile_every: o.profile_every,
-                metrics_port: o.metrics_port,
+                metrics_hub: metrics_hub.clone(),
+                series: o.telemetry,
+                rules: o.rules.clone(),
                 ..ObsOpts::default()
             },
+            dt_inject: o.dt_inject(),
             on_failure: o.on_failure,
             max_retiles: o.max_retiles,
             retile_backoff: Duration::from_millis(o.retile_backoff_ms),
@@ -683,7 +813,22 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    finish(&report, &o)
+    print_alerts(&report);
+    finish(&report, &o)?;
+    if let Some(server) = metrics_server.as_mut() {
+        if o.metrics_hold_ms > 0 {
+            eprintln!(
+                "holding metrics endpoint http://{} for {} ms (scrape it with \
+                 `yycore watch http://{}`)",
+                server.local_addr(),
+                o.metrics_hold_ms,
+                server.local_addr()
+            );
+            std::thread::sleep(Duration::from_millis(o.metrics_hold_ms));
+        }
+        server.stop();
+    }
+    Ok(())
 }
 
 /// Reassemble per-rank checkpoint shards into a serial-format
@@ -820,6 +965,11 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     finish(&report, &o)
 }
 
+/// Dispatch-table adapter: `tables` takes no arguments.
+fn cmd_tables_cli(_args: &[String]) -> Result<(), String> {
+    cmd_tables()
+}
+
 fn cmd_tables() -> Result<(), String> {
     use yy_esmodel::model::{project, RunShape};
     use yy_esmodel::mpiproginf::{list1_text, ReportShape};
@@ -863,7 +1013,7 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
     println!(
         "trace ok: {} events, {} spans, {} flow arrows, {} kill(s), {} track(s), \
          {} counter sample(s) on {} counter track(s), {} retile(s), {} degrade(s), \
-         {} analysis mark(s)",
+         {} analysis mark(s), {} alert edge(s)",
         check.events,
         check.spans,
         check.flow_starts,
@@ -873,7 +1023,8 @@ fn cmd_tracecheck(args: &[String]) -> Result<(), String> {
         check.counter_tracks,
         check.retiles,
         check.degrades,
-        check.analysis_marks
+        check.analysis_marks,
+        check.alerts
     );
     Ok(())
 }
@@ -1127,6 +1278,282 @@ fn ledger_entry_from_report(
     })
 }
 
+/// Render a numeric series as a one-line Unicode sparkline, newest
+/// sample last. Non-finite samples render as `·`; a flat series renders
+/// at the bottom level.
+fn sparkline(vals: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = if vals.len() > width { &vals[vals.len() - width..] } else { vals };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in tail.iter().filter(|v| v.is_finite()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() {
+        return "·".repeat(tail.len().max(1));
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    tail.iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '·';
+            }
+            let level = ((v - lo) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[level]
+        })
+        .collect()
+}
+
+/// Parse a Prometheus text exposition into `(sample name, value)` pairs
+/// (the sample name keeps its `{label="v"}` part; comment and blank
+/// lines are skipped).
+fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            Some((name.to_string(), value.parse().ok()?))
+        })
+        .collect()
+}
+
+/// The first `"quoted"` label value inside a sample name, e.g.
+/// `kinetic` from `yy_energy{component="kinetic"}`.
+fn label_value(sample: &str) -> Option<&str> {
+    let start = sample.find('"')? + 1;
+    let end = start + sample[start..].find('"')?;
+    Some(&sample[start..end])
+}
+
+/// Plain HTTP/1.0 GET over a std `TcpStream` (the watch dashboard's
+/// only network dependency). Returns the response body.
+fn http_get(url: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("watch: only http:// URLs are supported, got '{url}'"))?;
+    let (hostport, path) = match rest.split_once('/') {
+        Some((h, p)) => (h.to_string(), format!("/{p}")),
+        None => (rest.to_string(), "/metrics".to_string()),
+    };
+    let mut stream = std::net::TcpStream::connect(hostport.as_str())
+        .map_err(|e| format!("connecting {hostport}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {hostport}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("sending request to {hostport}: {e}"))?;
+    let mut resp = String::new();
+    stream
+        .read_to_string(&mut resp)
+        .map_err(|e| format!("reading response from {hostport}: {e}"))?;
+    match resp.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!("{hostport}: malformed HTTP response")),
+    }
+}
+
+/// Sparkline history for one dashboard panel, keyed by display name.
+/// Kept across polls so URL mode accumulates a time axis.
+#[derive(Default)]
+struct WatchHistory {
+    panels: Vec<(String, Vec<f64>)>,
+}
+
+impl WatchHistory {
+    fn push(&mut self, key: &str, value: f64, cap: usize) {
+        let vals = match self.panels.iter_mut().find(|(k, _)| k == key) {
+            Some((_, vals)) => vals,
+            None => {
+                self.panels.push((key.to_string(), Vec::new()));
+                &mut self.panels.last_mut().unwrap().1
+            }
+        };
+        vals.push(value);
+        if vals.len() > cap {
+            vals.remove(0);
+        }
+    }
+}
+
+/// One dashboard frame from a live metrics exposition: sparkline panels
+/// over the science gauges (fed through `history` across polls) plus
+/// the watchdog firing state.
+fn metrics_frame(body: &str, history: &mut WatchHistory, width: usize) -> String {
+    let samples = parse_exposition(body);
+    if samples.is_empty() {
+        return "endpoint has published nothing yet".to_string();
+    }
+    for (name, value) in &samples {
+        let key = if name.starts_with("yy_energy{") {
+            label_value(name).map(|c| format!("energy {c}"))
+        } else {
+            match name.as_str() {
+                "yy_dt" => Some("dt".to_string()),
+                "yy_max_speed" => Some("max speed".to_string()),
+                "yy_max_b" => Some("max |B|".to_string()),
+                "yy_dominant_m" => Some("dominant m".to_string()),
+                _ => None,
+            }
+        };
+        if let Some(key) = key {
+            history.push(&key, *value, width);
+        }
+    }
+    let mut out = String::new();
+    let value_of = |want: &str| samples.iter().find(|(n, _)| n == want).map(|&(_, v)| v);
+    if let Some(step) = value_of("yy_step") {
+        out.push_str(&format!("step {step:.0}\n"));
+    }
+    for (key, vals) in &history.panels {
+        let latest = vals.last().copied().unwrap_or(f64::NAN);
+        out.push_str(&format!("{key:<12} {:<w$} {latest:.4e}\n", sparkline(vals, width), w = width));
+    }
+    for (name, value) in &samples {
+        if !name.starts_with("yy_alert_active{") {
+            continue;
+        }
+        let rule = label_value(name).unwrap_or("?");
+        let fired = value_of(&format!("yy_alert_fired_total{{rule=\"{rule}\"}}")).unwrap_or(0.0);
+        out.push_str(&format!(
+            "alert {rule:<16} {} (fired {fired:.0}x)\n",
+            if *value != 0.0 { "FIRING" } else { "quiet" }
+        ));
+    }
+    if !out.contains("alert ") && !history.panels.is_empty() {
+        out.push_str("alerts: none armed on this endpoint\n");
+    }
+    out
+}
+
+/// One dashboard frame from a v6 report artifact: sparklines over every
+/// telemetry channel's raw tail plus the recorded alert edges.
+fn report_frame(text: &str, width: usize) -> Result<String, String> {
+    let doc = yy_obs::Json::parse(text).map_err(|e| format!("parsing report: {e}"))?;
+    let tel = doc
+        .get("telemetry")
+        .ok_or("report has no telemetry section (pre-v6 artifact?)")?;
+    let channels = tel.get("channels").and_then(|c| c.as_arr()).ok_or(
+        "report's telemetry was not armed — rerun with telemetry=1 to record the series store",
+    )?;
+    let mut out = String::new();
+    if let Some(steps) = doc.get("steps").and_then(|v| v.as_f64()) {
+        out.push_str(&format!("run: {steps:.0} steps"));
+        if let Some(t) = doc.get("time").and_then(|v| v.as_f64()) {
+            out.push_str(&format!(", t = {t:.5}"));
+        }
+        out.push('\n');
+    }
+    for ch in channels {
+        let name = ch.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let vals: Vec<f64> = ch
+            .get("raw")
+            .and_then(|r| r.as_arr())
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|p| p.as_f64_array())
+                    .filter_map(|p| p.get(1).copied())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let latest = vals.last().copied().unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{name:<12} {:<w$} {latest:.4e}\n",
+            sparkline(&vals, width),
+            w = width
+        ));
+    }
+    match doc.get("alerts").and_then(|a| a.as_arr()) {
+        Some(edges) if !edges.is_empty() => {
+            for e in edges {
+                out.push_str(&format!(
+                    "alert {} ({}): {} at step {}\n",
+                    e.get("rule").and_then(|v| v.as_str()).unwrap_or("?"),
+                    e.get("kind").and_then(|v| v.as_str()).unwrap_or("?"),
+                    if e.get("firing").and_then(|v| v.as_bool()) == Some(true) {
+                        "FIRED"
+                    } else {
+                        "cleared"
+                    },
+                    e.get("step").and_then(|v| v.as_f64()).unwrap_or(-1.0)
+                ));
+            }
+        }
+        _ => out.push_str("alerts: none recorded\n"),
+    }
+    Ok(out)
+}
+
+/// Live terminal dashboard over the science telemetry: poll a metrics
+/// endpoint (`http://host:port`) or render a v6 report artifact.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let Some(source) = args.first() else {
+        return Err("watch needs a metrics URL (http://host:port) or a report JSON path".into());
+    };
+    // Anything scheme-qualified is a URL attempt (so an `https://`
+    // typo gets the clear unsupported-scheme error, not a file error).
+    let is_url = source.contains("://");
+    let mut interval_ms: u64 = 1000;
+    // A report artifact is a finished run — one frame unless asked
+    // otherwise; an endpoint is live — poll until interrupted.
+    let mut frames: u64 = if is_url { 0 } else { 1 };
+    let mut width: usize = 48;
+    let mut retries: u64 = 20;
+    for arg in &args[1..] {
+        let Some((k, v)) = arg.split_once('=') else {
+            return Err(format!("expected key=value, got '{arg}'"));
+        };
+        match k {
+            "once" => {
+                if matches!(v, "1" | "true") {
+                    frames = 1;
+                }
+            }
+            "interval_ms" => interval_ms = v.parse().map_err(|e| format!("interval_ms: {e}"))?,
+            "frames" => frames = v.parse().map_err(|e| format!("frames: {e}"))?,
+            "width" => width = v.parse().map_err(|e| format!("width: {e}"))?,
+            "retries" => retries = v.parse().map_err(|e| format!("retries: {e}"))?,
+            other => return Err(format!("watch: unknown key '{other}'")),
+        }
+    }
+    let mut history = WatchHistory::default();
+    let mut shown: u64 = 0;
+    loop {
+        let frame = if is_url {
+            // Retry the connection: in CI the watcher often races the
+            // run that serves the endpoint.
+            let mut attempt = 0;
+            loop {
+                match http_get(source) {
+                    Ok(body) => break metrics_frame(&body, &mut history, width),
+                    Err(_) if attempt < retries => {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            let text = std::fs::read_to_string(source)
+                .map_err(|e| format!("reading {source}: {e}"))?;
+            report_frame(&text, width)?
+        };
+        if frames != 1 {
+            // Live mode: redraw in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        shown += 1;
+        if frames > 0 && shown >= frames {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1283,5 +1710,144 @@ mod tests {
             vec![dir.to_string_lossy().into_owned(), "out.ck".into()];
         assert!(cmd_merge(&args).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The usage line, the dispatch table, and the doc-comment synopsis
+    /// must agree on the command set — the drift this PR fixes (the old
+    /// hand-written usage string omitted profile/tracecheck/doctor).
+    #[test]
+    fn usage_names_every_dispatch_arm_and_nothing_else() {
+        let line = usage();
+        for (name, _) in COMMANDS {
+            assert!(line.contains(name), "usage line omits '{name}': {line}");
+        }
+        let inner = line
+            .strip_prefix("usage: yycore <")
+            .and_then(|s| s.strip_suffix("> [args]"))
+            .expect("usage shape");
+        for name in inner.split('|') {
+            assert!(
+                COMMANDS.iter().any(|&(n, _)| n == name),
+                "usage names '{name}' but the dispatcher has no such arm"
+            );
+        }
+        // The doc-comment synopsis at the top of this file must mention
+        // every subcommand too.
+        let src = include_str!("yycore.rs");
+        let synopsis: String = src.lines().take_while(|l| l.starts_with("//!")).collect();
+        for (name, _) in COMMANDS {
+            assert!(
+                synopsis.contains(&format!("yycore {name}")),
+                "doc-comment synopsis omits 'yycore {name}'"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_keys_parse_and_reject_garbage() {
+        let o = parse(&[
+            "telemetry=1",
+            "rules=watch.rules",
+            "dt_collapse_at=10",
+            "dt_collapse_factor=0.25",
+            "metrics_hold_ms=1500",
+        ])
+        .unwrap();
+        assert!(o.telemetry);
+        assert_eq!(o.rules.as_deref(), Some(Path::new("watch.rules")));
+        let inj = o.dt_inject().expect("injector armed");
+        assert_eq!((inj.at_step, inj.factor), (10, 0.25));
+        assert_eq!(o.metrics_hold_ms, 1500);
+        assert!(parse(&["telemetry=0"]).unwrap().dt_inject().is_none());
+        assert!(parse_err(&["telemetry=yes"]).contains("telemetry"));
+        assert!(parse_err(&["dt_collapse_at=soon"]).starts_with("dt_collapse_at:"));
+    }
+
+    #[test]
+    fn sparkline_scales_and_survives_nans() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 48);
+        assert_eq!(line, "▁▂▃▄▅▆▇█");
+        // Truncated to the newest `width` samples.
+        assert_eq!(sparkline(&[9.0, 0.0, 7.0], 2).chars().count(), 2);
+        assert_eq!(sparkline(&[], 8), "·");
+        assert_eq!(sparkline(&[f64::NAN, 1.0, f64::NAN], 8).chars().next(), Some('·'));
+        // Flat series renders, all at one level.
+        let flat = sparkline(&[2.0; 5], 8);
+        assert_eq!(flat.chars().count(), 5);
+        assert!(flat.chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn exposition_parses_into_samples_with_labels() {
+        let body = "# HELP yy_dt Latest CFL time step.\n# TYPE yy_dt gauge\n\
+                    yy_dt 0.00125\nyy_energy{component=\"kinetic\"} 1.5e-3\n";
+        let samples = parse_exposition(body);
+        assert_eq!(samples.len(), 2, "comment lines skipped");
+        assert_eq!(samples[0], ("yy_dt".to_string(), 0.00125));
+        assert_eq!(label_value(&samples[1].0), Some("kinetic"));
+    }
+
+    /// The metrics frame renders the science gauges as sparkline panels
+    /// and the watchdog state as alert lines, accumulating history
+    /// across polls.
+    #[test]
+    fn metrics_frame_renders_science_gauges_and_alerts() {
+        let g = yy_obs::ScienceGauges {
+            energy: vec![("kinetic".into(), 1.5), ("magnetic".into(), 0.5)],
+            dt: 1.25e-3,
+            max_speed: 3.0,
+            max_b: 0.25,
+            dominant_m: 4,
+            alerts: vec![("energy_blowup".into(), true, 2)],
+        };
+        let body = yy_obs::science_gauges_text(&g);
+        let mut history = WatchHistory::default();
+        let frame = metrics_frame(&body, &mut history, 16);
+        assert!(frame.contains("energy kinetic"), "{frame}");
+        assert!(frame.contains("dominant m"), "{frame}");
+        assert!(frame.contains("alert energy_blowup"), "{frame}");
+        assert!(frame.contains("FIRING"), "{frame}");
+        assert!(frame.contains("fired 2x"), "{frame}");
+        // A second poll extends the sparkline history.
+        metrics_frame(&body, &mut history, 16);
+        let dt = history.panels.iter().find(|(k, _)| k == "dt").expect("dt panel");
+        assert_eq!(dt.1.len(), 2);
+        assert_eq!(
+            metrics_frame("", &mut WatchHistory::default(), 16),
+            "endpoint has published nothing yet"
+        );
+    }
+
+    /// File mode: a real armed serial run's report renders channel
+    /// sparklines and the recorded alert edges; an unarmed report is
+    /// rejected with a pointer at `telemetry=1`.
+    #[test]
+    fn report_frame_renders_an_armed_run_and_rejects_unarmed() {
+        let mut cfg = RunConfig::small();
+        cfg.init.perturb_amplitude = 1e-2;
+        let mut sim = SerialSim::new(cfg.clone());
+        sim.arm_telemetry(&ObsOpts { series: true, ..ObsOpts::default() }).unwrap();
+        sim.dt_inject = Some(yycore::DtInject { at_step: 10, factor: 0.5 });
+        let report = sim.run(16, 1);
+        let frame = report_frame(&report.to_json(), 32).expect("frame renders");
+        assert!(frame.contains("kinetic"), "{frame}");
+        assert!(frame.contains("dt"), "{frame}");
+        assert!(frame.contains("alert energy_blowup (dt-collapse): FIRED"), "{frame}");
+
+        let mut unarmed = SerialSim::new(cfg);
+        let bare = unarmed.run(2, 0);
+        let err = report_frame(&bare.to_json(), 32).unwrap_err();
+        assert!(err.contains("telemetry=1"), "{err}");
+        assert!(report_frame("{}", 32).is_err(), "schema-less JSON rejected");
+    }
+
+    #[test]
+    fn watch_rejects_bad_usage_with_clear_messages() {
+        assert!(cmd_watch(&[]).unwrap_err().contains("watch needs"));
+        let err = cmd_watch(&["https://example.com".into(), "once=1".into(), "retries=0".into()])
+            .unwrap_err();
+        assert!(err.contains("only http://"), "{err}");
+        let args: Vec<String> = vec!["report.json".into(), "cadence=5".into()];
+        assert!(cmd_watch(&args).unwrap_err().contains("unknown key"));
     }
 }

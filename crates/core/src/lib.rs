@@ -44,6 +44,7 @@ pub mod report;
 pub mod serial;
 pub mod shallow;
 pub mod snapshots;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 pub mod weights;
@@ -56,6 +57,7 @@ pub use parallel::{
     run_parallel, run_parallel_supervised, run_parallel_with_mode, FailurePolicy, ParallelReport,
     PassStat, RecoveryEvent, RecoveryOpts, SupervisedReport, SyncMode, WeightsMode,
 };
+pub use telemetry::{DtInject, ScienceTelemetry};
 pub use weights::ColumnCosts;
 pub use report::{IoStats, PhaseBreakdown, RunReport, TimeSeriesPoint};
 pub use serial::{SerialSim, StreamOpts};

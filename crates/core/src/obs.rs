@@ -68,6 +68,14 @@ pub struct ObsOpts {
     /// without a socket; when `None` and `metrics_port` is set the
     /// driver creates its own.
     pub metrics_hub: Option<Arc<MetricsHub>>,
+    /// Arm the science-telemetry layer: a multi-resolution
+    /// [`yy_obs::SeriesStore`] fed at the sample cadence plus the
+    /// physics watchdog ([`yy_obs::Watchdog`]). Alert edges land in the
+    /// report (`alerts`), the Chrome trace, and the metrics endpoint.
+    pub series: bool,
+    /// Watchdog rules file ([`yy_obs::watch::parse_rules`] format);
+    /// `None` = the default geodynamo ruleset.
+    pub rules: Option<PathBuf>,
 }
 
 impl Default for ObsOpts {
@@ -81,6 +89,8 @@ impl Default for ObsOpts {
             profile_every: 0,
             metrics_port: None,
             metrics_hub: None,
+            series: false,
+            rules: None,
         }
     }
 }

@@ -66,8 +66,8 @@ use yy_obs::counters::{kernel, CounterSet, CounterSnapshot, KernelTally};
 use yy_obs::event::counter;
 use yy_obs::hist::HistogramSnapshot;
 use yy_obs::{
-    analyze, doctor_gauges_text, prometheus_text_with_phases, AnalysisInput, Event, JsonlLogger,
-    MetricsHub, MetricsServer,
+    analyze, doctor_gauges_text, prometheus_text_with_phases, science_gauges_text, AnalysisInput,
+    Event, JsonlLogger, MetricsHub, MetricsServer,
 };
 use yy_parcomm::stats::{SolverPhase, TrafficClass};
 use yy_parcomm::{CartComm, Comm, FaultPlan, FaultSpec, ReduceOp, SupervisedOpts, Universe};
@@ -268,6 +268,12 @@ pub struct RecoveryOpts {
     pub ckpt_async: bool,
     /// Shard payload codec (`none` | `rle` | `delta`).
     pub ckpt_compress: CkptCodec,
+    /// Seeded dt-collapse injection for the blow-up smoke: from the
+    /// given step the *applied* dt shrinks geometrically, tripping the
+    /// watchdog's `dt_collapse` precursor. The CFL/health machinery
+    /// still sees the un-injected dt, so a short run completes. `None`
+    /// (the default) in every production run.
+    pub dt_inject: Option<crate::telemetry::DtInject>,
 }
 
 impl Default for RecoveryOpts {
@@ -290,6 +296,7 @@ impl Default for RecoveryOpts {
             ckpt_dir: None,
             ckpt_async: true,
             ckpt_compress: CkptCodec::Raw,
+            dt_inject: None,
         }
     }
 }
@@ -511,6 +518,11 @@ pub fn run_parallel_supervised(
     let mut degraded = false;
     let mut eff_ckpt_every = opts.checkpoint_every;
     let mut passes: Vec<PassStat> = Vec::new();
+    // Science telemetry is supervisor-owned: built up front (so a bad
+    // rules file fails the launch, not the landing) and fed from the
+    // final pass's diagnostic series after success. The rank program
+    // never sees it — armed runs stay bit-identical to unarmed ones.
+    let mut science = crate::telemetry::ScienceTelemetry::from_opts(&opts.obs)?;
     loop {
         pass += 1;
         let nprocs = 2 * cur_pth * cur_pph;
@@ -534,6 +546,7 @@ pub fn run_parallel_supervised(
         let obs2 = rank_obs.clone();
         let decomp2 = Arc::clone(&decomp);
         let shards2 = shard_cfg.clone();
+        let dt_inject = opts.dt_inject;
         let (checkpoint_every, health, sync_mode) = (eff_ckpt_every, opts.health, opts.sync_mode);
         let pass_started = Instant::now();
         let results = Universe::run_supervised(nprocs, sup, move |world| {
@@ -551,6 +564,7 @@ pub fn run_parallel_supervised(
                 sync_mode,
                 &obs2,
                 shards2.as_deref(),
+                dt_inject,
             )
         });
 
@@ -830,6 +844,44 @@ pub fn run_parallel_supervised(
             log("info", "diagnosis", &[("verdict", analysis.verdict.clone())]);
             report.analysis = analysis;
         }
+        if let Some(tel) = science.as_mut() {
+            // Feed the sampled series (skipping the pre-loop seed point,
+            // whose dt is a placeholder) and evaluate the watchdog.
+            // Per-sample step wall is not tracked rank-side; the channel
+            // carries NaN for parallel runs (serial runs fill it).
+            for p in report.series.iter().skip(1).cloned().collect::<Vec<_>>() {
+                tel.record(&p, f64::NAN, None);
+            }
+            // Alert edges become rank-0 trace instants, stamped before
+            // the trace write below so the export carries them.
+            if let Some(set) = &recorders {
+                for a in tel.alerts() {
+                    set.rank(0).record(Event::Alert {
+                        rule: a.rule_index as u32,
+                        kind: a.kind_code,
+                        firing: a.firing,
+                        step: a.step,
+                    });
+                }
+            }
+            // The endpoint's final body gains the science gauges
+            // (energies, dt, dominant m, alert states).
+            if let Some(h) = &rank_obs.metrics {
+                let body = format!("{}{}", h.scrape(), science_gauges_text(&tel.gauges()));
+                h.publish(body);
+            }
+            let fired = tel.alerts().iter().filter(|a| a.firing).count();
+            log(
+                "info",
+                "science telemetry",
+                &[
+                    ("rows", tel.store().rows().to_string()),
+                    ("alerts_fired", fired.to_string()),
+                ],
+            );
+            report.alerts = tel.alerts().to_vec();
+            report.telemetry = Some(tel.store_json());
+        }
         if let (Some(path), Some(set)) = (&opts.obs.trace, &recorders) {
             std::fs::write(path, recorders_to_chrome(set))
                 .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
@@ -912,6 +964,7 @@ fn rank_main_supervised(
     sync_mode: SyncMode,
     obs: &RankObs,
     shards: Option<&ShardCfg>,
+    dt_inject: Option<crate::telemetry::DtInject>,
 ) -> Result<Option<ParallelReport>, String> {
     let tiles = decomp.tiles();
     let (mut solver, mut state) =
@@ -968,7 +1021,14 @@ fn rank_main_supervised(
                 return Err(format!("step {}: {v}", solver.step));
             }
         }
-        solver.advance(&mut state, dt_cache);
+        // The applied dt: identical to the CFL cache except under the
+        // blow-up smoke's injection (deterministic in the step number,
+        // so every rank scales identically).
+        let dt = match &dt_inject {
+            Some(inj) => inj.scaled(solver.step, dt_cache),
+            None => dt_cache,
+        };
+        solver.advance(&mut state, dt);
         let scan_t0 = solver.meter.timer();
         let local = guard.check_state(&state);
         {
@@ -988,7 +1048,7 @@ fn rank_main_supervised(
             });
         }
         if sample_every > 0 && solver.step % sample_every == 0 {
-            record(&solver, &state, dt_cache, &mut series);
+            record(&solver, &state, dt, &mut series);
         }
         if checkpoint_every > 0 && solver.step % checkpoint_every == 0 && solver.step < steps {
             solver.capture_checkpoint(&state, tiles, dt_cache, slot);
@@ -1144,6 +1204,8 @@ fn rank_main_supervised(
                 io,
                 analysis: Default::default(),
                 series,
+                alerts: Vec::new(),
+                telemetry: None,
             },
             yin: None,
             yang: None,
@@ -1545,6 +1607,8 @@ fn rank_main(
                 io: IoStats::default(),
                 analysis: Default::default(),
                 series,
+                alerts: Vec::new(),
+                telemetry: None,
             },
             yin,
             yang,

@@ -295,6 +295,13 @@ pub struct RunReport {
     pub kernels: CounterSnapshot,
     /// Diagnostic series sampled during the run.
     pub series: Vec<TimeSeriesPoint>,
+    /// Physics-watchdog fire/clear edges, in evaluation order. Empty
+    /// when telemetry was not armed (or nothing fired).
+    pub alerts: Vec<yy_obs::AlertEvent>,
+    /// The multi-resolution science series store as a pre-rendered JSON
+    /// document ([`yy_obs::SeriesStore::to_json`]); `None` when
+    /// telemetry was not armed.
+    pub telemetry: Option<String>,
 }
 
 /// Render a diagnostics series as CSV — shared by
@@ -346,16 +353,17 @@ impl RunReport {
 
     /// Render the report as a stable, schema-versioned JSON artifact.
     ///
-    /// The schema identifier is `yy.runreport.v5`; consumers key on it
+    /// The schema identifier is `yy.runreport.v6`; consumers key on it
     /// and on field presence. Fields are only ever *added* within a
-    /// schema version — renames or removals bump the version. v5 is a
-    /// strict superset of v4 (itself a superset of v3, v2 and v1): it
-    /// adds the `analysis` section (perf-doctor critical path,
-    /// stragglers, disruptions, verdict), changing nothing else, so
-    /// v1–v4 readers that ignore unknown fields keep working (pinned by
-    /// the `v4_reader_keeps_working_on_v5_output` test). All histogram
-    /// and counter values are exact integers, so the artifact is
-    /// bitwise reproducible for a deterministic run.
+    /// schema version — renames or removals bump the version. v6 is a
+    /// strict superset of v5 (itself a superset of v4, v3, v2 and v1):
+    /// it adds the `alerts` array (physics-watchdog fire/clear edges)
+    /// and the `telemetry` section (the multi-resolution science series
+    /// store; `null` when telemetry was not armed), changing nothing
+    /// else, so v1–v5 readers that ignore unknown fields keep working
+    /// (pinned by the `v5_reader_keeps_working_on_v6_output` test). All
+    /// histogram and counter values are exact integers, so the artifact
+    /// is bitwise reproducible for a deterministic run.
     pub fn to_json(&self) -> String {
         let kernels: Vec<String> = self
             .kernels
@@ -440,7 +448,7 @@ impl RunReport {
         format!(
             concat!(
                 "{{\n",
-                "\"schema\":\"yy.runreport.v5\",\n",
+                "\"schema\":\"yy.runreport.v6\",\n",
                 "\"time\":{},\"steps\":{},\"flops\":{},\"wall_seconds\":{},\n",
                 "\"grid_points\":{},\"mflops\":{},\"flops_per_point_step\":{},\n",
                 "\"halo_bytes\":{},\"overset_bytes\":{},\"max_queue_depth\":{},\n",
@@ -451,6 +459,8 @@ impl RunReport {
                 "\"elastic\":{},\n",
                 "\"io\":{},\n",
                 "\"analysis\":{},\n",
+                "\"alerts\":{},\n",
+                "\"telemetry\":{},\n",
                 "\"series\":[{}]\n",
                 "}}\n"
             ),
@@ -471,6 +481,8 @@ impl RunReport {
             self.elastic.to_json(),
             self.io.to_json(),
             self.analysis.to_json(),
+            crate::telemetry::alerts_json(&self.alerts),
+            self.telemetry.as_deref().unwrap_or("null"),
             series.join(","),
         )
     }
@@ -559,7 +571,7 @@ mod tests {
             diag: Diagnostics::default(),
         });
         let doc = Json::parse(&r.to_json()).expect("report JSON must parse");
-        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v5"));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v6"));
         assert_eq!(doc.get("steps").unwrap().as_f64(), Some(3.0));
         let wait = doc.get("histograms").unwrap().get("recv_wait_ns").unwrap();
         assert_eq!(wait.get("count").unwrap().as_f64(), Some(2.0));
@@ -809,6 +821,74 @@ mod tests {
         let a = plain.get("analysis").expect("default analysis section");
         assert_eq!(a.get("steps_analyzed").unwrap().as_f64(), Some(0.0));
         assert_eq!(a.get("stragglers").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    /// The v5→v6 compatibility contract: a reader written against
+    /// `yy.runreport.v5` — which keys on field presence, not the schema
+    /// string — must keep working on v6 output, since v6 only *adds*
+    /// the `alerts` array and the `telemetry` section. This test is
+    /// that reader (it exercises the v5 `analysis` section and every
+    /// earlier field family a v5 consumer reads).
+    #[test]
+    fn v5_reader_keeps_working_on_v6_output() {
+        use yy_obs::Json;
+        let r = RunReport {
+            time: 0.5,
+            steps: 3,
+            flops: 1234,
+            wall_seconds: 0.25,
+            grid_points: 99,
+            ..Default::default()
+        };
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let a = doc.get("analysis").expect("v5 analysis section");
+        assert!(a.get("steps_analyzed").unwrap().as_f64().is_some());
+        assert!(a.get("verdict").unwrap().as_str().is_some());
+        let io = doc.get("io").expect("v4 io section");
+        assert!(io.get("codec").unwrap().as_str().is_some());
+        assert!(doc.get("elastic").unwrap().get("policy").unwrap().as_str().is_some());
+        assert_eq!(doc.get("kernels").unwrap().as_arr().unwrap().len(), kernel::COUNT);
+        for field in ["time", "steps", "flops", "wall_seconds", "grid_points"] {
+            assert!(doc.get(field).and_then(|v| v.as_f64()).is_some(), "v5 field {field}");
+        }
+        // The v5 reader never touches (or needs) `alerts`/`telemetry`.
+    }
+
+    /// The v6 `alerts` + `telemetry` sections: always-present alerts
+    /// array, telemetry `null` for unarmed runs and the store document
+    /// for armed ones, alerts roundtrip through the core-side reader.
+    #[test]
+    fn alerts_and_telemetry_sections_land_in_the_artifact() {
+        use yy_obs::{AlertEvent, Json, SeriesSpec, SeriesStore};
+        // Unarmed: empty alerts, null telemetry (key still present).
+        let plain = Json::parse(&RunReport::default().to_json()).unwrap();
+        assert_eq!(plain.get("alerts").unwrap().as_arr().unwrap().len(), 0);
+        assert!(plain.get("telemetry").unwrap().as_f64().is_none());
+        assert!(matches!(plain.get("telemetry"), Some(Json::Null)));
+        // Armed: alerts decode back, telemetry carries the store shape.
+        let mut store = SeriesStore::new(&["dt"], SeriesSpec::default());
+        store.push_row(&[1e-3]);
+        let mut r = RunReport::default();
+        r.telemetry = Some(store.to_json());
+        r.alerts.push(AlertEvent {
+            rule: "energy_blowup".into(),
+            rule_index: 0,
+            kind_code: yy_obs::event::alert::DT_COLLAPSE,
+            firing: true,
+            step: 7,
+            time: 0.07,
+            value: 1e-6,
+        });
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let alerts = crate::telemetry::alerts_from_json(doc.get("alerts").unwrap())
+            .expect("alerts decode");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "energy_blowup");
+        assert!(alerts[0].firing);
+        assert_eq!(alerts[0].kind_code, yy_obs::event::alert::DT_COLLAPSE);
+        let tel = doc.get("telemetry").expect("telemetry section");
+        let chans = tel.get("channels").unwrap().as_arr().unwrap();
+        assert_eq!(chans[0].get("name").unwrap().as_str(), Some("dt"));
     }
 
     /// The v1→v2 compatibility contract: a reader written against

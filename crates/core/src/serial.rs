@@ -219,6 +219,15 @@ pub struct SerialSim {
     /// Cached CFL step (recomputed every `cfg.dt_every` steps; part of the
     /// restartable state so checkpoint/restart is bit-exact).
     pub dt_cache: f64,
+    /// Armed science telemetry (series store + physics watchdog), fed at
+    /// the sample cadence. `None` (the default) records nothing; arming
+    /// never perturbs the trajectory ([`SerialSim::arm_telemetry`]).
+    pub telemetry: Option<crate::telemetry::ScienceTelemetry>,
+    /// Fault-injection knob for the blow-up smoke: geometrically shrink
+    /// the applied dt from a given step, forcing the watchdog's
+    /// `dt_collapse` precursor without waiting for real physics to
+    /// diverge. `None` in every production run.
+    pub dt_inject: Option<crate::telemetry::DtInject>,
 }
 
 impl SerialSim {
@@ -269,10 +278,24 @@ impl SerialSim {
             time: 0.0,
             step: 0,
             dt_cache: 0.0,
+            telemetry: None,
+            dt_inject: None,
             cfg,
             yin,
             yang,
         }
+    }
+
+    /// The shared component-grid metric.
+    pub fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    /// Arm (or disarm) science telemetry per the driver options. Errors
+    /// on a bad rules file.
+    pub fn arm_telemetry(&mut self, opts: &crate::obs::ObsOpts) -> Result<(), String> {
+        self.telemetry = crate::telemetry::ScienceTelemetry::from_opts(opts)?;
+        Ok(())
     }
 
     /// CFL time step from the current state (max over both panels).
@@ -505,14 +528,20 @@ impl SerialSim {
         // so the JSON artifact has one shape for both.
         let step_wall = yy_obs::Histogram::new();
         let mut series = vec![self.sample(0.0)];
+        let mut last_step_ms = 0.0;
         for n in 0..steps {
             let step_started = Instant::now();
             if self.dt_cache == 0.0 || self.step % self.cfg.dt_every as u64 == 0 {
                 self.dt_cache = self.auto_dt();
             }
-            let dt = self.dt_cache;
+            let dt = match &self.dt_inject {
+                Some(inj) => inj.scaled(self.step, self.dt_cache),
+                None => self.dt_cache,
+            };
             self.advance(dt);
-            step_wall.record(step_started.elapsed().as_nanos() as u64);
+            let step_ns = step_started.elapsed().as_nanos() as u64;
+            step_wall.record(step_ns);
+            last_step_ms = step_ns as f64 / 1e6;
             let scan_t0 = self.meter.timer();
             assert!(
                 !self.yin.has_non_finite() && !self.yang.has_non_finite(),
@@ -541,6 +570,7 @@ impl SerialSim {
             }
             if sample_every > 0 && (n + 1) % sample_every == 0 {
                 series.push(self.sample(dt));
+                self.feed_telemetry(&series, last_step_ms);
                 if let Some(st) = stream.as_deref_mut() {
                     self.emit_product(st, "energy.csv".into(), series_csv_of(&series));
                 }
@@ -558,6 +588,7 @@ impl SerialSim {
         }
         if series.last().map(|p| p.step) != Some(self.step) {
             series.push(self.sample(self.dt_cache));
+            self.feed_telemetry(&series, last_step_ms);
         }
         if let Some(st) = stream.as_deref_mut() {
             self.emit_snapshot(st);
@@ -582,11 +613,28 @@ impl SerialSim {
             io: Default::default(),
             analysis: Default::default(),
             series,
+            alerts: self.telemetry.as_ref().map(|t| t.alerts().to_vec()).unwrap_or_default(),
+            telemetry: self.telemetry.as_ref().map(|t| t.store_json()),
         }
     }
 
     fn sample(&self, dt: f64) -> TimeSeriesPoint {
         TimeSeriesPoint { step: self.step, time: self.time, dt, diag: self.diagnostics() }
+    }
+
+    /// Feed the just-pushed sample into armed telemetry. The equatorial
+    /// mode probe runs first (it reads `&self`), then the store/watchdog
+    /// ingest mutably — telemetry only ever *reads* solver state, which
+    /// is what keeps armed runs bit-identical.
+    fn feed_telemetry(&mut self, series: &[TimeSeriesPoint], step_wall_ms: f64) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let m = crate::telemetry::equatorial_dominant_m(self);
+        let point = series.last().copied().expect("sample just pushed");
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.record(&point, step_wall_ms, Some(m));
+        }
     }
 }
 
@@ -647,6 +695,67 @@ mod tests {
         assert!(report.io.snapshots_written >= 3, "io: {:?}", report.io);
         assert!(report.io.async_mode && report.io.bytes_written > 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn armed_telemetry_is_bit_identical_and_watches_the_run() {
+        use crate::checkpoint::Checkpoint;
+        let mut plain = SerialSim::new(quick_cfg());
+        plain.run(4, 1);
+        let mut armed = SerialSim::new(quick_cfg());
+        armed
+            .arm_telemetry(&crate::obs::ObsOpts { series: true, ..Default::default() })
+            .expect("default rules");
+        let report = armed.run(4, 1);
+        // Telemetry only reads state: the trajectory is untouched.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Checkpoint::capture(&plain).write_to(&mut a).unwrap();
+        Checkpoint::capture(&armed).write_to(&mut b).unwrap();
+        assert_eq!(a, b, "telemetry perturbed the data plane");
+        // The store saw every cadence sample (not the step-0 seed).
+        let tel = armed.telemetry.as_ref().unwrap();
+        assert_eq!(tel.store().rows(), 4);
+        let m = tel.store().channel("dominant_m").unwrap().latest().unwrap();
+        assert!(m >= 0.0, "serial runs probe the equatorial ring");
+        assert!(tel.store().channel("step_wall_ms").unwrap().latest().unwrap() > 0.0);
+        // A healthy short run fires nothing, and the report carries the
+        // armed sections.
+        assert!(report.alerts.is_empty(), "clean run must not alert: {:?}", report.alerts);
+        let doc = yy_obs::Json::parse(&report.to_json()).unwrap();
+        assert!(doc.get("telemetry").unwrap().get("channels").is_some());
+        // Unarmed runs render `null`.
+        let plain_doc = yy_obs::Json::parse(&plain.run(1, 1).to_json()).unwrap();
+        assert!(matches!(plain_doc.get("telemetry"), Some(yy_obs::Json::Null)));
+    }
+
+    #[test]
+    fn seeded_dt_collapse_fires_the_blowup_alert() {
+        use crate::telemetry::DtInject;
+        let mut sim = SerialSim::new(quick_cfg());
+        sim.arm_telemetry(&crate::obs::ObsOpts { series: true, ..Default::default() }).unwrap();
+        // Shrink the applied dt from step 10: the watchdog's default
+        // `energy_blowup` rule (latest < ½ × window max, for 2 samples)
+        // must fire within a few samples, while the run itself stays
+        // finite (a smaller dt is *more* stable).
+        sim.dt_inject = Some(DtInject { at_step: 10, factor: 0.5 });
+        let report = sim.run(16, 1);
+        let fired: Vec<_> = report.alerts.iter().filter(|a| a.firing).collect();
+        assert!(
+            fired.iter().any(|a| a.rule == "energy_blowup"),
+            "dt collapse must trip the precursor rule; alerts: {:?}",
+            report.alerts
+        );
+        // The dt channel's raw tail shows the collapse the rule saw.
+        let tel = sim.telemetry.as_ref().unwrap();
+        let dts = tel.store().channel("dt").unwrap().tail_values(3);
+        assert!(dts[2] < 0.6 * dts[1] && dts[1] < 0.6 * dts[0], "dt tail {dts:?}");
+        // And the artifact carries the edge.
+        let doc = yy_obs::Json::parse(&report.to_json()).unwrap();
+        let alerts = doc.get("alerts").unwrap().as_arr().unwrap();
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].get("rule").unwrap().as_str(), Some("energy_blowup"));
+        assert_eq!(alerts[0].get("kind").unwrap().as_str(), Some("dt-collapse"));
     }
 
     #[test]

@@ -99,7 +99,7 @@ fn traced_faulted_run_writes_artifacts_and_stays_bit_identical() {
     assert!(report.recv_wait.p50() <= report.recv_wait.p99(), "quantiles ordered");
     assert_eq!(report.recoveries.len(), traced.recoveries.len());
     let doc = yy_obs::Json::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v5"));
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("yy.runreport.v6"));
     assert!(
         doc.get("histograms").unwrap().get("recv_wait_ns").unwrap().get("count").is_some(),
         "report carries the merged recv-wait histogram"
@@ -165,6 +165,90 @@ fn late_sender_is_named_top_straggler_with_reason() {
     assert_eq!(yy_obs::analysis::reason::name(top.reason), "late sender");
     assert!(a.verdict.contains("late sender"), "{}", a.verdict);
     assert!(top.detail.contains("lag"), "{}", top.detail);
+}
+
+/// Science telemetry end to end in the supervised driver: a seeded
+/// dt-collapse run with series armed must (a) fire the `energy_blowup`
+/// watchdog rule into the report's `alerts`, (b) stamp the alert edge
+/// into the exported Chrome trace, (c) publish `yy_alert_active` /
+/// `yy_energy` science gauges into the metrics hub, and (d) carry the
+/// series store in the v6 report — while a clean armed run fires
+/// nothing and stays bit-identical to an unarmed one.
+#[test]
+fn seeded_collapse_fires_alerts_into_report_trace_and_gauges() {
+    use std::sync::Arc;
+    let cfg = quick_cfg();
+    let dir = scratch("watchdog");
+    let trace = dir.join("trace.json");
+    let hub = Arc::new(yy_obs::MetricsHub::new());
+    let opts = RecoveryOpts {
+        deadline: Duration::from_secs(30),
+        obs: ObsOpts {
+            series: true,
+            trace: Some(trace.clone()),
+            metrics_hub: Some(Arc::clone(&hub)),
+            ..ObsOpts::default()
+        },
+        dt_inject: Some(yycore::DtInject { at_step: 10, factor: 0.5 }),
+        ..RecoveryOpts::default()
+    };
+    let sup = run_parallel_supervised(&cfg, 1, 2, 16, 1, &opts).expect("seeded run completes");
+    // (a) Report alerts.
+    let fired: Vec<_> = sup.report.alerts.iter().filter(|a| a.firing).collect();
+    assert!(
+        fired.iter().any(|a| a.rule == "energy_blowup"),
+        "collapse must fire the precursor: {:?}",
+        sup.report.alerts
+    );
+    // (d) Report telemetry section.
+    let doc = yy_obs::Json::parse(&sup.report.to_json()).expect("report parses");
+    assert!(!doc.get("alerts").unwrap().as_arr().unwrap().is_empty());
+    assert!(doc.get("telemetry").unwrap().get("channels").is_some());
+    // (b) Trace instants.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let check = yy_obs::validate_chrome_trace(&text).expect("trace valid");
+    assert!(check.alerts >= 1, "alert instants in the trace: {check:?}");
+    // (c) Science gauges on the endpoint body.
+    let body = hub.scrape();
+    assert!(body.contains("yy_alert_active{rule=\"energy_blowup\"} 1"), "gauges: {body}");
+    assert!(body.contains("yy_energy{component=\"kinetic\"}"));
+    assert!(body.contains("# HELP yy_alert_active"));
+
+    // Clean armed run: nothing fires, trajectory bit-identical.
+    let clean_armed = run_parallel_supervised(
+        &cfg,
+        1,
+        2,
+        6,
+        1,
+        &RecoveryOpts {
+            deadline: Duration::from_secs(30),
+            obs: ObsOpts { series: true, ..ObsOpts::default() },
+            ..RecoveryOpts::default()
+        },
+    )
+    .expect("clean armed run");
+    assert!(clean_armed.report.alerts.is_empty(), "{:?}", clean_armed.report.alerts);
+    let unarmed = run_parallel_supervised(
+        &cfg,
+        1,
+        2,
+        6,
+        1,
+        &RecoveryOpts { deadline: Duration::from_secs(30), ..RecoveryOpts::default() },
+    )
+    .expect("unarmed run");
+    let bytes = |ck: &yycore::checkpoint::Checkpoint| {
+        let mut v = Vec::new();
+        ck.write_to(&mut v).expect("serialize checkpoint");
+        v
+    };
+    assert_eq!(
+        bytes(&clean_armed.final_checkpoint),
+        bytes(&unarmed.final_checkpoint),
+        "arming telemetry changed the trajectory"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Step-wall histograms merge across ranks: an 8-rank run over `n`

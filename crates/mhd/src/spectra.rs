@@ -61,6 +61,44 @@ pub fn spectral_centroid(ring: &[f64], m_max: usize) -> f64 {
     }
 }
 
+/// One-call summary of a ring's azimuthal structure, the shape the
+/// science-telemetry sampler feeds into its `dominant_m` channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeProbe {
+    /// Dominant nonzero wavenumber (the column count).
+    pub dominant_m: usize,
+    /// Power-weighted effective column count.
+    pub centroid: f64,
+    /// Total power in the nonzero modes `1..=m_max`.
+    pub column_power: f64,
+}
+
+/// Probe a ring once: dominant mode, centroid and nonzero-mode power
+/// from a single spectrum evaluation (the separate [`dominant_mode`] /
+/// [`spectral_centroid`] calls would each redo the O(n·m) DFT).
+///
+/// `m_max` is clamped below the ring's Nyquist limit, so callers can
+/// pass a fixed budget (e.g. 40) without sizing it to the ring.
+pub fn probe(ring: &[f64], m_max: usize) -> ModeProbe {
+    let m_max = m_max.min((ring.len() / 2).saturating_sub(1));
+    let power = azimuthal_power(ring, m_max);
+    let (mut best_m, mut best_p) = (0, f64::NEG_INFINITY);
+    let (mut num, mut den) = (0.0, 0.0);
+    for (m, &p) in power.iter().enumerate().skip(1) {
+        if p > best_p {
+            best_m = m;
+            best_p = p;
+        }
+        num += m as f64 * p;
+        den += p;
+    }
+    ModeProbe {
+        dominant_m: best_m,
+        centroid: if den > 0.0 { num / den } else { 0.0 },
+        column_power: den,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +170,27 @@ mod tests {
     #[should_panic(expected = "Nyquist")]
     fn nyquist_guard() {
         azimuthal_power(&[1.0; 16], 8);
+    }
+
+    #[test]
+    fn probe_agrees_with_the_individual_queries() {
+        let mut ring = ring_with_mode(256, 4, 1.0);
+        for (a, b) in ring.iter_mut().zip(ring_with_mode(256, 11, 3.0)) {
+            *a += b;
+        }
+        let p = probe(&ring, 20);
+        assert_eq!(p.dominant_m, dominant_mode(&ring, 20));
+        assert!(approx_eq(p.centroid, spectral_centroid(&ring, 20), 1e-12));
+        assert!(p.column_power > 0.0);
+    }
+
+    #[test]
+    fn probe_clamps_m_max_to_short_rings() {
+        // A 16-sample ring cannot resolve m = 40; the probe clamps to 7
+        // (below Nyquist) instead of tripping the assert.
+        let ring = ring_with_mode(16, 3, 1.0);
+        assert_eq!(probe(&ring, 40).dominant_m, 3);
+        // Degenerate rings produce the "no columns" answer, not a panic.
+        assert_eq!(probe(&[1.0, 2.0], 40).dominant_m, 0);
     }
 }

@@ -14,7 +14,7 @@
 //! event, and asserts per-track timestamp monotonicity — CI runs it on
 //! every post-mortem trace a faulted run produces.
 
-use crate::event::{class, counter, fault, health, phase, Event, TimedEvent};
+use crate::event::{alert, class, counter, fault, health, phase, Event, TimedEvent};
 use crate::json::num;
 
 /// One rank's decoded flight-recorder contents, ready for export.
@@ -124,6 +124,12 @@ fn push_event(out: &mut Vec<String>, rank: usize, te: &TimedEvent) {
             r#"{{"name":"straggler","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"analysis","args":{{"rank":{r},"reason":{reason},"severity_permille":{severity_permille}}}}}"#,
             us(te.ts_ns),
         )),
+        Event::Alert { rule, kind, firing, step } => out.push(format!(
+            r#"{{"name":"alert {}","ph":"i","s":"g","pid":0,"tid":{tid},"ts":{},"cat":"alert","args":{{"rule":{rule},"kind":"{}","step":{step}}}}}"#,
+            if firing { "fire" } else { "clear" },
+            us(te.ts_ns),
+            alert::name(kind),
+        )),
         // Perfetto keys counter tracks by (pid, name), not tid, so the
         // rank goes into the name to keep one track per counter per
         // rank.
@@ -190,6 +196,8 @@ pub struct TraceCheck {
     /// `"critical path"` / `"straggler"` diagnosis instants stamped by
     /// the post-run analyzer.
     pub analysis_marks: usize,
+    /// `"alert fire"` / `"alert clear"` watchdog instants.
+    pub alerts: usize,
     /// Distinct `tid` tracks seen (metadata excluded).
     pub tracks: usize,
     /// `"C"` counter samples.
@@ -269,6 +277,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                     check.degrades += 1;
                 } else if name == "critical path" || name == "straggler" {
                     check.analysis_marks += 1;
+                } else if name == "alert fire" || name == "alert clear" {
+                    check.alerts += 1;
                 }
             }
             "C" => {
@@ -337,6 +347,14 @@ mod tests {
                 ts_ns: 9_100,
                 event: Event::StragglerFlagged { rank: 1, reason: 1, severity_permille: 14_200 },
             },
+            TimedEvent {
+                ts_ns: 9_200,
+                event: Event::Alert { rule: 0, kind: alert::DT_COLLAPSE, firing: true, step: 6 },
+            },
+            TimedEvent {
+                ts_ns: 9_300,
+                event: Event::Alert { rule: 0, kind: alert::DT_COLLAPSE, firing: false, step: 8 },
+            },
         ];
         vec![RankTrace { rank: 0, events: t0 }, RankTrace { rank: 1, events: t1 }]
     }
@@ -350,6 +368,7 @@ mod tests {
         assert_eq!(check.retiles, 1);
         assert_eq!(check.degrades, 1);
         assert_eq!(check.analysis_marks, 2, "critical path + straggler instants");
+        assert_eq!(check.alerts, 2, "alert fire + clear instants");
         assert_eq!(check.flow_starts, 1);
         assert_eq!(check.flow_finishes, 1);
         assert_eq!(check.tracks, 2);

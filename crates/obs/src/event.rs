@@ -136,6 +136,34 @@ pub mod health {
     }
 }
 
+/// Watchdog rule-kind codes (`sub` byte of [`Event::Alert`]); mirrors
+/// `crate::watch::RuleKind` (see [`crate::watch::RuleKind::code`]).
+pub mod alert {
+    /// Latest value above a threshold.
+    pub const ABOVE: u8 = 1;
+    /// Latest value below a threshold.
+    pub const BELOW: u8 = 2;
+    /// Rate of change over a window above a limit.
+    pub const TREND: u8 = 3;
+    /// Signal envelope collapsed (stall).
+    pub const FLATLINE: u8 = 4;
+    /// Value fell below a ratio of the trailing window max (dt
+    /// collapse, the NaN precursor).
+    pub const DT_COLLAPSE: u8 = 5;
+
+    /// Human-readable rule-kind name (exporters).
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            ABOVE => "above",
+            BELOW => "below",
+            TREND => "trend",
+            FLATLINE => "flatline",
+            DT_COLLAPSE => "dt-collapse",
+            _ => "alert?",
+        }
+    }
+}
+
 /// Counter-track ids (`sub` byte of [`Event::CounterSample`]). Ids
 /// below [`crate::counters::kernel::COUNT`] are per-kernel achieved
 /// MFLOPS tracks; the high ids are run-level gauges.
@@ -183,6 +211,7 @@ const D_RETILE: u8 = 11;
 const D_DEGRADED: u8 = 12;
 const D_CRITICAL_GATE: u8 = 13;
 const D_STRAGGLER: u8 = 14;
+const D_ALERT: u8 = 15;
 
 /// One flight-recorder event. See the module docs for the wire layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,6 +330,20 @@ pub enum Event {
         /// Severity ratio in permille (1000 = at the peer baseline).
         severity_permille: u64,
     },
+    /// A physics-watchdog alert edge: a rule started or stopped firing
+    /// (`yy_obs::watch`). Fire/clear edges land as instants in the
+    /// Chrome trace so a blow-up is visible on the same timeline as the
+    /// rollbacks it causes.
+    Alert {
+        /// Rule index in the run's rule list.
+        rule: u32,
+        /// [`alert`] rule-kind code.
+        kind: u8,
+        /// `true` on a fire edge, `false` on a clear edge.
+        firing: bool,
+        /// Solver step at the edge.
+        step: u64,
+    },
     /// A periodic counter sample: one point on a [`counter`] track
     /// (Chrome "C"-phase records, so Perfetto plots the series).
     CounterSample {
@@ -364,6 +407,9 @@ impl Event {
             Event::StragglerFlagged { rank, reason, severity_permille } => {
                 [head(D_STRAGGLER, reason, 0, rank), severity_permille, 0]
             }
+            Event::Alert { rule, kind, firing, step } => {
+                [head(D_ALERT, kind, firing as u16, rule), step, 0]
+            }
             Event::CounterSample { id, value_bits } => {
                 [head(D_COUNTER, id, 0, 0), value_bits, 0]
             }
@@ -391,6 +437,7 @@ impl Event {
             D_DEGRADED => Event::Degraded { pass: a, checkpoint_every: b },
             D_CRITICAL_GATE => Event::CriticalGate { phase: sub, share_permille: a, steps: b },
             D_STRAGGLER => Event::StragglerFlagged { rank: peer, reason: sub, severity_permille: a },
+            D_ALERT => Event::Alert { rule: peer, kind: sub, firing: tag16 != 0, step: a },
             D_COUNTER => Event::CounterSample { id: sub, value_bits: a },
             _ => return None,
         })
@@ -438,6 +485,8 @@ mod tests {
         roundtrip(Event::Degraded { pass: 2, checkpoint_every: 8 });
         roundtrip(Event::CriticalGate { phase: phase::WAIT, share_permille: 583, steps: 7 });
         roundtrip(Event::StragglerFlagged { rank: u32::MAX, reason: 1, severity_permille: 14_200 });
+        roundtrip(Event::Alert { rule: 0, kind: alert::DT_COLLAPSE, firing: true, step: 12 });
+        roundtrip(Event::Alert { rule: u32::MAX, kind: alert::FLATLINE, firing: false, step: 0 });
         roundtrip(Event::counter_sample(counter::TOTAL_MFLOPS, 1234.5));
         roundtrip(Event::counter_sample(0, -0.0));
     }
@@ -477,6 +526,8 @@ mod tests {
         assert_eq!(class::name(class::UNKNOWN), "msg");
         assert_eq!(fault::name(fault::DROP), "drop");
         assert_eq!(health::name(health::NON_FINITE), "non-finite");
+        assert_eq!(alert::name(alert::DT_COLLAPSE), "dt-collapse");
+        assert_eq!(alert::name(200), "alert?");
         assert_eq!(phase::name(200), "phase?");
     }
 

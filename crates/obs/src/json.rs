@@ -120,6 +120,20 @@ impl Json {
             _ => None,
         }
     }
+
+    /// This array's elements as numbers — `None` unless every element
+    /// is numeric (`null`, which [`num`] writes for non-finite values,
+    /// maps to NaN). The series consumers (`yycore watch`) pull report
+    /// channels through this.
+    pub fn as_f64_array(&self) -> Option<Vec<f64>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| match v {
+                Json::Null => Some(f64::NAN),
+                _ => v.as_f64(),
+            })
+            .collect()
+    }
 }
 
 struct Parser<'a> {
@@ -344,6 +358,10 @@ mod tests {
         assert_eq!(arr[0].as_f64(), Some(0.1));
         assert_eq!(arr[1].as_f64(), Some(-3e9));
         assert_eq!(arr[2], Json::Null);
+        let vals = parsed.as_f64_array().unwrap();
+        assert_eq!(&vals[..2], &[0.1, -3e9]);
+        assert!(vals[2].is_nan(), "null (non-finite) maps to NaN");
+        assert_eq!(Json::parse("[1, \"x\"]").unwrap().as_f64_array(), None);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod logger;
 pub mod metrics;
 pub mod registry;
 pub mod ring;
+pub mod series;
+pub mod watch;
 
 pub use analysis::{
     analyze, compare, streams_from_chrome, Analysis, AnalysisInput, DoctorGauges, LedgerEntry,
@@ -49,7 +51,10 @@ pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use logger::JsonlLogger;
 pub use metrics::{
-    doctor_gauges_text, prometheus_text, prometheus_text_with_phases, MetricsHub, MetricsServer,
+    doctor_gauges_text, prometheus_text, prometheus_text_with_phases, science_gauges_text,
+    MetricsHub, MetricsServer, ScienceGauges,
 };
 pub use registry::{MetricsSnapshot, Registry};
 pub use ring::{FlightRecorder, RecorderSet};
+pub use series::{Bucket, Channel, SeriesSpec, SeriesStore, Tier};
+pub use watch::{parse_rules, AlertEvent, Rule, RuleKind, Watchdog};

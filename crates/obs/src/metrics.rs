@@ -55,6 +55,13 @@ pub fn prometheus_text(snap: &CounterSnapshot, step: u64, queue_depth: u64) -> S
     prometheus_text_with_phases(snap, step, queue_depth, &[])
 }
 
+/// Push the `# HELP` + `# TYPE` header pair for a metric family. Every
+/// family in the exposition goes through here, so the parser test can
+/// require both lines for every sample.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
 /// [`prometheus_text`] plus per-phase wall gauges: `phase_wall_s` is
 /// `(phase name, allreduced wall seconds)` pairs, rendered as
 /// `yy_phase_wall_seconds{phase="..."}` — this is where the PR 8 io
@@ -67,20 +74,23 @@ pub fn prometheus_text_with_phases(
     phase_wall_s: &[(&str, f64)],
 ) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("# TYPE yy_step gauge\n");
+    family(&mut out, "yy_step", "gauge", "Current solver step.");
     out.push_str(&format!("yy_step {step}\n"));
-    out.push_str("# TYPE yy_queue_depth gauge\n");
+    family(&mut out, "yy_queue_depth", "gauge", "Mailbox queue depth after the last step.");
     out.push_str(&format!("yy_queue_depth {queue_depth}\n"));
-    let counters: [(&str, fn(&crate::counters::KernelSnapshot) -> u64); 6] = [
-        ("yy_kernel_calls_total", |k| k.calls),
-        ("yy_kernel_points_total", |k| k.points),
-        ("yy_kernel_flops_total", |k| k.flops),
-        ("yy_kernel_bytes_read_total", |k| k.bytes_read),
-        ("yy_kernel_bytes_written_total", |k| k.bytes_written),
-        ("yy_kernel_wall_ns_total", |k| k.wall_ns),
+    type Get = fn(&crate::counters::KernelSnapshot) -> u64;
+    let counters: [(&str, &str, Get); 6] = [
+        ("yy_kernel_calls_total", "Kernel invocations since run start.", |k| k.calls),
+        ("yy_kernel_points_total", "Grid points the kernel processed.", |k| k.points),
+        ("yy_kernel_flops_total", "Exact modeled floating-point operations.", |k| k.flops),
+        ("yy_kernel_bytes_read_total", "Modeled bytes read by the kernel.", |k| k.bytes_read),
+        ("yy_kernel_bytes_written_total", "Modeled bytes written by the kernel.", |k| {
+            k.bytes_written
+        }),
+        ("yy_kernel_wall_ns_total", "Wall nanoseconds spent in the kernel.", |k| k.wall_ns),
     ];
-    for (metric, get) in counters {
-        out.push_str(&format!("# TYPE {metric} counter\n"));
+    for (metric, help, get) in counters {
+        family(&mut out, metric, "counter", help);
         for (i, k) in snap.kernels.iter().enumerate() {
             out.push_str(&format!(
                 "{metric}{{kernel=\"{}\"}} {}\n",
@@ -89,7 +99,7 @@ pub fn prometheus_text_with_phases(
             ));
         }
     }
-    out.push_str("# TYPE yy_kernel_mflops gauge\n");
+    family(&mut out, "yy_kernel_mflops", "gauge", "Achieved MFLOPS over the last window.");
     for (i, k) in snap.kernels.iter().enumerate() {
         out.push_str(&format!(
             "yy_kernel_mflops{{kernel=\"{}\"}} {}\n",
@@ -98,7 +108,12 @@ pub fn prometheus_text_with_phases(
         ));
     }
     if !phase_wall_s.is_empty() {
-        out.push_str("# TYPE yy_phase_wall_seconds gauge\n");
+        family(
+            &mut out,
+            "yy_phase_wall_seconds",
+            "gauge",
+            "Allreduced wall seconds per solver phase.",
+        );
         for (name, secs) in phase_wall_s {
             out.push_str(&format!(
                 "yy_phase_wall_seconds{{phase=\"{name}\"}} {}\n",
@@ -115,7 +130,12 @@ pub fn prometheus_text_with_phases(
 pub fn doctor_gauges_text(g: &crate::analysis::DoctorGauges) -> String {
     let mut out = String::with_capacity(256);
     if !g.shares.is_empty() {
-        out.push_str("# TYPE yy_critical_path_share gauge\n");
+        family(
+            &mut out,
+            "yy_critical_path_share",
+            "gauge",
+            "Share of analyzed steps each phase gated.",
+        );
         for (phase, share) in &g.shares {
             out.push_str(&format!(
                 "yy_critical_path_share{{phase=\"{phase}\"}} {}\n",
@@ -123,8 +143,76 @@ pub fn doctor_gauges_text(g: &crate::analysis::DoctorGauges) -> String {
             ));
         }
     }
-    out.push_str("# TYPE yy_top_straggler_rank gauge\n");
+    family(
+        &mut out,
+        "yy_top_straggler_rank",
+        "gauge",
+        "World rank of the strongest straggler suspect (-1 when none).",
+    );
     out.push_str(&format!("yy_top_straggler_rank {}\n", g.top_straggler));
+    out
+}
+
+/// One science-telemetry snapshot for the live endpoint: the latest
+/// sampled physics values plus the watchdog's firing state, rendered as
+/// Prometheus gauges. The supervisor appends this to the body it
+/// publishes at the metrics cadence, so `yycore watch` (or any scraper)
+/// sees the physics plane next to the perf counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScienceGauges {
+    /// `(component name, energy)` pairs — kinetic / magnetic / thermal.
+    pub energy: Vec<(String, f64)>,
+    /// Latest CFL time step.
+    pub dt: f64,
+    /// Latest maximum flow speed.
+    pub max_speed: f64,
+    /// Latest maximum field strength.
+    pub max_b: f64,
+    /// Dominant azimuthal mode m of the equatorial vorticity ring
+    /// (−1 when the run does not probe it).
+    pub dominant_m: i64,
+    /// `(rule name, currently firing, times fired)` per watchdog rule.
+    pub alerts: Vec<(String, bool, u32)>,
+}
+
+/// Render [`ScienceGauges`] in the Prometheus text format.
+pub fn science_gauges_text(g: &ScienceGauges) -> String {
+    let mut out = String::with_capacity(512);
+    if !g.energy.is_empty() {
+        family(&mut out, "yy_energy", "gauge", "Volume-integrated energy by component.");
+        for (component, e) in &g.energy {
+            out.push_str(&format!(
+                "yy_energy{{component=\"{component}\"}} {}\n",
+                crate::json::num(*e)
+            ));
+        }
+    }
+    family(&mut out, "yy_dt", "gauge", "Latest CFL time step.");
+    out.push_str(&format!("yy_dt {}\n", crate::json::num(g.dt)));
+    family(&mut out, "yy_max_speed", "gauge", "Maximum flow speed over the grid.");
+    out.push_str(&format!("yy_max_speed {}\n", crate::json::num(g.max_speed)));
+    family(&mut out, "yy_max_b", "gauge", "Maximum magnetic field strength over the grid.");
+    out.push_str(&format!("yy_max_b {}\n", crate::json::num(g.max_b)));
+    family(
+        &mut out,
+        "yy_dominant_m",
+        "gauge",
+        "Dominant azimuthal mode of the equatorial vorticity ring (-1 when unprobed).",
+    );
+    out.push_str(&format!("yy_dominant_m {}\n", g.dominant_m));
+    if !g.alerts.is_empty() {
+        family(&mut out, "yy_alert_active", "gauge", "1 while the watchdog rule is firing.");
+        for (rule, firing, _) in &g.alerts {
+            out.push_str(&format!(
+                "yy_alert_active{{rule=\"{rule}\"}} {}\n",
+                *firing as u8
+            ));
+        }
+        family(&mut out, "yy_alert_fired_total", "counter", "Fire edges per watchdog rule.");
+        for (rule, _, fired) in &g.alerts {
+            out.push_str(&format!("yy_alert_fired_total{{rule=\"{rule}\"}} {fired}\n"));
+        }
+    }
     out
 }
 
@@ -221,22 +309,86 @@ mod tests {
         set.snapshot()
     }
 
+    /// The in-repo exposition parser: every sample line must be
+    /// `name value` or `name{labels} value` with a parseable value, and
+    /// every sample's family must have emitted BOTH a `# HELP` and a
+    /// `# TYPE` header earlier in the body.
+    fn assert_well_formed_exposition(text: &str) {
+        let mut helped: Vec<&str> = Vec::new();
+        let mut typed: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(rest.len() > name.len() + 1, "HELP without text in {line:?}");
+                helped.push(name);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    kind == "counter" || kind == "gauge" || kind == "histogram",
+                    "bad TYPE kind in {line:?}"
+                );
+                typed.push(name);
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            let name_part = parts.next().unwrap_or("");
+            let name = name_part.split('{').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample value in {line:?}");
+            assert!(helped.contains(&name), "sample {line:?} has no # HELP {name}");
+            assert!(typed.contains(&name), "sample {line:?} has no # TYPE {name}");
+        }
+    }
+
     #[test]
-    fn exposition_has_typed_counters_and_gauges() {
+    fn exposition_has_help_and_type_for_every_sample() {
         let text = prometheus_text(&sample_snapshot(), 12, 3);
+        assert!(text.contains("# HELP yy_kernel_flops_total "));
         assert!(text.contains("# TYPE yy_kernel_flops_total counter"));
         assert!(text.contains("yy_kernel_flops_total{kernel=\"rhs\"} 40960"));
         assert!(text.contains("yy_step 12"));
         assert!(text.contains("yy_queue_depth 3"));
-        // Every sample line is `name value` or `name{labels} value`.
-        for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let mut parts = line.rsplitn(2, ' ');
-            let value = parts.next().unwrap();
-            assert!(
-                value.parse::<f64>().is_ok(),
-                "unparseable sample value in {line:?}"
-            );
-        }
+        assert_well_formed_exposition(&text);
+    }
+
+    #[test]
+    fn science_gauges_render_and_are_well_formed() {
+        let g = ScienceGauges {
+            energy: vec![
+                ("kinetic".into(), 1.5),
+                ("magnetic".into(), 0.25),
+                ("thermal".into(), 7.0),
+            ],
+            dt: 1.25e-3,
+            max_speed: 3.5,
+            max_b: 0.125,
+            dominant_m: 4,
+            alerts: vec![("energy_blowup".into(), true, 1), ("dynamo_stall".into(), false, 0)],
+        };
+        let text = science_gauges_text(&g);
+        assert!(text.contains("yy_energy{component=\"kinetic\"} 1.5"));
+        assert!(text.contains("yy_dominant_m 4"));
+        assert!(text.contains("yy_dt 0.00125"));
+        assert!(text.contains("yy_alert_active{rule=\"energy_blowup\"} 1"));
+        assert!(text.contains("yy_alert_active{rule=\"dynamo_stall\"} 0"));
+        assert!(text.contains("yy_alert_fired_total{rule=\"energy_blowup\"} 1"));
+        assert_well_formed_exposition(&text);
+        // Appended to the counter exposition it stays well-formed — the
+        // shape the supervisor actually publishes.
+        let full = format!("{}{}", prometheus_text(&sample_snapshot(), 12, 3), text);
+        assert_well_formed_exposition(&full);
+        // An unprobed run renders -1 and no alert families.
+        let bare = science_gauges_text(&ScienceGauges::default());
+        assert!(bare.contains("yy_dominant_m -1\n") || bare.contains("yy_dominant_m 0\n"));
+        assert!(!bare.contains("yy_alert_active"));
+        assert_well_formed_exposition(&bare);
     }
 
     #[test]
@@ -255,11 +407,8 @@ mod tests {
         assert!(dg.contains("yy_critical_path_share{phase=\"wait\"} 0.583"));
         assert!(dg.contains("yy_top_straggler_rank 1\n"));
         assert!(doctor_gauges_text(&Default::default()).contains("yy_top_straggler_rank -1"));
-        // Appending doctor gauges keeps every sample line parseable.
-        for line in format!("{text}{dg}").lines().filter(|l| !l.starts_with('#')) {
-            let value = line.rsplitn(2, ' ').next().unwrap();
-            assert!(value.parse::<f64>().is_ok(), "unparseable sample value in {line:?}");
-        }
+        // Appending doctor gauges keeps the exposition well-formed.
+        assert_well_formed_exposition(&format!("{text}{dg}"));
     }
 
     #[test]

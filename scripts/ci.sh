@@ -171,8 +171,14 @@ echo "$pm"
 echo "$pm" | grep -qE ' [1-9][0-9]* kill' || {
   echo "ERROR: post-mortem trace has no kill event" >&2; exit 1; }
 ./target/release/yycore tracecheck "$soak_dir/trace.json" >/dev/null
-grep -q '"schema":"yy.runreport.v5"' "$soak_dir/report.json" || {
+grep -q '"schema":"yy.runreport.v6"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing schema tag" >&2; exit 1; }
+# The v6 additions are always present: an (empty here) alerts array and
+# a telemetry section (null — this run was not armed).
+for key in '"alerts"' '"telemetry"'; do
+  grep -q "$key" "$soak_dir/report.json" || {
+    echo "ERROR: report.json missing v6 key $key" >&2; exit 1; }
+done
 grep -q '"recv_wait_ns"' "$soak_dir/report.json" || {
   echo "ERROR: report.json missing recv-wait histogram" >&2; exit 1; }
 grep -q '"kernels"' "$soak_dir/report.json" || {
@@ -193,6 +199,64 @@ ptc=$(./target/release/yycore tracecheck "$soak_dir/ptrace.json")
 echo "$ptc"
 echo "$ptc" | grep -qE ' [1-9][0-9]* counter sample' || {
   echo "ERROR: profile-enabled trace has no counter samples" >&2; exit 1; }
+
+echo "==> science telemetry smoke: seeded dt collapse fires the blow-up alert"
+# A supervised run with the series store + watchdog armed and a seeded
+# geometric dt collapse injected from step 10. The energy_blowup
+# precursor must land in the driver log, the v6 report, and the Chrome
+# trace; a clean armed run must fire nothing (DESIGN.md §6j).
+wsoak="pth=1 pph=2 steps=16 sample=1 nr=12 nth=9"
+./target/release/yycore parallel $wsoak telemetry=1 dt_collapse_at=10 \
+  trace="$soak_dir/wtrace.json" report_json="$soak_dir/wreport.json" \
+  >/dev/null 2>"$soak_dir/watch.log"
+grep -q 'watchdog energy_blowup (dt-collapse): FIRED' "$soak_dir/watch.log" || {
+  echo "ERROR: seeded collapse did not fire energy_blowup" >&2
+  cat "$soak_dir/watch.log" >&2; exit 1; }
+grep -q '"rule":"energy_blowup"' "$soak_dir/wreport.json" || {
+  echo "ERROR: report carries no energy_blowup alert edge" >&2; exit 1; }
+grep -q '"channels"' "$soak_dir/wreport.json" || {
+  echo "ERROR: report carries no telemetry series store" >&2; exit 1; }
+wtc=$(./target/release/yycore tracecheck "$soak_dir/wtrace.json")
+echo "$wtc"
+echo "$wtc" | grep -qE ' [1-9][0-9]* alert edge' || {
+  echo "ERROR: trace carries no alert instants" >&2; exit 1; }
+# The same grid armed but unseeded: the watchdog must stay quiet.
+./target/release/yycore parallel $wsoak telemetry=1 \
+  report_json="$soak_dir/wclean.json" >/dev/null 2>"$soak_dir/wclean.log"
+if grep -q 'FIRED' "$soak_dir/wclean.log"; then
+  echo "ERROR: clean armed run fired an alert" >&2
+  cat "$soak_dir/wclean.log" >&2; exit 1; fi
+grep -q '"alerts":\[\]' "$soak_dir/wclean.json" || {
+  echo "ERROR: clean armed run has non-empty report alerts" >&2; exit 1; }
+echo "OK: seeded collapse fires energy_blowup; clean armed run stays quiet"
+
+echo "==> watch smoke: dashboard renders the report artifact and the live endpoint"
+watch_out=$(./target/release/yycore watch "$soak_dir/wreport.json")
+echo "$watch_out" | grep -q 'alert energy_blowup (dt-collapse): FIRED' || {
+  echo "ERROR: watch (file mode) did not render the alert" >&2
+  echo "$watch_out" >&2; exit 1; }
+echo "$watch_out" | grep -q 'kinetic' || {
+  echo "ERROR: watch (file mode) did not render channel panels" >&2; exit 1; }
+# URL mode: re-run the seeded collapse serving live metrics, and hold
+# the endpoint open after the run ends so the single-frame watcher can
+# scrape the final science gauges race-free.
+wport=${YY_CI_WATCH_PORT:-19184}
+./target/release/yycore parallel $wsoak telemetry=1 dt_collapse_at=10 \
+  metrics_port="$wport" metrics_hold_ms=30000 >/dev/null 2>&1 &
+wpid=$!
+live_ok=0
+for _ in $(seq 1 40); do
+  live=$(./target/release/yycore watch "http://127.0.0.1:$wport" once=1 \
+    retries=40 2>/dev/null) || true
+  if echo "$live" | grep -q 'alert energy_blowup.*FIRING'; then
+    live_ok=1; break; fi
+  sleep 0.5
+done
+kill "$wpid" 2>/dev/null || true
+wait "$wpid" 2>/dev/null || true
+[ "$live_ok" = 1 ] || {
+  echo "ERROR: watch (URL mode) never saw the firing alert gauge" >&2; exit 1; }
+echo "OK: yycore watch renders file and live-endpoint dashboards"
 
 echo "==> profile smoke: roofline table + measured-profile ES projection"
 profile_out=$(./target/release/yycore profile steps=3 sample=0)
@@ -226,6 +290,15 @@ awk -v r="$ctr_ratio" -v t="$tol" 'BEGIN { exit !(r < t) }' || {
   exit 1
 }
 echo "OK: armed counters ratio x$ctr_ratio (< $tol)"
+# Armed science telemetry vs the same run sampling diagnostics without
+# it: the series store + watchdog must stay under the same tolerance.
+ser_ratio=$(grep -o '"ratio_vs_sampled": [0-9.]*' "$soak_dir/BENCH_obs.json" \
+  | awk '{print $2}')
+awk -v r="$ser_ratio" -v t="$tol" 'BEGIN { exit !(r < t) }' || {
+  echo "ERROR: armed series telemetry costs x$ser_ratio vs sampled (tolerance $tol)" >&2
+  exit 1
+}
+echo "OK: armed series telemetry ratio x$ser_ratio (< $tol)"
 
 echo "==> bench smoke: step pipeline writes machine-readable BENCH_step.json"
 # Tiny knobs: this checks the bench runs and the JSON is well-formed,
